@@ -1,0 +1,110 @@
+package repro
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/scheduler"
+	"repro/internal/types"
+)
+
+// Placement-policy ablation: Section 3.2.2 says global schedulers place
+// using "object locality and resource availability". These benchmarks
+// quantify the locality half: a two-stage workload where stage 2 consumes a
+// large object produced by stage 1. A locality-aware policy runs stage 2
+// where the bytes already live; a locality-blind one ships megabytes across
+// the network per task.
+
+// bigDepRegistry: produce(size) -> big blob; consume(blob) -> checksum.
+func bigDepRegistry() *core.Registry {
+	reg := core.NewRegistry()
+	reg.Register("produce", func(tc *core.TaskContext, args [][]byte) ([][]byte, error) {
+		size, err := codec.DecodeAs[int](args[0])
+		if err != nil {
+			return nil, err
+		}
+		blob := make([]byte, size)
+		for i := range blob {
+			blob[i] = byte(i)
+		}
+		enc, err := codec.Encode(blob)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{enc}, nil
+	})
+	reg.Register("consume", func(tc *core.TaskContext, args [][]byte) ([][]byte, error) {
+		blob, err := codec.DecodeAs[[]byte](args[0])
+		if err != nil {
+			return nil, err
+		}
+		sum := 0
+		for _, b := range blob {
+			sum += int(b)
+		}
+		enc, err := codec.Encode(sum)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{enc}, nil
+	})
+	return reg
+}
+
+func benchPlacement(b *testing.B, policy scheduler.Policy) {
+	c := mustCluster(b, cluster.Config{
+		Nodes:          4,
+		NodeResources:  types.CPU(4),
+		Registry:       bigDepRegistry(),
+		SpillThreshold: cluster.SpillThresholdOf(0), // all placement via global
+		GlobalPolicy:   policy,
+		HopLatency:     20 * time.Microsecond,
+		// Bounded stores: long benchmark runs would otherwise accumulate
+		// every 1 MiB blob forever (there is no distributed GC — true of
+		// the paper's prototype as well); LRU eviction keeps the run in
+		// steady state.
+		StoreCapacity:   64 << 20,
+		DisableEventLog: true,
+	})
+	d := c.Driver()
+	ctx := context.Background()
+	const blobSize = 1 << 20 // 1 MiB per dependency
+	b.SetBytes(blobSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prod, err := d.Submit1(core.Call{
+			Function: "produce",
+			Args:     []types.Arg{core.Val(blobSize)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cons, err := d.Submit1(core.Call{
+			Function: "consume",
+			Args:     []types.Arg{core.RefOf(prod)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Get(ctx, cons); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacementLocality is the paper's policy: stage-2 tasks follow
+// their dependency bytes.
+func BenchmarkPlacementLocality(b *testing.B) {
+	benchPlacement(b, scheduler.LocalityPolicy{})
+}
+
+// BenchmarkPlacementRoundRobin is the locality-blind baseline: placement
+// ignores where the dependency lives, so most consume tasks pull the blob
+// across the network first.
+func BenchmarkPlacementRoundRobin(b *testing.B) {
+	benchPlacement(b, &scheduler.RoundRobinPolicy{})
+}

@@ -1,0 +1,160 @@
+// Command rayctl inspects a running cluster through the head node's
+// dashboard endpoints — the "Debugging Tools / Profiling Tools" of the
+// paper's Figure 3 (R7). Because all state lives in the centralized control
+// plane, rayctl needs nothing but the dashboard URL.
+//
+//	rayctl -addr http://127.0.0.1:8265 overview
+//	rayctl -addr http://127.0.0.1:8265 nodes
+//	rayctl -addr http://127.0.0.1:8265 tasks
+//	rayctl -addr http://127.0.0.1:8265 objects
+//	rayctl -addr http://127.0.0.1:8265 profile
+//	rayctl -addr http://127.0.0.1:8265 trace -o trace.json   # chrome://tracing
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8265", "dashboard base URL")
+	out := flag.String("o", "", "output file (trace subcommand)")
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "overview"
+	}
+
+	switch cmd {
+	case "overview":
+		body := fetch(*addr + "/")
+		os.Stdout.Write(body)
+	case "nodes":
+		printNodes(fetch(*addr + "/api/nodes"))
+	case "tasks":
+		printTasks(fetch(*addr + "/api/tasks"))
+	case "objects":
+		printObjects(fetch(*addr + "/api/objects"))
+	case "functions":
+		os.Stdout.Write(fetch(*addr + "/api/functions"))
+	case "events":
+		os.Stdout.Write(fetch(*addr + "/api/events"))
+	case "profile":
+		printProfile(fetch(*addr + "/api/profile"))
+	case "trace":
+		body := fetch(*addr + "/api/trace")
+		if *out == "" {
+			os.Stdout.Write(body)
+			return
+		}
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d bytes to %s (open via chrome://tracing)\n", len(body), *out)
+	default:
+		fmt.Fprintf(os.Stderr, "rayctl: unknown command %q\n", cmd)
+		os.Exit(2)
+	}
+}
+
+func fetch(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		fatal(fmt.Errorf("%s: HTTP %d", url, resp.StatusCode))
+	}
+	return body
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rayctl: %v\n", err)
+	os.Exit(1)
+}
+
+func printNodes(body []byte) {
+	var nodes []struct {
+		ID        string             `json:"id"`
+		Addr      string             `json:"addr"`
+		Alive     bool               `json:"alive"`
+		Total     map[string]float64 `json:"total"`
+		Available map[string]float64 `json:"available"`
+		QueueLen  int                `json:"queue_len"`
+	}
+	must(json.Unmarshal(body, &nodes))
+	tbl := stats.Table{Header: []string{"node", "addr", "alive", "cpu", "gpu", "avail-cpu", "queue"}}
+	for _, n := range nodes {
+		tbl.AddRow(n.ID, n.Addr, n.Alive, n.Total["CPU"], n.Total["GPU"], n.Available["CPU"], n.QueueLen)
+	}
+	tbl.Render(os.Stdout)
+}
+
+func printTasks(body []byte) {
+	var tasks []struct {
+		ID       string  `json:"id"`
+		Function string  `json:"function"`
+		Status   string  `json:"status"`
+		Node     string  `json:"node"`
+		Error    string  `json:"error"`
+		E2EMs    float64 `json:"e2e_ms"`
+	}
+	must(json.Unmarshal(body, &tasks))
+	tbl := stats.Table{Header: []string{"task", "function", "status", "node", "e2e-ms", "error"}}
+	for _, t := range tasks {
+		tbl.AddRow(t.ID, t.Function, t.Status, t.Node, fmt.Sprintf("%.3f", t.E2EMs), t.Error)
+	}
+	tbl.Render(os.Stdout)
+}
+
+func printObjects(body []byte) {
+	var objs []struct {
+		ID        string   `json:"id"`
+		Size      int64    `json:"size"`
+		State     string   `json:"state"`
+		Locations []string `json:"locations"`
+	}
+	must(json.Unmarshal(body, &objs))
+	tbl := stats.Table{Header: []string{"object", "size", "state", "copies"}}
+	for _, o := range objs {
+		tbl.AddRow(o.ID, o.Size, o.State, len(o.Locations))
+	}
+	tbl.Render(os.Stdout)
+}
+
+func printProfile(body []byte) {
+	var sums []struct {
+		Function  string `json:"Function"`
+		Count     int    `json:"Count"`
+		Failed    int    `json:"Failed"`
+		MeanExec  int64  `json:"MeanExec"`
+		MeanE2E   int64  `json:"MeanE2E"`
+		MeanQueue int64  `json:"MeanQueue"`
+	}
+	must(json.Unmarshal(body, &sums))
+	tbl := stats.Table{Header: []string{"function", "count", "failed", "exec-ms", "queue-ms", "e2e-ms"}}
+	for _, s := range sums {
+		tbl.AddRow(s.Function, s.Count, s.Failed,
+			fmt.Sprintf("%.3f", float64(s.MeanExec)/1e6),
+			fmt.Sprintf("%.3f", float64(s.MeanQueue)/1e6),
+			fmt.Sprintf("%.3f", float64(s.MeanE2E)/1e6))
+	}
+	tbl.Render(os.Stdout)
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}

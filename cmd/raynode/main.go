@@ -1,0 +1,242 @@
+// Command raynode runs one cluster node as an OS process, over real TCP —
+// the multi-process deployment of the architecture in the paper's Figure 3.
+//
+// Head node (control plane + global scheduler + one worker node + web
+// dashboard):
+//
+//	raynode -head -gcs :6380 -listen 127.0.0.1:6381 -http :8265
+//
+// Additional worker nodes (any number, any machine that can reach the head):
+//
+//	raynode -join 127.0.0.1:6380 -listen 127.0.0.1:6382 -cpu 8 -gpu 1
+//
+// Demo driver (runs a small workload against the cluster from the head):
+//
+//	raynode -head -gcs :6380 -listen 127.0.0.1:6381 -demo
+//
+// Every raynode carries the same built-in function registry (Go cannot ship
+// closures at runtime, so functions are compiled in — the registry is the
+// analogue of the paper prototype's preloaded worker code).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dashboard"
+	"repro/internal/gcs"
+	"repro/internal/mcts"
+	"repro/internal/node"
+	"repro/internal/rl"
+	"repro/internal/rnn"
+	"repro/internal/scheduler"
+	"repro/internal/sensor"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func main() {
+	var (
+		head    = flag.Bool("head", false, "run the head node (control plane + global scheduler)")
+		gcsAddr = flag.String("gcs", "127.0.0.1:6380", "control-plane service address (serve when -head, dial when -join)")
+		join    = flag.String("join", "", "head control-plane address to join as a worker node")
+		listen  = flag.String("listen", "127.0.0.1:6381", "this node's transport address")
+		httpAdr = flag.String("http", "", "dashboard HTTP address (head only), e.g. :8265")
+		cpu     = flag.Float64("cpu", 8, "CPU capacity of this node")
+		gpu     = flag.Float64("gpu", 0, "GPU capacity of this node")
+		shards  = flag.Int("shards", 8, "control-plane shard count (head only)")
+		spill   = flag.Int("spill", 16, "local scheduler spill threshold")
+		demo    = flag.Bool("demo", false, "run the demo workload after boot (head only)")
+	)
+	flag.Parse()
+
+	if !*head && *join == "" {
+		fmt.Fprintln(os.Stderr, "raynode: need -head or -join <addr>")
+		os.Exit(2)
+	}
+
+	reg := builtinRegistry()
+	res := types.Resources{types.ResCPU: *cpu}
+	if *gpu > 0 {
+		res[types.ResGPU] = *gpu
+	}
+
+	var ctrl gcs.API
+	var localStore *gcs.Store
+	if *head {
+		localStore = gcs.NewStore(*shards)
+		ctrl = localStore
+		srv := transport.NewServer()
+		gcs.RegisterService(srv, localStore)
+		l, err := (transport.TCP{}).Listen(*gcsAddr, srv)
+		if err != nil {
+			log.Fatalf("raynode: serve control plane: %v", err)
+		}
+		defer l.Close()
+		log.Printf("control plane serving on %s (%d shards)", *gcsAddr, *shards)
+	} else {
+		client, err := (transport.TCP{}).Dial(*join)
+		if err != nil {
+			log.Fatalf("raynode: join %s: %v", *join, err)
+		}
+		defer client.Close()
+		ctrl = gcs.NewRemote(client)
+		log.Printf("joined control plane at %s", *join)
+	}
+
+	n, err := node.New(node.Config{
+		Resources:         res,
+		Network:           transport.TCP{},
+		ListenAddr:        *listen,
+		Ctrl:              ctrl,
+		Registry:          reg,
+		SpillThreshold:    *spill,
+		HeartbeatInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatalf("raynode: start node: %v", err)
+	}
+	defer n.Shutdown()
+	log.Printf("node %v up at %s with %v", n.ID(), *listen, res)
+
+	if *head {
+		g := scheduler.NewGlobal(scheduler.GlobalConfig{
+			Ctrl:   ctrl,
+			Policy: scheduler.LocalityPolicy{},
+			Assign: tcpAssigner(),
+		})
+		g.Start()
+		defer g.Stop()
+		log.Printf("global scheduler running (policy: locality)")
+
+		if *httpAdr != "" {
+			go func() {
+				log.Printf("dashboard on http://%s", *httpAdr)
+				if err := http.ListenAndServe(*httpAdr, dashboard.Handler(ctrl)); err != nil {
+					log.Printf("dashboard: %v", err)
+				}
+			}()
+		}
+		if *demo {
+			runDemo(n)
+			return
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+}
+
+// tcpAssigner delivers global placements over TCP with connection caching.
+func tcpAssigner() scheduler.AssignFunc {
+	var mu sync.Mutex
+	conns := make(map[string]transport.Client)
+	return func(nid types.NodeID, addr string, spec types.TaskSpec) error {
+		mu.Lock()
+		client, ok := conns[addr]
+		if !ok {
+			var err error
+			client, err = (transport.TCP{}).Dial(addr)
+			if err != nil {
+				mu.Unlock()
+				return err
+			}
+			conns[addr] = client
+		}
+		mu.Unlock()
+		if _, err := client.Call(node.AssignMethod, codec.MustEncode(spec)); err != nil {
+			mu.Lock()
+			if conns[addr] == client {
+				client.Close()
+				delete(conns, addr)
+			}
+			mu.Unlock()
+			return err
+		}
+		return nil
+	}
+}
+
+// builtinRegistry holds the functions every raynode can execute: the demo
+// primitives plus all workload functions, so any node can serve any
+// experiment.
+func builtinRegistry() *core.Registry {
+	reg := core.NewRegistry()
+	core.Register1(reg, "demo.square", func(tc *core.TaskContext, x int) (int, error) {
+		return x * x, nil
+	})
+	core.Register2(reg, "demo.add", func(tc *core.TaskContext, a, b int) (int, error) {
+		return a + b, nil
+	})
+	core.Register1(reg, "demo.sleep", func(tc *core.TaskContext, ms int) (int, error) {
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+		return ms, nil
+	})
+	rl.RegisterFuncs(reg)
+	mcts.RegisterFuncs(reg)
+	rnn.RegisterFuncs(reg)
+	sensor.RegisterFuncs(reg)
+	return reg
+}
+
+// runDemo exercises the cluster: a fan-out of squares, a dependent add, and
+// a wait over heterogeneous sleeps.
+func runDemo(n *node.Node) {
+	d := core.NewClient(n)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	log.Printf("demo: submitting 16 squares")
+	var refs []core.ObjectRef
+	for i := 0; i < 16; i++ {
+		ref, err := d.Submit1(core.Call{Function: "demo.square", Args: []types.Arg{core.Val(i)}})
+		if err != nil {
+			log.Fatalf("demo: %v", err)
+		}
+		refs = append(refs, ref)
+	}
+	sum := 0
+	for _, r := range refs {
+		raw, err := d.Get(ctx, r)
+		if err != nil {
+			log.Fatalf("demo get: %v", err)
+		}
+		v, _ := codec.DecodeAs[int](raw)
+		sum += v
+	}
+	log.Printf("demo: sum of squares 0..15 = %d (want 1240)", sum)
+
+	a, _ := d.Submit1(core.Call{Function: "demo.square", Args: []types.Arg{core.Val(6)}})
+	b, _ := d.Submit1(core.Call{Function: "demo.square", Args: []types.Arg{core.Val(8)}})
+	c, err := d.Submit1(core.Call{Function: "demo.add", Args: []types.Arg{core.RefOf(a), core.RefOf(b)}})
+	if err != nil {
+		log.Fatalf("demo: %v", err)
+	}
+	raw, err := d.Get(ctx, c)
+	if err != nil {
+		log.Fatalf("demo: %v", err)
+	}
+	v, _ := codec.DecodeAs[int](raw)
+	log.Printf("demo: add(square(6), square(8)) = %d (want 100)", v)
+
+	fast, _ := d.Submit1(core.Call{Function: "demo.sleep", Args: []types.Arg{core.Val(10)}})
+	slow, _ := d.Submit1(core.Call{Function: "demo.sleep", Args: []types.Arg{core.Val(2000)}})
+	ready, pending, err := d.Wait(ctx, []core.ObjectRef{fast, slow}, 1, 5*time.Second)
+	if err != nil {
+		log.Fatalf("demo: %v", err)
+	}
+	log.Printf("demo: wait(1 of 2): %d ready, %d still pending (straggler tolerated)", len(ready), len(pending))
+	log.Printf("demo: done")
+}

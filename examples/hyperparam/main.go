@@ -1,0 +1,138 @@
+// Hyperparameter search example: Section 4.2 notes the RL workload "would
+// typically be used as a subroutine of a more sophisticated (non-BSP)
+// workload ... run the entire workload nested within a larger adaptive
+// hyperparameter search". This example does exactly that: trial tasks each
+// run a full (small) RL training loop as nested tasks, and the driver uses
+// wait to implement successive halving — killing off the weakest trials as
+// soon as enough results arrive, without waiting for stragglers.
+//
+//	go run ./examples/hyperparam
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/types"
+)
+
+// trialResult is what one hyperparameter trial reports.
+type trialResult struct {
+	LR          float64
+	FinalReturn float64
+}
+
+func main() {
+	reg := core.NewRegistry()
+
+	// One rollout episode with the given policy weights; a nested task.
+	episode := core.Register2(reg, "episode", func(tc *core.TaskContext, seed uint64, w []float64) (sim.RolloutStats, error) {
+		cfg := sim.DefaultEnvConfig(seed)
+		cfg.StepCost = 2 * time.Millisecond
+		env := sim.NewEnv(cfg)
+		policy := sim.NewPolicy(cfg.ObsDim, cfg.NumActions, 0)
+		copy(policy.W, w)
+		var stats sim.RolloutStats
+		obs := env.Observe()
+		for {
+			action := policy.Act([]sim.Obs{obs})[0]
+			next, reward, done := env.Step(action)
+			stats.Record(obs, action, reward, cfg.ObsDim, cfg.NumActions)
+			obs = next
+			if done {
+				return stats, nil
+			}
+		}
+	})
+
+	// A trial: trains with its own learning rate by spawning episode tasks
+	// (nested parallelism, R3) and returns the final mean return.
+	trial := core.Register1(reg, "trial", func(tc *core.TaskContext, lr float64) (trialResult, error) {
+		cfg := sim.DefaultEnvConfig(7)
+		policy := sim.NewPolicy(cfg.ObsDim, cfg.NumActions, 0)
+		const iters, episodes = 3, 4
+		final := 0.0
+		for it := 0; it < iters; it++ {
+			var refs []core.Ref[sim.RolloutStats]
+			for e := 0; e < episodes; e++ {
+				ref, err := episode.Remote(tc, uint64(100+e), policy.W)
+				if err != nil {
+					return trialResult{}, err
+				}
+				refs = append(refs, ref)
+			}
+			var merged sim.RolloutStats
+			for _, r := range refs {
+				st, err := core.TaskGet(tc, r)
+				if err != nil {
+					return trialResult{}, err
+				}
+				merged.Merge(st)
+			}
+			policy.Update(merged.Gradient(), lr)
+			final = merged.Return / episodes
+		}
+		return trialResult{LR: lr, FinalReturn: final}, nil
+	})
+
+	c, err := cluster.New(cluster.Config{Nodes: 2, NodeResources: types.CPU(8), Registry: reg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+	driver := c.Driver()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// Launch one trial per candidate learning rate.
+	lrs := []float64{0.01, 0.05, 0.1, 0.5, 1.0, 2.0}
+	fmt.Printf("adaptive search over learning rates %v\n", lrs)
+	inflight := make(map[types.ObjectID]float64, len(lrs))
+	var refs []core.ObjectRef
+	start := time.Now()
+	for _, lr := range lrs {
+		ref, err := trial.Remote(driver, lr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inflight[ref.Untyped().ID] = lr
+		refs = append(refs, ref.Untyped())
+	}
+
+	// Successive halving via wait: take the first half of trials to finish,
+	// keep only the best — stragglers are abandoned, exactly the latency
+	// control the wait primitive exists for (R1).
+	half := len(refs)/2 + 1
+	ready, pending, err := driver.Wait(ctx, refs, half, 2*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first %d trials finished after %v (%d still running, abandoned)\n",
+		len(ready), time.Since(start).Round(time.Millisecond), len(pending))
+
+	var results []trialResult
+	for _, r := range ready {
+		raw, err := driver.Get(ctx, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := codec.DecodeAs[trialResult](raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].FinalReturn > results[j].FinalReturn })
+	fmt.Println("completed trials, best first:")
+	for _, r := range results {
+		fmt.Printf("  lr=%-5.2f final mean return %.4f\n", r.LR, r.FinalReturn)
+	}
+	fmt.Printf("winner: lr=%.2f\n", results[0].LR)
+}

@@ -1,0 +1,110 @@
+// Quickstart: the paper's Section 3.1 API in one file — remote functions,
+// futures, dataflow dependencies, nested tasks, and the wait primitive.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+func main() {
+	// 1. Register remote functions. Any Go function becomes a remote task
+	//    (R4: arbitrary execution kernels).
+	reg := core.NewRegistry()
+	square := core.Register1(reg, "square", func(tc *core.TaskContext, x int) (int, error) {
+		return x * x, nil
+	})
+	add := core.Register2(reg, "add", func(tc *core.TaskContext, a, b int) (int, error) {
+		return a + b, nil
+	})
+	slowEcho := core.Register1(reg, "slowEcho", func(tc *core.TaskContext, ms int) (int, error) {
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+		return ms, nil
+	})
+	// A task that spawns its own subtasks (R3: dynamic task creation).
+	sumSquares := core.Register1(reg, "sumSquares", func(tc *core.TaskContext, n int) (int, error) {
+		var refs []core.Ref[int]
+		for i := 1; i <= n; i++ {
+			ref, err := square.Remote(tc, i)
+			if err != nil {
+				return 0, err
+			}
+			refs = append(refs, ref)
+		}
+		total := 0
+		for _, r := range refs {
+			v, err := core.TaskGet(tc, r)
+			if err != nil {
+				return 0, err
+			}
+			total += v
+		}
+		return total, nil
+	})
+
+	// 2. Boot an in-process cluster: 2 nodes x 4 CPUs, a sharded control
+	//    plane, and a global scheduler (the whole Figure 3).
+	c, err := cluster.New(cluster.Config{Nodes: 2, NodeResources: types.CPU(4), Registry: reg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+	driver := c.Driver()
+	ctx := context.Background()
+
+	// 3. Task creation is non-blocking and returns a future immediately.
+	fut, err := square.Remote(driver, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := core.Get(ctx, driver, fut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("square(7)                      = %d\n", v)
+
+	// 4. Futures as arguments build dataflow DAGs (R5): the add task runs
+	//    only when both squares have finished, wherever they ran.
+	a, _ := square.Remote(driver, 3)
+	b, _ := square.Remote(driver, 4)
+	sum, err := add.RemoteRefs(driver, a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ = core.Get(ctx, driver, sum)
+	fmt.Printf("add(square(3), square(4))      = %d\n", v)
+
+	// 5. Nested tasks: sumSquares fans out subtasks from inside a task.
+	nested, err := sumSquares.Remote(driver, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ = core.Get(ctx, driver, nested)
+	fmt.Printf("sumSquares(10)                 = %d (want 385)\n", v)
+
+	// 6. The wait primitive (Section 3.1 item 5): take the first result and
+	//    leave the straggler running — this is how applications bound
+	//    latency (R1) despite heterogeneous task durations (R4).
+	fast, _ := slowEcho.Remote(driver, 10)
+	slow, _ := slowEcho.Remote(driver, 3000)
+	ready, pending, err := driver.Wait(ctx,
+		[]core.ObjectRef{fast.Untyped(), slow.Untyped()}, 1, time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wait(1 of 2, 1s timeout)       = %d ready, %d pending (straggler tolerated)\n",
+		len(ready), len(pending))
+
+	// 7. Put shares a value without a producing task.
+	weights, _ := core.PutTyped(driver, []float64{0.1, 0.2})
+	w, _ := core.Get(ctx, driver, weights)
+	fmt.Printf("get(put([0.1 0.2]))            = %v\n", w)
+}

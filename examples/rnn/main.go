@@ -1,0 +1,72 @@
+// RNN example: the paper's Figure 2c — a recurrent neural network unrolled
+// into a task graph with heterogeneous per-layer costs (R4) and
+// fine-grained dependencies (R5). Cell (l, t) needs only (l, t-1) and
+// (l-1, t), so a diagonal wavefront of cells can run concurrently; a
+// BSP-style driver that barriers on every timestep forfeits exactly that
+// parallelism. Both drivers (and the serial reference) produce bit-identical
+// outputs.
+//
+//	go run ./examples/rnn
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/rnn"
+	"repro/internal/types"
+)
+
+func main() {
+	reg := core.NewRegistry()
+	rnn.RegisterFuncs(reg)
+	c, err := cluster.New(cluster.Config{Nodes: 1, NodeResources: types.CPU(8), Registry: reg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	cfg := rnn.Default(77)
+	cfg.Timesteps = 12
+	fmt.Printf("RNN: %d layers x %d timesteps, layer costs %v..%v (heterogeneous, R4)\n",
+		cfg.Layers, cfg.Timesteps, cfg.LayerCost(0), cfg.LayerCost(cfg.Layers-1))
+
+	serial := rnn.RunSerial(cfg)
+	fmt.Printf("%-34s %8v  (%d cell tasks)\n", "serial:", serial.Elapsed.Round(time.Millisecond), serial.Tasks)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	flow, err := rnn.RunDataflow(ctx, c.Driver(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-34s %8v  (wavefront parallelism from fine deps, R5)\n",
+		"dataflow:", flow.Elapsed.Round(time.Millisecond))
+
+	barrier, err := rnn.RunBarriered(ctx, c.Driver(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-34s %8v  (BSP-style per-timestep barrier)\n",
+		"barriered:", barrier.Elapsed.Round(time.Millisecond))
+
+	fmt.Printf("\ndataflow beats the barrier by %.2fx; outputs identical: %v\n",
+		float64(barrier.Elapsed)/float64(flow.Elapsed),
+		equal(flow.Output, barrier.Output) && equal(flow.Output, serial.Output))
+}
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package bsp
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunStageExecutesAllTasks(t *testing.T) {
+	e := New(Config{Executors: 4})
+	double := func(in []byte) []byte { return []byte{in[0] * 2} }
+	inputs := [][]byte{{1}, {2}, {3}, {4}, {5}}
+	out := e.RunStage([]Task{double}, inputs)
+	for i, o := range out {
+		if o[0] != inputs[i][0]*2 {
+			t.Fatalf("task %d: got %d", i, o[0])
+		}
+	}
+	if e.TasksRun() != 5 || e.StagesRun() != 1 {
+		t.Fatalf("counters: tasks=%d stages=%d", e.TasksRun(), e.StagesRun())
+	}
+}
+
+func TestBarrierSemantics(t *testing.T) {
+	e := New(Config{Executors: 4})
+	var stage1Done atomic.Int32
+	slow := func(in []byte) []byte {
+		time.Sleep(10 * time.Millisecond)
+		stage1Done.Add(1)
+		return in
+	}
+	check := func(in []byte) []byte {
+		if stage1Done.Load() != 4 {
+			t.Error("stage 2 task ran before stage 1 barrier")
+		}
+		return in
+	}
+	inputs := [][]byte{{0}, {1}, {2}, {3}}
+	e.RunStages([][]Task{{slow}, {check}}, inputs)
+}
+
+func TestDriverOverheadSerializesDispatch(t *testing.T) {
+	overhead := 5 * time.Millisecond
+	e := New(Config{Executors: 8, DriverOverhead: overhead})
+	noop := func(in []byte) []byte { return in }
+	inputs := make([][]byte, 8)
+	for i := range inputs {
+		inputs[i] = []byte{byte(i)}
+	}
+	start := time.Now()
+	e.RunStage([]Task{noop}, inputs)
+	elapsed := time.Since(start)
+	// 8 tasks * 5ms driver-serial dispatch = 40ms floor despite 8 executors.
+	if elapsed < 8*overhead {
+		t.Fatalf("driver bottleneck missing: %v < %v", elapsed, 8*overhead)
+	}
+}
+
+func TestParallelismWithinStage(t *testing.T) {
+	e := New(Config{Executors: 8})
+	slow := func(in []byte) []byte {
+		time.Sleep(20 * time.Millisecond)
+		return in
+	}
+	inputs := make([][]byte, 8)
+	start := time.Now()
+	e.RunStage([]Task{slow}, inputs)
+	if elapsed := time.Since(start); elapsed > 120*time.Millisecond {
+		t.Fatalf("no parallelism: 8x20ms took %v", elapsed)
+	}
+}
+
+func TestBytesShippedGrowsWithInput(t *testing.T) {
+	e := New(Config{Executors: 1})
+	noop := func(in []byte) []byte { return in }
+	e.RunStage([]Task{noop}, [][]byte{make([]byte, 1000)})
+	small := e.BytesShipped()
+	e.RunStage([]Task{noop}, [][]byte{make([]byte, 100000)})
+	if e.BytesShipped()-small < 90000 {
+		t.Fatal("shipping cost does not scale with input size")
+	}
+}
+
+func TestEmptyInputsUsesTaskCount(t *testing.T) {
+	e := New(Config{Executors: 2})
+	n := 0
+	counter := func(in []byte) []byte { n++; return nil }
+	out := e.RunStage([]Task{counter, counter, counter}, nil)
+	if len(out) != 3 {
+		t.Fatalf("outputs = %d", len(out))
+	}
+}
+
+func TestExecutorClampAndDefaults(t *testing.T) {
+	e := New(Config{Executors: 0})
+	out := e.RunStage([]Task{func(in []byte) []byte { return []byte{9} }}, [][]byte{{1}})
+	if out[0][0] != 9 {
+		t.Fatal("single-executor engine broken")
+	}
+}

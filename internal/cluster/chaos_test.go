@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scheduler"
+	"repro/internal/types"
+)
+
+// TestChaosKillsDuringWorkload submits a steady stream of dependent task
+// chains while nodes are killed mid-flight. Every result must still come
+// back correct: in-flight tasks on dead nodes are re-owned via the task
+// table's CAS transitions, lost objects replay from lineage, and the global
+// scheduler routes around the shrinking cluster (R6 under fire, not just
+// after the dust settles).
+func TestChaosKillsDuringWorkload(t *testing.T) {
+	reg := core.NewRegistry()
+	step := core.Register1(reg, "chaos.step", func(tc *core.TaskContext, x int) (int, error) {
+		time.Sleep(2 * time.Millisecond) // long enough for kills to land mid-task
+		return x + 1, nil
+	})
+	c, err := New(Config{
+		Nodes:          4,
+		NodeResources:  types.CPU(2),
+		Registry:       reg,
+		SpillThreshold: SpillThresholdOf(0),
+		GlobalPolicy:   &scheduler.RoundRobinPolicy{}, // spread work to all victims
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	d := c.Driver()
+
+	// 16 chains of depth 4: +1 four times from distinct bases.
+	const chains, depth = 16, 4
+	tails := make([]core.Ref[int], chains)
+	for i := 0; i < chains; i++ {
+		ref, err := step.Remote(d, i*100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k < depth; k++ {
+			ref, err = step.RemoteRef(d, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		tails[i] = ref
+	}
+
+	// Kill two non-driver nodes while the chains execute.
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		c.KillNode(3)
+		time.Sleep(10 * time.Millisecond)
+		c.KillNode(2)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i, ref := range tails {
+		v, err := core.Get(ctx, d, ref)
+		if err != nil {
+			t.Fatalf("chain %d after chaos: %v", i, err)
+		}
+		if want := i*100 + depth; v != want {
+			t.Fatalf("chain %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestChaosRepeatedKillsWithRetries layers application-level retries on top
+// of node failures: tasks that fail transiently on their own must still
+// converge while the cluster loses a node.
+func TestChaosRepeatedKillsWithRetries(t *testing.T) {
+	reg := core.NewRegistry()
+	attempts := make(chan struct{}, 1024)
+	flaky := core.Register1(reg, "chaos.flaky", func(tc *core.TaskContext, x int) (int, error) {
+		attempts <- struct{}{}
+		if len(attempts)%5 == 1 { // deterministic-ish transient failures
+			return 0, errTransient
+		}
+		return x * 2, nil
+	})
+	c, err := New(Config{
+		Nodes:          3,
+		NodeResources:  types.CPU(2),
+		Registry:       reg,
+		SpillThreshold: SpillThresholdOf(0),
+		GlobalPolicy:   &scheduler.RoundRobinPolicy{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	d := c.Driver()
+	var refs []core.Ref[int]
+	for i := 0; i < 12; i++ {
+		ref, err := flaky.Remote(d, i, core.WithRetries(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		c.KillNode(2)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i, ref := range refs {
+		v, err := core.Get(ctx, d, ref)
+		if err != nil {
+			t.Fatalf("flaky %d: %v", i, err)
+		}
+		if v != i*2 {
+			t.Fatalf("flaky %d = %d", i, v)
+		}
+	}
+}
+
+var errTransient = errTransientType{}
+
+type errTransientType struct{}
+
+func (errTransientType) Error() string { return "transient chaos failure" }

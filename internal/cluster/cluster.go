@@ -1,0 +1,213 @@
+// Package cluster bootstraps complete clusters: N nodes, a sharded control
+// plane, one or more global schedulers, and a driver client — the whole of
+// the paper's Figure 3 in one call. The default mode is in-process (nodes
+// as goroutine collections, network with injected hop latency), which is
+// what the test suite and benchmark harness use; cmd/raynode assembles the
+// same pieces across OS processes over TCP.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/gcs"
+	"repro/internal/node"
+	"repro/internal/scheduler"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Config describes an in-process cluster.
+type Config struct {
+	// Nodes is the node count (default 1).
+	Nodes int
+	// NodeResources is each node's capacity (default {CPU:8}).
+	NodeResources types.Resources
+	// PerNodeResources overrides NodeResources per index when non-nil
+	// (heterogeneous clusters, R4).
+	PerNodeResources []types.Resources
+	// Shards is the control-plane shard count (default 8).
+	Shards int
+	// HopLatency is the one-way network delay between nodes (default 0).
+	HopLatency time.Duration
+	// SpillThreshold is each local scheduler's backlog bound before
+	// spilling to the global scheduler. Default: SpillNever for single-node
+	// clusters, 2x the node's CPU count otherwise.
+	SpillThreshold *int
+	// StoreCapacity bounds each node's object store; 0 = unlimited.
+	StoreCapacity int64
+	// GlobalPolicy selects the placement policy (default locality-aware).
+	GlobalPolicy scheduler.Policy
+	// GlobalSchedulers is how many global scheduler instances run
+	// (default 1; the architecture allows "one or more").
+	GlobalSchedulers int
+	// Registry holds the remote functions every node's workers can run.
+	Registry *core.Registry
+	// HeartbeatInterval for node load reports (default 20ms).
+	HeartbeatInterval time.Duration
+	// DepPollInterval for local schedulers (default from scheduler pkg).
+	DepPollInterval time.Duration
+	// DisableEventLog turns off control-plane event logging (E13 measures
+	// the difference).
+	DisableEventLog bool
+}
+
+// Cluster is a running in-process cluster.
+type Cluster struct {
+	Ctrl    *gcs.Store
+	Network *transport.Inproc
+	Globals []*scheduler.Global
+
+	nodes []*node.Node
+
+	mu      sync.Mutex
+	clients map[string]transport.Client
+}
+
+// New boots a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.NodeResources == nil {
+		cfg.NodeResources = types.CPU(8)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("cluster: Registry is required")
+	}
+	if cfg.GlobalSchedulers <= 0 {
+		cfg.GlobalSchedulers = 1
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 20 * time.Millisecond
+	}
+
+	c := &Cluster{
+		Ctrl:    gcs.NewStore(cfg.Shards),
+		Network: transport.NewInproc(cfg.HopLatency),
+		clients: make(map[string]transport.Client),
+	}
+	c.Ctrl.SetEventLogging(!cfg.DisableEventLog)
+
+	for i := 0; i < cfg.Nodes; i++ {
+		res := cfg.NodeResources
+		if cfg.PerNodeResources != nil && i < len(cfg.PerNodeResources) && cfg.PerNodeResources[i] != nil {
+			res = cfg.PerNodeResources[i]
+		}
+		spill := spillDefault(cfg, res)
+		n, err := node.New(node.Config{
+			Resources:         res.Clone(),
+			StoreCapacity:     cfg.StoreCapacity,
+			SpillThreshold:    spill,
+			Network:           c.Network,
+			ListenAddr:        fmt.Sprintf("node-%d", i),
+			Ctrl:              c.Ctrl,
+			Registry:          cfg.Registry,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			DepPollInterval:   cfg.DepPollInterval,
+		})
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+	}
+
+	for i := 0; i < cfg.GlobalSchedulers; i++ {
+		g := scheduler.NewGlobal(scheduler.GlobalConfig{
+			Ctrl:   c.Ctrl,
+			Policy: cfg.GlobalPolicy,
+			Assign: c.assign,
+		})
+		g.Start()
+		c.Globals = append(c.Globals, g)
+	}
+	return c, nil
+}
+
+func spillDefault(cfg Config, res types.Resources) int {
+	if cfg.SpillThreshold != nil {
+		return *cfg.SpillThreshold
+	}
+	if cfg.Nodes == 1 {
+		return scheduler.SpillNever
+	}
+	return int(2 * res[types.ResCPU])
+}
+
+// SpillThresholdOf is a convenience for building Config.SpillThreshold.
+func SpillThresholdOf(v int) *int { return &v }
+
+// assign delivers a global placement over the cluster network.
+func (c *Cluster) assign(nid types.NodeID, addr string, spec types.TaskSpec) error {
+	client, err := c.client(addr)
+	if err != nil {
+		return err
+	}
+	_, err = client.Call(node.AssignMethod, codec.MustEncode(spec))
+	return err
+}
+
+func (c *Cluster) client(addr string) (transport.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.clients[addr]; ok {
+		return cl, nil
+	}
+	cl, err := c.Network.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.clients[addr] = cl
+	return cl, nil
+}
+
+// Node returns the i-th node.
+func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
+
+// NumNodes returns the node count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Driver returns a fresh driver client attached to node 0.
+func (c *Cluster) Driver() *core.Client { return core.NewClient(c.nodes[0]) }
+
+// DriverOn returns a driver attached to node i.
+func (c *Cluster) DriverOn(i int) *core.Client { return core.NewClient(c.nodes[i]) }
+
+// KillNode crash-fails node i (fault injection, R6). The control plane
+// learns immediately, as if a monitor had detected the missed heartbeats.
+func (c *Cluster) KillNode(i int) {
+	c.nodes[i].Kill()
+	c.dropClientFor(c.nodes[i].Addr())
+}
+
+func (c *Cluster) dropClientFor(addr string) {
+	c.mu.Lock()
+	if cl, ok := c.clients[addr]; ok {
+		cl.Close()
+		delete(c.clients, addr)
+	}
+	c.mu.Unlock()
+}
+
+// Shutdown stops every component.
+func (c *Cluster) Shutdown() {
+	for _, g := range c.Globals {
+		g.Stop()
+	}
+	for _, n := range c.nodes {
+		n.Shutdown()
+	}
+	c.mu.Lock()
+	for addr, cl := range c.clients {
+		cl.Close()
+		delete(c.clients, addr)
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/types"
+)
+
+// TestDataflowOrderingInvariant checks the dataflow execution model's
+// defining property (Section 3.1: "tasks become available for execution if
+// and only if their dependencies have finished executing") over a randomly
+// shaped DAG, using only the control plane's own records: for every
+// finished task, its start timestamp must not precede the finish timestamp
+// of any task producing one of its reference arguments. The profiling
+// machinery (R7) doubles as the verification oracle.
+func TestDataflowOrderingInvariant(t *testing.T) {
+	reg := core.NewRegistry()
+	combine := core.Register2(reg, "combine", func(tc *core.TaskContext, a, b int) (int, error) {
+		time.Sleep(time.Millisecond)
+		return a + b + 1, nil
+	})
+	c, err := New(Config{Nodes: 2, NodeResources: types.CPU(4), Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	d := c.Driver()
+
+	// Build a layered DAG: each layer combines pseudo-random pairs from the
+	// previous layer.
+	const width, depth = 6, 5
+	layer := make([]core.Ref[int], width)
+	for i := range layer {
+		r, err := combine.Remote(d, i, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layer[i] = r
+	}
+	rngState := uint64(42)
+	next := func(n int) int {
+		rngState ^= rngState << 13
+		rngState ^= rngState >> 7
+		rngState ^= rngState << 17
+		return int(rngState % uint64(n))
+	}
+	var all []core.Ref[int]
+	all = append(all, layer...)
+	for l := 1; l < depth; l++ {
+		newLayer := make([]core.Ref[int], width)
+		for i := range newLayer {
+			a, b := layer[next(width)], layer[next(width)]
+			r, err := combine.RemoteRefs(d, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			newLayer[i] = r
+		}
+		layer = newLayer
+		all = append(all, layer...)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	raw := make([]core.ObjectRef, len(all))
+	for i, r := range all {
+		raw[i] = r.Untyped()
+	}
+	ready, _, err := d.Wait(ctx, raw, len(raw), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ready) != len(all) {
+		t.Fatalf("only %d/%d tasks completed", len(ready), len(all))
+	}
+
+	// Verify the invariant from control-plane records alone.
+	tl := profile.Build(c.Ctrl)
+	finishByTask := make(map[types.TaskID]int64)
+	for _, s := range tl.Spans {
+		finishByTask[s.Task] = s.FinishedNs
+	}
+	checked := 0
+	for _, ts := range c.Ctrl.Tasks() {
+		if ts.Status != types.TaskFinished {
+			t.Fatalf("task %v not finished: %v", ts.Spec.ID, ts.Status)
+		}
+		for _, dep := range ts.Spec.Deps() {
+			obj, ok := c.Ctrl.GetObject(dep)
+			if !ok || obj.Producer.IsNil() {
+				continue
+			}
+			producerFinish, ok := finishByTask[obj.Producer]
+			if !ok {
+				t.Fatalf("producer of %v missing from timeline", dep)
+			}
+			if ts.StartedNs < producerFinish {
+				t.Fatalf("task %v started at %d before dependency producer %v finished at %d",
+					ts.Spec.ID, ts.StartedNs, obj.Producer, producerFinish)
+			}
+			checked++
+		}
+	}
+	if checked < width*(depth-1)*2 {
+		t.Fatalf("only %d dependency edges verified", checked)
+	}
+}

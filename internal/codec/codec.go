@@ -1,0 +1,89 @@
+// Package codec serializes values crossing task boundaries. Every task
+// argument and return value is stored in the object store as bytes, exactly
+// as the paper's prototype serialized Python values into its shared-memory
+// store; this package is the Go equivalent, built on encoding/gob with a
+// raw-bytes fast path for values that are already bytes.
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Tag bytes distinguish the two wire forms. Gob payloads carry their own
+// type information after the tag; raw payloads are opaque.
+const (
+	tagGob  = 0x01
+	tagRaw  = 0x02
+	tagNull = 0x03
+)
+
+// Encode serializes v. []byte values take the zero-copy raw path.
+func Encode(v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return []byte{tagNull}, nil
+	case []byte:
+		out := make([]byte, 1+len(x))
+		out[0] = tagRaw
+		copy(out[1:], x)
+		return out, nil
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(tagGob)
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("codec: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// MustEncode is Encode but panics on error; for values known serializable.
+func MustEncode(v any) []byte {
+	b, err := Encode(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Decode deserializes data into out, which must be a non-nil pointer.
+// Raw payloads require out to be *[]byte; null payloads leave out untouched.
+func Decode(data []byte, out any) error {
+	if len(data) == 0 {
+		return fmt.Errorf("codec: empty payload")
+	}
+	switch data[0] {
+	case tagNull:
+		return nil
+	case tagRaw:
+		p, ok := out.(*[]byte)
+		if !ok {
+			return fmt.Errorf("codec: raw payload requires *[]byte, got %T", out)
+		}
+		*p = append((*p)[:0], data[1:]...)
+		return nil
+	case tagGob:
+		if err := gob.NewDecoder(bytes.NewReader(data[1:])).Decode(out); err != nil {
+			return fmt.Errorf("codec: decode into %T: %w", out, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("codec: unknown tag 0x%02x", data[0])
+	}
+}
+
+// DecodeAs is the generic convenience form of Decode.
+func DecodeAs[T any](data []byte) (T, error) {
+	var v T
+	// Special-case []byte so DecodeAs[[]byte] hits the raw path.
+	if p, ok := any(&v).(*[]byte); ok {
+		err := Decode(data, p)
+		return v, err
+	}
+	err := Decode(data, &v)
+	return v, err
+}
+
+// EncodeAs is the generic convenience form of Encode (for symmetry).
+func EncodeAs[T any](v T) ([]byte, error) { return Encode(v) }

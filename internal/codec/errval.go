@@ -1,0 +1,24 @@
+package codec
+
+// Error values: when a task fails, the system stores a tagged error payload
+// under each of the task's return object IDs so that any Get on those
+// futures surfaces the failure instead of blocking forever. This mirrors
+// how the paper's prototype propagated exceptions through futures.
+
+const tagErrVal = 0x04
+
+// EncodeError builds an error payload carrying msg.
+func EncodeError(msg string) []byte {
+	out := make([]byte, 1+len(msg))
+	out[0] = tagErrVal
+	copy(out[1:], msg)
+	return out
+}
+
+// AsError reports whether data is an error payload, and if so its message.
+func AsError(data []byte) (string, bool) {
+	if len(data) == 0 || data[0] != tagErrVal {
+		return "", false
+	}
+	return string(data[1:]), true
+}

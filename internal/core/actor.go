@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/types"
+)
+
+// Actor support — the natural extension of the paper's model to stateful
+// computation (what Ray added immediately after HotOS '17). An actor here
+// is a chain of state-passing tasks: the actor's state is an object in the
+// object store, and every method call is a task taking the current state
+// future plus the call arguments and returning (new state, result). The
+// handle threads the state future through calls, which gives three
+// properties for free:
+//
+//   - Serialized execution: method k+1 depends on method k's state output,
+//     so calls execute in submission order without locks.
+//   - Locality: the placement policy favours the node holding the state
+//     bytes, so an actor "stays" where its state is.
+//   - Fault tolerance: state is lineage-tracked like any object; a lost
+//     actor state is rebuilt by replaying its method chain (R6), with no
+//     extra machinery.
+type Actor struct {
+	mu    sync.Mutex
+	state ObjectRef
+	sub   Submitter
+}
+
+// NewActor creates an actor whose initial state is the value v. The state
+// is stored via an `actor.init` bootstrap task rather than a bare Put so
+// that it has lineage and can be reconstructed after failures.
+func NewActor(sub Submitter, initFn string, args ...types.Arg) (*Actor, error) {
+	refs, err := sub.Submit(Call{Function: initFn, Args: args, NumReturns: 1})
+	if err != nil {
+		return nil, fmt.Errorf("core: actor init: %w", err)
+	}
+	return &Actor{state: refs[0], sub: sub}, nil
+}
+
+// StateRef returns the future of the actor's current state (after all
+// submitted calls).
+func (a *Actor) StateRef() ObjectRef {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.state
+}
+
+// Call invokes an actor method: a task whose first argument is the current
+// state future and whose two returns are (new state, result). It returns
+// the result future without blocking; the state future advances so the next
+// Call chains behind this one.
+func (a *Actor) Call(method string, args ...types.Arg) (ObjectRef, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	callArgs := append([]types.Arg{types.RefArg(a.state.ID)}, args...)
+	refs, err := a.sub.Submit(Call{Function: method, Args: callArgs, NumReturns: 2})
+	if err != nil {
+		return ObjectRef{}, err
+	}
+	a.state = refs[0]
+	return refs[1], nil
+}
+
+// RegisterActorInit registers an actor constructor: a function producing
+// the initial state. Use its name with NewActor.
+func RegisterActorInit[S any](reg *Registry, name string, fn func(tc *TaskContext) (S, error)) string {
+	reg.Register(name, func(tc *TaskContext, args [][]byte) ([][]byte, error) {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("core: actor init %s expects 0 args", name)
+		}
+		s, err := fn(tc)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := codec.Encode(s)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{enc}, nil
+	})
+	return name
+}
+
+// RegisterActorMethod registers a state-transforming method of one
+// argument. The wire shape is args=[state, arg] -> [newState, result].
+func RegisterActorMethod[S, A, R any](reg *Registry, name string, fn func(tc *TaskContext, state S, arg A) (S, R, error)) string {
+	reg.Register(name, func(tc *TaskContext, args [][]byte) ([][]byte, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("core: actor method %s expects state + 1 arg, got %d", name, len(args))
+		}
+		state, err := codec.DecodeAs[S](args[0])
+		if err != nil {
+			return nil, fmt.Errorf("core: %s state: %w", name, err)
+		}
+		arg, err := codec.DecodeAs[A](args[1])
+		if err != nil {
+			return nil, fmt.Errorf("core: %s arg: %w", name, err)
+		}
+		next, result, err := fn(tc, state, arg)
+		if err != nil {
+			return nil, err
+		}
+		encState, err := codec.Encode(next)
+		if err != nil {
+			return nil, err
+		}
+		encResult, err := codec.Encode(result)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{encState, encResult}, nil
+	})
+	return name
+}

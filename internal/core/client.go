@@ -1,0 +1,359 @@
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/gcs"
+	"repro/internal/types"
+)
+
+// Backend is what the API needs from the node it runs on. node.Node is the
+// production implementation; tests may substitute fakes.
+type Backend interface {
+	// SubmitTask hands a task to the node's local scheduler (bottom-up
+	// scheduling: locally-born work goes to the local scheduler first).
+	SubmitTask(spec types.TaskSpec) error
+	// ResolveObject blocks until the object's bytes are locally available,
+	// fetching from peers and triggering lineage reconstruction as needed.
+	ResolveObject(ctx context.Context, id types.ObjectID) ([]byte, error)
+	// ObjectLocal reports whether the object is already in the local store.
+	ObjectLocal(id types.ObjectID) bool
+	// PutObject stores bytes directly (driver- or task-created objects).
+	PutObject(id types.ObjectID, data []byte) error
+	// Control exposes the control plane.
+	Control() gcs.API
+	// NodeID identifies the backing node.
+	NodeID() types.NodeID
+}
+
+// Call describes one task invocation.
+type Call struct {
+	Function   string
+	Args       []types.Arg
+	NumReturns int             // 0 means 1
+	Resources  types.Resources // nil means {CPU:1}
+	MaxRetries int
+}
+
+// DefaultTaskResources is the demand assumed when a Call leaves Resources
+// nil, mirroring the paper's prototype (every task occupies one CPU unless
+// it declares otherwise).
+var DefaultTaskResources = types.CPU(1)
+
+// ErrTaskFailed wraps application-level task failures surfaced through Get.
+var ErrTaskFailed = errors.New("core: task failed")
+
+// caller is the shared submission state behind Client and TaskContext: the
+// owning task identity plus its child-submission counter. The counter is
+// what makes child task IDs deterministic under replay (DESIGN.md §4.1).
+type caller struct {
+	backend Backend
+	owner   types.TaskID
+	counter atomic.Uint64
+	puts    atomic.Uint64
+	// blockHook, when non-nil, brackets blocking operations so the node can
+	// release the task's resources while it waits (worker lending).
+	blockHook func(blocked bool)
+}
+
+func (c *caller) enterBlocked() {
+	if c.blockHook != nil {
+		c.blockHook(true)
+	}
+}
+
+func (c *caller) exitBlocked() {
+	if c.blockHook != nil {
+		c.blockHook(false)
+	}
+}
+
+// submit implements task creation (Section 3.1, items 1-3): it derives the
+// deterministic task ID, validates, hands the spec to the local scheduler,
+// and returns futures immediately without waiting for execution.
+func (c *caller) submit(call Call) ([]ObjectRef, error) {
+	if call.NumReturns == 0 {
+		call.NumReturns = 1
+	}
+	res := call.Resources
+	if res == nil {
+		res = DefaultTaskResources.Clone()
+	}
+	idx := c.counter.Add(1)
+	spec := types.TaskSpec{
+		ID:          types.DeriveTaskID(c.owner, idx),
+		Function:    call.Function,
+		Args:        call.Args,
+		NumReturns:  call.NumReturns,
+		Resources:   res,
+		Parent:      c.owner,
+		SubmitIndex: idx,
+		MaxRetries:  call.MaxRetries,
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.backend.SubmitTask(spec); err != nil {
+		return nil, err
+	}
+	refs := make([]ObjectRef, call.NumReturns)
+	for i := range refs {
+		refs[i] = ObjectRef{ID: spec.ReturnID(i)}
+	}
+	return refs, nil
+}
+
+// get implements Section 3.1 item 4: block until the future's value is
+// available and return it.
+func (c *caller) get(ctx context.Context, ref ObjectRef) ([]byte, error) {
+	if ref.IsNil() {
+		return nil, fmt.Errorf("core: Get on nil ref")
+	}
+	if data, ok := tryLocal(c.backend, ref.ID); ok {
+		return checkErrPayload(data)
+	}
+	c.enterBlocked()
+	defer c.exitBlocked()
+	data, err := c.backend.ResolveObject(ctx, ref.ID)
+	if err != nil {
+		return nil, err
+	}
+	return checkErrPayload(data)
+}
+
+// checkErrPayload surfaces stored task failures through Get (a failed
+// task's return objects hold tagged error payloads; see worker.Executor).
+func checkErrPayload(data []byte) ([]byte, error) {
+	if msg, isErr := codec.AsError(data); isErr {
+		return nil, fmt.Errorf("%w: %s", ErrTaskFailed, msg)
+	}
+	return data, nil
+}
+
+func tryLocal(b Backend, id types.ObjectID) ([]byte, bool) {
+	if !b.ObjectLocal(id) {
+		return nil, false
+	}
+	// ResolveObject on a local object returns immediately; reuse it to get
+	// the bytes without duplicating store access on the Backend interface.
+	data, err := b.ResolveObject(context.Background(), id)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// put stores a value directly and returns its future (used for broadcast
+// data such as model weights). Put objects have no producing task, so they
+// are not reconstructable after failures — same caveat as the prototype.
+func (c *caller) put(v any) (ObjectRef, error) {
+	data, err := codec.Encode(v)
+	if err != nil {
+		return ObjectRef{}, err
+	}
+	id := types.PutObjectID(c.owner, c.puts.Add(1))
+	if err := c.backend.PutObject(id, data); err != nil {
+		return ObjectRef{}, err
+	}
+	return ObjectRef{ID: id}, nil
+}
+
+// wait implements Section 3.1 item 5: block until numReturns of the given
+// futures are complete or the timeout expires, and return the completed and
+// uncompleted subsets. Completion means the object is ready anywhere in the
+// cluster — wait never forces a transfer, which is what lets developers use
+// it to bound latency without paying for stragglers (R1).
+func (c *caller) wait(ctx context.Context, refs []ObjectRef, numReturns int, timeout time.Duration) (ready, pending []ObjectRef, err error) {
+	if numReturns < 0 || numReturns > len(refs) {
+		return nil, nil, fmt.Errorf("core: Wait numReturns %d out of range [0,%d]", numReturns, len(refs))
+	}
+	ctrl := c.backend.Control()
+
+	var deadline <-chan time.Time
+	if timeout >= 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+
+	c.enterBlocked()
+	defer c.exitBlocked()
+
+	isReady := func(id types.ObjectID) bool {
+		if c.backend.ObjectLocal(id) {
+			return true
+		}
+		info, ok := ctrl.GetObject(id)
+		return ok && info.State == types.ObjectReady
+	}
+
+	done := make(map[types.ObjectID]bool, len(refs))
+	countReady := func() int {
+		n := 0
+		for _, r := range refs {
+			if done[r.ID] {
+				n++
+				continue
+			}
+			if isReady(r.ID) {
+				done[r.ID] = true
+				n++
+			}
+		}
+		return n
+	}
+
+	// Subscribe before the first scan so no ready transition is missed.
+	subs := make([]gcs.Sub, 0, len(refs))
+	defer func() {
+		for _, s := range subs {
+			s.Close()
+		}
+	}()
+	any := make(chan struct{}, 1)
+	for _, r := range refs {
+		sub := ctrl.SubscribeObjectReady(r.ID)
+		subs = append(subs, sub)
+		go func(s gcs.Sub) {
+			for range s.C() {
+				select {
+				case any <- struct{}{}:
+				default:
+				}
+			}
+		}(sub)
+	}
+
+	poll := time.NewTicker(2 * time.Millisecond)
+	defer poll.Stop()
+	for {
+		if countReady() >= numReturns {
+			break
+		}
+		select {
+		case <-any:
+		case <-poll.C: // safety net against missed edges
+		case <-deadline:
+			goto out
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+out:
+	for _, r := range refs {
+		if done[r.ID] {
+			ready = append(ready, r)
+		} else {
+			pending = append(pending, r)
+		}
+	}
+	return ready, pending, nil
+}
+
+// Client is the driver's handle to the cluster: the root of the task tree.
+type Client struct {
+	caller
+}
+
+// NewClient creates a driver client over a backend with a random root task
+// identity.
+func NewClient(b Backend) *Client {
+	var root types.TaskID
+	if _, err := rand.Read(root[:]); err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return NewClientWithRoot(b, root)
+}
+
+// NewClientWithRoot creates a driver with a fixed root identity; tests use
+// it for deterministic task IDs.
+func NewClientWithRoot(b Backend, root types.TaskID) *Client {
+	c := &Client{}
+	c.backend = b
+	c.owner = root
+	return c
+}
+
+// Submit creates a task and immediately returns its futures (non-blocking).
+func (cl *Client) Submit(call Call) ([]ObjectRef, error) { return cl.submit(call) }
+
+// Submit1 is Submit for the common single-return case.
+func (cl *Client) Submit1(call Call) (ObjectRef, error) {
+	call.NumReturns = 1
+	refs, err := cl.submit(call)
+	if err != nil {
+		return ObjectRef{}, err
+	}
+	return refs[0], nil
+}
+
+// Get blocks until the future completes and returns its encoded bytes.
+func (cl *Client) Get(ctx context.Context, ref ObjectRef) ([]byte, error) { return cl.get(ctx, ref) }
+
+// Wait blocks until numReturns futures complete or timeout elapses.
+// A negative timeout means wait indefinitely.
+func (cl *Client) Wait(ctx context.Context, refs []ObjectRef, numReturns int, timeout time.Duration) (ready, pending []ObjectRef, err error) {
+	return cl.wait(ctx, refs, numReturns, timeout)
+}
+
+// Put stores a value in the local object store and returns its future.
+func (cl *Client) Put(v any) (ObjectRef, error) { return cl.put(v) }
+
+// Backend exposes the underlying backend (examples and tools use it).
+func (cl *Client) Backend() Backend { return cl.backend }
+
+// TaskContext is the API handed to executing tasks. It mirrors Client — a
+// running task can submit new tasks, get, wait, and put — which is exactly
+// requirement R3 (dynamic task creation from within tasks).
+type TaskContext struct {
+	caller
+	spec types.TaskSpec
+	ctx  context.Context
+}
+
+// NewTaskContext is used by the executor to set up a task's API handle.
+// blockHook may be nil.
+func NewTaskContext(ctx context.Context, b Backend, spec types.TaskSpec, blockHook func(bool)) *TaskContext {
+	tc := &TaskContext{spec: spec, ctx: ctx}
+	tc.backend = b
+	tc.owner = spec.ID
+	tc.blockHook = blockHook
+	return tc
+}
+
+// Context returns the execution context (cancelled on node shutdown).
+func (tc *TaskContext) Context() context.Context { return tc.ctx }
+
+// Spec returns the executing task's spec.
+func (tc *TaskContext) Spec() types.TaskSpec { return tc.spec }
+
+// Submit creates a child task (non-blocking, R3).
+func (tc *TaskContext) Submit(call Call) ([]ObjectRef, error) { return tc.submit(call) }
+
+// Submit1 is Submit for the single-return case.
+func (tc *TaskContext) Submit1(call Call) (ObjectRef, error) {
+	call.NumReturns = 1
+	refs, err := tc.submit(call)
+	if err != nil {
+		return ObjectRef{}, err
+	}
+	return refs[0], nil
+}
+
+// Get blocks on a future. While blocked, the task's resources are released
+// back to the local scheduler so nested tasks cannot deadlock the node.
+func (tc *TaskContext) Get(ref ObjectRef) ([]byte, error) { return tc.get(tc.ctx, ref) }
+
+// Wait is the straggler-tolerant completion primitive (Section 3.1 item 5).
+func (tc *TaskContext) Wait(refs []ObjectRef, numReturns int, timeout time.Duration) (ready, pending []ObjectRef, err error) {
+	return tc.wait(tc.ctx, refs, numReturns, timeout)
+}
+
+// Put stores a value and returns its future.
+func (tc *TaskContext) Put(v any) (ObjectRef, error) { return tc.put(v) }

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Function is the uniform execution-kernel signature (paper R4: arbitrary
+// execution kernels). Argument values arrive as encoded bytes — reference
+// arguments already resolved to the referenced object's bytes — and the
+// function returns one encoded value per declared return.
+type Function func(tc *TaskContext, args [][]byte) ([][]byte, error)
+
+// Registry maps function names to implementations. Each worker process
+// holds a registry; the control plane's function table records which names
+// exist cluster-wide.
+type Registry struct {
+	mu  sync.RWMutex
+	fns map[string]Function
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fns: make(map[string]Function)}
+}
+
+// Register adds fn under name. Duplicate names panic: function identity
+// must be stable for lineage replay to be meaningful.
+func (r *Registry) Register(name string, fn Function) {
+	if name == "" || fn == nil {
+		panic("core: Register requires a name and a function")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fns[name]; dup {
+		panic(fmt.Sprintf("core: function %q already registered", name))
+	}
+	r.fns[name] = fn
+}
+
+// Lookup returns the function registered under name.
+func (r *Registry) Lookup(name string) (Function, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.fns[name]
+	return fn, ok
+}
+
+// Names returns the registered function names (for tooling).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.fns))
+	for name := range r.fns {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+// Package dashboard implements the "Web UI / Debugging Tools / Profiling
+// Tools" box of the paper's Figure 3 (R7): an HTTP surface over the
+// centralized control plane. Because all system state lives in the control
+// plane, the dashboard is a pure reader — it can attach to any running
+// cluster without coordination.
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/gcs"
+	"repro/internal/profile"
+	"repro/internal/types"
+)
+
+// Handler serves the dashboard endpoints:
+//
+//	GET /api/nodes     — node table with liveness and load
+//	GET /api/tasks     — task table (status, timing, placement)
+//	GET /api/objects   — object table (size, locations, state)
+//	GET /api/functions — registered remote functions
+//	GET /api/events    — raw event log
+//	GET /api/profile   — per-function summary statistics
+//	GET /api/trace     — Chrome trace-event JSON of the whole timeline
+//	GET /              — plain-text overview
+func Handler(ctrl gcs.API) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, nodesView(ctrl))
+	})
+	mux.HandleFunc("/api/tasks", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, tasksView(ctrl))
+	})
+	mux.HandleFunc("/api/objects", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, objectsView(ctrl))
+	})
+	mux.HandleFunc("/api/functions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ctrl.Functions())
+	})
+	mux.HandleFunc("/api/events", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, eventsView(ctrl))
+	})
+	mux.HandleFunc("/api/profile", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, profile.Build(ctrl).Summarize())
+	})
+	mux.HandleFunc("/api/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = profile.Build(ctrl).ExportChromeTrace(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		overview(ctrl, w)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// NodeView is the JSON shape of one node row.
+type NodeView struct {
+	ID        string          `json:"id"`
+	Addr      string          `json:"addr"`
+	Alive     bool            `json:"alive"`
+	Total     types.Resources `json:"total"`
+	Available types.Resources `json:"available"`
+	QueueLen  int             `json:"queue_len"`
+	LastSeen  int64           `json:"last_seen_ns"`
+}
+
+func nodesView(ctrl gcs.API) []NodeView {
+	var out []NodeView
+	for _, n := range ctrl.Nodes() {
+		out = append(out, NodeView{
+			ID: n.ID.String(), Addr: n.Addr, Alive: n.Alive,
+			Total: n.Total, Available: n.Available,
+			QueueLen: n.QueueLen, LastSeen: n.LastSeen,
+		})
+	}
+	return out
+}
+
+// TaskView is the JSON shape of one task row.
+type TaskView struct {
+	ID       string  `json:"id"`
+	Function string  `json:"function"`
+	Status   string  `json:"status"`
+	Node     string  `json:"node"`
+	Error    string  `json:"error,omitempty"`
+	Retries  int     `json:"retries,omitempty"`
+	E2EMs    float64 `json:"e2e_ms"`
+}
+
+func tasksView(ctrl gcs.API) []TaskView {
+	var out []TaskView
+	for _, t := range ctrl.Tasks() {
+		var e2e float64
+		if t.FinishedNs > 0 {
+			e2e = float64(t.FinishedNs-t.SubmittedNs) / 1e6
+		}
+		out = append(out, TaskView{
+			ID: t.Spec.ID.String(), Function: t.Spec.Function,
+			Status: t.Status.String(), Node: t.Node.String(),
+			Error: t.Error, Retries: t.Retries, E2EMs: e2e,
+		})
+	}
+	return out
+}
+
+// ObjectView is the JSON shape of one object row.
+type ObjectView struct {
+	ID        string   `json:"id"`
+	Size      int64    `json:"size"`
+	State     string   `json:"state"`
+	Producer  string   `json:"producer"`
+	Locations []string `json:"locations"`
+}
+
+func objectsView(ctrl gcs.API) []ObjectView {
+	var out []ObjectView
+	for _, o := range ctrl.Objects() {
+		locs := make([]string, len(o.Locations))
+		for i, l := range o.Locations {
+			locs[i] = l.String()
+		}
+		out = append(out, ObjectView{
+			ID: o.ID.String(), Size: o.Size, State: o.State.String(),
+			Producer: o.Producer.String(), Locations: locs,
+		})
+	}
+	return out
+}
+
+// EventView is the JSON shape of one event-log entry.
+type EventView struct {
+	TimeNs int64  `json:"t_ns"`
+	Kind   string `json:"kind"`
+	Task   string `json:"task,omitempty"`
+	Object string `json:"object,omitempty"`
+	Node   string `json:"node,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func eventsView(ctrl gcs.API) []EventView {
+	var out []EventView
+	for _, e := range ctrl.Events() {
+		ev := EventView{TimeNs: e.TimeNs, Kind: e.Kind, Detail: e.Detail}
+		if !e.Task.IsNil() {
+			ev.Task = e.Task.String()
+		}
+		if !e.Object.IsNil() {
+			ev.Object = e.Object.String()
+		}
+		if !e.Node.IsNil() {
+			ev.Node = e.Node.String()
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func overview(ctrl gcs.API, w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	nodes := ctrl.Nodes()
+	alive := 0
+	for _, n := range nodes {
+		if n.Alive {
+			alive++
+		}
+	}
+	tasks := ctrl.Tasks()
+	byStatus := map[types.TaskStatus]int{}
+	for _, t := range tasks {
+		byStatus[t.Status]++
+	}
+	fmt.Fprintf(w, "cluster overview @ %v\n", time.Duration(ctrl.NowNs()))
+	fmt.Fprintf(w, "nodes: %d (%d alive)\n", len(nodes), alive)
+	fmt.Fprintf(w, "tasks: %d total", len(tasks))
+	for _, st := range []types.TaskStatus{types.TaskPending, types.TaskQueued, types.TaskScheduled, types.TaskRunning, types.TaskFinished, types.TaskLost, types.TaskFailed} {
+		if n := byStatus[st]; n > 0 {
+			fmt.Fprintf(w, "  %s=%d", st, n)
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "objects: %d, functions: %d, events: %d\n",
+		len(ctrl.Objects()), len(ctrl.Functions()), len(ctrl.Events()))
+	fmt.Fprintln(w, "\nendpoints: /api/nodes /api/tasks /api/objects /api/functions /api/events /api/profile /api/trace")
+}

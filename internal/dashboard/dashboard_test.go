@@ -1,0 +1,152 @@
+package dashboard
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func dashboardCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	reg := core.NewRegistry()
+	ident := core.Register1(reg, "ident", func(tc *core.TaskContext, x int) (int, error) {
+		return x, nil
+	})
+	c, err := cluster.New(cluster.Config{Nodes: 2, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	d := c.Driver()
+	ref, err := ident.Remote(d, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := core.Get(ctx, d, ref); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	c := dashboardCluster(t)
+	srv := httptest.NewServer(Handler(c.Ctrl))
+	defer srv.Close()
+
+	t.Run("nodes", func(t *testing.T) {
+		code, body := get(t, srv, "/api/nodes")
+		if code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		var nodes []NodeView
+		if err := json.Unmarshal([]byte(body), &nodes); err != nil {
+			t.Fatal(err)
+		}
+		if len(nodes) != 2 {
+			t.Fatalf("nodes = %d", len(nodes))
+		}
+		for _, n := range nodes {
+			if !n.Alive || n.Addr == "" {
+				t.Fatalf("node view: %+v", n)
+			}
+		}
+	})
+	t.Run("tasks", func(t *testing.T) {
+		code, body := get(t, srv, "/api/tasks")
+		if code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		var tasks []TaskView
+		if err := json.Unmarshal([]byte(body), &tasks); err != nil {
+			t.Fatal(err)
+		}
+		if len(tasks) != 1 || tasks[0].Function != "ident" || tasks[0].Status != "FINISHED" {
+			t.Fatalf("tasks = %+v", tasks)
+		}
+		if tasks[0].E2EMs <= 0 {
+			t.Fatal("missing timing")
+		}
+	})
+	t.Run("objects", func(t *testing.T) {
+		code, body := get(t, srv, "/api/objects")
+		if code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		var objs []ObjectView
+		if err := json.Unmarshal([]byte(body), &objs); err != nil {
+			t.Fatal(err)
+		}
+		if len(objs) == 0 {
+			t.Fatal("no objects")
+		}
+	})
+	t.Run("events", func(t *testing.T) {
+		code, body := get(t, srv, "/api/events")
+		if code != 200 || !strings.Contains(body, "submit") {
+			t.Fatalf("events: %d %q", code, body[:min(len(body), 200)])
+		}
+	})
+	t.Run("profile", func(t *testing.T) {
+		code, body := get(t, srv, "/api/profile")
+		if code != 200 || !strings.Contains(body, "ident") {
+			t.Fatalf("profile: %d", code)
+		}
+	})
+	t.Run("trace", func(t *testing.T) {
+		code, body := get(t, srv, "/api/trace")
+		if code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		var parsed map[string]any
+		if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := parsed["traceEvents"]; !ok {
+			t.Fatal("trace missing traceEvents")
+		}
+	})
+	t.Run("overview", func(t *testing.T) {
+		code, body := get(t, srv, "/")
+		if code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		for _, want := range []string{"nodes: 2", "tasks: 1", "FINISHED=1"} {
+			if !strings.Contains(body, want) {
+				t.Fatalf("overview missing %q:\n%s", want, body)
+			}
+		}
+	})
+	t.Run("404", func(t *testing.T) {
+		code, _ := get(t, srv, "/nope")
+		if code != 404 {
+			t.Fatalf("status %d", code)
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+// Package fault implements the transparent fault tolerance of the paper's
+// Section 3.2.1 (R6): because the control plane stores the computation
+// lineage (every task spec, plus each object's producing task), lost
+// objects are reconstructed by replaying the tasks that produced them.
+// Deterministic task and object IDs make replay idempotent, and the task
+// table's CAS transitions guarantee a single re-executor per task.
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gcs"
+	"repro/internal/types"
+)
+
+// ErrNotReconstructable marks objects with no lineage (driver Puts): they
+// have no producing task to replay. Same limitation as the prototype.
+var ErrNotReconstructable = errors.New("fault: object has no producing task")
+
+// Reconstructor replays producing tasks to regenerate lost objects.
+type Reconstructor struct {
+	Ctrl gcs.API
+	// Resubmit hands a lineage spec back to a local scheduler, which
+	// deduplicates through the task table (scheduler.Local.Submit).
+	Resubmit func(spec types.TaskSpec) error
+}
+
+// RequestObject triggers reconstruction of id if it is lost, or if it is
+// pending but its producer is stranded (recorded on a node that has died —
+// which covers both tasks that were running there and tasks that sat in its
+// queues without ever being dispatched). It returns nil when the object is
+// ready, healthily being produced, or a replay was initiated; the caller
+// continues waiting for the object-ready notification. Transitive
+// reconstruction of the replayed task's own lost inputs happens naturally:
+// the scheduler's dependency resolver calls back into RequestObject for
+// each unavailable dependency it encounters.
+func (r *Reconstructor) RequestObject(id types.ObjectID) error {
+	info, ok := r.Ctrl.GetObject(id)
+	if !ok {
+		return fmt.Errorf("fault: object %v unknown to control plane", id)
+	}
+	if info.State == types.ObjectReady {
+		return nil
+	}
+	if info.Producer.IsNil() {
+		return fmt.Errorf("%w: %v", ErrNotReconstructable, id)
+	}
+	st, ok := r.Ctrl.GetTask(info.Producer)
+	if !ok {
+		return fmt.Errorf("fault: lineage record for task %v missing", info.Producer)
+	}
+	if info.State == types.ObjectPending {
+		switch st.Status {
+		case types.TaskPending, types.TaskQueued, types.TaskScheduled, types.TaskRunning:
+			if node, ok := r.Ctrl.GetNode(st.Node); ok && node.Alive {
+				return nil // healthy in-flight producer: just keep waiting
+			}
+			// Stranded on a dead or unknown node: fall through and replay.
+		case types.TaskFailed:
+			// Terminal failure: the executor stored error payloads under
+			// the return IDs, so waiters will observe the failure.
+			return nil
+		}
+	}
+	r.Ctrl.LogEvent(types.Event{Kind: "reconstruct", Task: st.Spec.ID, Object: id})
+	// Submit deduplicates: if another node already won the replay CAS this
+	// is a no-op.
+	return r.Resubmit(st.Spec)
+}

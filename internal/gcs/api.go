@@ -1,0 +1,98 @@
+// Package gcs implements the logically-centralized control plane of the
+// paper's Section 3.2.1 (what Ray later called the Global Control Store).
+// It layers typed tables — task table, object table, function table, node
+// table, and event log — over the sharded kv store, and publishes the
+// notifications (object ready, task status, spillover, node membership)
+// that let every other component be stateless.
+package gcs
+
+import (
+	"repro/internal/types"
+)
+
+// Sub is a pub/sub subscription handle. kv.Subscription satisfies it; the
+// remote (TCP) client provides its own implementation with the same shape.
+type Sub interface {
+	C() <-chan []byte
+	Close()
+}
+
+// FunctionInfo is a function-table record: one registered remote function.
+type FunctionInfo struct {
+	Name       string
+	NumReturns int
+}
+
+// API is the control-plane surface consumed by schedulers, workers, object
+// stores, and tools. A single implementation backed by the local kv store
+// serves in-process clusters; a transport-backed client implements the same
+// interface for multi-process clusters, which is what makes every component
+// except the database itself stateless (paper Section 3.2.1).
+type API interface {
+	// NowNs returns nanoseconds since the cluster epoch. All control-state
+	// timestamps use this clock so profiling timelines line up (R7).
+	NowNs() int64
+
+	// Task table. AddTask inserts the spec exactly once (lineage record);
+	// re-adding an existing task returns false, which is how replayed
+	// submissions deduplicate.
+	AddTask(state types.TaskState) bool
+	GetTask(id types.TaskID) (types.TaskState, bool)
+	SetTaskStatus(id types.TaskID, status types.TaskStatus, node types.NodeID, worker types.WorkerID, errMsg string)
+	// CASTaskStatus atomically transitions the task's status to `to` iff the
+	// current status is in `from`, reporting success. Replay/resubmission
+	// races are settled through this: exactly one contender wins the
+	// transition back to PENDING and re-executes the task.
+	CASTaskStatus(id types.TaskID, from []types.TaskStatus, to types.TaskStatus) bool
+	RecordTaskRetry(id types.TaskID) int
+	Tasks() []types.TaskState
+	SubscribeTaskStatus(id types.TaskID) Sub
+
+	// Object table. EnsureObject creates a pending entry recording the
+	// producer (the lineage edge). AddObjectLocation marks the object ready
+	// and publishes on its ready channel; RemoveObjectLocation transitions
+	// to Lost when the last copy disappears.
+	EnsureObject(id types.ObjectID, producer types.TaskID)
+	AddObjectLocation(id types.ObjectID, node types.NodeID, size int64)
+	RemoveObjectLocation(id types.ObjectID, node types.NodeID)
+	GetObject(id types.ObjectID) (types.ObjectInfo, bool)
+	Objects() []types.ObjectInfo
+	SubscribeObjectReady(id types.ObjectID) Sub
+
+	// Spillover queue (Section 3.2.2): local schedulers publish tasks they
+	// decline; global schedulers subscribe.
+	PublishSpill(spec types.TaskSpec)
+	SubscribeSpill() Sub
+
+	// Node table and membership events.
+	RegisterNode(info types.NodeInfo)
+	Heartbeat(id types.NodeID, queueLen int, avail types.Resources)
+	MarkNodeDead(id types.NodeID)
+	GetNode(id types.NodeID) (types.NodeInfo, bool)
+	Nodes() []types.NodeInfo
+	SubscribeNodeEvents() Sub
+
+	// Function table.
+	RegisterFunction(info FunctionInfo)
+	HasFunction(name string) bool
+	Functions() []FunctionInfo
+
+	// Event log (R7).
+	LogEvent(ev types.Event)
+	Events() []types.Event
+}
+
+// Control-plane key and channel naming. Exact-match keys hashed across
+// shards, as Section 3.2.1 prescribes.
+const (
+	keyTask   = "task:"   // + TaskID hex -> TaskState
+	keyObject = "obj:"    // + ObjectID hex -> ObjectInfo
+	keyNode   = "node:"   // + NodeID hex -> NodeInfo
+	keyFunc   = "func:"   // + name -> FunctionInfo
+	keyEvents = "events:" // + NodeID hex -> list of Event
+
+	chanObjReady   = "ready:" // + ObjectID hex; payload = ObjectID bytes
+	chanTaskStatus = "tstat:" // + TaskID hex; payload = [1]byte{status}
+	chanSpill      = "spill"  // payload = gob(TaskSpec)
+	chanNodes      = "nodes"  // payload = gob(NodeInfo)
+)

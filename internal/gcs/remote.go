@@ -1,0 +1,255 @@
+package gcs
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Remote implements API over a transport connection to a control-plane
+// service (RegisterService). Worker processes in multi-process clusters use
+// it; the interface is identical to the in-process Store, so every other
+// component is oblivious to the deployment mode.
+type Remote struct {
+	client transport.Client
+}
+
+// NewRemote wraps a connected transport client.
+func NewRemote(client transport.Client) *Remote { return &Remote{client: client} }
+
+// call performs one unary RPC, decoding the response into R. Errors are
+// swallowed into zero values for read paths (a dead control plane looks
+// like an empty one; components keep polling), matching the in-process
+// Store's forgiving semantics.
+func call[R any](r *Remote, method string, req any) (R, bool) {
+	var zero R
+	payload, err := codec.Encode(req)
+	if err != nil {
+		return zero, false
+	}
+	resp, err := r.client.Call(method, payload)
+	if err != nil {
+		return zero, false
+	}
+	out, err := codec.DecodeAs[R](resp)
+	if err != nil {
+		return zero, false
+	}
+	return out, true
+}
+
+// NowNs implements API.
+func (r *Remote) NowNs() int64 {
+	v, _ := call[int64](r, MethodNowNs, nil)
+	return v
+}
+
+// AddTask implements API.
+func (r *Remote) AddTask(state types.TaskState) bool {
+	v, _ := call[bool](r, MethodAddTask, state)
+	return v
+}
+
+// GetTask implements API.
+func (r *Remote) GetTask(id types.TaskID) (types.TaskState, bool) {
+	v, ok := call[maybeTask](r, MethodGetTask, id)
+	return v.State, ok && v.OK
+}
+
+// SetTaskStatus implements API.
+func (r *Remote) SetTaskStatus(id types.TaskID, status types.TaskStatus, node types.NodeID, worker types.WorkerID, errMsg string) {
+	call[bool](r, MethodSetTaskStatus, setStatusReq{ID: id, Status: status, Node: node, Worker: worker, Err: errMsg})
+}
+
+// CASTaskStatus implements API.
+func (r *Remote) CASTaskStatus(id types.TaskID, from []types.TaskStatus, to types.TaskStatus) bool {
+	v, _ := call[bool](r, MethodCASTaskStatus, casStatusReq{ID: id, From: from, To: to})
+	return v
+}
+
+// RecordTaskRetry implements API.
+func (r *Remote) RecordTaskRetry(id types.TaskID) int {
+	v, _ := call[int](r, MethodRecordTaskRetry, id)
+	return v
+}
+
+// Tasks implements API.
+func (r *Remote) Tasks() []types.TaskState {
+	v, _ := call[[]types.TaskState](r, MethodTasks, nil)
+	return v
+}
+
+// EnsureObject implements API.
+func (r *Remote) EnsureObject(id types.ObjectID, producer types.TaskID) {
+	call[bool](r, MethodEnsureObject, ensureObjectReq{ID: id, Producer: producer})
+}
+
+// AddObjectLocation implements API.
+func (r *Remote) AddObjectLocation(id types.ObjectID, node types.NodeID, size int64) {
+	call[bool](r, MethodAddObjLocation, objLocationReq{ID: id, Node: node, Size: size})
+}
+
+// RemoveObjectLocation implements API.
+func (r *Remote) RemoveObjectLocation(id types.ObjectID, node types.NodeID) {
+	call[bool](r, MethodRemoveObjLoc, objLocationReq{ID: id, Node: node})
+}
+
+// GetObject implements API.
+func (r *Remote) GetObject(id types.ObjectID) (types.ObjectInfo, bool) {
+	v, ok := call[maybeObject](r, MethodGetObject, id)
+	return v.Info, ok && v.OK
+}
+
+// Objects implements API.
+func (r *Remote) Objects() []types.ObjectInfo {
+	v, _ := call[[]types.ObjectInfo](r, MethodObjects, nil)
+	return v
+}
+
+// PublishSpill implements API.
+func (r *Remote) PublishSpill(spec types.TaskSpec) {
+	call[bool](r, MethodPublishSpill, spec)
+}
+
+// RegisterNode implements API.
+func (r *Remote) RegisterNode(info types.NodeInfo) {
+	call[bool](r, MethodRegisterNode, info)
+}
+
+// Heartbeat implements API.
+func (r *Remote) Heartbeat(id types.NodeID, queueLen int, avail types.Resources) {
+	call[bool](r, MethodHeartbeat, heartbeatReq{ID: id, Queue: queueLen, Avail: avail})
+}
+
+// MarkNodeDead implements API.
+func (r *Remote) MarkNodeDead(id types.NodeID) {
+	call[bool](r, MethodMarkNodeDead, id)
+}
+
+// GetNode implements API.
+func (r *Remote) GetNode(id types.NodeID) (types.NodeInfo, bool) {
+	v, ok := call[maybeNode](r, MethodGetNode, id)
+	return v.Info, ok && v.OK
+}
+
+// Nodes implements API.
+func (r *Remote) Nodes() []types.NodeInfo {
+	v, _ := call[[]types.NodeInfo](r, MethodNodes, nil)
+	return v
+}
+
+// RegisterFunction implements API.
+func (r *Remote) RegisterFunction(info FunctionInfo) {
+	call[bool](r, MethodRegisterFunction, info)
+}
+
+// HasFunction implements API.
+func (r *Remote) HasFunction(name string) bool {
+	v, _ := call[bool](r, MethodHasFunction, name)
+	return v
+}
+
+// Functions implements API.
+func (r *Remote) Functions() []FunctionInfo {
+	v, _ := call[[]FunctionInfo](r, MethodFunctions, nil)
+	return v
+}
+
+// LogEvent implements API.
+func (r *Remote) LogEvent(ev types.Event) {
+	call[bool](r, MethodLogEvent, ev)
+}
+
+// Events implements API.
+func (r *Remote) Events() []types.Event {
+	v, _ := call[[]types.Event](r, MethodEvents, nil)
+	return v
+}
+
+// remoteSub adapts a transport stream to the Sub interface.
+type remoteSub struct {
+	stream transport.Stream
+	ch     chan []byte
+	once   sync.Once
+	stop   chan struct{}
+}
+
+func newRemoteSub(stream transport.Stream) *remoteSub {
+	s := &remoteSub{stream: stream, ch: make(chan []byte, 64), stop: make(chan struct{})}
+	go s.pump()
+	return s
+}
+
+func (s *remoteSub) pump() {
+	defer close(s.ch)
+	for {
+		msg, err := s.stream.Recv()
+		if err != nil {
+			return // io.EOF or transport failure: subscription over
+		}
+		select {
+		case s.ch <- msg:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// C implements Sub.
+func (s *remoteSub) C() <-chan []byte { return s.ch }
+
+// Close implements Sub.
+func (s *remoteSub) Close() {
+	s.once.Do(func() {
+		close(s.stop)
+		s.stream.Close()
+	})
+}
+
+var _ = io.EOF // documents pump's termination condition
+
+func (r *Remote) subscribe(method string, payload []byte) Sub {
+	stream, err := r.client.OpenStream(method, payload)
+	if err != nil {
+		// A dead control plane yields an immediately-closed subscription;
+		// callers' poll fallbacks take over.
+		ch := make(chan []byte)
+		close(ch)
+		return closedSub{ch: ch}
+	}
+	// Wait for the service's subscription-established ack so that no
+	// publish after this call returns can be missed (see RegisterService).
+	if _, err := stream.Recv(); err != nil {
+		stream.Close()
+		ch := make(chan []byte)
+		close(ch)
+		return closedSub{ch: ch}
+	}
+	return newRemoteSub(stream)
+}
+
+type closedSub struct{ ch chan []byte }
+
+func (c closedSub) C() <-chan []byte { return c.ch }
+func (c closedSub) Close()           {}
+
+// SubscribeTaskStatus implements API.
+func (r *Remote) SubscribeTaskStatus(id types.TaskID) Sub {
+	return r.subscribe(StreamTaskStatus, []byte(id.Hex()))
+}
+
+// SubscribeObjectReady implements API.
+func (r *Remote) SubscribeObjectReady(id types.ObjectID) Sub {
+	return r.subscribe(StreamObjReady, []byte(id.Hex()))
+}
+
+// SubscribeSpill implements API.
+func (r *Remote) SubscribeSpill() Sub { return r.subscribe(StreamSpill, nil) }
+
+// SubscribeNodeEvents implements API.
+func (r *Remote) SubscribeNodeEvents() Sub { return r.subscribe(StreamNodes, nil) }
+
+var _ API = (*Remote)(nil)

@@ -1,0 +1,283 @@
+package gcs
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Transport method names for the control-plane service. The head node
+// (cmd/raynode -head) serves these; worker processes talk to the control
+// plane exclusively through them, keeping every component except the
+// database stateless across process boundaries (Section 3.2.1).
+const (
+	MethodNowNs            = "gcs.now"
+	MethodAddTask          = "gcs.addTask"
+	MethodGetTask          = "gcs.getTask"
+	MethodSetTaskStatus    = "gcs.setTaskStatus"
+	MethodCASTaskStatus    = "gcs.casTaskStatus"
+	MethodRecordTaskRetry  = "gcs.recordTaskRetry"
+	MethodTasks            = "gcs.tasks"
+	MethodEnsureObject     = "gcs.ensureObject"
+	MethodAddObjLocation   = "gcs.addObjLocation"
+	MethodRemoveObjLoc     = "gcs.removeObjLocation"
+	MethodGetObject        = "gcs.getObject"
+	MethodObjects          = "gcs.objects"
+	MethodPublishSpill     = "gcs.publishSpill"
+	MethodRegisterNode     = "gcs.registerNode"
+	MethodHeartbeat        = "gcs.heartbeat"
+	MethodMarkNodeDead     = "gcs.markNodeDead"
+	MethodGetNode          = "gcs.getNode"
+	MethodNodes            = "gcs.nodes"
+	MethodRegisterFunction = "gcs.registerFunction"
+	MethodHasFunction      = "gcs.hasFunction"
+	MethodFunctions        = "gcs.functions"
+	MethodLogEvent         = "gcs.logEvent"
+	MethodEvents           = "gcs.events"
+
+	StreamTaskStatus = "gcs.sub.taskStatus" // payload: TaskID hex
+	StreamObjReady   = "gcs.sub.objReady"   // payload: ObjectID hex
+	StreamSpill      = "gcs.sub.spill"
+	StreamNodes      = "gcs.sub.nodes"
+)
+
+// Wire request/response shapes (gob via codec).
+type (
+	setStatusReq struct {
+		ID     types.TaskID
+		Status types.TaskStatus
+		Node   types.NodeID
+		Worker types.WorkerID
+		Err    string
+	}
+	casStatusReq struct {
+		ID   types.TaskID
+		From []types.TaskStatus
+		To   types.TaskStatus
+	}
+	ensureObjectReq struct {
+		ID       types.ObjectID
+		Producer types.TaskID
+	}
+	objLocationReq struct {
+		ID   types.ObjectID
+		Node types.NodeID
+		Size int64
+	}
+	heartbeatReq struct {
+		ID    types.NodeID
+		Queue int
+		Avail types.Resources
+	}
+	maybeTask struct {
+		State types.TaskState
+		OK    bool
+	}
+	maybeObject struct {
+		Info types.ObjectInfo
+		OK   bool
+	}
+	maybeNode struct {
+		Info types.NodeInfo
+		OK   bool
+	}
+)
+
+// RegisterService exposes a local Store over a transport server.
+func RegisterService(srv *transport.Server, store *Store) {
+	unary := func(method string, h func(payload []byte) (any, error)) {
+		srv.Handle(method, func(payload []byte) ([]byte, error) {
+			out, err := h(payload)
+			if err != nil {
+				return nil, err
+			}
+			return codec.Encode(out)
+		})
+	}
+
+	unary(MethodNowNs, func(p []byte) (any, error) { return store.NowNs(), nil })
+	unary(MethodAddTask, func(p []byte) (any, error) {
+		st, err := codec.DecodeAs[types.TaskState](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.AddTask(st), nil
+	})
+	unary(MethodGetTask, func(p []byte) (any, error) {
+		id, err := codec.DecodeAs[types.TaskID](p)
+		if err != nil {
+			return nil, err
+		}
+		st, ok := store.GetTask(id)
+		return maybeTask{State: st, OK: ok}, nil
+	})
+	unary(MethodSetTaskStatus, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[setStatusReq](p)
+		if err != nil {
+			return nil, err
+		}
+		store.SetTaskStatus(req.ID, req.Status, req.Node, req.Worker, req.Err)
+		return true, nil
+	})
+	unary(MethodCASTaskStatus, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[casStatusReq](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.CASTaskStatus(req.ID, req.From, req.To), nil
+	})
+	unary(MethodRecordTaskRetry, func(p []byte) (any, error) {
+		id, err := codec.DecodeAs[types.TaskID](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.RecordTaskRetry(id), nil
+	})
+	unary(MethodTasks, func(p []byte) (any, error) { return store.Tasks(), nil })
+	unary(MethodEnsureObject, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[ensureObjectReq](p)
+		if err != nil {
+			return nil, err
+		}
+		store.EnsureObject(req.ID, req.Producer)
+		return true, nil
+	})
+	unary(MethodAddObjLocation, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[objLocationReq](p)
+		if err != nil {
+			return nil, err
+		}
+		store.AddObjectLocation(req.ID, req.Node, req.Size)
+		return true, nil
+	})
+	unary(MethodRemoveObjLoc, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[objLocationReq](p)
+		if err != nil {
+			return nil, err
+		}
+		store.RemoveObjectLocation(req.ID, req.Node)
+		return true, nil
+	})
+	unary(MethodGetObject, func(p []byte) (any, error) {
+		id, err := codec.DecodeAs[types.ObjectID](p)
+		if err != nil {
+			return nil, err
+		}
+		info, ok := store.GetObject(id)
+		return maybeObject{Info: info, OK: ok}, nil
+	})
+	unary(MethodObjects, func(p []byte) (any, error) { return store.Objects(), nil })
+	unary(MethodPublishSpill, func(p []byte) (any, error) {
+		spec, err := codec.DecodeAs[types.TaskSpec](p)
+		if err != nil {
+			return nil, err
+		}
+		store.PublishSpill(spec)
+		return true, nil
+	})
+	unary(MethodRegisterNode, func(p []byte) (any, error) {
+		info, err := codec.DecodeAs[types.NodeInfo](p)
+		if err != nil {
+			return nil, err
+		}
+		store.RegisterNode(info)
+		return true, nil
+	})
+	unary(MethodHeartbeat, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[heartbeatReq](p)
+		if err != nil {
+			return nil, err
+		}
+		store.Heartbeat(req.ID, req.Queue, req.Avail)
+		return true, nil
+	})
+	unary(MethodMarkNodeDead, func(p []byte) (any, error) {
+		id, err := codec.DecodeAs[types.NodeID](p)
+		if err != nil {
+			return nil, err
+		}
+		store.MarkNodeDead(id)
+		return true, nil
+	})
+	unary(MethodGetNode, func(p []byte) (any, error) {
+		id, err := codec.DecodeAs[types.NodeID](p)
+		if err != nil {
+			return nil, err
+		}
+		info, ok := store.GetNode(id)
+		return maybeNode{Info: info, OK: ok}, nil
+	})
+	unary(MethodNodes, func(p []byte) (any, error) { return store.Nodes(), nil })
+	unary(MethodRegisterFunction, func(p []byte) (any, error) {
+		info, err := codec.DecodeAs[FunctionInfo](p)
+		if err != nil {
+			return nil, err
+		}
+		store.RegisterFunction(info)
+		return true, nil
+	})
+	unary(MethodHasFunction, func(p []byte) (any, error) {
+		name, err := codec.DecodeAs[string](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.HasFunction(name), nil
+	})
+	unary(MethodFunctions, func(p []byte) (any, error) { return store.Functions(), nil })
+	unary(MethodLogEvent, func(p []byte) (any, error) {
+		ev, err := codec.DecodeAs[types.Event](p)
+		if err != nil {
+			return nil, err
+		}
+		store.LogEvent(ev)
+		return true, nil
+	})
+	unary(MethodEvents, func(p []byte) (any, error) { return store.Events(), nil })
+
+	// Streaming subscriptions: forward the local subscription's messages
+	// until the client disconnects. The first message is an empty ack sent
+	// after the local subscription exists, so a client that has seen the
+	// ack knows no later publish can be missed (Remote.subscribe blocks on
+	// it).
+	forward := func(sub Sub, stream transport.ServerStream) error {
+		defer sub.Close()
+		if err := stream.Send(nil); err != nil {
+			return nil
+		}
+		for {
+			select {
+			case msg, ok := <-sub.C():
+				if !ok {
+					return nil
+				}
+				if err := stream.Send(msg); err != nil {
+					return nil // client gone
+				}
+			case <-stream.Done():
+				return nil
+			}
+		}
+	}
+	srv.HandleStream(StreamTaskStatus, func(payload []byte, stream transport.ServerStream) error {
+		id, err := types.ParseTaskID(string(payload))
+		if err != nil {
+			return fmt.Errorf("gcs: bad task-status subscription: %w", err)
+		}
+		return forward(store.SubscribeTaskStatus(id), stream)
+	})
+	srv.HandleStream(StreamObjReady, func(payload []byte, stream transport.ServerStream) error {
+		id, err := types.ParseObjectID(string(payload))
+		if err != nil {
+			return fmt.Errorf("gcs: bad object-ready subscription: %w", err)
+		}
+		return forward(store.SubscribeObjectReady(id), stream)
+	})
+	srv.HandleStream(StreamSpill, func(payload []byte, stream transport.ServerStream) error {
+		return forward(store.SubscribeSpill(), stream)
+	})
+	srv.HandleStream(StreamNodes, func(payload []byte, stream transport.ServerStream) error {
+		return forward(store.SubscribeNodeEvents(), stream)
+	})
+}

@@ -1,0 +1,455 @@
+package gcs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/kv"
+	"repro/internal/types"
+)
+
+// Store is the kv-backed control plane. It is the only stateful component
+// in the system; everything else can crash and resubscribe.
+type Store struct {
+	db    *kv.Store
+	epoch time.Time
+	// eventsOn gates event logging so its overhead can be measured (E13).
+	eventsOn atomic.Bool
+}
+
+// NewStore creates a control plane over a kv store with the given shard
+// count. Event logging starts enabled.
+func NewStore(shards int) *Store {
+	return RecoverStore(kv.New(shards))
+}
+
+// RecoverStore wraps an existing kv database — typically one reconstituted
+// from a snapshot plus write-ahead-log replay (kv.Restore, kv.Replay) — as
+// a control plane. This is the database-side half of the Section 3.2.1
+// fault-tolerance story: the control state survives a control-plane crash,
+// and the stateless components simply reconnect and resubscribe. The clock
+// epoch restarts, so timestamps are only comparable within one incarnation.
+func RecoverStore(db *kv.Store) *Store {
+	s := &Store{db: db, epoch: time.Now()}
+	s.eventsOn.Store(true)
+	return s
+}
+
+// DB exposes the underlying kv store for throughput benchmarks (E7).
+func (s *Store) DB() *kv.Store { return s.db }
+
+// SetEventLogging toggles the event log (used by the overhead bench, E13).
+func (s *Store) SetEventLogging(on bool) { s.eventsOn.Store(on) }
+
+// NowNs implements API.
+func (s *Store) NowNs() int64 { return time.Since(s.epoch).Nanoseconds() }
+
+// ResetAfterRecovery completes a control-plane restore: the previous
+// incarnation's nodes are gone, so every node is marked dead and all object
+// locations they held are dropped. Sole copies transition to LOST, making
+// them eligible for lineage replay as soon as new nodes join — the recovery
+// sequence Section 3.2.1 sketches.
+func (s *Store) ResetAfterRecovery() {
+	dead := make(map[types.NodeID]bool)
+	for _, n := range s.Nodes() {
+		dead[n.ID] = true
+		s.MarkNodeDead(n.ID)
+	}
+	for _, o := range s.Objects() {
+		for _, loc := range o.Locations {
+			if dead[loc] {
+				s.RemoveObjectLocation(o.ID, loc)
+			}
+		}
+	}
+}
+
+// --- task table ---
+
+// AddTask implements API: exactly-once insertion keyed by task ID.
+func (s *Store) AddTask(state types.TaskState) bool {
+	state.SubmittedNs = s.NowNs()
+	ok := s.db.PutIfAbsent(keyTask+state.Spec.ID.Hex(), codec.MustEncode(state))
+	if ok {
+		s.logEvent(types.Event{Kind: "submit", Task: state.Spec.ID, Node: state.Node})
+	}
+	return ok
+}
+
+// GetTask implements API.
+func (s *Store) GetTask(id types.TaskID) (types.TaskState, bool) {
+	raw, ok := s.db.Get(keyTask + id.Hex())
+	if !ok {
+		return types.TaskState{}, false
+	}
+	st, err := codec.DecodeAs[types.TaskState](raw)
+	if err != nil {
+		return types.TaskState{}, false
+	}
+	return st, true
+}
+
+// SetTaskStatus implements API. It stamps the transition time, stores the
+// new state, publishes on the task's status channel, and logs an event.
+func (s *Store) SetTaskStatus(id types.TaskID, status types.TaskStatus, node types.NodeID, worker types.WorkerID, errMsg string) {
+	now := s.NowNs()
+	s.db.Update(keyTask+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			return nil, false
+		}
+		st, err := codec.DecodeAs[types.TaskState](cur)
+		if err != nil {
+			return nil, false
+		}
+		st.Status = status
+		if !node.IsNil() {
+			st.Node = node
+		}
+		if !worker.IsNil() {
+			st.Worker = worker
+		}
+		if errMsg != "" {
+			st.Error = errMsg
+		}
+		switch status {
+		case types.TaskScheduled:
+			st.ScheduledNs = now
+		case types.TaskRunning:
+			st.StartedNs = now
+		case types.TaskFinished, types.TaskFailed:
+			st.FinishedNs = now
+		}
+		return codec.MustEncode(st), true
+	})
+	s.db.Publish(chanTaskStatus+id.Hex(), []byte{byte(status)})
+	s.logEvent(types.Event{Kind: "status:" + status.String(), Task: id, Node: node, Worker: worker, Detail: errMsg})
+}
+
+// CASTaskStatus implements API: an atomic conditional status transition.
+func (s *Store) CASTaskStatus(id types.TaskID, from []types.TaskStatus, to types.TaskStatus) bool {
+	now := s.NowNs()
+	won := false
+	s.db.Update(keyTask+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			return nil, false
+		}
+		st, err := codec.DecodeAs[types.TaskState](cur)
+		if err != nil {
+			return nil, false
+		}
+		eligible := false
+		for _, f := range from {
+			if st.Status == f {
+				eligible = true
+				break
+			}
+		}
+		if !eligible {
+			return nil, false
+		}
+		st.Status = to
+		switch to {
+		case types.TaskScheduled:
+			st.ScheduledNs = now
+		case types.TaskRunning:
+			st.StartedNs = now
+		case types.TaskFinished, types.TaskFailed:
+			st.FinishedNs = now
+		}
+		won = true
+		return codec.MustEncode(st), true
+	})
+	if won {
+		s.db.Publish(chanTaskStatus+id.Hex(), []byte{byte(to)})
+		s.logEvent(types.Event{Kind: "cas:" + to.String(), Task: id})
+	}
+	return won
+}
+
+// RecordTaskRetry implements API; returns the new retry count.
+func (s *Store) RecordTaskRetry(id types.TaskID) int {
+	retries := 0
+	s.db.Update(keyTask+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			return nil, false
+		}
+		st, err := codec.DecodeAs[types.TaskState](cur)
+		if err != nil {
+			return nil, false
+		}
+		st.Retries++
+		retries = st.Retries
+		return codec.MustEncode(st), true
+	})
+	return retries
+}
+
+// Tasks implements API (inspection scan, R7).
+func (s *Store) Tasks() []types.TaskState {
+	keys := s.db.Keys(keyTask)
+	out := make([]types.TaskState, 0, len(keys))
+	for _, k := range keys {
+		if raw, ok := s.db.Get(k); ok {
+			if st, err := codec.DecodeAs[types.TaskState](raw); err == nil {
+				out = append(out, st)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SubmittedNs < out[j].SubmittedNs })
+	return out
+}
+
+// SubscribeTaskStatus implements API.
+func (s *Store) SubscribeTaskStatus(id types.TaskID) Sub {
+	return s.db.Subscribe(chanTaskStatus + id.Hex())
+}
+
+// --- object table ---
+
+// EnsureObject implements API.
+func (s *Store) EnsureObject(id types.ObjectID, producer types.TaskID) {
+	info := types.ObjectInfo{ID: id, Producer: producer, State: types.ObjectPending}
+	s.db.PutIfAbsent(keyObject+id.Hex(), codec.MustEncode(info))
+}
+
+// AddObjectLocation implements API. The first location moves the object to
+// Ready and fires its ready channel, which is what unblocks dataflow
+// dispatch in every local scheduler waiting on it.
+func (s *Store) AddObjectLocation(id types.ObjectID, node types.NodeID, size int64) {
+	s.db.Update(keyObject+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		var info types.ObjectInfo
+		if exists {
+			var err error
+			info, err = codec.DecodeAs[types.ObjectInfo](cur)
+			if err != nil {
+				return nil, false
+			}
+		} else {
+			info = types.ObjectInfo{ID: id}
+		}
+		if !info.HasLocation(node) {
+			info.Locations = append(info.Locations, node)
+		}
+		info.Size = size
+		info.State = types.ObjectReady
+		return codec.MustEncode(info), true
+	})
+	s.db.Publish(chanObjReady+id.Hex(), id[:])
+	s.logEvent(types.Event{Kind: "object-ready", Object: id, Node: node})
+}
+
+// RemoveObjectLocation implements API. Dropping the last live copy of a
+// ready object marks it Lost — the trigger for lineage reconstruction (R6).
+func (s *Store) RemoveObjectLocation(id types.ObjectID, node types.NodeID) {
+	lost := false
+	s.db.Update(keyObject+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			return nil, false
+		}
+		info, err := codec.DecodeAs[types.ObjectInfo](cur)
+		if err != nil {
+			return nil, false
+		}
+		locs := info.Locations[:0]
+		for _, n := range info.Locations {
+			if n != node {
+				locs = append(locs, n)
+			}
+		}
+		info.Locations = locs
+		if len(locs) == 0 && info.State == types.ObjectReady {
+			info.State = types.ObjectLost
+			lost = true
+		}
+		return codec.MustEncode(info), true
+	})
+	if lost {
+		s.logEvent(types.Event{Kind: "object-lost", Object: id, Node: node})
+	}
+}
+
+// GetObject implements API.
+func (s *Store) GetObject(id types.ObjectID) (types.ObjectInfo, bool) {
+	raw, ok := s.db.Get(keyObject + id.Hex())
+	if !ok {
+		return types.ObjectInfo{}, false
+	}
+	info, err := codec.DecodeAs[types.ObjectInfo](raw)
+	if err != nil {
+		return types.ObjectInfo{}, false
+	}
+	return info, true
+}
+
+// Objects implements API (inspection scan, R7).
+func (s *Store) Objects() []types.ObjectInfo {
+	keys := s.db.Keys(keyObject)
+	out := make([]types.ObjectInfo, 0, len(keys))
+	for _, k := range keys {
+		if raw, ok := s.db.Get(k); ok {
+			if info, err := codec.DecodeAs[types.ObjectInfo](raw); err == nil {
+				out = append(out, info)
+			}
+		}
+	}
+	return out
+}
+
+// SubscribeObjectReady implements API.
+func (s *Store) SubscribeObjectReady(id types.ObjectID) Sub {
+	return s.db.Subscribe(chanObjReady + id.Hex())
+}
+
+// --- spillover ---
+
+// PublishSpill implements API.
+func (s *Store) PublishSpill(spec types.TaskSpec) {
+	s.db.Publish(chanSpill, codec.MustEncode(spec))
+	s.logEvent(types.Event{Kind: "spill", Task: spec.ID})
+}
+
+// SubscribeSpill implements API.
+func (s *Store) SubscribeSpill() Sub { return s.db.Subscribe(chanSpill) }
+
+// --- node table ---
+
+// RegisterNode implements API.
+func (s *Store) RegisterNode(info types.NodeInfo) {
+	info.Alive = true
+	info.LastSeen = s.NowNs()
+	s.db.Put(keyNode+info.ID.Hex(), codec.MustEncode(info))
+	s.db.Publish(chanNodes, codec.MustEncode(info))
+	s.logEvent(types.Event{Kind: "node-join", Node: info.ID})
+}
+
+// Heartbeat implements API. Load snapshots feed the global scheduler's
+// placement policy.
+func (s *Store) Heartbeat(id types.NodeID, queueLen int, avail types.Resources) {
+	now := s.NowNs()
+	s.db.Update(keyNode+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			return nil, false
+		}
+		info, err := codec.DecodeAs[types.NodeInfo](cur)
+		if err != nil {
+			return nil, false
+		}
+		info.LastSeen = now
+		info.QueueLen = queueLen
+		info.Available = avail
+		info.Alive = true
+		return codec.MustEncode(info), true
+	})
+}
+
+// MarkNodeDead implements API.
+func (s *Store) MarkNodeDead(id types.NodeID) {
+	var dead types.NodeInfo
+	found := false
+	s.db.Update(keyNode+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			return nil, false
+		}
+		info, err := codec.DecodeAs[types.NodeInfo](cur)
+		if err != nil {
+			return nil, false
+		}
+		info.Alive = false
+		dead, found = info, true
+		return codec.MustEncode(info), true
+	})
+	if found {
+		s.db.Publish(chanNodes, codec.MustEncode(dead))
+		s.logEvent(types.Event{Kind: "node-dead", Node: id})
+	}
+}
+
+// GetNode implements API.
+func (s *Store) GetNode(id types.NodeID) (types.NodeInfo, bool) {
+	raw, ok := s.db.Get(keyNode + id.Hex())
+	if !ok {
+		return types.NodeInfo{}, false
+	}
+	info, err := codec.DecodeAs[types.NodeInfo](raw)
+	if err != nil {
+		return types.NodeInfo{}, false
+	}
+	return info, true
+}
+
+// Nodes implements API.
+func (s *Store) Nodes() []types.NodeInfo {
+	keys := s.db.Keys(keyNode)
+	out := make([]types.NodeInfo, 0, len(keys))
+	for _, k := range keys {
+		if raw, ok := s.db.Get(k); ok {
+			if info, err := codec.DecodeAs[types.NodeInfo](raw); err == nil {
+				out = append(out, info)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Hex() < out[j].ID.Hex() })
+	return out
+}
+
+// SubscribeNodeEvents implements API.
+func (s *Store) SubscribeNodeEvents() Sub { return s.db.Subscribe(chanNodes) }
+
+// --- function table ---
+
+// RegisterFunction implements API.
+func (s *Store) RegisterFunction(info FunctionInfo) {
+	s.db.Put(keyFunc+info.Name, codec.MustEncode(info))
+}
+
+// HasFunction implements API.
+func (s *Store) HasFunction(name string) bool {
+	_, ok := s.db.Get(keyFunc + name)
+	return ok
+}
+
+// Functions implements API.
+func (s *Store) Functions() []FunctionInfo {
+	keys := s.db.Keys(keyFunc)
+	out := make([]FunctionInfo, 0, len(keys))
+	for _, k := range keys {
+		if raw, ok := s.db.Get(k); ok {
+			if info, err := codec.DecodeAs[FunctionInfo](raw); err == nil {
+				out = append(out, info)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// --- event log ---
+
+func (s *Store) logEvent(ev types.Event) {
+	if !s.eventsOn.Load() {
+		return
+	}
+	ev.TimeNs = s.NowNs()
+	s.db.Append(keyEvents+ev.Node.Hex(), codec.MustEncode(ev))
+}
+
+// LogEvent implements API (for components logging their own events).
+func (s *Store) LogEvent(ev types.Event) { s.logEvent(ev) }
+
+// Events implements API: the merged, time-ordered event log.
+func (s *Store) Events() []types.Event {
+	var out []types.Event
+	for _, k := range s.db.ListKeys(keyEvents) {
+		for _, raw := range s.db.List(k) {
+			if ev, err := codec.DecodeAs[types.Event](raw); err == nil {
+				out = append(out, ev)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimeNs < out[j].TimeNs })
+	return out
+}
+
+var _ API = (*Store)(nil)

@@ -1,0 +1,281 @@
+package gcs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func mkTask(i uint64) types.TaskState {
+	id := types.DeriveTaskID(types.NilTaskID, i)
+	return types.TaskState{Spec: types.TaskSpec{ID: id, Function: "f", NumReturns: 1}}
+}
+
+func nodeID(i uint64) types.NodeID {
+	return types.NodeID(types.DeriveTaskID(types.NilTaskID, 1000+i))
+}
+
+func TestAddTaskExactlyOnce(t *testing.T) {
+	s := NewStore(4)
+	st := mkTask(1)
+	if !s.AddTask(st) {
+		t.Fatal("first AddTask failed")
+	}
+	if s.AddTask(st) {
+		t.Fatal("duplicate AddTask succeeded — lineage dedup broken")
+	}
+	got, ok := s.GetTask(st.Spec.ID)
+	if !ok || got.Spec.Function != "f" {
+		t.Fatalf("GetTask = %+v, %v", got, ok)
+	}
+	if got.SubmittedNs == 0 {
+		t.Fatal("submit timestamp not set")
+	}
+}
+
+func TestSetTaskStatusTimestampsAndPublish(t *testing.T) {
+	s := NewStore(4)
+	st := mkTask(2)
+	s.AddTask(st)
+	sub := s.SubscribeTaskStatus(st.Spec.ID)
+	defer sub.Close()
+
+	n := nodeID(1)
+	w := types.WorkerID(types.DeriveTaskID(types.NilTaskID, 2000))
+	s.SetTaskStatus(st.Spec.ID, types.TaskRunning, n, w, "")
+	got, _ := s.GetTask(st.Spec.ID)
+	if got.Status != types.TaskRunning || got.Node != n || got.Worker != w {
+		t.Fatalf("state after running: %+v", got)
+	}
+	if got.StartedNs == 0 {
+		t.Fatal("start timestamp not set")
+	}
+	select {
+	case msg := <-sub.C():
+		if types.TaskStatus(msg[0]) != types.TaskRunning {
+			t.Fatalf("published status %d", msg[0])
+		}
+	case <-time.After(time.Second):
+		t.Fatal("status not published")
+	}
+
+	s.SetTaskStatus(st.Spec.ID, types.TaskFinished, types.NilNodeID, types.NilWorkerID, "")
+	got, _ = s.GetTask(st.Spec.ID)
+	if got.FinishedNs == 0 {
+		t.Fatal("finish timestamp not set")
+	}
+	if got.Node != n {
+		t.Fatal("nil node ID overwrote recorded node")
+	}
+}
+
+func TestSetTaskStatusError(t *testing.T) {
+	s := NewStore(2)
+	st := mkTask(3)
+	s.AddTask(st)
+	s.SetTaskStatus(st.Spec.ID, types.TaskFailed, types.NilNodeID, types.NilWorkerID, "boom")
+	got, _ := s.GetTask(st.Spec.ID)
+	if got.Status != types.TaskFailed || got.Error != "boom" {
+		t.Fatalf("failed state: %+v", got)
+	}
+}
+
+func TestRecordTaskRetry(t *testing.T) {
+	s := NewStore(2)
+	st := mkTask(4)
+	s.AddTask(st)
+	if n := s.RecordTaskRetry(st.Spec.ID); n != 1 {
+		t.Fatalf("first retry = %d", n)
+	}
+	if n := s.RecordTaskRetry(st.Spec.ID); n != 2 {
+		t.Fatalf("second retry = %d", n)
+	}
+	if n := s.RecordTaskRetry(types.DeriveTaskID(types.NilTaskID, 999)); n != 0 {
+		t.Fatalf("retry of unknown task = %d", n)
+	}
+}
+
+func TestObjectLifecycle(t *testing.T) {
+	s := NewStore(4)
+	task := types.DeriveTaskID(types.NilTaskID, 5)
+	obj := types.ObjectIDForReturn(task, 0)
+	s.EnsureObject(obj, task)
+
+	info, ok := s.GetObject(obj)
+	if !ok || info.State != types.ObjectPending || info.Producer != task {
+		t.Fatalf("pending object: %+v, %v", info, ok)
+	}
+
+	sub := s.SubscribeObjectReady(obj)
+	defer sub.Close()
+	n1, n2 := nodeID(1), nodeID(2)
+	s.AddObjectLocation(obj, n1, 128)
+	select {
+	case <-sub.C():
+	case <-time.After(time.Second):
+		t.Fatal("ready notification not published")
+	}
+	info, _ = s.GetObject(obj)
+	if info.State != types.ObjectReady || info.Size != 128 || !info.HasLocation(n1) {
+		t.Fatalf("ready object: %+v", info)
+	}
+
+	s.AddObjectLocation(obj, n2, 128)
+	s.AddObjectLocation(obj, n2, 128) // idempotent
+	info, _ = s.GetObject(obj)
+	if len(info.Locations) != 2 {
+		t.Fatalf("locations = %v", info.Locations)
+	}
+
+	s.RemoveObjectLocation(obj, n1)
+	info, _ = s.GetObject(obj)
+	if info.State != types.ObjectReady || len(info.Locations) != 1 {
+		t.Fatalf("after one removal: %+v", info)
+	}
+
+	s.RemoveObjectLocation(obj, n2)
+	info, _ = s.GetObject(obj)
+	if info.State != types.ObjectLost {
+		t.Fatalf("object should be LOST, is %v", info.State)
+	}
+	if info.Producer != task {
+		t.Fatal("lineage edge lost")
+	}
+}
+
+func TestAddLocationWithoutEnsure(t *testing.T) {
+	s := NewStore(2)
+	obj := types.ObjectIDForReturn(types.DeriveTaskID(types.NilTaskID, 6), 0)
+	s.AddObjectLocation(obj, nodeID(3), 64)
+	info, ok := s.GetObject(obj)
+	if !ok || info.State != types.ObjectReady {
+		t.Fatalf("object: %+v, %v", info, ok)
+	}
+}
+
+func TestSpillPubSub(t *testing.T) {
+	s := NewStore(4)
+	sub := s.SubscribeSpill()
+	defer sub.Close()
+	spec := mkTask(7).Spec
+	s.PublishSpill(spec)
+	select {
+	case raw := <-sub.C():
+		got, err := decodeSpec(raw)
+		if err != nil || got.ID != spec.ID {
+			t.Fatalf("spill decode: %v %v", got.ID, err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("spill not delivered")
+	}
+}
+
+func TestNodeTable(t *testing.T) {
+	s := NewStore(4)
+	sub := s.SubscribeNodeEvents()
+	defer sub.Close()
+	n := nodeID(10)
+	s.RegisterNode(types.NodeInfo{ID: n, Addr: "inproc:1", Total: types.CPU(4)})
+	select {
+	case <-sub.C():
+	case <-time.After(time.Second):
+		t.Fatal("node-join not published")
+	}
+	info, ok := s.GetNode(n)
+	if !ok || !info.Alive || info.Total[types.ResCPU] != 4 {
+		t.Fatalf("node: %+v, %v", info, ok)
+	}
+
+	s.Heartbeat(n, 3, types.CPU(2))
+	info, _ = s.GetNode(n)
+	if info.QueueLen != 3 || info.Available[types.ResCPU] != 2 {
+		t.Fatalf("after heartbeat: %+v", info)
+	}
+
+	s.MarkNodeDead(n)
+	select {
+	case <-sub.C():
+	case <-time.After(time.Second):
+		t.Fatal("node-dead not published")
+	}
+	info, _ = s.GetNode(n)
+	if info.Alive {
+		t.Fatal("node still alive")
+	}
+	if len(s.Nodes()) != 1 {
+		t.Fatal("Nodes scan wrong")
+	}
+}
+
+func TestHeartbeatUnknownNodeIgnored(t *testing.T) {
+	s := NewStore(2)
+	s.Heartbeat(nodeID(99), 1, nil) // must not panic or create entries
+	if len(s.Nodes()) != 0 {
+		t.Fatal("heartbeat created a node record")
+	}
+}
+
+func TestFunctionTable(t *testing.T) {
+	s := NewStore(2)
+	if s.HasFunction("f") {
+		t.Fatal("unknown function reported present")
+	}
+	s.RegisterFunction(FunctionInfo{Name: "f", NumReturns: 1})
+	s.RegisterFunction(FunctionInfo{Name: "a", NumReturns: 2})
+	if !s.HasFunction("f") {
+		t.Fatal("registered function missing")
+	}
+	fns := s.Functions()
+	if len(fns) != 2 || fns[0].Name != "a" || fns[1].Name != "f" {
+		t.Fatalf("Functions = %+v", fns)
+	}
+}
+
+func TestEventLogOrderingAndToggle(t *testing.T) {
+	s := NewStore(4)
+	n := nodeID(1)
+	for i := 0; i < 5; i++ {
+		s.LogEvent(types.Event{Kind: "k", Node: n})
+	}
+	evs := s.Events()
+	if len(evs) != 5 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TimeNs < evs[i-1].TimeNs {
+			t.Fatal("events out of time order")
+		}
+	}
+	s.SetEventLogging(false)
+	s.LogEvent(types.Event{Kind: "k2", Node: n})
+	if len(s.Events()) != 5 {
+		t.Fatal("event logged while disabled")
+	}
+}
+
+func TestTasksScanOrdered(t *testing.T) {
+	s := NewStore(8)
+	for i := uint64(0); i < 10; i++ {
+		s.AddTask(mkTask(i))
+	}
+	tasks := s.Tasks()
+	if len(tasks) != 10 {
+		t.Fatalf("Tasks = %d", len(tasks))
+	}
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i].SubmittedNs < tasks[i-1].SubmittedNs {
+			t.Fatal("tasks out of submission order")
+		}
+	}
+}
+
+func TestNowNsMonotonic(t *testing.T) {
+	s := NewStore(1)
+	a := s.NowNs()
+	time.Sleep(time.Millisecond)
+	b := s.NowNs()
+	if b <= a {
+		t.Fatal("clock not advancing")
+	}
+}

@@ -1,0 +1,206 @@
+// Package kv implements the control-plane database of the paper's Section
+// 3.2.1: a sharded in-memory key-value store providing (1) storage for
+// system control state and (2) publish-subscribe so that stateless system
+// components can communicate. The paper's prototype used Redis; this is a
+// from-scratch substitute exposing exactly the operations the architecture
+// needs — exact-match get/put, list append, and channels — sharded by key
+// hash so throughput scales with shard count (experiment E7).
+package kv
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Store is a sharded key-value store with pub/sub. All methods are safe for
+// concurrent use. Keys route to shards by FNV-1a hash, so a key's shard is
+// stable for the life of the store.
+type Store struct {
+	shards []*shard
+	ops    atomic.Int64 // total mutating+reading operations, for benchmarks
+}
+
+type shard struct {
+	mu sync.Mutex
+	// kvs holds scalar values; lists holds append-only lists. They share a
+	// namespace split by the caller's key conventions.
+	kvs   map[string][]byte
+	lists map[string][][]byte
+	subs  map[string][]*Subscription // channel name -> subscribers
+}
+
+// New creates a store with n shards (n < 1 is treated as 1).
+func New(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			kvs:   make(map[string][]byte),
+			lists: make(map[string][][]byte),
+			subs:  make(map[string][]*Subscription),
+		}
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Ops returns the cumulative operation count (monotonic; for benchmarks).
+func (s *Store) Ops() int64 { return s.ops.Load() }
+
+func (s *Store) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// ShardIndex exposes the shard routing for tests (stability property).
+func (s *Store) ShardIndex(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// Get returns the value stored at key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.ops.Add(1)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	v, ok := sh.kvs[key]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Put stores value at key, replacing any previous value.
+func (s *Store) Put(key string, value []byte) {
+	s.ops.Add(1)
+	v := make([]byte, len(value))
+	copy(v, value)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	sh.kvs[key] = v
+	sh.mu.Unlock()
+}
+
+// PutIfAbsent stores value only if key has no value; reports whether it
+// stored. This is the primitive behind exactly-once task-table insertion.
+func (s *Store) PutIfAbsent(key string, value []byte) bool {
+	s.ops.Add(1)
+	v := make([]byte, len(value))
+	copy(v, value)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.kvs[key]; ok {
+		return false
+	}
+	sh.kvs[key] = v
+	return true
+}
+
+// Update atomically applies fn to the current value (nil, false if absent)
+// and stores the result. If fn returns ok=false the store is unchanged.
+// This is the read-modify-write primitive used by the table layer.
+func (s *Store) Update(key string, fn func(cur []byte, exists bool) (next []byte, ok bool)) bool {
+	s.ops.Add(1)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, exists := sh.kvs[key]
+	next, ok := fn(cur, exists)
+	if !ok {
+		return false
+	}
+	v := make([]byte, len(next))
+	copy(v, next)
+	sh.kvs[key] = v
+	return true
+}
+
+// Delete removes key; reports whether it existed.
+func (s *Store) Delete(key string) bool {
+	s.ops.Add(1)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	_, ok := sh.kvs[key]
+	delete(sh.kvs, key)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Append appends value to the list at key (creating it if needed).
+func (s *Store) Append(key string, value []byte) {
+	s.ops.Add(1)
+	v := make([]byte, len(value))
+	copy(v, value)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	sh.lists[key] = append(sh.lists[key], v)
+	sh.mu.Unlock()
+}
+
+// List returns a copy of the list at key.
+func (s *Store) List(key string) [][]byte {
+	s.ops.Add(1)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	src := sh.lists[key]
+	out := make([][]byte, len(src))
+	for i, v := range src {
+		c := make([]byte, len(v))
+		copy(c, v)
+		out[i] = c
+	}
+	sh.mu.Unlock()
+	return out
+}
+
+// ListLen returns the length of the list at key without copying.
+func (s *Store) ListLen(key string) int {
+	s.ops.Add(1)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	n := len(sh.lists[key])
+	sh.mu.Unlock()
+	return n
+}
+
+// Keys returns every scalar key with the given prefix, across all shards.
+// It is a scan intended for inspection tools (R7), not the fast path.
+func (s *Store) Keys(prefix string) []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k := range sh.kvs {
+			if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+				out = append(out, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ListKeys returns every list key with the given prefix, across all shards.
+func (s *Store) ListKeys(prefix string) []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k := range sh.lists {
+			if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+				out = append(out, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package kv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Durability. Section 3.2.1's fault-tolerance argument assumes the control
+// database itself is fault tolerant ("so long as the database is
+// fault-tolerant, we can recover from component failures by simply
+// restarting the failed components"). This file provides that property:
+// a Store can write a point-in-time snapshot and be reconstituted from it,
+// and a Logger tees every mutation to an append-only log so a crashed
+// control plane replays to its last state. Pub/sub state is deliberately
+// not persisted — subscribers are the stateless components, and on restart
+// they resubscribe (that is the whole point of the architecture).
+
+// snapshot is the gob-encoded durable state of one store.
+type snapshot struct {
+	Shards int
+	KVs    map[string][]byte
+	Lists  map[string][][]byte
+}
+
+// Snapshot writes a point-in-time copy of the store to w. It locks shards
+// one at a time, so it is consistent per key but not across keys — the same
+// guarantee a Redis BGSAVE gives, and sufficient because control-plane
+// records are independently keyed.
+func (s *Store) Snapshot(w io.Writer) error {
+	snap := snapshot{
+		Shards: len(s.shards),
+		KVs:    make(map[string][]byte),
+		Lists:  make(map[string][][]byte),
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k, v := range sh.kvs {
+			c := make([]byte, len(v))
+			copy(c, v)
+			snap.KVs[k] = c
+		}
+		for k, list := range sh.lists {
+			cp := make([][]byte, len(list))
+			for i, v := range list {
+				c := make([]byte, len(v))
+				copy(c, v)
+				cp[i] = c
+			}
+			snap.Lists[k] = cp
+		}
+		sh.mu.Unlock()
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// SnapshotFile writes a snapshot atomically (write + rename).
+func (s *Store) SnapshotFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := s.Snapshot(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Restore reconstitutes a store from a snapshot.
+func Restore(r io.Reader) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("kv: restore: %w", err)
+	}
+	s := New(snap.Shards)
+	for k, v := range snap.KVs {
+		s.Put(k, v)
+	}
+	for k, list := range snap.Lists {
+		for _, v := range list {
+			s.Append(k, v)
+		}
+	}
+	return s, nil
+}
+
+// RestoreFile reads a snapshot file.
+func RestoreFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Restore(bufio.NewReader(f))
+}
+
+// --- write-ahead log ---
+
+// walOp tags log records.
+type walOp uint8
+
+const (
+	walPut walOp = iota + 1
+	walDelete
+	walAppend
+)
+
+// Logger wraps a Store, teeing every mutation to an append-only log.
+// Reads pass through untouched. Replay applies a log to an empty (or
+// snapshot-restored) store.
+type Logger struct {
+	*Store
+	w  io.Writer
+	mu chan struct{} // binary semaphore serializing log writes
+}
+
+// NewLogger wraps store so mutations are logged to w. The caller is
+// responsible for w's durability (e.g. an os.File with periodic Sync).
+func NewLogger(store *Store, w io.Writer) *Logger {
+	l := &Logger{Store: store, w: w, mu: make(chan struct{}, 1)}
+	l.mu <- struct{}{}
+	return l
+}
+
+func (l *Logger) log(op walOp, key string, value []byte) {
+	<-l.mu
+	defer func() { l.mu <- struct{}{} }()
+	var hdr [9]byte
+	hdr[0] = byte(op)
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(key)))
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(value)))
+	// Errors are surfaced on Replay (torn tail tolerated), matching the
+	// best-effort semantics of an async appendfsync log.
+	l.w.Write(hdr[:])
+	io.WriteString(l.w, key)
+	l.w.Write(value)
+}
+
+// Put logs then applies.
+func (l *Logger) Put(key string, value []byte) {
+	l.log(walPut, key, value)
+	l.Store.Put(key, value)
+}
+
+// PutIfAbsent logs only when the write happens.
+func (l *Logger) PutIfAbsent(key string, value []byte) bool {
+	ok := l.Store.PutIfAbsent(key, value)
+	if ok {
+		l.log(walPut, key, value)
+	}
+	return ok
+}
+
+// Update logs the resulting value when the update commits.
+func (l *Logger) Update(key string, fn func(cur []byte, exists bool) ([]byte, bool)) bool {
+	var logged []byte
+	ok := l.Store.Update(key, func(cur []byte, exists bool) ([]byte, bool) {
+		next, commit := fn(cur, exists)
+		if commit {
+			logged = make([]byte, len(next))
+			copy(logged, next)
+		}
+		return next, commit
+	})
+	if ok {
+		l.log(walPut, key, logged)
+	}
+	return ok
+}
+
+// Delete logs then applies.
+func (l *Logger) Delete(key string) bool {
+	l.log(walDelete, key, nil)
+	return l.Store.Delete(key)
+}
+
+// Append logs then applies.
+func (l *Logger) Append(key string, value []byte) {
+	l.log(walAppend, key, value)
+	l.Store.Append(key, value)
+}
+
+// Replay applies a mutation log to store. A truncated final record (torn
+// write during a crash) ends replay without error; anything else malformed
+// is reported.
+func Replay(r io.Reader, store *Store) (records int, err error) {
+	br := bufio.NewReader(r)
+	for {
+		var hdr [9]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return records, nil
+			}
+			return records, nil // torn header: stop at last good record
+		}
+		op := walOp(hdr[0])
+		keyLen := binary.BigEndian.Uint32(hdr[1:5])
+		valLen := binary.BigEndian.Uint32(hdr[5:9])
+		if keyLen > 1<<20 || valLen > maxFrame {
+			return records, fmt.Errorf("kv: corrupt wal record %d", records)
+		}
+		key := make([]byte, keyLen)
+		if _, err := io.ReadFull(br, key); err != nil {
+			return records, nil
+		}
+		val := make([]byte, valLen)
+		if _, err := io.ReadFull(br, val); err != nil {
+			return records, nil
+		}
+		switch op {
+		case walPut:
+			store.Put(string(key), val)
+		case walDelete:
+			store.Delete(string(key))
+		case walAppend:
+			store.Append(string(key), val)
+		default:
+			return records, fmt.Errorf("kv: unknown wal op %d at record %d", op, records)
+		}
+		records++
+	}
+}
+
+// maxFrame guards Replay against corrupt length prefixes.
+const maxFrame = 256 << 20

@@ -1,0 +1,200 @@
+package kv
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := New(4)
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Append("list", []byte("x"))
+	s.Append("list", []byte("y"))
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumShards() != 4 {
+		t.Fatalf("shards = %d", r.NumShards())
+	}
+	v, ok := r.Get("a")
+	if !ok || string(v) != "1" {
+		t.Fatalf("a = %q, %v", v, ok)
+	}
+	list := r.List("list")
+	if len(list) != 2 || string(list[0]) != "x" || string(list[1]) != "y" {
+		t.Fatalf("list = %v", list)
+	}
+}
+
+func TestSnapshotFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.gob")
+	s := New(2)
+	s.Put("k", []byte("v"))
+	if err := s.SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Get("k"); string(v) != "v" {
+		t.Fatal("file round trip lost data")
+	}
+	if _, err := RestoreFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage restored")
+	}
+}
+
+func TestWALReplayReproducesState(t *testing.T) {
+	var wal bytes.Buffer
+	l := NewLogger(New(4), &wal)
+	l.Put("a", []byte("1"))
+	l.Put("a", []byte("2")) // overwrite
+	l.Put("b", []byte("3"))
+	l.Delete("b")
+	l.Append("events", []byte("e1"))
+	l.Append("events", []byte("e2"))
+	l.PutIfAbsent("c", []byte("4"))
+	l.PutIfAbsent("c", []byte("5")) // no-op, must not be logged
+	l.Update("a", func(cur []byte, exists bool) ([]byte, bool) {
+		return append(cur, '!'), true
+	})
+	l.Update("a", func(cur []byte, exists bool) ([]byte, bool) {
+		return nil, false // aborted, must not be logged
+	})
+
+	replayed := New(4)
+	n, err := Replay(bytes.NewReader(wal.Bytes()), replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Logged: put a, put a, put b, del b, append x2, putIfAbsent c,
+	// committed update a = 8 records; the failed putIfAbsent and aborted
+	// update must not appear.
+	if n != 8 {
+		t.Fatalf("replayed %d records, want 8", n)
+	}
+	if v, _ := replayed.Get("a"); string(v) != "2!" {
+		t.Fatalf("a = %q", v)
+	}
+	if _, ok := replayed.Get("b"); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	if v, _ := replayed.Get("c"); string(v) != "4" {
+		t.Fatalf("c = %q", v)
+	}
+	if got := replayed.List("events"); len(got) != 2 || string(got[1]) != "e2" {
+		t.Fatalf("events = %v", got)
+	}
+}
+
+func TestWALTornTailTolerated(t *testing.T) {
+	var wal bytes.Buffer
+	l := NewLogger(New(1), &wal)
+	l.Put("a", []byte("1"))
+	l.Put("b", []byte("2"))
+	full := wal.Bytes()
+	// Cut the log mid-record (simulate a crash during the last write).
+	torn := full[:len(full)-3]
+	replayed := New(1)
+	n, err := Replay(bytes.NewReader(torn), replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records from torn log, want 1", n)
+	}
+	if v, _ := replayed.Get("a"); string(v) != "1" {
+		t.Fatal("good prefix lost")
+	}
+}
+
+func TestWALRejectsCorruptLength(t *testing.T) {
+	bad := []byte{byte(walPut), 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}
+	if _, err := Replay(bytes.NewReader(bad), New(1)); err == nil {
+		t.Fatal("corrupt length accepted")
+	}
+}
+
+// Property: snapshot+restore preserves arbitrary key/value pairs.
+func TestQuickSnapshotFidelity(t *testing.T) {
+	f := func(keys []string, vals [][]byte) bool {
+		s := New(3)
+		want := make(map[string][]byte) // last write wins on duplicate keys
+		for i, k := range keys {
+			var v []byte
+			if i < len(vals) {
+				v = vals[i]
+			}
+			s.Put("k:"+k, v)
+			want["k:"+k] = v
+		}
+		var buf bytes.Buffer
+		if err := s.Snapshot(&buf); err != nil {
+			return false
+		}
+		r, err := Restore(&buf)
+		if err != nil {
+			return false
+		}
+		for k, v := range want {
+			got, ok := r.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Control-plane recovery end to end: snapshot a gcs-shaped store, "crash",
+// restore, and check the replayed store serves the same data.
+func TestSnapshotThenWALCombined(t *testing.T) {
+	var wal bytes.Buffer
+	base := New(2)
+	base.Put("task:1", []byte("spec1"))
+	var snap bytes.Buffer
+	if err := base.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// Mutations after the snapshot go to the WAL.
+	l := NewLogger(base, &wal)
+	l.Put("task:2", []byte("spec2"))
+	l.Append("events:n1", []byte("ev"))
+
+	// Crash. Recover = restore snapshot, then replay WAL.
+	recovered, err := Restore(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(bytes.NewReader(wal.Bytes()), recovered); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"task:1", "task:2"} {
+		if _, ok := recovered.Get(k); !ok {
+			t.Fatalf("%s missing after recovery", k)
+		}
+	}
+	if recovered.ListLen("events:n1") != 1 {
+		t.Fatal("event log lost")
+	}
+}

@@ -1,0 +1,188 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	s := New(4)
+	sub := s.Subscribe("ch")
+	defer sub.Close()
+	s.Publish("ch", []byte("hello"))
+	select {
+	case msg := <-sub.C():
+		if string(msg) != "hello" {
+			t.Fatalf("got %q", msg)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timed out waiting for message")
+	}
+}
+
+func TestPublishOrder(t *testing.T) {
+	s := New(4)
+	sub := s.Subscribe("ch")
+	defer sub.Close()
+	const n = 500
+	for i := 0; i < n; i++ {
+		s.Publish("ch", []byte{byte(i), byte(i >> 8)})
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case msg := <-sub.C():
+			got := int(msg[0]) | int(msg[1])<<8
+			if got != i {
+				t.Fatalf("out of order: got %d want %d", got, i)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("timed out at message %d", i)
+		}
+	}
+}
+
+func TestSlowSubscriberDoesNotBlockPublisher(t *testing.T) {
+	s := New(1)
+	sub := s.Subscribe("ch")
+	defer sub.Close()
+	// Publish far more than the out-channel buffer without receiving.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			s.Publish("ch", []byte("x"))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on slow subscriber")
+	}
+	// All messages must still arrive.
+	for i := 0; i < 10000; i++ {
+		select {
+		case <-sub.C():
+		case <-time.After(time.Second):
+			t.Fatalf("lost message %d", i)
+		}
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	s := New(4)
+	subs := make([]*Subscription, 3)
+	for i := range subs {
+		subs[i] = s.Subscribe("ch")
+		defer subs[i].Close()
+	}
+	if s.NumSubscribers("ch") != 3 {
+		t.Fatalf("NumSubscribers = %d", s.NumSubscribers("ch"))
+	}
+	s.Publish("ch", []byte("m"))
+	for i, sub := range subs {
+		select {
+		case <-sub.C():
+		case <-time.After(time.Second):
+			t.Fatalf("subscriber %d missed message", i)
+		}
+	}
+}
+
+func TestCloseStopsDelivery(t *testing.T) {
+	s := New(4)
+	sub := s.Subscribe("ch")
+	sub.Close()
+	sub.Close() // idempotent
+	if s.NumSubscribers("ch") != 0 {
+		t.Fatal("subscriber still registered after Close")
+	}
+	s.Publish("ch", []byte("m")) // must not panic or deadlock
+	// C() must be closed.
+	select {
+	case _, ok := <-sub.C():
+		if ok {
+			t.Fatal("received message after Close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("C() not closed")
+	}
+}
+
+func TestCloseWhileBlockedOnSend(t *testing.T) {
+	s := New(1)
+	sub := s.Subscribe("ch")
+	// Fill the out buffer and the pump's in-flight send.
+	for i := 0; i < 100; i++ {
+		s.Publish("ch", []byte("x"))
+	}
+	time.Sleep(10 * time.Millisecond) // let pump block on full channel
+	done := make(chan struct{})
+	go func() {
+		sub.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close deadlocked against blocked pump")
+	}
+}
+
+func TestChannelIsolation(t *testing.T) {
+	s := New(8)
+	a := s.Subscribe("a")
+	defer a.Close()
+	b := s.Subscribe("b")
+	defer b.Close()
+	s.Publish("a", []byte("for-a"))
+	select {
+	case msg := <-a.C():
+		if string(msg) != "for-a" {
+			t.Fatalf("got %q", msg)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("a missed its message")
+	}
+	select {
+	case msg := <-b.C():
+		t.Fatalf("b received %q meant for a", msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestConcurrentPublishersAllDelivered(t *testing.T) {
+	s := New(8)
+	sub := s.Subscribe("ch")
+	defer sub.Close()
+	const publishers, perP = 8, 100
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				s.Publish("ch", []byte(fmt.Sprintf("%d-%d", p, i)))
+			}
+		}(p)
+	}
+	wg.Wait()
+	seen := make(map[string]bool)
+	for i := 0; i < publishers*perP; i++ {
+		select {
+		case msg := <-sub.C():
+			if seen[string(msg)] {
+				t.Fatalf("duplicate %q", msg)
+			}
+			seen[string(msg)] = true
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d of %d messages arrived", i, publishers*perP)
+		}
+	}
+}
+
+func TestPublishNoSubscribersIsNoop(t *testing.T) {
+	s := New(2)
+	s.Publish("nobody", []byte("m")) // must not panic
+}

@@ -1,0 +1,308 @@
+// Package node assembles one cluster node exactly as drawn in the paper's
+// Figure 3: a local scheduler, a shared in-memory object store, and workers
+// (goroutine executions admitted by resource accounting), wired to the
+// centralized control plane and the cluster network. A Node implements
+// core.Backend, so both the driver and every task running on the node share
+// one API surface.
+package node
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gcs"
+	"repro/internal/objectstore"
+	"repro/internal/scheduler"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// AssignMethod is the transport method by which the global scheduler
+// delivers placements to a node's local scheduler.
+const AssignMethod = "scheduler.assign"
+
+// Config describes one node.
+type Config struct {
+	// Resources is the node's total capacity (e.g. {CPU:8, GPU:1}).
+	Resources types.Resources
+	// StoreCapacity bounds the object store in bytes; 0 = unlimited.
+	StoreCapacity int64
+	// SpillThreshold is forwarded to the local scheduler (see
+	// scheduler.SpillNever / SpillAlways).
+	SpillThreshold int
+	// Network connects the node to its peers and must match ListenAddr.
+	Network transport.Network
+	// ListenAddr is the node server's bind address.
+	ListenAddr string
+	// AdvertiseAddr is the address peers dial; defaults to ListenAddr.
+	AdvertiseAddr string
+	// Ctrl is the control plane.
+	Ctrl gcs.API
+	// Registry holds the functions this node's workers can run.
+	Registry *core.Registry
+	// HeartbeatInterval for load reporting; 0 disables heartbeats.
+	HeartbeatInterval time.Duration
+	// DepPollInterval is forwarded to the local scheduler (tests tighten it).
+	DepPollInterval time.Duration
+}
+
+// Node is a running cluster node.
+type Node struct {
+	id      types.NodeID
+	addr    string
+	cfg     Config
+	ctrl    gcs.API
+	store   *objectstore.Store
+	fetcher *objectstore.Fetcher
+	sched   *scheduler.Local
+	exec    *worker
+	recon   *fault.Reconstructor
+
+	server   *transport.Server
+	listener io.Closer
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	dead     atomic.Bool
+}
+
+// worker aliases the executor to keep the Node struct readable.
+type worker = executorShim
+
+// New builds and starts a node: object store, pull server, local scheduler,
+// executor, reconstructor, heartbeats, and control-plane registration.
+func New(cfg Config) (*Node, error) {
+	if cfg.Ctrl == nil || cfg.Network == nil || cfg.Registry == nil {
+		return nil, fmt.Errorf("node: Ctrl, Network, and Registry are required")
+	}
+	if cfg.Resources == nil {
+		cfg.Resources = types.CPU(8)
+	}
+	if cfg.AdvertiseAddr == "" {
+		cfg.AdvertiseAddr = cfg.ListenAddr
+	}
+	var id types.NodeID
+	if _, err := rand.Read(id[:]); err != nil {
+		return nil, err
+	}
+
+	n := &Node{id: id, addr: cfg.AdvertiseAddr, cfg: cfg, ctrl: cfg.Ctrl, stop: make(chan struct{})}
+	n.store = objectstore.New(id, cfg.Ctrl, cfg.StoreCapacity)
+	n.fetcher = objectstore.NewFetcher(n.store, cfg.Network, n.resolvePeerAddr)
+
+	n.sched = scheduler.NewLocal(scheduler.LocalConfig{
+		Node:            id,
+		Total:           cfg.Resources,
+		Ctrl:            cfg.Ctrl,
+		Store:           n.store,
+		Fetcher:         n.fetcher,
+		SpillThreshold:  cfg.SpillThreshold,
+		DepPollInterval: cfg.DepPollInterval,
+	})
+	n.recon = &fault.Reconstructor{
+		Ctrl: cfg.Ctrl,
+		Resubmit: func(spec types.TaskSpec) error {
+			if n.dead.Load() {
+				return scheduler.ErrStopped
+			}
+			return n.sched.Submit(spec, false)
+		},
+	}
+	n.sched.SetRecon(func(obj types.ObjectID) { _ = n.recon.RequestObject(obj) })
+	n.exec = newExecutorShim(n)
+	n.sched.SetExec(n.exec.Execute)
+
+	n.server = transport.NewServer()
+	objectstore.RegisterPullHandler(n.server, n.store)
+	n.server.Handle(AssignMethod, func(payload []byte) ([]byte, error) {
+		spec, err := codec.DecodeAs[types.TaskSpec](payload)
+		if err != nil {
+			return nil, fmt.Errorf("node: bad assignment: %w", err)
+		}
+		if err := n.sched.Submit(spec, true); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	listener, err := cfg.Network.Listen(cfg.ListenAddr, n.server)
+	if err != nil {
+		return nil, fmt.Errorf("node: listen %s: %w", cfg.ListenAddr, err)
+	}
+	n.listener = listener
+
+	cfg.Ctrl.RegisterNode(types.NodeInfo{ID: id, Addr: cfg.AdvertiseAddr, Total: cfg.Resources.Clone()})
+	n.sched.Start()
+	if cfg.HeartbeatInterval > 0 {
+		n.wg.Add(1)
+		go n.heartbeatLoop()
+	}
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() types.NodeID { return n.id }
+
+// Addr returns the node's advertised transport address.
+func (n *Node) Addr() string { return n.addr }
+
+// Store exposes the object store (tests, tools).
+func (n *Node) Store() *objectstore.Store { return n.store }
+
+// Scheduler exposes the local scheduler (tests, dashboards).
+func (n *Node) Scheduler() *scheduler.Local { return n.sched }
+
+// Executor exposes execution counters (dashboards).
+func (n *Node) Executor() ExecStats { return n.exec }
+
+// Registry returns the node's function registry.
+func (n *Node) Registry() *core.Registry { return n.cfg.Registry }
+
+func (n *Node) resolvePeerAddr(id types.NodeID) (string, bool) {
+	info, ok := n.ctrl.GetNode(id)
+	if !ok || !info.Alive {
+		return "", false
+	}
+	return info.Addr, true
+}
+
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			n.ctrl.Heartbeat(n.id, n.sched.QueueLen(), n.sched.Available())
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// --- core.Backend ---
+
+// SubmitTask implements core.Backend.
+func (n *Node) SubmitTask(spec types.TaskSpec) error {
+	if n.dead.Load() {
+		return scheduler.ErrStopped
+	}
+	return n.sched.Submit(spec, false)
+}
+
+// ObjectLocal implements core.Backend.
+func (n *Node) ObjectLocal(id types.ObjectID) bool { return n.store.Contains(id) }
+
+// PutObject implements core.Backend.
+func (n *Node) PutObject(id types.ObjectID, data []byte) error {
+	return n.store.Put(id, data)
+}
+
+// Control implements core.Backend.
+func (n *Node) Control() gcs.API { return n.ctrl }
+
+// NodeID implements core.Backend.
+func (n *Node) NodeID() types.NodeID { return n.id }
+
+// ResolveObject implements core.Backend: block until the object is locally
+// resident, pulling remote copies and replaying lineage for lost ones. This
+// is the machinery under every Get.
+func (n *Node) ResolveObject(ctx context.Context, id types.ObjectID) ([]byte, error) {
+	if data, ok := n.store.Get(id); ok {
+		return data, nil
+	}
+	sub := n.ctrl.SubscribeObjectReady(id)
+	defer sub.Close()
+	poll := time.NewTicker(10 * time.Millisecond)
+	defer poll.Stop()
+	// Stranded-producer probing is throttled (see scheduler.Local.resolveDep
+	// for the rationale); ~every 20 wakeups ≈ 200ms worst case to detect a
+	// producer that died while queued.
+	const strandedCheckPeriod = 20
+	wakeups := 0
+	for {
+		if data, ok := n.store.Get(id); ok {
+			return data, nil
+		}
+		if info, ok := n.ctrl.GetObject(id); ok {
+			switch info.State {
+			case types.ObjectReady:
+				if len(info.Locations) > 0 {
+					fctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+					err := n.fetcher.Fetch(fctx, id, info.Locations)
+					cancel()
+					if err == nil {
+						continue
+					}
+				}
+			case types.ObjectLost:
+				if err := n.recon.RequestObject(id); err != nil {
+					return nil, err
+				}
+			case types.ObjectPending:
+				// The reconstructor no-ops for healthy in-flight producers
+				// and replays producers stranded on dead nodes.
+				if wakeups%strandedCheckPeriod == 0 {
+					if err := n.recon.RequestObject(id); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		wakeups++
+		arrival := n.store.WaitChan(id)
+		select {
+		case <-arrival:
+		case <-sub.C():
+		case <-poll.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-n.stop:
+			return nil, scheduler.ErrStopped
+		}
+	}
+}
+
+// --- lifecycle ---
+
+// Shutdown stops the node gracefully.
+func (n *Node) Shutdown() {
+	n.stopOnce.Do(func() {
+		n.dead.Store(true)
+		close(n.stop)
+		n.sched.Stop()
+		if n.listener != nil {
+			n.listener.Close()
+		}
+		n.fetcher.Close()
+		n.ctrl.MarkNodeDead(n.id)
+		n.wg.Wait()
+	})
+}
+
+// Kill simulates a node crash for fault-tolerance experiments (R6): the
+// scheduler dies with its queues, the object store's memory vanishes, the
+// server stops answering, and the control plane learns the node is dead.
+// Objects whose only copy lived here transition to LOST.
+func (n *Node) Kill() {
+	n.stopOnce.Do(func() {
+		n.dead.Store(true)
+		close(n.stop)
+		n.sched.Stop()
+		if n.listener != nil {
+			n.listener.Close()
+		}
+		n.store.Fail()
+		n.fetcher.Close()
+		n.ctrl.MarkNodeDead(n.id)
+		n.wg.Wait()
+	})
+}

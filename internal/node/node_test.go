@@ -1,0 +1,227 @@
+package node
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/gcs"
+	"repro/internal/scheduler"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func testRegistry() *core.Registry {
+	reg := core.NewRegistry()
+	core.Register1(reg, "double", func(tc *core.TaskContext, x int) (int, error) {
+		return 2 * x, nil
+	})
+	return reg
+}
+
+func newTestNode(t *testing.T, ctrl gcs.API, nw transport.Network, addr string, reg *core.Registry) *Node {
+	t.Helper()
+	n, err := New(Config{
+		Resources:      types.CPU(4),
+		Network:        nw,
+		ListenAddr:     addr,
+		Ctrl:           ctrl,
+		Registry:       reg,
+		SpillThreshold: scheduler.SpillNever,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Shutdown)
+	return n
+}
+
+func TestNodeRegistersWithControlPlane(t *testing.T) {
+	ctrl := gcs.NewStore(2)
+	nw := transport.NewInproc(0)
+	n := newTestNode(t, ctrl, nw, "n1", testRegistry())
+	info, ok := ctrl.GetNode(n.ID())
+	if !ok || !info.Alive || info.Addr != "n1" {
+		t.Fatalf("node info: %+v %v", info, ok)
+	}
+	if info.Total[types.ResCPU] != 4 {
+		t.Fatalf("capacity: %v", info.Total)
+	}
+}
+
+func TestNodeBackendRoundTrip(t *testing.T) {
+	ctrl := gcs.NewStore(2)
+	nw := transport.NewInproc(0)
+	n := newTestNode(t, ctrl, nw, "n1", testRegistry())
+	d := core.NewClient(n)
+	ref, err := d.Submit1(core.Call{Function: "double", Args: []types.Arg{core.Val(21)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	raw, err := d.Get(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := codec.DecodeAs[int](raw)
+	if err != nil || v != 42 {
+		t.Fatalf("double(21) = %d, %v", v, err)
+	}
+}
+
+func TestAssignMethodDeliversTasks(t *testing.T) {
+	ctrl := gcs.NewStore(2)
+	nw := transport.NewInproc(0)
+	n := newTestNode(t, ctrl, nw, "n1", testRegistry())
+	client, err := nw.Dial("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	spec := types.TaskSpec{
+		ID:         types.DeriveTaskID(types.NilTaskID, 80),
+		Function:   "double",
+		Args:       []types.Arg{core.Val(5)},
+		NumReturns: 1,
+		Resources:  types.CPU(1),
+	}
+	if _, err := client.Call(AssignMethod, codec.MustEncode(spec)); err != nil {
+		t.Fatal(err)
+	}
+	d := core.NewClient(n)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	raw, err := d.Get(ctx, core.ObjectRef{ID: spec.ReturnID(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := codec.DecodeAs[int](raw)
+	if v != 10 {
+		t.Fatalf("assigned task result = %d", v)
+	}
+	// Malformed assignment must error, not crash.
+	if _, err := client.Call(AssignMethod, []byte("garbage")); err == nil {
+		t.Fatal("garbage assignment accepted")
+	}
+}
+
+func TestKillMarksDeadAndDropsObjects(t *testing.T) {
+	ctrl := gcs.NewStore(2)
+	nw := transport.NewInproc(0)
+	n := newTestNode(t, ctrl, nw, "n1", testRegistry())
+	obj := types.PutObjectID(types.DeriveTaskID(types.NilTaskID, 81), 1)
+	if err := n.PutObject(obj, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	n.Kill()
+	info, _ := ctrl.GetNode(n.ID())
+	if info.Alive {
+		t.Fatal("killed node still alive in control plane")
+	}
+	oinfo, _ := ctrl.GetObject(obj)
+	if oinfo.State != types.ObjectLost {
+		t.Fatalf("object state after kill: %v", oinfo.State)
+	}
+	if err := n.SubmitTask(types.TaskSpec{ID: types.DeriveTaskID(types.NilTaskID, 82), Function: "double", NumReturns: 1}); err == nil {
+		t.Fatal("dead node accepted a task")
+	}
+	// Store must refuse resurrection.
+	if err := n.PutObject(obj, []byte("x")); err == nil {
+		t.Fatal("dead store accepted a Put")
+	}
+}
+
+func TestHeartbeatsUpdateLoad(t *testing.T) {
+	ctrl := gcs.NewStore(2)
+	nw := transport.NewInproc(0)
+	n, err := New(Config{
+		Resources:         types.CPU(2),
+		Network:           nw,
+		ListenAddr:        "hb",
+		Ctrl:              ctrl,
+		Registry:          testRegistry(),
+		SpillThreshold:    scheduler.SpillNever,
+		HeartbeatInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Shutdown()
+	deadline := time.After(2 * time.Second)
+	for {
+		info, _ := ctrl.GetNode(n.ID())
+		if info.Available != nil && info.Available[types.ResCPU] == 2 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("heartbeat never reported availability: %+v", info)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestTCPClusterSmoke runs two nodes over real TCP sockets sharing one
+// in-process control plane, with a task whose dependency must transfer
+// between nodes — the multi-process data path end to end.
+func TestTCPClusterSmoke(t *testing.T) {
+	ctrl := gcs.NewStore(4)
+	nw := transport.TCP{}
+	reg := testRegistry()
+	n1, err := New(Config{
+		Resources:      types.CPU(2),
+		Network:        nw,
+		ListenAddr:     "127.0.0.1:39381",
+		Ctrl:           ctrl,
+		Registry:       reg,
+		SpillThreshold: scheduler.SpillNever,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Shutdown()
+	n2, err := New(Config{
+		Resources:      types.CPU(2),
+		Network:        nw,
+		ListenAddr:     "127.0.0.1:39382",
+		Ctrl:           ctrl,
+		Registry:       reg,
+		SpillThreshold: scheduler.SpillNever,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Shutdown()
+
+	// Produce on node 1, consume from node 2: the argument object must
+	// travel over TCP via the pull protocol.
+	d1 := core.NewClient(n1)
+	ref, err := d1.Submit1(core.Call{Function: "double", Args: []types.Arg{core.Val(100)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if _, err := d1.Get(ctx, ref); err != nil {
+		t.Fatal(err)
+	}
+	d2 := core.NewClient(n2)
+	ref2, err := d2.Submit1(core.Call{Function: "double", Args: []types.Arg{core.RefOf(ref)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := d2.Get(ctx, ref2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := codec.DecodeAs[int](raw)
+	if v != 400 {
+		t.Fatalf("cross-node chain = %d, want 400", v)
+	}
+	if !n2.Store().Contains(ref.ID) {
+		t.Fatal("dependency never transferred to node 2")
+	}
+}

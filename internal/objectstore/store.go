@@ -1,0 +1,231 @@
+// Package objectstore implements the per-node in-memory object store from
+// the paper's Figure 3 ("Shared Memory / Object Store"). Workers on a node
+// share one store; objects are immutable byte blobs keyed by ObjectID.
+// Because workers here are goroutines in one address space, an in-process
+// store is the faithful analogue of the paper's shared-memory store; the
+// inter-node pull protocol lives in transfer.go.
+package objectstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/gcs"
+	"repro/internal/types"
+)
+
+// ErrStoreFull is returned when a Put cannot fit even after evicting every
+// unpinned object.
+var ErrStoreFull = errors.New("objectstore: store full")
+
+type entry struct {
+	data   []byte
+	pinned int
+	seq    uint64 // LRU clock: last access sequence number
+}
+
+// Store holds this node's objects. All methods are safe for concurrent use.
+type Store struct {
+	node types.NodeID
+	ctrl gcs.API
+
+	mu       sync.Mutex
+	objects  map[types.ObjectID]*entry
+	waiters  map[types.ObjectID][]chan struct{}
+	capacity int64 // bytes; 0 = unlimited
+	used     int64
+	clock    uint64
+	failed   bool
+}
+
+// ErrFailed is returned by Put after the store has crashed (Fail).
+var ErrFailed = errors.New("objectstore: store failed")
+
+// New creates a store for node, registering locations with ctrl. capacity
+// of 0 means unlimited.
+func New(node types.NodeID, ctrl gcs.API, capacity int64) *Store {
+	return &Store{
+		node:     node,
+		ctrl:     ctrl,
+		objects:  make(map[types.ObjectID]*entry),
+		waiters:  make(map[types.ObjectID][]chan struct{}),
+		capacity: capacity,
+	}
+}
+
+// Node returns the owning node's ID.
+func (s *Store) Node() types.NodeID { return s.node }
+
+// Put stores data under id, records the location in the control plane, and
+// wakes local waiters. Storing an already-present object is a no-op (objects
+// are immutable, so the bytes are identical by construction).
+func (s *Store) Put(id types.ObjectID, data []byte) error {
+	s.mu.Lock()
+	if s.failed {
+		s.mu.Unlock()
+		return ErrFailed
+	}
+	if _, exists := s.objects[id]; exists {
+		s.mu.Unlock()
+		return nil
+	}
+	size := int64(len(data))
+	if s.capacity > 0 && s.used+size > s.capacity {
+		if !s.evictLocked(s.used + size - s.capacity) {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: need %d bytes, capacity %d", ErrStoreFull, size, s.capacity)
+		}
+	}
+	s.clock++
+	s.objects[id] = &entry{data: data, seq: s.clock}
+	s.used += size
+	ws := s.waiters[id]
+	delete(s.waiters, id)
+	s.mu.Unlock()
+
+	s.ctrl.AddObjectLocation(id, s.node, size)
+	for _, w := range ws {
+		close(w)
+	}
+	return nil
+}
+
+// evictLocked frees at least need bytes of unpinned objects, LRU-first.
+// It reports whether enough space was reclaimed. Caller holds s.mu.
+func (s *Store) evictLocked(need int64) bool {
+	for need > 0 {
+		var victim types.ObjectID
+		var victimEntry *entry
+		for id, e := range s.objects {
+			if e.pinned > 0 {
+				continue
+			}
+			if victimEntry == nil || e.seq < victimEntry.seq {
+				victim, victimEntry = id, e
+			}
+		}
+		if victimEntry == nil {
+			return false
+		}
+		size := int64(len(victimEntry.data))
+		delete(s.objects, victim)
+		s.used -= size
+		need -= size
+		// Control-plane update outside the lock would be cleaner but Put
+		// holds the lock across eviction; the control plane is lock-free
+		// with respect to this mutex, so this is deadlock-safe.
+		s.ctrl.RemoveObjectLocation(victim, s.node)
+	}
+	return true
+}
+
+// Get returns the object's bytes if locally present.
+func (s *Store) Get(id types.ObjectID) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return nil, false
+	}
+	s.clock++
+	e.seq = s.clock
+	return e.data, true
+}
+
+// Contains reports local presence without touching LRU state.
+func (s *Store) Contains(id types.ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objects[id]
+	return ok
+}
+
+// Pin prevents eviction of id while a worker uses its buffer.
+func (s *Store) Pin(id types.ObjectID) {
+	s.mu.Lock()
+	if e, ok := s.objects[id]; ok {
+		e.pinned++
+	}
+	s.mu.Unlock()
+}
+
+// Unpin releases a Pin.
+func (s *Store) Unpin(id types.ObjectID) {
+	s.mu.Lock()
+	if e, ok := s.objects[id]; ok && e.pinned > 0 {
+		e.pinned--
+	}
+	s.mu.Unlock()
+}
+
+// WaitChan returns a channel closed when id becomes locally present. If the
+// object is already present the returned channel is closed immediately.
+func (s *Store) WaitChan(id types.ObjectID) <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan struct{})
+	if _, ok := s.objects[id]; ok {
+		close(ch)
+		return ch
+	}
+	s.waiters[id] = append(s.waiters[id], ch)
+	return ch
+}
+
+// Delete removes id locally and deregisters the location.
+func (s *Store) Delete(id types.ObjectID) bool {
+	s.mu.Lock()
+	e, ok := s.objects[id]
+	if ok {
+		delete(s.objects, id)
+		s.used -= int64(len(e.data))
+	}
+	s.mu.Unlock()
+	if ok {
+		s.ctrl.RemoveObjectLocation(id, s.node)
+	}
+	return ok
+}
+
+// Fail simulates the node's memory vanishing in a crash: every object is
+// dropped and all future Puts fail, so in-flight tasks on a killed node
+// cannot resurrect locations for a store that no longer exists (R6 failure
+// injection).
+func (s *Store) Fail() {
+	s.mu.Lock()
+	s.failed = true
+	s.mu.Unlock()
+	s.DropAll()
+}
+
+// DropAll removes every object, as when a node's memory is lost in a crash
+// (failure injection, R6). Locations are deregistered so the control plane
+// marks sole copies Lost.
+func (s *Store) DropAll() {
+	s.mu.Lock()
+	ids := make([]types.ObjectID, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	s.objects = make(map[types.ObjectID]*entry)
+	s.used = 0
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.ctrl.RemoveObjectLocation(id, s.node)
+	}
+}
+
+// Used returns resident bytes.
+func (s *Store) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Count returns the number of resident objects.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}

@@ -1,0 +1,297 @@
+package objectstore
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gcs"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func testNode(i uint64) types.NodeID {
+	return types.NodeID(types.DeriveTaskID(types.NilTaskID, 5000+i))
+}
+
+func testObj(i uint64) types.ObjectID {
+	return types.ObjectIDForReturn(types.DeriveTaskID(types.NilTaskID, i), 0)
+}
+
+func TestPutGet(t *testing.T) {
+	ctrl := gcs.NewStore(2)
+	s := New(testNode(1), ctrl, 0)
+	id := testObj(1)
+	if err := s.Put(id, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(id)
+	if !ok || string(got) != "data" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if !s.Contains(id) || s.Count() != 1 || s.Used() != 4 {
+		t.Fatal("bookkeeping wrong")
+	}
+	// Control plane must know the location.
+	info, ok := ctrl.GetObject(id)
+	if !ok || !info.HasLocation(s.Node()) || info.Size != 4 {
+		t.Fatalf("control plane: %+v, %v", info, ok)
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	s := New(testNode(1), gcs.NewStore(1), 0)
+	id := testObj(2)
+	s.Put(id, []byte("aaaa"))
+	s.Put(id, []byte("aaaa"))
+	if s.Used() != 4 || s.Count() != 1 {
+		t.Fatal("duplicate Put double-counted")
+	}
+}
+
+func TestWaitChan(t *testing.T) {
+	s := New(testNode(1), gcs.NewStore(1), 0)
+	id := testObj(3)
+	ch := s.WaitChan(id)
+	select {
+	case <-ch:
+		t.Fatal("waiter fired before Put")
+	case <-time.After(10 * time.Millisecond):
+	}
+	go s.Put(id, []byte("x"))
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("waiter never fired")
+	}
+	// Already-present object: channel closed immediately.
+	select {
+	case <-s.WaitChan(id):
+	case <-time.After(time.Second):
+		t.Fatal("present-object wait did not fire")
+	}
+}
+
+func TestDeleteDeregisters(t *testing.T) {
+	ctrl := gcs.NewStore(1)
+	s := New(testNode(1), ctrl, 0)
+	id := testObj(4)
+	s.Put(id, []byte("x"))
+	if !s.Delete(id) {
+		t.Fatal("Delete missed present object")
+	}
+	if s.Delete(id) {
+		t.Fatal("second Delete succeeded")
+	}
+	info, _ := ctrl.GetObject(id)
+	if info.State != types.ObjectLost {
+		t.Fatalf("sole copy deleted but state = %v", info.State)
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	ctrl := gcs.NewStore(1)
+	s := New(testNode(1), ctrl, 30)
+	a, b, c := testObj(10), testObj(11), testObj(12)
+	s.Put(a, make([]byte, 10))
+	s.Put(b, make([]byte, 10))
+	s.Get(a) // a becomes most recently used; b is the LRU victim
+	if err := s.Put(c, make([]byte, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(b) {
+		t.Fatal("LRU victim survived")
+	}
+	if !s.Contains(a) || !s.Contains(c) {
+		t.Fatal("wrong object evicted")
+	}
+	if s.Used() > 30 {
+		t.Fatalf("used %d exceeds capacity", s.Used())
+	}
+}
+
+func TestPinnedObjectsSurviveEviction(t *testing.T) {
+	s := New(testNode(1), gcs.NewStore(1), 20)
+	a, b := testObj(13), testObj(14)
+	s.Put(a, make([]byte, 15))
+	s.Pin(a)
+	if err := s.Put(b, make([]byte, 15)); err == nil {
+		t.Fatal("Put succeeded with only pinned objects to evict")
+	}
+	s.Unpin(a)
+	if err := s.Put(b, make([]byte, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(a) {
+		t.Fatal("unpinned LRU object survived")
+	}
+}
+
+func TestDropAllMarksLost(t *testing.T) {
+	ctrl := gcs.NewStore(2)
+	s := New(testNode(1), ctrl, 0)
+	ids := []types.ObjectID{testObj(20), testObj(21)}
+	for _, id := range ids {
+		s.Put(id, []byte("x"))
+	}
+	s.DropAll()
+	if s.Count() != 0 || s.Used() != 0 {
+		t.Fatal("DropAll left residue")
+	}
+	for _, id := range ids {
+		info, _ := ctrl.GetObject(id)
+		if info.State != types.ObjectLost {
+			t.Fatalf("object %v state = %v", id, info.State)
+		}
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := New(testNode(1), gcs.NewStore(8), 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := testObj(uint64(g*100 + i))
+				s.Put(id, []byte{byte(g)})
+				if v, ok := s.Get(id); !ok || v[0] != byte(g) {
+					t.Errorf("lost object %v", id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Count() != 800 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}
+
+// --- transfer tests ---
+
+func twoStores(t *testing.T, nw transport.Network) (src, dst *Store, ctrl *gcs.Store, fetcher *Fetcher) {
+	t.Helper()
+	ctrl = gcs.NewStore(4)
+	src = New(testNode(1), ctrl, 0)
+	dst = New(testNode(2), ctrl, 0)
+	srv := transport.NewServer()
+	RegisterPullHandler(srv, src)
+	if _, err := nw.Listen("src", srv); err != nil {
+		t.Fatal(err)
+	}
+	addrs := map[types.NodeID]string{testNode(1): "src"}
+	fetcher = NewFetcher(dst, nw, func(n types.NodeID) (string, bool) {
+		a, ok := addrs[n]
+		return a, ok
+	})
+	t.Cleanup(fetcher.Close)
+	return src, dst, ctrl, fetcher
+}
+
+func TestFetchPullsRemoteObject(t *testing.T) {
+	src, dst, ctrl, fetcher := twoStores(t, transport.NewInproc(0))
+	id := testObj(30)
+	src.Put(id, []byte("remote-bytes"))
+	if err := fetcher.Fetch(context.Background(), id, []types.NodeID{testNode(1)}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dst.Get(id)
+	if !ok || !bytes.Equal(got, []byte("remote-bytes")) {
+		t.Fatalf("fetched = %q, %v", got, ok)
+	}
+	// Both locations registered.
+	info, _ := ctrl.GetObject(id)
+	if len(info.Locations) != 2 {
+		t.Fatalf("locations = %v", info.Locations)
+	}
+}
+
+func TestFetchAlreadyLocalIsNoop(t *testing.T) {
+	_, dst, _, fetcher := twoStores(t, transport.NewInproc(0))
+	id := testObj(31)
+	dst.Put(id, []byte("here"))
+	if err := fetcher.Fetch(context.Background(), id, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchNoLocationsFails(t *testing.T) {
+	_, _, _, fetcher := twoStores(t, transport.NewInproc(0))
+	if err := fetcher.Fetch(context.Background(), testObj(32), nil); err == nil {
+		t.Fatal("fetch with no locations succeeded")
+	}
+}
+
+func TestFetchSkipsDeadPeerAndFails(t *testing.T) {
+	_, _, _, fetcher := twoStores(t, transport.NewInproc(0))
+	// Location points at a node with no registered address.
+	err := fetcher.Fetch(context.Background(), testObj(33), []types.NodeID{testNode(9)})
+	if err == nil {
+		t.Fatal("fetch from unknown peer succeeded")
+	}
+}
+
+func TestFetchMissingObjectOnPeer(t *testing.T) {
+	_, _, _, fetcher := twoStores(t, transport.NewInproc(0))
+	err := fetcher.Fetch(context.Background(), testObj(34), []types.NodeID{testNode(1)})
+	if err == nil {
+		t.Fatal("fetch of object absent on peer succeeded")
+	}
+}
+
+func TestConcurrentFetchesCollapse(t *testing.T) {
+	src, dst, _, fetcher := twoStores(t, transport.NewInproc(time.Millisecond))
+	id := testObj(35)
+	src.Put(id, make([]byte, 1024))
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fetcher.Fetch(context.Background(), id, []types.NodeID{testNode(1)})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+	}
+	if !dst.Contains(id) {
+		t.Fatal("object not resident after concurrent fetches")
+	}
+}
+
+func TestFetchOverTCP(t *testing.T) {
+	ctrl := gcs.NewStore(2)
+	src := New(testNode(1), ctrl, 0)
+	dst := New(testNode(2), ctrl, 0)
+	srv := transport.NewServer()
+	RegisterPullHandler(srv, src)
+	l, err := transport.TCP{}.Listen("127.0.0.1:39281", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fetcher := NewFetcher(dst, transport.TCP{}, func(n types.NodeID) (string, bool) {
+		return "127.0.0.1:39281", n == testNode(1)
+	})
+	defer fetcher.Close()
+	id := testObj(36)
+	payload := make([]byte, 256<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	src.Put(id, payload)
+	if err := fetcher.Fetch(context.Background(), id, []types.NodeID{testNode(1)}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dst.Get(id)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("TCP transfer corrupted payload")
+	}
+}

@@ -1,0 +1,62 @@
+package rl
+
+import (
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/codec"
+	"repro/internal/sim"
+)
+
+// bspStepIn is the closure input shipped to each BSP simulation task.
+type bspStepIn struct {
+	Carry  carry
+	Action int
+}
+
+// RunBSP executes the workload on the BSP engine — the Spark stand-in.
+// Each simulation stage dispatches NumSims tasks through the centralized
+// driver (paying its per-task overhead); a global barrier separates it from
+// the action-computation stage. Following the paper's footnote 2, the GPU
+// policy evaluation is charged as if perfectly parallelized with no
+// overhead: it runs on the driver at kernel cost only.
+func RunBSP(cfg Config, engine *bsp.Engine) Report {
+	start := time.Now()
+	policy := sim.NewPolicy(cfg.ObsDim, cfg.NumActions, cfg.EvalCost)
+	carries := initialCarries(cfg)
+	report := Report{Impl: "bsp"}
+
+	simTask := func(input []byte) []byte {
+		in, err := codec.DecodeAs[bspStepIn](input)
+		if err != nil {
+			panic(err)
+		}
+		out := stepSim(in.Carry, in.Action)
+		return codec.MustEncode(out)
+	}
+
+	for iter := 0; iter < cfg.Iters; iter++ {
+		actions := make([]int, cfg.NumSims)
+		for step := 0; step < cfg.StepsPerIter; step++ {
+			inputs := make([][]byte, cfg.NumSims)
+			for i := range carries {
+				inputs[i] = codec.MustEncode(bspStepIn{Carry: carries[i], Action: actions[i]})
+			}
+			outputs := engine.RunStage([]bsp.Task{simTask}, inputs)
+			obs := make([]sim.Obs, cfg.NumSims)
+			for i, raw := range outputs {
+				c, err := codec.DecodeAs[carry](raw)
+				if err != nil {
+					panic(err)
+				}
+				carries[i] = c
+				obs[i] = c.Obs
+				report.TotalSteps++
+			}
+			actions = policy.Act(obs) // footnote-2 treatment: no overhead
+		}
+		report.MeanReturnPerIter = append(report.MeanReturnPerIter, iterUpdate(policy, carries, cfg.LR))
+	}
+	report.Elapsed = time.Since(start)
+	return report
+}

@@ -1,0 +1,169 @@
+// Package rl implements the representative reinforcement-learning workload
+// of the paper's Section 4.2: training alternates between stages in which
+// actions are taken in parallel simulations (CPU tasks of ~7ms) and stages
+// in which actions are computed for batches of observations (GPU kernels).
+//
+// Four implementations of the identical computation exist, one per column
+// of the paper's comparison (experiment E5) plus the wait-based extension
+// (E6):
+//
+//   - RunSerial     — the single-threaded baseline.
+//   - RunBSP        — the Spark stand-in (internal/bsp): stage barriers and
+//     a centralized driver with per-task overhead.
+//   - RunCore       — this system, same BSP-shaped dataflow expressed with
+//     futures ("despite the BSP nature of the example").
+//   - RunPipelined  — the Section 4.2 refinement: using wait to process
+//     simulations in completion order, pipelining simulation with action
+//     computation so stragglers do not stall the iteration.
+//
+// All four produce the same learning statistics for the same seed, which
+// the equivalence tests check.
+package rl
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Config shapes the workload (defaults mirror Section 4.2).
+type Config struct {
+	// NumSims is the parallel simulation count.
+	NumSims int
+	// StepsPerIter is how many simulate/compute alternations per training
+	// iteration.
+	StepsPerIter int
+	// Iters is the training iteration count (policy updates).
+	Iters int
+	// StepCost is each simulation step's compute (paper: ~7ms).
+	StepCost time.Duration
+	// EvalCost is the GPU action-computation kernel duration per batch.
+	EvalCost time.Duration
+	// StragglerEvery makes every k-th simulator's steps StragglerFactor
+	// slower (0 = uniform); the pipelining experiment (E6) uses this.
+	StragglerEvery  int
+	StragglerFactor int
+	// StepJitterEvery/StepJitterFactor add deterministic heavy-tail jitter:
+	// roughly 1-in-JitterEvery steps of any simulator costs JitterFactor
+	// times more. This is the per-step variance that makes barriers pay the
+	// max over simulators every step while wait-pipelining pays each
+	// chain's own average (E6).
+	StepJitterEvery  int
+	StepJitterFactor int
+	// Seed drives every simulator (sim i uses Seed+i).
+	Seed uint64
+	// LR is the policy learning rate.
+	LR float64
+	// ObsDim / NumActions shape the environment and policy.
+	ObsDim     int
+	NumActions int
+}
+
+// Default returns the Section 4.2 workload shape. Sixteen parallel
+// simulators matches the parallelism implied by the paper's "7x faster
+// than the single-threaded implementation".
+func Default() Config {
+	return Config{
+		NumSims:         16,
+		StepsPerIter:    10,
+		Iters:           2,
+		StepCost:        7 * time.Millisecond,
+		EvalCost:        3 * time.Millisecond,
+		Seed:            1,
+		LR:              0.5,
+		ObsDim:          16,
+		NumActions:      4,
+		StragglerFactor: 3,
+	}
+}
+
+// stepCostFor applies the straggler model for simulator i.
+func (c Config) stepCostFor(i int) time.Duration {
+	if c.StragglerEvery > 0 && i%c.StragglerEvery == c.StragglerEvery-1 {
+		f := c.StragglerFactor
+		if f <= 1 {
+			f = 3
+		}
+		return c.StepCost * time.Duration(f)
+	}
+	return c.StepCost
+}
+
+func (c Config) envConfig(i int) sim.EnvConfig {
+	return sim.EnvConfig{
+		Seed:         c.Seed + uint64(i),
+		ObsDim:       c.ObsDim,
+		NumActions:   c.NumActions,
+		StepCost:     c.stepCostFor(i),
+		MinSteps:     c.StepsPerIter * c.Iters,
+		MaxSteps:     c.StepsPerIter * c.Iters,
+		JitterEvery:  c.StepJitterEvery,
+		JitterFactor: c.StepJitterFactor,
+	}
+}
+
+// Report is a run's outcome: wall time plus learning statistics that let
+// the equivalence tests verify all implementations compute the same thing.
+type Report struct {
+	Impl       string
+	Elapsed    time.Duration
+	TotalSteps int
+	// MeanReturnPerIter is the per-iteration mean episode return; it should
+	// trend upward (the policy is learning) and match across impls.
+	MeanReturnPerIter []float64
+}
+
+// FinalReturn is the last iteration's mean return.
+func (r Report) FinalReturn() float64 {
+	if len(r.MeanReturnPerIter) == 0 {
+		return 0
+	}
+	return r.MeanReturnPerIter[len(r.MeanReturnPerIter)-1]
+}
+
+// carry is the per-simulator state threaded through steps.
+type carry struct {
+	Env    sim.EnvState
+	Obs    sim.Obs
+	Reward float64
+	Stats  sim.RolloutStats
+	Done   bool
+}
+
+// initialCarries builds each simulator's starting state.
+func initialCarries(cfg Config) []carry {
+	out := make([]carry, cfg.NumSims)
+	for i := range out {
+		env := sim.NewEnv(cfg.envConfig(i))
+		out[i] = carry{Env: env.State(), Obs: env.Observe()}
+	}
+	return out
+}
+
+// stepSim advances one simulator by one action (the ~7ms task body shared
+// by every implementation). All shaping parameters travel inside the carry,
+// so the same body serves local closures and remote tasks.
+func stepSim(c carry, action int) carry {
+	env := sim.RestoreEnv(c.Env)
+	obs, reward, done := env.Step(action)
+	c.Stats.Record(c.Obs, action, reward, c.Env.Cfg.ObsDim, c.Env.Cfg.NumActions)
+	c.Env = env.State()
+	c.Obs = obs
+	c.Reward = reward
+	c.Done = done
+	return c
+}
+
+// iterUpdate folds rollout stats into the policy at iteration end and
+// returns the iteration's mean return.
+func iterUpdate(policy *sim.Policy, carries []carry, lr float64) float64 {
+	var merged sim.RolloutStats
+	total := 0.0
+	for i := range carries {
+		merged.Merge(carries[i].Stats)
+		total += carries[i].Stats.Return
+		carries[i].Stats = sim.RolloutStats{}
+	}
+	policy.Update(merged.Gradient(), lr)
+	return total / float64(len(carries))
+}

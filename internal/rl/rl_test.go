@@ -1,0 +1,165 @@
+package rl
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+func testConfig() Config {
+	cfg := Default()
+	cfg.NumSims = 4
+	cfg.StepsPerIter = 3
+	cfg.Iters = 2
+	cfg.StepCost = time.Millisecond
+	cfg.EvalCost = 500 * time.Microsecond
+	return cfg
+}
+
+func testCluster(t *testing.T, cfg Config) *cluster.Cluster {
+	t.Helper()
+	reg := core.NewRegistry()
+	RegisterFuncs(reg)
+	c, err := cluster.New(cluster.Config{
+		Nodes:         1,
+		NodeResources: types.Resources{types.ResCPU: float64(cfg.NumSims), types.ResGPU: 1},
+		Registry:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func almostEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSerialProducesLearningSignal(t *testing.T) {
+	cfg := testConfig()
+	rep := RunSerial(cfg)
+	if rep.TotalSteps != cfg.NumSims*cfg.StepsPerIter*cfg.Iters {
+		t.Fatalf("TotalSteps = %d", rep.TotalSteps)
+	}
+	if len(rep.MeanReturnPerIter) != cfg.Iters {
+		t.Fatalf("iters recorded = %d", len(rep.MeanReturnPerIter))
+	}
+	if rep.FinalReturn() <= 0 {
+		t.Fatalf("no reward signal: %v", rep.MeanReturnPerIter)
+	}
+}
+
+func TestSerialDeterministic(t *testing.T) {
+	cfg := testConfig()
+	a, b := RunSerial(cfg), RunSerial(cfg)
+	if !almostEqual(a.MeanReturnPerIter, b.MeanReturnPerIter) {
+		t.Fatalf("same seed diverged: %v vs %v", a.MeanReturnPerIter, b.MeanReturnPerIter)
+	}
+}
+
+func TestBSPMatchesSerial(t *testing.T) {
+	cfg := testConfig()
+	serial := RunSerial(cfg)
+	engine := bsp.New(bsp.Config{Executors: cfg.NumSims, DriverOverhead: 0})
+	bspRep := RunBSP(cfg, engine)
+	if !almostEqual(serial.MeanReturnPerIter, bspRep.MeanReturnPerIter) {
+		t.Fatalf("BSP learning stats diverge: %v vs %v", bspRep.MeanReturnPerIter, serial.MeanReturnPerIter)
+	}
+	if engine.TasksRun() != int64(cfg.NumSims*cfg.StepsPerIter*cfg.Iters) {
+		t.Fatalf("BSP ran %d tasks", engine.TasksRun())
+	}
+	if engine.StagesRun() != int64(cfg.StepsPerIter*cfg.Iters) {
+		t.Fatalf("BSP ran %d stages", engine.StagesRun())
+	}
+	if engine.BytesShipped() == 0 {
+		t.Fatal("driver shipped no bytes — serialization path dead")
+	}
+}
+
+func TestCoreMatchesSerial(t *testing.T) {
+	cfg := testConfig()
+	serial := RunSerial(cfg)
+	c := testCluster(t, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := RunCore(ctx, cfg, c.Driver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(serial.MeanReturnPerIter, rep.MeanReturnPerIter) {
+		t.Fatalf("core learning stats diverge: %v vs %v", rep.MeanReturnPerIter, serial.MeanReturnPerIter)
+	}
+}
+
+func TestPipelinedMatchesSerial(t *testing.T) {
+	cfg := testConfig()
+	serial := RunSerial(cfg)
+	c := testCluster(t, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := RunPipelined(ctx, cfg, c.Driver(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(serial.MeanReturnPerIter, rep.MeanReturnPerIter) {
+		t.Fatalf("pipelined learning stats diverge: %v vs %v", rep.MeanReturnPerIter, serial.MeanReturnPerIter)
+	}
+}
+
+func TestPipelinedWithStragglersMatchesSerial(t *testing.T) {
+	cfg := testConfig()
+	cfg.StragglerEvery = 2
+	cfg.StragglerFactor = 3
+	serial := RunSerial(cfg)
+	c := testCluster(t, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := RunPipelined(ctx, cfg, c.Driver(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(serial.MeanReturnPerIter, rep.MeanReturnPerIter) {
+		t.Fatalf("straggler pipelined diverges: %v vs %v", rep.MeanReturnPerIter, serial.MeanReturnPerIter)
+	}
+}
+
+func TestStragglerCostModel(t *testing.T) {
+	cfg := testConfig()
+	cfg.StragglerEvery = 2
+	cfg.StragglerFactor = 5
+	if got := cfg.stepCostFor(0); got != cfg.StepCost {
+		t.Fatalf("sim 0 cost = %v", got)
+	}
+	if got := cfg.stepCostFor(1); got != 5*cfg.StepCost {
+		t.Fatalf("sim 1 cost = %v", got)
+	}
+}
+
+func TestBSPOverheadSlowsDriver(t *testing.T) {
+	cfg := testConfig()
+	cfg.Iters = 1
+	cfg.StepsPerIter = 2
+	fast := bsp.New(bsp.Config{Executors: cfg.NumSims, DriverOverhead: 0})
+	slow := bsp.New(bsp.Config{Executors: cfg.NumSims, DriverOverhead: 5 * time.Millisecond})
+	fastRep := RunBSP(cfg, fast)
+	slowRep := RunBSP(cfg, slow)
+	// 8 tasks * 5ms = 40ms of injected driver cost minimum.
+	if slowRep.Elapsed < fastRep.Elapsed+30*time.Millisecond {
+		t.Fatalf("overhead not visible: fast=%v slow=%v", fastRep.Elapsed, slowRep.Elapsed)
+	}
+}

@@ -1,0 +1,39 @@
+package rl
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// RunSerial executes the workload on a single thread: every simulation step
+// of every simulator runs sequentially, with one policy evaluation per
+// step batch. This is the paper's single-threaded reference point.
+func RunSerial(cfg Config) Report {
+	start := time.Now()
+	policy := sim.NewPolicy(cfg.ObsDim, cfg.NumActions, cfg.EvalCost)
+	carries := initialCarries(cfg)
+	report := Report{Impl: "serial"}
+
+	for iter := 0; iter < cfg.Iters; iter++ {
+		// Actions reset each iteration (the policy just changed); every
+		// implementation shares this convention so trajectories match.
+		actions := make([]int, cfg.NumSims)
+		for step := 0; step < cfg.StepsPerIter; step++ {
+			// Simulation stage: every simulator steps, one after another.
+			for i := range carries {
+				carries[i] = stepSim(carries[i], actions[i])
+				report.TotalSteps++
+			}
+			// Action-computation stage: one batched policy evaluation.
+			obs := make([]sim.Obs, len(carries))
+			for i := range carries {
+				obs[i] = carries[i].Obs
+			}
+			actions = policy.Act(obs)
+		}
+		report.MeanReturnPerIter = append(report.MeanReturnPerIter, iterUpdate(policy, carries, cfg.LR))
+	}
+	report.Elapsed = time.Since(start)
+	return report
+}

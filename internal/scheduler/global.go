@@ -1,0 +1,176 @@
+package scheduler
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gcs"
+	"repro/internal/types"
+)
+
+// AssignFunc delivers a placement decision to a node's local scheduler
+// (an RPC in distributed mode, a direct call in in-process clusters).
+type AssignFunc func(node types.NodeID, addr string, spec types.TaskSpec) error
+
+// GlobalConfig configures a Global scheduler.
+type GlobalConfig struct {
+	Ctrl   gcs.API
+	Assign AssignFunc
+	Policy Policy
+	// RetryInterval bounds how long an unplaceable task parks before the
+	// next placement attempt. Zero selects a default.
+	RetryInterval time.Duration
+}
+
+// Global is the cluster-level half of hybrid scheduling: it subscribes to
+// the spillover channel and places tasks using global information — node
+// liveness, resource feasibility, heartbeat load, and object locality.
+// Tasks with no feasible node park until cluster membership or load
+// changes. Multiple Global instances may run; the spill channel fans out
+// and deterministic task IDs make duplicate placements converge.
+type Global struct {
+	cfg  GlobalConfig
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	parked []types.TaskSpec
+
+	spillSub gcs.Sub
+	nodeSub  gcs.Sub
+
+	placed   atomic.Int64
+	parkedCt atomic.Int64
+}
+
+// NewGlobal builds a global scheduler; call Start to begin placing.
+func NewGlobal(cfg GlobalConfig) *Global {
+	if cfg.Policy == nil {
+		cfg.Policy = LocalityPolicy{}
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 50 * time.Millisecond
+	}
+	return &Global{cfg: cfg, stop: make(chan struct{})}
+}
+
+// Start launches the placement loop. Subscriptions are established before
+// Start returns, so no spill published after Start can be missed.
+func (g *Global) Start() {
+	g.spillSub = g.cfg.Ctrl.SubscribeSpill()
+	g.nodeSub = g.cfg.Ctrl.SubscribeNodeEvents()
+	g.wg.Add(1)
+	go g.run()
+}
+
+// Stop halts placement.
+func (g *Global) Stop() {
+	select {
+	case <-g.stop:
+		return
+	default:
+	}
+	close(g.stop)
+	g.wg.Wait()
+}
+
+// Placed returns the cumulative count of successful placements.
+func (g *Global) Placed() int64 { return g.placed.Load() }
+
+// Parked returns how many placement attempts found no feasible node.
+func (g *Global) Parked() int64 { return g.parkedCt.Load() }
+
+func (g *Global) run() {
+	defer g.wg.Done()
+	spillSub := g.spillSub
+	defer spillSub.Close()
+	nodeSub := g.nodeSub
+	defer nodeSub.Close()
+	retry := time.NewTicker(g.cfg.RetryInterval)
+	defer retry.Stop()
+
+	for {
+		select {
+		case raw, ok := <-spillSub.C():
+			if !ok {
+				return
+			}
+			spec, err := gcs.DecodeSpillSpec(raw)
+			if err != nil {
+				continue
+			}
+			g.place(spec)
+		case <-nodeSub.C():
+			g.retryParked()
+		case <-retry.C:
+			g.retryParked()
+		case <-g.stop:
+			return
+		}
+	}
+}
+
+func (g *Global) retryParked() {
+	g.mu.Lock()
+	pending := g.parked
+	g.parked = nil
+	g.mu.Unlock()
+	for _, spec := range pending {
+		g.place(spec)
+	}
+}
+
+// place runs one placement: filter to feasible candidates, score locality,
+// delegate the choice to the policy, and assign.
+func (g *Global) place(spec types.TaskSpec) {
+	candidates := g.candidates(spec)
+	id, ok := g.cfg.Policy.Pick(spec, candidates)
+	if !ok {
+		g.park(spec)
+		return
+	}
+	var addr string
+	for _, c := range candidates {
+		if c.Info.ID == id {
+			addr = c.Info.Addr
+			break
+		}
+	}
+	if err := g.cfg.Assign(id, addr, spec); err != nil {
+		// The node likely died between heartbeat and assignment; park and
+		// let the retry pass pick a different one.
+		g.park(spec)
+		return
+	}
+	g.placed.Add(1)
+	g.cfg.Ctrl.LogEvent(types.Event{Kind: "global-place", Task: spec.ID, Node: id, Detail: g.cfg.Policy.Name()})
+}
+
+func (g *Global) park(spec types.TaskSpec) {
+	g.parkedCt.Add(1)
+	g.mu.Lock()
+	g.parked = append(g.parked, spec)
+	g.mu.Unlock()
+}
+
+// candidates returns alive nodes whose total capacity can ever satisfy the
+// task, with locality bytes computed from the object table.
+func (g *Global) candidates(spec types.TaskSpec) []NodeSnapshot {
+	nodes := g.cfg.Ctrl.Nodes()
+	deps := spec.Deps()
+	out := make([]NodeSnapshot, 0, len(nodes))
+	for _, n := range nodes {
+		if !n.Alive || !spec.Resources.FeasibleOn(n.Total) {
+			continue
+		}
+		snap := NodeSnapshot{Info: n}
+		for _, dep := range deps {
+			if info, ok := g.cfg.Ctrl.GetObject(dep); ok && info.State == types.ObjectReady && info.HasLocation(n.ID) {
+				snap.LocalityBytes += info.Size
+			}
+		}
+		out = append(out, snap)
+	}
+	return out
+}

@@ -1,0 +1,499 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gcs"
+	"repro/internal/objectstore"
+	"repro/internal/types"
+)
+
+// ExecFunc runs one task whose dependencies have all been resolved to local
+// bytes. The local scheduler invokes it on a dedicated goroutine after
+// acquiring the task's resources.
+type ExecFunc func(ctx context.Context, spec types.TaskSpec, args [][]byte)
+
+// ReconFunc asks the fault-tolerance layer to make a lost object
+// reconstructable again (lineage replay). May be nil when fault tolerance
+// is disabled.
+type ReconFunc func(id types.ObjectID)
+
+// ErrStopped is returned for submissions to a stopped scheduler.
+var ErrStopped = errors.New("scheduler: stopped")
+
+// Spill thresholds (LocalConfig.SpillThreshold).
+const (
+	// SpillNever disables spilling: single-node clusters.
+	SpillNever = -1
+	// SpillAlways forwards every locally-born task to the global scheduler:
+	// the "central-only" ablation of experiment E8.
+	SpillAlways = 0
+)
+
+// LocalConfig configures a Local scheduler.
+type LocalConfig struct {
+	Node  types.NodeID
+	Total types.Resources
+	Ctrl  gcs.API
+	Store *objectstore.Store
+	// Fetcher pulls remote dependencies; nil disables cross-node fetch.
+	Fetcher *objectstore.Fetcher
+	// Exec runs ready tasks (assigned after construction by the node).
+	Exec ExecFunc
+	// Recon triggers lineage reconstruction of lost dependencies.
+	Recon ReconFunc
+	// SpillThreshold: locally-born tasks spill to the global scheduler when
+	// the runnable backlog reaches this length. SpillNever / SpillAlways
+	// select the extremes.
+	SpillThreshold int
+	// DepPollInterval bounds how stale a missed object-ready edge can be;
+	// the pub/sub fast path makes it rarely matter. Zero selects a default.
+	DepPollInterval time.Duration
+}
+
+// queuedTask is a task whose dependencies are all local, awaiting
+// resources.
+type queuedTask struct {
+	spec types.TaskSpec
+}
+
+// waitingTask is a task with unresolved dependencies.
+type waitingTask struct {
+	spec    types.TaskSpec
+	missing map[types.ObjectID]bool
+}
+
+// Local is the per-node scheduler: the first stop for every task born on
+// this node (bottom-up scheduling). Tasks become runnable when their
+// dependency objects are resident in the node's object store, are admitted
+// when their resource demand fits, and spill to the global scheduler when
+// the node is overloaded or the task is locally infeasible.
+type Local struct {
+	cfg  LocalConfig
+	res  *resourcePool
+	stop chan struct{}
+	kick chan struct{}
+
+	mu       sync.Mutex
+	runnable []*queuedTask
+	waiting  map[types.TaskID]*waitingTask
+	stopped  bool
+
+	wg sync.WaitGroup
+
+	// Counters for heartbeats, dashboards, and benchmarks.
+	submitted  atomic.Int64
+	spilled    atomic.Int64
+	dispatched atomic.Int64
+}
+
+// NewLocal builds a local scheduler; call Start before submitting.
+func NewLocal(cfg LocalConfig) *Local {
+	if cfg.DepPollInterval <= 0 {
+		cfg.DepPollInterval = 20 * time.Millisecond
+	}
+	return &Local{
+		cfg:     cfg,
+		res:     newResourcePool(cfg.Total),
+		stop:    make(chan struct{}),
+		kick:    make(chan struct{}, 1),
+		waiting: make(map[types.TaskID]*waitingTask),
+	}
+}
+
+// Start launches the dispatch loop.
+func (l *Local) Start() {
+	l.wg.Add(1)
+	go l.dispatchLoop()
+}
+
+// Stop halts dispatching and abandons queued work (node crash or shutdown).
+func (l *Local) Stop() {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.stopped = true
+	l.runnable = nil
+	l.waiting = make(map[types.TaskID]*waitingTask)
+	l.mu.Unlock()
+	close(l.stop)
+	l.wg.Wait()
+}
+
+// QueueLen reports the runnable backlog (heartbeat load signal).
+func (l *Local) QueueLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.runnable)
+}
+
+// WaitingLen reports tasks blocked on dependencies.
+func (l *Local) WaitingLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.waiting)
+}
+
+// Stats returns (submitted, spilled, dispatched) counters.
+func (l *Local) Stats() (int64, int64, int64) {
+	return l.submitted.Load(), l.spilled.Load(), l.dispatched.Load()
+}
+
+// Available snapshots the resource pool (heartbeat load signal).
+func (l *Local) Available() types.Resources {
+	_, avail := l.res.snapshot()
+	return avail
+}
+
+// ReleaseFor lends a blocked task's resources back to the pool (worker
+// lending; see worker.Executor).
+func (l *Local) ReleaseFor(spec types.TaskSpec) {
+	l.res.release(spec.Resources)
+	l.kickDispatch()
+}
+
+// ReacquireFor blocks until the lent resources are regained.
+func (l *Local) ReacquireFor(spec types.TaskSpec) {
+	l.res.acquireBlocking(spec.Resources, l.stop)
+}
+
+// Submit is the entry point for tasks born on this node (placed=false) and
+// for tasks assigned by the global scheduler (placed=true). It implements
+// the spillover decision of Section 3.2.2.
+func (l *Local) Submit(spec types.TaskSpec, placed bool) error {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return ErrStopped
+	}
+	backlog := len(l.runnable)
+	l.mu.Unlock()
+	l.submitted.Add(1)
+
+	fresh := l.record(spec)
+	if placed {
+		// A global-scheduler assignment. Several global schedulers may each
+		// place the same spilled task ("one or more global schedulers",
+		// Section 3.2); the QUEUED claim below makes exactly one
+		// destination own it.
+		if !l.cfg.Ctrl.CASTaskStatus(spec.ID, []types.TaskStatus{types.TaskPending}, types.TaskQueued) {
+			return nil
+		}
+		l.enqueue(spec)
+		return nil
+	}
+	if !fresh && !l.shouldRerun(spec) {
+		// Already known to the control plane: either in flight elsewhere or
+		// finished with intact outputs (replayed submission, results
+		// reusable outright). Only the CAS winner re-runs.
+		return nil
+	}
+
+	infeasible := !spec.Resources.FeasibleOn(l.cfg.Total)
+	overloaded := l.cfg.SpillThreshold >= 0 && backlog >= l.cfg.SpillThreshold
+	if infeasible || overloaded {
+		l.spilled.Add(1)
+		l.cfg.Ctrl.PublishSpill(spec)
+		return nil
+	}
+	l.enqueue(spec)
+	return nil
+}
+
+// Enqueue bypasses the duplicate-submission check and spill decision; the
+// executor's retry path uses it (the task's status was already reset to
+// PENDING by the retry bookkeeping, so the dedupe logic would drop it).
+func (l *Local) Enqueue(spec types.TaskSpec) error {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return ErrStopped
+	}
+	l.mu.Unlock()
+	l.enqueue(spec)
+	return nil
+}
+
+// SetExec assigns the execution callback; must be called before Start.
+// (The node wires this after constructing the executor, which needs the
+// node itself as the tasks' API backend.)
+func (l *Local) SetExec(fn ExecFunc) { l.cfg.Exec = fn }
+
+// SetRecon assigns the lost-object reconstruction trigger.
+func (l *Local) SetRecon(fn ReconFunc) { l.cfg.Recon = fn }
+
+// record writes the lineage record; reports whether the task is new.
+func (l *Local) record(spec types.TaskSpec) bool {
+	added := l.cfg.Ctrl.AddTask(types.TaskState{Spec: spec, Status: types.TaskPending, Node: l.cfg.Node})
+	if added {
+		for i := 0; i < spec.NumReturns; i++ {
+			l.cfg.Ctrl.EnsureObject(spec.ReturnID(i), spec.ID)
+		}
+	}
+	return added
+}
+
+// shouldRerun decides whether a duplicate submission must actually
+// re-execute (lineage replay after loss) or can be dropped.
+func (l *Local) shouldRerun(spec types.TaskSpec) bool {
+	st, ok := l.cfg.Ctrl.GetTask(spec.ID)
+	if !ok {
+		return true
+	}
+	switch st.Status {
+	case types.TaskPending, types.TaskQueued, types.TaskScheduled, types.TaskRunning:
+		// In flight somewhere. If that somewhere is a dead node, steal it.
+		if node, alive := l.nodeAlive(st.Node); node && alive {
+			return false
+		}
+		return l.cfg.Ctrl.CASTaskStatus(spec.ID, []types.TaskStatus{st.Status}, types.TaskPending)
+	case types.TaskFinished:
+		if l.outputsIntact(spec) {
+			return false
+		}
+		return l.cfg.Ctrl.CASTaskStatus(spec.ID, []types.TaskStatus{types.TaskFinished}, types.TaskPending)
+	case types.TaskLost, types.TaskFailed:
+		return l.cfg.Ctrl.CASTaskStatus(spec.ID, []types.TaskStatus{st.Status}, types.TaskPending)
+	}
+	return false
+}
+
+func (l *Local) nodeAlive(id types.NodeID) (known, alive bool) {
+	if id.IsNil() {
+		return false, false
+	}
+	info, ok := l.cfg.Ctrl.GetNode(id)
+	return ok, ok && info.Alive
+}
+
+func (l *Local) outputsIntact(spec types.TaskSpec) bool {
+	for i := 0; i < spec.NumReturns; i++ {
+		info, ok := l.cfg.Ctrl.GetObject(spec.ReturnID(i))
+		if !ok || info.State != types.ObjectReady {
+			return false
+		}
+	}
+	return true
+}
+
+// enqueue moves a task into runnable or waiting depending on dependency
+// residency, starting a resolver per missing dependency (dataflow trigger).
+func (l *Local) enqueue(spec types.TaskSpec) {
+	// Stamp this node as the task's current holder. If this node dies with
+	// the task still queued, the task table points at a dead node and any
+	// consumer's reconstruction check will re-own the task (R6); without
+	// the stamp, a task queued-but-not-dispatched on a dead node would be
+	// invisible.
+	l.cfg.Ctrl.SetTaskStatus(spec.ID, types.TaskQueued, l.cfg.Node, types.NilWorkerID, "")
+	missing := make(map[types.ObjectID]bool)
+	for _, dep := range spec.Deps() {
+		if !l.cfg.Store.Contains(dep) {
+			missing[dep] = true
+		}
+	}
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	if len(missing) == 0 {
+		l.runnable = append(l.runnable, &queuedTask{spec: spec})
+		l.mu.Unlock()
+		l.kickDispatch()
+		return
+	}
+	l.waiting[spec.ID] = &waitingTask{spec: spec, missing: missing}
+	l.mu.Unlock()
+	for dep := range missing {
+		l.wg.Add(1)
+		go l.resolveDep(spec.ID, dep)
+	}
+}
+
+// resolveDep drives one missing dependency to local residency: wait for it
+// to become ready (pub/sub with a poll safety net), fetch it from a peer,
+// or request reconstruction if it was lost.
+func (l *Local) resolveDep(task types.TaskID, obj types.ObjectID) {
+	defer l.wg.Done()
+	sub := l.cfg.Ctrl.SubscribeObjectReady(obj)
+	defer sub.Close()
+	// Stranded-producer checks are throttled: they exist to detect the rare
+	// case of a producer dying with the task still queued, so probing every
+	// ~25 wakeups (~0.5s at the default poll interval) detects failures
+	// promptly without taxing the control plane on healthy pending-heavy
+	// graphs.
+	const strandedCheckPeriod = 25
+	wakeups := 0
+	for {
+		if l.cfg.Store.Contains(obj) {
+			l.depSatisfied(task, obj)
+			return
+		}
+		if info, ok := l.cfg.Ctrl.GetObject(obj); ok {
+			switch info.State {
+			case types.ObjectReady:
+				if l.cfg.Fetcher != nil && len(info.Locations) > 0 {
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					err := l.cfg.Fetcher.Fetch(ctx, obj, info.Locations)
+					cancel()
+					if err == nil {
+						continue
+					}
+				}
+			case types.ObjectLost:
+				if l.cfg.Recon != nil {
+					l.cfg.Recon(obj)
+				}
+			case types.ObjectPending:
+				// Possibly a producer stranded on a dead node (queued or
+				// running there when it died). The reconstructor no-ops for
+				// healthy producers.
+				if l.cfg.Recon != nil && wakeups%strandedCheckPeriod == 0 {
+					l.cfg.Recon(obj)
+				}
+			}
+		}
+		wakeups++
+		localArrival := l.cfg.Store.WaitChan(obj)
+		select {
+		case <-localArrival:
+		case <-sub.C():
+		case <-time.After(l.cfg.DepPollInterval):
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// depSatisfied clears one dependency; the task becomes runnable when its
+// missing set empties.
+func (l *Local) depSatisfied(task types.TaskID, obj types.ObjectID) {
+	l.mu.Lock()
+	w, ok := l.waiting[task]
+	if !ok {
+		l.mu.Unlock()
+		return
+	}
+	delete(w.missing, obj)
+	if len(w.missing) > 0 {
+		l.mu.Unlock()
+		return
+	}
+	delete(l.waiting, task)
+	l.runnable = append(l.runnable, &queuedTask{spec: w.spec})
+	l.mu.Unlock()
+	l.kickDispatch()
+}
+
+func (l *Local) kickDispatch() {
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+}
+
+// dispatchLoop admits runnable tasks whenever resources allow. Admission
+// scans past a head-of-line task whose demand does not currently fit, so a
+// large task cannot starve small ones (R4 heterogeneity).
+func (l *Local) dispatchLoop() {
+	defer l.wg.Done()
+	for {
+		l.dispatchReady()
+		select {
+		case <-l.kick:
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+func (l *Local) dispatchReady() {
+	for {
+		task, ok := l.admitOne()
+		if !ok {
+			return
+		}
+		l.cfg.Ctrl.SetTaskStatus(task.spec.ID, types.TaskScheduled, l.cfg.Node, types.NilWorkerID, "")
+		l.dispatched.Add(1)
+		l.wg.Add(1)
+		go l.runTask(task.spec)
+	}
+}
+
+// admitOne pops the first runnable task whose resources are available.
+func (l *Local) admitOne() (*queuedTask, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, t := range l.runnable {
+		if l.res.tryAcquire(t.spec.Resources) {
+			l.runnable = append(l.runnable[:i], l.runnable[i+1:]...)
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// runTask resolves argument bytes and executes. Dependencies were local at
+// enqueue time but may have been evicted since; in that case the task goes
+// back to waiting.
+func (l *Local) runTask(spec types.TaskSpec) {
+	defer l.wg.Done()
+	defer l.kickDispatch()
+	args, missing := l.gatherArgs(spec)
+	if missing {
+		l.res.release(spec.Resources)
+		l.enqueue(spec)
+		return
+	}
+	defer l.res.release(spec.Resources)
+	defer l.unpinArgs(spec)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-l.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	l.cfg.Exec(ctx, spec, args)
+}
+
+// gatherArgs pins and reads reference arguments from the local store.
+func (l *Local) gatherArgs(spec types.TaskSpec) ([][]byte, bool) {
+	args := make([][]byte, len(spec.Args))
+	for i, a := range spec.Args {
+		if !a.IsRef {
+			args[i] = a.Value
+			continue
+		}
+		l.cfg.Store.Pin(a.Ref)
+		data, ok := l.cfg.Store.Get(a.Ref)
+		if !ok {
+			// Evicted between readiness and admission; retry via waiting.
+			for j := 0; j <= i; j++ {
+				if spec.Args[j].IsRef {
+					l.cfg.Store.Unpin(spec.Args[j].Ref)
+				}
+			}
+			return nil, true
+		}
+		args[i] = data
+	}
+	return args, false
+}
+
+// unpinArgs releases the pins taken by gatherArgs once execution ends.
+func (l *Local) unpinArgs(spec types.TaskSpec) {
+	for _, a := range spec.Args {
+		if a.IsRef {
+			l.cfg.Store.Unpin(a.Ref)
+		}
+	}
+}

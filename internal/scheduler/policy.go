@@ -1,0 +1,94 @@
+package scheduler
+
+import (
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// NodeSnapshot is the per-node information available to a placement policy:
+// the latest heartbeat state plus how many dependency bytes of the task
+// under placement already reside on the node (object locality, the signal
+// Section 3.2.2 calls out).
+type NodeSnapshot struct {
+	Info          types.NodeInfo
+	LocalityBytes int64
+}
+
+// Policy picks a node for a spilled task. Pick must only choose among the
+// offered candidates (already filtered to alive + feasible).
+type Policy interface {
+	Pick(spec types.TaskSpec, nodes []NodeSnapshot) (types.NodeID, bool)
+	Name() string
+}
+
+// LocalityPolicy is the paper's default: prefer the node holding the most
+// dependency bytes, break ties by available resources, then queue depth.
+type LocalityPolicy struct{}
+
+// Name implements Policy.
+func (LocalityPolicy) Name() string { return "locality" }
+
+// Pick implements Policy.
+func (LocalityPolicy) Pick(spec types.TaskSpec, nodes []NodeSnapshot) (types.NodeID, bool) {
+	if len(nodes) == 0 {
+		return types.NilNodeID, false
+	}
+	best := 0
+	for i := 1; i < len(nodes); i++ {
+		if betterLocality(&nodes[i], &nodes[best]) {
+			best = i
+		}
+	}
+	return nodes[best].Info.ID, true
+}
+
+func betterLocality(a, b *NodeSnapshot) bool {
+	if a.LocalityBytes != b.LocalityBytes {
+		return a.LocalityBytes > b.LocalityBytes
+	}
+	ac, bc := a.Info.Available[types.ResCPU], b.Info.Available[types.ResCPU]
+	if ac != bc {
+		return ac > bc
+	}
+	return a.Info.QueueLen < b.Info.QueueLen
+}
+
+// LeastLoadedPolicy ignores locality and picks the shortest queue — one arm
+// of the placement ablation.
+type LeastLoadedPolicy struct{}
+
+// Name implements Policy.
+func (LeastLoadedPolicy) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (LeastLoadedPolicy) Pick(spec types.TaskSpec, nodes []NodeSnapshot) (types.NodeID, bool) {
+	if len(nodes) == 0 {
+		return types.NilNodeID, false
+	}
+	best := 0
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i].Info.QueueLen < nodes[best].Info.QueueLen {
+			best = i
+		}
+	}
+	return nodes[best].Info.ID, true
+}
+
+// RoundRobinPolicy rotates through candidates — the locality-blind baseline
+// for the ablation bench.
+type RoundRobinPolicy struct {
+	next atomic.Uint64
+}
+
+// Name implements Policy.
+func (*RoundRobinPolicy) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (p *RoundRobinPolicy) Pick(spec types.TaskSpec, nodes []NodeSnapshot) (types.NodeID, bool) {
+	if len(nodes) == 0 {
+		return types.NilNodeID, false
+	}
+	i := int(p.next.Add(1)-1) % len(nodes)
+	return nodes[i].Info.ID, true
+}

@@ -1,0 +1,94 @@
+// Package scheduler implements the paper's hybrid scheduling scheme
+// (Section 3.2.2): a per-node Local scheduler that assigns locally-born
+// work to local workers when possible, and a Global scheduler that places
+// spilled-over tasks using cluster-wide information (resource availability,
+// object locality, queue depth).
+package scheduler
+
+import (
+	"sync"
+
+	"repro/internal/types"
+)
+
+// resourcePool tracks a node's resource capacity with blocking acquisition.
+// The invariant checked by tests: available never exceeds total and never
+// goes negative (types.Resources.Sub panics on underflow).
+type resourcePool struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	total types.Resources
+	avail types.Resources
+}
+
+func newResourcePool(total types.Resources) *resourcePool {
+	p := &resourcePool{total: total.Clone(), avail: total.Clone()}
+	if p.total == nil {
+		p.total = types.Resources{}
+		p.avail = types.Resources{}
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// tryAcquire takes r if currently available.
+func (p *resourcePool) tryAcquire(r types.Resources) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !r.Fits(p.avail) {
+		return false
+	}
+	p.avail.Sub(r)
+	return true
+}
+
+// acquireBlocking waits until r is available or stop closes; reports
+// whether the acquisition happened. Used when a blocked task reclaims its
+// lent resources.
+func (p *resourcePool) acquireBlocking(r types.Resources, stop <-chan struct{}) bool {
+	done := make(chan struct{})
+	var ok bool
+	go func() {
+		defer close(done)
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		for !r.Fits(p.avail) {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.cond.Wait()
+		}
+		p.avail.Sub(r)
+		ok = true
+	}()
+	select {
+	case <-done:
+		return ok
+	case <-stop:
+		// Wake the waiter so its goroutine exits; it may still succeed in a
+		// race, in which case the resources are immediately returned.
+		p.cond.Broadcast()
+		<-done
+		if ok {
+			p.release(r)
+		}
+		return false
+	}
+}
+
+// release returns r to the pool and wakes waiters.
+func (p *resourcePool) release(r types.Resources) {
+	p.mu.Lock()
+	p.avail.Add(r)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// snapshot returns copies of (total, available).
+func (p *resourcePool) snapshot() (types.Resources, types.Resources) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total.Clone(), p.avail.Clone()
+}

@@ -1,0 +1,404 @@
+package scheduler
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/gcs"
+	"repro/internal/objectstore"
+	"repro/internal/types"
+)
+
+func tNode(i uint64) types.NodeID {
+	return types.NodeID(types.DeriveTaskID(types.NilTaskID, 9000+i))
+}
+
+func tSpec(i uint64, res types.Resources, deps ...types.ObjectID) types.TaskSpec {
+	args := make([]types.Arg, 0, len(deps))
+	for _, d := range deps {
+		args = append(args, types.RefArg(d))
+	}
+	if res == nil {
+		res = types.CPU(1)
+	}
+	return types.TaskSpec{
+		ID:         types.DeriveTaskID(types.NilTaskID, i),
+		Function:   "f",
+		NumReturns: 1,
+		Resources:  res,
+		Args:       args,
+	}
+}
+
+// testLocal builds a local scheduler whose Exec records executions.
+type execLog struct {
+	mu    sync.Mutex
+	order []types.TaskID
+	seen  map[types.TaskID]bool
+	ch    chan types.TaskID
+}
+
+func newExecLog() *execLog {
+	return &execLog{seen: make(map[types.TaskID]bool), ch: make(chan types.TaskID, 256)}
+}
+
+func (e *execLog) exec(ctrl gcs.API, node types.NodeID, store *objectstore.Store) ExecFunc {
+	return func(ctx context.Context, spec types.TaskSpec, args [][]byte) {
+		e.mu.Lock()
+		e.order = append(e.order, spec.ID)
+		e.seen[spec.ID] = true
+		e.mu.Unlock()
+		// Emulate the worker: store returns, mark finished.
+		for i := 0; i < spec.NumReturns; i++ {
+			_ = store.Put(spec.ReturnID(i), []byte("r"))
+		}
+		ctrl.SetTaskStatus(spec.ID, types.TaskFinished, node, types.NilWorkerID, "")
+		e.ch <- spec.ID
+	}
+}
+
+func buildLocal(t *testing.T, total types.Resources, spillThreshold int) (*Local, *execLog, *gcs.Store, *objectstore.Store) {
+	t.Helper()
+	ctrl := gcs.NewStore(4)
+	nid := tNode(1)
+	ctrl.RegisterNode(types.NodeInfo{ID: nid, Addr: "x", Total: total})
+	store := objectstore.New(nid, ctrl, 0)
+	log := newExecLog()
+	l := NewLocal(LocalConfig{
+		Node:            nid,
+		Total:           total,
+		Ctrl:            ctrl,
+		Store:           store,
+		SpillThreshold:  spillThreshold,
+		DepPollInterval: 5 * time.Millisecond,
+	})
+	l.SetExec(log.exec(ctrl, nid, store))
+	l.Start()
+	t.Cleanup(l.Stop)
+	return l, log, ctrl, store
+}
+
+func waitExec(t *testing.T, log *execLog, want types.TaskID) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case id := <-log.ch:
+			if id == want {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("task %v never executed", want)
+		}
+	}
+}
+
+func TestImmediateDispatch(t *testing.T) {
+	l, log, _, _ := buildLocal(t, types.CPU(2), SpillNever)
+	spec := tSpec(1, nil)
+	if err := l.Submit(spec, false); err != nil {
+		t.Fatal(err)
+	}
+	waitExec(t, log, spec.ID)
+}
+
+func TestDependencyGatesDispatch(t *testing.T) {
+	l, log, ctrl, store := buildLocal(t, types.CPU(2), SpillNever)
+	dep := types.ObjectIDForReturn(types.DeriveTaskID(types.NilTaskID, 777), 0)
+	ctrl.EnsureObject(dep, types.DeriveTaskID(types.NilTaskID, 777))
+	spec := tSpec(2, nil, dep)
+	if err := l.Submit(spec, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-log.ch:
+		t.Fatal("task ran before its dependency existed")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if l.WaitingLen() != 1 {
+		t.Fatalf("waiting = %d", l.WaitingLen())
+	}
+	// Satisfy the dependency locally.
+	if err := store.Put(dep, []byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	waitExec(t, log, spec.ID)
+}
+
+func TestInfeasibleTaskSpills(t *testing.T) {
+	l, _, ctrl, _ := buildLocal(t, types.CPU(2), SpillNever)
+	sub := ctrl.SubscribeSpill()
+	defer sub.Close()
+	spec := tSpec(3, types.GPU(1, 1)) // no GPU on this node
+	if err := l.Submit(spec, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case raw := <-sub.C():
+		got, err := gcs.DecodeSpillSpec(raw)
+		if err != nil || got.ID != spec.ID {
+			t.Fatalf("bad spill payload: %v %v", got.ID, err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("infeasible task did not spill")
+	}
+	_, spilled, _ := l.Stats()
+	if spilled != 1 {
+		t.Fatalf("spilled = %d", spilled)
+	}
+}
+
+func TestSpillAlwaysForwardsEverything(t *testing.T) {
+	l, _, ctrl, _ := buildLocal(t, types.CPU(2), SpillAlways)
+	sub := ctrl.SubscribeSpill()
+	defer sub.Close()
+	for i := uint64(10); i < 14; i++ {
+		if err := l.Submit(tSpec(i, nil), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case <-sub.C():
+		case <-time.After(2 * time.Second):
+			t.Fatalf("spill %d missing", i)
+		}
+	}
+}
+
+func TestPlacedTaskNeverSpills(t *testing.T) {
+	l, log, _, _ := buildLocal(t, types.CPU(2), SpillAlways)
+	spec := tSpec(20, nil)
+	if err := l.Submit(spec, true); err != nil {
+		t.Fatal(err)
+	}
+	waitExec(t, log, spec.ID)
+}
+
+func TestResourceBoundedConcurrency(t *testing.T) {
+	ctrl := gcs.NewStore(4)
+	nid := tNode(2)
+	ctrl.RegisterNode(types.NodeInfo{ID: nid, Addr: "x", Total: types.CPU(2)})
+	store := objectstore.New(nid, ctrl, 0)
+	var running, peak atomic.Int32
+	done := make(chan struct{}, 64)
+	l := NewLocal(LocalConfig{Node: nid, Total: types.CPU(2), Ctrl: ctrl, Store: store, SpillThreshold: SpillNever})
+	l.SetExec(func(ctx context.Context, spec types.TaskSpec, args [][]byte) {
+		cur := running.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		running.Add(-1)
+		ctrl.SetTaskStatus(spec.ID, types.TaskFinished, nid, types.NilWorkerID, "")
+		done <- struct{}{}
+	})
+	l.Start()
+	defer l.Stop()
+	for i := uint64(30); i < 42; i++ {
+		if err := l.Submit(tSpec(i, types.CPU(1)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d tasks finished", i)
+		}
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("resource accounting violated: %d concurrent tasks on 2 CPUs", p)
+	}
+}
+
+func TestDuplicateSubmissionDropped(t *testing.T) {
+	l, log, _, _ := buildLocal(t, types.CPU(2), SpillNever)
+	spec := tSpec(50, nil)
+	if err := l.Submit(spec, false); err != nil {
+		t.Fatal(err)
+	}
+	waitExec(t, log, spec.ID)
+	// Outputs intact: duplicate must not re-execute.
+	if err := l.Submit(spec, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case id := <-log.ch:
+		t.Fatalf("duplicate execution of %v", id)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestReplayAfterOutputLoss(t *testing.T) {
+	l, log, _, store := buildLocal(t, types.CPU(2), SpillNever)
+	spec := tSpec(51, nil)
+	if err := l.Submit(spec, false); err != nil {
+		t.Fatal(err)
+	}
+	waitExec(t, log, spec.ID)
+	// Lose the output; resubmission must re-execute (lineage replay).
+	store.DropAll()
+	if err := l.Submit(spec, false); err != nil {
+		t.Fatal(err)
+	}
+	waitExec(t, log, spec.ID)
+}
+
+func TestStopRejectsSubmissions(t *testing.T) {
+	l, _, _, _ := buildLocal(t, types.CPU(1), SpillNever)
+	l.Stop()
+	if err := l.Submit(tSpec(60, nil), false); err != ErrStopped {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// --- resource pool ---
+
+func TestResourcePoolAcquireRelease(t *testing.T) {
+	p := newResourcePool(types.CPU(2))
+	if !p.tryAcquire(types.CPU(2)) {
+		t.Fatal("acquire failed")
+	}
+	if p.tryAcquire(types.CPU(1)) {
+		t.Fatal("overcommitted")
+	}
+	p.release(types.CPU(2))
+	if !p.tryAcquire(types.CPU(1)) {
+		t.Fatal("release lost capacity")
+	}
+}
+
+func TestResourcePoolBlockingAcquire(t *testing.T) {
+	p := newResourcePool(types.CPU(1))
+	p.tryAcquire(types.CPU(1))
+	stop := make(chan struct{})
+	got := make(chan bool, 1)
+	go func() { got <- p.acquireBlocking(types.CPU(1), stop) }()
+	time.Sleep(20 * time.Millisecond)
+	p.release(types.CPU(1))
+	select {
+	case ok := <-got:
+		if !ok {
+			t.Fatal("blocking acquire failed")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocking acquire hung")
+	}
+}
+
+func TestResourcePoolAcquireAbort(t *testing.T) {
+	p := newResourcePool(types.CPU(1))
+	p.tryAcquire(types.CPU(1))
+	stop := make(chan struct{})
+	got := make(chan bool, 1)
+	go func() { got <- p.acquireBlocking(types.CPU(1), stop) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case ok := <-got:
+		if ok {
+			t.Fatal("acquire succeeded after stop")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("aborted acquire hung")
+	}
+	// Capacity must be intact.
+	p.release(types.CPU(1))
+	_, avail := p.snapshot()
+	if avail[types.ResCPU] != 1 {
+		t.Fatalf("capacity leaked: %v", avail)
+	}
+}
+
+// Property: any sequence of acquire/release pairs leaves availability equal
+// to total.
+func TestResourcePoolBalance(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := newResourcePool(types.CPU(8))
+		held := 0
+		for _, op := range ops {
+			if op%2 == 0 && held < 8 {
+				if p.tryAcquire(types.CPU(1)) {
+					held++
+				}
+			} else if held > 0 {
+				p.release(types.CPU(1))
+				held--
+			}
+		}
+		for ; held > 0; held-- {
+			p.release(types.CPU(1))
+		}
+		_, avail := p.snapshot()
+		return avail[types.ResCPU] == 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- policies ---
+
+func snap(i uint64, cpu float64, queue int, locality int64) NodeSnapshot {
+	return NodeSnapshot{
+		Info:          types.NodeInfo{ID: tNode(i), Alive: true, Available: types.CPU(cpu), QueueLen: queue},
+		LocalityBytes: locality,
+	}
+}
+
+func TestLocalityPolicyPrefersData(t *testing.T) {
+	p := LocalityPolicy{}
+	nodes := []NodeSnapshot{snap(1, 8, 0, 0), snap(2, 1, 9, 1<<20)}
+	id, ok := p.Pick(types.TaskSpec{}, nodes)
+	if !ok || id != tNode(2) {
+		t.Fatalf("picked %v", id)
+	}
+}
+
+func TestLocalityPolicyTieBreaksByCPU(t *testing.T) {
+	p := LocalityPolicy{}
+	nodes := []NodeSnapshot{snap(1, 2, 0, 0), snap(2, 6, 0, 0)}
+	id, _ := p.Pick(types.TaskSpec{}, nodes)
+	if id != tNode(2) {
+		t.Fatalf("picked %v", id)
+	}
+}
+
+func TestLeastLoadedPolicy(t *testing.T) {
+	p := LeastLoadedPolicy{}
+	nodes := []NodeSnapshot{snap(1, 8, 5, 0), snap(2, 1, 1, 0)}
+	id, _ := p.Pick(types.TaskSpec{}, nodes)
+	if id != tNode(2) {
+		t.Fatalf("picked %v", id)
+	}
+}
+
+func TestRoundRobinPolicyRotates(t *testing.T) {
+	p := &RoundRobinPolicy{}
+	nodes := []NodeSnapshot{snap(1, 1, 0, 0), snap(2, 1, 0, 0)}
+	a, _ := p.Pick(types.TaskSpec{}, nodes)
+	b, _ := p.Pick(types.TaskSpec{}, nodes)
+	if a == b {
+		t.Fatal("round robin did not rotate")
+	}
+}
+
+func TestPoliciesRejectEmpty(t *testing.T) {
+	if _, ok := (LocalityPolicy{}).Pick(types.TaskSpec{}, nil); ok {
+		t.Fatal("locality picked from nothing")
+	}
+	if _, ok := (LeastLoadedPolicy{}).Pick(types.TaskSpec{}, nil); ok {
+		t.Fatal("least-loaded picked from nothing")
+	}
+	if _, ok := (&RoundRobinPolicy{}).Pick(types.TaskSpec{}, nil); ok {
+		t.Fatal("round-robin picked from nothing")
+	}
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"time"
+)
+
+// Obs is an environment observation: a small feature vector (the stand-in
+// for a downsampled Atari frame).
+type Obs []float64
+
+// EnvConfig shapes the synthetic environment.
+type EnvConfig struct {
+	// Seed determines the whole trajectory (deterministic replay).
+	Seed uint64
+	// ObsDim is the observation vector length.
+	ObsDim int
+	// NumActions is the discrete action count.
+	NumActions int
+	// StepCost is the compute burned per step; the paper's Section 4.2
+	// tasks were ~7ms, so that is the default.
+	StepCost time.Duration
+	// MinSteps/MaxSteps bound episode length; actual length varies with
+	// the seed (the paper's R4: "the simulation length may depend on
+	// whether the robot achieves its goal").
+	MinSteps int
+	MaxSteps int
+	// JitterEvery/JitterFactor make roughly 1-in-JitterEvery steps cost
+	// JitterFactor times more, deterministically per (seed, step): the
+	// heavy-tailed step durations that motivate the wait primitive (R1/R4).
+	// Zero disables jitter.
+	JitterEvery  int
+	JitterFactor int
+}
+
+// DefaultEnvConfig mirrors the Section 4.2 workload shape.
+func DefaultEnvConfig(seed uint64) EnvConfig {
+	return EnvConfig{
+		Seed:       seed,
+		ObsDim:     16,
+		NumActions: 4,
+		StepCost:   7 * time.Millisecond,
+		MinSteps:   8,
+		MaxSteps:   16,
+	}
+}
+
+// Env is a deterministic synthetic episodic environment. The hidden state
+// is a point drifting in ObsDim-space; rewards favour actions matching the
+// drift direction, so learning progress is measurable (a policy better
+// than random scores higher), which lets the examples display a learning
+// curve without any ML library.
+type Env struct {
+	cfg     EnvConfig
+	rng     rng
+	state   []float64
+	drift   []float64
+	step    int
+	horizon int
+}
+
+// NewEnv builds an environment; identical configs give identical episodes.
+func NewEnv(cfg EnvConfig) *Env {
+	if cfg.ObsDim <= 0 {
+		cfg.ObsDim = 16
+	}
+	if cfg.NumActions <= 0 {
+		cfg.NumActions = 4
+	}
+	if cfg.MinSteps <= 0 {
+		cfg.MinSteps = 8
+	}
+	if cfg.MaxSteps < cfg.MinSteps {
+		cfg.MaxSteps = cfg.MinSteps
+	}
+	e := &Env{cfg: cfg, rng: newRNG(cfg.Seed)}
+	e.state = make([]float64, cfg.ObsDim)
+	e.drift = make([]float64, cfg.ObsDim)
+	for i := range e.state {
+		e.state[i] = e.rng.Float64()*2 - 1
+		e.drift[i] = e.rng.Float64()*2 - 1
+	}
+	e.horizon = cfg.MinSteps + e.rng.Intn(cfg.MaxSteps-cfg.MinSteps+1)
+	return e
+}
+
+// Reset restarts the episode and returns the initial observation.
+func (e *Env) Reset() Obs {
+	*e = *NewEnv(e.cfg)
+	return e.Observe()
+}
+
+// Observe returns the current observation.
+func (e *Env) Observe() Obs {
+	obs := make(Obs, len(e.state))
+	copy(obs, e.state)
+	return obs
+}
+
+// NumActions returns the action-space size.
+func (e *Env) NumActions() int { return e.cfg.NumActions }
+
+// Step applies an action, burns the configured compute, and returns the
+// next observation, the reward, and whether the episode ended.
+func (e *Env) Step(action int) (Obs, float64, bool) {
+	Compute(e.stepCost())
+	// Reward: +1 scaled by how well the action quadrant matches the drift
+	// direction of the corresponding state slice.
+	seg := len(e.state) / e.cfg.NumActions
+	if seg == 0 {
+		seg = 1
+	}
+	lo := (action * seg) % len(e.state)
+	reward := 0.0
+	for i := lo; i < lo+seg && i < len(e.state); i++ {
+		if e.drift[i] > 0 {
+			reward += 1.0 / float64(seg)
+		}
+	}
+	for i := range e.state {
+		e.state[i] += 0.1 * e.drift[i]
+		if e.state[i] > 3 || e.state[i] < -3 {
+			e.drift[i] = -e.drift[i]
+		}
+	}
+	e.step++
+	return e.Observe(), reward, e.step >= e.horizon
+}
+
+// Horizon returns this episode's length (varies with seed).
+func (e *Env) Horizon() int { return e.horizon }
+
+// stepCost applies the deterministic heavy-tail jitter model.
+func (e *Env) stepCost() time.Duration {
+	c := e.cfg.StepCost
+	if e.cfg.JitterEvery > 0 {
+		h := e.cfg.Seed ^ uint64(e.step)*0x9e3779b97f4a7c15
+		h ^= h >> 29
+		if int(h%uint64(e.cfg.JitterEvery)) == 0 {
+			f := e.cfg.JitterFactor
+			if f <= 1 {
+				f = 3
+			}
+			c *= time.Duration(f)
+		}
+	}
+	return c
+}
+
+// EnvState is the serializable snapshot of an Env, letting environment
+// state cross task boundaries (each simulation step can be its own task,
+// as in Section 4.2's ~7ms tasks).
+type EnvState struct {
+	Cfg     EnvConfig
+	Rng     uint64
+	State   []float64
+	Drift   []float64
+	Step    int
+	Horizon int
+}
+
+// State snapshots the environment.
+func (e *Env) State() EnvState {
+	return EnvState{
+		Cfg:     e.cfg,
+		Rng:     e.rng.s,
+		State:   append([]float64(nil), e.state...),
+		Drift:   append([]float64(nil), e.drift...),
+		Step:    e.step,
+		Horizon: e.horizon,
+	}
+}
+
+// RestoreEnv rebuilds an Env from a snapshot.
+func RestoreEnv(st EnvState) *Env {
+	return &Env{
+		cfg:     st.Cfg,
+		rng:     rng{s: st.Rng},
+		state:   append([]float64(nil), st.State...),
+		drift:   append([]float64(nil), st.Drift...),
+		step:    st.Step,
+		horizon: st.Horizon,
+	}
+}

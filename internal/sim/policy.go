@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"time"
+)
+
+// Policy is a linear softmax-free policy: scores = W·obs, action = argmax.
+// It is the stand-in for the paper's neural-network policy — what matters
+// to the system experiments is that (a) evaluating it is a fixed-duration
+// accelerator kernel and (b) updating it from rollout statistics changes
+// future actions, so the examples can show learning progress.
+type Policy struct {
+	// W is row-major [NumActions][ObsDim].
+	W          []float64
+	ObsDim     int
+	NumActions int
+	// EvalCost is the accelerator time burned per batch evaluation (the
+	// paper computed actions "in parallel on GPUs").
+	EvalCost time.Duration
+}
+
+// NewPolicy builds a zero policy (uniform behaviour: always action 0 until
+// the first update breaks ties).
+func NewPolicy(obsDim, numActions int, evalCost time.Duration) *Policy {
+	return &Policy{
+		W:          make([]float64, obsDim*numActions),
+		ObsDim:     obsDim,
+		NumActions: numActions,
+		EvalCost:   evalCost,
+	}
+}
+
+// Act selects actions for a batch of observations, burning the kernel cost
+// once per batch (the GPU-batching the paper's workload alternates with).
+func (p *Policy) Act(batch []Obs) []int {
+	Kernel{Duration: p.EvalCost, OnCPU: false}.Run()
+	out := make([]int, len(batch))
+	for i, obs := range batch {
+		out[i] = p.act1(obs)
+	}
+	return out
+}
+
+func (p *Policy) act1(obs Obs) int {
+	best, bestScore := 0, -1e300
+	for a := 0; a < p.NumActions; a++ {
+		s := 0.0
+		row := p.W[a*p.ObsDim : (a+1)*p.ObsDim]
+		for i := 0; i < p.ObsDim && i < len(obs); i++ {
+			s += row[i] * obs[i]
+		}
+		if s > bestScore {
+			best, bestScore = a, s
+		}
+	}
+	return best
+}
+
+// Update applies a cross-entropy-style update: move weights toward
+// (observation, action) pairs that led to above-average returns. grads is
+// produced by RolloutStats.Gradient.
+func (p *Policy) Update(grads []float64, lr float64) {
+	for i := range p.W {
+		if i < len(grads) {
+			p.W[i] += lr * grads[i]
+		}
+	}
+}
+
+// Clone deep-copies the policy (it crosses task boundaries by value).
+func (p *Policy) Clone() *Policy {
+	c := *p
+	c.W = append([]float64(nil), p.W...)
+	return &c
+}
+
+// RolloutStats accumulates (obs, action, return) statistics from episodes
+// for the policy update.
+type RolloutStats struct {
+	SumGrad []float64
+	Return  float64
+	Steps   int
+}
+
+// Record folds one step into the stats, weighted later by episode return.
+func (rs *RolloutStats) Record(obs Obs, action int, reward float64, obsDim, numActions int) {
+	if rs.SumGrad == nil {
+		rs.SumGrad = make([]float64, obsDim*numActions)
+	}
+	row := rs.SumGrad[action*obsDim : (action+1)*obsDim]
+	for i := 0; i < obsDim && i < len(obs); i++ {
+		row[i] += obs[i] * reward
+	}
+	rs.Return += reward
+	rs.Steps++
+}
+
+// Merge folds another rollout's stats into rs.
+func (rs *RolloutStats) Merge(other RolloutStats) {
+	if rs.SumGrad == nil {
+		rs.SumGrad = make([]float64, len(other.SumGrad))
+	}
+	for i := range other.SumGrad {
+		rs.SumGrad[i] += other.SumGrad[i]
+	}
+	rs.Return += other.Return
+	rs.Steps += other.Steps
+}
+
+// Gradient produces the update direction (normalized by steps).
+func (rs *RolloutStats) Gradient() []float64 {
+	out := make([]float64, len(rs.SumGrad))
+	n := float64(rs.Steps)
+	if n == 0 {
+		n = 1
+	}
+	for i, g := range rs.SumGrad {
+		out[i] = g / n
+	}
+	return out
+}

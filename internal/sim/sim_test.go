@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBurnTakesApproximatelyRequestedTime(t *testing.T) {
+	start := time.Now()
+	Burn(5 * time.Millisecond)
+	elapsed := time.Since(start)
+	if elapsed < 5*time.Millisecond {
+		t.Fatalf("Burn returned early: %v", elapsed)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("Burn overshot badly: %v", elapsed)
+	}
+	if Burn(0) != 0 {
+		t.Fatal("Burn(0) should be a no-op")
+	}
+}
+
+func TestKernelModes(t *testing.T) {
+	start := time.Now()
+	Kernel{Duration: 2 * time.Millisecond, OnCPU: true}.Run()
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("CPU kernel too fast")
+	}
+	start = time.Now()
+	Kernel{Duration: 2 * time.Millisecond}.Run()
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("accelerator kernel too fast")
+	}
+}
+
+func TestEnvDeterministicTrajectory(t *testing.T) {
+	cfg := DefaultEnvConfig(42)
+	cfg.StepCost = 0
+	a, b := NewEnv(cfg), NewEnv(cfg)
+	for !func() bool {
+		oa, ra, da := a.Step(1)
+		ob, rb, db := b.Step(1)
+		if ra != rb || da != db {
+			t.Fatal("rewards diverge")
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatal("observations diverge")
+			}
+		}
+		return da
+	}() {
+	}
+}
+
+func TestEnvEpisodeLengthVaries(t *testing.T) {
+	lens := map[int]bool{}
+	for seed := uint64(0); seed < 20; seed++ {
+		cfg := DefaultEnvConfig(seed)
+		lens[NewEnv(cfg).Horizon()] = true
+	}
+	if len(lens) < 2 {
+		t.Fatal("episode lengths constant across seeds — R4 variability missing")
+	}
+}
+
+func TestEnvStateRoundTrip(t *testing.T) {
+	cfg := DefaultEnvConfig(7)
+	cfg.StepCost = 0
+	env := NewEnv(cfg)
+	env.Step(2)
+	snap := env.State()
+	restored := RestoreEnv(snap)
+	o1, r1, d1 := env.Step(3)
+	o2, r2, d2 := restored.Step(3)
+	if r1 != r2 || d1 != d2 {
+		t.Fatal("restored env diverges")
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("restored observation diverges")
+		}
+	}
+}
+
+func TestEnvReset(t *testing.T) {
+	cfg := DefaultEnvConfig(9)
+	cfg.StepCost = 0
+	env := NewEnv(cfg)
+	first := env.Observe()
+	env.Step(0)
+	reset := env.Reset()
+	for i := range first {
+		if first[i] != reset[i] {
+			t.Fatal("Reset did not restore the initial observation")
+		}
+	}
+}
+
+func TestEnvRewardWithinBounds(t *testing.T) {
+	cfg := DefaultEnvConfig(3)
+	cfg.StepCost = 0
+	env := NewEnv(cfg)
+	for {
+		_, r, done := env.Step(1)
+		if r < 0 || r > 1.0001 {
+			t.Fatalf("reward %v out of [0,1]", r)
+		}
+		if done {
+			break
+		}
+	}
+}
+
+func TestPolicyLearnsPreference(t *testing.T) {
+	p := NewPolicy(4, 2, 0)
+	obs := Obs{1, 0, 0, 0}
+	// Push weights toward action 1 for this observation.
+	grads := make([]float64, 8)
+	grads[4] = 1 // action 1, feature 0
+	p.Update(grads, 1.0)
+	if got := p.Act([]Obs{obs})[0]; got != 1 {
+		t.Fatalf("policy chose %d after update toward 1", got)
+	}
+}
+
+func TestPolicyCloneIndependent(t *testing.T) {
+	p := NewPolicy(2, 2, 0)
+	c := p.Clone()
+	c.W[0] = 99
+	if p.W[0] == 99 {
+		t.Fatal("Clone aliases weights")
+	}
+}
+
+func TestRolloutStatsMergeAndGradient(t *testing.T) {
+	var a, b RolloutStats
+	a.Record(Obs{1, 0}, 0, 1.0, 2, 2)
+	b.Record(Obs{0, 1}, 1, 0.5, 2, 2)
+	a.Merge(b)
+	if a.Steps != 2 || a.Return != 1.5 {
+		t.Fatalf("merge: steps=%d return=%v", a.Steps, a.Return)
+	}
+	g := a.Gradient()
+	if len(g) != 4 {
+		t.Fatalf("gradient len %d", len(g))
+	}
+	if g[0] == 0 || g[3] == 0 {
+		t.Fatal("gradient lost contributions")
+	}
+}
+
+func TestRNGUniformish(t *testing.T) {
+	r := newRNG(123)
+	buckets := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		buckets[r.Intn(4)]++
+	}
+	for i, n := range buckets {
+		if n < 700 || n > 1300 {
+			t.Fatalf("bucket %d = %d, badly skewed", i, n)
+		}
+	}
+	if r.Intn(0) != 0 {
+		t.Fatal("Intn(0) should be 0")
+	}
+}

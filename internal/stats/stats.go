@@ -1,0 +1,171 @@
+// Package stats provides the small measurement toolkit used by the
+// benchmark harness: latency samples with percentiles, throughput counters,
+// and aligned table rendering for paper-style output.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sample accumulates duration observations and reports order statistics.
+// It is safe for concurrent use.
+type Sample struct {
+	mu   sync.Mutex
+	durs []time.Duration
+}
+
+// NewSample returns an empty sample with the given capacity hint.
+func NewSample(capHint int) *Sample {
+	return &Sample{durs: make([]time.Duration, 0, capHint)}
+}
+
+// Add records one observation.
+func (s *Sample) Add(d time.Duration) {
+	s.mu.Lock()
+	s.durs = append(s.durs, d)
+	s.mu.Unlock()
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.durs)
+}
+
+// sortedCopy snapshots and sorts the observations.
+func (s *Sample) sortedCopy() []time.Duration {
+	s.mu.Lock()
+	out := make([]time.Duration, len(s.durs))
+	copy(out, s.durs)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+func (s *Sample) Percentile(p float64) time.Duration {
+	sorted := s.sortedCopy()
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.durs) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range s.durs {
+		total += d
+	}
+	return total / time.Duration(len(s.durs))
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() time.Duration {
+	sorted := s.sortedCopy()
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[0]
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() time.Duration {
+	sorted := s.sortedCopy()
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[len(sorted)-1]
+}
+
+// Summary formats mean/p50/p99/max on one line.
+func (s *Sample) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		s.N(), s.Mean().Round(time.Microsecond),
+		s.Percentile(50).Round(time.Microsecond),
+		s.Percentile(99).Round(time.Microsecond),
+		s.Max().Round(time.Microsecond))
+}
+
+// Table renders rows of strings with aligned columns, in the style of the
+// tables printed by cmd/raybench.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return b.String()
+	}
+	fmt.Fprintln(w, line(t.Header))
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+// Rate converts a count over an elapsed duration to an events/second figure.
+func Rate(n int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSamplePercentiles(t *testing.T) {
+	s := NewSample(100)
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := s.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := s.Percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := s.Percentile(0); got != time.Millisecond {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if s.Min() != time.Millisecond || s.Max() != 100*time.Millisecond {
+		t.Fatal("min/max wrong")
+	}
+}
+
+func TestSampleMean(t *testing.T) {
+	s := NewSample(4)
+	s.Add(2 * time.Millisecond)
+	s.Add(4 * time.Millisecond)
+	if got := s.Mean(); got != 3*time.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	s := NewSample(0)
+	if s.Mean() != 0 || s.Percentile(50) != 0 || s.Min() != 0 || s.Max() != 0 || s.N() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestSampleConcurrent(t *testing.T) {
+	s := NewSample(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Add(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.N() != 8000 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestSummaryContainsFields(t *testing.T) {
+	s := NewSample(1)
+	s.Add(time.Millisecond)
+	sum := s.Summary()
+	for _, want := range []string{"n=1", "mean=", "p50=", "p99=", "max="} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary %q missing %q", sum, want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{Header: []string{"metric", "value"}}
+	tbl.AddRow("latency", "35µs")
+	tbl.AddRow("throughput-per-second", 1000000)
+	var b strings.Builder
+	tbl.Render(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "metric") || !strings.Contains(lines[3], "1000000") {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+	// Columns aligned: "value" starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[3][idx:], "1000000") {
+		t.Fatalf("column misaligned:\n%s", out)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(1000, time.Second); got != 1000 {
+		t.Fatalf("Rate = %v", got)
+	}
+	if got := Rate(5, 0); got != 0 {
+		t.Fatal("zero elapsed should yield 0")
+	}
+}

@@ -1,0 +1,126 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Standard resource names. Arbitrary custom names are also permitted
+// (paper R4: explicit system support for heterogeneous resources).
+const (
+	ResCPU = "CPU"
+	ResGPU = "GPU"
+)
+
+// Resources maps a resource name to a quantity. Quantities are fractional
+// (a task may demand half a CPU). The zero value (nil map) means "no
+// resources required" for demands and "no capacity" for capacities.
+type Resources map[string]float64
+
+// CPU is shorthand for a CPU-only demand.
+func CPU(n float64) Resources { return Resources{ResCPU: n} }
+
+// GPU is shorthand for a demand of one GPU plus n CPUs.
+func GPU(cpus, gpus float64) Resources { return Resources{ResCPU: cpus, ResGPU: gpus} }
+
+// Clone returns a deep copy.
+func (r Resources) Clone() Resources {
+	if r == nil {
+		return nil
+	}
+	out := make(Resources, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Fits reports whether demand r can be satisfied by the available capacity.
+func (r Resources) Fits(avail Resources) bool {
+	for k, v := range r {
+		if v <= 0 {
+			continue
+		}
+		if avail[k] < v-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// FeasibleOn reports whether demand r could ever run on a node with the
+// given total capacity (ignoring current usage). Infeasible tasks must be
+// spilled to the global scheduler (paper Section 3.2.2).
+func (r Resources) FeasibleOn(total Resources) bool { return r.Fits(total) }
+
+// Sub subtracts demand d from r in place. It panics if the result would be
+// negative beyond rounding error: resource accounting going negative is a
+// scheduler bug, and the property tests rely on this invariant.
+func (r Resources) Sub(d Resources) {
+	for k, v := range d {
+		if v == 0 {
+			continue
+		}
+		nv := r[k] - v
+		if nv < -1e-6 {
+			panic(fmt.Sprintf("types: resource %s would go negative: %v - %v", k, r[k], v))
+		}
+		if nv < 0 {
+			nv = 0
+		}
+		r[k] = nv
+	}
+}
+
+// Add adds d to r in place.
+func (r Resources) Add(d Resources) {
+	for k, v := range d {
+		r[k] += v
+	}
+}
+
+// IsZero reports whether no resource has a positive quantity.
+func (r Resources) IsZero() bool {
+	for _, v := range r {
+		if v > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate rejects negative quantities and empty names.
+func (r Resources) Validate() error {
+	for k, v := range r {
+		if k == "" {
+			return fmt.Errorf("types: empty resource name")
+		}
+		if v < 0 {
+			return fmt.Errorf("types: negative quantity %v for resource %s", v, k)
+		}
+	}
+	return nil
+}
+
+// String renders resources deterministically (sorted by name).
+func (r Resources) String() string {
+	if len(r) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%g", k, r[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourcesFits(t *testing.T) {
+	avail := Resources{ResCPU: 4, ResGPU: 1}
+	cases := []struct {
+		demand Resources
+		want   bool
+	}{
+		{nil, true},
+		{Resources{}, true},
+		{CPU(1), true},
+		{CPU(4), true},
+		{CPU(4.5), false},
+		{GPU(1, 1), true},
+		{GPU(1, 2), false},
+		{Resources{"TPU": 1}, false},
+		{Resources{ResCPU: 0}, true},
+	}
+	for i, tc := range cases {
+		if got := tc.demand.Fits(avail); got != tc.want {
+			t.Errorf("case %d: Fits(%v, %v) = %v, want %v", i, tc.demand, avail, got, tc.want)
+		}
+	}
+}
+
+func TestResourcesSubAdd(t *testing.T) {
+	r := Resources{ResCPU: 4, ResGPU: 2}
+	r.Sub(CPU(1))
+	if r[ResCPU] != 3 {
+		t.Fatalf("after Sub, CPU = %v", r[ResCPU])
+	}
+	r.Add(CPU(2))
+	if r[ResCPU] != 5 {
+		t.Fatalf("after Add, CPU = %v", r[ResCPU])
+	}
+}
+
+func TestResourcesSubNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub below zero did not panic")
+		}
+	}()
+	r := CPU(1)
+	r.Sub(CPU(2))
+}
+
+func TestResourcesCloneIndependent(t *testing.T) {
+	r := CPU(2)
+	c := r.Clone()
+	c[ResCPU] = 99
+	if r[ResCPU] != 2 {
+		t.Fatal("Clone aliases the original map")
+	}
+	if Resources(nil).Clone() != nil {
+		t.Fatal("Clone of nil should stay nil")
+	}
+}
+
+func TestResourcesValidate(t *testing.T) {
+	if err := (Resources{ResCPU: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Resources{"": 1}).Validate(); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := (Resources{ResCPU: -0.5}).Validate(); err == nil {
+		t.Fatal("negative quantity accepted")
+	}
+}
+
+func TestResourcesString(t *testing.T) {
+	r := Resources{ResGPU: 1, ResCPU: 2}
+	if got := r.String(); got != "{CPU:2 GPU:1}" {
+		t.Fatalf("String = %q", got)
+	}
+	if (Resources{}).String() != "{}" {
+		t.Fatal("empty String wrong")
+	}
+}
+
+// Property: Add then Sub of the same demand restores the original value,
+// and resource accounting never dips negative along the way.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(cpu, gpu uint8) bool {
+		base := Resources{ResCPU: float64(cpu), ResGPU: float64(gpu)}
+		demand := Resources{ResCPU: float64(cpu) / 2, ResGPU: float64(gpu) / 2}
+		r := base.Clone()
+		r.Sub(demand)
+		for _, v := range r {
+			if v < 0 {
+				return false
+			}
+		}
+		r.Add(demand)
+		return r[ResCPU] == base[ResCPU] && r[ResGPU] == base[ResGPU]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourcesIsZero(t *testing.T) {
+	if !(Resources{}).IsZero() || !(Resources{ResCPU: 0}).IsZero() {
+		t.Fatal("zero resources misreported")
+	}
+	if CPU(1).IsZero() {
+		t.Fatal("non-zero resources misreported")
+	}
+}

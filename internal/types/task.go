@@ -1,0 +1,177 @@
+package types
+
+import "fmt"
+
+// Arg is a task argument: either an inline encoded value or a reference to
+// an object produced by another task. Reference arguments are what create
+// dataflow edges (paper R5).
+type Arg struct {
+	// IsRef marks the argument as a future/object reference.
+	IsRef bool
+	// Ref is the referenced object (valid iff IsRef).
+	Ref ObjectID
+	// Value is the inline encoded value (valid iff !IsRef).
+	Value []byte
+}
+
+// RefArg builds a reference argument.
+func RefArg(id ObjectID) Arg { return Arg{IsRef: true, Ref: id} }
+
+// ValueArg builds an inline argument.
+func ValueArg(b []byte) Arg { return Arg{Value: b} }
+
+// TaskSpec fully describes a task submission. The spec is stored in the
+// control plane's task table and doubles as the lineage record: replaying a
+// spec reproduces its outputs (DESIGN.md §4.1).
+type TaskSpec struct {
+	ID          TaskID
+	Function    string
+	Args        []Arg
+	NumReturns  int
+	Resources   Resources
+	Parent      TaskID // task (or driver root) that submitted this task
+	SubmitIndex uint64 // index of this submission within the parent
+	MaxRetries  int    // retries on worker failure before Failed
+}
+
+// ReturnID is the object ID of the i-th return value.
+func (s *TaskSpec) ReturnID(i int) ObjectID {
+	if i < 0 || i >= s.NumReturns {
+		panic(fmt.Sprintf("types: return index %d out of range [0,%d)", i, s.NumReturns))
+	}
+	return ObjectIDForReturn(s.ID, i)
+}
+
+// Deps returns the object IDs this task depends on (its reference args).
+func (s *TaskSpec) Deps() []ObjectID {
+	var deps []ObjectID
+	for _, a := range s.Args {
+		if a.IsRef {
+			deps = append(deps, a.Ref)
+		}
+	}
+	return deps
+}
+
+// Validate checks the spec for structural errors before submission.
+func (s *TaskSpec) Validate() error {
+	if s.ID.IsNil() {
+		return fmt.Errorf("types: task has nil ID")
+	}
+	if s.Function == "" {
+		return fmt.Errorf("types: task %s has empty function name", s.ID)
+	}
+	if s.NumReturns < 0 {
+		return fmt.Errorf("types: task %s has negative NumReturns", s.ID)
+	}
+	if err := s.Resources.Validate(); err != nil {
+		return fmt.Errorf("task %s: %w", s.ID, err)
+	}
+	return nil
+}
+
+// TaskStatus is the lifecycle state recorded in the task table.
+type TaskStatus int
+
+// Task lifecycle. Queued means a specific node's local scheduler owns the
+// task (claimed via CAS, so concurrent global schedulers converge on one
+// owner); Lost means the task finished but its outputs were lost to a
+// failure and it may be replayed; Failed is a terminal application error.
+const (
+	TaskPending TaskStatus = iota
+	TaskQueued
+	TaskScheduled
+	TaskRunning
+	TaskFinished
+	TaskLost
+	TaskFailed
+)
+
+var taskStatusNames = [...]string{"PENDING", "QUEUED", "SCHEDULED", "RUNNING", "FINISHED", "LOST", "FAILED"}
+
+func (s TaskStatus) String() string {
+	if s < 0 || int(s) >= len(taskStatusNames) {
+		return fmt.Sprintf("TaskStatus(%d)", int(s))
+	}
+	return taskStatusNames[s]
+}
+
+// Terminal reports whether no further transitions are expected.
+func (s TaskStatus) Terminal() bool { return s == TaskFinished || s == TaskFailed }
+
+// TaskState is the task-table record: spec + mutable execution state.
+type TaskState struct {
+	Spec    TaskSpec
+	Status  TaskStatus
+	Node    NodeID
+	Worker  WorkerID
+	Error   string
+	Retries int
+	// Timestamps in nanoseconds since the cluster epoch, for profiling (R7).
+	SubmittedNs int64
+	ScheduledNs int64
+	StartedNs   int64
+	FinishedNs  int64
+}
+
+// ObjectState is the lifecycle of an entry in the object table.
+type ObjectState int
+
+// Object lifecycle.
+const (
+	ObjectPending ObjectState = iota // producer not yet finished
+	ObjectReady                      // at least one live location
+	ObjectLost                       // all locations failed; reconstructable
+)
+
+var objectStateNames = [...]string{"PENDING", "READY", "LOST"}
+
+func (s ObjectState) String() string {
+	if s < 0 || int(s) >= len(objectStateNames) {
+		return fmt.Sprintf("ObjectState(%d)", int(s))
+	}
+	return objectStateNames[s]
+}
+
+// ObjectInfo is the object-table record.
+type ObjectInfo struct {
+	ID        ObjectID
+	Size      int64
+	Producer  TaskID // task whose execution created the object (lineage edge)
+	State     ObjectState
+	Locations []NodeID
+}
+
+// HasLocation reports whether node holds a copy.
+func (o *ObjectInfo) HasLocation(node NodeID) bool {
+	for _, n := range o.Locations {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeInfo is the node-table record.
+type NodeInfo struct {
+	ID       NodeID
+	Addr     string // transport address of the node's server
+	Total    Resources
+	Alive    bool
+	LastSeen int64 // heartbeat, ns since cluster epoch
+	// Load snapshot published with heartbeats; the global scheduler's
+	// placement policy consumes these.
+	QueueLen  int
+	Available Resources
+}
+
+// Event is one entry in the event log (paper R7: profiling and debugging).
+type Event struct {
+	TimeNs int64
+	Kind   string // e.g. "submit", "schedule", "start", "finish", "spill"
+	Task   TaskID
+	Object ObjectID
+	Node   NodeID
+	Worker WorkerID
+	Detail string
+}

@@ -1,0 +1,135 @@
+// Package worker executes tasks on a node. The paper's prototype ran a
+// fixed pool of worker processes per node; here each task executes on a
+// goroutine admitted by the local scheduler's resource accounting, and a
+// task that blocks on Get lends its resources back to the scheduler — the
+// same worker-lending behaviour Ray uses to keep nested tasks (R3) from
+// deadlocking a node.
+package worker
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/gcs"
+	"repro/internal/types"
+)
+
+// Hooks let the local scheduler observe execution lifecycle events.
+type Hooks struct {
+	// OnBlocked is called when a task enters (true) or leaves (false) a
+	// blocking Get/Wait; the scheduler releases/reacquires its resources.
+	OnBlocked func(spec types.TaskSpec, blocked bool)
+	// Resubmit re-enqueues a task that should retry after a failure.
+	Resubmit func(spec types.TaskSpec)
+}
+
+// Executor runs task specs against a function registry.
+type Executor struct {
+	node    types.NodeID
+	ctrl    gcs.API
+	reg     *core.Registry
+	backend core.Backend
+	hooks   Hooks
+
+	active   atomic.Int64
+	executed atomic.Int64
+	failed   atomic.Int64
+}
+
+// NewExecutor wires an executor. backend is the node's core.Backend, used
+// to build TaskContexts so tasks can submit subtasks.
+func NewExecutor(node types.NodeID, ctrl gcs.API, reg *core.Registry, backend core.Backend, hooks Hooks) *Executor {
+	return &Executor{node: node, ctrl: ctrl, reg: reg, backend: backend, hooks: hooks}
+}
+
+// Active returns the number of currently executing tasks.
+func (e *Executor) Active() int64 { return e.active.Load() }
+
+// Executed returns the cumulative count of finished executions.
+func (e *Executor) Executed() int64 { return e.executed.Load() }
+
+// Failed returns the cumulative count of failed executions.
+func (e *Executor) Failed() int64 { return e.failed.Load() }
+
+// workerIDFor derives a stable pseudo worker identity for profiling.
+func workerIDFor(spec types.TaskSpec) types.WorkerID {
+	return types.WorkerID(spec.ID)
+}
+
+// Execute runs one task to completion: invoke the function, store returns,
+// and record terminal status. args holds the resolved bytes for every
+// argument (references already dereferenced by the scheduler). Execute is
+// called on its own goroutine by the local scheduler.
+func (e *Executor) Execute(ctx context.Context, spec types.TaskSpec, args [][]byte) {
+	e.active.Add(1)
+	defer e.active.Add(-1)
+	wid := workerIDFor(spec)
+	e.ctrl.SetTaskStatus(spec.ID, types.TaskRunning, e.node, wid, "")
+
+	rets, err := e.invoke(ctx, spec, args)
+	if err != nil {
+		e.fail(spec, wid, err)
+		return
+	}
+	if len(rets) != spec.NumReturns {
+		e.fail(spec, wid, fmt.Errorf("function %s returned %d values, declared %d", spec.Function, len(rets), spec.NumReturns))
+		return
+	}
+	for i, data := range rets {
+		if data == nil {
+			data = codec.MustEncode(nil)
+		}
+		if perr := e.backend.PutObject(spec.ReturnID(i), data); perr != nil {
+			e.fail(spec, wid, fmt.Errorf("storing return %d: %w", i, perr))
+			return
+		}
+	}
+	e.executed.Add(1)
+	e.ctrl.SetTaskStatus(spec.ID, types.TaskFinished, e.node, wid, "")
+}
+
+// invoke runs the function with panic isolation: a panicking task must not
+// take down the node (R6), so panics convert to task failures.
+func (e *Executor) invoke(ctx context.Context, spec types.TaskSpec, args [][]byte) (rets [][]byte, err error) {
+	fn, ok := e.reg.Lookup(spec.Function)
+	if !ok {
+		return nil, fmt.Errorf("function %q not registered on %v", spec.Function, e.node)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			rets, err = nil, fmt.Errorf("task panicked: %v", r)
+		}
+	}()
+	blockHook := func(blocked bool) {
+		if e.hooks.OnBlocked != nil {
+			e.hooks.OnBlocked(spec, blocked)
+		}
+	}
+	tc := core.NewTaskContext(ctx, e.backend, spec, blockHook)
+	return fn(tc, args)
+}
+
+// fail records a terminal failure or schedules a retry. On terminal
+// failure, error payloads are stored under every return object so that
+// blocked Gets observe the failure (instead of hanging).
+func (e *Executor) fail(spec types.TaskSpec, wid types.WorkerID, taskErr error) {
+	retries := e.ctrl.RecordTaskRetry(spec.ID)
+	if retries <= spec.MaxRetries && e.hooks.Resubmit != nil {
+		e.ctrl.LogEvent(types.Event{
+			Kind: "retry", Task: spec.ID, Node: e.node, Worker: wid,
+			Detail: fmt.Sprintf("attempt %d/%d: %v", retries, spec.MaxRetries, taskErr),
+		})
+		e.ctrl.SetTaskStatus(spec.ID, types.TaskPending, e.node, wid, taskErr.Error())
+		e.hooks.Resubmit(spec)
+		return
+	}
+	e.failed.Add(1)
+	for i := 0; i < spec.NumReturns; i++ {
+		// Best effort: the store may itself be failing.
+		_ = e.backend.PutObject(spec.ReturnID(i), codec.EncodeError(taskErr.Error()))
+	}
+	e.ctrl.SetTaskStatus(spec.ID, types.TaskFailed, e.node, wid, taskErr.Error())
+}
