@@ -16,12 +16,16 @@ import (
 	"repro/internal/bsp"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/gcs"
 	"repro/internal/kv"
+	"repro/internal/lifetime"
 	"repro/internal/mcts"
+	"repro/internal/objectstore"
 	"repro/internal/rl"
 	"repro/internal/rnn"
 	"repro/internal/scheduler"
 	"repro/internal/sensor"
+	"repro/internal/transport"
 	"repro/internal/types"
 )
 
@@ -465,4 +469,96 @@ func BenchmarkEventLogOverhead(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- E14: lifetime spill/restore hot path ---
+
+func BenchmarkSpillRestore(b *testing.B) {
+	ctrl := gcs.NewStore(4)
+	tier, err := lifetime.NewDiskSpiller(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const objSize = 768 << 10
+	store := objectstore.New(types.NodeID(types.DeriveTaskID(types.NilTaskID, 1)), ctrl, 1<<20)
+	store.SetSpillTier(tier)
+	store.SetRefChecker(func(types.ObjectID) bool { return true })
+	x := types.ObjectIDForReturn(types.DeriveTaskID(types.NilTaskID, 2), 0)
+	y := types.ObjectIDForReturn(types.DeriveTaskID(types.NilTaskID, 3), 0)
+	payload := make([]byte, objSize)
+	if err := store.Put(x, payload); err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Put(y, payload); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(objSize)
+	b.ResetTimer()
+	// x and y cannot coexist in memory: each Get restores one and spills
+	// the other — one full spill+restore cycle per iteration.
+	for i := 0; i < b.N; i++ {
+		id := x
+		if i%2 == 1 {
+			id = y
+		}
+		if _, ok := store.Get(id); !ok {
+			b.Fatal("object lost during spill cycling")
+		}
+	}
+}
+
+// --- E15: chunked pull vs single-shot transfer ---
+
+func BenchmarkChunkedPull(b *testing.B) {
+	const objSize = 64 << 20
+	run := func(b *testing.B, peers int, cfg lifetime.PullConfig) {
+		ctrl := gcs.NewStore(4)
+		// 100µs hop latency + 1 GB/s per-stream bandwidth: the regime where
+		// parallel chunk streams beat one serial whole-object transfer.
+		nw := transport.NewInprocBandwidth(100*time.Microsecond, 1<<30)
+		payload := make([]byte, objSize)
+		addrs := make(map[types.NodeID]string)
+		var locs []types.NodeID
+		id := types.ObjectIDForReturn(types.DeriveTaskID(types.NilTaskID, 7), 0)
+		for i := 0; i < peers; i++ {
+			src := objectstore.New(types.NodeID(types.DeriveTaskID(types.NilTaskID, uint64(10+i))), ctrl, 0)
+			srv := transport.NewServer()
+			objectstore.RegisterPullHandler(srv, src)
+			addr := fmt.Sprintf("src-%d", i)
+			if _, err := nw.Listen(addr, srv); err != nil {
+				b.Fatal(err)
+			}
+			if err := src.Put(id, payload); err != nil {
+				b.Fatal(err)
+			}
+			addrs[src.Node()] = addr
+			locs = append(locs, src.Node())
+		}
+		dst := objectstore.New(types.NodeID(types.DeriveTaskID(types.NilTaskID, 9)), ctrl, 0)
+		pm := lifetime.NewPullManager(dst, ctrl, nw, func(n types.NodeID) (string, bool) {
+			a, ok := addrs[n]
+			return a, ok
+		}, cfg)
+		defer pm.Close()
+		ctx := context.Background()
+		b.SetBytes(objSize)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := pm.Fetch(ctx, id, locs); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			dst.Delete(id)
+			b.StartTimer()
+		}
+	}
+	b.Run("single-shot", func(b *testing.B) {
+		run(b, 1, lifetime.PullConfig{ChunkSize: objSize + 1})
+	})
+	b.Run("chunked-1peer", func(b *testing.B) {
+		run(b, 1, lifetime.PullConfig{ChunkSize: 4 << 20})
+	})
+	b.Run("chunked-2peer", func(b *testing.B) {
+		run(b, 2, lifetime.PullConfig{ChunkSize: 4 << 20})
+	})
 }

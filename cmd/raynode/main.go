@@ -47,16 +47,18 @@ import (
 
 func main() {
 	var (
-		head    = flag.Bool("head", false, "run the head node (control plane + global scheduler)")
-		gcsAddr = flag.String("gcs", "127.0.0.1:6380", "control-plane service address (serve when -head, dial when -join)")
-		join    = flag.String("join", "", "head control-plane address to join as a worker node")
-		listen  = flag.String("listen", "127.0.0.1:6381", "this node's transport address")
-		httpAdr = flag.String("http", "", "dashboard HTTP address (head only), e.g. :8265")
-		cpu     = flag.Float64("cpu", 8, "CPU capacity of this node")
-		gpu     = flag.Float64("gpu", 0, "GPU capacity of this node")
-		shards  = flag.Int("shards", 8, "control-plane shard count (head only)")
-		spill   = flag.Int("spill", 16, "local scheduler spill threshold")
-		demo    = flag.Bool("demo", false, "run the demo workload after boot (head only)")
+		head     = flag.Bool("head", false, "run the head node (control plane + global scheduler)")
+		gcsAddr  = flag.String("gcs", "127.0.0.1:6380", "control-plane service address (serve when -head, dial when -join)")
+		join     = flag.String("join", "", "head control-plane address to join as a worker node")
+		listen   = flag.String("listen", "127.0.0.1:6381", "this node's transport address")
+		httpAdr  = flag.String("http", "", "dashboard HTTP address (head only), e.g. :8265")
+		cpu      = flag.Float64("cpu", 8, "CPU capacity of this node")
+		gpu      = flag.Float64("gpu", 0, "GPU capacity of this node")
+		shards   = flag.Int("shards", 8, "control-plane shard count (head only)")
+		spill    = flag.Int("spill", 16, "local scheduler spill threshold")
+		storeCap = flag.Int64("store-cap", 0, "object store memory capacity in bytes (0 = unlimited)")
+		spillDir = flag.String("spill-dir", "", "directory for the object store's disk spill tier (empty = disabled)")
+		demo     = flag.Bool("demo", false, "run the demo workload after boot (head only)")
 	)
 	flag.Parse()
 
@@ -96,6 +98,8 @@ func main() {
 
 	n, err := node.New(node.Config{
 		Resources:         res,
+		StoreCapacity:     *storeCap,
+		SpillDir:          *spillDir,
 		Network:           transport.TCP{},
 		ListenAddr:        *listen,
 		Ctrl:              ctrl,

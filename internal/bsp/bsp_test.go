@@ -83,11 +83,14 @@ func TestBytesShippedGrowsWithInput(t *testing.T) {
 
 func TestEmptyInputsUsesTaskCount(t *testing.T) {
 	e := New(Config{Executors: 2})
-	n := 0
-	counter := func(in []byte) []byte { n++; return nil }
+	var n atomic.Int64
+	counter := func(in []byte) []byte { n.Add(1); return nil } // tasks run on parallel executors
 	out := e.RunStage([]Task{counter, counter, counter}, nil)
 	if len(out) != 3 {
 		t.Fatalf("outputs = %d", len(out))
+	}
+	if n.Load() != 3 {
+		t.Fatalf("ran %d tasks, want 3", n.Load())
 	}
 }
 

@@ -8,12 +8,14 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/gcs"
+	"repro/internal/lifetime"
 	"repro/internal/node"
 	"repro/internal/scheduler"
 	"repro/internal/transport"
@@ -39,6 +41,11 @@ type Config struct {
 	SpillThreshold *int
 	// StoreCapacity bounds each node's object store; 0 = unlimited.
 	StoreCapacity int64
+	// SpillDir, when set, enables each node's disk spill tier; node i
+	// spills into SpillDir/node-i. Empty disables spilling.
+	SpillDir string
+	// Pull tunes the chunked pull protocol (zero value = defaults).
+	Pull lifetime.PullConfig
 	// GlobalPolicy selects the placement policy (default locality-aware).
 	GlobalPolicy scheduler.Policy
 	// GlobalSchedulers is how many global scheduler instances run
@@ -101,9 +108,15 @@ func New(cfg Config) (*Cluster, error) {
 			res = cfg.PerNodeResources[i]
 		}
 		spill := spillDefault(cfg, res)
+		spillDir := ""
+		if cfg.SpillDir != "" {
+			spillDir = filepath.Join(cfg.SpillDir, fmt.Sprintf("node-%d", i))
+		}
 		n, err := node.New(node.Config{
 			Resources:         res.Clone(),
 			StoreCapacity:     cfg.StoreCapacity,
+			SpillDir:          spillDir,
+			Pull:              cfg.Pull,
 			SpillThreshold:    spill,
 			Network:           c.Network,
 			ListenAddr:        fmt.Sprintf("node-%d", i),

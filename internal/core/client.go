@@ -32,6 +32,17 @@ type Backend interface {
 	NodeID() types.NodeID
 }
 
+// RefCounted is optionally implemented by Backends wired to the lifetime
+// subsystem (node.Node is). When present, every future created by Submit
+// or Put is retained on behalf of the caller, and Release drops those
+// references; when the cluster-wide count reaches zero the object's bytes
+// are reclaimed everywhere. Backends without it keep the original
+// semantics: objects live until LRU eviction.
+type RefCounted interface {
+	RetainObject(id types.ObjectID)
+	ReleaseObject(id types.ObjectID)
+}
+
 // Call describes one task invocation.
 type Call struct {
 	Function   string
@@ -74,6 +85,28 @@ func (c *caller) exitBlocked() {
 	}
 }
 
+// retain records new future references with the lifetime subsystem, if the
+// backend has one.
+func (c *caller) retain(ids ...types.ObjectID) {
+	if rc, ok := c.backend.(RefCounted); ok {
+		for _, id := range ids {
+			rc.RetainObject(id)
+		}
+	}
+}
+
+// release drops future references. Objects whose cluster-wide count
+// reaches zero are garbage-collected; see Client.Release.
+func (c *caller) release(refs []ObjectRef) {
+	if rc, ok := c.backend.(RefCounted); ok {
+		for _, r := range refs {
+			if !r.IsNil() {
+				rc.ReleaseObject(r.ID)
+			}
+		}
+	}
+}
+
 // submit implements task creation (Section 3.1, items 1-3): it derives the
 // deterministic task ID, validates, hands the spec to the local scheduler,
 // and returns futures immediately without waiting for execution.
@@ -105,6 +138,7 @@ func (c *caller) submit(call Call) ([]ObjectRef, error) {
 	refs := make([]ObjectRef, call.NumReturns)
 	for i := range refs {
 		refs[i] = ObjectRef{ID: spec.ReturnID(i)}
+		c.retain(refs[i].ID)
 	}
 	return refs, nil
 }
@@ -161,6 +195,7 @@ func (c *caller) put(v any) (ObjectRef, error) {
 	if err := c.backend.PutObject(id, data); err != nil {
 		return ObjectRef{}, err
 	}
+	c.retain(id)
 	return ObjectRef{ID: id}, nil
 }
 
@@ -305,6 +340,13 @@ func (cl *Client) Wait(ctx context.Context, refs []ObjectRef, numReturns int, ti
 // Put stores a value in the local object store and returns its future.
 func (cl *Client) Put(v any) (ObjectRef, error) { return cl.put(v) }
 
+// Release drops the driver's references to the given futures. Once every
+// reference in the cluster is gone the lifetime subsystem reclaims the
+// objects' bytes on every node. Releasing a future and then using it (or a
+// copy of it) races with that reclamation: the Get may pay a lineage
+// replay. On backends without lifetime support Release is a no-op.
+func (cl *Client) Release(refs ...ObjectRef) { cl.release(refs) }
+
 // Backend exposes the underlying backend (examples and tools use it).
 func (cl *Client) Backend() Backend { return cl.backend }
 
@@ -357,3 +399,8 @@ func (tc *TaskContext) Wait(refs []ObjectRef, numReturns int, timeout time.Durat
 
 // Put stores a value and returns its future.
 func (tc *TaskContext) Put(v any) (ObjectRef, error) { return tc.put(v) }
+
+// Release drops this task's references to the given futures (see
+// Client.Release). Tasks that create large intermediates and consume them
+// before returning can release them to bound the cluster's working set.
+func (tc *TaskContext) Release(refs ...ObjectRef) { tc.release(refs) }

@@ -315,3 +315,92 @@ func TestValPanicsOnUnserializable(t *testing.T) {
 	}()
 	Val(make(chan int))
 }
+
+// refCountingBackend wraps fakeBackend with the optional RefCounted
+// interface, recording retains/releases.
+type refCountingBackend struct {
+	*fakeBackend
+	mu       sync.Mutex
+	retained map[types.ObjectID]int
+}
+
+func newRefCountingBackend() *refCountingBackend {
+	return &refCountingBackend{fakeBackend: newFakeBackend(), retained: make(map[types.ObjectID]int)}
+}
+
+func (r *refCountingBackend) RetainObject(id types.ObjectID) {
+	r.mu.Lock()
+	r.retained[id]++
+	r.mu.Unlock()
+}
+
+func (r *refCountingBackend) ReleaseObject(id types.ObjectID) {
+	r.mu.Lock()
+	r.retained[id]--
+	r.mu.Unlock()
+}
+
+func (r *refCountingBackend) count(id types.ObjectID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retained[id]
+}
+
+// TestSubmitAndPutRetainFutures: on a lifetime-aware backend every future
+// returned to the caller holds a reference until explicitly released.
+func TestSubmitAndPutRetainFutures(t *testing.T) {
+	b := newRefCountingBackend()
+	cl := NewClient(b)
+
+	refs, err := cl.Submit(Call{Function: "f", NumReturns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		if b.count(r.ID) != 1 {
+			t.Fatalf("submit return %v retained %d times, want 1", r, b.count(r.ID))
+		}
+	}
+	put, err := cl.Put(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.count(put.ID) != 1 {
+		t.Fatalf("put retained %d times, want 1", b.count(put.ID))
+	}
+
+	cl.Release(refs[0], put)
+	if b.count(refs[0].ID) != 0 || b.count(put.ID) != 0 {
+		t.Fatal("release did not drop references")
+	}
+	if b.count(refs[1].ID) != 1 {
+		t.Fatal("release touched an unreleased future")
+	}
+	// Nil refs are ignored.
+	cl.Release(ObjectRef{})
+}
+
+// TestReleaseOnPlainBackendIsNoop: backends without lifetime support keep
+// the original semantics.
+func TestReleaseOnPlainBackendIsNoop(t *testing.T) {
+	cl := NewClient(newFakeBackend())
+	ref, err := cl.Put("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Release(ref) // must not panic
+}
+
+// TestReleaseTyped drops references through the typed helper.
+func TestReleaseTyped(t *testing.T) {
+	b := newRefCountingBackend()
+	cl := NewClient(b)
+	refs, err := cl.Submit(Call{Function: "f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ReleaseTyped(cl, Ref[int]{Ref: refs[0]})
+	if b.count(refs[0].ID) != 0 {
+		t.Fatal("typed release did not drop the reference")
+	}
+}

@@ -46,3 +46,16 @@ func RefOf(r ObjectRef) types.Arg { return types.RefArg(r.ID) }
 
 // TypedRefOf turns a typed future into a dependency argument.
 func TypedRefOf[T any](r Ref[T]) types.Arg { return types.RefArg(r.Ref.ID) }
+
+// Releaser is anything that can drop future references (lifetime
+// subsystem): the driver Client or a running task's TaskContext.
+type Releaser interface {
+	Release(refs ...ObjectRef)
+}
+
+// ReleaseTyped drops references held on typed futures (see Client.Release).
+func ReleaseTyped[T any](r Releaser, refs ...Ref[T]) {
+	for _, ref := range refs {
+		r.Release(ref.Ref)
+	}
+}

@@ -76,6 +76,13 @@ type NodeView struct {
 	Available types.Resources `json:"available"`
 	QueueLen  int             `json:"queue_len"`
 	LastSeen  int64           `json:"last_seen_ns"`
+	// Object-store memory and spill-tier usage (lifetime subsystem).
+	StoreUsed    int64 `json:"store_used_bytes"`
+	StoreSpilled int64 `json:"store_spilled_bytes"`
+	StoreObjects int   `json:"store_objects"`
+	Spills       int64 `json:"spills"`
+	Restores     int64 `json:"restores"`
+	Reclaimed    int64 `json:"reclaimed"`
 }
 
 func nodesView(ctrl gcs.API) []NodeView {
@@ -85,6 +92,9 @@ func nodesView(ctrl gcs.API) []NodeView {
 			ID: n.ID.String(), Addr: n.Addr, Alive: n.Alive,
 			Total: n.Total, Available: n.Available,
 			QueueLen: n.QueueLen, LastSeen: n.LastSeen,
+			StoreUsed: n.Store.UsedBytes, StoreSpilled: n.Store.SpilledBytes,
+			StoreObjects: n.Store.Objects, Spills: n.Store.Spills,
+			Restores: n.Store.Restores, Reclaimed: n.Store.Reclaimed,
 		})
 	}
 	return out
@@ -124,6 +134,8 @@ type ObjectView struct {
 	State     string   `json:"state"`
 	Producer  string   `json:"producer"`
 	Locations []string `json:"locations"`
+	RefCount  int64    `json:"ref_count"`
+	SpilledOn []string `json:"spilled_on,omitempty"`
 }
 
 func objectsView(ctrl gcs.API) []ObjectView {
@@ -133,9 +145,14 @@ func objectsView(ctrl gcs.API) []ObjectView {
 		for i, l := range o.Locations {
 			locs[i] = l.String()
 		}
+		var disk []string
+		for _, l := range o.SpilledOn {
+			disk = append(disk, l.String())
+		}
 		out = append(out, ObjectView{
 			ID: o.ID.String(), Size: o.Size, State: o.State.String(),
 			Producer: o.Producer.String(), Locations: locs,
+			RefCount: o.RefCount, SpilledOn: disk,
 		})
 	}
 	return out
@@ -192,6 +209,16 @@ func overview(ctrl gcs.API, w http.ResponseWriter) {
 		}
 	}
 	fmt.Fprintln(w)
+	var memUsed, memSpilled, reclaimed int64
+	for _, n := range nodes {
+		if n.Alive {
+			memUsed += n.Store.UsedBytes
+			memSpilled += n.Store.SpilledBytes
+			reclaimed += n.Store.Reclaimed
+		}
+	}
+	fmt.Fprintf(w, "object memory: %d B in memory, %d B spilled, %d reclaimed\n",
+		memUsed, memSpilled, reclaimed)
 	fmt.Fprintf(w, "objects: %d, functions: %d, events: %d\n",
 		len(ctrl.Objects()), len(ctrl.Functions()), len(ctrl.Events()))
 	fmt.Fprintln(w, "\nendpoints: /api/nodes /api/tasks /api/objects /api/functions /api/events /api/profile /api/trace")

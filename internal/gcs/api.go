@@ -39,6 +39,9 @@ type API interface {
 	AddTask(state types.TaskState) bool
 	GetTask(id types.TaskID) (types.TaskState, bool)
 	SetTaskStatus(id types.TaskID, status types.TaskStatus, node types.NodeID, worker types.WorkerID, errMsg string)
+	// SetTaskStatusAt is SetTaskStatus with a caller-captured transition
+	// timestamp (non-positive = now); see the executor's finish stamping.
+	SetTaskStatusAt(id types.TaskID, status types.TaskStatus, node types.NodeID, worker types.WorkerID, errMsg string, atNs int64)
 	// CASTaskStatus atomically transitions the task's status to `to` iff the
 	// current status is in `from`, reporting success. Replay/resubmission
 	// races are settled through this: exactly one contender wins the
@@ -59,6 +62,17 @@ type API interface {
 	Objects() []types.ObjectInfo
 	SubscribeObjectReady(id types.ObjectID) Sub
 
+	// Object lifetime (internal/lifetime). ModifyObjectRefCount adjusts the
+	// cluster-wide reference count and returns the new value; a transition
+	// from positive to zero publishes the object on the GC channel, which is
+	// what makes reclamation automatic. MarkObjectSpilled records whether a
+	// node's copy is on its disk spill tier (transfer and placement prefer
+	// memory copies). SubscribeObjectGC delivers the IDs of newly
+	// garbage-eligible objects; payload is the raw ObjectID bytes.
+	ModifyObjectRefCount(id types.ObjectID, delta int64) int64
+	MarkObjectSpilled(id types.ObjectID, node types.NodeID, spilled bool)
+	SubscribeObjectGC() Sub
+
 	// Spillover queue (Section 3.2.2): local schedulers publish tasks they
 	// decline; global schedulers subscribe.
 	PublishSpill(spec types.TaskSpec)
@@ -66,7 +80,7 @@ type API interface {
 
 	// Node table and membership events.
 	RegisterNode(info types.NodeInfo)
-	Heartbeat(id types.NodeID, queueLen int, avail types.Resources)
+	Heartbeat(id types.NodeID, queueLen int, avail types.Resources, store types.StoreStats)
 	MarkNodeDead(id types.NodeID)
 	GetNode(id types.NodeID) (types.NodeInfo, bool)
 	Nodes() []types.NodeInfo
@@ -95,4 +109,5 @@ const (
 	chanTaskStatus = "tstat:" // + TaskID hex; payload = [1]byte{status}
 	chanSpill      = "spill"  // payload = gob(TaskSpec)
 	chanNodes      = "nodes"  // payload = gob(NodeInfo)
+	chanObjGC      = "objgc"  // payload = ObjectID bytes; refcount hit zero
 )

@@ -64,6 +64,11 @@ func (r *Remote) SetTaskStatus(id types.TaskID, status types.TaskStatus, node ty
 	call[bool](r, MethodSetTaskStatus, setStatusReq{ID: id, Status: status, Node: node, Worker: worker, Err: errMsg})
 }
 
+// SetTaskStatusAt implements API.
+func (r *Remote) SetTaskStatusAt(id types.TaskID, status types.TaskStatus, node types.NodeID, worker types.WorkerID, errMsg string, atNs int64) {
+	call[bool](r, MethodSetTaskStatus, setStatusReq{ID: id, Status: status, Node: node, Worker: worker, Err: errMsg, AtNs: atNs})
+}
+
 // CASTaskStatus implements API.
 func (r *Remote) CASTaskStatus(id types.TaskID, from []types.TaskStatus, to types.TaskStatus) bool {
 	v, _ := call[bool](r, MethodCASTaskStatus, casStatusReq{ID: id, From: from, To: to})
@@ -109,6 +114,17 @@ func (r *Remote) Objects() []types.ObjectInfo {
 	return v
 }
 
+// ModifyObjectRefCount implements API.
+func (r *Remote) ModifyObjectRefCount(id types.ObjectID, delta int64) int64 {
+	v, _ := call[int64](r, MethodModifyObjRef, modifyRefReq{ID: id, Delta: delta})
+	return v
+}
+
+// MarkObjectSpilled implements API.
+func (r *Remote) MarkObjectSpilled(id types.ObjectID, node types.NodeID, spilled bool) {
+	call[bool](r, MethodMarkObjSpilled, markSpilledReq{ID: id, Node: node, Spilled: spilled})
+}
+
 // PublishSpill implements API.
 func (r *Remote) PublishSpill(spec types.TaskSpec) {
 	call[bool](r, MethodPublishSpill, spec)
@@ -120,8 +136,8 @@ func (r *Remote) RegisterNode(info types.NodeInfo) {
 }
 
 // Heartbeat implements API.
-func (r *Remote) Heartbeat(id types.NodeID, queueLen int, avail types.Resources) {
-	call[bool](r, MethodHeartbeat, heartbeatReq{ID: id, Queue: queueLen, Avail: avail})
+func (r *Remote) Heartbeat(id types.NodeID, queueLen int, avail types.Resources, store types.StoreStats) {
+	call[bool](r, MethodHeartbeat, heartbeatReq{ID: id, Queue: queueLen, Avail: avail, Store: store})
 }
 
 // MarkNodeDead implements API.
@@ -251,5 +267,8 @@ func (r *Remote) SubscribeSpill() Sub { return r.subscribe(StreamSpill, nil) }
 
 // SubscribeNodeEvents implements API.
 func (r *Remote) SubscribeNodeEvents() Sub { return r.subscribe(StreamNodes, nil) }
+
+// SubscribeObjectGC implements API.
+func (r *Remote) SubscribeObjectGC() Sub { return r.subscribe(StreamObjGC, nil) }
 
 var _ API = (*Remote)(nil)

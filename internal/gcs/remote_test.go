@@ -133,9 +133,9 @@ func exerciseAPI(t *testing.T, api API, backing *Store) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("node event not delivered")
 	}
-	api.Heartbeat(n, 3, types.CPU(1))
+	api.Heartbeat(n, 3, types.CPU(1), types.StoreStats{UsedBytes: 64})
 	ninfo, ok := api.GetNode(n)
-	if !ok || ninfo.QueueLen != 3 {
+	if !ok || ninfo.QueueLen != 3 || ninfo.Store.UsedBytes != 64 {
 		t.Fatalf("GetNode: %+v %v", ninfo, ok)
 	}
 	api.MarkNodeDead(n)

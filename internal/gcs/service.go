@@ -25,6 +25,8 @@ const (
 	MethodRemoveObjLoc     = "gcs.removeObjLocation"
 	MethodGetObject        = "gcs.getObject"
 	MethodObjects          = "gcs.objects"
+	MethodModifyObjRef     = "gcs.modifyObjRefCount"
+	MethodMarkObjSpilled   = "gcs.markObjSpilled"
 	MethodPublishSpill     = "gcs.publishSpill"
 	MethodRegisterNode     = "gcs.registerNode"
 	MethodHeartbeat        = "gcs.heartbeat"
@@ -41,6 +43,7 @@ const (
 	StreamObjReady   = "gcs.sub.objReady"   // payload: ObjectID hex
 	StreamSpill      = "gcs.sub.spill"
 	StreamNodes      = "gcs.sub.nodes"
+	StreamObjGC      = "gcs.sub.objGC"
 )
 
 // Wire request/response shapes (gob via codec).
@@ -51,6 +54,7 @@ type (
 		Node   types.NodeID
 		Worker types.WorkerID
 		Err    string
+		AtNs   int64 // non-positive = stamp server-side now
 	}
 	casStatusReq struct {
 		ID   types.TaskID
@@ -70,6 +74,16 @@ type (
 		ID    types.NodeID
 		Queue int
 		Avail types.Resources
+		Store types.StoreStats
+	}
+	modifyRefReq struct {
+		ID    types.ObjectID
+		Delta int64
+	}
+	markSpilledReq struct {
+		ID      types.ObjectID
+		Node    types.NodeID
+		Spilled bool
 	}
 	maybeTask struct {
 		State types.TaskState
@@ -118,7 +132,7 @@ func RegisterService(srv *transport.Server, store *Store) {
 		if err != nil {
 			return nil, err
 		}
-		store.SetTaskStatus(req.ID, req.Status, req.Node, req.Worker, req.Err)
+		store.SetTaskStatusAt(req.ID, req.Status, req.Node, req.Worker, req.Err, req.AtNs)
 		return true, nil
 	})
 	unary(MethodCASTaskStatus, func(p []byte) (any, error) {
@@ -169,6 +183,21 @@ func RegisterService(srv *transport.Server, store *Store) {
 		return maybeObject{Info: info, OK: ok}, nil
 	})
 	unary(MethodObjects, func(p []byte) (any, error) { return store.Objects(), nil })
+	unary(MethodModifyObjRef, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[modifyRefReq](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.ModifyObjectRefCount(req.ID, req.Delta), nil
+	})
+	unary(MethodMarkObjSpilled, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[markSpilledReq](p)
+		if err != nil {
+			return nil, err
+		}
+		store.MarkObjectSpilled(req.ID, req.Node, req.Spilled)
+		return true, nil
+	})
 	unary(MethodPublishSpill, func(p []byte) (any, error) {
 		spec, err := codec.DecodeAs[types.TaskSpec](p)
 		if err != nil {
@@ -190,7 +219,7 @@ func RegisterService(srv *transport.Server, store *Store) {
 		if err != nil {
 			return nil, err
 		}
-		store.Heartbeat(req.ID, req.Queue, req.Avail)
+		store.Heartbeat(req.ID, req.Queue, req.Avail, req.Store)
 		return true, nil
 	})
 	unary(MethodMarkNodeDead, func(p []byte) (any, error) {
@@ -279,5 +308,8 @@ func RegisterService(srv *transport.Server, store *Store) {
 	})
 	srv.HandleStream(StreamNodes, func(payload []byte, stream transport.ServerStream) error {
 		return forward(store.SubscribeNodeEvents(), stream)
+	})
+	srv.HandleStream(StreamObjGC, func(payload []byte, stream transport.ServerStream) error {
+		return forward(store.SubscribeObjectGC(), stream)
 	})
 }

@@ -94,7 +94,19 @@ func (s *Store) GetTask(id types.TaskID) (types.TaskState, bool) {
 // SetTaskStatus implements API. It stamps the transition time, stores the
 // new state, publishes on the task's status channel, and logs an event.
 func (s *Store) SetTaskStatus(id types.TaskID, status types.TaskStatus, node types.NodeID, worker types.WorkerID, errMsg string) {
-	now := s.NowNs()
+	s.SetTaskStatusAt(id, status, node, worker, errMsg, s.NowNs())
+}
+
+// SetTaskStatusAt implements API: SetTaskStatus with a caller-captured
+// transition timestamp (non-positive means "now"). The executor uses it to
+// stamp Finished at the instant the task's function returned, before its
+// outputs are stored — so recorded timelines preserve the happens-before
+// edge from producer finish to consumer start.
+func (s *Store) SetTaskStatusAt(id types.TaskID, status types.TaskStatus, node types.NodeID, worker types.WorkerID, errMsg string, atNs int64) {
+	now := atNs
+	if now <= 0 {
+		now = s.NowNs()
+	}
 	s.db.Update(keyTask+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
 		if !exists {
 			return nil, false
@@ -259,6 +271,15 @@ func (s *Store) RemoveObjectLocation(id types.ObjectID, node types.NodeID) {
 			}
 		}
 		info.Locations = locs
+		if info.IsSpilledOn(node) {
+			disk := info.SpilledOn[:0]
+			for _, n := range info.SpilledOn {
+				if n != node {
+					disk = append(disk, n)
+				}
+			}
+			info.SpilledOn = disk
+		}
 		if len(locs) == 0 && info.State == types.ObjectReady {
 			info.State = types.ObjectLost
 			lost = true
@@ -269,6 +290,72 @@ func (s *Store) RemoveObjectLocation(id types.ObjectID, node types.NodeID) {
 		s.logEvent(types.Event{Kind: "object-lost", Object: id, Node: node})
 	}
 }
+
+// ModifyObjectRefCount implements API. The count never goes below zero (a
+// raced double-release clamps), and only a positive-to-zero transition
+// publishes on the GC channel — objects nobody ever retained stay at zero
+// without ever becoming GC-eligible, preserving pre-lifetime behaviour.
+func (s *Store) ModifyObjectRefCount(id types.ObjectID, delta int64) int64 {
+	var after int64
+	gc := false
+	s.db.Update(keyObject+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		var info types.ObjectInfo
+		if exists {
+			var err error
+			info, err = codec.DecodeAs[types.ObjectInfo](cur)
+			if err != nil {
+				return nil, false
+			}
+		} else {
+			info = types.ObjectInfo{ID: id}
+		}
+		before := info.RefCount
+		info.RefCount += delta
+		if info.RefCount < 0 {
+			info.RefCount = 0
+		}
+		after = info.RefCount
+		gc = before > 0 && after == 0
+		return codec.MustEncode(info), true
+	})
+	if gc {
+		s.db.Publish(chanObjGC, id[:])
+		s.logEvent(types.Event{Kind: "object-gc-eligible", Object: id})
+	}
+	return after
+}
+
+// MarkObjectSpilled implements API.
+func (s *Store) MarkObjectSpilled(id types.ObjectID, node types.NodeID, spilled bool) {
+	s.db.Update(keyObject+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			return nil, false
+		}
+		info, err := codec.DecodeAs[types.ObjectInfo](cur)
+		if err != nil {
+			return nil, false
+		}
+		onDisk := info.IsSpilledOn(node)
+		switch {
+		case spilled && !onDisk:
+			info.SpilledOn = append(info.SpilledOn, node)
+		case !spilled && onDisk:
+			kept := info.SpilledOn[:0]
+			for _, n := range info.SpilledOn {
+				if n != node {
+					kept = append(kept, n)
+				}
+			}
+			info.SpilledOn = kept
+		default:
+			return nil, false // no change; skip the write
+		}
+		return codec.MustEncode(info), true
+	})
+}
+
+// SubscribeObjectGC implements API.
+func (s *Store) SubscribeObjectGC() Sub { return s.db.Subscribe(chanObjGC) }
 
 // GetObject implements API.
 func (s *Store) GetObject(id types.ObjectID) (types.ObjectInfo, bool) {
@@ -326,7 +413,7 @@ func (s *Store) RegisterNode(info types.NodeInfo) {
 
 // Heartbeat implements API. Load snapshots feed the global scheduler's
 // placement policy.
-func (s *Store) Heartbeat(id types.NodeID, queueLen int, avail types.Resources) {
+func (s *Store) Heartbeat(id types.NodeID, queueLen int, avail types.Resources, store types.StoreStats) {
 	now := s.NowNs()
 	s.db.Update(keyNode+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
 		if !exists {
@@ -339,6 +426,7 @@ func (s *Store) Heartbeat(id types.NodeID, queueLen int, avail types.Resources) 
 		info.LastSeen = now
 		info.QueueLen = queueLen
 		info.Available = avail
+		info.Store = store
 		info.Alive = true
 		return codec.MustEncode(info), true
 	})

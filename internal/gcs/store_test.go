@@ -187,9 +187,9 @@ func TestNodeTable(t *testing.T) {
 		t.Fatalf("node: %+v, %v", info, ok)
 	}
 
-	s.Heartbeat(n, 3, types.CPU(2))
+	s.Heartbeat(n, 3, types.CPU(2), types.StoreStats{UsedBytes: 128, SpilledBytes: 32})
 	info, _ = s.GetNode(n)
-	if info.QueueLen != 3 || info.Available[types.ResCPU] != 2 {
+	if info.QueueLen != 3 || info.Available[types.ResCPU] != 2 || info.Store.SpilledBytes != 32 {
 		t.Fatalf("after heartbeat: %+v", info)
 	}
 
@@ -210,7 +210,7 @@ func TestNodeTable(t *testing.T) {
 
 func TestHeartbeatUnknownNodeIgnored(t *testing.T) {
 	s := NewStore(2)
-	s.Heartbeat(nodeID(99), 1, nil) // must not panic or create entries
+	s.Heartbeat(nodeID(99), 1, nil, types.StoreStats{}) // must not panic or create entries
 	if len(s.Nodes()) != 0 {
 		t.Fatal("heartbeat created a node record")
 	}

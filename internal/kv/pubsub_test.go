@@ -70,6 +70,73 @@ func TestSlowSubscriberDoesNotBlockPublisher(t *testing.T) {
 	}
 }
 
+// TestSlowSubscriberDoesNotDelayFastPeer: per-subscriber queues must
+// isolate a stalled consumer from a healthy one on the same channel — a
+// wedged dashboard reader cannot be allowed to stall the dataflow
+// dispatcher's object-ready notifications.
+func TestSlowSubscriberDoesNotDelayFastPeer(t *testing.T) {
+	s := New(1)
+	slow := s.Subscribe("ch") // never read until the end
+	defer slow.Close()
+	fast := s.Subscribe("ch")
+	defer fast.Close()
+
+	const n = 1000
+	for i := 0; i < n; i++ {
+		s.Publish("ch", []byte{byte(i)})
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case msg := <-fast.C():
+			if msg[0] != byte(i) {
+				t.Fatalf("fast subscriber got %d at position %d", msg[0], i)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("fast subscriber starved at message %d behind slow peer", i)
+		}
+	}
+	// The slow subscriber still gets everything, in order.
+	for i := 0; i < n; i++ {
+		select {
+		case msg := <-slow.C():
+			if msg[0] != byte(i) {
+				t.Fatalf("slow subscriber got %d at position %d", msg[0], i)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("slow subscriber lost message %d", i)
+		}
+	}
+}
+
+// TestSlowSubscriberOrderUnderConcurrentPublish: a consumer that drains
+// with delays while the publisher keeps writing must observe the publish
+// order unbroken.
+func TestSlowSubscriberOrderUnderConcurrentPublish(t *testing.T) {
+	s := New(2)
+	sub := s.Subscribe("ch")
+	defer sub.Close()
+	const n = 500
+	go func() {
+		for i := 0; i < n; i++ {
+			s.Publish("ch", []byte{byte(i), byte(i >> 8)})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if i%97 == 0 {
+			time.Sleep(time.Millisecond) // consumer hiccup mid-stream
+		}
+		select {
+		case msg := <-sub.C():
+			got := int(msg[0]) | int(msg[1])<<8
+			if got != i {
+				t.Fatalf("message %d arrived at position %d", got, i)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("message %d never arrived", i)
+		}
+	}
+}
+
 func TestMultipleSubscribers(t *testing.T) {
 	s := New(4)
 	subs := make([]*Subscription, 3)

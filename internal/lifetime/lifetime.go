@@ -1,0 +1,97 @@
+// Package lifetime is the object lifetime subsystem: it decides how long
+// the bytes behind a future stay alive and where they live. Three
+// cooperating pieces extend the paper's object store (Figure 3) toward
+// production scale:
+//
+//   - Tracker: distributed reference counting. Future creation (Submit/Put)
+//     and task-argument borrows retain objects; explicit releases drop them.
+//     Counts are published through the GCS object table, so "referenced"
+//     versus "garbage" is a cluster-wide fact, not a per-node guess.
+//   - DiskSpiller: the disk spill tier. Under memory pressure the object
+//     store spills cold-but-referenced objects to a per-node directory and
+//     restores them transparently on Get, converting ErrStoreFull failures
+//     into graceful degradation.
+//   - PullManager: the chunked pull protocol. Large objects transfer as
+//     bounded-concurrency chunk streams spread across the peers that hold a
+//     copy, with a per-peer window for backpressure; small objects still
+//     take one round trip.
+//
+// Manager ties them together on each node: it consumes the control plane's
+// GC channel and reclaims local copies (memory and disk) of objects whose
+// cluster-wide count has dropped to zero.
+package lifetime
+
+import (
+	"sync"
+
+	"repro/internal/gcs"
+	"repro/internal/types"
+)
+
+// Tracker is one component's ledger of live object references. Every
+// Retain/Release is mirrored into the GCS object table's cluster-wide
+// count; the local ledger exists to make Release idempotent (a raced or
+// duplicated release of a reference this tracker does not hold is a no-op,
+// so one buggy caller cannot drive the global count negative).
+type Tracker struct {
+	ctrl gcs.API
+
+	mu   sync.Mutex
+	held map[types.ObjectID]int64
+}
+
+// NewTracker creates an empty ledger publishing into ctrl.
+func NewTracker(ctrl gcs.API) *Tracker {
+	return &Tracker{ctrl: ctrl, held: make(map[types.ObjectID]int64)}
+}
+
+// Retain records new references and publishes the increments.
+func (t *Tracker) Retain(ids ...types.ObjectID) {
+	for _, id := range ids {
+		if id.IsNil() {
+			continue
+		}
+		t.mu.Lock()
+		t.held[id]++
+		t.mu.Unlock()
+		t.ctrl.ModifyObjectRefCount(id, 1)
+	}
+}
+
+// Release drops references previously retained through this tracker.
+// Releasing a reference the tracker does not hold is a no-op.
+func (t *Tracker) Release(ids ...types.ObjectID) {
+	for _, id := range ids {
+		t.mu.Lock()
+		n := t.held[id]
+		if n <= 0 {
+			t.mu.Unlock()
+			continue
+		}
+		if n == 1 {
+			delete(t.held, id)
+		} else {
+			t.held[id] = n - 1
+		}
+		t.mu.Unlock()
+		t.ctrl.ModifyObjectRefCount(id, -1)
+	}
+}
+
+// Held reports how many references to id this tracker currently holds.
+func (t *Tracker) Held(id types.ObjectID) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.held[id]
+}
+
+// ReleaseAll drops every reference the tracker holds (component shutdown).
+func (t *Tracker) ReleaseAll() {
+	t.mu.Lock()
+	held := t.held
+	t.held = make(map[types.ObjectID]int64)
+	t.mu.Unlock()
+	for id, n := range held {
+		t.ctrl.ModifyObjectRefCount(id, -n)
+	}
+}

@@ -1,0 +1,107 @@
+package lifetime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gcs"
+	"repro/internal/objectstore"
+	"repro/internal/types"
+)
+
+// Manager runs the lifetime subsystem on one node: it owns the node's
+// reference Tracker, answers the store's "is this still referenced?"
+// queries, and consumes the control plane's GC channel, dropping local
+// copies (memory and spill tier) of objects whose cluster-wide count fell
+// to zero. Every node runs one; each reclaims only its own copy, so a
+// single zero-transition publish empties the whole cluster.
+type Manager struct {
+	ctrl    gcs.API
+	store   *objectstore.Store
+	tracker *Tracker
+
+	sub      gcs.Sub
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	reclaimed atomic.Int64
+}
+
+// NewManager builds a manager for store; call Start to begin collecting.
+func NewManager(ctrl gcs.API, store *objectstore.Store) *Manager {
+	return &Manager{
+		ctrl:    ctrl,
+		store:   store,
+		tracker: NewTracker(ctrl),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Tracker returns the node's reference ledger (futures and borrows).
+func (m *Manager) Tracker() *Tracker { return m.tracker }
+
+// Reclaimed returns how many local copies the GC loop has dropped.
+func (m *Manager) Reclaimed() int64 { return m.reclaimed.Load() }
+
+// Referenced reports whether the object still has live references anywhere
+// in the cluster; the store consults it when deciding spill-versus-drop.
+// Unknown objects count as unreferenced (nothing can hold a reference to
+// an object the control plane has never seen).
+func (m *Manager) Referenced(id types.ObjectID) bool {
+	info, ok := m.ctrl.GetObject(id)
+	return ok && info.RefCount > 0
+}
+
+// Start subscribes to the GC channel and launches the collection loop.
+func (m *Manager) Start() {
+	m.sub = m.ctrl.SubscribeObjectGC()
+	m.wg.Add(1)
+	go m.run()
+}
+
+// Stop halts collection.
+func (m *Manager) Stop() {
+	m.stopOnce.Do(func() {
+		close(m.stop)
+		if m.sub != nil {
+			m.sub.Close()
+		}
+		m.wg.Wait()
+	})
+}
+
+func (m *Manager) run() {
+	defer m.wg.Done()
+	for {
+		select {
+		case msg, ok := <-m.sub.C():
+			if !ok {
+				return
+			}
+			if len(msg) != types.IDSize {
+				continue
+			}
+			var id types.ObjectID
+			copy(id[:], msg)
+			m.maybeReclaim(id)
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// maybeReclaim drops the local copy of id if it is still garbage. The
+// recheck narrows (but cannot close) the race against a concurrent
+// re-retain; a wrongly dropped copy degrades to object-lost, which lineage
+// reconstruction repairs, so the race costs time, not correctness.
+func (m *Manager) maybeReclaim(id types.ObjectID) {
+	info, ok := m.ctrl.GetObject(id)
+	if !ok || info.RefCount > 0 {
+		return
+	}
+	if m.store.Delete(id) {
+		m.reclaimed.Add(1)
+		m.ctrl.LogEvent(types.Event{Kind: "object-reclaimed", Object: id, Node: m.store.Node()})
+	}
+}

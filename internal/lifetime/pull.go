@@ -1,0 +1,329 @@
+package lifetime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gcs"
+	"repro/internal/objectstore"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// PullConfig tunes the chunked pull protocol. The zero value selects
+// defaults.
+type PullConfig struct {
+	// ChunkSize is the transfer granularity; objects at or below it move in
+	// one round trip. Default 256 KiB.
+	ChunkSize int64
+	// PerPeerWindow bounds concurrent chunk requests to one peer — the
+	// backpressure that keeps a puller from flooding a single source node.
+	// Default 4.
+	PerPeerWindow int
+	// MaxConcurrent bounds concurrent chunk requests across all peers of one
+	// pull. Default 16.
+	MaxConcurrent int
+}
+
+func (c PullConfig) withDefaults() PullConfig {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 256 << 10
+	}
+	if c.PerPeerWindow <= 0 {
+		c.PerPeerWindow = 4
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 16
+	}
+	return c
+}
+
+// PullManager pulls remote objects into the local store. It replaces the
+// original single-shot fetcher: large objects transfer as parallel chunk
+// streams spread over every peer holding a copy (memory copies preferred
+// over spilled ones), small objects still take one round trip. Concurrent
+// fetches of the same object collapse into a single pull, and peer
+// connections are cached.
+type PullManager struct {
+	store *objectstore.Store
+	ctrl  gcs.API
+	net   transport.Network
+	// resolveAddr maps a node to its transport address (node-table lookup).
+	resolveAddr func(types.NodeID) (string, bool)
+	cfg         PullConfig
+
+	mu       sync.Mutex
+	inflight map[types.ObjectID]chan error
+	conns    map[string]transport.Client
+	windows  map[string]chan struct{}
+
+	objects atomic.Int64
+	chunks  atomic.Int64
+	bytes   atomic.Int64
+}
+
+// NewPullManager wires a pull manager to the local store and cluster
+// network.
+func NewPullManager(store *objectstore.Store, ctrl gcs.API, net transport.Network, resolveAddr func(types.NodeID) (string, bool), cfg PullConfig) *PullManager {
+	return &PullManager{
+		store:       store,
+		ctrl:        ctrl,
+		net:         net,
+		resolveAddr: resolveAddr,
+		cfg:         cfg.withDefaults(),
+		inflight:    make(map[types.ObjectID]chan error),
+		conns:       make(map[string]transport.Client),
+		windows:     make(map[string]chan struct{}),
+	}
+}
+
+// Stats returns cumulative (objects, chunks, bytes) pulled.
+func (p *PullManager) Stats() (objects, chunks, bytes int64) {
+	return p.objects.Load(), p.chunks.Load(), p.bytes.Load()
+}
+
+// Fetch ensures id is locally resident, pulling from the given candidate
+// locations. Concurrent fetches of one object collapse into a single pull.
+func (p *PullManager) Fetch(ctx context.Context, id types.ObjectID, locations []types.NodeID) error {
+	if p.store.Contains(id) {
+		return nil
+	}
+	p.mu.Lock()
+	if ch, ok := p.inflight[id]; ok {
+		p.mu.Unlock()
+		select {
+		case err := <-ch:
+			// Propagate and re-arm for any other waiters.
+			ch <- err
+			return err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	ch := make(chan error, 1)
+	p.inflight[id] = ch
+	p.mu.Unlock()
+
+	err := p.pull(ctx, id, locations)
+	p.mu.Lock()
+	delete(p.inflight, id)
+	p.mu.Unlock()
+	ch <- err
+	if err == nil {
+		p.objects.Add(1)
+	}
+	return err
+}
+
+// peer is one resolved source for a pull.
+type peer struct {
+	node    types.NodeID
+	addr    string
+	spilled bool // this peer's copy is on its disk tier
+}
+
+// resolvePeers maps candidate locations to dialable peers, memory-resident
+// copies first (restoring from a peer's disk costs that peer a spill-tier
+// read, so memory copies are strictly cheaper sources).
+func (p *PullManager) resolvePeers(id types.ObjectID, locations []types.NodeID, info types.ObjectInfo, haveInfo bool) []peer {
+	var mem, disk []peer
+	for _, loc := range locations {
+		if loc == p.store.Node() {
+			continue // stale self-location; the object is gone locally
+		}
+		addr, ok := p.resolveAddr(loc)
+		if !ok {
+			continue
+		}
+		pr := peer{node: loc, addr: addr}
+		if haveInfo && info.IsSpilledOn(loc) {
+			pr.spilled = true
+			disk = append(disk, pr)
+		} else {
+			mem = append(mem, pr)
+		}
+	}
+	return append(mem, disk...)
+}
+
+func (p *PullManager) pull(ctx context.Context, id types.ObjectID, locations []types.NodeID) error {
+	info, haveInfo := p.ctrl.GetObject(id)
+	peers := p.resolvePeers(id, locations, info, haveInfo)
+	if len(peers) == 0 {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("lifetime: no reachable locations for %v", id)
+	}
+	size := int64(0)
+	if haveInfo {
+		size = info.Size
+	}
+	if size <= p.cfg.ChunkSize {
+		return p.pullWhole(ctx, id, peers)
+	}
+	return p.pullChunked(ctx, id, size, peers)
+}
+
+// pullWhole is the small-object fast path: one round trip to the first
+// peer that answers.
+func (p *PullManager) pullWhole(ctx context.Context, id types.ObjectID, peers []peer) error {
+	var lastErr error
+	for _, pr := range peers {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		client, err := p.conn(pr.addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := client.Call(objectstore.PullMethod, id[:])
+		if err != nil {
+			lastErr = err
+			p.dropConn(pr.addr) // peer may be dead; redial next time
+			continue
+		}
+		p.chunks.Add(1)
+		p.bytes.Add(int64(len(data)))
+		return p.store.Put(id, data)
+	}
+	return lastErr
+}
+
+// pullChunked transfers a large object as bounded-concurrency chunks. Each
+// chunk starts on a peer picked round-robin and falls back to the
+// remaining peers on error; a per-peer window provides backpressure and a
+// global semaphore bounds the pull's total parallelism.
+func (p *PullManager) pullChunked(ctx context.Context, id types.ObjectID, size int64, peers []peer) error {
+	buf := make([]byte, size)
+	nchunks := int((size + p.cfg.ChunkSize - 1) / p.cfg.ChunkSize)
+	slots := make(chan struct{}, p.cfg.MaxConcurrent)
+
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	for c := 0; c < nchunks; c++ {
+		select {
+		case slots <- struct{}{}:
+		case <-ctx.Done():
+			fail(ctx.Err())
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			offset := int64(c) * p.cfg.ChunkSize
+			length := p.cfg.ChunkSize
+			if offset+length > size {
+				length = size - offset
+			}
+			if err := p.pullChunk(ctx, id, buf[offset:offset+length], offset, length, peers, c); err != nil {
+				fail(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	p.bytes.Add(size)
+	return p.store.Put(id, buf)
+}
+
+// pullChunk fetches one byte range into dst, trying each peer at most once
+// starting from the round-robin choice for chunk c.
+func (p *PullManager) pullChunk(ctx context.Context, id types.ObjectID, dst []byte, offset, length int64, peers []peer, c int) error {
+	req := objectstore.EncodeChunkRequest(id, offset, length)
+	var lastErr error
+	for attempt := 0; attempt < len(peers); attempt++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		pr := peers[(c+attempt)%len(peers)]
+		client, err := p.conn(pr.addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		win := p.window(pr.addr)
+		select {
+		case win <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		resp, err := client.Call(objectstore.PullChunkMethod, req)
+		<-win
+		if err != nil {
+			lastErr = err
+			p.dropConn(pr.addr)
+			continue
+		}
+		if int64(len(resp)) != length {
+			lastErr = fmt.Errorf("lifetime: chunk at %d of %v: got %d bytes, want %d", offset, id, len(resp), length)
+			continue
+		}
+		copy(dst, resp)
+		p.chunks.Add(1)
+		return nil
+	}
+	return lastErr
+}
+
+func (p *PullManager) conn(addr string) (transport.Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.conns[addr]; ok {
+		return c, nil
+	}
+	c, err := p.net.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	p.conns[addr] = c
+	return c, nil
+}
+
+func (p *PullManager) dropConn(addr string) {
+	p.mu.Lock()
+	if c, ok := p.conns[addr]; ok {
+		delete(p.conns, addr)
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// window returns the per-peer backpressure semaphore for addr.
+func (p *PullManager) window(addr string) chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	win, ok := p.windows[addr]
+	if !ok {
+		win = make(chan struct{}, p.cfg.PerPeerWindow)
+		p.windows[addr] = win
+	}
+	return win
+}
+
+// Close releases cached connections.
+func (p *PullManager) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for addr, c := range p.conns {
+		c.Close()
+		delete(p.conns, addr)
+	}
+}

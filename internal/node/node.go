@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gcs"
+	"repro/internal/lifetime"
 	"repro/internal/objectstore"
 	"repro/internal/scheduler"
 	"repro/internal/transport"
@@ -35,6 +36,12 @@ type Config struct {
 	Resources types.Resources
 	// StoreCapacity bounds the object store in bytes; 0 = unlimited.
 	StoreCapacity int64
+	// SpillDir, when set, enables the disk spill tier: under memory
+	// pressure the store spills cold-but-referenced objects there instead
+	// of failing with ErrStoreFull.
+	SpillDir string
+	// Pull tunes the chunked pull protocol (zero value = defaults).
+	Pull lifetime.PullConfig
 	// SpillThreshold is forwarded to the local scheduler (see
 	// scheduler.SpillNever / SpillAlways).
 	SpillThreshold int
@@ -61,7 +68,8 @@ type Node struct {
 	cfg     Config
 	ctrl    gcs.API
 	store   *objectstore.Store
-	fetcher *objectstore.Fetcher
+	life    *lifetime.Manager
+	fetcher *lifetime.PullManager
 	sched   *scheduler.Local
 	exec    *worker
 	recon   *fault.Reconstructor
@@ -97,7 +105,16 @@ func New(cfg Config) (*Node, error) {
 
 	n := &Node{id: id, addr: cfg.AdvertiseAddr, cfg: cfg, ctrl: cfg.Ctrl, stop: make(chan struct{})}
 	n.store = objectstore.New(id, cfg.Ctrl, cfg.StoreCapacity)
-	n.fetcher = objectstore.NewFetcher(n.store, cfg.Network, n.resolvePeerAddr)
+	n.life = lifetime.NewManager(cfg.Ctrl, n.store)
+	n.store.SetRefChecker(n.life.Referenced)
+	if cfg.SpillDir != "" {
+		tier, err := lifetime.NewDiskSpiller(cfg.SpillDir)
+		if err != nil {
+			return nil, err
+		}
+		n.store.SetSpillTier(tier)
+	}
+	n.fetcher = lifetime.NewPullManager(n.store, cfg.Ctrl, cfg.Network, n.resolvePeerAddr, cfg.Pull)
 
 	n.sched = scheduler.NewLocal(scheduler.LocalConfig{
 		Node:            id,
@@ -105,6 +122,7 @@ func New(cfg Config) (*Node, error) {
 		Ctrl:            cfg.Ctrl,
 		Store:           n.store,
 		Fetcher:         n.fetcher,
+		Refs:            n.life.Tracker(),
 		SpillThreshold:  cfg.SpillThreshold,
 		DepPollInterval: cfg.DepPollInterval,
 	})
@@ -140,6 +158,7 @@ func New(cfg Config) (*Node, error) {
 	n.listener = listener
 
 	cfg.Ctrl.RegisterNode(types.NodeInfo{ID: id, Addr: cfg.AdvertiseAddr, Total: cfg.Resources.Clone()})
+	n.life.Start()
 	n.sched.Start()
 	if cfg.HeartbeatInterval > 0 {
 		n.wg.Add(1)
@@ -156,6 +175,12 @@ func (n *Node) Addr() string { return n.addr }
 
 // Store exposes the object store (tests, tools).
 func (n *Node) Store() *objectstore.Store { return n.store }
+
+// Lifetime exposes the lifetime manager (tests, dashboards).
+func (n *Node) Lifetime() *lifetime.Manager { return n.life }
+
+// Puller exposes the chunked pull manager (tests, dashboards).
+func (n *Node) Puller() *lifetime.PullManager { return n.fetcher }
 
 // Scheduler exposes the local scheduler (tests, dashboards).
 func (n *Node) Scheduler() *scheduler.Local { return n.sched }
@@ -181,7 +206,9 @@ func (n *Node) heartbeatLoop() {
 	for {
 		select {
 		case <-t.C:
-			n.ctrl.Heartbeat(n.id, n.sched.QueueLen(), n.sched.Available())
+			stats := n.store.Stats()
+			stats.Reclaimed = n.life.Reclaimed()
+			n.ctrl.Heartbeat(n.id, n.sched.QueueLen(), n.sched.Available(), stats)
 		case <-n.stop:
 			return
 		}
@@ -208,6 +235,13 @@ func (n *Node) PutObject(id types.ObjectID, data []byte) error {
 
 // Control implements core.Backend.
 func (n *Node) Control() gcs.API { return n.ctrl }
+
+// RetainObject implements core.RefCounted: futures created through this
+// node hold references in its lifetime tracker.
+func (n *Node) RetainObject(id types.ObjectID) { n.life.Tracker().Retain(id) }
+
+// ReleaseObject implements core.RefCounted.
+func (n *Node) ReleaseObject(id types.ObjectID) { n.life.Tracker().Release(id) }
 
 // NodeID implements core.Backend.
 func (n *Node) NodeID() types.NodeID { return n.id }
@@ -279,6 +313,13 @@ func (n *Node) Shutdown() {
 		n.dead.Store(true)
 		close(n.stop)
 		n.sched.Stop()
+		// Settle the node's ledger: drivers', borrows', and bridges'
+		// references all die with a graceful shutdown, so surviving nodes
+		// can reclaim anything only this node kept alive. (Kill skips
+		// this: a crashed process cannot release, and leaked counts are
+		// the conservative failure mode.)
+		n.life.Tracker().ReleaseAll()
+		n.life.Stop()
 		if n.listener != nil {
 			n.listener.Close()
 		}
@@ -297,6 +338,7 @@ func (n *Node) Kill() {
 		n.dead.Store(true)
 		close(n.stop)
 		n.sched.Stop()
+		n.life.Stop()
 		if n.listener != nil {
 			n.listener.Close()
 		}

@@ -4,6 +4,12 @@
 // Because workers here are goroutines in one address space, an in-process
 // store is the faithful analogue of the paper's shared-memory store; the
 // inter-node pull protocol lives in transfer.go.
+//
+// Under memory pressure the store cooperates with the lifetime subsystem
+// (internal/lifetime): referenced-but-cold objects spill to a disk tier
+// instead of being dropped, and Get transparently restores them, so a
+// working set larger than memory degrades gracefully instead of failing
+// with ErrStoreFull.
 package objectstore
 
 import (
@@ -15,14 +21,33 @@ import (
 	"repro/internal/types"
 )
 
-// ErrStoreFull is returned when a Put cannot fit even after evicting every
-// unpinned object.
+// ErrStoreFull is returned when a Put cannot fit even after evicting or
+// spilling every unpinned object.
 var ErrStoreFull = errors.New("objectstore: store full")
 
+// SpillTier is the disk tier the store spills cold objects to.
+// lifetime.DiskSpiller is the production implementation; tests may fake it.
+// Implementations must tolerate Remove of an absent object.
+type SpillTier interface {
+	Spill(id types.ObjectID, data []byte) error
+	Restore(id types.ObjectID) ([]byte, error)
+	Remove(id types.ObjectID) error
+}
+
+// RangeReader is optionally implemented by spill tiers that can serve a
+// byte range without reading the whole object (DiskSpiller can). GetRange
+// uses it so a peer chunk-pulling a large spilled object costs O(range)
+// disk reads per chunk instead of O(object).
+type RangeReader interface {
+	RestoreRange(id types.ObjectID, offset, length int64) ([]byte, error)
+}
+
 type entry struct {
-	data   []byte
-	pinned int
-	seq    uint64 // LRU clock: last access sequence number
+	data    []byte
+	size    int64 // == len(data) when resident; survives data=nil on spill
+	pinned  int
+	seq     uint64 // LRU clock: last access sequence number
+	spilled bool   // true when the bytes live on the spill tier, not in data
 }
 
 // Store holds this node's objects. All methods are safe for concurrent use.
@@ -34,9 +59,20 @@ type Store struct {
 	objects  map[types.ObjectID]*entry
 	waiters  map[types.ObjectID][]chan struct{}
 	capacity int64 // bytes; 0 = unlimited
-	used     int64
+	used     int64 // memory-resident bytes
+	spilled  int64 // bytes on the spill tier
 	clock    uint64
 	failed   bool
+
+	// tier, when non-nil, enables the disk spill path.
+	tier SpillTier
+	// referenced reports whether an object still has live references; nil
+	// means unknown. With a spill tier attached, referenced objects spill
+	// under pressure while garbage is dropped outright.
+	referenced func(types.ObjectID) bool
+
+	spills   int64
+	restores int64
 }
 
 // ErrFailed is returned by Put after the store has crashed (Fail).
@@ -57,6 +93,23 @@ func New(node types.NodeID, ctrl gcs.API, capacity int64) *Store {
 // Node returns the owning node's ID.
 func (s *Store) Node() types.NodeID { return s.node }
 
+// SetSpillTier attaches the disk spill tier. Call before the store is
+// shared; typically at node construction.
+func (s *Store) SetSpillTier(t SpillTier) {
+	s.mu.Lock()
+	s.tier = t
+	s.mu.Unlock()
+}
+
+// SetRefChecker installs the liveness oracle consulted during eviction
+// (typically a lookup of the object table's refcount). Call before the
+// store is shared.
+func (s *Store) SetRefChecker(fn func(types.ObjectID) bool) {
+	s.mu.Lock()
+	s.referenced = fn
+	s.mu.Unlock()
+}
+
 // Put stores data under id, records the location in the control plane, and
 // wakes local waiters. Storing an already-present object is a no-op (objects
 // are immutable, so the bytes are identical by construction).
@@ -72,13 +125,13 @@ func (s *Store) Put(id types.ObjectID, data []byte) error {
 	}
 	size := int64(len(data))
 	if s.capacity > 0 && s.used+size > s.capacity {
-		if !s.evictLocked(s.used + size - s.capacity) {
+		if !s.freeLocked(s.used + size - s.capacity) {
 			s.mu.Unlock()
 			return fmt.Errorf("%w: need %d bytes, capacity %d", ErrStoreFull, size, s.capacity)
 		}
 	}
 	s.clock++
-	s.objects[id] = &entry{data: data, seq: s.clock}
+	s.objects[id] = &entry{data: data, size: size, seq: s.clock}
 	s.used += size
 	ws := s.waiters[id]
 	delete(s.waiters, id)
@@ -91,36 +144,83 @@ func (s *Store) Put(id types.ObjectID, data []byte) error {
 	return nil
 }
 
-// evictLocked frees at least need bytes of unpinned objects, LRU-first.
-// It reports whether enough space was reclaimed. Caller holds s.mu.
-func (s *Store) evictLocked(need int64) bool {
+// freeLocked makes at least need bytes of memory available, LRU-first over
+// unpinned resident objects. With a spill tier attached, victims that still
+// have live references move to disk (the copy survives, cheap to restore);
+// garbage — and, without a liveness oracle, nothing — is dropped outright.
+// Without a tier the original drop-only LRU eviction applies. It reports
+// whether enough memory was reclaimed. Caller holds s.mu.
+//
+// Control-plane updates and tier I/O happen under the lock; the control
+// plane is lock-free with respect to this mutex (same invariant the
+// original eviction relied on), so this is deadlock-safe.
+func (s *Store) freeLocked(need int64) bool {
 	for need > 0 {
-		var victim types.ObjectID
-		var victimEntry *entry
-		for id, e := range s.objects {
-			if e.pinned > 0 {
-				continue
-			}
-			if victimEntry == nil || e.seq < victimEntry.seq {
-				victim, victimEntry = id, e
-			}
-		}
-		if victimEntry == nil {
+		victim, e := s.coldestLocked()
+		if e == nil {
 			return false
 		}
-		size := int64(len(victimEntry.data))
-		delete(s.objects, victim)
-		s.used -= size
+		size := e.size
+		if s.tier != nil && (s.referenced == nil || s.referenced(victim)) {
+			if !s.spillLocked(victim, e) {
+				// Tier write failed (e.g. disk full): dropping a referenced
+				// object would be unsafe, so give up rather than corrupt.
+				return false
+			}
+		} else {
+			s.dropLocked(victim, e)
+		}
 		need -= size
-		// Control-plane update outside the lock would be cleaner but Put
-		// holds the lock across eviction; the control plane is lock-free
-		// with respect to this mutex, so this is deadlock-safe.
-		s.ctrl.RemoveObjectLocation(victim, s.node)
 	}
 	return true
 }
 
-// Get returns the object's bytes if locally present.
+// coldestLocked returns the LRU unpinned memory-resident entry, or nil.
+func (s *Store) coldestLocked() (types.ObjectID, *entry) {
+	var victim types.ObjectID
+	var victimEntry *entry
+	for id, e := range s.objects {
+		if e.pinned > 0 || e.spilled {
+			continue
+		}
+		if victimEntry == nil || e.seq < victimEntry.seq {
+			victim, victimEntry = id, e
+		}
+	}
+	return victim, victimEntry
+}
+
+// spillLocked moves a resident entry to the disk tier. Caller holds s.mu.
+func (s *Store) spillLocked(id types.ObjectID, e *entry) bool {
+	if err := s.tier.Spill(id, e.data); err != nil {
+		return false
+	}
+	s.used -= e.size
+	s.spilled += e.size
+	s.spills++
+	e.data = nil
+	e.spilled = true
+	s.ctrl.MarkObjectSpilled(id, s.node, true)
+	return true
+}
+
+// dropLocked removes an entry entirely and deregisters the location.
+// Caller holds s.mu.
+func (s *Store) dropLocked(id types.ObjectID, e *entry) {
+	delete(s.objects, id)
+	if e.spilled {
+		s.spilled -= e.size
+		if s.tier != nil {
+			_ = s.tier.Remove(id)
+		}
+	} else {
+		s.used -= e.size
+	}
+	s.ctrl.RemoveObjectLocation(id, s.node)
+}
+
+// Get returns the object's bytes if locally present, transparently
+// restoring spilled objects from the disk tier.
 func (s *Store) Get(id types.ObjectID) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -130,10 +230,84 @@ func (s *Store) Get(id types.ObjectID) ([]byte, bool) {
 	}
 	s.clock++
 	e.seq = s.clock
-	return e.data, true
+	if !e.spilled {
+		return e.data, true
+	}
+	data, err := s.tier.Restore(id)
+	if err != nil || int64(len(data)) != e.size {
+		// The disk copy is gone or corrupt: the local copy is lost. Drop it
+		// so the control plane can mark the object Lost and lineage replay
+		// can take over.
+		s.dropLocked(id, e)
+		return nil, false
+	}
+	s.restores++
+	// Re-admit to memory only if it fits (possibly spilling colder objects);
+	// otherwise serve the bytes while the entry stays on disk, so a single
+	// oversized read cannot wedge the store.
+	if s.capacity > 0 && s.used+e.size > s.capacity {
+		if !s.freeLocked(s.used + e.size - s.capacity) {
+			return data, true
+		}
+	}
+	e.data = data
+	e.spilled = false
+	s.used += e.size
+	s.spilled -= e.size
+	_ = s.tier.Remove(id)
+	s.ctrl.MarkObjectSpilled(id, s.node, false)
+	return data, true
 }
 
-// Contains reports local presence without touching LRU state.
+// GetRange returns up to length bytes of the object at offset. Memory
+// entries serve a slice; spilled entries are served straight from the
+// tier's range reader without re-admission, so chunked transfers of a
+// spilled object neither thrash the memory tier nor re-read the whole
+// file per chunk. Returns false when the object is absent or offset is
+// out of range.
+func (s *Store) GetRange(id types.ObjectID, offset, length int64) ([]byte, bool) {
+	s.mu.Lock()
+	e, ok := s.objects[id]
+	if !ok || offset < 0 || length <= 0 || offset >= e.size {
+		s.mu.Unlock()
+		return nil, false
+	}
+	if offset+length > e.size {
+		length = e.size - offset
+	}
+	if !e.spilled {
+		s.clock++
+		e.seq = s.clock
+		data := e.data[offset : offset+length]
+		s.mu.Unlock()
+		return data, true
+	}
+	if rr, canRange := s.tier.(RangeReader); canRange {
+		// Read under the lock so a concurrent Delete cannot remove the
+		// tier file mid-read; the read is range-sized, not object-sized.
+		data, err := rr.RestoreRange(id, offset, length)
+		s.mu.Unlock()
+		if err != nil || int64(len(data)) != length {
+			return nil, false
+		}
+		return data, true
+	}
+	s.mu.Unlock()
+	// Tier without range support: fall back to a full restore via Get
+	// (which may re-admit the object to memory).
+	data, ok := s.Get(id)
+	if !ok || offset >= int64(len(data)) {
+		return nil, false
+	}
+	end := offset + length
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	return data[offset:end], true
+}
+
+// Contains reports local presence (memory or spill tier) without touching
+// LRU state.
 func (s *Store) Contains(id types.ObjectID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -173,18 +347,15 @@ func (s *Store) WaitChan(id types.ObjectID) <-chan struct{} {
 	return ch
 }
 
-// Delete removes id locally and deregisters the location.
+// Delete removes id locally (memory and spill tier) and deregisters the
+// location.
 func (s *Store) Delete(id types.ObjectID) bool {
 	s.mu.Lock()
 	e, ok := s.objects[id]
 	if ok {
-		delete(s.objects, id)
-		s.used -= int64(len(e.data))
+		s.dropLocked(id, e)
 	}
 	s.mu.Unlock()
-	if ok {
-		s.ctrl.RemoveObjectLocation(id, s.node)
-	}
 	return ok
 }
 
@@ -200,32 +371,57 @@ func (s *Store) Fail() {
 }
 
 // DropAll removes every object, as when a node's memory is lost in a crash
-// (failure injection, R6). Locations are deregistered so the control plane
-// marks sole copies Lost.
+// (failure injection, R6). Spill files die with the node too. Locations are
+// deregistered so the control plane marks sole copies Lost.
 func (s *Store) DropAll() {
 	s.mu.Lock()
 	ids := make([]types.ObjectID, 0, len(s.objects))
-	for id := range s.objects {
+	for id, e := range s.objects {
 		ids = append(ids, id)
+		if e.spilled && s.tier != nil {
+			_ = s.tier.Remove(id)
+		}
 	}
 	s.objects = make(map[types.ObjectID]*entry)
 	s.used = 0
+	s.spilled = 0
 	s.mu.Unlock()
 	for _, id := range ids {
 		s.ctrl.RemoveObjectLocation(id, s.node)
 	}
 }
 
-// Used returns resident bytes.
+// Used returns memory-resident bytes.
 func (s *Store) Used() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.used
 }
 
-// Count returns the number of resident objects.
+// SpilledBytes returns bytes currently on the spill tier.
+func (s *Store) SpilledBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spilled
+}
+
+// Count returns the number of resident objects (memory + spilled).
 func (s *Store) Count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.objects)
+}
+
+// Stats snapshots usage for heartbeats and dashboards. Reclaimed is owned
+// by the lifetime manager and filled in by the node.
+func (s *Store) Stats() types.StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return types.StoreStats{
+		UsedBytes:    s.used,
+		SpilledBytes: s.spilled,
+		Objects:      len(s.objects),
+		Spills:       s.spills,
+		Restores:     s.restores,
+	}
 }

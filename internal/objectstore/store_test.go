@@ -1,14 +1,12 @@
 package objectstore
 
 import (
-	"bytes"
-	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/gcs"
-	"repro/internal/transport"
 	"repro/internal/types"
 )
 
@@ -170,128 +168,211 @@ func TestConcurrentPutGet(t *testing.T) {
 	}
 }
 
-// --- transfer tests ---
+// --- lifetime-era edge cases ---
 
-func twoStores(t *testing.T, nw transport.Network) (src, dst *Store, ctrl *gcs.Store, fetcher *Fetcher) {
-	t.Helper()
-	ctrl = gcs.NewStore(4)
-	src = New(testNode(1), ctrl, 0)
-	dst = New(testNode(2), ctrl, 0)
-	srv := transport.NewServer()
-	RegisterPullHandler(srv, src)
-	if _, err := nw.Listen("src", srv); err != nil {
-		t.Fatal(err)
-	}
-	addrs := map[types.NodeID]string{testNode(1): "src"}
-	fetcher = NewFetcher(dst, nw, func(n types.NodeID) (string, bool) {
-		a, ok := addrs[n]
-		return a, ok
-	})
-	t.Cleanup(fetcher.Close)
-	return src, dst, ctrl, fetcher
+// mapTier is an in-memory SpillTier for tests (no disk, no lifetime import).
+type mapTier struct {
+	mu   sync.Mutex
+	data map[types.ObjectID][]byte
 }
 
-func TestFetchPullsRemoteObject(t *testing.T) {
-	src, dst, ctrl, fetcher := twoStores(t, transport.NewInproc(0))
-	id := testObj(30)
-	src.Put(id, []byte("remote-bytes"))
-	if err := fetcher.Fetch(context.Background(), id, []types.NodeID{testNode(1)}); err != nil {
-		t.Fatal(err)
-	}
-	got, ok := dst.Get(id)
-	if !ok || !bytes.Equal(got, []byte("remote-bytes")) {
-		t.Fatalf("fetched = %q, %v", got, ok)
-	}
-	// Both locations registered.
-	info, _ := ctrl.GetObject(id)
-	if len(info.Locations) != 2 {
-		t.Fatalf("locations = %v", info.Locations)
-	}
+func newMapTier() *mapTier { return &mapTier{data: make(map[types.ObjectID][]byte)} }
+
+func (m *mapTier) Spill(id types.ObjectID, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.data[id] = cp
+	return nil
 }
 
-func TestFetchAlreadyLocalIsNoop(t *testing.T) {
-	_, dst, _, fetcher := twoStores(t, transport.NewInproc(0))
-	id := testObj(31)
-	dst.Put(id, []byte("here"))
-	if err := fetcher.Fetch(context.Background(), id, nil); err != nil {
-		t.Fatal(err)
+func (m *mapTier) Restore(id types.ObjectID) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d, ok := m.data[id]; ok {
+		return d, nil
 	}
+	return nil, ErrNotFound
 }
 
-func TestFetchNoLocationsFails(t *testing.T) {
-	_, _, _, fetcher := twoStores(t, transport.NewInproc(0))
-	if err := fetcher.Fetch(context.Background(), testObj(32), nil); err == nil {
-		t.Fatal("fetch with no locations succeeded")
-	}
+func (m *mapTier) Remove(id types.ObjectID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.data, id)
+	return nil
 }
 
-func TestFetchSkipsDeadPeerAndFails(t *testing.T) {
-	_, _, _, fetcher := twoStores(t, transport.NewInproc(0))
-	// Location points at a node with no registered address.
-	err := fetcher.Fetch(context.Background(), testObj(33), []types.NodeID{testNode(9)})
-	if err == nil {
-		t.Fatal("fetch from unknown peer succeeded")
-	}
-}
-
-func TestFetchMissingObjectOnPeer(t *testing.T) {
-	_, _, _, fetcher := twoStores(t, transport.NewInproc(0))
-	err := fetcher.Fetch(context.Background(), testObj(34), []types.NodeID{testNode(1)})
-	if err == nil {
-		t.Fatal("fetch of object absent on peer succeeded")
-	}
-}
-
-func TestConcurrentFetchesCollapse(t *testing.T) {
-	src, dst, _, fetcher := twoStores(t, transport.NewInproc(time.Millisecond))
-	id := testObj(35)
-	src.Put(id, make([]byte, 1024))
-	var wg sync.WaitGroup
-	errs := make([]error, 8)
-	for i := 0; i < 8; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = fetcher.Fetch(context.Background(), id, []types.NodeID{testNode(1)})
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			t.Fatalf("fetch %d: %v", i, err)
+// TestPutAllResidentsPinnedIsFull: when every resident object is pinned,
+// neither eviction nor spilling can make room — Put must fail with
+// ErrStoreFull rather than corrupt a pinned buffer, spill tier or not.
+func TestPutAllResidentsPinnedIsFull(t *testing.T) {
+	for _, withTier := range []bool{false, true} {
+		s := New(testNode(1), gcs.NewStore(1), 20)
+		if withTier {
+			s.SetSpillTier(newMapTier())
+			s.SetRefChecker(func(types.ObjectID) bool { return true })
+		}
+		a, b := testObj(100), testObj(101)
+		s.Put(a, make([]byte, 10))
+		s.Put(b, make([]byte, 10))
+		s.Pin(a)
+		s.Pin(b)
+		err := s.Put(testObj(102), make([]byte, 10))
+		if !errors.Is(err, ErrStoreFull) {
+			t.Fatalf("tier=%v: Put with all residents pinned = %v, want ErrStoreFull", withTier, err)
+		}
+		s.Unpin(a)
+		if err := s.Put(testObj(102), make([]byte, 10)); err != nil {
+			t.Fatalf("tier=%v: Put after Unpin: %v", withTier, err)
 		}
 	}
-	if !dst.Contains(id) {
-		t.Fatal("object not resident after concurrent fetches")
+}
+
+// TestRestoreFailureDropsObject: a spilled object whose tier copy has
+// vanished (disk wiped) must read as absent and transition to Lost, so
+// lineage reconstruction can repair it — not return corrupt data.
+func TestRestoreFailureDropsObject(t *testing.T) {
+	ctrl := gcs.NewStore(1)
+	tier := newMapTier()
+	s := New(testNode(1), ctrl, 20)
+	s.SetSpillTier(tier)
+	s.SetRefChecker(func(types.ObjectID) bool { return true })
+	a := testObj(105)
+	s.Put(a, make([]byte, 15))
+	s.Put(testObj(106), make([]byte, 15)) // pressure: spills a
+	if _, ok := tier.data[a]; !ok {
+		t.Fatal("setup: a not spilled")
+	}
+	tier.mu.Lock()
+	delete(tier.data, a) // simulate losing the disk
+	tier.mu.Unlock()
+	if _, ok := s.Get(a); ok {
+		t.Fatal("Get returned data for a lost spill copy")
+	}
+	if s.Contains(a) {
+		t.Fatal("lost spill copy still resident")
+	}
+	if info, _ := ctrl.GetObject(a); info.State != types.ObjectLost {
+		t.Fatalf("state = %v, want LOST", info.State)
 	}
 }
 
-func TestFetchOverTCP(t *testing.T) {
-	ctrl := gcs.NewStore(2)
-	src := New(testNode(1), ctrl, 0)
-	dst := New(testNode(2), ctrl, 0)
-	srv := transport.NewServer()
-	RegisterPullHandler(srv, src)
-	l, err := transport.TCP{}.Listen("127.0.0.1:39281", srv)
-	if err != nil {
-		t.Fatal(err)
+// rangeTier extends mapTier with range reads, like the disk spiller.
+type rangeTier struct{ *mapTier }
+
+func (r rangeTier) RestoreRange(id types.ObjectID, offset, length int64) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.data[id]
+	if !ok || offset >= int64(len(d)) {
+		return nil, ErrNotFound
 	}
-	defer l.Close()
-	fetcher := NewFetcher(dst, transport.TCP{}, func(n types.NodeID) (string, bool) {
-		return "127.0.0.1:39281", n == testNode(1)
-	})
-	defer fetcher.Close()
-	id := testObj(36)
-	payload := make([]byte, 256<<10)
-	for i := range payload {
-		payload[i] = byte(i)
+	end := offset + length
+	if end > int64(len(d)) {
+		end = int64(len(d))
 	}
-	src.Put(id, payload)
-	if err := fetcher.Fetch(context.Background(), id, []types.NodeID{testNode(1)}); err != nil {
-		t.Fatal(err)
+	return d[offset:end], nil
+}
+
+// TestGetRange: memory entries serve slices; spilled entries are served
+// from the tier's range reader without re-admission; tiers without range
+// support fall back to a full restore.
+func TestGetRange(t *testing.T) {
+	for _, ranged := range []bool{true, false} {
+		ctrl := gcs.NewStore(1)
+		base := newMapTier()
+		s := New(testNode(1), ctrl, 20)
+		if ranged {
+			s.SetSpillTier(rangeTier{base})
+		} else {
+			s.SetSpillTier(base)
+		}
+		s.SetRefChecker(func(types.ObjectID) bool { return true })
+		a := testObj(120)
+		payload := []byte("0123456789abcde")
+		s.Put(a, payload)
+
+		// Memory-resident range.
+		if got, ok := s.GetRange(a, 3, 4); !ok || string(got) != "3456" {
+			t.Fatalf("ranged=%v: memory range = %q, %v", ranged, got, ok)
+		}
+		// Out-of-range and degenerate requests.
+		if _, ok := s.GetRange(a, 15, 1); ok {
+			t.Fatalf("ranged=%v: offset at end served", ranged)
+		}
+		if _, ok := s.GetRange(a, -1, 4); ok {
+			t.Fatalf("ranged=%v: negative offset served", ranged)
+		}
+		if got, ok := s.GetRange(a, 10, 99); !ok || string(got) != "abcde" {
+			t.Fatalf("ranged=%v: clamped tail = %q, %v", ranged, got, ok)
+		}
+
+		// Spill a, then range-read it.
+		s.Put(testObj(121), make([]byte, 15))
+		if _, ok := base.data[a]; !ok {
+			t.Fatalf("ranged=%v: setup: a not spilled", ranged)
+		}
+		got, ok := s.GetRange(a, 5, 5)
+		if !ok || string(got) != "56789" {
+			t.Fatalf("ranged=%v: spilled range = %q, %v", ranged, got, ok)
+		}
+		if ranged {
+			// Range path must not re-admit (no memory churn on the source).
+			if _, still := base.data[a]; !still {
+				t.Fatal("range read re-admitted the object")
+			}
+		}
 	}
-	got, _ := dst.Get(id)
-	if !bytes.Equal(got, payload) {
-		t.Fatal("TCP transfer corrupted payload")
+}
+
+// TestPinRacesEviction hammers Pin/Unpin against capacity-pressure Puts:
+// the store must never evict an object while it is pinned, and accounting
+// must stay consistent.
+func TestPinRacesEviction(t *testing.T) {
+	s := New(testNode(1), gcs.NewStore(4), 64)
+	hot := testObj(110)
+	s.Put(hot, make([]byte, 32))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Pinner: holds the pin briefly, checks presence while pinned.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Pin(hot)
+			if s.Contains(hot) {
+				if _, ok := s.Get(hot); !ok {
+					// Present at Pin time yet gone under the pin: only legal
+					// if the Pin landed after an eviction (no-op pin).
+					s.Unpin(hot)
+					s.Put(hot, make([]byte, 32))
+					continue
+				}
+			}
+			s.Unpin(hot)
+		}
+	}()
+	// Evictor: keeps the store saturated so every Put forces eviction.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Put(testObj(uint64(200+g*200+i)), make([]byte, 16))
+			}
+		}(g)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if used := s.Used(); used > 64 {
+		t.Fatalf("used %d exceeds capacity after race", used)
 	}
 }

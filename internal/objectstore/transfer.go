@@ -1,23 +1,65 @@
 package objectstore
 
 import (
-	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/transport"
 	"repro/internal/types"
 )
 
-// PullMethod is the transport method name for the object pull protocol.
-const PullMethod = "objectstore.pull"
+// Transport method names for the inter-node object pull protocol. The
+// serving side lives here next to the store; the pulling side is the
+// chunked pull manager in internal/lifetime, which replaced the original
+// single-shot fetcher.
+const (
+	// PullMethod returns a whole object: request payload is the raw
+	// ObjectID, response is the object bytes. Small objects use it — one
+	// round trip beats chunk bookkeeping below the chunk size.
+	PullMethod = "objectstore.pull"
+	// PullChunkMethod returns one byte range of an object: request payload
+	// is EncodeChunkRequest, response is the requested slice. Large objects
+	// are pulled as bounded-concurrency chunk streams.
+	PullChunkMethod = "objectstore.pullChunk"
+)
 
-// ErrNotFound is returned by the pull handler for objects not resident.
+// ErrNotFound is returned by the pull handlers for objects not resident.
 var ErrNotFound = errors.New("objectstore: object not found")
 
-// RegisterPullHandler exposes the store's objects to peers: request payload
-// is the raw ObjectID, response is the object bytes.
+// ErrBadChunk is returned for malformed or out-of-range chunk requests.
+var ErrBadChunk = errors.New("objectstore: bad chunk request")
+
+// chunkReqSize is the fixed wire size of a chunk request.
+const chunkReqSize = types.IDSize + 8 + 8
+
+// EncodeChunkRequest builds the wire form of a chunk request:
+// ObjectID | uint64 offset | uint64 length, big-endian.
+func EncodeChunkRequest(id types.ObjectID, offset, length int64) []byte {
+	buf := make([]byte, chunkReqSize)
+	copy(buf, id[:])
+	binary.BigEndian.PutUint64(buf[types.IDSize:], uint64(offset))
+	binary.BigEndian.PutUint64(buf[types.IDSize+8:], uint64(length))
+	return buf
+}
+
+// DecodeChunkRequest parses EncodeChunkRequest's output.
+func DecodeChunkRequest(payload []byte) (id types.ObjectID, offset, length int64, err error) {
+	if len(payload) != chunkReqSize {
+		return id, 0, 0, fmt.Errorf("%w: %d bytes", ErrBadChunk, len(payload))
+	}
+	copy(id[:], payload)
+	offset = int64(binary.BigEndian.Uint64(payload[types.IDSize:]))
+	length = int64(binary.BigEndian.Uint64(payload[types.IDSize+8:]))
+	if offset < 0 || length <= 0 {
+		return id, 0, 0, fmt.Errorf("%w: offset %d length %d", ErrBadChunk, offset, length)
+	}
+	return id, offset, length, nil
+}
+
+// RegisterPullHandler exposes the store's objects to peers, both whole
+// (PullMethod) and as byte ranges (PullChunkMethod). Spilled objects are
+// served too: the store's Get restores them transparently.
 func RegisterPullHandler(srv *transport.Server, store *Store) {
 	srv.Handle(PullMethod, func(payload []byte) ([]byte, error) {
 		if len(payload) != types.IDSize {
@@ -31,125 +73,18 @@ func RegisterPullHandler(srv *transport.Server, store *Store) {
 		}
 		return data, nil
 	})
-}
-
-// Fetcher pulls remote objects into the local store. It deduplicates
-// concurrent fetches of the same object and caches peer connections.
-type Fetcher struct {
-	store *Store
-	net   transport.Network
-	// resolveAddr maps a node to its transport address (node-table lookup).
-	resolveAddr func(types.NodeID) (string, bool)
-
-	mu       sync.Mutex
-	inflight map[types.ObjectID]chan error
-	conns    map[string]transport.Client
-}
-
-// NewFetcher wires a fetcher to the local store and cluster network.
-func NewFetcher(store *Store, net transport.Network, resolveAddr func(types.NodeID) (string, bool)) *Fetcher {
-	return &Fetcher{
-		store:       store,
-		net:         net,
-		resolveAddr: resolveAddr,
-		inflight:    make(map[types.ObjectID]chan error),
-		conns:       make(map[string]transport.Client),
-	}
-}
-
-// Fetch ensures id is locally resident, pulling from one of the given
-// candidate locations. Concurrent fetches of one object collapse into a
-// single pull.
-func (f *Fetcher) Fetch(ctx context.Context, id types.ObjectID, locations []types.NodeID) error {
-	if f.store.Contains(id) {
-		return nil
-	}
-	f.mu.Lock()
-	if ch, ok := f.inflight[id]; ok {
-		f.mu.Unlock()
-		select {
-		case err := <-ch:
-			// Propagate and re-arm for any other waiters.
-			ch <- err
-			return err
-		case <-ctx.Done():
-			return ctx.Err()
+	srv.Handle(PullChunkMethod, func(payload []byte) ([]byte, error) {
+		id, offset, length, err := DecodeChunkRequest(payload)
+		if err != nil {
+			return nil, err
 		}
-	}
-	ch := make(chan error, 1)
-	f.inflight[id] = ch
-	f.mu.Unlock()
-
-	err := f.pull(ctx, id, locations)
-	f.mu.Lock()
-	delete(f.inflight, id)
-	f.mu.Unlock()
-	ch <- err
-	return err
-}
-
-func (f *Fetcher) pull(ctx context.Context, id types.ObjectID, locations []types.NodeID) error {
-	var lastErr error = fmt.Errorf("objectstore: no locations for %v", id)
-	for _, loc := range locations {
-		if loc == f.store.node {
-			continue // stale self-location; the object is gone locally
-		}
-		addr, ok := f.resolveAddr(loc)
+		data, ok := store.GetRange(id, offset, length)
 		if !ok {
-			lastErr = fmt.Errorf("objectstore: no address for %v", loc)
-			continue
+			if !store.Contains(id) {
+				return nil, fmt.Errorf("%w: %v on %v", ErrNotFound, id, store.node)
+			}
+			return nil, fmt.Errorf("%w: offset %d out of range for %v", ErrBadChunk, offset, id)
 		}
-		client, err := f.conn(addr)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		data, err := client.Call(PullMethod, id[:])
-		if err != nil {
-			lastErr = err
-			f.dropConn(addr) // peer may be dead; redial next time
-			continue
-		}
-		if err := f.store.Put(id, data); err != nil {
-			return err
-		}
-		return nil
-	}
-	if ctx.Err() != nil {
-		return ctx.Err()
-	}
-	return lastErr
-}
-
-func (f *Fetcher) conn(addr string) (transport.Client, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if c, ok := f.conns[addr]; ok {
-		return c, nil
-	}
-	c, err := f.net.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	f.conns[addr] = c
-	return c, nil
-}
-
-func (f *Fetcher) dropConn(addr string) {
-	f.mu.Lock()
-	if c, ok := f.conns[addr]; ok {
-		delete(f.conns, addr)
-		c.Close()
-	}
-	f.mu.Unlock()
-}
-
-// Close releases cached connections.
-func (f *Fetcher) Close() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	for addr, c := range f.conns {
-		c.Close()
-		delete(f.conns, addr)
-	}
+		return data, nil
+	})
 }

@@ -167,7 +167,11 @@ func (g *Global) candidates(spec types.TaskSpec) []NodeSnapshot {
 		snap := NodeSnapshot{Info: n}
 		for _, dep := range deps {
 			if info, ok := g.cfg.Ctrl.GetObject(dep); ok && info.State == types.ObjectReady && info.HasLocation(n.ID) {
-				snap.LocalityBytes += info.Size
+				if info.IsSpilledOn(n.ID) {
+					snap.SpilledBytes += info.Size
+				} else {
+					snap.LocalityBytes += info.Size
+				}
 			}
 		}
 		out = append(out, snap)

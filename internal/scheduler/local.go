@@ -22,6 +22,21 @@ type ExecFunc func(ctx context.Context, spec types.TaskSpec, args [][]byte)
 // is disabled.
 type ReconFunc func(id types.ObjectID)
 
+// Fetcher pulls a remote object into the local store. lifetime.PullManager
+// is the production implementation (chunked, with per-peer backpressure).
+type Fetcher interface {
+	Fetch(ctx context.Context, id types.ObjectID, locations []types.NodeID) error
+}
+
+// RefLedger records task-argument borrows: while a task is queued or
+// running here, its dependency objects hold an extra reference so the
+// lifetime GC cannot reclaim them out from under the dispatcher.
+// lifetime.Tracker is the production implementation.
+type RefLedger interface {
+	Retain(ids ...types.ObjectID)
+	Release(ids ...types.ObjectID)
+}
+
 // ErrStopped is returned for submissions to a stopped scheduler.
 var ErrStopped = errors.New("scheduler: stopped")
 
@@ -41,7 +56,10 @@ type LocalConfig struct {
 	Ctrl  gcs.API
 	Store *objectstore.Store
 	// Fetcher pulls remote dependencies; nil disables cross-node fetch.
-	Fetcher *objectstore.Fetcher
+	Fetcher Fetcher
+	// Refs records argument borrows for the lifetime subsystem; nil
+	// disables borrow tracking.
+	Refs RefLedger
 	// Exec runs ready tasks (assigned after construction by the node).
 	Exec ExecFunc
 	// Recon triggers lineage reconstruction of lost dependencies.
@@ -111,7 +129,11 @@ func (l *Local) Start() {
 	go l.dispatchLoop()
 }
 
-// Stop halts dispatching and abandons queued work (node crash or shutdown).
+// Stop halts dispatching and abandons queued work (node crash or
+// shutdown). Abandoned tasks' argument borrows are not individually
+// released here; a graceful Node.Shutdown settles them wholesale via the
+// tracker's ReleaseAll, while a crash leaves them held — conservative for
+// the data, reconciled by a future node monitor.
 func (l *Local) Stop() {
 	l.mu.Lock()
 	if l.stopped {
@@ -199,11 +221,57 @@ func (l *Local) Submit(spec types.TaskSpec, placed bool) error {
 	overloaded := l.cfg.SpillThreshold >= 0 && backlog >= l.cfg.SpillThreshold
 	if infeasible || overloaded {
 		l.spilled.Add(1)
+		l.bridgeSpill(spec)
 		l.cfg.Ctrl.PublishSpill(spec)
 		return nil
 	}
 	l.enqueue(spec)
 	return nil
+}
+
+// bridgeSpill holds a borrow on a spilled task's dependencies while the
+// task travels through the global spill queue: without it there is a
+// window — publish until the destination node's enqueue — in which the
+// task holds no references and a driver Release could let the GC reclaim
+// its arguments. The bridge drops once the task reaches SCHEDULED (the
+// destination's enqueue-time borrow is in place strictly before that
+// transition) or a terminal state; an unplaceable task keeps its bridge,
+// which is the conservative direction (leak, never lose a live argument).
+func (l *Local) bridgeSpill(spec types.TaskSpec) {
+	if l.cfg.Refs == nil {
+		return
+	}
+	deps := spec.Deps()
+	if len(deps) == 0 {
+		return
+	}
+	l.cfg.Refs.Retain(deps...)
+	l.wg.Add(1)
+	go l.releaseBridge(spec.ID, deps)
+}
+
+func (l *Local) releaseBridge(task types.TaskID, deps []types.ObjectID) {
+	defer l.wg.Done()
+	sub := l.cfg.Ctrl.SubscribeTaskStatus(task)
+	defer sub.Close()
+	for {
+		if st, ok := l.cfg.Ctrl.GetTask(task); ok {
+			switch st.Status {
+			case types.TaskScheduled, types.TaskRunning, types.TaskFinished, types.TaskLost, types.TaskFailed:
+				l.cfg.Refs.Release(deps...)
+				return
+			}
+		}
+		select {
+		case <-sub.C():
+		case <-time.After(l.cfg.DepPollInterval):
+		case <-l.stop:
+			// Node stopping mid-bridge: keep the borrow rather than expose
+			// a task still parked in the queue. Node.Shutdown's tracker
+			// ReleaseAll settles the count.
+			return
+		}
+	}
 }
 
 // Enqueue bypasses the duplicate-submission check and spill decision; the
@@ -291,15 +359,29 @@ func (l *Local) enqueue(spec types.TaskSpec) {
 	// the stamp, a task queued-but-not-dispatched on a dead node would be
 	// invisible.
 	l.cfg.Ctrl.SetTaskStatus(spec.ID, types.TaskQueued, l.cfg.Node, types.NilWorkerID, "")
+	// Borrow the dependencies for the lifetime of this enqueue: the matching
+	// release happens at the end of runTask. A task re-enqueued from
+	// runTask's evicted-args path borrows again before that release fires,
+	// so the count never dips to zero while the task is anywhere in the
+	// pipeline.
+	if l.cfg.Refs != nil {
+		l.cfg.Refs.Retain(spec.Deps()...)
+	}
 	missing := make(map[types.ObjectID]bool)
+	var missingList []types.ObjectID
 	for _, dep := range spec.Deps() {
-		if !l.cfg.Store.Contains(dep) {
+		if !missing[dep] && !l.cfg.Store.Contains(dep) {
 			missing[dep] = true
+			missingList = append(missingList, dep)
 		}
 	}
 	l.mu.Lock()
 	if l.stopped {
 		l.mu.Unlock()
+		// The task will never run here; return its fresh borrows.
+		if l.cfg.Refs != nil {
+			l.cfg.Refs.Release(spec.Deps()...)
+		}
 		return
 	}
 	if len(missing) == 0 {
@@ -310,7 +392,10 @@ func (l *Local) enqueue(spec types.TaskSpec) {
 	}
 	l.waiting[spec.ID] = &waitingTask{spec: spec, missing: missing}
 	l.mu.Unlock()
-	for dep := range missing {
+	// Spawn resolvers from the snapshot slice, not the map: once the
+	// waiting entry is published, resolvers may delete from the map
+	// concurrently (depSatisfied holds the lock; this loop does not).
+	for _, dep := range missingList {
 		l.wg.Add(1)
 		go l.resolveDep(spec.ID, dep)
 	}
@@ -445,6 +530,11 @@ func (l *Local) admitOne() (*queuedTask, bool) {
 func (l *Local) runTask(spec types.TaskSpec) {
 	defer l.wg.Done()
 	defer l.kickDispatch()
+	// Return the enqueue-time borrows last (LIFO): the evicted-args path
+	// below re-enqueues — and re-borrows — before this defer runs.
+	if l.cfg.Refs != nil {
+		defer l.cfg.Refs.Release(spec.Deps()...)
+	}
 	args, missing := l.gatherArgs(spec)
 	if missing {
 		l.res.release(spec.Resources)

@@ -9,10 +9,15 @@ import (
 // NodeSnapshot is the per-node information available to a placement policy:
 // the latest heartbeat state plus how many dependency bytes of the task
 // under placement already reside on the node (object locality, the signal
-// Section 3.2.2 calls out).
+// Section 3.2.2 calls out). The lifetime subsystem splits locality by
+// storage tier: a dependency in a node's memory is free to use, one on its
+// disk spill tier costs a restore — still far cheaper than a network pull.
 type NodeSnapshot struct {
-	Info          types.NodeInfo
+	Info types.NodeInfo
+	// LocalityBytes counts dependency bytes memory-resident on the node.
 	LocalityBytes int64
+	// SpilledBytes counts dependency bytes on the node's disk spill tier.
+	SpilledBytes int64
 }
 
 // Policy picks a node for a spilled task. Pick must only choose among the
@@ -23,7 +28,8 @@ type Policy interface {
 }
 
 // LocalityPolicy is the paper's default: prefer the node holding the most
-// dependency bytes, break ties by available resources, then queue depth.
+// dependency bytes in memory, then on disk, break remaining ties by
+// available resources, then queue depth.
 type LocalityPolicy struct{}
 
 // Name implements Policy.
@@ -46,6 +52,9 @@ func (LocalityPolicy) Pick(spec types.TaskSpec, nodes []NodeSnapshot) (types.Nod
 func betterLocality(a, b *NodeSnapshot) bool {
 	if a.LocalityBytes != b.LocalityBytes {
 		return a.LocalityBytes > b.LocalityBytes
+	}
+	if a.SpilledBytes != b.SpilledBytes {
+		return a.SpilledBytes > b.SpilledBytes
 	}
 	ac, bc := a.Info.Available[types.ResCPU], b.Info.Available[types.ResCPU]
 	if ac != bc {

@@ -11,9 +11,16 @@ import (
 // modelling the cluster interconnect: a unary call costs two hops (request
 // + response), matching the local-vs-remote latency shape of the paper's
 // Section 4.1 microbenchmarks. Zero HopLatency gives a zero-cost network.
+// Bandwidth, when set, additionally charges payload-proportional transfer
+// time per message, so moving a large object costs more than a control
+// message — the regime where the chunked pull protocol's parallel streams
+// pay off (concurrent transfers overlap, modelling independent peer links).
 type Inproc struct {
 	// HopLatency is the one-way message delay.
 	HopLatency time.Duration
+	// Bandwidth is the per-stream payload rate in bytes/second; 0 means
+	// infinite (payload size costs nothing).
+	Bandwidth int64
 
 	mu      sync.RWMutex
 	servers map[string]*Server
@@ -22,6 +29,12 @@ type Inproc struct {
 // NewInproc creates an in-process network with the given one-way latency.
 func NewInproc(hop time.Duration) *Inproc {
 	return &Inproc{HopLatency: hop, servers: make(map[string]*Server)}
+}
+
+// NewInprocBandwidth creates an in-process network with one-way latency and
+// a per-stream bandwidth limit.
+func NewInprocBandwidth(hop time.Duration, bytesPerSec int64) *Inproc {
+	return &Inproc{HopLatency: hop, Bandwidth: bytesPerSec, servers: make(map[string]*Server)}
 }
 
 type inprocListener struct {
@@ -64,6 +77,18 @@ func (n *Inproc) hop() {
 	}
 }
 
+// hopN is hop plus payload-proportional transfer time under the bandwidth
+// model.
+func (n *Inproc) hopN(payloadBytes int) {
+	d := n.HopLatency
+	if n.Bandwidth > 0 && payloadBytes > 0 {
+		d += time.Duration(int64(payloadBytes) * int64(time.Second) / n.Bandwidth)
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
 type inprocClient struct {
 	net  *Inproc
 	srv  *Server
@@ -78,9 +103,9 @@ func (c *inprocClient) Call(method string, payload []byte) ([]byte, error) {
 		return nil, ErrClosed
 	default:
 	}
-	c.net.hop() // request hop
+	c.net.hopN(len(payload)) // request hop
 	resp, err := c.srv.dispatch(method, payload)
-	c.net.hop() // response hop
+	c.net.hopN(len(resp)) // response hop
 	return resp, err
 }
 

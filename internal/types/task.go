@@ -140,6 +140,16 @@ type ObjectInfo struct {
 	Producer  TaskID // task whose execution created the object (lineage edge)
 	State     ObjectState
 	Locations []NodeID
+	// RefCount is the cluster-wide number of live references: driver and
+	// task handles created at submit/put time plus scheduler borrows for
+	// queued task arguments (see internal/lifetime). Objects that no tracker
+	// ever retained stay at zero and are never garbage-collected, which
+	// preserves the pre-lifetime behaviour.
+	RefCount int64
+	// SpilledOn lists the subset of Locations where the copy lives on the
+	// node's disk spill tier rather than in memory. Pulling from a memory
+	// location is cheaper, so placement and transfer both prefer them.
+	SpilledOn []NodeID
 }
 
 // HasLocation reports whether node holds a copy.
@@ -150,6 +160,28 @@ func (o *ObjectInfo) HasLocation(node NodeID) bool {
 		}
 	}
 	return false
+}
+
+// IsSpilledOn reports whether node's copy is on its disk spill tier.
+func (o *ObjectInfo) IsSpilledOn(node NodeID) bool {
+	for _, n := range o.SpilledOn {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// StoreStats is a node's object-store usage snapshot. Nodes publish it with
+// heartbeats so dashboards and placement see memory pressure without asking
+// the node (the control plane stays the single source of truth, R7).
+type StoreStats struct {
+	UsedBytes    int64 // memory-resident payload bytes
+	SpilledBytes int64 // bytes currently on the disk spill tier
+	Objects      int   // resident objects, memory + spilled
+	Spills       int64 // cumulative spill-to-disk operations
+	Restores     int64 // cumulative restores from disk
+	Reclaimed    int64 // cumulative objects reclaimed by lifetime GC
 }
 
 // NodeInfo is the node-table record.
@@ -163,6 +195,8 @@ type NodeInfo struct {
 	// placement policy consumes these.
 	QueueLen  int
 	Available Resources
+	// Store is the object-store usage published with heartbeats.
+	Store StoreStats
 }
 
 // Event is one entry in the event log (paper R7: profiling and debugging).

@@ -78,6 +78,11 @@ func (e *Executor) Execute(ctx context.Context, spec types.TaskSpec, args [][]by
 		e.fail(spec, wid, fmt.Errorf("function %s returned %d values, declared %d", spec.Function, len(rets), spec.NumReturns))
 		return
 	}
+	// Capture the finish instant before storing outputs: the first Put can
+	// unblock a consumer, and a consumer's recorded start must never
+	// precede its producer's recorded finish. The status transition itself
+	// still publishes only after every output is durable.
+	finishNs := e.ctrl.NowNs()
 	for i, data := range rets {
 		if data == nil {
 			data = codec.MustEncode(nil)
@@ -88,7 +93,7 @@ func (e *Executor) Execute(ctx context.Context, spec types.TaskSpec, args [][]by
 		}
 	}
 	e.executed.Add(1)
-	e.ctrl.SetTaskStatus(spec.ID, types.TaskFinished, e.node, wid, "")
+	e.ctrl.SetTaskStatusAt(spec.ID, types.TaskFinished, e.node, wid, "", finishNs)
 }
 
 // invoke runs the function with panic isolation: a panicking task must not
