@@ -41,6 +41,8 @@ func main() {
 		printTasks(fetch(*addr + "/api/tasks"))
 	case "objects":
 		printObjects(fetch(*addr + "/api/objects"))
+	case "shards":
+		printShards(fetch(*addr + "/api/shards"))
 	case "functions":
 		os.Stdout.Write(fetch(*addr + "/api/functions"))
 	case "events":
@@ -129,6 +131,28 @@ func printObjects(body []byte) {
 	tbl := stats.Table{Header: []string{"object", "size", "state", "copies"}}
 	for _, o := range objs {
 		tbl.AddRow(o.ID, o.Size, o.State, len(o.Locations))
+	}
+	tbl.Render(os.Stdout)
+}
+
+func printShards(body []byte) {
+	var shards []struct {
+		Index       int    `json:"index"`
+		Addr        string `json:"addr"`
+		Alive       bool   `json:"alive"`
+		Incarnation int64  `json:"incarnation"`
+		Restarts    int64  `json:"restarts"`
+		Ops         int64  `json:"kv_ops"`
+		WALBytes    int64  `json:"wal_bytes"`
+	}
+	must(json.Unmarshal(body, &shards))
+	if len(shards) == 0 {
+		fmt.Println("control plane is a single store (no shard services)")
+		return
+	}
+	tbl := stats.Table{Header: []string{"shard", "addr", "alive", "incarnation", "restarts", "kv-ops", "wal-bytes"}}
+	for _, s := range shards {
+		tbl.AddRow(s.Index, s.Addr, s.Alive, s.Incarnation, s.Restarts, s.Ops, s.WALBytes)
 	}
 	tbl.Render(os.Stdout)
 }

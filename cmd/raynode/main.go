@@ -4,9 +4,16 @@
 // Head node (control plane + global scheduler + one worker node + web
 // dashboard):
 //
-//	raynode -head -gcs :6380 -listen 127.0.0.1:6381 -http :8265
+//	raynode -head -gcs 127.0.0.1:6380 -listen 127.0.0.1:6381 -http :8265
 //
-// Additional worker nodes (any number, any machine that can reach the head):
+// Sharded, fault-tolerant control plane (N supervised shard services with
+// per-shard WAL + snapshot on ports 6381..638N after the map service; a
+// killed shard restarts from disk automatically):
+//
+//	raynode -head -gcs 127.0.0.1:6380 -gcs-shards 3 -gcs-data /var/ray/gcs -listen 127.0.0.1:6390
+//
+// Additional worker nodes (any number, any machine that can reach the
+// head; the worker auto-detects whether the head is sharded):
 //
 //	raynode -join 127.0.0.1:6380 -listen 127.0.0.1:6382 -cpu 8 -gpu 1
 //
@@ -24,9 +31,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"syscall"
 	"time"
@@ -54,7 +63,9 @@ func main() {
 		httpAdr  = flag.String("http", "", "dashboard HTTP address (head only), e.g. :8265")
 		cpu      = flag.Float64("cpu", 8, "CPU capacity of this node")
 		gpu      = flag.Float64("gpu", 0, "GPU capacity of this node")
-		shards   = flag.Int("shards", 8, "control-plane shard count (head only)")
+		shards   = flag.Int("shards", 8, "control-plane kv striping per store/shard (head only)")
+		gcsNum   = flag.Int("gcs-shards", 0, "run the control plane as N supervised shard services with per-shard WAL/snapshot (head only; 0 = single in-memory service)")
+		gcsData  = flag.String("gcs-data", "raynode-data/gcs", "data directory for control-plane shard WALs and snapshots (sharded mode)")
 		spill    = flag.Int("spill", 16, "local scheduler spill threshold")
 		storeCap = flag.Int64("store-cap", 0, "object store memory capacity in bytes (0 = unlimited)")
 		spillDir = flag.String("spill-dir", "", "directory for the object store's disk spill tier (empty = disabled)")
@@ -74,26 +85,73 @@ func main() {
 	}
 
 	var ctrl gcs.API
-	var localStore *gcs.Store
+	var super *gcs.Supervisor
 	if *head {
-		localStore = gcs.NewStore(*shards)
-		ctrl = localStore
-		srv := transport.NewServer()
-		gcs.RegisterService(srv, localStore)
-		l, err := (transport.TCP{}).Listen(*gcsAddr, srv)
-		if err != nil {
-			log.Fatalf("raynode: serve control plane: %v", err)
+		if *gcsNum > 0 {
+			// Sharded control plane: N supervised shard services, each with
+			// its own WAL + snapshot, on consecutive ports after the map
+			// service. A crashed shard is restarted from disk automatically.
+			shardAddrs, err := derivePortAddrs(*gcsAddr, *gcsNum)
+			if err != nil {
+				log.Fatalf("raynode: shard addresses: %v", err)
+			}
+			for _, a := range shardAddrs {
+				if a == *listen {
+					log.Fatalf("raynode: -listen %s collides with control-plane shard address %s "+
+						"(shards occupy the %d ports after -gcs %s); pick a -listen outside that range",
+						*listen, a, *gcsNum, *gcsAddr)
+				}
+			}
+			super, err = gcs.NewSupervisor(gcs.SupervisorConfig{
+				Shards:      *gcsNum,
+				Network:     transport.TCP{},
+				MapAddr:     *gcsAddr,
+				ShardAddrs:  shardAddrs,
+				DataDir:     *gcsData,
+				SubShards:   *shards,
+				AutoRestart: 200 * time.Millisecond,
+			})
+			if err != nil {
+				log.Fatalf("raynode: start sharded control plane: %v", err)
+			}
+			defer super.Close()
+			sh, err := gcs.NewSharded(gcs.ShardedConfig{Network: transport.TCP{}, MapAddr: *gcsAddr})
+			if err != nil {
+				log.Fatalf("raynode: connect sharded control plane: %v", err)
+			}
+			defer sh.Close()
+			ctrl = sh
+			log.Printf("sharded control plane: map on %s, %d shards on %v (data in %s)",
+				*gcsAddr, *gcsNum, shardAddrs, *gcsData)
+		} else {
+			localStore := gcs.NewStore(*shards)
+			ctrl = localStore
+			srv := transport.NewServer()
+			gcs.RegisterService(srv, localStore)
+			l, err := (transport.TCP{}).Listen(*gcsAddr, srv)
+			if err != nil {
+				log.Fatalf("raynode: serve control plane: %v", err)
+			}
+			defer l.Close()
+			log.Printf("control plane serving on %s (%d shards)", *gcsAddr, *shards)
 		}
-		defer l.Close()
-		log.Printf("control plane serving on %s (%d shards)", *gcsAddr, *shards)
 	} else {
-		client, err := (transport.TCP{}).Dial(*join)
-		if err != nil {
-			log.Fatalf("raynode: join %s: %v", *join, err)
+		// Probe for a sharded head first: the map fetch succeeds only when
+		// the address serves MethodShardMap; otherwise fall back to the
+		// single-service protocol.
+		if sh, err := gcs.NewSharded(gcs.ShardedConfig{Network: transport.TCP{}, MapAddr: *join}); err == nil {
+			defer sh.Close()
+			ctrl = sh
+			log.Printf("joined sharded control plane at %s (%d shards)", *join, sh.Map().NumShards())
+		} else {
+			client, err := (transport.TCP{}).Dial(*join)
+			if err != nil {
+				log.Fatalf("raynode: join %s: %v", *join, err)
+			}
+			defer client.Close()
+			ctrl = gcs.NewRemote(client)
+			log.Printf("joined control plane at %s", *join)
 		}
-		defer client.Close()
-		ctrl = gcs.NewRemote(client)
-		log.Printf("joined control plane at %s", *join)
 	}
 
 	n, err := node.New(node.Config{
@@ -124,9 +182,14 @@ func main() {
 		log.Printf("global scheduler running (policy: locality)")
 
 		if *httpAdr != "" {
+			var opts []dashboard.Option
+			if super != nil {
+				opts = append(opts, dashboard.WithShardStats(super.Stats))
+			}
+			handler := dashboard.Handler(ctrl, opts...)
 			go func() {
 				log.Printf("dashboard on http://%s", *httpAdr)
-				if err := http.ListenAndServe(*httpAdr, dashboard.Handler(ctrl)); err != nil {
+				if err := http.ListenAndServe(*httpAdr, handler); err != nil {
 					log.Printf("dashboard: %v", err)
 				}
 			}()
@@ -141,6 +204,24 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+}
+
+// derivePortAddrs returns n addresses on consecutive ports after base
+// (host:p -> host:p+1 … host:p+n), the shard services' listen addresses.
+func derivePortAddrs(base string, n int) ([]string, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, err
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = net.JoinHostPort(host, strconv.Itoa(port+1+i))
+	}
+	return out, nil
 }
 
 // tcpAssigner delivers global placements over TCP with connection caching.

@@ -8,6 +8,7 @@ package cluster
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -31,8 +32,24 @@ type Config struct {
 	// PerNodeResources overrides NodeResources per index when non-nil
 	// (heterogeneous clusters, R4).
 	PerNodeResources []types.Resources
-	// Shards is the control-plane shard count (default 8).
+	// Shards is the control-plane shard count (default 8). With GCSShards
+	// unset this is the single in-process store's internal kv striping;
+	// with GCSShards set it is each shard service's internal striping.
 	Shards int
+	// GCSShards, when positive, runs the control plane as that many
+	// independently-failing shard services with per-shard WAL/snapshot
+	// durability, supervised for restart, and routes every component
+	// through versioned client-side shard maps. Zero keeps the single
+	// in-process store (the pre-sharding deployment).
+	GCSShards int
+	// GCSDataDir holds each control-plane shard's snapshot and WAL when
+	// GCSShards is set. Empty means a cluster-owned temp dir, removed at
+	// Shutdown — kill/restart within one cluster still recovers from it.
+	GCSDataDir string
+	// GCSAutoRestart is the supervisor's restart-check interval for dead
+	// control-plane shards. Zero selects 20ms when sharded; negative
+	// disables auto-restart (tests drive KillShard/RestartShard manually).
+	GCSAutoRestart time.Duration
 	// HopLatency is the one-way network delay between nodes (default 0).
 	HopLatency time.Duration
 	// SpillThreshold is each local scheduler's backlog bound before
@@ -64,11 +81,20 @@ type Config struct {
 
 // Cluster is a running in-process cluster.
 type Cluster struct {
-	Ctrl    *gcs.Store
+	// Ctrl is the single in-process control plane; nil when the cluster
+	// runs a sharded control plane (use API instead).
+	Ctrl *gcs.Store
+	// API is the control-plane surface for inspection and tests: Ctrl in
+	// single-store mode, a dedicated sharded client otherwise.
+	API gcs.API
+	// Super supervises the sharded control plane; nil in single-store mode.
+	Super   *gcs.Supervisor
 	Network *transport.Inproc
 	Globals []*scheduler.Global
 
-	nodes []*node.Node
+	nodes        []*node.Node
+	shardClients []*gcs.Sharded
+	gcsTmpDir    string
 
 	mu      sync.Mutex
 	clients map[string]transport.Client
@@ -96,11 +122,18 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		Ctrl:    gcs.NewStore(cfg.Shards),
 		Network: transport.NewInproc(cfg.HopLatency),
 		clients: make(map[string]transport.Client),
 	}
-	c.Ctrl.SetEventLogging(!cfg.DisableEventLog)
+	if cfg.GCSShards > 0 {
+		if err := c.startShardedGCS(cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		c.Ctrl = gcs.NewStore(cfg.Shards)
+		c.Ctrl.SetEventLogging(!cfg.DisableEventLog)
+		c.API = c.Ctrl
+	}
 
 	for i := 0; i < cfg.Nodes; i++ {
 		res := cfg.NodeResources
@@ -112,6 +145,11 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.SpillDir != "" {
 			spillDir = filepath.Join(cfg.SpillDir, fmt.Sprintf("node-%d", i))
 		}
+		ctrl, err := c.ctrlClient()
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
 		n, err := node.New(node.Config{
 			Resources:         res.Clone(),
 			StoreCapacity:     cfg.StoreCapacity,
@@ -120,7 +158,7 @@ func New(cfg Config) (*Cluster, error) {
 			SpillThreshold:    spill,
 			Network:           c.Network,
 			ListenAddr:        fmt.Sprintf("node-%d", i),
-			Ctrl:              c.Ctrl,
+			Ctrl:              ctrl,
 			Registry:          cfg.Registry,
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			DepPollInterval:   cfg.DepPollInterval,
@@ -133,8 +171,13 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	for i := 0; i < cfg.GlobalSchedulers; i++ {
+		ctrl, err := c.ctrlClient()
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
 		g := scheduler.NewGlobal(scheduler.GlobalConfig{
-			Ctrl:   c.Ctrl,
+			Ctrl:   ctrl,
 			Policy: cfg.GlobalPolicy,
 			Assign: c.assign,
 		})
@@ -142,6 +185,74 @@ func New(cfg Config) (*Cluster, error) {
 		c.Globals = append(c.Globals, g)
 	}
 	return c, nil
+}
+
+// GCSMapAddr is where an in-process cluster's supervisor serves the shard
+// map (sharded mode only).
+const GCSMapAddr = "gcs"
+
+// startShardedGCS boots the supervised shard services and the cluster's
+// inspection client.
+func (c *Cluster) startShardedGCS(cfg Config) error {
+	dataDir := cfg.GCSDataDir
+	if dataDir == "" {
+		dir, err := os.MkdirTemp("", "gcs-shards-*")
+		if err != nil {
+			return err
+		}
+		c.gcsTmpDir = dir
+		dataDir = dir
+	}
+	auto := cfg.GCSAutoRestart
+	if auto == 0 {
+		auto = 20 * time.Millisecond
+	} else if auto < 0 {
+		auto = 0
+	}
+	sup, err := gcs.NewSupervisor(gcs.SupervisorConfig{
+		Shards:          cfg.GCSShards,
+		Network:         c.Network,
+		MapAddr:         GCSMapAddr,
+		DataDir:         dataDir,
+		SubShards:       cfg.Shards,
+		AutoRestart:     auto,
+		DisableEventLog: cfg.DisableEventLog,
+	})
+	if err != nil {
+		c.removeGCSTmp()
+		return err
+	}
+	c.Super = sup
+	api, err := c.ctrlClient()
+	if err != nil {
+		c.Shutdown()
+		return err
+	}
+	c.API = api
+	return nil
+}
+
+// ctrlClient returns the control-plane handle for one component: the
+// shared in-process store in single-store mode, or a fresh sharded client
+// — each component keeps its own connections, shard-map view, and
+// resubscription loops, exactly as a separate OS process would.
+func (c *Cluster) ctrlClient() (gcs.API, error) {
+	if c.Super == nil {
+		return c.Ctrl, nil
+	}
+	cl, err := gcs.NewSharded(gcs.ShardedConfig{Network: c.Network, MapAddr: GCSMapAddr})
+	if err != nil {
+		return nil, err
+	}
+	c.shardClients = append(c.shardClients, cl)
+	return cl, nil
+}
+
+func (c *Cluster) removeGCSTmp() {
+	if c.gcsTmpDir != "" {
+		os.RemoveAll(c.gcsTmpDir)
+		c.gcsTmpDir = ""
+	}
 }
 
 func spillDefault(cfg Config, res types.Resources) int {
@@ -223,4 +334,12 @@ func (c *Cluster) Shutdown() {
 		delete(c.clients, addr)
 	}
 	c.mu.Unlock()
+	for _, cl := range c.shardClients {
+		cl.Close()
+	}
+	c.shardClients = nil
+	if c.Super != nil {
+		c.Super.Close()
+	}
+	c.removeGCSTmp()
 }

@@ -16,6 +16,20 @@ import (
 	"repro/internal/types"
 )
 
+// Option customizes the dashboard handler.
+type Option func(*handlerOpts)
+
+type handlerOpts struct {
+	shardStats func() []gcs.ShardStats
+}
+
+// WithShardStats attaches a control-plane shard health source (typically
+// gcs.Supervisor.Stats), enabling /api/shards and the overview's shard
+// line on sharded-GCS deployments.
+func WithShardStats(fn func() []gcs.ShardStats) Option {
+	return func(o *handlerOpts) { o.shardStats = fn }
+}
+
 // Handler serves the dashboard endpoints:
 //
 //	GET /api/nodes     — node table with liveness and load
@@ -25,9 +39,21 @@ import (
 //	GET /api/events    — raw event log
 //	GET /api/profile   — per-function summary statistics
 //	GET /api/trace     — Chrome trace-event JSON of the whole timeline
+//	GET /api/shards    — control-plane shard health (sharded GCS only)
 //	GET /              — plain-text overview
-func Handler(ctrl gcs.API) http.Handler {
+func Handler(ctrl gcs.API, opts ...Option) http.Handler {
+	var o handlerOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/api/shards", func(w http.ResponseWriter, r *http.Request) {
+		if o.shardStats == nil {
+			writeJSON(w, []gcs.ShardStats{}) // single-store control plane
+			return
+		}
+		writeJSON(w, o.shardStats())
+	})
 	mux.HandleFunc("/api/nodes", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, nodesView(ctrl))
 	})
@@ -55,7 +81,7 @@ func Handler(ctrl gcs.API) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		overview(ctrl, w)
+		overview(ctrl, o, w)
 	})
 	return mux
 }
@@ -186,8 +212,20 @@ func eventsView(ctrl gcs.API) []EventView {
 	return out
 }
 
-func overview(ctrl gcs.API, w http.ResponseWriter) {
+func overview(ctrl gcs.API, o handlerOpts, w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if o.shardStats != nil {
+		stats := o.shardStats()
+		alive := 0
+		var restarts int64
+		for _, s := range stats {
+			if s.Alive {
+				alive++
+			}
+			restarts += s.Restarts
+		}
+		fmt.Fprintf(w, "control plane: %d shards (%d alive, %d restarts)\n", len(stats), alive, restarts)
+	}
 	nodes := ctrl.Nodes()
 	alive := 0
 	for _, n := range nodes {
@@ -221,5 +259,5 @@ func overview(ctrl gcs.API, w http.ResponseWriter) {
 		memUsed, memSpilled, reclaimed)
 	fmt.Fprintf(w, "objects: %d, functions: %d, events: %d\n",
 		len(ctrl.Objects()), len(ctrl.Functions()), len(ctrl.Events()))
-	fmt.Fprintln(w, "\nendpoints: /api/nodes /api/tasks /api/objects /api/functions /api/events /api/profile /api/trace")
+	fmt.Fprintln(w, "\nendpoints: /api/nodes /api/tasks /api/objects /api/functions /api/events /api/profile /api/trace /api/shards")
 }

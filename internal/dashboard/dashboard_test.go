@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/gcs"
 )
 
 func dashboardCluster(t *testing.T) *cluster.Cluster {
@@ -142,6 +143,59 @@ func TestEndpoints(t *testing.T) {
 			t.Fatalf("status %d", code)
 		}
 	})
+	t.Run("shards-single-store", func(t *testing.T) {
+		code, body := get(t, srv, "/api/shards")
+		if code != 200 || strings.TrimSpace(body) != "[]" {
+			t.Fatalf("single-store shard view: %d %q", code, body)
+		}
+	})
+}
+
+// TestShardView exercises /api/shards and the overview shard line against
+// a sharded control plane, across a shard kill+restart.
+func TestShardView(t *testing.T) {
+	reg := core.NewRegistry()
+	c, err := cluster.New(cluster.Config{
+		Nodes:          1,
+		Registry:       reg,
+		GCSShards:      2,
+		GCSAutoRestart: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	srv := httptest.NewServer(Handler(c.API, WithShardStats(c.Super.Stats)))
+	defer srv.Close()
+
+	var shards []gcs.ShardStats
+	code, body := get(t, srv, "/api/shards")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &shards); err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 || !shards[0].Alive || !shards[1].Alive {
+		t.Fatalf("shard view: %+v", shards)
+	}
+
+	c.Super.KillShard(1)
+	if err := c.Super.RestartShard(1); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, srv, "/api/shards")
+	if err := json.Unmarshal([]byte(body), &shards); err != nil {
+		t.Fatal(err)
+	}
+	if shards[1].Incarnation != 2 || shards[1].Restarts != 1 {
+		t.Fatalf("restart not reflected: %+v", shards[1])
+	}
+
+	_, overview := get(t, srv, "/")
+	if !strings.Contains(overview, "control plane: 2 shards (2 alive, 1 restarts)") {
+		t.Fatalf("overview missing shard line:\n%s", overview)
+	}
 }
 
 func min(a, b int) int {

@@ -84,6 +84,75 @@ func TestRequestObjectUnknown(t *testing.T) {
 	}
 }
 
+// deadCtrl models a control plane whose incarnation has died: every read
+// comes back empty and the liveness probe fails. It wraps a healthy store
+// so the non-overridden methods keep their signatures.
+type deadCtrl struct {
+	gcs.API
+	deadObjects bool
+	deadTasks   bool
+}
+
+func (d *deadCtrl) GetObject(id types.ObjectID) (types.ObjectInfo, bool) {
+	if d.deadObjects {
+		return types.ObjectInfo{}, false
+	}
+	return d.API.GetObject(id)
+}
+
+func (d *deadCtrl) GetTask(id types.TaskID) (types.TaskState, bool) {
+	if d.deadTasks {
+		return types.TaskState{}, false
+	}
+	return d.API.GetTask(id)
+}
+
+func (d *deadCtrl) Ping() bool { return false }
+
+// TestRequestObjectDeadControlPlaneIsRetryable is the regression test for
+// the resolver-wedging bug: RequestObject against a dead GCS incarnation
+// must return ErrControlUnavailable — a retryable error the resolver loop
+// keeps waiting on — instead of a permanent "object unknown" failure (or,
+// worse, a spurious replay of a healthy task).
+func TestRequestObjectDeadControlPlaneIsRetryable(t *testing.T) {
+	backing := gcs.NewStore(2)
+	task := types.DeriveTaskID(types.NilTaskID, 6)
+	obj := types.ObjectIDForReturn(task, 0)
+	backing.AddTask(types.TaskState{Spec: types.TaskSpec{ID: task, NumReturns: 1}, Status: types.TaskRunning})
+	backing.EnsureObject(obj, task)
+
+	r := &Reconstructor{
+		Ctrl:     &deadCtrl{API: backing, deadObjects: true},
+		Resubmit: func(types.TaskSpec) error { t.Fatal("resubmitted through a dead control plane"); return nil },
+	}
+	err := r.RequestObject(obj)
+	if !errors.Is(err, ErrControlUnavailable) {
+		t.Fatalf("object lookup against dead GCS: err = %v, want ErrControlUnavailable", err)
+	}
+
+	// Same when the object read succeeds but the lineage lookup hits the
+	// dead shard.
+	r.Ctrl = &deadCtrl{API: backing, deadTasks: true}
+	err = r.RequestObject(obj)
+	if !errors.Is(err, ErrControlUnavailable) {
+		t.Fatalf("lineage lookup against dead GCS: err = %v, want ErrControlUnavailable", err)
+	}
+
+	// Once the control plane answers again, the same request proceeds
+	// normally (healthy running producer: no-op, no error).
+	r.Ctrl = backing
+	// Producer node is unknown/dead in this synthetic setup, so a replay is
+	// attempted; accept it quietly to prove the error cleared.
+	resubmitted := false
+	r.Resubmit = func(types.TaskSpec) error { resubmitted = true; return nil }
+	if err := r.RequestObject(obj); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+	if !resubmitted {
+		t.Fatal("stranded producer not replayed after recovery")
+	}
+}
+
 func TestRequestObjectMissingLineage(t *testing.T) {
 	ctrl := gcs.NewStore(2)
 	task := types.DeriveTaskID(types.NilTaskID, 5)

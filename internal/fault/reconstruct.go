@@ -18,6 +18,25 @@ import (
 // have no producing task to replay. Same limitation as the prototype.
 var ErrNotReconstructable = errors.New("fault: object has no producing task")
 
+// ErrControlUnavailable marks a reconstruction attempt that failed because
+// the control plane (or the shard owning the record) was unreachable — a
+// dead GCS incarnation mid-restart, not a missing record. It is retryable:
+// callers keep waiting and re-request instead of failing the resolve, so a
+// Get in flight across a control-plane failover completes once the shard's
+// new incarnation is up.
+var ErrControlUnavailable = errors.New("fault: control plane unavailable (retryable)")
+
+// ctrlReachable distinguishes "record absent" from "control plane down"
+// when a read comes back empty: implementations exposing a liveness probe
+// (gcs.Remote, gcs.Sharded) are consulted; a plain in-process store is
+// always reachable.
+func (r *Reconstructor) ctrlReachable() bool {
+	if p, ok := r.Ctrl.(gcs.Pinger); ok {
+		return p.Ping()
+	}
+	return true
+}
+
 // Reconstructor replays producing tasks to regenerate lost objects.
 type Reconstructor struct {
 	Ctrl gcs.API
@@ -38,7 +57,15 @@ type Reconstructor struct {
 func (r *Reconstructor) RequestObject(id types.ObjectID) error {
 	info, ok := r.Ctrl.GetObject(id)
 	if !ok {
-		return fmt.Errorf("fault: object %v unknown to control plane", id)
+		if !r.ctrlReachable() {
+			return fmt.Errorf("%w: looking up object %v", ErrControlUnavailable, id)
+		}
+		// The probe can race a shard recovery: the read may have given up
+		// while the shard was down and the ping succeeded against its new
+		// incarnation. One re-read settles record-absent vs unlucky timing.
+		if info, ok = r.Ctrl.GetObject(id); !ok {
+			return fmt.Errorf("fault: object %v unknown to control plane", id)
+		}
 	}
 	if info.State == types.ObjectReady {
 		return nil
@@ -48,7 +75,12 @@ func (r *Reconstructor) RequestObject(id types.ObjectID) error {
 	}
 	st, ok := r.Ctrl.GetTask(info.Producer)
 	if !ok {
-		return fmt.Errorf("fault: lineage record for task %v missing", info.Producer)
+		if !r.ctrlReachable() {
+			return fmt.Errorf("%w: looking up lineage of %v", ErrControlUnavailable, info.Producer)
+		}
+		if st, ok = r.Ctrl.GetTask(info.Producer); !ok {
+			return fmt.Errorf("fault: lineage record for task %v missing", info.Producer)
+		}
 	}
 	if info.State == types.ObjectPending {
 		switch st.Status {

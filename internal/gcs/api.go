@@ -49,6 +49,12 @@ type API interface {
 	CASTaskStatus(id types.TaskID, from []types.TaskStatus, to types.TaskStatus) bool
 	RecordTaskRetry(id types.TaskID) int
 	Tasks() []types.TaskState
+	// StalePendingTasks returns the specs of tasks durably recorded
+	// PENDING whose latest transition is at least olderThanNs old — tasks
+	// claimed by nobody, typically because their spill publish died with a
+	// control-plane shard. The global scheduler's rescue sweep consumes
+	// it; filtering server-side keeps the sweep O(stale), not O(history).
+	StalePendingTasks(olderThanNs int64) []types.TaskSpec
 	SubscribeTaskStatus(id types.TaskID) Sub
 
 	// Object table. EnsureObject creates a pending entry recording the
@@ -96,6 +102,17 @@ type API interface {
 	Events() []types.Event
 }
 
+// Pinger is optionally implemented by API implementations that can probe
+// control-plane liveness. Callers that see a failed read can distinguish
+// "the record does not exist" from "the control plane (or the shard owning
+// the record) is temporarily unreachable" — the difference between a
+// permanent error and a retryable one (see fault.Reconstructor).
+type Pinger interface {
+	// Ping reports whether the control plane is currently reachable. For a
+	// sharded deployment this means every shard answers.
+	Ping() bool
+}
+
 // Control-plane key and channel naming. Exact-match keys hashed across
 // shards, as Section 3.2.1 prescribes.
 const (
@@ -104,6 +121,17 @@ const (
 	keyNode   = "node:"   // + NodeID hex -> NodeInfo
 	keyFunc   = "func:"   // + name -> FunctionInfo
 	keyEvents = "events:" // + NodeID hex -> list of Event
+
+	// keyMetaEpoch stores the cluster clock epoch (unix nanoseconds) so
+	// NowNs stays monotonic across control-plane incarnations.
+	keyMetaEpoch = "meta:epoch"
+
+	// Index keys: durable marker sets maintained on state transitions so
+	// the rescue sweeps stay O(candidates) instead of O(history). Both are
+	// written by the Store itself, so in a sharded deployment each marker
+	// lives in the same shard's kv as the record it indexes.
+	keyPendIdx = "pendidx:" // + TaskID hex; task currently PENDING
+	keyGCIdx   = "gcidx:"   // + ObjectID hex; GC-eligible, not yet drained
 
 	chanObjReady   = "ready:" // + ObjectID hex; payload = ObjectID bytes
 	chanTaskStatus = "tstat:" // + TaskID hex; payload = [1]byte{status}

@@ -47,6 +47,12 @@ func (r *Remote) NowNs() int64 {
 	return v
 }
 
+// Ping implements Pinger: a round trip to the service proves liveness.
+func (r *Remote) Ping() bool {
+	_, ok := call[int64](r, MethodNowNs, nil)
+	return ok
+}
+
 // AddTask implements API.
 func (r *Remote) AddTask(state types.TaskState) bool {
 	v, _ := call[bool](r, MethodAddTask, state)
@@ -77,13 +83,19 @@ func (r *Remote) CASTaskStatus(id types.TaskID, from []types.TaskStatus, to type
 
 // RecordTaskRetry implements API.
 func (r *Remote) RecordTaskRetry(id types.TaskID) int {
-	v, _ := call[int](r, MethodRecordTaskRetry, id)
+	v, _ := call[int](r, MethodRecordTaskRetry, recordRetryReq{ID: id})
 	return v
 }
 
 // Tasks implements API.
 func (r *Remote) Tasks() []types.TaskState {
 	v, _ := call[[]types.TaskState](r, MethodTasks, nil)
+	return v
+}
+
+// StalePendingTasks implements API.
+func (r *Remote) StalePendingTasks(olderThanNs int64) []types.TaskSpec {
+	v, _ := call[[]types.TaskSpec](r, MethodStalePending, olderThanNs)
 	return v
 }
 

@@ -20,6 +20,7 @@ const (
 	MethodCASTaskStatus    = "gcs.casTaskStatus"
 	MethodRecordTaskRetry  = "gcs.recordTaskRetry"
 	MethodTasks            = "gcs.tasks"
+	MethodStalePending     = "gcs.stalePendingTasks"
 	MethodEnsureObject     = "gcs.ensureObject"
 	MethodAddObjLocation   = "gcs.addObjLocation"
 	MethodRemoveObjLoc     = "gcs.removeObjLocation"
@@ -60,6 +61,15 @@ type (
 		ID   types.TaskID
 		From []types.TaskStatus
 		To   types.TaskStatus
+		// Op is the idempotency token for retried CAS claims (0 = no
+		// dedup); see Store.CASTaskStatusOp.
+		Op uint64
+	}
+	recordRetryReq struct {
+		ID types.TaskID
+		// Op is the idempotency token for redelivered increments (0 = no
+		// dedup); see Store.RecordTaskRetryOp.
+		Op uint64
 	}
 	ensureObjectReq struct {
 		ID       types.ObjectID
@@ -79,6 +89,9 @@ type (
 	modifyRefReq struct {
 		ID    types.ObjectID
 		Delta int64
+		// Op is the idempotency token for retried deltas (0 = no dedup);
+		// see Store.ModifyObjectRefCountOp.
+		Op uint64
 	}
 	markSpilledReq struct {
 		ID      types.ObjectID
@@ -99,8 +112,17 @@ type (
 	}
 )
 
+// Registrar is the method-registration surface RegisterService needs.
+// *transport.Server satisfies it directly; a GCS shard service passes a
+// wrapper that gates every handler behind its kill switch so a "crashed"
+// shard stops answering even clients holding live connections.
+type Registrar interface {
+	Handle(method string, h transport.Handler)
+	HandleStream(method string, h transport.StreamHandler)
+}
+
 // RegisterService exposes a local Store over a transport server.
-func RegisterService(srv *transport.Server, store *Store) {
+func RegisterService(srv Registrar, store *Store) {
 	unary := func(method string, h func(payload []byte) (any, error)) {
 		srv.Handle(method, func(payload []byte) ([]byte, error) {
 			out, err := h(payload)
@@ -140,16 +162,23 @@ func RegisterService(srv *transport.Server, store *Store) {
 		if err != nil {
 			return nil, err
 		}
-		return store.CASTaskStatus(req.ID, req.From, req.To), nil
+		return store.CASTaskStatusOp(req.ID, req.From, req.To, req.Op), nil
 	})
 	unary(MethodRecordTaskRetry, func(p []byte) (any, error) {
-		id, err := codec.DecodeAs[types.TaskID](p)
+		req, err := codec.DecodeAs[recordRetryReq](p)
 		if err != nil {
 			return nil, err
 		}
-		return store.RecordTaskRetry(id), nil
+		return store.RecordTaskRetryOp(req.ID, req.Op), nil
 	})
 	unary(MethodTasks, func(p []byte) (any, error) { return store.Tasks(), nil })
+	unary(MethodStalePending, func(p []byte) (any, error) {
+		age, err := codec.DecodeAs[int64](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.StalePendingTasks(age), nil
+	})
 	unary(MethodEnsureObject, func(p []byte) (any, error) {
 		req, err := codec.DecodeAs[ensureObjectReq](p)
 		if err != nil {
@@ -188,7 +217,7 @@ func RegisterService(srv *transport.Server, store *Store) {
 		if err != nil {
 			return nil, err
 		}
-		return store.ModifyObjectRefCount(req.ID, req.Delta), nil
+		return store.ModifyObjectRefCountOp(req.ID, req.Delta, req.Op), nil
 	})
 	unary(MethodMarkObjSpilled, func(p []byte) (any, error) {
 		req, err := codec.DecodeAs[markSpilledReq](p)
@@ -310,6 +339,33 @@ func RegisterService(srv *transport.Server, store *Store) {
 		return forward(store.SubscribeNodeEvents(), stream)
 	})
 	srv.HandleStream(StreamObjGC, func(payload []byte, stream transport.ServerStream) error {
-		return forward(store.SubscribeObjectGC(), stream)
+		// Subscribe first (so nothing published after this point is lost),
+		// then replay the currently GC-eligible set before forwarding live
+		// messages: a subscriber (re)attaching after a shard crash learns
+		// of zero-refcount transitions whose publish died with the old
+		// incarnation. Reclaim is idempotent, so overlap is harmless.
+		sub := store.SubscribeObjectGC()
+		defer sub.Close()
+		if err := stream.Send(nil); err != nil {
+			return nil
+		}
+		for _, id := range store.GCEligibleObjects() {
+			if err := stream.Send(id[:]); err != nil {
+				return nil
+			}
+		}
+		for {
+			select {
+			case msg, ok := <-sub.C():
+				if !ok {
+					return nil
+				}
+				if err := stream.Send(msg); err != nil {
+					return nil
+				}
+			case <-stream.Done():
+				return nil
+			}
+		}
 	})
 }

@@ -1,0 +1,716 @@
+package gcs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// ShardedConfig configures a Sharded control-plane client.
+type ShardedConfig struct {
+	// Network dials shard services and the map service.
+	Network transport.Network
+	// MapAddr is where the supervisor serves MethodShardMap.
+	MapAddr string
+	// RetryWindow bounds how long a keyed call retries against a dead or
+	// restarting shard before giving up (returning the zero value, matching
+	// Remote's forgiving read semantics). Default 3s — generously above a
+	// supervised restart, far below a human-visible hang.
+	RetryWindow time.Duration
+}
+
+// Sharded implements API over a set of independently-failing control-plane
+// shard services. Every keyed operation routes through a versioned shard
+// map fetched at connect time; when a shard stops answering — or answers
+// as the wrong shard, the redirect signal of a stale map — the client
+// refreshes the map and retries against the shard's new incarnation.
+// Fan-out reads (Tasks, Objects, Nodes, Events…) merge per-shard partial
+// scans and degrade gracefully: a dead shard's rows are simply absent
+// until it recovers. Subscriptions transparently resubscribe to restarted
+// shards, so long-lived consumers (the lifetime GC loop, the global
+// scheduler's spill feed) survive control-plane failover without ever
+// seeing their channel close.
+type Sharded struct {
+	cfg ShardedConfig
+
+	mu          sync.Mutex
+	smap        ShardMap
+	conns       map[int]transport.Client
+	mapConn     transport.Client
+	lastRefresh time.Time
+	subs        map[*resilientSub]struct{}
+	closed      chan struct{}
+	closeOnce   sync.Once
+}
+
+// NewSharded connects to the shard-map service and fetches the initial
+// map. The map fetch must succeed — a client that cannot learn the
+// cluster geometry cannot route anything.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	if cfg.Network == nil || cfg.MapAddr == "" {
+		return nil, fmt.Errorf("gcs: sharded client needs Network and MapAddr")
+	}
+	if cfg.RetryWindow <= 0 {
+		cfg.RetryWindow = 3 * time.Second
+	}
+	s := &Sharded{
+		cfg:    cfg,
+		conns:  make(map[int]transport.Client),
+		subs:   make(map[*resilientSub]struct{}),
+		closed: make(chan struct{}),
+	}
+	if err := s.refreshMap(true); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Map returns the client's current view of the shard map.
+func (s *Sharded) Map() ShardMap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.smap
+}
+
+// Close releases every connection and terminates resubscription loops.
+// Subscriptions obtained from this client close their channels.
+func (s *Sharded) Close() {
+	s.closeOnce.Do(func() { close(s.closed) })
+	s.mu.Lock()
+	subs := make([]*resilientSub, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.conns = make(map[int]transport.Client)
+	if s.mapConn != nil {
+		s.mapConn.Close()
+		s.mapConn = nil
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.Close()
+	}
+}
+
+// refreshMap re-fetches the shard map. Refreshes are rate-limited so a
+// burst of failing calls does not hammer the map service; force bypasses
+// the limit (initial connect).
+func (s *Sharded) refreshMap(force bool) error {
+	s.mu.Lock()
+	if !force && time.Since(s.lastRefresh) < 2*time.Millisecond {
+		s.mu.Unlock()
+		return nil
+	}
+	s.lastRefresh = time.Now()
+	conn := s.mapConn
+	s.mu.Unlock()
+
+	if conn == nil {
+		var err error
+		conn, err = s.cfg.Network.Dial(s.cfg.MapAddr)
+		if err != nil {
+			return fmt.Errorf("gcs: dial shard map %s: %w", s.cfg.MapAddr, err)
+		}
+	}
+	resp, err := conn.Call(MethodShardMap, nil)
+	if err != nil {
+		conn.Close()
+		s.mu.Lock()
+		if s.mapConn == conn {
+			s.mapConn = nil
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("gcs: fetch shard map: %w", err)
+	}
+	m, err := codec.DecodeAs[ShardMap](resp)
+	if err != nil {
+		conn.Close()
+		s.mu.Lock()
+		if s.mapConn == conn {
+			s.mapConn = nil
+		}
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	closed := false
+	select {
+	case <-s.closed:
+		closed = true
+	default:
+	}
+	if closed || (s.mapConn != nil && s.mapConn != conn) {
+		// Raced Close, or another refresh dialed concurrently.
+		conn.Close()
+	} else {
+		s.mapConn = conn
+	}
+	if m.Version >= s.smap.Version {
+		s.smap = m
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// conn returns a verified connection to shard idx, dialing if needed. The
+// post-dial identity check is the redirect path: a server answering with a
+// different index means the client's map is stale.
+func (s *Sharded) conn(idx int) (transport.Client, error) {
+	s.mu.Lock()
+	if c, ok := s.conns[idx]; ok {
+		s.mu.Unlock()
+		return c, nil
+	}
+	var addr string
+	if idx < len(s.smap.Shards) {
+		addr = s.smap.Shards[idx].Addr
+	}
+	s.mu.Unlock()
+	if addr == "" {
+		return nil, fmt.Errorf("gcs: no shard %d in map", idx)
+	}
+	c, err := s.cfg.Network.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Call(MethodShardInfo, nil)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	info, err := codec.DecodeAs[ShardInfo](resp)
+	if err != nil || info.Index != idx {
+		c.Close()
+		s.refreshMap(false) // redirect: address no longer serves this shard
+		return nil, fmt.Errorf("gcs: shard %d redirected (got %d)", idx, info.Index)
+	}
+	s.mu.Lock()
+	select {
+	case <-s.closed:
+		// Raced Close: nothing will ever close a late-cached connection.
+		s.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("gcs: sharded client closed")
+	default:
+	}
+	if prev, ok := s.conns[idx]; ok {
+		s.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	s.conns[idx] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// dropConn discards a connection observed failing (if still cached).
+func (s *Sharded) dropConn(idx int, c transport.Client) {
+	s.mu.Lock()
+	if cur, ok := s.conns[idx]; ok && cur == c {
+		delete(s.conns, idx)
+	}
+	s.mu.Unlock()
+	c.Close()
+}
+
+// shardCall performs one keyed unary RPC with failover: on error it drops
+// the connection, refreshes the map, and retries until RetryWindow
+// elapses. ok=false after exhaustion.
+func shardCall[R any](s *Sharded, key, method string, req any) (R, bool) {
+	var zero R
+	payload, err := codec.Encode(req)
+	if err != nil {
+		return zero, false
+	}
+	deadline := time.Now().Add(s.cfg.RetryWindow)
+	backoff := time.Millisecond
+	for {
+		idx := s.Map().ShardForKey(key)
+		c, err := s.conn(idx)
+		if err == nil {
+			resp, callErr := c.Call(method, payload)
+			if callErr == nil {
+				out, decErr := codec.DecodeAs[R](resp)
+				if decErr != nil {
+					return zero, false
+				}
+				return out, true
+			}
+			s.dropConn(idx, c)
+		}
+		if time.Now().After(deadline) {
+			return zero, false
+		}
+		s.refreshMap(false)
+		select {
+		case <-s.closed:
+			return zero, false
+		case <-time.After(backoff):
+		}
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// scanShard is one shard's slice of a fan-out read: two quick attempts,
+// then give up so a dead shard degrades the view instead of stalling it.
+func scanShard[R any](s *Sharded, idx int, method string, req any) (R, bool) {
+	var zero R
+	payload, err := codec.Encode(req)
+	if err != nil {
+		return zero, false
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		c, err := s.conn(idx)
+		if err != nil {
+			s.refreshMap(false)
+			continue
+		}
+		resp, callErr := c.Call(method, payload)
+		if callErr != nil {
+			s.dropConn(idx, c)
+			s.refreshMap(false)
+			continue
+		}
+		out, decErr := codec.DecodeAs[R](resp)
+		if decErr != nil {
+			return zero, false
+		}
+		return out, true
+	}
+	return zero, false
+}
+
+// fanOut merges one scan method across every shard.
+func fanOut[R any](s *Sharded, method string) []R {
+	n := s.Map().NumShards()
+	var out []R
+	for idx := 0; idx < n; idx++ {
+		if part, ok := scanShard[[]R](s, idx, method, nil); ok {
+			out = append(out, part...)
+		}
+	}
+	return out
+}
+
+// --- API: clock and liveness ---
+
+// NowNs implements API: the first healthy shard's clock. Shards stamp
+// their durable epochs together at first boot, so any shard's clock
+// agrees with the others to within boot skew — and each stays monotonic
+// across its own restarts.
+func (s *Sharded) NowNs() int64 {
+	for idx := 0; idx < s.Map().NumShards(); idx++ {
+		if v, ok := scanShard[int64](s, idx, MethodNowNs, nil); ok {
+			return v
+		}
+	}
+	return 0
+}
+
+// Ping implements Pinger: true only when every shard answers. A single
+// dead shard makes reads unreliable (its records look absent), so callers
+// distinguishing missing-record from unreachable need the conjunction.
+func (s *Sharded) Ping() bool {
+	n := s.Map().NumShards()
+	if n == 0 {
+		return false
+	}
+	for idx := 0; idx < n; idx++ {
+		if _, ok := scanShard[int64](s, idx, MethodNowNs, nil); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// --- API: task table ---
+
+// AddTask implements API.
+func (s *Sharded) AddTask(state types.TaskState) bool {
+	v, _ := shardCall[bool](s, TaskKey(state.Spec.ID), MethodAddTask, state)
+	return v
+}
+
+// GetTask implements API.
+func (s *Sharded) GetTask(id types.TaskID) (types.TaskState, bool) {
+	v, ok := shardCall[maybeTask](s, TaskKey(id), MethodGetTask, id)
+	return v.State, ok && v.OK
+}
+
+// SetTaskStatus implements API.
+func (s *Sharded) SetTaskStatus(id types.TaskID, status types.TaskStatus, node types.NodeID, worker types.WorkerID, errMsg string) {
+	shardCall[bool](s, TaskKey(id), MethodSetTaskStatus, setStatusReq{ID: id, Status: status, Node: node, Worker: worker, Err: errMsg})
+}
+
+// SetTaskStatusAt implements API.
+func (s *Sharded) SetTaskStatusAt(id types.TaskID, status types.TaskStatus, node types.NodeID, worker types.WorkerID, errMsg string, atNs int64) {
+	shardCall[bool](s, TaskKey(id), MethodSetTaskStatus, setStatusReq{ID: id, Status: status, Node: node, Worker: worker, Err: errMsg, AtNs: atNs})
+}
+
+// CASTaskStatus implements API. Like refcount deltas, a CAS claim is not
+// response-idempotent (the retry would lose to its own commit), so each
+// logical CAS carries a token held fixed across retries; the shard's
+// durable CASOps ring reports the duplicate as won.
+func (s *Sharded) CASTaskStatus(id types.TaskID, from []types.TaskStatus, to types.TaskStatus) bool {
+	v, _ := shardCall[bool](s, TaskKey(id), MethodCASTaskStatus,
+		casStatusReq{ID: id, From: from, To: to, Op: newOpToken()})
+	return v
+}
+
+// RecordTaskRetry implements API: tokenized like CAS and refcount deltas,
+// so a redelivered increment never burns an extra retry attempt.
+func (s *Sharded) RecordTaskRetry(id types.TaskID) int {
+	v, _ := shardCall[int](s, TaskKey(id), MethodRecordTaskRetry,
+		recordRetryReq{ID: id, Op: newOpToken()})
+	return v
+}
+
+// Tasks implements API: merged scan, restored to submit order.
+func (s *Sharded) Tasks() []types.TaskState {
+	out := fanOut[types.TaskState](s, MethodTasks)
+	sort.Slice(out, func(i, j int) bool { return out[i].SubmittedNs < out[j].SubmittedNs })
+	return out
+}
+
+// StalePendingTasks implements API: each shard filters on its own clock,
+// so only the (normally tiny) stale set crosses the wire.
+func (s *Sharded) StalePendingTasks(olderThanNs int64) []types.TaskSpec {
+	n := s.Map().NumShards()
+	var out []types.TaskSpec
+	for idx := 0; idx < n; idx++ {
+		if part, ok := scanShard[[]types.TaskSpec](s, idx, MethodStalePending, olderThanNs); ok {
+			out = append(out, part...)
+		}
+	}
+	return out
+}
+
+// SubscribeTaskStatus implements API.
+func (s *Sharded) SubscribeTaskStatus(id types.TaskID) Sub {
+	return s.newResilientSub(StreamTaskStatus, []byte(id.Hex()), s.shardIdx(TaskKey(id)))
+}
+
+// --- API: object table ---
+
+// EnsureObject implements API.
+func (s *Sharded) EnsureObject(id types.ObjectID, producer types.TaskID) {
+	shardCall[bool](s, ObjectKey(id), MethodEnsureObject, ensureObjectReq{ID: id, Producer: producer})
+}
+
+// AddObjectLocation implements API.
+func (s *Sharded) AddObjectLocation(id types.ObjectID, node types.NodeID, size int64) {
+	shardCall[bool](s, ObjectKey(id), MethodAddObjLocation, objLocationReq{ID: id, Node: node, Size: size})
+}
+
+// RemoveObjectLocation implements API.
+func (s *Sharded) RemoveObjectLocation(id types.ObjectID, node types.NodeID) {
+	shardCall[bool](s, ObjectKey(id), MethodRemoveObjLoc, objLocationReq{ID: id, Node: node})
+}
+
+// GetObject implements API.
+func (s *Sharded) GetObject(id types.ObjectID) (types.ObjectInfo, bool) {
+	v, ok := shardCall[maybeObject](s, ObjectKey(id), MethodGetObject, id)
+	return v.Info, ok && v.OK
+}
+
+// Objects implements API.
+func (s *Sharded) Objects() []types.ObjectInfo {
+	return fanOut[types.ObjectInfo](s, MethodObjects)
+}
+
+// ModifyObjectRefCount implements API. Refcount deltas are the one
+// mutation where blind retry corrupts state (a shard can commit the delta
+// and die before answering), so every logical call carries an idempotency
+// token that stays fixed across retries; the shard's durable RefOps ring
+// recognizes the duplicate and skips the re-apply.
+func (s *Sharded) ModifyObjectRefCount(id types.ObjectID, delta int64) int64 {
+	v, _ := shardCall[int64](s, ObjectKey(id), MethodModifyObjRef,
+		modifyRefReq{ID: id, Delta: delta, Op: newOpToken()})
+	return v
+}
+
+// newOpToken returns a random non-zero idempotency token.
+func newOpToken() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 1 // degraded but non-zero; collisions only dedup spuriously
+	}
+	return binary.BigEndian.Uint64(b[:]) | 1
+}
+
+// MarkObjectSpilled implements API.
+func (s *Sharded) MarkObjectSpilled(id types.ObjectID, node types.NodeID, spilled bool) {
+	shardCall[bool](s, ObjectKey(id), MethodMarkObjSpilled, markSpilledReq{ID: id, Node: node, Spilled: spilled})
+}
+
+// SubscribeObjectReady implements API.
+func (s *Sharded) SubscribeObjectReady(id types.ObjectID) Sub {
+	return s.newResilientSub(StreamObjReady, []byte(id.Hex()), s.shardIdx(ObjectKey(id)))
+}
+
+// SubscribeObjectGC implements API: merged over every shard (refcount
+// zero-transitions publish on the shard owning the object record).
+func (s *Sharded) SubscribeObjectGC() Sub {
+	return s.newResilientSub(StreamObjGC, nil, s.allShards())
+}
+
+// --- API: spillover ---
+
+// PublishSpill implements API. The publish lands on the shard owning the
+// task record; the fast path is pub/sub, and the global scheduler's
+// pending-task sweep is the durable fallback for a publish dropped by a
+// shard crash.
+func (s *Sharded) PublishSpill(spec types.TaskSpec) {
+	shardCall[bool](s, TaskKey(spec.ID), MethodPublishSpill, spec)
+}
+
+// SubscribeSpill implements API: merged over every shard.
+func (s *Sharded) SubscribeSpill() Sub {
+	return s.newResilientSub(StreamSpill, nil, s.allShards())
+}
+
+// --- API: node table ---
+
+// RegisterNode implements API.
+func (s *Sharded) RegisterNode(info types.NodeInfo) {
+	shardCall[bool](s, NodeKey(info.ID), MethodRegisterNode, info)
+}
+
+// Heartbeat implements API.
+func (s *Sharded) Heartbeat(id types.NodeID, queueLen int, avail types.Resources, store types.StoreStats) {
+	shardCall[bool](s, NodeKey(id), MethodHeartbeat, heartbeatReq{ID: id, Queue: queueLen, Avail: avail, Store: store})
+}
+
+// MarkNodeDead implements API.
+func (s *Sharded) MarkNodeDead(id types.NodeID) {
+	shardCall[bool](s, NodeKey(id), MethodMarkNodeDead, id)
+}
+
+// GetNode implements API.
+func (s *Sharded) GetNode(id types.NodeID) (types.NodeInfo, bool) {
+	v, ok := shardCall[maybeNode](s, NodeKey(id), MethodGetNode, id)
+	return v.Info, ok && v.OK
+}
+
+// Nodes implements API.
+func (s *Sharded) Nodes() []types.NodeInfo {
+	out := fanOut[types.NodeInfo](s, MethodNodes)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Hex() < out[j].ID.Hex() })
+	return out
+}
+
+// SubscribeNodeEvents implements API: merged over every shard.
+func (s *Sharded) SubscribeNodeEvents() Sub {
+	return s.newResilientSub(StreamNodes, nil, s.allShards())
+}
+
+// --- API: function table ---
+
+// RegisterFunction implements API.
+func (s *Sharded) RegisterFunction(info FunctionInfo) {
+	shardCall[bool](s, FuncKey(info.Name), MethodRegisterFunction, info)
+}
+
+// HasFunction implements API.
+func (s *Sharded) HasFunction(name string) bool {
+	v, _ := shardCall[bool](s, FuncKey(name), MethodHasFunction, name)
+	return v
+}
+
+// Functions implements API.
+func (s *Sharded) Functions() []FunctionInfo {
+	out := fanOut[FunctionInfo](s, MethodFunctions)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// --- API: event log ---
+
+// LogEvent implements API.
+func (s *Sharded) LogEvent(ev types.Event) {
+	shardCall[bool](s, EventKey(ev.Node), MethodLogEvent, ev)
+}
+
+// Events implements API: merged, time-ordered (shards share one epoch).
+func (s *Sharded) Events() []types.Event {
+	out := fanOut[types.Event](s, MethodEvents)
+	sort.Slice(out, func(i, j int) bool { return out[i].TimeNs < out[j].TimeNs })
+	return out
+}
+
+// --- resilient subscriptions ---
+
+func (s *Sharded) shardIdx(key string) []int {
+	return []int{s.Map().ShardForKey(key)}
+}
+
+func (s *Sharded) allShards() []int {
+	out := make([]int, s.Map().NumShards())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// resilientSub keeps one logical subscription alive across shard crashes:
+// per shard, a loop (re)dials, (re)opens the stream, and forwards
+// messages; a stream collapse triggers a map refresh and reattachment to
+// the shard's next incarnation. The out channel only closes on Close, so
+// consumers never mistake a control-plane restart for end-of-stream.
+type resilientSub struct {
+	s    *Sharded
+	out  chan []byte
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// newResilientSub attaches to the given shards and blocks until each
+// currently-reachable shard has acked the subscription — preserving the
+// no-missed-publish-after-return guarantee for live shards. A dead shard
+// cannot publish, so it is attached optimistically by its loop instead of
+// blocking the caller.
+func (s *Sharded) newResilientSub(method string, payload []byte, shards []int) Sub {
+	r := &resilientSub{
+		s:    s,
+		out:  make(chan []byte, 64),
+		stop: make(chan struct{}),
+	}
+	var firstAttach sync.WaitGroup
+	for _, idx := range shards {
+		r.wg.Add(1)
+		firstAttach.Add(1)
+		go r.run(idx, method, payload, &firstAttach)
+	}
+	go func() {
+		r.wg.Wait()
+		close(r.out)
+	}()
+	firstAttach.Wait()
+	s.mu.Lock()
+	if s.subs != nil {
+		s.subs[r] = struct{}{}
+	}
+	s.mu.Unlock()
+	return r
+}
+
+func (r *resilientSub) run(idx int, method string, payload []byte, firstAttach *sync.WaitGroup) {
+	defer r.wg.Done()
+	attachOnce := sync.OnceFunc(firstAttach.Done)
+	defer attachOnce()
+	backoff := time.Millisecond
+	attempts := 0
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.s.closed:
+			return
+		default:
+		}
+		stream := r.attach(idx, method, payload)
+		if stream != nil {
+			attachOnce()
+			backoff = time.Millisecond
+			r.forward(stream)
+			stream.Close()
+		} else {
+			attempts++
+			if attempts >= 2 {
+				// The shard is down, not flapping: release the constructor
+				// (a dead shard has nothing to publish) and keep retrying
+				// in the background until it comes back.
+				attachOnce()
+			}
+		}
+		r.s.refreshMap(false)
+		select {
+		case <-r.stop:
+			return
+		case <-r.s.closed:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// attach opens the stream and waits for the service's established ack.
+func (r *resilientSub) attach(idx int, method string, payload []byte) transport.Stream {
+	c, err := r.s.conn(idx)
+	if err != nil {
+		return nil
+	}
+	stream, err := c.OpenStream(method, payload)
+	if err != nil {
+		r.s.dropConn(idx, c)
+		return nil
+	}
+	if _, err := stream.Recv(); err != nil {
+		stream.Close()
+		r.s.dropConn(idx, c)
+		return nil
+	}
+	return stream
+}
+
+// forward pumps stream messages to out until the stream dies. A watcher
+// closes the stream on Close so a Recv parked on a quiet subscription
+// cannot outlive the subscription.
+func (r *resilientSub) forward(stream transport.Stream) {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-r.stop:
+			stream.Close()
+		case <-r.s.closed:
+			stream.Close()
+		case <-done:
+		}
+	}()
+	for {
+		msg, err := stream.Recv()
+		if err != nil {
+			return
+		}
+		select {
+		case r.out <- msg:
+		case <-r.stop:
+			return
+		case <-r.s.closed:
+			return
+		}
+	}
+}
+
+// C implements Sub.
+func (r *resilientSub) C() <-chan []byte { return r.out }
+
+// Close implements Sub.
+func (r *resilientSub) Close() {
+	r.once.Do(func() {
+		close(r.stop)
+		r.s.mu.Lock()
+		delete(r.s.subs, r)
+		r.s.mu.Unlock()
+	})
+}
+
+var _ API = (*Sharded)(nil)
+var _ Pinger = (*Sharded)(nil)

@@ -13,7 +13,7 @@ import (
 // Store is the kv-backed control plane. It is the only stateful component
 // in the system; everything else can crash and resubscribe.
 type Store struct {
-	db    *kv.Store
+	db    kv.DB
 	epoch time.Time
 	// eventsOn gates event logging so its overhead can be measured (E13).
 	eventsOn atomic.Bool
@@ -25,20 +25,33 @@ func NewStore(shards int) *Store {
 	return RecoverStore(kv.New(shards))
 }
 
-// RecoverStore wraps an existing kv database — typically one reconstituted
-// from a snapshot plus write-ahead-log replay (kv.Restore, kv.Replay) — as
-// a control plane. This is the database-side half of the Section 3.2.1
-// fault-tolerance story: the control state survives a control-plane crash,
-// and the stateless components simply reconnect and resubscribe. The clock
-// epoch restarts, so timestamps are only comparable within one incarnation.
-func RecoverStore(db *kv.Store) *Store {
+// RecoverStore wraps an existing kv database — a bare in-memory store, one
+// reconstituted from a snapshot plus write-ahead-log replay (kv.Restore,
+// kv.Replay, kv.RecoverDir), or a WAL-teeing kv.Logger — as a control
+// plane. This is the database-side half of the Section 3.2.1 fault-
+// tolerance story: the control state survives a control-plane crash, and
+// the stateless components simply reconnect and resubscribe.
+//
+// The clock epoch is itself part of the durable state (keyMetaEpoch): the
+// first incarnation stamps it, and every recovery re-reads it, so NowNs
+// stays monotonic across incarnations and recorded timelines from before
+// and after a crash remain comparable.
+func RecoverStore(db kv.DB) *Store {
 	s := &Store{db: db, epoch: time.Now()}
+	if raw, ok := db.Get(keyMetaEpoch); ok {
+		if ns, err := codec.DecodeAs[int64](raw); err == nil {
+			s.epoch = time.Unix(0, ns)
+		}
+	} else {
+		db.Put(keyMetaEpoch, codec.MustEncode(s.epoch.UnixNano()))
+	}
 	s.eventsOn.Store(true)
 	return s
 }
 
-// DB exposes the underlying kv store for throughput benchmarks (E7).
-func (s *Store) DB() *kv.Store { return s.db }
+// DB exposes the underlying kv database for throughput benchmarks (E7) and
+// snapshotting.
+func (s *Store) DB() kv.DB { return s.db }
 
 // SetEventLogging toggles the event log (used by the overhead bench, E13).
 func (s *Store) SetEventLogging(on bool) { s.eventsOn.Store(on) }
@@ -66,14 +79,71 @@ func (s *Store) ResetAfterRecovery() {
 	}
 }
 
+// RebuildIndexes reconciles the durable marker indexes (PENDING tasks,
+// GC-eligible objects) with the records they index. Record and marker are
+// separate WAL writes, so a crash — or a WAL tail torn mid-append — can
+// strand either side; a recovering shard service runs this once at boot
+// (recovery already walks the whole state, so the full scan is free in
+// complexity terms) and every later sweep can trust the markers.
+func (s *Store) RebuildIndexes() {
+	for _, k := range s.db.Keys(keyTask) {
+		raw, ok := s.db.Get(k)
+		if !ok {
+			continue
+		}
+		st, err := codec.DecodeAs[types.TaskState](raw)
+		if err != nil {
+			continue
+		}
+		marker := keyPendIdx + st.Spec.ID.Hex()
+		if st.Status == types.TaskPending {
+			s.db.Put(marker, nil)
+		} else if _, stale := s.db.Get(marker); stale {
+			s.db.Delete(marker)
+		}
+	}
+	for _, k := range s.db.Keys(keyObject) {
+		raw, ok := s.db.Get(k)
+		if !ok {
+			continue
+		}
+		info, err := codec.DecodeAs[types.ObjectInfo](raw)
+		if err != nil {
+			continue
+		}
+		marker := keyGCIdx + info.ID.Hex()
+		eligible := info.EverRetained && info.RefCount == 0 && len(info.Locations) > 0
+		if eligible {
+			s.db.Put(marker, nil)
+		} else if _, stale := s.db.Get(marker); stale {
+			s.db.Delete(marker)
+		}
+	}
+}
+
 // --- task table ---
 
 // AddTask implements API: exactly-once insertion keyed by task ID.
 func (s *Store) AddTask(state types.TaskState) bool {
 	state.SubmittedNs = s.NowNs()
+	state.LastTransitionNs = state.SubmittedNs
 	ok := s.db.PutIfAbsent(keyTask+state.Spec.ID.Hex(), codec.MustEncode(state))
 	if ok {
+		if state.Status == types.TaskPending {
+			s.db.Put(keyPendIdx+state.Spec.ID.Hex(), nil)
+		}
 		s.logEvent(types.Event{Kind: "submit", Task: state.Spec.ID, Node: state.Node})
+	} else {
+		// Duplicate insert — often a client retry after a crash suppressed
+		// the original ack. The record write and the marker write are
+		// separate WAL records, so a crash between them can leave a
+		// durable PENDING record with no marker; heal it here so the
+		// rescue sweep can see the task.
+		if raw, found := s.db.Get(keyTask + state.Spec.ID.Hex()); found {
+			if st, err := codec.DecodeAs[types.TaskState](raw); err == nil && st.Status == types.TaskPending {
+				s.db.Put(keyPendIdx+state.Spec.ID.Hex(), nil)
+			}
+		}
 	}
 	return ok
 }
@@ -107,6 +177,8 @@ func (s *Store) SetTaskStatusAt(id types.TaskID, status types.TaskStatus, node t
 	if now <= 0 {
 		now = s.NowNs()
 	}
+	wasPending := false
+	committed := false
 	s.db.Update(keyTask+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
 		if !exists {
 			return nil, false
@@ -115,6 +187,8 @@ func (s *Store) SetTaskStatusAt(id types.TaskID, status types.TaskStatus, node t
 		if err != nil {
 			return nil, false
 		}
+		wasPending = st.Status == types.TaskPending
+		committed = true
 		st.Status = status
 		if !node.IsNil() {
 			st.Node = node
@@ -125,6 +199,7 @@ func (s *Store) SetTaskStatusAt(id types.TaskID, status types.TaskStatus, node t
 		if errMsg != "" {
 			st.Error = errMsg
 		}
+		st.LastTransitionNs = now
 		switch status {
 		case types.TaskScheduled:
 			st.ScheduledNs = now
@@ -135,14 +210,41 @@ func (s *Store) SetTaskStatusAt(id types.TaskID, status types.TaskStatus, node t
 		}
 		return codec.MustEncode(st), true
 	})
+	if committed {
+		s.syncPendingIndex(id, wasPending, status)
+	}
 	s.db.Publish(chanTaskStatus+id.Hex(), []byte{byte(status)})
 	s.logEvent(types.Event{Kind: "status:" + status.String(), Task: id, Node: node, Worker: worker, Detail: errMsg})
 }
 
+// syncPendingIndex maintains the durable PENDING marker set on status
+// transitions (only when the PENDING-ness actually flips, so the common
+// QUEUED→SCHEDULED→RUNNING→FINISHED ladder costs nothing extra).
+func (s *Store) syncPendingIndex(id types.TaskID, wasPending bool, status types.TaskStatus) {
+	isPending := status == types.TaskPending
+	switch {
+	case isPending && !wasPending:
+		s.db.Put(keyPendIdx+id.Hex(), nil)
+	case !isPending && wasPending:
+		s.db.Delete(keyPendIdx + id.Hex())
+	}
+}
+
 // CASTaskStatus implements API: an atomic conditional status transition.
 func (s *Store) CASTaskStatus(id types.TaskID, from []types.TaskStatus, to types.TaskStatus) bool {
+	return s.CASTaskStatusOp(id, from, to, 0)
+}
+
+// CASTaskStatusOp is CASTaskStatus with an idempotency token (0 = no
+// dedup), mirroring ModifyObjectRefCountOp: a retried CAS whose original
+// commit survived a shard crash is recognized by its token and reported
+// won, so the claimant proceeds (enqueues the task) instead of treating
+// its own earlier commit as a lost race.
+func (s *Store) CASTaskStatusOp(id types.TaskID, from []types.TaskStatus, to types.TaskStatus, op uint64) bool {
 	now := s.NowNs()
 	won := false
+	dupWin := false
+	wasPending := false
 	s.db.Update(keyTask+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
 		if !exists {
 			return nil, false
@@ -150,6 +252,14 @@ func (s *Store) CASTaskStatus(id types.TaskID, from []types.TaskStatus, to types
 		st, err := codec.DecodeAs[types.TaskState](cur)
 		if err != nil {
 			return nil, false
+		}
+		if op != 0 {
+			for _, seen := range st.MutOps {
+				if seen == op {
+					dupWin = true // this exact CAS already applied
+					return nil, false
+				}
+			}
 		}
 		eligible := false
 		for _, f := range from {
@@ -161,7 +271,15 @@ func (s *Store) CASTaskStatus(id types.TaskID, from []types.TaskStatus, to types
 		if !eligible {
 			return nil, false
 		}
+		if op != 0 {
+			st.MutOps = append(st.MutOps, op)
+			if len(st.MutOps) > refOpHistory {
+				st.MutOps = st.MutOps[len(st.MutOps)-refOpHistory:]
+			}
+		}
+		wasPending = st.Status == types.TaskPending
 		st.Status = to
+		st.LastTransitionNs = now
 		switch to {
 		case types.TaskScheduled:
 			st.ScheduledNs = now
@@ -174,14 +292,23 @@ func (s *Store) CASTaskStatus(id types.TaskID, from []types.TaskStatus, to types
 		return codec.MustEncode(st), true
 	})
 	if won {
+		s.syncPendingIndex(id, wasPending, to)
 		s.db.Publish(chanTaskStatus+id.Hex(), []byte{byte(to)})
 		s.logEvent(types.Event{Kind: "cas:" + to.String(), Task: id})
 	}
-	return won
+	return won || dupWin
 }
 
 // RecordTaskRetry implements API; returns the new retry count.
 func (s *Store) RecordTaskRetry(id types.TaskID) int {
+	return s.RecordTaskRetryOp(id, 0)
+}
+
+// RecordTaskRetryOp is RecordTaskRetry with an idempotency token (0 = no
+// dedup): a redelivered increment — retry of a call whose commit survived
+// a shard crash — must not burn an extra attempt from the task's retry
+// budget.
+func (s *Store) RecordTaskRetryOp(id types.TaskID, op uint64) int {
 	retries := 0
 	s.db.Update(keyTask+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
 		if !exists {
@@ -190,6 +317,18 @@ func (s *Store) RecordTaskRetry(id types.TaskID) int {
 		st, err := codec.DecodeAs[types.TaskState](cur)
 		if err != nil {
 			return nil, false
+		}
+		if op != 0 {
+			for _, seen := range st.MutOps {
+				if seen == op {
+					retries = st.Retries // duplicate delivery: no re-apply
+					return nil, false
+				}
+			}
+			st.MutOps = append(st.MutOps, op)
+			if len(st.MutOps) > refOpHistory {
+				st.MutOps = st.MutOps[len(st.MutOps)-refOpHistory:]
+			}
 		}
 		st.Retries++
 		retries = st.Retries
@@ -216,6 +355,44 @@ func (s *Store) Tasks() []types.TaskState {
 // SubscribeTaskStatus implements API.
 func (s *Store) SubscribeTaskStatus(id types.TaskID) Sub {
 	return s.db.Subscribe(chanTaskStatus + id.Hex())
+}
+
+// StalePendingTasks implements API: the server-side filter behind the
+// global scheduler's rescue sweep. It walks the durable PENDING marker
+// index — O(currently-pending), not O(task history) — and measures
+// staleness from the latest recorded transition on this store's own
+// clock, so the sweep never pays for (or trips over) cross-client clock
+// skew, and only the handful of stale specs crosses the wire. Markers
+// whose task is no longer PENDING (possible only if a crash split the
+// record write from the marker write) are healed lazily.
+func (s *Store) StalePendingTasks(olderThanNs int64) []types.TaskSpec {
+	now := s.NowNs()
+	var out []types.TaskSpec
+	for _, k := range s.db.Keys(keyPendIdx) {
+		hex := k[len(keyPendIdx):]
+		raw, ok := s.db.Get(keyTask + hex)
+		if !ok {
+			s.db.Delete(k)
+			continue
+		}
+		st, err := codec.DecodeAs[types.TaskState](raw)
+		if err != nil {
+			continue
+		}
+		if st.Status != types.TaskPending {
+			s.db.Delete(k) // stale marker: heal the index
+			continue
+		}
+		last := st.SubmittedNs
+		if st.LastTransitionNs > last {
+			last = st.LastTransitionNs
+		}
+		if last == 0 || now-last < olderThanNs {
+			continue
+		}
+		out = append(out, st.Spec)
+	}
+	return out
 }
 
 // --- object table ---
@@ -256,6 +433,7 @@ func (s *Store) AddObjectLocation(id types.ObjectID, node types.NodeID, size int
 // ready object marks it Lost — the trigger for lineage reconstruction (R6).
 func (s *Store) RemoveObjectLocation(id types.ObjectID, node types.NodeID) {
 	lost := false
+	drained := false
 	s.db.Update(keyObject+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
 		if !exists {
 			return nil, false
@@ -284,8 +462,14 @@ func (s *Store) RemoveObjectLocation(id types.ObjectID, node types.NodeID) {
 			info.State = types.ObjectLost
 			lost = true
 		}
+		drained = len(locs) == 0 && info.RefCount == 0 && info.EverRetained
 		return codec.MustEncode(info), true
 	})
+	if drained {
+		// Every copy is gone and nobody holds a reference: collection is
+		// complete, so the GC-eligible marker (and its replay) retires.
+		s.db.Delete(keyGCIdx + id.Hex())
+	}
 	if lost {
 		s.logEvent(types.Event{Kind: "object-lost", Object: id, Node: node})
 	}
@@ -296,8 +480,27 @@ func (s *Store) RemoveObjectLocation(id types.ObjectID, node types.NodeID) {
 // publishes on the GC channel — objects nobody ever retained stay at zero
 // without ever becoming GC-eligible, preserving pre-lifetime behaviour.
 func (s *Store) ModifyObjectRefCount(id types.ObjectID, delta int64) int64 {
+	return s.ModifyObjectRefCountOp(id, delta, 0)
+}
+
+// refOpHistory bounds ObjectInfo.RefOps. A retry's token must survive in
+// the ring for the full retry window (seconds) even while other clients'
+// queued deltas land on the same hot object after a shard restart — e.g.
+// a widely-shared dependency borrowed by dozens of queued tasks — so the
+// ring is sized well past any realistic burst of concurrent mutators
+// (512 B worst case per high-churn record).
+const refOpHistory = 64
+
+// ModifyObjectRefCountOp is ModifyObjectRefCount with an idempotency
+// token. A non-zero op already present in the record's RefOps ring means
+// this exact mutation was applied and its response lost (typically to a
+// shard crash between commit and reply); the retry returns the current
+// count without re-applying the delta. op 0 disables dedup (in-process
+// and non-retrying callers).
+func (s *Store) ModifyObjectRefCountOp(id types.ObjectID, delta int64, op uint64) int64 {
 	var after int64
 	gc := false
+	wasEligible := false
 	s.db.Update(keyObject+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
 		var info types.ObjectInfo
 		if exists {
@@ -309,18 +512,45 @@ func (s *Store) ModifyObjectRefCount(id types.ObjectID, delta int64) int64 {
 		} else {
 			info = types.ObjectInfo{ID: id}
 		}
+		if op != 0 {
+			for _, seen := range info.RefOps {
+				if seen == op {
+					after = info.RefCount // duplicate delivery: no re-apply
+					// The original commit may have died before its marker
+					// write and GC publish; redo those side effects if the
+					// record is still eligible AND undrained (a drained
+					// object's marker already retired for good — don't
+					// resurrect it).
+					gc = info.EverRetained && info.RefCount == 0 && len(info.Locations) > 0
+					return nil, false
+				}
+			}
+			info.RefOps = append(info.RefOps, op)
+			if len(info.RefOps) > refOpHistory {
+				info.RefOps = info.RefOps[len(info.RefOps)-refOpHistory:]
+			}
+		}
 		before := info.RefCount
+		wasEligible = info.EverRetained && before == 0
 		info.RefCount += delta
 		if info.RefCount < 0 {
 			info.RefCount = 0
+		}
+		if info.RefCount > 0 {
+			info.EverRetained = true
 		}
 		after = info.RefCount
 		gc = before > 0 && after == 0
 		return codec.MustEncode(info), true
 	})
+	// Maintain the durable GC-eligible index on transitions only (the
+	// common increment/decrement traffic above zero touches no marker).
 	if gc {
+		s.db.Put(keyGCIdx+id.Hex(), nil)
 		s.db.Publish(chanObjGC, id[:])
 		s.logEvent(types.Event{Kind: "object-gc-eligible", Object: id})
+	} else if wasEligible && after > 0 {
+		s.db.Delete(keyGCIdx + id.Hex()) // re-retained from zero
 	}
 	return after
 }
@@ -356,6 +586,39 @@ func (s *Store) MarkObjectSpilled(id types.ObjectID, node types.NodeID, spilled 
 
 // SubscribeObjectGC implements API.
 func (s *Store) SubscribeObjectGC() Sub { return s.db.Subscribe(chanObjGC) }
+
+// GCEligibleObjects returns objects whose refcount fell to zero after
+// having been retained and whose copies are not yet fully drained —
+// exactly the set whose GC publish a subscriber may have missed. A
+// recovered shard service replays these to every GC-channel subscriber at
+// (re)subscribe time, so a notification dropped by a crash only delays
+// reclamation until the next subscription instead of leaking the object
+// forever. The walk is over the durable marker index (retired when the
+// last copy drains), so replay cost tracks outstanding garbage, not the
+// cluster's full object history; reclaim is idempotent, so the inherent
+// duplicates are harmless. Markers out of sync with their record (a crash
+// between the two writes) are healed lazily.
+func (s *Store) GCEligibleObjects() []types.ObjectID {
+	var out []types.ObjectID
+	for _, k := range s.db.Keys(keyGCIdx) {
+		hex := k[len(keyGCIdx):]
+		id, err := types.ParseObjectID(hex)
+		if err != nil {
+			s.db.Delete(k)
+			continue
+		}
+		info, ok := s.GetObject(id)
+		if !ok || !info.EverRetained || info.RefCount > 0 || len(info.Locations) == 0 {
+			s.db.Delete(k) // stale or drained marker: heal the index
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Ping implements Pinger: the in-process store is always reachable.
+func (s *Store) Ping() bool { return true }
 
 // GetObject implements API.
 func (s *Store) GetObject(id types.ObjectID) (types.ObjectInfo, bool) {

@@ -1,0 +1,249 @@
+package gcs
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// SupervisorConfig configures a control-plane supervisor.
+type SupervisorConfig struct {
+	// Shards is how many shard services to run (>= 1). Fixed for the life
+	// of the data directory: keys hash into it.
+	Shards int
+	// Network binds the shard services and the map service.
+	Network transport.Network
+	// MapAddr is where the supervisor serves the shard map.
+	MapAddr string
+	// ShardAddrs lists each shard's service address. Optional: when empty,
+	// addresses derive as MapAddr-shard-<i> (in-process networks).
+	ShardAddrs []string
+	// DataDir holds one subdirectory per shard (shard-<i>) with that
+	// shard's snapshot and WAL. Required.
+	DataDir string
+	// SubShards is each shard's internal kv lock-striping count.
+	SubShards int
+	// AutoRestart, when positive, is the supervision interval: a loop
+	// restarts dead shards this often. Zero means manual RestartShard only.
+	AutoRestart time.Duration
+	// DisableEventLog turns off control-plane event logging.
+	DisableEventLog bool
+}
+
+// Supervisor runs the sharded control plane: it boots every shard service,
+// serves the versioned shard map, and — the failover half of Section
+// 3.2.1 — restarts dead shards from their snapshot + WAL so the control
+// plane as a whole survives any single shard's crash.
+type Supervisor struct {
+	cfg SupervisorConfig
+
+	mu       sync.Mutex
+	shards   []*ShardService
+	version  int64
+	listener io.Closer
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewSupervisor boots the shard services and the map service. Booting over
+// a pre-existing DataDir recovers every shard from disk and then runs the
+// cross-shard liveness reset (the sharded ResetAfterRecovery): nodes of
+// the previous incarnation are marked dead and their object locations
+// dropped, so sole copies transition to Lost and lineage replay can
+// regenerate them. On a fresh DataDir the reset is a no-op.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("gcs: supervisor needs at least 1 shard")
+	}
+	if cfg.Network == nil || cfg.MapAddr == "" || cfg.DataDir == "" {
+		return nil, fmt.Errorf("gcs: supervisor needs Network, MapAddr, and DataDir")
+	}
+	if len(cfg.ShardAddrs) == 0 {
+		cfg.ShardAddrs = make([]string, cfg.Shards)
+		for i := range cfg.ShardAddrs {
+			cfg.ShardAddrs[i] = fmt.Sprintf("%s-shard-%d", cfg.MapAddr, i)
+		}
+	}
+	if len(cfg.ShardAddrs) != cfg.Shards {
+		return nil, fmt.Errorf("gcs: %d shard addrs for %d shards", len(cfg.ShardAddrs), cfg.Shards)
+	}
+
+	s := &Supervisor{cfg: cfg, version: 1, stop: make(chan struct{})}
+	for i := 0; i < cfg.Shards; i++ {
+		svc, err := StartShard(ShardConfig{
+			Index:           i,
+			Addr:            cfg.ShardAddrs[i],
+			Network:         cfg.Network,
+			DataDir:         filepath.Join(cfg.DataDir, fmt.Sprintf("shard-%d", i)),
+			SubShards:       cfg.SubShards,
+			DisableEventLog: cfg.DisableEventLog,
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.shards = append(s.shards, svc)
+	}
+	s.resetAfterRecovery()
+
+	srv := transport.NewServer()
+	srv.Handle(MethodShardMap, func([]byte) ([]byte, error) {
+		return codec.Encode(s.Map())
+	})
+	l, err := cfg.Network.Listen(cfg.MapAddr, srv)
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("gcs: serve shard map: %w", err)
+	}
+	s.listener = l
+
+	if cfg.AutoRestart > 0 {
+		s.wg.Add(1)
+		go s.superviseLoop()
+	}
+	return s, nil
+}
+
+// Map snapshots the current shard map.
+func (s *Supervisor) Map() ShardMap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := ShardMap{Version: s.version, Shards: make([]ShardInfo, len(s.shards))}
+	for i, svc := range s.shards {
+		m.Shards[i] = ShardInfo{
+			Index:       i,
+			Addr:        svc.Addr(),
+			Incarnation: svc.Incarnation(),
+			Alive:       svc.Alive(),
+		}
+	}
+	return m
+}
+
+// NumShards returns the shard count.
+func (s *Supervisor) NumShards() int { return s.cfg.Shards }
+
+// Shard exposes shard i's service (tests, tools).
+func (s *Supervisor) Shard(i int) *ShardService { return s.shards[i] }
+
+// KillShard crash-fails shard i and bumps the map version.
+func (s *Supervisor) KillShard(i int) {
+	s.shards[i].Kill()
+	s.bumpVersion()
+}
+
+// RestartShard recovers shard i from snapshot + WAL as a new incarnation.
+func (s *Supervisor) RestartShard(i int) error {
+	if err := s.shards[i].Restart(); err != nil {
+		return err
+	}
+	s.bumpVersion()
+	return nil
+}
+
+// CheckpointAll snapshots every live shard and truncates its WAL.
+func (s *Supervisor) CheckpointAll() error {
+	for _, svc := range s.shards {
+		if !svc.Alive() {
+			continue
+		}
+		if err := svc.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns every shard's health row (dashboard /api/shards).
+func (s *Supervisor) Stats() []ShardStats {
+	out := make([]ShardStats, len(s.shards))
+	for i, svc := range s.shards {
+		out[i] = svc.Stats()
+	}
+	return out
+}
+
+// Close stops supervision and every shard (durable state stays on disk).
+func (s *Supervisor) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for _, svc := range s.shards {
+		svc.Close()
+	}
+}
+
+func (s *Supervisor) bumpVersion() {
+	s.mu.Lock()
+	s.version++
+	s.mu.Unlock()
+}
+
+// superviseLoop restarts dead shards every AutoRestart interval — the
+// "restart the failed component" loop the paper's fault-tolerance story
+// assumes exists around the database.
+func (s *Supervisor) superviseLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.AutoRestart)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			for i, svc := range s.shards {
+				if !svc.Alive() {
+					if err := s.RestartShard(i); err == nil {
+						if st := svc.Store(); st != nil {
+							st.LogEvent(types.Event{Kind: "shard-restarted", Detail: fmt.Sprintf("shard %d incarnation %d", i, svc.Incarnation())})
+						}
+					}
+				}
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// resetAfterRecovery is the cross-shard form of Store.ResetAfterRecovery,
+// run once at supervisor boot: node records and object records live on
+// different shards, so the dead-node set must be gathered across all
+// shards before any shard's object locations can be scrubbed.
+func (s *Supervisor) resetAfterRecovery() {
+	dead := make(map[types.NodeID]bool)
+	for _, svc := range s.shards {
+		st := svc.Store()
+		if st == nil {
+			continue
+		}
+		for _, n := range st.Nodes() {
+			dead[n.ID] = true
+			st.MarkNodeDead(n.ID)
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	for _, svc := range s.shards {
+		st := svc.Store()
+		if st == nil {
+			continue
+		}
+		for _, o := range st.Objects() {
+			for _, loc := range o.Locations {
+				if dead[loc] {
+					st.RemoveObjectLocation(o.ID, loc)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package kv
+
+import "io"
+
+// DB is the store surface the control-plane table layer (internal/gcs)
+// builds on. Both *Store and *Logger satisfy it, so a gcs.Store can run
+// over a bare in-memory store (in-process clusters, benchmarks) or over a
+// write-ahead-logged store (durable GCS shard services) without knowing
+// the difference.
+type DB interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, value []byte)
+	PutIfAbsent(key string, value []byte) bool
+	Update(key string, fn func(cur []byte, exists bool) (next []byte, ok bool)) bool
+	Delete(key string) bool
+	Append(key string, value []byte)
+	List(key string) [][]byte
+	ListLen(key string) int
+	Keys(prefix string) []string
+	ListKeys(prefix string) []string
+
+	Publish(channel string, payload []byte)
+	Subscribe(channel string) *Subscription
+	NumSubscribers(channel string) int
+
+	Snapshot(w io.Writer) error
+	NumShards() int
+	Ops() int64
+}
+
+var (
+	_ DB = (*Store)(nil)
+	_ DB = (*Logger)(nil)
+)

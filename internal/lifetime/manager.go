@@ -47,10 +47,20 @@ func (m *Manager) Reclaimed() int64 { return m.reclaimed.Load() }
 // Referenced reports whether the object still has live references anywhere
 // in the cluster; the store consults it when deciding spill-versus-drop.
 // Unknown objects count as unreferenced (nothing can hold a reference to
-// an object the control plane has never seen).
+// an object the control plane has never seen) — but a failed lookup with
+// the control plane unreachable (a GCS shard mid-failover) counts as
+// referenced: dropping on uncertainty would turn "spill referenced data"
+// into "delete referenced data", unrecoverable for lineage-less Put
+// objects. Same conservative rule as the spill queue's borrow bridge.
 func (m *Manager) Referenced(id types.ObjectID) bool {
 	info, ok := m.ctrl.GetObject(id)
-	return ok && info.RefCount > 0
+	if ok {
+		return info.RefCount > 0
+	}
+	if p, canProbe := m.ctrl.(gcs.Pinger); canProbe && !p.Ping() {
+		return true
+	}
+	return false
 }
 
 // Start subscribes to the GC channel and launches the collection loop.

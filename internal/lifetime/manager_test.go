@@ -1,0 +1,40 @@
+package lifetime
+
+import (
+	"testing"
+
+	"repro/internal/gcs"
+	"repro/internal/objectstore"
+	"repro/internal/types"
+)
+
+// outageCtrl models a control plane whose shard owning the queried record
+// is down: reads come back empty and the liveness probe fails.
+type outageCtrl struct{ gcs.API }
+
+func (outageCtrl) GetObject(types.ObjectID) (types.ObjectInfo, bool) {
+	return types.ObjectInfo{}, false
+}
+
+func (outageCtrl) Ping() bool { return false }
+
+// TestReferencedConservativeDuringOutage: with the control plane
+// unreachable, eviction must treat objects as referenced (spill, never
+// drop) — dropping on uncertainty destroys lineage-less Put data.
+func TestReferencedConservativeDuringOutage(t *testing.T) {
+	backing := gcs.NewStore(1)
+	var node types.NodeID
+	node[0] = 1
+	store := objectstore.New(node, backing, 0)
+	obj := sweepObjID(3)
+
+	down := NewManager(outageCtrl{API: backing}, store)
+	if !down.Referenced(obj) {
+		t.Fatal("unreachable control plane treated object as unreferenced")
+	}
+	// Healthy control plane, genuinely unknown object: unreferenced.
+	up := NewManager(backing, store)
+	if up.Referenced(obj) {
+		t.Fatal("unknown object counted as referenced on a healthy control plane")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/types"
@@ -97,4 +98,50 @@ func (d *DiskSpiller) Remove(id types.ObjectID) error {
 // Stats returns cumulative spill and restore counts plus bytes on disk.
 func (d *DiskSpiller) Stats() (spills, restores, bytesOnDisk int64) {
 	return d.spills.Load(), d.restores.Load(), d.onDisk.Load()
+}
+
+// SweepOrphans deletes spill files left behind by a previous incarnation:
+// every *.obj whose object the keep oracle disowns (its object-table entry
+// is gone, or the entry no longer records a spilled copy here), plus
+// temp files from writes that crashed mid-spill. Call at node startup,
+// before the store starts using the tier — the directory then contains
+// only leftovers, never live spills. Returns the number of files removed.
+func (d *DiskSpiller) SweepOrphans(keep func(types.ObjectID) bool) (int, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, fmt.Errorf("lifetime: orphan sweep: %w", err)
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		full := filepath.Join(d.dir, name)
+		if strings.HasSuffix(name, ".tmp") {
+			if os.Remove(full) == nil {
+				removed++
+			}
+			continue
+		}
+		hex, ok := strings.CutSuffix(name, ".obj")
+		if !ok {
+			continue // not ours
+		}
+		id, err := types.ParseObjectID(hex)
+		if err != nil {
+			// Unparseable .obj file: a foreign or corrupt name; reclaim it.
+			if os.Remove(full) == nil {
+				removed++
+			}
+			continue
+		}
+		if keep != nil && keep(id) {
+			continue
+		}
+		if os.Remove(full) == nil {
+			removed++
+		}
+	}
+	return removed, nil
 }

@@ -9,6 +9,7 @@ package node
 import (
 	"context"
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -110,6 +111,16 @@ func New(cfg Config) (*Node, error) {
 	if cfg.SpillDir != "" {
 		tier, err := lifetime.NewDiskSpiller(cfg.SpillDir)
 		if err != nil {
+			return nil, err
+		}
+		// Startup hygiene: a previous incarnation's spill files are orphans
+		// here — this node's fresh ID owns none of them, and files whose
+		// object-table entry is gone are unreachable garbage either way.
+		// Swept before the store can spill, so nothing live is at risk.
+		if _, err := tier.SweepOrphans(func(obj types.ObjectID) bool {
+			info, ok := cfg.Ctrl.GetObject(obj)
+			return ok && info.IsSpilledOn(id)
+		}); err != nil {
 			return nil, err
 		}
 		n.store.SetSpillTier(tier)
@@ -278,14 +289,17 @@ func (n *Node) ResolveObject(ctx context.Context, id types.ObjectID) ([]byte, er
 					}
 				}
 			case types.ObjectLost:
-				if err := n.recon.RequestObject(id); err != nil {
+				if err := n.recon.RequestObject(id); err != nil && !errors.Is(err, fault.ErrControlUnavailable) {
 					return nil, err
 				}
+				// ErrControlUnavailable is retryable: a GCS incarnation died
+				// mid-request. Keep waiting; the request is re-issued against
+				// the restarted shard on a later wakeup.
 			case types.ObjectPending:
 				// The reconstructor no-ops for healthy in-flight producers
 				// and replays producers stranded on dead nodes.
 				if wakeups%strandedCheckPeriod == 0 {
-					if err := n.recon.RequestObject(id); err != nil {
+					if err := n.recon.RequestObject(id); err != nil && !errors.Is(err, fault.ErrControlUnavailable) {
 						return nil, err
 					}
 				}

@@ -2,6 +2,8 @@ package node
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -160,6 +162,48 @@ func TestHeartbeatsUpdateLoad(t *testing.T) {
 		case <-deadline:
 			t.Fatalf("heartbeat never reported availability: %+v", info)
 		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestNodeBootSweepsSpillOrphans plants leftover spill files (a previous
+// incarnation's objects plus a crashed-write temp file) in the spill dir
+// and asserts a booting node reclaims them: its fresh NodeID owns none of
+// them, and their object-table entries are gone.
+func TestNodeBootSweepsSpillOrphans(t *testing.T) {
+	ctrl := gcs.NewStore(2)
+	nw := transport.NewInproc(0)
+	dir := t.TempDir()
+
+	var stale types.ObjectID
+	stale[0] = 42
+	planted := []string{
+		stale.Hex() + ".obj",
+		stale.Hex() + ".obj.tmp",
+	}
+	for _, name := range planted {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("leftover"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	n, err := New(Config{
+		Resources:      types.CPU(2),
+		SpillDir:       dir,
+		Network:        nw,
+		ListenAddr:     "sweeper",
+		Ctrl:           ctrl,
+		Registry:       testRegistry(),
+		SpillThreshold: scheduler.SpillNever,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Shutdown()
+
+	for _, name := range planted {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived node boot", name)
 		}
 	}
 }

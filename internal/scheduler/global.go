@@ -21,6 +21,17 @@ type GlobalConfig struct {
 	// RetryInterval bounds how long an unplaceable task parks before the
 	// next placement attempt. Zero selects a default.
 	RetryInterval time.Duration
+	// SweepInterval is how often the pending-task sweep scans the task
+	// table for stale unclaimed PENDING tasks — spilled tasks whose
+	// pub/sub publish was dropped (e.g. by a control-plane shard crash
+	// between accepting the publish and delivering it). The task record
+	// itself is durable, so the sweep is the at-least-once fallback under
+	// the at-most-once spill channel. Zero selects a default; negative
+	// disables the sweep.
+	SweepInterval time.Duration
+	// SweepAge is how long a task may sit in PENDING before the sweep
+	// considers it unclaimed. Zero selects a default.
+	SweepAge time.Duration
 }
 
 // Global is the cluster-level half of hybrid scheduling: it subscribes to
@@ -35,7 +46,7 @@ type Global struct {
 	wg   sync.WaitGroup
 
 	mu     sync.Mutex
-	parked []types.TaskSpec
+	parked map[types.TaskID]types.TaskSpec // keyed to dedup re-parks
 
 	spillSub gcs.Sub
 	nodeSub  gcs.Sub
@@ -51,6 +62,12 @@ func NewGlobal(cfg GlobalConfig) *Global {
 	}
 	if cfg.RetryInterval <= 0 {
 		cfg.RetryInterval = 50 * time.Millisecond
+	}
+	if cfg.SweepInterval == 0 {
+		cfg.SweepInterval = 500 * time.Millisecond
+	}
+	if cfg.SweepAge <= 0 {
+		cfg.SweepAge = 500 * time.Millisecond
 	}
 	return &Global{cfg: cfg, stop: make(chan struct{})}
 }
@@ -89,6 +106,12 @@ func (g *Global) run() {
 	defer nodeSub.Close()
 	retry := time.NewTicker(g.cfg.RetryInterval)
 	defer retry.Stop()
+	var sweep <-chan time.Time
+	if g.cfg.SweepInterval > 0 {
+		t := time.NewTicker(g.cfg.SweepInterval)
+		defer t.Stop()
+		sweep = t.C
+	}
 
 	for {
 		select {
@@ -105,9 +128,29 @@ func (g *Global) run() {
 			g.retryParked()
 		case <-retry.C:
 			g.retryParked()
+		case <-sweep:
+			g.sweepPending()
 		case <-g.stop:
 			return
 		}
+	}
+}
+
+// sweepPending rescues spilled tasks whose spill publish was lost: a task
+// durably recorded PENDING but claimed by nobody for longer than SweepAge
+// is re-placed. The control plane filters server-side (per shard, on its
+// own clock, aged from the task's latest transition so a retry's reset to
+// PENDING gets its full grace period), and placement delivers through
+// Submit(placed=true), whose PENDING→QUEUED CAS claim makes duplicate
+// rescues (several globals, or a rescue racing the original publish)
+// converge on one owner.
+func (g *Global) sweepPending() {
+	parked := g.parkedIDs()
+	for _, spec := range g.cfg.Ctrl.StalePendingTasks(g.cfg.SweepAge.Nanoseconds()) {
+		if parked[spec.ID] {
+			continue
+		}
+		g.place(spec)
 	}
 }
 
@@ -119,6 +162,18 @@ func (g *Global) retryParked() {
 	for _, spec := range pending {
 		g.place(spec)
 	}
+}
+
+// parkedIDs snapshots the parked set (used by the sweep to skip tasks it
+// is already responsible for).
+func (g *Global) parkedIDs() map[types.TaskID]bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[types.TaskID]bool, len(g.parked))
+	for id := range g.parked {
+		out[id] = true
+	}
+	return out
 }
 
 // place runs one placement: filter to feasible candidates, score locality,
@@ -150,7 +205,10 @@ func (g *Global) place(spec types.TaskSpec) {
 func (g *Global) park(spec types.TaskSpec) {
 	g.parkedCt.Add(1)
 	g.mu.Lock()
-	g.parked = append(g.parked, spec)
+	if g.parked == nil {
+		g.parked = make(map[types.TaskID]types.TaskSpec)
+	}
+	g.parked[spec.ID] = spec
 	g.mu.Unlock()
 }
 

@@ -297,12 +297,15 @@ func (l *Local) SetExec(fn ExecFunc) { l.cfg.Exec = fn }
 func (l *Local) SetRecon(fn ReconFunc) { l.cfg.Recon = fn }
 
 // record writes the lineage record; reports whether the task is new.
+// EnsureObject runs unconditionally (it is create-if-absent): a duplicate
+// AddTask can be a retry whose original ack died with a control-plane
+// shard between the task write and the object writes, and skipping the
+// ensure would leave return objects without their Producer edge — losing
+// lineage reconstructability for anything this task outputs.
 func (l *Local) record(spec types.TaskSpec) bool {
 	added := l.cfg.Ctrl.AddTask(types.TaskState{Spec: spec, Status: types.TaskPending, Node: l.cfg.Node})
-	if added {
-		for i := 0; i < spec.NumReturns; i++ {
-			l.cfg.Ctrl.EnsureObject(spec.ReturnID(i), spec.ID)
-		}
+	for i := 0; i < spec.NumReturns; i++ {
+		l.cfg.Ctrl.EnsureObject(spec.ReturnID(i), spec.ID)
 	}
 	return added
 }

@@ -402,3 +402,77 @@ func TestPoliciesRejectEmpty(t *testing.T) {
 		t.Fatal("round-robin picked from nothing")
 	}
 }
+
+// TestGlobalSweepRescuesUnclaimedPending models a spill publish lost to a
+// control-plane shard crash: the task is durably PENDING but no global
+// scheduler ever saw it on the spill channel. The pending-task sweep must
+// find and place it; a task already claimed (QUEUED) must not be swept.
+func TestGlobalSweepRescuesUnclaimedPending(t *testing.T) {
+	ctrl := gcs.NewStore(2)
+	nid := tNode(60)
+	ctrl.RegisterNode(types.NodeInfo{ID: nid, Addr: "x", Total: types.CPU(4)})
+
+	lost := tSpec(61, nil)
+	ctrl.AddTask(types.TaskState{Spec: lost, Status: types.TaskPending, Node: nid})
+	claimed := tSpec(62, nil)
+	ctrl.AddTask(types.TaskState{Spec: claimed, Status: types.TaskPending, Node: nid})
+	ctrl.SetTaskStatus(claimed.ID, types.TaskQueued, nid, types.NilWorkerID, "")
+
+	placed := make(chan types.TaskID, 8)
+	g := NewGlobal(GlobalConfig{
+		Ctrl: ctrl,
+		Assign: func(id types.NodeID, addr string, spec types.TaskSpec) error {
+			placed <- spec.ID
+			return nil
+		},
+		RetryInterval: 10 * time.Millisecond,
+		SweepInterval: 10 * time.Millisecond,
+		SweepAge:      time.Nanosecond,
+	})
+	g.Start()
+	defer g.Stop()
+
+	select {
+	case id := <-placed:
+		if id != lost.ID {
+			t.Fatalf("sweep placed %v, want the unclaimed pending task %v", id, lost.ID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("unclaimed PENDING task never rescued by the sweep")
+	}
+	// Give the sweep a few more ticks: the claimed task must stay unswept.
+	select {
+	case id := <-placed:
+		if id == claimed.ID {
+			t.Fatal("sweep re-placed a task already claimed QUEUED")
+		}
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestDuplicateSubmitRestoresLineageEdge: a re-submitted task (e.g. an
+// AddTask retry whose original ack died between the task write and the
+// object writes on a crashing control-plane shard) must still ensure its
+// return objects' Producer edges — without them a later loss of the
+// output would be unrecoverable (ErrNotReconstructable).
+func TestDuplicateSubmitRestoresLineageEdge(t *testing.T) {
+	l, log, ctrl, _ := buildLocal(t, types.CPU(2), SpillNever)
+	spec := tSpec(70, nil)
+	// Simulate the crash window: the task record exists but EnsureObject
+	// never ran for its returns.
+	ctrl.AddTask(types.TaskState{Spec: spec, Status: types.TaskPending})
+	if _, ok := ctrl.GetObject(spec.ReturnID(0)); ok {
+		t.Fatal("setup: object record must not exist yet")
+	}
+	if err := l.Submit(spec, false); err != nil {
+		t.Fatal(err)
+	}
+	waitExec(t, log, spec.ID)
+	info, ok := ctrl.GetObject(spec.ReturnID(0))
+	if !ok {
+		t.Fatal("return object never recorded")
+	}
+	if info.Producer != spec.ID {
+		t.Fatalf("lineage edge lost: producer = %v", info.Producer)
+	}
+}

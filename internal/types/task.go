@@ -112,6 +112,20 @@ type TaskState struct {
 	ScheduledNs int64
 	StartedNs   int64
 	FinishedNs  int64
+	// LastTransitionNs is stamped on every status change, including ones
+	// (like the retry path's reset to PENDING) that touch no per-phase
+	// timestamp. The global scheduler's pending-task sweep ages tasks from
+	// it, so a freshly-reset task gets its full grace period instead of
+	// being measured from the original submit.
+	LastTransitionNs int64
+	// MutOps remembers recent non-idempotent-mutation operation tokens (a
+	// small ring), mirroring ObjectInfo.RefOps: a CAS claim or retry-count
+	// increment whose commit survived a shard crash but whose response did
+	// not is recognized when redelivered — a CAS retry is reported as won
+	// instead of losing to its own commit (stranding the task claimed but
+	// never enqueued), and a retry-count redelivery does not burn an extra
+	// attempt.
+	MutOps []uint64
 }
 
 // ObjectState is the lifecycle of an entry in the object table.
@@ -146,6 +160,19 @@ type ObjectInfo struct {
 	// ever retained stay at zero and are never garbage-collected, which
 	// preserves the pre-lifetime behaviour.
 	RefCount int64
+	// EverRetained records that RefCount was ever positive. Together with
+	// RefCount == 0 it marks the object GC-eligible — durable state that
+	// lets a recovered control-plane shard republish GC notifications a
+	// crash may have dropped (never-retained objects stay ineligible, as
+	// before the lifetime subsystem).
+	EverRetained bool
+	// RefOps remembers the most recent refcount-mutation operation tokens
+	// applied to this record (a small ring). A client retrying a delta
+	// whose response was lost — e.g. the owning GCS shard died between
+	// committing the mutation and answering — resends the same token, and
+	// the (possibly restarted) shard recognizes it instead of applying the
+	// delta twice. Durable with the record, so dedup survives failover.
+	RefOps []uint64
 	// SpilledOn lists the subset of Locations where the copy lives on the
 	// node's disk spill tier rather than in memory. Pulling from a memory
 	// location is cheaper, so placement and transfer both prefer them.
