@@ -69,6 +69,7 @@ func main() {
 		spill    = flag.Int("spill", 16, "local scheduler spill threshold")
 		storeCap = flag.Int64("store-cap", 0, "object store memory capacity in bytes (0 = unlimited)")
 		spillDir = flag.String("spill-dir", "", "directory for the object store's disk spill tier (empty = disabled)")
+		spillCap = flag.Int64("spill-budget", 0, "disk budget for the spill tier in bytes (0 = unlimited)")
 		demo     = flag.Bool("demo", false, "run the demo workload after boot (head only)")
 	)
 	flag.Parse()
@@ -158,6 +159,7 @@ func main() {
 		Resources:         res,
 		StoreCapacity:     *storeCap,
 		SpillDir:          *spillDir,
+		SpillBudget:       *spillCap,
 		Network:           transport.TCP{},
 		ListenAddr:        *listen,
 		Ctrl:              ctrl,

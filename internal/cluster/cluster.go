@@ -61,6 +61,9 @@ type Config struct {
 	// SpillDir, when set, enables each node's disk spill tier; node i
 	// spills into SpillDir/node-i. Empty disables spilling.
 	SpillDir string
+	// SpillBudget bounds each node's spill tier bytes on disk; 0 =
+	// unlimited (see node.Config.SpillBudget).
+	SpillBudget int64
 	// Pull tunes the chunked pull protocol (zero value = defaults).
 	Pull lifetime.PullConfig
 	// GlobalPolicy selects the placement policy (default locality-aware).
@@ -154,6 +157,7 @@ func New(cfg Config) (*Cluster, error) {
 			Resources:         res.Clone(),
 			StoreCapacity:     cfg.StoreCapacity,
 			SpillDir:          spillDir,
+			SpillBudget:       cfg.SpillBudget,
 			Pull:              cfg.Pull,
 			SpillThreshold:    spill,
 			Network:           c.Network,

@@ -109,6 +109,7 @@ type NodeView struct {
 	Spills       int64 `json:"spills"`
 	Restores     int64 `json:"restores"`
 	Reclaimed    int64 `json:"reclaimed"`
+	TierEvicted  int64 `json:"tier_evicted"`
 }
 
 func nodesView(ctrl gcs.API) []NodeView {
@@ -121,6 +122,7 @@ func nodesView(ctrl gcs.API) []NodeView {
 			StoreUsed: n.Store.UsedBytes, StoreSpilled: n.Store.SpilledBytes,
 			StoreObjects: n.Store.Objects, Spills: n.Store.Spills,
 			Restores: n.Store.Restores, Reclaimed: n.Store.Reclaimed,
+			TierEvicted: n.Store.TierEvicted,
 		})
 	}
 	return out

@@ -555,7 +555,11 @@ func (s *Store) ModifyObjectRefCountOp(id types.ObjectID, delta int64, op uint64
 	return after
 }
 
-// MarkObjectSpilled implements API.
+// MarkObjectSpilled implements API. The spilled bit qualifies a registered
+// location: object stores publish spill/restore transitions asynchronously
+// (outside their data-plane lock), so a mark can arrive after the location
+// it describes was already removed — dropping it here keeps a raced delete
+// from resurrecting a phantom disk copy.
 func (s *Store) MarkObjectSpilled(id types.ObjectID, node types.NodeID, spilled bool) {
 	s.db.Update(keyObject+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
 		if !exists {
@@ -564,6 +568,9 @@ func (s *Store) MarkObjectSpilled(id types.ObjectID, node types.NodeID, spilled 
 		info, err := codec.DecodeAs[types.ObjectInfo](cur)
 		if err != nil {
 			return nil, false
+		}
+		if spilled && !info.HasLocation(node) {
+			return nil, false // location already removed; stale async mark
 		}
 		onDisk := info.IsSpilledOn(node)
 		switch {

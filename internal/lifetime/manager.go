@@ -105,6 +105,11 @@ func (m *Manager) run() {
 // recheck narrows (but cannot close) the race against a concurrent
 // re-retain; a wrongly dropped copy degrades to object-lost, which lineage
 // reconstruction repairs, so the race costs time, not correctness.
+// Delete is also safe against an in-flight spill or restore of the same
+// object: the store's per-entry state machine settles the accounting on
+// the deleter's side and the in-flight transition finalizes as a no-op
+// (waiters of an in-flight restore are still served the bytes — a valid
+// "Get before Delete" serialization).
 func (m *Manager) maybeReclaim(id types.ObjectID) {
 	info, ok := m.ctrl.GetObject(id)
 	if !ok || info.RefCount > 0 {

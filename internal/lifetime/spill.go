@@ -1,25 +1,77 @@
 package lifetime
 
 import (
+	"container/list"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/types"
 )
 
+// ErrSpillBudget is returned by Spill when the write would exceed the disk
+// budget and every evictable (unreferenced) spilled file has already been
+// reclaimed. The tier refuses rather than drops: deleting a referenced
+// spill file would turn "spill referenced data" into "lose referenced
+// data". The store rolls the victim back to memory and surfaces
+// ErrStoreFull to the Put that needed the room.
+var ErrSpillBudget = errors.New("lifetime: spill tier over disk budget (all files referenced)")
+
+// maxBudgetProbes bounds how many candidates one over-budget spill asks
+// the refcount oracle about: each probe is a sequential control-plane RPC
+// the evicting Put waits through, so an unbounded walk over a large
+// mostly-referenced directory would turn one Put into O(files) RPCs.
+const maxBudgetProbes = 32
+
 // DiskSpiller is the production objectstore.SpillTier: one file per object
-// in a per-node directory. Writes go through a temp file plus rename so a
-// crash mid-spill can never leave a truncated object to be restored.
+// in a per-node directory. Writes go through a unique temp file plus rename
+// so a crash mid-spill can never leave a truncated object to be restored,
+// and concurrent writes of the same object (possible now that the store
+// spills outside its lock) cannot tear each other.
+//
+// An optional disk budget bounds bytes on disk (ROADMAP "Spill-tier
+// hygiene"): when a spill would exceed it, the least recently used
+// *unreferenced* files are evicted first; if every file is still
+// referenced the spill is refused with ErrSpillBudget instead of dropping
+// data. The refcount oracle is a control-plane RPC and is only ever
+// consulted outside d.mu, so restores, range reads, and removals never
+// queue behind a GCS failover — the same lock-scope rule as the store
+// itself (DESIGN.md §8).
 type DiskSpiller struct {
 	dir string
 
-	spills   atomic.Int64
-	restores atomic.Int64
-	onDisk   atomic.Int64 // bytes currently spilled
+	// budget and referenced are set at construction time (before the store
+	// shares the tier). budget 0 = unlimited.
+	budget     int64
+	referenced func(types.ObjectID) bool
+
+	mu     sync.Mutex
+	files  map[types.ObjectID]*spillFile
+	lru    *list.List // of *spillFile; front = MRU, back = LRU
+	onDisk int64
+
+	tmpSeq      atomic.Int64
+	spills      atomic.Int64
+	restores    atomic.Int64
+	tierEvicted atomic.Int64
+}
+
+// spillFile tracks one on-disk object. writers counts in-flight Spill
+// calls targeting it; committed records that at least one write has landed
+// (so a failed retry never untracks a real file). Same-id writes always
+// carry identical bytes — objects are immutable — so concurrent writers
+// never disagree about size.
+type spillFile struct {
+	id        types.ObjectID
+	size      int64
+	elem      *list.Element
+	writers   int
+	committed bool
 }
 
 // NewDiskSpiller creates (or reuses) dir as the spill directory.
@@ -27,29 +79,175 @@ func NewDiskSpiller(dir string) (*DiskSpiller, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("lifetime: spill dir: %w", err)
 	}
-	return &DiskSpiller{dir: dir}, nil
+	return &DiskSpiller{dir: dir, files: make(map[types.ObjectID]*spillFile), lru: list.New()}, nil
 }
 
 // Dir returns the spill directory.
 func (d *DiskSpiller) Dir() string { return d.dir }
 
+// SetBudget bounds bytes on disk; 0 means unlimited. Call before the tier
+// is shared.
+func (d *DiskSpiller) SetBudget(bytes int64) { d.budget = bytes }
+
+// SetRefChecker installs the liveness oracle used by budget eviction to
+// tell reclaimable garbage from referenced data. It is typically a
+// control-plane lookup (lifetime.Manager.Referenced) that treats an
+// unreachable control plane as "referenced" — the conservative verdict.
+// Call before the tier is shared; without one, budget eviction treats
+// every file as referenced and the budget can only refuse.
+func (d *DiskSpiller) SetRefChecker(fn func(types.ObjectID) bool) { d.referenced = fn }
+
 func (d *DiskSpiller) path(id types.ObjectID) string {
 	return filepath.Join(d.dir, id.Hex()+".obj")
 }
 
-// Spill implements objectstore.SpillTier.
+// Spill implements objectstore.SpillTier. Overwriting an existing spill of
+// the same object is allowed (objects are immutable, so the bytes match)
+// and does not double-count the budget.
 func (d *DiskSpiller) Spill(id types.ObjectID, data []byte) error {
-	tmp := d.path(id) + ".tmp"
+	return d.spill(id, data, true)
+}
+
+// SpillBounded implements objectstore.BoundedSpiller: like Spill but never
+// probes the refcount oracle — if the write does not fit the budget as-is
+// it fails fast with ErrSpillBudget. The store's restore re-admission path
+// uses it so a Get's latency never includes control-plane RPCs.
+func (d *DiskSpiller) SpillBounded(id types.ObjectID, data []byte) error {
+	return d.spill(id, data, false)
+}
+
+func (d *DiskSpiller) spill(id types.ObjectID, data []byte, allowProbes bool) error {
+	size := int64(len(data))
+	f, err := d.reserve(id, size, allowProbes)
+	if err != nil {
+		return err
+	}
+	tmp := fmt.Sprintf("%s.%d.tmp", d.path(id), d.tmpSeq.Add(1))
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		os.Remove(tmp) // a partial write (ENOSPC) must not eat more disk
+		d.finishWrite(f, false)
 		return err
 	}
 	if err := os.Rename(tmp, d.path(id)); err != nil {
 		os.Remove(tmp)
+		d.finishWrite(f, false)
 		return err
 	}
+	d.finishWrite(f, true)
 	d.spills.Add(1)
-	d.onDisk.Add(int64(len(data)))
 	return nil
+}
+
+// reserve books size bytes for id, evicting cold unreferenced files when
+// the budget demands it. Candidates are snapshotted under d.mu, classified
+// by the oracle outside it, and re-validated under it before deletion — a
+// hung oracle therefore stalls only this spill, never a concurrent
+// Restore/RestoreRange/Remove. With allowProbes false the oracle is never
+// consulted: an over-budget write is refused immediately. Returns the
+// (possibly pre-existing) file record with a writer registered on it; the
+// caller must pair with finishWrite.
+func (d *DiskSpiller) reserve(id types.ObjectID, size int64, allowProbes bool) (*spillFile, error) {
+	d.mu.Lock()
+	for {
+		if f, ok := d.files[id]; ok {
+			// Overwrite: same id means identical immutable bytes, so the
+			// size delta is zero in practice; keep it exact regardless.
+			d.onDisk += size - f.size
+			f.size = size
+			f.writers++
+			d.lru.MoveToFront(f.elem)
+			d.mu.Unlock()
+			return f, nil
+		}
+		if d.budget <= 0 || d.onDisk+size <= d.budget {
+			break
+		}
+		if !allowProbes {
+			still := d.onDisk + size - d.budget
+			d.mu.Unlock()
+			return nil, fmt.Errorf("%w: need %d more bytes", ErrSpillBudget, still)
+		}
+		need := d.onDisk + size - d.budget
+		// Snapshot up to maxBudgetProbes candidates coldest-first (the
+		// probe loop can reach no more); the oracle runs unlocked.
+		var cands []*spillFile
+		for el := d.lru.Back(); el != nil && len(cands) < maxBudgetProbes; el = el.Prev() {
+			cands = append(cands, el.Value.(*spillFile))
+		}
+		ref := d.referenced
+		d.mu.Unlock()
+
+		// Each probe is a control-plane RPC (seconds during a failover),
+		// issued sequentially while the evicting Put waits — hence the
+		// cap. A budget refusal when evictable files sat beyond the cap
+		// is the safe direction: the Put fails with ErrStoreFull and its
+		// victim stays in memory; nothing is ever dropped.
+		var victims []*spillFile
+		var freeable int64
+		for _, f := range cands {
+			if freeable >= need {
+				break
+			}
+			// No oracle: everything must be presumed referenced.
+			if ref != nil && !ref(f.id) {
+				victims = append(victims, f)
+				freeable += f.size
+			}
+		}
+
+		d.mu.Lock()
+		progress := false
+		for _, f := range victims {
+			// Re-validate by pointer identity: if the file was removed (and
+			// possibly re-spilled as a new generation at the same path)
+			// while we were classifying, this victim is stale and must not
+			// be unlinked; a victim with an in-flight writer is about to be
+			// recreated, so evicting it would only untrack the new file.
+			// The unlink stays under d.mu so no new same-path spill can
+			// land between the check and the syscall — it is a fast
+			// metadata op, unlike the oracle RPCs above.
+			if d.files[f.id] != f || f.writers > 0 {
+				continue
+			}
+			if err := os.Remove(d.path(f.id)); err != nil && !os.IsNotExist(err) {
+				continue // still tracked, on disk, evictable later
+			}
+			d.lru.Remove(f.elem)
+			delete(d.files, f.id)
+			d.onDisk -= f.size
+			d.tierEvicted.Add(1)
+			progress = true
+		}
+		if d.budget > 0 && d.onDisk+size > d.budget && !progress {
+			still := d.onDisk + size - d.budget
+			d.mu.Unlock()
+			return nil, fmt.Errorf("%w: need %d more bytes", ErrSpillBudget, still)
+		}
+		// Either it fits now, or retry against a fresh snapshot.
+	}
+	f := &spillFile{id: id, size: size, writers: 1}
+	f.elem = d.lru.PushFront(f)
+	d.files[id] = f
+	d.onDisk += size
+	d.mu.Unlock()
+	return f, nil
+}
+
+// finishWrite retires one writer from f. A failed write only untracks the
+// record when it was the last writer and no write ever landed — a
+// concurrent same-id Spill that succeeded (or the pre-existing file of an
+// overwrite) keeps its accounting.
+func (d *DiskSpiller) finishWrite(f *spillFile, ok bool) {
+	d.mu.Lock()
+	f.writers--
+	if ok {
+		f.committed = true
+	} else if !f.committed && f.writers == 0 && d.files[f.id] == f {
+		d.lru.Remove(f.elem)
+		delete(d.files, f.id)
+		d.onDisk -= f.size
+	}
+	d.mu.Unlock()
 }
 
 // Restore implements objectstore.SpillTier.
@@ -58,6 +256,7 @@ func (d *DiskSpiller) Restore(id types.ObjectID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.touch(id)
 	d.restores.Add(1)
 	return data, nil
 }
@@ -75,37 +274,61 @@ func (d *DiskSpiller) RestoreRange(id types.ObjectID, offset, length int64) ([]b
 	if err != nil && !(err == io.EOF && int64(n) == length) {
 		return nil, err
 	}
+	d.touch(id)
 	return buf[:n], nil
 }
 
-// Remove implements objectstore.SpillTier. Removing an absent object is a
-// no-op.
-func (d *DiskSpiller) Remove(id types.ObjectID) error {
-	info, err := os.Stat(d.path(id))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return err
+// touch marks id most recently used for budget eviction.
+func (d *DiskSpiller) touch(id types.ObjectID) {
+	d.mu.Lock()
+	if f, ok := d.files[id]; ok {
+		d.lru.MoveToFront(f.elem)
 	}
+	d.mu.Unlock()
+}
+
+// Remove implements objectstore.SpillTier. Removing an absent object is a
+// no-op. Accounting is settled only after the file is actually gone, so a
+// failed removal leaves the file both on disk and counted against the
+// budget (still evictable later), never invisible. A record with an
+// in-flight writer is never untracked: the store's write/remove fence
+// keeps Remove and Spill of one id from overlapping, but if they ever do,
+// the writer's rename recreates the file and the kept record stays
+// accurate.
+func (d *DiskSpiller) Remove(id types.ObjectID) error {
 	if err := os.Remove(d.path(id)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	d.onDisk.Add(-info.Size())
+	d.mu.Lock()
+	if f, ok := d.files[id]; ok && f.writers == 0 {
+		d.lru.Remove(f.elem)
+		delete(d.files, id)
+		d.onDisk -= f.size
+	}
+	d.mu.Unlock()
 	return nil
 }
 
 // Stats returns cumulative spill and restore counts plus bytes on disk.
 func (d *DiskSpiller) Stats() (spills, restores, bytesOnDisk int64) {
-	return d.spills.Load(), d.restores.Load(), d.onDisk.Load()
+	d.mu.Lock()
+	bytesOnDisk = d.onDisk
+	d.mu.Unlock()
+	return d.spills.Load(), d.restores.Load(), bytesOnDisk
 }
+
+// TierEvictions returns how many spilled files budget pressure has
+// reclaimed.
+func (d *DiskSpiller) TierEvictions() int64 { return d.tierEvicted.Load() }
 
 // SweepOrphans deletes spill files left behind by a previous incarnation:
 // every *.obj whose object the keep oracle disowns (its object-table entry
 // is gone, or the entry no longer records a spilled copy here), plus
 // temp files from writes that crashed mid-spill. Call at node startup,
 // before the store starts using the tier — the directory then contains
-// only leftovers, never live spills. Returns the number of files removed.
+// only leftovers, never live spills. Files the oracle keeps are registered
+// with the budget accounting, so a pre-existing working set counts against
+// the disk budget from boot. Returns the number of files removed.
 func (d *DiskSpiller) SweepOrphans(keep func(types.ObjectID) bool) (int, error) {
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
@@ -137,6 +360,16 @@ func (d *DiskSpiller) SweepOrphans(keep func(types.ObjectID) bool) (int, error) 
 			continue
 		}
 		if keep != nil && keep(id) {
+			if info, err := e.Info(); err == nil {
+				d.mu.Lock()
+				if _, dup := d.files[id]; !dup {
+					f := &spillFile{id: id, size: info.Size(), committed: true}
+					f.elem = d.lru.PushFront(f)
+					d.files[id] = f
+					d.onDisk += f.size
+				}
+				d.mu.Unlock()
+			}
 			continue
 		}
 		if os.Remove(full) == nil {

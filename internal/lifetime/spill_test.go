@@ -1,10 +1,16 @@
 package lifetime
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/gcs"
+	"repro/internal/objectstore"
 	"repro/internal/types"
 )
 
@@ -69,5 +75,209 @@ func TestSweepOrphansNilKeep(t *testing.T) {
 	removed, err := d.SweepOrphans(nil)
 	if err != nil || removed != 1 {
 		t.Fatalf("removed %d, %v", removed, err)
+	}
+}
+
+// TestDiskBudgetEvictsUnreferencedLRU: over budget, the tier reclaims the
+// least recently used files whose objects nothing references; referenced
+// files survive regardless of age.
+func TestDiskBudgetEvictsUnreferencedLRU(t *testing.T) {
+	d, err := NewDiskSpiller(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetBudget(30)
+	var mu sync.Mutex
+	referenced := map[types.ObjectID]bool{}
+	d.SetRefChecker(func(id types.ObjectID) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return referenced[id]
+	})
+	a, b, c, e := sweepObjID(10), sweepObjID(11), sweepObjID(12), sweepObjID(13)
+	for _, id := range []types.ObjectID{a, b, c} {
+		if err := d.Spill(id, make([]byte, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a: LRU order is now b (coldest), c, a.
+	if _, err := d.Restore(a); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	referenced[a], referenced[c] = true, true // only b is garbage
+	mu.Unlock()
+	if err := d.Spill(e, make([]byte, 10)); err != nil {
+		t.Fatalf("spill within budget after eviction: %v", err)
+	}
+	if _, err := d.Restore(b); err == nil {
+		t.Fatal("unreferenced LRU file survived budget eviction")
+	}
+	for _, id := range []types.ObjectID{a, c, e} {
+		if _, err := d.Restore(id); err != nil {
+			t.Fatalf("referenced or fresh file evicted: %v", err)
+		}
+	}
+	if _, _, onDisk := d.Stats(); onDisk != 30 {
+		t.Fatalf("onDisk = %d, want 30", onDisk)
+	}
+	if n := d.TierEvictions(); n != 1 {
+		t.Fatalf("TierEvictions = %d, want 1", n)
+	}
+}
+
+// TestDiskBudgetRefusesWhenAllReferenced: the tier must refuse (not drop)
+// when every spilled file is still referenced — deleting one would lose
+// referenced data.
+func TestDiskBudgetRefusesWhenAllReferenced(t *testing.T) {
+	d, err := NewDiskSpiller(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetBudget(20)
+	d.SetRefChecker(func(types.ObjectID) bool { return true })
+	a, b := sweepObjID(20), sweepObjID(21)
+	for _, id := range []types.ObjectID{a, b} {
+		if err := d.Spill(id, make([]byte, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Spill(sweepObjID(22), make([]byte, 10)); !errors.Is(err, ErrSpillBudget) {
+		t.Fatalf("over-budget spill = %v, want ErrSpillBudget", err)
+	}
+	for _, id := range []types.ObjectID{a, b} {
+		if _, err := d.Restore(id); err != nil {
+			t.Fatalf("referenced file lost by refused spill: %v", err)
+		}
+	}
+	if _, _, onDisk := d.Stats(); onDisk != 20 {
+		t.Fatalf("onDisk = %d, want 20", onDisk)
+	}
+}
+
+// TestBudgetOracleDoesNotBlockTierReads: budget eviction consults the
+// refcount oracle (a control-plane RPC that can hang across a GCS
+// failover) outside the spiller's lock, so a blocked eviction stalls only
+// the spill that needs the room — concurrent restores and range reads of
+// files already on disk keep working.
+func TestBudgetOracleDoesNotBlockTierReads(t *testing.T) {
+	d, err := NewDiskSpiller(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetBudget(20)
+	gate := make(chan struct{})
+	oracleEntered := make(chan struct{}, 4)
+	d.SetRefChecker(func(types.ObjectID) bool {
+		oracleEntered <- struct{}{}
+		<-gate
+		return true
+	})
+	a, b := sweepObjID(30), sweepObjID(31)
+	if err := d.Spill(a, []byte("aaaaaaaaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Spill(b, make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	spillDone := make(chan error, 1)
+	go func() { spillDone <- d.Spill(sweepObjID(32), make([]byte, 10)) }()
+	<-oracleEntered // eviction is parked inside the hung oracle
+
+	type res struct {
+		data []byte
+		err  error
+	}
+	reads := make(chan res, 2)
+	go func() {
+		data, err := d.Restore(a)
+		reads <- res{data, err}
+	}()
+	go func() {
+		data, err := d.RestoreRange(a, 2, 3)
+		reads <- res{data, err}
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-reads:
+			if r.err != nil {
+				t.Fatalf("tier read failed during blocked budget eviction: %v", r.err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("tier read blocked behind the hung refcount oracle")
+		}
+	}
+	close(gate)
+	if err := <-spillDone; !errors.Is(err, ErrSpillBudget) {
+		t.Fatalf("over-budget spill with all-referenced files = %v, want ErrSpillBudget", err)
+	}
+}
+
+// TestSpillBoundedSkipsOracleProbes: SpillBounded must refuse an
+// over-budget write immediately without ever touching the refcount oracle
+// — the restore path's latency contract is "disk, never control plane".
+func TestSpillBoundedSkipsOracleProbes(t *testing.T) {
+	d, err := NewDiskSpiller(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetBudget(20)
+	var probes atomic.Int32
+	d.SetRefChecker(func(types.ObjectID) bool {
+		probes.Add(1)
+		return false // everything evictable — Spill would reclaim and succeed
+	})
+	for i := byte(40); i < 42; i++ {
+		if err := d.Spill(sweepObjID(i), make([]byte, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.SpillBounded(sweepObjID(42), make([]byte, 10)); !errors.Is(err, ErrSpillBudget) {
+		t.Fatalf("over-budget SpillBounded = %v, want ErrSpillBudget", err)
+	}
+	if n := probes.Load(); n != 0 {
+		t.Fatalf("SpillBounded probed the oracle %d times, want 0", n)
+	}
+	// The unbounded path still evicts and succeeds.
+	if err := d.Spill(sweepObjID(42), make([]byte, 10)); err != nil {
+		t.Fatalf("probing Spill after refusal: %v", err)
+	}
+	if probes.Load() == 0 {
+		t.Fatal("probing Spill never consulted the oracle")
+	}
+}
+
+// TestBudgetRefusalSurfacesStoreFull: end to end through the store, a
+// budget-refusing tier rolls the victim back to memory and the Put that
+// needed the room fails with ErrStoreFull — referenced bytes are never
+// dropped to make the numbers work.
+func TestBudgetRefusalSurfacesStoreFull(t *testing.T) {
+	d, err := NewDiskSpiller(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetBudget(15)
+	d.SetRefChecker(func(types.ObjectID) bool { return true })
+	ctrl := gcs.NewStore(1)
+	store := objectstore.New(testNode(1), ctrl, 20)
+	store.SetSpillTier(d)
+	store.SetRefChecker(func(types.ObjectID) bool { return true })
+
+	a, b, c := testObj(70), testObj(71), testObj(72)
+	if err := store.Put(a, make([]byte, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(b, make([]byte, 15)); err != nil {
+		t.Fatal(err) // spills a; disk now at budget
+	}
+	if err := store.Put(c, make([]byte, 15)); !errors.Is(err, objectstore.ErrStoreFull) {
+		t.Fatalf("Put with exhausted disk budget = %v, want ErrStoreFull", err)
+	}
+	// Nothing was dropped: b rolled back to memory, a still restorable.
+	if data, ok := store.Get(b); !ok || len(data) != 15 {
+		t.Fatal("rollback victim lost")
+	}
+	if !store.Contains(a) {
+		t.Fatal("spilled object lost")
 	}
 }

@@ -41,6 +41,11 @@ type Config struct {
 	// pressure the store spills cold-but-referenced objects there instead
 	// of failing with ErrStoreFull.
 	SpillDir string
+	// SpillBudget bounds the spill tier's bytes on disk; 0 = unlimited.
+	// Over budget, the tier evicts the coldest unreferenced spill files,
+	// and refuses spills (surfacing ErrStoreFull) when every file is still
+	// referenced.
+	SpillBudget int64
 	// Pull tunes the chunked pull protocol (zero value = defaults).
 	Pull lifetime.PullConfig
 	// SpillThreshold is forwarded to the local scheduler (see
@@ -69,6 +74,7 @@ type Node struct {
 	cfg     Config
 	ctrl    gcs.API
 	store   *objectstore.Store
+	tier    *lifetime.DiskSpiller
 	life    *lifetime.Manager
 	fetcher *lifetime.PullManager
 	sched   *scheduler.Local
@@ -113,6 +119,11 @@ func New(cfg Config) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		tier.SetBudget(cfg.SpillBudget)
+		// Budget eviction uses the same liveness oracle as spill-vs-drop:
+		// only unreferenced files are reclaimable, and an unreachable
+		// control plane (shard mid-failover) reads as "referenced".
+		tier.SetRefChecker(n.life.Referenced)
 		// Startup hygiene: a previous incarnation's spill files are orphans
 		// here — this node's fresh ID owns none of them, and files whose
 		// object-table entry is gone are unreachable garbage either way.
@@ -123,6 +134,7 @@ func New(cfg Config) (*Node, error) {
 		}); err != nil {
 			return nil, err
 		}
+		n.tier = tier
 		n.store.SetSpillTier(tier)
 	}
 	n.fetcher = lifetime.NewPullManager(n.store, cfg.Ctrl, cfg.Network, n.resolvePeerAddr, cfg.Pull)
@@ -219,6 +231,9 @@ func (n *Node) heartbeatLoop() {
 		case <-t.C:
 			stats := n.store.Stats()
 			stats.Reclaimed = n.life.Reclaimed()
+			if n.tier != nil {
+				stats.TierEvicted = n.tier.TierEvictions()
+			}
 			n.ctrl.Heartbeat(n.id, n.sched.QueueLen(), n.sched.Available(), stats)
 		case <-n.stop:
 			return

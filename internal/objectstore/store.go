@@ -10,6 +10,17 @@
 // instead of being dropped, and Get transparently restores them, so a
 // working set larger than memory degrades gracefully instead of failing
 // with ErrStoreFull.
+//
+// Concurrency model (DESIGN.md §8): every entry carries a small state
+// machine (resident / spilling / spilled / restoring / dropping), and the
+// store mutex protects only state transitions and accounting — never tier
+// I/O, never the refcount oracle, never control-plane RPCs. A disk write,
+// a restore read, or a GCS call that blocks for seconds (a shard mid-
+// failover) therefore stalls only the operation that needs it; Get and
+// Contains of every other object stay at memory speed. Control-plane
+// location updates flow through a per-object publish pipeline that keeps
+// them ordered without ever being issued under the lock, and tier-file
+// removals are fenced against in-flight tier writes of the same object.
 package objectstore
 
 import (
@@ -27,7 +38,9 @@ var ErrStoreFull = errors.New("objectstore: store full")
 
 // SpillTier is the disk tier the store spills cold objects to.
 // lifetime.DiskSpiller is the production implementation; tests may fake it.
-// Implementations must tolerate Remove of an absent object.
+// Implementations must tolerate Remove of an absent object and overwriting
+// Spill of a present one, and must be safe for concurrent use: the store
+// calls them outside its mutex.
 type SpillTier interface {
 	Spill(id types.ObjectID, data []byte) error
 	Restore(id types.ObjectID) ([]byte, error)
@@ -42,13 +55,110 @@ type RangeReader interface {
 	RestoreRange(id types.ObjectID, offset, length int64) ([]byte, error)
 }
 
-type entry struct {
-	data    []byte
-	size    int64 // == len(data) when resident; survives data=nil on spill
-	pinned  int
-	seq     uint64 // LRU clock: last access sequence number
-	spilled bool   // true when the bytes live on the spill tier, not in data
+// BoundedSpiller is optionally implemented by spill tiers whose Spill may
+// consult a control-plane oracle (DiskSpiller's budget eviction probes the
+// refcount oracle before reclaiming files). SpillBounded must never issue
+// such probes: it writes the object only if it fits the tier's budget
+// as-is and fails fast otherwise. The restore re-admission path uses it so
+// a Get's latency stays "disk, never control plane" even when the disk
+// budget is exhausted during a failover.
+type BoundedSpiller interface {
+	SpillBounded(id types.ObjectID, data []byte) error
 }
+
+// entryState is one node of the per-entry state machine. Transitions
+// happen only under Store.mu; the I/O that separates paired states
+// (spilling→spilled, restoring→resident) runs outside the lock.
+type entryState uint8
+
+const (
+	// stateResident: bytes in memory, entry linked on the LRU list.
+	stateResident entryState = iota
+	// stateSpilling: claimed by an evictor; the refcount-oracle verdict
+	// and the tier write (or the drop) are in flight. Bytes are still in
+	// memory and still count toward used; Get serves them.
+	stateSpilling
+	// stateSpilled: bytes live on the spill tier only.
+	stateSpilled
+	// stateRestoring: a single-flight tier read is in flight; concurrent
+	// Gets wait on the flight instead of each re-reading the file.
+	stateRestoring
+	// stateDropping: removed from the objects map; in-flight transitions
+	// that still hold the entry pointer see this (or fail the map identity
+	// check) and finalize as no-ops.
+	stateDropping
+)
+
+// restoreFlight is the single-flight handle for one in-flight restore.
+// done is closed as soon as data/err are set — before any re-admission
+// bookkeeping — so waiters unblock at disk-read latency, not disk-read
+// plus eviction latency.
+type restoreFlight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+type entry struct {
+	id     types.ObjectID
+	data   []byte
+	size   int64 // == len(data) when resident; survives data=nil on spill
+	pinned int
+	state  entryState
+
+	// restore is non-nil exactly while state == stateRestoring.
+	restore *restoreFlight
+
+	// Intrusive LRU linkage, valid while the entry is on the list
+	// (state == stateResident). Most recently used at front.
+	prev, next *entry
+}
+
+// lruList is an intrusive doubly-linked list over resident entries with a
+// sentinel head; maintaining it on touch makes victim selection O(1) per
+// victim instead of the old O(n) coldest-scan (O(n²) eviction storms).
+type lruList struct {
+	head entry // sentinel: head.next = MRU, head.prev = LRU
+	len  int
+}
+
+func (l *lruList) init() {
+	l.head.prev, l.head.next = &l.head, &l.head
+	l.len = 0
+}
+
+func (l *lruList) pushFront(e *entry) {
+	e.prev, e.next = &l.head, l.head.next
+	l.head.next.prev = e
+	l.head.next = e
+	l.len++
+}
+
+func (l *lruList) remove(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+	l.len--
+}
+
+func (l *lruList) moveFront(e *entry) {
+	l.remove(e)
+	l.pushFront(e)
+}
+
+// coldestUnpinned returns the least recently used unpinned entry, or nil.
+// Pinned entries stay linked (they will be unpinned soon) and are skipped.
+func (l *lruList) coldestUnpinned() *entry {
+	for e := l.head.prev; e != &l.head; e = e.prev {
+		if e.pinned == 0 {
+			return e
+		}
+	}
+	return nil
+}
+
+// pubOp is one queued control-plane call about an object.
+type pubOp func(ctrl gcs.API)
 
 // Store holds this node's objects. All methods are safe for concurrent use.
 type Store struct {
@@ -58,17 +168,46 @@ type Store struct {
 	mu       sync.Mutex
 	objects  map[types.ObjectID]*entry
 	waiters  map[types.ObjectID][]chan struct{}
+	lru      lruList
 	capacity int64 // bytes; 0 = unlimited
-	used     int64 // memory-resident bytes
-	spilled  int64 // bytes on the spill tier
-	clock    uint64
+	used     int64 // memory-resident bytes (includes stateSpilling entries)
+	spilled  int64 // bytes on the spill tier (includes stateRestoring entries)
 	failed   bool
+	// dropGen counts DropAll generations: a goroutine holding a memory
+	// reservation across an unlocked section must not give it back after a
+	// wholesale counter reset has already discarded it.
+	dropGen uint64
+
+	// evictDone is signalled whenever an in-flight spill/drop finalizes or
+	// an entry is removed, so an evictor that found no victim but knows
+	// transitions are in flight can wait for freed bytes instead of
+	// failing spuriously.
+	evictDone *sync.Cond
+	inflight  int // entries in stateSpilling
+
+	// tierWrites counts in-flight tier writes per object; tierRemoveWant
+	// marks objects whose file should be removed once the last write
+	// lands; tierRemovals counts removal verdicts issued but not yet
+	// executed, and the eviction claim path refuses to start a new spill
+	// write of an id while one is pending. Together they fence Remove
+	// against Spill of the same id in both directions (see
+	// shouldRemoveTierLocked and makeRoomLocked).
+	tierWrites     map[types.ObjectID]int
+	tierRemoveWant map[types.ObjectID]bool
+	tierRemovals   map[types.ObjectID]int
+
+	// Per-object publish pipeline: control-plane calls are enqueued under
+	// mu (so their order matches transition commit order) and executed
+	// outside it by whichever goroutine holds the object's drain flag.
+	pubq      map[types.ObjectID][]pubOp
+	pubActive map[types.ObjectID]bool
 
 	// tier, when non-nil, enables the disk spill path.
 	tier SpillTier
 	// referenced reports whether an object still has live references; nil
 	// means unknown. With a spill tier attached, referenced objects spill
-	// under pressure while garbage is dropped outright.
+	// under pressure while garbage is dropped outright. It is a control-
+	// plane RPC and is only ever called outside mu.
 	referenced func(types.ObjectID) bool
 
 	spills   int64
@@ -81,13 +220,21 @@ var ErrFailed = errors.New("objectstore: store failed")
 // New creates a store for node, registering locations with ctrl. capacity
 // of 0 means unlimited.
 func New(node types.NodeID, ctrl gcs.API, capacity int64) *Store {
-	return &Store{
-		node:     node,
-		ctrl:     ctrl,
-		objects:  make(map[types.ObjectID]*entry),
-		waiters:  make(map[types.ObjectID][]chan struct{}),
-		capacity: capacity,
+	s := &Store{
+		node:           node,
+		ctrl:           ctrl,
+		objects:        make(map[types.ObjectID]*entry),
+		waiters:        make(map[types.ObjectID][]chan struct{}),
+		capacity:       capacity,
+		tierWrites:     make(map[types.ObjectID]int),
+		tierRemoveWant: make(map[types.ObjectID]bool),
+		tierRemovals:   make(map[types.ObjectID]int),
+		pubq:           make(map[types.ObjectID][]pubOp),
+		pubActive:      make(map[types.ObjectID]bool),
 	}
+	s.lru.init()
+	s.evictDone = sync.NewCond(&s.mu)
+	return s
 }
 
 // Node returns the owning node's ID.
@@ -110,153 +257,455 @@ func (s *Store) SetRefChecker(fn func(types.ObjectID) bool) {
 	s.mu.Unlock()
 }
 
-// Put stores data under id, records the location in the control plane, and
-// wakes local waiters. Storing an already-present object is a no-op (objects
-// are immutable, so the bytes are identical by construction).
-func (s *Store) Put(id types.ObjectID, data []byte) error {
+// --- publish pipeline ---
+
+// enqueuePublishLocked queues a control-plane call about id in transition
+// commit order. Caller holds s.mu and must call drainPublishes(id) after
+// releasing it iff the return value is true (it became the drainer).
+func (s *Store) enqueuePublishLocked(id types.ObjectID, op pubOp) bool {
+	s.pubq[id] = append(s.pubq[id], op)
+	if s.pubActive[id] {
+		return false
+	}
+	s.pubActive[id] = true
+	return true
+}
+
+// drainPublishes executes id's queued control-plane calls FIFO, outside
+// the lock. Exactly one drainer runs per object at a time, so calls about
+// one object stay ordered even when the transitions that queued them
+// raced; uncontended callers drain their own op synchronously, so Put and
+// Delete keep their publish-before-return behaviour.
+func (s *Store) drainPublishes(id types.ObjectID) {
 	s.mu.Lock()
-	if s.failed {
+	for len(s.pubq[id]) > 0 {
+		q := s.pubq[id]
+		op := q[0]
+		s.pubq[id] = q[1:]
 		s.mu.Unlock()
-		return ErrFailed
+		op(s.ctrl)
+		s.mu.Lock()
 	}
-	if _, exists := s.objects[id]; exists {
-		s.mu.Unlock()
-		return nil
+	delete(s.pubq, id)
+	delete(s.pubActive, id)
+	s.mu.Unlock()
+}
+
+// --- tier-file fencing ---
+
+// shouldRemoveTierLocked reports whether the caller may remove id's spill
+// file right now. It may not when a tier write of id is in flight (the
+// removal is recorded and performed by the last write's finalizer) or when
+// a live entry other than except still depends on the file. except is the
+// caller's own entry during restore re-admission, which removes the file
+// it is about to stop depending on. Caller holds s.mu.
+func (s *Store) shouldRemoveTierLocked(id types.ObjectID, except *entry) bool {
+	if s.tierWrites[id] > 0 {
+		s.tierRemoveWant[id] = true
+		return false
 	}
+	if e, ok := s.objects[id]; ok && e != except && e.state != stateResident {
+		return false
+	}
+	return true
+}
+
+// finishTierWriteLocked retires one in-flight tier write of id and reports
+// whether a deferred removal fell to this caller. Caller holds s.mu.
+func (s *Store) finishTierWriteLocked(id types.ObjectID) (removeFile bool) {
+	if n := s.tierWrites[id] - 1; n > 0 {
+		s.tierWrites[id] = n
+		return false
+	}
+	delete(s.tierWrites, id)
+	if !s.tierRemoveWant[id] {
+		return false
+	}
+	delete(s.tierRemoveWant, id)
+	return s.shouldRemoveTierLocked(id, nil)
+}
+
+// noteRemovalLocked registers a removal verdict that the caller will
+// execute after releasing s.mu; makeRoomLocked will not start a new spill
+// write of id until it lands. Caller holds s.mu and must pair with
+// execRemoval.
+func (s *Store) noteRemovalLocked(id types.ObjectID) { s.tierRemovals[id]++ }
+
+// execRemoval performs a removal registered with noteRemovalLocked.
+// Called without s.mu.
+func (s *Store) execRemoval(tier SpillTier, id types.ObjectID) {
+	_ = tier.Remove(id)
+	s.mu.Lock()
+	if n := s.tierRemovals[id] - 1; n > 0 {
+		s.tierRemovals[id] = n
+	} else {
+		delete(s.tierRemovals, id)
+	}
+	s.evictDone.Broadcast()
+	s.mu.Unlock()
+}
+
+// --- core API ---
+
+// Put stores data under id, wakes local waiters, and then records the
+// location in the control plane — in that order, so an unreachable control
+// plane never delays local consumers of already-resident bytes. Storing an
+// already-present object is a no-op (objects are immutable, so the bytes
+// are identical by construction).
+func (s *Store) Put(id types.ObjectID, data []byte) error {
 	size := int64(len(data))
-	if s.capacity > 0 && s.used+size > s.capacity {
-		if !s.freeLocked(s.used + size - s.capacity) {
+	s.mu.Lock()
+	for {
+		if s.failed {
+			s.mu.Unlock()
+			return ErrFailed
+		}
+		if _, exists := s.objects[id]; exists {
+			s.mu.Unlock()
+			return nil
+		}
+		if s.capacity <= 0 || s.used+size <= s.capacity {
+			break
+		}
+		if !s.makeRoomLocked(size, false) {
 			s.mu.Unlock()
 			return fmt.Errorf("%w: need %d bytes, capacity %d", ErrStoreFull, size, s.capacity)
 		}
+		// makeRoomLocked dropped and reacquired the lock: re-check failed,
+		// duplicate-Put, and capacity from scratch.
 	}
-	s.clock++
-	s.objects[id] = &entry{data: data, size: size, seq: s.clock}
+	e := &entry{id: id, data: data, size: size, state: stateResident}
+	s.objects[id] = e
 	s.used += size
+	s.lru.pushFront(e)
 	ws := s.waiters[id]
 	delete(s.waiters, id)
+	drain := s.enqueuePublishLocked(id, func(ctrl gcs.API) {
+		ctrl.AddObjectLocation(id, s.node, size)
+	})
 	s.mu.Unlock()
 
-	s.ctrl.AddObjectLocation(id, s.node, size)
+	// Waiters first: they are local consumers of bytes that are already
+	// here; the control-plane publish can block on a failover and must not
+	// gate them.
 	for _, w := range ws {
 		close(w)
+	}
+	if drain {
+		s.drainPublishes(id)
 	}
 	return nil
 }
 
-// freeLocked makes at least need bytes of memory available, LRU-first over
-// unpinned resident objects. With a spill tier attached, victims that still
-// have live references move to disk (the copy survives, cheap to restore);
-// garbage — and, without a liveness oracle, nothing — is dropped outright.
-// Without a tier the original drop-only LRU eviction applies. It reports
-// whether enough memory was reclaimed. Caller holds s.mu.
+// makeRoomLocked evicts LRU-first over unpinned resident objects until
+// size more bytes fit under capacity, re-evaluating the live counters on
+// every iteration (so bytes freed by other goroutines' in-flight spills
+// are credited, never re-evicted, and never spuriously reported as
+// unavailable). Victims transition to stateSpilling under the lock; the
+// refcount-oracle verdict, the tier write (or the drop), and the
+// control-plane update all run unlocked in spillOrDrop. Caller holds
+// s.mu; the lock is dropped and reacquired around every victim, so
+// callers must re-validate everything they read before calling.
 //
-// Control-plane updates and tier I/O happen under the lock; the control
-// plane is lock-free with respect to this mutex (same invariant the
-// original eviction relied on), so this is deadlock-safe.
-func (s *Store) freeLocked(need int64) bool {
-	for need > 0 {
-		victim, e := s.coldestLocked()
-		if e == nil {
+// forRestore marks the restore re-admission path, whose latency budget is
+// "disk, never control plane": it skips the refcount oracle and spills
+// every victim (spilling garbage is safe — GC deletes it later — whereas
+// consulting a failover-blocked oracle would hang the Get), and it gives
+// up instead of waiting behind another goroutine's in-flight spill, which
+// may itself be wedged on the oracle for a whole failover (the caller
+// then serves the bytes without re-admission).
+func (s *Store) makeRoomLocked(size int64, forRestore bool) bool {
+	for s.capacity > 0 && s.used+size > s.capacity {
+		victim := s.lru.coldestUnpinned()
+		if victim == nil {
+			if s.inflight > 0 && !forRestore {
+				// Another goroutine's spill is mid-flight: its bytes will
+				// free when it finalizes. Wait for one transition instead
+				// of failing spuriously.
+				s.evictDone.Wait()
+				continue
+			}
 			return false
 		}
-		size := e.size
-		if s.tier != nil && (s.referenced == nil || s.referenced(victim)) {
-			if !s.spillLocked(victim, e) {
-				// Tier write failed (e.g. disk full): dropping a referenced
-				// object would be unsafe, so give up rather than corrupt.
-				return false
-			}
-		} else {
-			s.dropLocked(victim, e)
-		}
-		need -= size
-	}
-	return true
-}
-
-// coldestLocked returns the LRU unpinned memory-resident entry, or nil.
-func (s *Store) coldestLocked() (types.ObjectID, *entry) {
-	var victim types.ObjectID
-	var victimEntry *entry
-	for id, e := range s.objects {
-		if e.pinned > 0 || e.spilled {
+		if s.tierRemovals[victim.id] > 0 {
+			// A removal of this id's tier file is in flight (a Delete or
+			// DropAll that just unmapped an earlier generation): starting
+			// a new write now could have its fresh file eaten by the
+			// pending unlink. Removals are bare syscalls — wait them out.
+			s.evictDone.Wait()
 			continue
 		}
-		if victimEntry == nil || e.seq < victimEntry.seq {
-			victim, victimEntry = id, e
+		victim.state = stateSpilling
+		s.lru.remove(victim)
+		s.inflight++
+		s.tierWrites[victim.id]++
+		tier, referenced := s.tier, s.referenced
+		if forRestore && tier != nil {
+			referenced = nil // nil oracle = spill everything
+		}
+		s.mu.Unlock()
+		ok := s.spillOrDrop(victim, tier, referenced, forRestore)
+		s.mu.Lock()
+		if !ok {
+			return false
 		}
 	}
-	return victim, victimEntry
-}
-
-// spillLocked moves a resident entry to the disk tier. Caller holds s.mu.
-func (s *Store) spillLocked(id types.ObjectID, e *entry) bool {
-	if err := s.tier.Spill(id, e.data); err != nil {
-		return false
-	}
-	s.used -= e.size
-	s.spilled += e.size
-	s.spills++
-	e.data = nil
-	e.spilled = true
-	s.ctrl.MarkObjectSpilled(id, s.node, true)
 	return true
 }
 
-// dropLocked removes an entry entirely and deregisters the location.
-// Caller holds s.mu.
-func (s *Store) dropLocked(id types.ObjectID, e *entry) {
-	delete(s.objects, id)
-	if e.spilled {
-		s.spilled -= e.size
-		if s.tier != nil {
-			_ = s.tier.Remove(id)
+// spillOrDrop moves a claimed victim (stateSpilling) out of memory:
+// still-referenced objects spill to the tier, garbage is dropped outright.
+// Called WITHOUT s.mu held — the refcount oracle is a control-plane RPC
+// that can block for seconds during a shard failover, and the tier write
+// is disk I/O; neither may stall the data plane. noProbes additionally
+// keeps the tier itself from probing the control plane (budget eviction);
+// the restore path sets it. Returns false to abort the caller's eviction
+// loop (tier write failed or was refused: dropping a referenced object
+// would be unsafe, so give up rather than corrupt).
+func (s *Store) spillOrDrop(e *entry, tier SpillTier, referenced func(types.ObjectID) bool, noProbes bool) bool {
+	id := e.id
+	wantSpill := tier != nil && (referenced == nil || referenced(id))
+
+	var wrote bool
+	var spillErr error
+	if wantSpill {
+		if bs, bounded := tier.(BoundedSpiller); bounded && noProbes {
+			spillErr = bs.SpillBounded(id, e.data)
+		} else {
+			spillErr = tier.Spill(id, e.data)
 		}
-	} else {
-		s.used -= e.size
+		wrote = spillErr == nil
 	}
-	s.ctrl.RemoveObjectLocation(id, s.node)
+
+	s.mu.Lock()
+	s.inflight--
+	removeFile := s.finishTierWriteLocked(id)
+	ok, drain := true, false
+	switch {
+	case s.objects[id] != e || e.state != stateSpilling:
+		// Deleted (or DropAll) mid-flight: the deleter settled the entry's
+		// accounting; our only job is not to leak the file we wrote.
+		removeFile = removeFile || (wrote && s.shouldRemoveTierLocked(id, nil))
+	case !wantSpill:
+		// Drop path: no tier, or the oracle says nothing references it.
+		if e.pinned > 0 {
+			// A pin landed mid-flight: skip this victim, try the next.
+			e.state = stateResident
+			s.lru.pushFront(e)
+		} else {
+			e.state = stateDropping
+			delete(s.objects, id)
+			s.used -= e.size
+			drain = s.enqueuePublishLocked(id, func(ctrl gcs.API) {
+				ctrl.RemoveObjectLocation(id, s.node)
+			})
+		}
+	case spillErr != nil || e.pinned > 0:
+		// Rollback: re-admit. A tier failure aborts the whole eviction
+		// loop (dropping a referenced object would be unsafe — and a
+		// budget-refusing tier must surface as ErrStoreFull, not data
+		// loss); a pin that landed mid-flight just skips this victim.
+		e.state = stateResident
+		s.lru.pushFront(e)
+		removeFile = removeFile || (wrote && s.shouldRemoveTierLocked(id, nil))
+		ok = spillErr == nil
+	default:
+		s.used -= e.size
+		s.spilled += e.size
+		s.spills++
+		e.data = nil
+		e.state = stateSpilled
+		drain = s.enqueuePublishLocked(id, func(ctrl gcs.API) {
+			ctrl.MarkObjectSpilled(id, s.node, true)
+		})
+	}
+	if removeFile {
+		s.noteRemovalLocked(id)
+	}
+	s.evictDone.Broadcast()
+	s.mu.Unlock()
+	if removeFile {
+		s.execRemoval(tier, id)
+	}
+	if drain {
+		s.drainPublishes(id)
+	}
+	return ok
 }
 
 // Get returns the object's bytes if locally present, transparently
-// restoring spilled objects from the disk tier.
+// restoring spilled objects from the disk tier. Restores are single-flight:
+// concurrent Gets of a restoring object wait on the in-flight read instead
+// of each re-reading the file. A Get of a memory-resident object never
+// performs or waits for I/O, no matter what other entries are doing.
 func (s *Store) Get(id types.ObjectID) ([]byte, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.objects[id]
 	if !ok {
+		s.mu.Unlock()
 		return nil, false
 	}
-	s.clock++
-	e.seq = s.clock
-	if !e.spilled {
-		return e.data, true
-	}
-	data, err := s.tier.Restore(id)
-	if err != nil || int64(len(data)) != e.size {
-		// The disk copy is gone or corrupt: the local copy is lost. Drop it
-		// so the control plane can mark the object Lost and lineage replay
-		// can take over.
-		s.dropLocked(id, e)
+	switch e.state {
+	case stateResident:
+		s.lru.moveFront(e)
+		data := e.data
+		s.mu.Unlock()
+		return data, true
+	case stateSpilling:
+		// The tier write is in flight but the bytes are still in memory
+		// (immutable; the spiller only clears them at finalize, under mu).
+		data := e.data
+		s.mu.Unlock()
+		return data, true
+	case stateRestoring:
+		f := e.restore
+		s.mu.Unlock()
+		<-f.done
+		return f.data, f.err == nil
+	case stateSpilled:
+		return s.restore(e) // releases s.mu
+	default: // stateDropping — cannot be in the map, but be safe
+		s.mu.Unlock()
 		return nil, false
 	}
+}
+
+// restore performs the single-flight tier read for a spilled entry. Called
+// with s.mu held and e.state == stateSpilled; releases the lock around the
+// disk read. On failure the disk copy is gone or corrupt — the local copy
+// is lost, so the entry is dropped and the control plane can mark the
+// object Lost for lineage replay. On success the object is re-admitted to
+// memory if it fits (possibly spilling colder objects); otherwise the
+// bytes are served while the entry stays on disk, so a single oversized
+// read cannot wedge the store.
+func (s *Store) restore(e *entry) ([]byte, bool) {
+	id := e.id
+	f := &restoreFlight{done: make(chan struct{})}
+	e.state = stateRestoring
+	e.restore = f
+	tier := s.tier
+	s.mu.Unlock()
+
+	data, err := tier.Restore(id)
+	if err == nil && int64(len(data)) != e.size {
+		err = fmt.Errorf("objectstore: restore %v: got %d bytes, want %d", id, len(data), e.size)
+	}
+
+	s.mu.Lock()
+	if err != nil {
+		f.err = err
+		close(f.done)
+		if s.objects[id] == e {
+			s.removeEntryLocked(e)
+			// A corrupt (size-mismatched) file may still exist: clean it up
+			// along with the entry.
+			removeFile := s.shouldRemoveTierLocked(id, nil)
+			if removeFile {
+				s.noteRemovalLocked(id)
+			}
+			drain := s.enqueuePublishLocked(id, func(ctrl gcs.API) {
+				ctrl.RemoveObjectLocation(id, s.node)
+			})
+			s.mu.Unlock()
+			if removeFile {
+				s.execRemoval(tier, id)
+			}
+			if drain {
+				s.drainPublishes(id)
+			}
+			return nil, false
+		}
+		s.mu.Unlock()
+		return nil, false
+	}
+	f.data = data
 	s.restores++
-	// Re-admit to memory only if it fits (possibly spilling colder objects);
-	// otherwise serve the bytes while the entry stays on disk, so a single
-	// oversized read cannot wedge the store.
-	if s.capacity > 0 && s.used+e.size > s.capacity {
-		if !s.freeLocked(s.used + e.size - s.capacity) {
+	close(f.done) // waiters unblock now; re-admission is our problem alone
+
+	serveWithoutReadmit := func() ([]byte, bool) {
+		// Deleted while restoring (the deleter settled accounting and the
+		// control plane — serving the already-read bytes to our waiters is
+		// the valid serialization "Get before Delete"), or memory cannot
+		// fit it: hand out the bytes, leave the tier copy authoritative.
+		if s.objects[id] == e && e.state == stateRestoring {
+			e.state = stateSpilled
+			e.restore = nil
+		}
+		s.mu.Unlock()
+		return data, true
+	}
+	for {
+		if s.objects[id] != e || e.state != stateRestoring {
+			return serveWithoutReadmit()
+		}
+		if s.capacity <= 0 || s.used+e.size <= s.capacity {
+			break
+		}
+		if !s.makeRoomLocked(e.size, true) {
+			return serveWithoutReadmit()
+		}
+		// makeRoomLocked dropped the lock: re-validate entry and capacity.
+	}
+	// Reserve the memory, then clear the tier copy while the entry is still
+	// stateRestoring — it is off the LRU list, so no evictor can claim it
+	// and race a fresh spill file against this removal.
+	s.used += e.size
+	gen := s.dropGen
+	if s.shouldRemoveTierLocked(id, e) {
+		// Fence the unlink like every other removal: this entry cannot be
+		// re-claimed (off the LRU list), but a Delete + re-Put racing this
+		// window creates a successor generation whose fresh spill must not
+		// start until the unlink lands.
+		s.noteRemovalLocked(id)
+		s.mu.Unlock()
+		s.execRemoval(tier, id)
+		s.mu.Lock()
+		if s.objects[id] != e {
+			// Deleted during the tier remove: un-reserve — unless a DropAll
+			// already reset the counters wholesale, discarding the
+			// reservation along with everything else.
+			if s.dropGen == gen {
+				s.used -= e.size
+			}
+			s.mu.Unlock()
 			return data, true
 		}
 	}
 	e.data = data
-	e.spilled = false
-	s.used += e.size
+	e.state = stateResident
+	e.restore = nil
 	s.spilled -= e.size
-	_ = s.tier.Remove(id)
-	s.ctrl.MarkObjectSpilled(id, s.node, false)
+	s.lru.pushFront(e)
+	drain := s.enqueuePublishLocked(id, func(ctrl gcs.API) {
+		ctrl.MarkObjectSpilled(id, s.node, false)
+	})
+	s.mu.Unlock()
+	if drain {
+		s.drainPublishes(id)
+	}
 	return data, true
+}
+
+// removeEntryLocked unmaps an entry and settles its share of the
+// accounting according to the state it was removed in. In-flight
+// transitions that still hold the pointer observe stateDropping (or fail
+// the map identity check) and finalize as no-ops. Caller holds s.mu.
+func (s *Store) removeEntryLocked(e *entry) {
+	switch e.state {
+	case stateResident:
+		s.used -= e.size
+		s.lru.remove(e)
+	case stateSpilling:
+		// Bytes still counted as memory until the spill finalizes — and it
+		// now never will (identity check): settle the memory side here. The
+		// spiller cleans up any file it wrote.
+		s.used -= e.size
+	case stateSpilled, stateRestoring:
+		s.spilled -= e.size
+	}
+	e.state = stateDropping
+	delete(s.objects, e.id)
+	s.evictDone.Broadcast()
 }
 
 // GetRange returns up to length bytes of the object at offset. Memory
@@ -266,52 +715,76 @@ func (s *Store) Get(id types.ObjectID) ([]byte, bool) {
 // file per chunk. Returns false when the object is absent or offset is
 // out of range.
 func (s *Store) GetRange(id types.ObjectID, offset, length int64) ([]byte, bool) {
-	s.mu.Lock()
-	e, ok := s.objects[id]
-	if !ok || offset < 0 || length <= 0 || offset >= e.size {
-		s.mu.Unlock()
-		return nil, false
-	}
-	if offset+length > e.size {
-		length = e.size - offset
-	}
-	if !e.spilled {
-		s.clock++
-		e.seq = s.clock
-		data := e.data[offset : offset+length]
-		s.mu.Unlock()
-		return data, true
-	}
-	if rr, canRange := s.tier.(RangeReader); canRange {
-		// Read under the lock so a concurrent Delete cannot remove the
-		// tier file mid-read; the read is range-sized, not object-sized.
-		data, err := rr.RestoreRange(id, offset, length)
-		s.mu.Unlock()
-		if err != nil || int64(len(data)) != length {
+	// The tier read runs outside the lock, so a concurrent restore or
+	// delete can remove the file mid-read; on failure, retry against the
+	// entry's new state (a restored object serves from memory) and only
+	// report absent when the entry is truly gone.
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		e, ok := s.objects[id]
+		if !ok || offset < 0 || length <= 0 || offset >= e.size {
+			s.mu.Unlock()
 			return nil, false
 		}
-		return data, true
+		want := length
+		if offset+want > e.size {
+			want = e.size - offset
+		}
+		switch e.state {
+		case stateResident, stateSpilling:
+			if e.state == stateResident {
+				s.lru.moveFront(e)
+			}
+			data := e.data[offset : offset+want]
+			s.mu.Unlock()
+			return data, true
+		case stateRestoring:
+			f := e.restore
+			s.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				return nil, false
+			}
+			return f.data[offset : offset+want], true
+		case stateSpilled:
+			rr, canRange := s.tier.(RangeReader)
+			if !canRange {
+				s.mu.Unlock()
+				// Tier without range support: full restore via Get (which
+				// may re-admit the object to memory).
+				data, ok := s.Get(id)
+				if !ok || offset >= int64(len(data)) {
+					return nil, false
+				}
+				end := offset + length
+				if end > int64(len(data)) {
+					end = int64(len(data))
+				}
+				return data[offset:end], true
+			}
+			s.mu.Unlock()
+			data, err := rr.RestoreRange(id, offset, want)
+			if err == nil && int64(len(data)) == want {
+				return data, true
+			}
+			if attempt >= 3 {
+				return nil, false
+			}
+			// File vanished mid-read (concurrent restore or delete): loop
+			// and re-resolve the entry's state.
+		default:
+			s.mu.Unlock()
+			return nil, false
+		}
 	}
-	s.mu.Unlock()
-	// Tier without range support: fall back to a full restore via Get
-	// (which may re-admit the object to memory).
-	data, ok := s.Get(id)
-	if !ok || offset >= int64(len(data)) {
-		return nil, false
-	}
-	end := offset + length
-	if end > int64(len(data)) {
-		end = int64(len(data))
-	}
-	return data[offset:end], true
 }
 
 // Contains reports local presence (memory or spill tier) without touching
-// LRU state.
+// LRU state. It never waits on tier I/O or control-plane calls.
 func (s *Store) Contains(id types.ObjectID) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	_, ok := s.objects[id]
+	s.mu.Unlock()
 	return ok
 }
 
@@ -348,15 +821,37 @@ func (s *Store) WaitChan(id types.ObjectID) <-chan struct{} {
 }
 
 // Delete removes id locally (memory and spill tier) and deregisters the
-// location.
+// location. An in-flight spill or restore of the entry observes the
+// removal at finalize time and settles to a no-op; the entry's accounting
+// share is settled here, exactly once.
 func (s *Store) Delete(id types.ObjectID) bool {
 	s.mu.Lock()
 	e, ok := s.objects[id]
-	if ok {
-		s.dropLocked(id, e)
+	if !ok {
+		s.mu.Unlock()
+		return false
 	}
+	tier := s.tier
+	// Only spilled/restoring entries (or one with a write in flight, whose
+	// cleanup shouldRemoveTierLocked defers to the writer) can have a tier
+	// file; never-spilled residents skip the unlink and its fencing.
+	mayHaveFile := e.state == stateSpilled || e.state == stateRestoring || s.tierWrites[id] > 0
+	s.removeEntryLocked(e)
+	removeFile := tier != nil && mayHaveFile && s.shouldRemoveTierLocked(id, nil)
+	if removeFile {
+		s.noteRemovalLocked(id)
+	}
+	drain := s.enqueuePublishLocked(id, func(ctrl gcs.API) {
+		ctrl.RemoveObjectLocation(id, s.node)
+	})
 	s.mu.Unlock()
-	return ok
+	if removeFile {
+		s.execRemoval(tier, id)
+	}
+	if drain {
+		s.drainPublishes(id)
+	}
+	return true
 }
 
 // Fail simulates the node's memory vanishing in a crash: every object is
@@ -375,19 +870,42 @@ func (s *Store) Fail() {
 // deregistered so the control plane marks sole copies Lost.
 func (s *Store) DropAll() {
 	s.mu.Lock()
-	ids := make([]types.ObjectID, 0, len(s.objects))
-	for id, e := range s.objects {
-		ids = append(ids, id)
-		if e.spilled && s.tier != nil {
-			_ = s.tier.Remove(id)
-		}
+	tier := s.tier
+	type victim struct {
+		id         types.ObjectID
+		removeFile bool
+		drainer    bool
 	}
-	s.objects = make(map[types.ObjectID]*entry)
+	victims := make([]victim, 0, len(s.objects))
+	for id, e := range s.objects {
+		mayHaveFile := e.state == stateSpilled || e.state == stateRestoring ||
+			e.state == stateSpilling || s.tierWrites[id] > 0
+		e.state = stateDropping
+		delete(s.objects, id)
+		v := victim{id: id, removeFile: tier != nil && mayHaveFile && s.shouldRemoveTierLocked(id, nil)}
+		if v.removeFile {
+			s.noteRemovalLocked(id)
+		}
+		v.drainer = s.enqueuePublishLocked(id, func(ctrl gcs.API) {
+			ctrl.RemoveObjectLocation(id, s.node)
+		})
+		victims = append(victims, v)
+	}
+	s.lru.init()
 	s.used = 0
 	s.spilled = 0
+	s.dropGen++
+	s.evictDone.Broadcast()
 	s.mu.Unlock()
-	for _, id := range ids {
-		s.ctrl.RemoveObjectLocation(id, s.node)
+	for _, v := range victims {
+		if v.removeFile {
+			s.execRemoval(tier, v.id)
+		}
+	}
+	for _, v := range victims {
+		if v.drainer {
+			s.drainPublishes(v.id)
+		}
 	}
 }
 
@@ -412,8 +930,9 @@ func (s *Store) Count() int {
 	return len(s.objects)
 }
 
-// Stats snapshots usage for heartbeats and dashboards. Reclaimed is owned
-// by the lifetime manager and filled in by the node.
+// Stats snapshots usage for heartbeats and dashboards. Reclaimed and
+// TierEvictions are owned by the lifetime subsystem and filled in by the
+// node.
 func (s *Store) Stats() types.StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -209,6 +209,7 @@ type StoreStats struct {
 	Spills       int64 // cumulative spill-to-disk operations
 	Restores     int64 // cumulative restores from disk
 	Reclaimed    int64 // cumulative objects reclaimed by lifetime GC
+	TierEvicted  int64 // cumulative spill files reclaimed by disk-budget pressure
 }
 
 // NodeInfo is the node-table record.
