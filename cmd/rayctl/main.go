@@ -7,6 +7,7 @@
 //	rayctl -addr http://127.0.0.1:8265 nodes
 //	rayctl -addr http://127.0.0.1:8265 tasks
 //	rayctl -addr http://127.0.0.1:8265 objects
+//	rayctl -addr http://127.0.0.1:8265 groups
 //	rayctl -addr http://127.0.0.1:8265 profile
 //	rayctl -addr http://127.0.0.1:8265 trace -o trace.json   # chrome://tracing
 package main
@@ -43,6 +44,8 @@ func main() {
 		printObjects(fetch(*addr + "/api/objects"))
 	case "shards":
 		printShards(fetch(*addr + "/api/shards"))
+	case "groups":
+		printGroups(fetch(*addr + "/api/placement"))
 	case "functions":
 		os.Stdout.Write(fetch(*addr + "/api/functions"))
 	case "events":
@@ -153,6 +156,27 @@ func printShards(body []byte) {
 	tbl := stats.Table{Header: []string{"shard", "addr", "alive", "incarnation", "restarts", "kv-ops", "wal-bytes"}}
 	for _, s := range shards {
 		tbl.AddRow(s.Index, s.Addr, s.Alive, s.Incarnation, s.Restarts, s.Ops, s.WALBytes)
+	}
+	tbl.Render(os.Stdout)
+}
+
+func printGroups(body []byte) {
+	var groups []struct {
+		ID       string               `json:"id"`
+		Name     string               `json:"name"`
+		Strategy string               `json:"strategy"`
+		State    string               `json:"state"`
+		Bundles  []map[string]float64 `json:"bundles"`
+		Nodes    []string             `json:"nodes"`
+	}
+	must(json.Unmarshal(body, &groups))
+	if len(groups) == 0 {
+		fmt.Println("no placement groups")
+		return
+	}
+	tbl := stats.Table{Header: []string{"group", "name", "strategy", "state", "bundles", "nodes"}}
+	for _, g := range groups {
+		tbl.AddRow(g.ID, g.Name, g.Strategy, g.State, len(g.Bundles), fmt.Sprintf("%v", g.Nodes))
 	}
 	tbl.Render(os.Stdout)
 }

@@ -1,0 +1,199 @@
+// Placement-group example: the Section 4.2 RL shape — a learner plus its
+// simulators — gang-scheduled through the task-options API. The learner
+// actor and every simulator task pin to bundles of one placement group, so
+// the scheduler admits the whole set atomically (STRICT_SPREAD: every
+// bundle on a distinct node). Killing a member node rolls the entire
+// placement back and re-places the bundle set as a unit on the surviving
+// capacity; removing the group fails late submissions with a typed error.
+//
+//	go run ./examples/placement
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+const (
+	simBundles = 2
+	rounds     = 3
+)
+
+func main() {
+	reg := core.NewRegistry()
+	rollout := core.Register2(reg, "placement.rollout",
+		func(tc *core.TaskContext, weights float64, seed int) (float64, error) {
+			// A toy simulator: pretend to run an episode under the weights.
+			time.Sleep(5 * time.Millisecond)
+			return math.Sin(weights+float64(seed)) + 1, nil
+		})
+	learnerInit := core.RegisterActorInit(reg, "placement.learner",
+		func(tc *core.TaskContext) (float64, error) { return 0.1, nil })
+	core.RegisterActorMethod(reg, "placement.train",
+		func(tc *core.TaskContext, weights float64, returns []float64) (float64, float64, error) {
+			mean := 0.0
+			for _, r := range returns {
+				mean += r
+			}
+			mean /= float64(len(returns))
+			return weights + 0.05*mean, mean, nil
+		})
+
+	// Four nodes, three of which the group needs: the spare is what makes
+	// atomic re-placement after a member-node kill possible.
+	c, err := cluster.New(cluster.Config{
+		Nodes:         4,
+		NodeResources: types.CPU(4),
+		Registry:      reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+	d := c.Driver()
+	ctx := context.Background()
+
+	// One bundle for the learner, one per simulator pool, spread across
+	// distinct nodes.
+	bundles := []types.Resources{types.CPU(2)}
+	for i := 0; i < simBundles; i++ {
+		bundles = append(bundles, types.CPU(2))
+	}
+	pg, err := d.CreatePlacementGroup("rl-gang", types.StrategyStrictSpread, bundles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pg.WaitReady(ctx, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placement group ready: %d bundles on %v\n", pg.NumBundles(), groupNodes(c, pg))
+
+	// The learner actor pins to bundle 0 for its whole method chain.
+	learner, err := core.NewActorWith(d, learnerInit, []core.Option{pg.Bundle(0)})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	train := func(round int) {
+		var refs []core.Ref[float64]
+		for s := 0; s < 2*simBundles; s++ {
+			// Each simulator joins a sim bundle through the fluent options
+			// pipeline — resources, retries, and co-placement per call.
+			ref, err := rollout.Options(
+				pg.Bundle(1+s%simBundles),
+				core.WithResources(types.CPU(1)),
+				core.WithMaxRetries(2),
+			).Remote(d, 0.1*float64(round), s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			refs = append(refs, ref)
+		}
+		var returns []float64
+		for _, r := range refs {
+			v, err := core.Get(ctx, d, r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			returns = append(returns, v)
+		}
+		resRef, err := learner.Call("placement.train", core.Val(returns))
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw, err := d.Get(ctx, resRef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean, _ := codec.DecodeAs[float64](raw)
+		fmt.Printf("round %d: %d rollouts, mean return %.3f\n", round, len(returns), mean)
+	}
+
+	for r := 0; r < rounds; r++ {
+		train(r)
+	}
+
+	// Kill a member node (never node 0 — the driver lives there). The gang
+	// pass releases every bundle reservation and re-places the whole set
+	// atomically on the remaining capacity.
+	victim := pickVictim(c, pg)
+	dead := c.Node(victim).ID()
+	fmt.Printf("\nkilling member node %v ...\n", dead)
+	c.KillNode(victim)
+	// Wait for the rollback + atomic re-placement: Placed again, with the
+	// dead node out of every bundle.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		info, ok := c.API.GetPlacementGroup(pg.ID)
+		if ok && info.State == types.GroupPlaced && !holds(info.BundleNodes, dead) {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("group not re-placed off %v in time", dead)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("group re-placed atomically on %v\n", groupNodes(c, pg))
+	train(rounds)
+
+	// Removal is terminal: reservations release and member submissions
+	// fail with the typed error instead of hanging.
+	if err := pg.Remove(); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	_, err = rollout.Options(pg.Bundle(1)).Remote(d, 0, 0)
+	fmt.Printf("\nafter removal, submit fails typed: %v (is ErrGroupRemoved: %v)\n",
+		err, errors.Is(err, core.ErrGroupRemoved))
+}
+
+func holds(nodes []types.NodeID, id types.NodeID) bool {
+	for _, n := range nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// groupNodes renders the bundle→node assignment.
+func groupNodes(c *cluster.Cluster, pg *core.PlacementGroup) []string {
+	info, ok := c.API.GetPlacementGroup(pg.ID)
+	if !ok {
+		return nil
+	}
+	out := make([]string, len(info.BundleNodes))
+	for i, n := range info.BundleNodes {
+		out[i] = n.String()
+	}
+	return out
+}
+
+// pickVictim finds a cluster index holding one of the group's bundles,
+// skipping node 0 (the driver's backend).
+func pickVictim(c *cluster.Cluster, pg *core.PlacementGroup) int {
+	info, ok := c.API.GetPlacementGroup(pg.ID)
+	if !ok {
+		log.Fatal("placement group vanished")
+	}
+	members := map[types.NodeID]bool{}
+	for _, n := range info.BundleNodes {
+		members[n] = true
+	}
+	for i := 1; i < c.NumNodes(); i++ {
+		if members[c.Node(i).ID()] {
+			return i
+		}
+	}
+	log.Fatal("no killable member node")
+	return -1
+}

@@ -80,6 +80,9 @@ type Config struct {
 	// DisableEventLog turns off control-plane event logging (E13 measures
 	// the difference).
 	DisableEventLog bool
+	// DisablePrefetch turns off park-time dependency prefetch in every
+	// local scheduler (the before arm of experiment E19).
+	DisablePrefetch bool
 }
 
 // Cluster is a running in-process cluster.
@@ -95,12 +98,18 @@ type Cluster struct {
 	Network *transport.Inproc
 	Globals []*scheduler.Global
 
+	cfg          Config
 	nodes        []*node.Node
 	shardClients []*gcs.Sharded
 	gcsTmpDir    string
 
 	mu      sync.Mutex
 	clients map[string]transport.Client
+	// addMu serializes AddNode calls against each other and against
+	// Shutdown (index assignment spans node boot; a node booted after
+	// Shutdown's snapshot would leak un-stopped).
+	addMu  sync.Mutex
+	closed bool // guarded by addMu
 }
 
 // New boots a cluster.
@@ -125,6 +134,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{
+		cfg:     cfg,
 		Network: transport.NewInproc(cfg.HopLatency),
 		clients: make(map[string]transport.Client),
 	}
@@ -139,39 +149,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	for i := 0; i < cfg.Nodes; i++ {
-		res := cfg.NodeResources
-		if cfg.PerNodeResources != nil && i < len(cfg.PerNodeResources) && cfg.PerNodeResources[i] != nil {
-			res = cfg.PerNodeResources[i]
-		}
-		spill := spillDefault(cfg, res)
-		spillDir := ""
-		if cfg.SpillDir != "" {
-			spillDir = filepath.Join(cfg.SpillDir, fmt.Sprintf("node-%d", i))
-		}
-		ctrl, err := c.ctrlClient()
-		if err != nil {
+		if _, err := c.AddNode(); err != nil {
 			c.Shutdown()
 			return nil, err
 		}
-		n, err := node.New(node.Config{
-			Resources:         res.Clone(),
-			StoreCapacity:     cfg.StoreCapacity,
-			SpillDir:          spillDir,
-			SpillBudget:       cfg.SpillBudget,
-			Pull:              cfg.Pull,
-			SpillThreshold:    spill,
-			Network:           c.Network,
-			ListenAddr:        fmt.Sprintf("node-%d", i),
-			Ctrl:              ctrl,
-			Registry:          cfg.Registry,
-			HeartbeatInterval: cfg.HeartbeatInterval,
-			DepPollInterval:   cfg.DepPollInterval,
-		})
-		if err != nil {
-			c.Shutdown()
-			return nil, err
-		}
-		c.nodes = append(c.nodes, n)
 	}
 
 	for i := 0; i < cfg.GlobalSchedulers; i++ {
@@ -181,14 +162,70 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		g := scheduler.NewGlobal(scheduler.GlobalConfig{
-			Ctrl:   ctrl,
-			Policy: cfg.GlobalPolicy,
-			Assign: c.assign,
+			Ctrl:         ctrl,
+			Policy:       cfg.GlobalPolicy,
+			Assign:       c.assign,
+			Reserve:      c.reserve,
+			ReleaseGroup: c.releaseGroup,
+			FailTask:     c.failTask,
 		})
 		g.Start()
 		c.Globals = append(c.Globals, g)
 	}
 	return c, nil
+}
+
+// AddNode boots one more node into the running cluster (the elasticity
+// primitive the gang tests and the future autoscaler drive). Per-index
+// configuration (PerNodeResources, spill subdirectory) follows the node's
+// position in join order; calls are serialized so concurrent adds cannot
+// claim the same index (and with it the same listen address and spill
+// subdirectory).
+func (c *Cluster) AddNode() (*node.Node, error) {
+	c.addMu.Lock()
+	defer c.addMu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("cluster: shut down")
+	}
+	cfg := c.cfg
+	c.mu.Lock()
+	i := len(c.nodes)
+	c.mu.Unlock()
+	res := cfg.NodeResources
+	if cfg.PerNodeResources != nil && i < len(cfg.PerNodeResources) && cfg.PerNodeResources[i] != nil {
+		res = cfg.PerNodeResources[i]
+	}
+	spill := spillDefault(cfg, res)
+	spillDir := ""
+	if cfg.SpillDir != "" {
+		spillDir = filepath.Join(cfg.SpillDir, fmt.Sprintf("node-%d", i))
+	}
+	ctrl, err := c.ctrlClient()
+	if err != nil {
+		return nil, err
+	}
+	n, err := node.New(node.Config{
+		Resources:         res.Clone(),
+		StoreCapacity:     cfg.StoreCapacity,
+		SpillDir:          spillDir,
+		SpillBudget:       cfg.SpillBudget,
+		Pull:              cfg.Pull,
+		SpillThreshold:    spill,
+		Network:           c.Network,
+		ListenAddr:        fmt.Sprintf("node-%d", i),
+		Ctrl:              ctrl,
+		Registry:          cfg.Registry,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		DepPollInterval:   cfg.DepPollInterval,
+		DisablePrefetch:   cfg.DisablePrefetch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.nodes = append(c.nodes, n)
+	c.mu.Unlock()
+	return n, nil
 }
 
 // GCSMapAddr is where an in-process cluster's supervisor serves the shard
@@ -272,14 +309,34 @@ func spillDefault(cfg Config, res types.Resources) int {
 // SpillThresholdOf is a convenience for building Config.SpillThreshold.
 func SpillThresholdOf(v int) *int { return &v }
 
-// assign delivers a global placement over the cluster network.
-func (c *Cluster) assign(nid types.NodeID, addr string, spec types.TaskSpec) error {
+// rpc delivers one scheduler RPC to a node over the cluster network.
+func (c *Cluster) rpc(addr, method string, req any) error {
 	client, err := c.client(addr)
 	if err != nil {
 		return err
 	}
-	_, err = client.Call(node.AssignMethod, codec.MustEncode(spec))
+	_, err = client.Call(method, codec.MustEncode(req))
 	return err
+}
+
+// assign delivers a global placement over the cluster network.
+func (c *Cluster) assign(nid types.NodeID, addr string, spec types.TaskSpec) error {
+	return c.rpc(addr, node.AssignMethod, spec)
+}
+
+// reserve delivers a gang bundle reservation over the cluster network.
+func (c *Cluster) reserve(nid types.NodeID, addr string, group types.PlacementGroupID, bundle int, res types.Resources) error {
+	return c.rpc(addr, node.ReserveMethod, node.ReserveReq{Group: group, Bundle: bundle, Res: res})
+}
+
+// releaseGroup delivers a gang reservation release over the network.
+func (c *Cluster) releaseGroup(nid types.NodeID, addr string, group types.PlacementGroupID, removed bool) error {
+	return c.rpc(addr, node.GroupReleaseMethod, node.GroupReleaseReq{Group: group, Removed: removed})
+}
+
+// failTask asks a node to bury a task with a terminal error.
+func (c *Cluster) failTask(nid types.NodeID, addr string, spec types.TaskSpec, reason string) error {
+	return c.rpc(addr, node.FailTaskMethod, node.FailTaskReq{Spec: spec, Reason: reason})
 }
 
 func (c *Cluster) client(addr string) (transport.Client, error) {
@@ -297,22 +354,31 @@ func (c *Cluster) client(addr string) (transport.Client, error) {
 }
 
 // Node returns the i-th node.
-func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
+func (c *Cluster) Node(i int) *node.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i]
+}
 
 // NumNodes returns the node count.
-func (c *Cluster) NumNodes() int { return len(c.nodes) }
+func (c *Cluster) NumNodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
 
 // Driver returns a fresh driver client attached to node 0.
-func (c *Cluster) Driver() *core.Client { return core.NewClient(c.nodes[0]) }
+func (c *Cluster) Driver() *core.Client { return core.NewClient(c.Node(0)) }
 
 // DriverOn returns a driver attached to node i.
-func (c *Cluster) DriverOn(i int) *core.Client { return core.NewClient(c.nodes[i]) }
+func (c *Cluster) DriverOn(i int) *core.Client { return core.NewClient(c.Node(i)) }
 
 // KillNode crash-fails node i (fault injection, R6). The control plane
 // learns immediately, as if a monitor had detected the missed heartbeats.
 func (c *Cluster) KillNode(i int) {
-	c.nodes[i].Kill()
-	c.dropClientFor(c.nodes[i].Addr())
+	n := c.Node(i)
+	n.Kill()
+	c.dropClientFor(n.Addr())
 }
 
 func (c *Cluster) dropClientFor(addr string) {
@@ -326,10 +392,16 @@ func (c *Cluster) dropClientFor(addr string) {
 
 // Shutdown stops every component.
 func (c *Cluster) Shutdown() {
+	c.addMu.Lock()
+	c.closed = true // fence AddNode: no node may boot past this point
+	c.addMu.Unlock()
 	for _, g := range c.Globals {
 		g.Stop()
 	}
-	for _, n := range c.nodes {
+	c.mu.Lock()
+	nodes := append([]*node.Node(nil), c.nodes...)
+	c.mu.Unlock()
+	for _, n := range nodes {
 		n.Shutdown()
 	}
 	c.mu.Lock()

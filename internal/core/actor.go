@@ -27,17 +27,31 @@ type Actor struct {
 	mu    sync.Mutex
 	state ObjectRef
 	sub   Submitter
+	// pinned options applied to every method call: an actor created inside
+	// a placement-group bundle stays pinned to that bundle (and its
+	// locality hint), so the whole method chain runs against the gang
+	// reservation.
+	pinned []Option
 }
 
 // NewActor creates an actor whose initial state is the value v. The state
 // is stored via an `actor.init` bootstrap task rather than a bare Put so
 // that it has lineage and can be reconstructed after failures.
 func NewActor(sub Submitter, initFn string, args ...types.Arg) (*Actor, error) {
-	refs, err := sub.Submit(Call{Function: initFn, Args: args, NumReturns: 1})
+	return NewActorWith(sub, initFn, nil, args...)
+}
+
+// NewActorWith is NewActor with submission options. The options apply to
+// the init task and are pinned to every subsequent method call, so
+// core.WithPlacementGroup(pg, i) gang-schedules the actor's entire
+// lifetime into bundle i — the learner-next-to-simulators co-placement of
+// the Section 4.2 workload.
+func NewActorWith(sub Submitter, initFn string, opts []Option, args ...types.Arg) (*Actor, error) {
+	refs, err := sub.SubmitOpts(initFn, args, append(opts[:len(opts):len(opts)], WithNumReturns(1))...)
 	if err != nil {
 		return nil, fmt.Errorf("core: actor init: %w", err)
 	}
-	return &Actor{state: refs[0], sub: sub}, nil
+	return &Actor{state: refs[0], sub: sub, pinned: opts}, nil
 }
 
 // StateRef returns the future of the actor's current state (after all
@@ -56,7 +70,8 @@ func (a *Actor) Call(method string, args ...types.Arg) (ObjectRef, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	callArgs := append([]types.Arg{types.RefArg(a.state.ID)}, args...)
-	refs, err := a.sub.Submit(Call{Function: method, Args: callArgs, NumReturns: 2})
+	opts := append(a.pinned[:len(a.pinned):len(a.pinned)], WithNumReturns(2))
+	refs, err := a.sub.SubmitOpts(method, callArgs, opts...)
 	if err != nil {
 		return ObjectRef{}, err
 	}

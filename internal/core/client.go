@@ -5,6 +5,8 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,12 +46,26 @@ type RefCounted interface {
 }
 
 // Call describes one task invocation.
+//
+// Deprecated: Call predates the options pipeline and carries only a subset
+// of submission intent (no locality, no placement group). New code should
+// use SubmitOpts or the typed Options(...).Remote pipeline; Call remains as
+// a thin wrapper so existing programs keep compiling.
 type Call struct {
 	Function   string
 	Args       []types.Arg
 	NumReturns int             // 0 means 1
 	Resources  types.Resources // nil means {CPU:1}
 	MaxRetries int
+}
+
+// options converts the legacy Call shape into the canonical TaskOptions.
+func (c Call) options() TaskOptions {
+	return TaskOptions{
+		Resources:  c.Resources,
+		NumReturns: c.NumReturns,
+		MaxRetries: c.MaxRetries,
+	}
 }
 
 // DefaultTaskResources is the demand assumed when a Call leaves Resources
@@ -59,6 +75,10 @@ var DefaultTaskResources = types.CPU(1)
 
 // ErrTaskFailed wraps application-level task failures surfaced through Get.
 var ErrTaskFailed = errors.New("core: task failed")
+
+// ErrWaitInvalid marks a structurally invalid Wait call (numReturns out of
+// range, duplicate refs) that could otherwise block forever.
+var ErrWaitInvalid = errors.New("core: invalid Wait")
 
 // caller is the shared submission state behind Client and TaskContext: the
 // owning task identity plus its child-submission counter. The counter is
@@ -71,6 +91,10 @@ type caller struct {
 	// blockHook, when non-nil, brackets blocking operations so the node can
 	// release the task's resources while it waits (worker lending).
 	blockHook func(blocked bool)
+	// groups caches immutable placement-group specs resolved for grouped
+	// submissions (PlacementGroupID -> types.PlacementGroupSpec), so only
+	// a group's first use pays a control-plane round trip.
+	groups sync.Map
 }
 
 func (c *caller) enterBlocked() {
@@ -108,26 +132,37 @@ func (c *caller) release(refs []ObjectRef) {
 }
 
 // submit implements task creation (Section 3.1, items 1-3): it derives the
-// deterministic task ID, validates, hands the spec to the local scheduler,
-// and returns futures immediately without waiting for execution.
-func (c *caller) submit(call Call) ([]ObjectRef, error) {
-	if call.NumReturns == 0 {
-		call.NumReturns = 1
+// deterministic task ID, validates the options against the control plane,
+// hands the spec to the local scheduler, and returns futures immediately
+// without waiting for execution.
+func (c *caller) submit(function string, args []types.Arg, o TaskOptions) ([]ObjectRef, error) {
+	if o.NumReturns == 0 {
+		o.NumReturns = 1
 	}
-	res := call.Resources
+	res := o.Resources
 	if res == nil {
 		res = DefaultTaskResources.Clone()
+	}
+	if !o.Group.IsNil() {
+		if err := c.validateGroupOptions(&o, res); err != nil {
+			return nil, err
+		}
+	} else if o.Bundle != 0 {
+		return nil, fmt.Errorf("%w: bundle index %d without a placement group", ErrInvalidOptions, o.Bundle)
 	}
 	idx := c.counter.Add(1)
 	spec := types.TaskSpec{
 		ID:          types.DeriveTaskID(c.owner, idx),
-		Function:    call.Function,
-		Args:        call.Args,
-		NumReturns:  call.NumReturns,
+		Function:    function,
+		Args:        args,
+		NumReturns:  o.NumReturns,
 		Resources:   res,
 		Parent:      c.owner,
 		SubmitIndex: idx,
-		MaxRetries:  call.MaxRetries,
+		MaxRetries:  o.MaxRetries,
+		Locality:    o.Locality,
+		Group:       o.Group,
+		Bundle:      o.Bundle,
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -135,7 +170,7 @@ func (c *caller) submit(call Call) ([]ObjectRef, error) {
 	if err := c.backend.SubmitTask(spec); err != nil {
 		return nil, err
 	}
-	refs := make([]ObjectRef, call.NumReturns)
+	refs := make([]ObjectRef, o.NumReturns)
 	for i := range refs {
 		refs[i] = ObjectRef{ID: spec.ReturnID(i)}
 		c.retain(refs[i].ID)
@@ -163,11 +198,40 @@ func (c *caller) get(ctx context.Context, ref ObjectRef) ([]byte, error) {
 
 // checkErrPayload surfaces stored task failures through Get (a failed
 // task's return objects hold tagged error payloads; see worker.Executor).
+// Gang-scheduling failures carry a recognizable reason prefix so callers
+// can match the typed error instead of parsing strings.
 func checkErrPayload(data []byte) ([]byte, error) {
 	if msg, isErr := codec.AsError(data); isErr {
+		if isGroupRemovedPayload(msg) {
+			// Matches both sentinels: ErrTaskFailed keeps the documented
+			// "any task failure" contract for existing callers, while
+			// ErrGroupRemoved identifies the gang-removal class.
+			return nil, fmt.Errorf("%w: %w: %s", ErrTaskFailed, ErrGroupRemoved, msg)
+		}
 		return nil, fmt.Errorf("%w: %s", ErrTaskFailed, msg)
 	}
 	return data, nil
+}
+
+// isGroupRemovedPayload matches the exact shape the schedulers store for
+// buried group members — reason prefix plus a short group ID — so an
+// application error that merely starts with the prefix text is not
+// misclassified as a gang removal.
+func isGroupRemovedPayload(msg string) bool {
+	rest, ok := strings.CutPrefix(msg, types.ReasonGroupRemoved)
+	if !ok {
+		return false
+	}
+	rest, ok = strings.CutPrefix(rest, "pg-")
+	if !ok || len(rest) != 12 {
+		return false
+	}
+	for _, c := range rest {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 func tryLocal(b Backend, id types.ObjectID) ([]byte, bool) {
@@ -206,7 +270,23 @@ func (c *caller) put(v any) (ObjectRef, error) {
 // it to bound latency without paying for stragglers (R1).
 func (c *caller) wait(ctx context.Context, refs []ObjectRef, numReturns int, timeout time.Duration) (ready, pending []ObjectRef, err error) {
 	if numReturns < 0 || numReturns > len(refs) {
-		return nil, nil, fmt.Errorf("core: Wait numReturns %d out of range [0,%d]", numReturns, len(refs))
+		return nil, nil, fmt.Errorf("%w: numReturns %d out of range [0,%d]", ErrWaitInvalid, numReturns, len(refs))
+	}
+	// Reject duplicate (and nil) refs up front with a typed error: a
+	// repeated ref makes numReturns ambiguous — counting occurrences, one
+	// completion can satisfy a wait the caller meant as "two results
+	// ready"; counting distinct objects, numReturns can exceed what could
+	// ever complete and block forever. Either reading silently does the
+	// wrong thing for someone, so the contract is distinct refs only.
+	seen := make(map[types.ObjectID]bool, len(refs))
+	for _, r := range refs {
+		if r.IsNil() {
+			return nil, nil, fmt.Errorf("%w: nil ref", ErrWaitInvalid)
+		}
+		if seen[r.ID] {
+			return nil, nil, fmt.Errorf("%w: duplicate ref %v", ErrWaitInvalid, r.ID)
+		}
+		seen[r.ID] = true
 	}
 	ctrl := c.backend.Control()
 
@@ -315,13 +395,27 @@ func NewClientWithRoot(b Backend, root types.TaskID) *Client {
 	return c
 }
 
+// SubmitOpts creates a task with explicit per-call options and immediately
+// returns its futures (non-blocking). This is the canonical untyped entry
+// point; the typed Options(...).Remote pipeline builds on the same path.
+func (cl *Client) SubmitOpts(function string, args []types.Arg, opts ...Option) ([]ObjectRef, error) {
+	return cl.submit(function, args, buildOptions(opts))
+}
+
 // Submit creates a task and immediately returns its futures (non-blocking).
-func (cl *Client) Submit(call Call) ([]ObjectRef, error) { return cl.submit(call) }
+//
+// Deprecated: use SubmitOpts or the typed Options(...).Remote pipeline.
+func (cl *Client) Submit(call Call) ([]ObjectRef, error) {
+	return cl.submit(call.Function, call.Args, call.options())
+}
 
 // Submit1 is Submit for the common single-return case.
+//
+// Deprecated: use SubmitOpts or the typed Options(...).Remote pipeline.
 func (cl *Client) Submit1(call Call) (ObjectRef, error) {
-	call.NumReturns = 1
-	refs, err := cl.submit(call)
+	o := call.options()
+	o.NumReturns = 1
+	refs, err := cl.submit(call.Function, call.Args, o)
 	if err != nil {
 		return ObjectRef{}, err
 	}
@@ -375,13 +469,26 @@ func (tc *TaskContext) Context() context.Context { return tc.ctx }
 // Spec returns the executing task's spec.
 func (tc *TaskContext) Spec() types.TaskSpec { return tc.spec }
 
+// SubmitOpts creates a child task with explicit per-call options
+// (non-blocking, R3).
+func (tc *TaskContext) SubmitOpts(function string, args []types.Arg, opts ...Option) ([]ObjectRef, error) {
+	return tc.submit(function, args, buildOptions(opts))
+}
+
 // Submit creates a child task (non-blocking, R3).
-func (tc *TaskContext) Submit(call Call) ([]ObjectRef, error) { return tc.submit(call) }
+//
+// Deprecated: use SubmitOpts or the typed Options(...).Remote pipeline.
+func (tc *TaskContext) Submit(call Call) ([]ObjectRef, error) {
+	return tc.submit(call.Function, call.Args, call.options())
+}
 
 // Submit1 is Submit for the single-return case.
+//
+// Deprecated: use SubmitOpts or the typed Options(...).Remote pipeline.
 func (tc *TaskContext) Submit1(call Call) (ObjectRef, error) {
-	call.NumReturns = 1
-	refs, err := tc.submit(call)
+	o := call.options()
+	o.NumReturns = 1
+	refs, err := tc.submit(call.Function, call.Args, o)
 	if err != nil {
 		return ObjectRef{}, err
 	}

@@ -12,33 +12,30 @@ import (
 // Submitter is anything tasks can be submitted through: the driver Client
 // or a running task's TaskContext (R3).
 type Submitter interface {
+	// SubmitOpts is the canonical options-bearing submission path.
+	SubmitOpts(function string, args []types.Arg, opts ...Option) ([]ObjectRef, error)
+	// Submit is the legacy Call-struct path.
+	//
+	// Deprecated: use SubmitOpts.
 	Submit(call Call) ([]ObjectRef, error)
 }
 
-// CallOpt adjusts a generated Call (resources, retries).
-type CallOpt func(*Call)
-
-// WithResources sets the task's resource demand (R4).
-func WithResources(r types.Resources) CallOpt {
-	return func(c *Call) { c.Resources = r }
-}
+// CallOpt adjusts a call's options.
+//
+// Deprecated: CallOpt is an alias of Option kept for source compatibility;
+// use Option.
+type CallOpt = Option
 
 // WithRetries sets how many times the task is retried on failure.
-func WithRetries(n int) CallOpt {
-	return func(c *Call) { c.MaxRetries = n }
-}
+//
+// Deprecated: renamed to WithMaxRetries for symmetry with TaskOptions.
+func WithRetries(n int) Option { return WithMaxRetries(n) }
 
-func buildCall(name string, args []types.Arg, opts []CallOpt) Call {
-	c := Call{Function: name, Args: args, NumReturns: 1}
-	for _, o := range opts {
-		o(&c)
-	}
-	c.NumReturns = 1
-	return c
-}
-
-func submitTyped[R any](s Submitter, call Call) (Ref[R], error) {
-	refs, err := s.Submit(call)
+// submitOne submits a single-return call through the options path. The
+// full slice expression forces the append to copy, so a Bound handle's
+// shared opts backing is never written through.
+func submitOne[R any](s Submitter, name string, args []types.Arg, opts []Option) (Ref[R], error) {
+	refs, err := s.SubmitOpts(name, args, append(opts[:len(opts):len(opts)], WithNumReturns(1))...)
 	if err != nil {
 		return Ref[R]{}, err
 	}
@@ -68,8 +65,26 @@ func Register0[R any](reg *Registry, name string, f func(*TaskContext) (R, error
 }
 
 // Remote submits a call of the function.
-func (fn Func0[R]) Remote(s Submitter, opts ...CallOpt) (Ref[R], error) {
-	return submitTyped[R](s, buildCall(fn.Name, nil, opts))
+func (fn Func0[R]) Remote(s Submitter, opts ...Option) (Ref[R], error) {
+	return submitOne[R](s, fn.Name, nil, opts)
+}
+
+// Options binds submission options to the handle; the returned bound
+// handle submits with them: fn.Options(core.WithPlacementGroup(pg, 0),
+// core.WithMaxRetries(2)).Remote(driver).
+func (fn Func0[R]) Options(opts ...Option) Bound0[R] {
+	return Bound0[R]{fn: fn, opts: opts}
+}
+
+// Bound0 is a Func0 with submission options attached.
+type Bound0[R any] struct {
+	fn   Func0[R]
+	opts []Option
+}
+
+// Remote submits a call with the bound options.
+func (b Bound0[R]) Remote(s Submitter) (Ref[R], error) {
+	return b.fn.Remote(s, b.opts...)
 }
 
 // Func1 is a registered remote function of one argument.
@@ -99,14 +114,35 @@ func Register1[A, R any](reg *Registry, name string, f func(*TaskContext, A) (R,
 }
 
 // Remote submits a call with an inline value argument.
-func (fn Func1[A, R]) Remote(s Submitter, a A, opts ...CallOpt) (Ref[R], error) {
-	return submitTyped[R](s, buildCall(fn.Name, []types.Arg{Val(a)}, opts))
+func (fn Func1[A, R]) Remote(s Submitter, a A, opts ...Option) (Ref[R], error) {
+	return submitOne[R](s, fn.Name, []types.Arg{Val(a)}, opts)
 }
 
 // RemoteRef submits a call whose argument is a future — the task will not
 // run until the future's producer finishes (R5).
-func (fn Func1[A, R]) RemoteRef(s Submitter, a Ref[A], opts ...CallOpt) (Ref[R], error) {
-	return submitTyped[R](s, buildCall(fn.Name, []types.Arg{TypedRefOf(a)}, opts))
+func (fn Func1[A, R]) RemoteRef(s Submitter, a Ref[A], opts ...Option) (Ref[R], error) {
+	return submitOne[R](s, fn.Name, []types.Arg{TypedRefOf(a)}, opts)
+}
+
+// Options binds submission options to the handle (see Func0.Options).
+func (fn Func1[A, R]) Options(opts ...Option) Bound1[A, R] {
+	return Bound1[A, R]{fn: fn, opts: opts}
+}
+
+// Bound1 is a Func1 with submission options attached.
+type Bound1[A, R any] struct {
+	fn   Func1[A, R]
+	opts []Option
+}
+
+// Remote submits a call with the bound options and an inline argument.
+func (b Bound1[A, R]) Remote(s Submitter, a A) (Ref[R], error) {
+	return b.fn.Remote(s, a, b.opts...)
+}
+
+// RemoteRef submits a call with the bound options and a future argument.
+func (b Bound1[A, R]) RemoteRef(s Submitter, a Ref[A]) (Ref[R], error) {
+	return b.fn.RemoteRef(s, a, b.opts...)
 }
 
 // Func2 is a registered remote function of two arguments.
@@ -140,19 +176,46 @@ func Register2[A, B, R any](reg *Registry, name string, f func(*TaskContext, A, 
 }
 
 // Remote submits a call with two inline value arguments.
-func (fn Func2[A, B, R]) Remote(s Submitter, a A, b B, opts ...CallOpt) (Ref[R], error) {
-	return submitTyped[R](s, buildCall(fn.Name, []types.Arg{Val(a), Val(b)}, opts))
+func (fn Func2[A, B, R]) Remote(s Submitter, a A, b B, opts ...Option) (Ref[R], error) {
+	return submitOne[R](s, fn.Name, []types.Arg{Val(a), Val(b)}, opts)
 }
 
 // RemoteRefs submits a call with two future arguments.
-func (fn Func2[A, B, R]) RemoteRefs(s Submitter, a Ref[A], b Ref[B], opts ...CallOpt) (Ref[R], error) {
-	return submitTyped[R](s, buildCall(fn.Name, []types.Arg{TypedRefOf(a), TypedRefOf(b)}, opts))
+func (fn Func2[A, B, R]) RemoteRefs(s Submitter, a Ref[A], b Ref[B], opts ...Option) (Ref[R], error) {
+	return submitOne[R](s, fn.Name, []types.Arg{TypedRefOf(a), TypedRefOf(b)}, opts)
 }
 
 // RemoteMixed submits a call with a future first argument and an inline
 // second argument — the common "apply model to new input" shape.
-func (fn Func2[A, B, R]) RemoteMixed(s Submitter, a Ref[A], b B, opts ...CallOpt) (Ref[R], error) {
-	return submitTyped[R](s, buildCall(fn.Name, []types.Arg{TypedRefOf(a), Val(b)}, opts))
+func (fn Func2[A, B, R]) RemoteMixed(s Submitter, a Ref[A], b B, opts ...Option) (Ref[R], error) {
+	return submitOne[R](s, fn.Name, []types.Arg{TypedRefOf(a), Val(b)}, opts)
+}
+
+// Options binds submission options to the handle (see Func0.Options).
+func (fn Func2[A, B, R]) Options(opts ...Option) Bound2[A, B, R] {
+	return Bound2[A, B, R]{fn: fn, opts: opts}
+}
+
+// Bound2 is a Func2 with submission options attached.
+type Bound2[A, B, R any] struct {
+	fn   Func2[A, B, R]
+	opts []Option
+}
+
+// Remote submits a call with the bound options and inline arguments.
+func (b Bound2[A, B, R]) Remote(s Submitter, a A, bb B) (Ref[R], error) {
+	return b.fn.Remote(s, a, bb, b.opts...)
+}
+
+// RemoteRefs submits a call with the bound options and future arguments.
+func (b Bound2[A, B, R]) RemoteRefs(s Submitter, a Ref[A], bb Ref[B]) (Ref[R], error) {
+	return b.fn.RemoteRefs(s, a, bb, b.opts...)
+}
+
+// RemoteMixed submits a call with the bound options, a future first
+// argument, and an inline second argument.
+func (b Bound2[A, B, R]) RemoteMixed(s Submitter, a Ref[A], bb B) (Ref[R], error) {
+	return b.fn.RemoteMixed(s, a, bb, b.opts...)
 }
 
 // Get resolves a typed future through the driver client.

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// TestOptionsFlowIntoSpec checks every option lands in the submitted
+// TaskSpec — the whole point of the options pipeline.
+func TestOptionsFlowIntoSpec(t *testing.T) {
+	b := newFakeBackend()
+	cl := NewClient(b)
+
+	pg, err := cl.CreatePlacementGroup("g", types.StrategyPack, []types.Resources{types.CPU(4), types.CPU(2)})
+	if err != nil {
+		t.Fatalf("create group: %v", err)
+	}
+	var locality types.NodeID
+	locality[0] = 7
+
+	refs, err := cl.SubmitOpts("fn", []types.Arg{Val(1)},
+		WithResources(types.CPU(2)),
+		WithMaxRetries(3),
+		WithLocality(locality),
+		WithPlacementGroup(pg.ID, 1),
+	)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if len(refs) != 1 {
+		t.Fatalf("want 1 ref, got %d", len(refs))
+	}
+	spec := b.lastSpec(t)
+	if spec.Resources[types.ResCPU] != 2 {
+		t.Errorf("resources not applied: %v", spec.Resources)
+	}
+	if spec.MaxRetries != 3 {
+		t.Errorf("retries not applied: %d", spec.MaxRetries)
+	}
+	if spec.Locality != locality {
+		t.Errorf("locality not applied: %v", spec.Locality)
+	}
+	if spec.Group != pg.ID || spec.Bundle != 1 {
+		t.Errorf("placement group not applied: %v bundle %d", spec.Group, spec.Bundle)
+	}
+}
+
+// TestFluentOptionsPipeline drives the typed Options(...).Remote surface.
+func TestFluentOptionsPipeline(t *testing.T) {
+	b := newFakeBackend()
+	cl := NewClient(b)
+	reg := NewRegistry()
+	square := Register1(reg, "opt.square", func(tc *TaskContext, x int) (int, error) { return x * x, nil })
+
+	if _, err := square.Options(WithResources(types.GPU(1, 1)), WithMaxRetries(2)).Remote(cl, 6); err != nil {
+		t.Fatalf("fluent remote: %v", err)
+	}
+	spec := b.lastSpec(t)
+	if spec.Function != "opt.square" || spec.Resources[types.ResGPU] != 1 || spec.MaxRetries != 2 {
+		t.Errorf("fluent options not applied: %+v", spec)
+	}
+	if spec.NumReturns != 1 {
+		t.Errorf("typed pipeline must pin NumReturns=1, got %d", spec.NumReturns)
+	}
+}
+
+// TestGroupOptionValidation checks grouped submissions are validated
+// against the control plane's group record at submit time.
+func TestGroupOptionValidation(t *testing.T) {
+	b := newFakeBackend()
+	cl := NewClient(b)
+
+	var unknown types.PlacementGroupID
+	unknown[3] = 9
+	if _, err := cl.SubmitOpts("fn", nil, WithPlacementGroup(unknown, 0)); !errors.Is(err, ErrGroupNotFound) {
+		t.Errorf("unknown group: want ErrGroupNotFound, got %v", err)
+	}
+
+	pg, err := cl.CreatePlacementGroup("g", types.StrategyStrictSpread, []types.Resources{types.CPU(2)})
+	if err != nil {
+		t.Fatalf("create group: %v", err)
+	}
+	if _, err := cl.SubmitOpts("fn", nil, WithPlacementGroup(pg.ID, 5)); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("bundle out of range: want ErrInvalidOptions, got %v", err)
+	}
+	if _, err := cl.SubmitOpts("fn", nil, WithPlacementGroup(pg.ID, 0), WithResources(types.CPU(8))); !errors.Is(err, ErrInvalidOptions) {
+		t.Errorf("demand beyond bundle: want ErrInvalidOptions, got %v", err)
+	}
+
+	if err := cl.RemovePlacementGroup(pg.ID); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, err := cl.SubmitOpts("fn", nil, pg.Bundle(0)); !errors.Is(err, ErrGroupRemoved) {
+		t.Errorf("removed group: want ErrGroupRemoved, got %v", err)
+	}
+}
+
+// TestDeprecatedCallPathStillWorks pins the compatibility contract: the
+// old Call struct submits through the same pipeline unchanged.
+func TestDeprecatedCallPathStillWorks(t *testing.T) {
+	b := newFakeBackend()
+	cl := NewClient(b)
+	ref, err := cl.Submit1(Call{Function: "legacy", Args: []types.Arg{Val(1)}, Resources: types.CPU(3), MaxRetries: 1})
+	if err != nil {
+		t.Fatalf("legacy submit: %v", err)
+	}
+	if ref.IsNil() {
+		t.Fatal("legacy submit returned nil ref")
+	}
+	spec := b.lastSpec(t)
+	if spec.Function != "legacy" || spec.Resources[types.ResCPU] != 3 || spec.MaxRetries != 1 {
+		t.Errorf("legacy call mangled: %+v", spec)
+	}
+	if spec.Group != types.NilPlacementGroupID || !spec.Locality.IsNil() {
+		t.Errorf("legacy call must carry no group/locality: %+v", spec)
+	}
+}
+
+// TestWaitValidation pins the typed validation errors: out-of-range
+// numReturns and duplicate refs must fail fast instead of blocking.
+func TestWaitValidation(t *testing.T) {
+	b := newFakeBackend()
+	cl := NewClient(b)
+	ref, err := cl.Put(42)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	other, err := cl.Put(43)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	if _, _, err := cl.Wait(context.Background(), []ObjectRef{ref}, 2, time.Second); !errors.Is(err, ErrWaitInvalid) {
+		t.Errorf("numReturns > len(refs): want ErrWaitInvalid, got %v", err)
+	}
+	if _, _, err := cl.Wait(context.Background(), []ObjectRef{ref}, -1, time.Second); !errors.Is(err, ErrWaitInvalid) {
+		t.Errorf("negative numReturns: want ErrWaitInvalid, got %v", err)
+	}
+	// Duplicate refs with numReturns == len(refs): only one distinct
+	// object can ever complete, so this used to block forever.
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := cl.Wait(context.Background(), []ObjectRef{ref, ref}, 2, -1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrWaitInvalid) {
+			t.Errorf("duplicate refs: want ErrWaitInvalid, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait with duplicate refs blocked instead of failing fast")
+	}
+	if _, _, err := cl.Wait(context.Background(), []ObjectRef{ref, {}}, 1, time.Second); !errors.Is(err, ErrWaitInvalid) {
+		t.Errorf("nil ref: want ErrWaitInvalid, got %v", err)
+	}
+	// A valid wait still works.
+	ready, pending, err := cl.Wait(context.Background(), []ObjectRef{ref, other}, 2, time.Second)
+	if err != nil || len(ready) != 2 || len(pending) != 0 {
+		t.Errorf("valid wait: ready=%d pending=%d err=%v", len(ready), len(pending), err)
+	}
+}
+
+// TestActorPinsOptions checks an actor created with options threads them
+// through every method call.
+func TestActorPinsOptions(t *testing.T) {
+	b := newFakeBackend()
+	cl := NewClient(b)
+	pg, err := cl.CreatePlacementGroup("g", types.StrategyPack, []types.Resources{types.CPU(4)})
+	if err != nil {
+		t.Fatalf("create group: %v", err)
+	}
+	actor, err := NewActorWith(cl, "actor.init", []Option{pg.Bundle(0), WithResources(types.CPU(1))})
+	if err != nil {
+		t.Fatalf("actor: %v", err)
+	}
+	init := b.lastSpec(t)
+	if init.Group != pg.ID || init.Bundle != 0 {
+		t.Errorf("init not pinned: %+v", init)
+	}
+	if _, err := actor.Call("actor.method", Val(1)); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	call := b.lastSpec(t)
+	if call.Group != pg.ID || call.Bundle != 0 {
+		t.Errorf("method call not pinned: %+v", call)
+	}
+	if call.NumReturns != 2 {
+		t.Errorf("actor method must declare 2 returns, got %d", call.NumReturns)
+	}
+}
+
+// lastSpec returns the most recently submitted spec.
+func (f *fakeBackend) lastSpec(t *testing.T) types.TaskSpec {
+	t.Helper()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.specs) == 0 {
+		t.Fatal("no spec submitted")
+	}
+	return f.specs[len(f.specs)-1]
+}

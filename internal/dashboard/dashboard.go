@@ -40,6 +40,7 @@ func WithShardStats(fn func() []gcs.ShardStats) Option {
 //	GET /api/profile   — per-function summary statistics
 //	GET /api/trace     — Chrome trace-event JSON of the whole timeline
 //	GET /api/shards    — control-plane shard health (sharded GCS only)
+//	GET /api/placement — placement groups (strategy, state, bundle→node map)
 //	GET /              — plain-text overview
 func Handler(ctrl gcs.API, opts ...Option) http.Handler {
 	var o handlerOpts
@@ -71,6 +72,9 @@ func Handler(ctrl gcs.API, opts ...Option) http.Handler {
 	})
 	mux.HandleFunc("/api/profile", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, profile.Build(ctrl).Summarize())
+	})
+	mux.HandleFunc("/api/placement", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, placementView(ctrl))
 	})
 	mux.HandleFunc("/api/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -186,6 +190,39 @@ func objectsView(ctrl gcs.API) []ObjectView {
 	return out
 }
 
+// PlacementView is the JSON shape of one placement-group row.
+type PlacementView struct {
+	ID       string            `json:"id"`
+	Name     string            `json:"name,omitempty"`
+	Strategy string            `json:"strategy"`
+	State    string            `json:"state"`
+	Bundles  []types.Resources `json:"bundles"`
+	// Nodes[i] is the node holding bundle i's reservation (placed groups).
+	Nodes     []string `json:"nodes,omitempty"`
+	CreatedNs int64    `json:"created_ns"`
+	PlacedNs  int64    `json:"placed_ns,omitempty"`
+	RemovedNs int64    `json:"removed_ns,omitempty"`
+}
+
+func placementView(ctrl gcs.API) []PlacementView {
+	var out []PlacementView
+	for _, g := range ctrl.PlacementGroups() {
+		v := PlacementView{
+			ID: g.Spec.ID.String(), Name: g.Spec.Name,
+			Strategy: g.Spec.Strategy.String(), State: g.State.String(),
+			CreatedNs: g.CreatedNs, PlacedNs: g.PlacedNs, RemovedNs: g.RemovedNs,
+		}
+		for _, b := range g.Spec.Bundles {
+			v.Bundles = append(v.Bundles, b.Resources)
+		}
+		for _, n := range g.BundleNodes {
+			v.Nodes = append(v.Nodes, n.String())
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 // EventView is the JSON shape of one event-log entry.
 type EventView struct {
 	TimeNs int64  `json:"t_ns"`
@@ -261,5 +298,18 @@ func overview(ctrl gcs.API, o handlerOpts, w http.ResponseWriter) {
 		memUsed, memSpilled, reclaimed)
 	fmt.Fprintf(w, "objects: %d, functions: %d, events: %d\n",
 		len(ctrl.Objects()), len(ctrl.Functions()), len(ctrl.Events()))
-	fmt.Fprintln(w, "\nendpoints: /api/nodes /api/tasks /api/objects /api/functions /api/events /api/profile /api/trace /api/shards")
+	if groups := ctrl.PlacementGroups(); len(groups) > 0 {
+		byState := map[types.PlacementGroupState]int{}
+		for _, g := range groups {
+			byState[g.State]++
+		}
+		fmt.Fprintf(w, "placement groups: %d total", len(groups))
+		for _, st := range []types.PlacementGroupState{types.GroupPending, types.GroupPlacing, types.GroupPlaced, types.GroupRemoved} {
+			if n := byState[st]; n > 0 {
+				fmt.Fprintf(w, "  %s=%d", st, n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\nendpoints: /api/nodes /api/tasks /api/objects /api/functions /api/events /api/profile /api/trace /api/shards /api/placement")
 }

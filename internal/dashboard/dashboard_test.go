@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gcs"
+	"repro/internal/types"
 )
 
 func dashboardCluster(t *testing.T) *cluster.Cluster {
@@ -203,4 +204,41 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestPlacementView exercises /api/placement and the overview's
+// placement-group line.
+func TestPlacementView(t *testing.T) {
+	c := dashboardCluster(t)
+	srv := httptest.NewServer(Handler(c.Ctrl))
+	defer srv.Close()
+
+	d := c.Driver()
+	pg, err := d.CreatePlacementGroup("dash", types.StrategyPack, []types.Resources{types.CPU(2), types.CPU(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := pg.WaitReady(ctx, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, srv, "/api/placement")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var rows []PlacementView
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rows) != 1 || rows[0].State != "PLACED" || rows[0].Strategy != "PACK" ||
+		len(rows[0].Bundles) != 2 || len(rows[0].Nodes) != 2 || rows[0].Name != "dash" {
+		t.Fatalf("bad placement view: %+v", rows)
+	}
+
+	_, overview := get(t, srv, "/")
+	if !strings.Contains(overview, "placement groups: 1 total") || !strings.Contains(overview, "PLACED=1") {
+		t.Fatalf("overview missing placement line:\n%s", overview)
+	}
 }

@@ -79,6 +79,22 @@ type API interface {
 	MarkObjectSpilled(id types.ObjectID, node types.NodeID, spilled bool)
 	SubscribeObjectGC() Sub
 
+	// Placement-group table (gang scheduling). CreatePlacementGroup inserts
+	// the record exactly once (idempotent by group ID); RemovePlacementGroup
+	// transitions it to the terminal Removed state, after which the gang
+	// pass releases its bundle reservations and fails pending member tasks.
+	// CASPlacementGroupState is the claim/commit primitive of the gang
+	// protocol: Pending→Placing claims a group for one scheduler's
+	// reservation pass, Placing→Placed commits the bundle→node assignment,
+	// and rollback paths transition back to Pending (clearing BundleNodes).
+	// Every transition publishes the updated record on the group channel.
+	CreatePlacementGroup(spec types.PlacementGroupSpec) bool
+	RemovePlacementGroup(id types.PlacementGroupID) bool
+	GetPlacementGroup(id types.PlacementGroupID) (types.PlacementGroupInfo, bool)
+	PlacementGroups() []types.PlacementGroupInfo
+	CASPlacementGroupState(id types.PlacementGroupID, from []types.PlacementGroupState, to types.PlacementGroupState, bundleNodes []types.NodeID) bool
+	SubscribePlacementGroups() Sub
+
 	// Spillover queue (Section 3.2.2): local schedulers publish tasks they
 	// decline; global schedulers subscribe.
 	PublishSpill(spec types.TaskSpec)
@@ -120,6 +136,7 @@ const (
 	keyObject = "obj:"    // + ObjectID hex -> ObjectInfo
 	keyNode   = "node:"   // + NodeID hex -> NodeInfo
 	keyFunc   = "func:"   // + name -> FunctionInfo
+	keyGroup  = "pg:"     // + PlacementGroupID hex -> PlacementGroupInfo
 	keyEvents = "events:" // + NodeID hex -> list of Event
 
 	// keyMetaEpoch stores the cluster clock epoch (unix nanoseconds) so
@@ -133,9 +150,10 @@ const (
 	keyPendIdx = "pendidx:" // + TaskID hex; task currently PENDING
 	keyGCIdx   = "gcidx:"   // + ObjectID hex; GC-eligible, not yet drained
 
-	chanObjReady   = "ready:" // + ObjectID hex; payload = ObjectID bytes
-	chanTaskStatus = "tstat:" // + TaskID hex; payload = [1]byte{status}
-	chanSpill      = "spill"  // payload = gob(TaskSpec)
-	chanNodes      = "nodes"  // payload = gob(NodeInfo)
-	chanObjGC      = "objgc"  // payload = ObjectID bytes; refcount hit zero
+	chanObjReady   = "ready:"  // + ObjectID hex; payload = ObjectID bytes
+	chanTaskStatus = "tstat:"  // + TaskID hex; payload = [1]byte{status}
+	chanSpill      = "spill"   // payload = gob(TaskSpec)
+	chanNodes      = "nodes"   // payload = gob(NodeInfo)
+	chanObjGC      = "objgc"   // payload = ObjectID bytes; refcount hit zero
+	chanGroups     = "pgroups" // payload = gob(PlacementGroupInfo)
 )

@@ -137,6 +137,36 @@ func (r *Remote) MarkObjectSpilled(id types.ObjectID, node types.NodeID, spilled
 	call[bool](r, MethodMarkObjSpilled, markSpilledReq{ID: id, Node: node, Spilled: spilled})
 }
 
+// CreatePlacementGroup implements API.
+func (r *Remote) CreatePlacementGroup(spec types.PlacementGroupSpec) bool {
+	v, _ := call[bool](r, MethodCreateGroup, spec)
+	return v
+}
+
+// RemovePlacementGroup implements API.
+func (r *Remote) RemovePlacementGroup(id types.PlacementGroupID) bool {
+	v, _ := call[bool](r, MethodRemoveGroup, id)
+	return v
+}
+
+// GetPlacementGroup implements API.
+func (r *Remote) GetPlacementGroup(id types.PlacementGroupID) (types.PlacementGroupInfo, bool) {
+	v, ok := call[maybeGroup](r, MethodGetGroup, id)
+	return v.Info, ok && v.OK
+}
+
+// PlacementGroups implements API.
+func (r *Remote) PlacementGroups() []types.PlacementGroupInfo {
+	v, _ := call[[]types.PlacementGroupInfo](r, MethodGroups, nil)
+	return v
+}
+
+// CASPlacementGroupState implements API.
+func (r *Remote) CASPlacementGroupState(id types.PlacementGroupID, from []types.PlacementGroupState, to types.PlacementGroupState, bundleNodes []types.NodeID) bool {
+	v, _ := call[bool](r, MethodCASGroup, casGroupReq{ID: id, From: from, To: to, Nodes: bundleNodes})
+	return v
+}
+
 // PublishSpill implements API.
 func (r *Remote) PublishSpill(spec types.TaskSpec) {
 	call[bool](r, MethodPublishSpill, spec)
@@ -282,5 +312,8 @@ func (r *Remote) SubscribeNodeEvents() Sub { return r.subscribe(StreamNodes, nil
 
 // SubscribeObjectGC implements API.
 func (r *Remote) SubscribeObjectGC() Sub { return r.subscribe(StreamObjGC, nil) }
+
+// SubscribePlacementGroups implements API.
+func (r *Remote) SubscribePlacementGroups() Sub { return r.subscribe(StreamGroups, nil) }
 
 var _ API = (*Remote)(nil)

@@ -29,6 +29,11 @@ const (
 	MethodModifyObjRef     = "gcs.modifyObjRefCount"
 	MethodMarkObjSpilled   = "gcs.markObjSpilled"
 	MethodPublishSpill     = "gcs.publishSpill"
+	MethodCreateGroup      = "gcs.createGroup"
+	MethodRemoveGroup      = "gcs.removeGroup"
+	MethodGetGroup         = "gcs.getGroup"
+	MethodGroups           = "gcs.groups"
+	MethodCASGroup         = "gcs.casGroup"
 	MethodRegisterNode     = "gcs.registerNode"
 	MethodHeartbeat        = "gcs.heartbeat"
 	MethodMarkNodeDead     = "gcs.markNodeDead"
@@ -45,6 +50,7 @@ const (
 	StreamSpill      = "gcs.sub.spill"
 	StreamNodes      = "gcs.sub.nodes"
 	StreamObjGC      = "gcs.sub.objGC"
+	StreamGroups     = "gcs.sub.groups"
 )
 
 // Wire request/response shapes (gob via codec).
@@ -98,6 +104,15 @@ type (
 		Node    types.NodeID
 		Spilled bool
 	}
+	casGroupReq struct {
+		ID    types.PlacementGroupID
+		From  []types.PlacementGroupState
+		To    types.PlacementGroupState
+		Nodes []types.NodeID
+		// Op is the idempotency token for retried gang-state CAS claims
+		// (0 = no dedup); see Store.CASPlacementGroupStateOp.
+		Op uint64
+	}
 	maybeTask struct {
 		State types.TaskState
 		OK    bool
@@ -108,6 +123,10 @@ type (
 	}
 	maybeNode struct {
 		Info types.NodeInfo
+		OK   bool
+	}
+	maybeGroup struct {
+		Info types.PlacementGroupInfo
 		OK   bool
 	}
 )
@@ -227,6 +246,36 @@ func RegisterService(srv Registrar, store *Store) {
 		store.MarkObjectSpilled(req.ID, req.Node, req.Spilled)
 		return true, nil
 	})
+	unary(MethodCreateGroup, func(p []byte) (any, error) {
+		spec, err := codec.DecodeAs[types.PlacementGroupSpec](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.CreatePlacementGroup(spec), nil
+	})
+	unary(MethodRemoveGroup, func(p []byte) (any, error) {
+		id, err := codec.DecodeAs[types.PlacementGroupID](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.RemovePlacementGroup(id), nil
+	})
+	unary(MethodGetGroup, func(p []byte) (any, error) {
+		id, err := codec.DecodeAs[types.PlacementGroupID](p)
+		if err != nil {
+			return nil, err
+		}
+		info, ok := store.GetPlacementGroup(id)
+		return maybeGroup{Info: info, OK: ok}, nil
+	})
+	unary(MethodGroups, func(p []byte) (any, error) { return store.PlacementGroups(), nil })
+	unary(MethodCASGroup, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[casGroupReq](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.CASPlacementGroupStateOp(req.ID, req.From, req.To, req.Nodes, req.Op), nil
+	})
 	unary(MethodPublishSpill, func(p []byte) (any, error) {
 		spec, err := codec.DecodeAs[types.TaskSpec](p)
 		if err != nil {
@@ -337,6 +386,9 @@ func RegisterService(srv Registrar, store *Store) {
 	})
 	srv.HandleStream(StreamNodes, func(payload []byte, stream transport.ServerStream) error {
 		return forward(store.SubscribeNodeEvents(), stream)
+	})
+	srv.HandleStream(StreamGroups, func(payload []byte, stream transport.ServerStream) error {
+		return forward(store.SubscribePlacementGroups(), stream)
 	})
 	srv.HandleStream(StreamObjGC, func(payload []byte, stream transport.ServerStream) error {
 		// Subscribe first (so nothing published after this point is lost),

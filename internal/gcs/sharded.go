@@ -466,6 +466,50 @@ func (s *Sharded) SubscribeObjectGC() Sub {
 	return s.newResilientSub(StreamObjGC, nil, s.allShards())
 }
 
+// --- API: placement-group table ---
+
+// CreatePlacementGroup implements API. Create is naturally idempotent
+// (insert-if-absent keyed by group ID), so a retry across a shard crash
+// needs no token; the retry's false return leaves the original record.
+func (s *Sharded) CreatePlacementGroup(spec types.PlacementGroupSpec) bool {
+	v, _ := shardCall[bool](s, GroupKey(spec.ID), MethodCreateGroup, spec)
+	return v
+}
+
+// RemovePlacementGroup implements API (idempotent: Removed is terminal).
+func (s *Sharded) RemovePlacementGroup(id types.PlacementGroupID) bool {
+	v, _ := shardCall[bool](s, GroupKey(id), MethodRemoveGroup, id)
+	return v
+}
+
+// GetPlacementGroup implements API.
+func (s *Sharded) GetPlacementGroup(id types.PlacementGroupID) (types.PlacementGroupInfo, bool) {
+	v, ok := shardCall[maybeGroup](s, GroupKey(id), MethodGetGroup, id)
+	return v.Info, ok && v.OK
+}
+
+// PlacementGroups implements API.
+func (s *Sharded) PlacementGroups() []types.PlacementGroupInfo {
+	return fanOut[types.PlacementGroupInfo](s, MethodGroups)
+}
+
+// CASPlacementGroupState implements API. Like task-status CAS, a gang
+// claim is not response-idempotent (the retry would lose to its own
+// commit, stranding the group in Placing), so each logical CAS carries a
+// token held fixed across retries; the shard's durable MutOps ring reports
+// the duplicate as won.
+func (s *Sharded) CASPlacementGroupState(id types.PlacementGroupID, from []types.PlacementGroupState, to types.PlacementGroupState, bundleNodes []types.NodeID) bool {
+	v, _ := shardCall[bool](s, GroupKey(id), MethodCASGroup,
+		casGroupReq{ID: id, From: from, To: to, Nodes: bundleNodes, Op: newOpToken()})
+	return v
+}
+
+// SubscribePlacementGroups implements API: merged over every shard (each
+// group's transitions publish on the shard owning its record).
+func (s *Sharded) SubscribePlacementGroups() Sub {
+	return s.newResilientSub(StreamGroups, nil, s.allShards())
+}
+
 // --- API: spillover ---
 
 // PublishSpill implements API. The publish lands on the shard owning the

@@ -70,6 +70,9 @@ func NodeKey(id types.NodeID) string { return keyNode + id.Hex() }
 // FuncKey is the routing (and storage) key of a function record.
 func FuncKey(name string) string { return keyFunc + name }
 
+// GroupKey is the routing (and storage) key of a placement-group record.
+func GroupKey(id types.PlacementGroupID) string { return keyGroup + id.Hex() }
+
 // EventKey is the routing (and storage) key of a node's event list.
 func EventKey(node types.NodeID) string { return keyEvents + node.Hex() }
 

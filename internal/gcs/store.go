@@ -187,6 +187,13 @@ func (s *Store) SetTaskStatusAt(id types.TaskID, status types.TaskStatus, node t
 		if err != nil {
 			return nil, false
 		}
+		if st.Status.Terminal() && status != st.Status {
+			// Terminal states are left only through CASTaskStatus: a plain
+			// stamp racing a terminal transition (e.g. a node's enqueue
+			// QUEUED stamp landing after a FailTask claim buried the task)
+			// must not resurrect the task — the claim fence relies on it.
+			return nil, false
+		}
 		wasPending = st.Status == types.TaskPending
 		committed = true
 		st.Status = status

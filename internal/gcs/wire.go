@@ -18,3 +18,8 @@ func DecodeSpillSpec(raw []byte) (types.TaskSpec, error) { return decodeSpec(raw
 func DecodeNodeEvent(raw []byte) (types.NodeInfo, error) {
 	return codec.DecodeAs[types.NodeInfo](raw)
 }
+
+// DecodeGroupEvent decodes a placement-group channel payload.
+func DecodeGroupEvent(raw []byte) (types.PlacementGroupInfo, error) {
+	return codec.DecodeAs[types.PlacementGroupInfo](raw)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/gcs"
 	"repro/internal/objectstore"
@@ -58,16 +59,28 @@ type PullManager struct {
 	inflight map[types.ObjectID]chan error
 	conns    map[string]transport.Client
 	windows  map[string]chan struct{}
+	// stop gates new connections after Close; baseCtx cancels background
+	// prefetches: fire-and-forget pulls must not outlive the node,
+	// re-dial peers, and register locations for a store that is shutting
+	// down.
+	stop       chan struct{}
+	stopOnce   sync.Once
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 
-	objects atomic.Int64
-	chunks  atomic.Int64
-	bytes   atomic.Int64
+	objects    atomic.Int64
+	chunks     atomic.Int64
+	bytes      atomic.Int64
+	prefetched atomic.Int64
 }
 
 // NewPullManager wires a pull manager to the local store and cluster
 // network.
 func NewPullManager(store *objectstore.Store, ctrl gcs.API, net transport.Network, resolveAddr func(types.NodeID) (string, bool), cfg PullConfig) *PullManager {
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	return &PullManager{
+		baseCtx:     baseCtx,
+		baseCancel:  baseCancel,
 		store:       store,
 		ctrl:        ctrl,
 		net:         net,
@@ -76,12 +89,65 @@ func NewPullManager(store *objectstore.Store, ctrl gcs.API, net transport.Networ
 		inflight:    make(map[types.ObjectID]chan error),
 		conns:       make(map[string]transport.Client),
 		windows:     make(map[string]chan struct{}),
+		stop:        make(chan struct{}),
 	}
 }
 
 // Stats returns cumulative (objects, chunks, bytes) pulled.
 func (p *PullManager) Stats() (objects, chunks, bytes int64) {
 	return p.objects.Load(), p.chunks.Load(), p.bytes.Load()
+}
+
+// Prefetched returns how many background pulls Prefetch has started.
+func (p *PullManager) Prefetched() int64 { return p.prefetched.Load() }
+
+// prefetchTimeout bounds one background pull. Generous: a prefetch is a
+// head start, not a guarantee — on expiry the parked task's resolver
+// still drives the dependency to residency.
+const prefetchTimeout = 30 * time.Second
+
+// Prefetch starts overlapping background pulls for every id that is
+// already Ready somewhere but not locally resident. The local scheduler
+// calls it with a parked task's full missing-dependency set, so chunked
+// pulls for the whole set begin immediately — before the per-dependency
+// resolver goroutines have attached their readiness subscriptions, which
+// on a sharded control plane each cost a stream round trip (E19).
+// Dependencies still Pending are skipped; their resolvers fetch on the
+// ready edge as before. Concurrent fetches of the same object collapse
+// into one pull via the in-flight table, so prefetch and resolver never
+// transfer twice.
+func (p *PullManager) Prefetch(ids []types.ObjectID) {
+	for _, id := range ids {
+		if p.store.Contains(id) {
+			continue
+		}
+		// An in-flight pull (an earlier prefetch, or a resolver already
+		// fetching) makes the lookup redundant — a re-enqueued task must
+		// not re-pay a control RPC per dependency.
+		p.mu.Lock()
+		_, pulling := p.inflight[id]
+		p.mu.Unlock()
+		if pulling {
+			continue
+		}
+		// Fully asynchronous: even the control-plane readiness lookup runs
+		// off the caller's (scheduler enqueue) path. The pull context
+		// derives from the manager's base context, so Close (node
+		// shutdown) aborts it.
+		go func(id types.ObjectID) {
+			if p.baseCtx.Err() != nil {
+				return
+			}
+			info, ok := p.ctrl.GetObject(id)
+			if !ok || info.State != types.ObjectReady || len(info.Locations) == 0 {
+				return
+			}
+			p.prefetched.Add(1)
+			ctx, cancel := context.WithTimeout(p.baseCtx, prefetchTimeout)
+			defer cancel()
+			_ = p.Fetch(ctx, id, info.Locations) // best effort; resolvers are the backstop
+		}(id)
+	}
 }
 
 // Fetch ensures id is locally resident, pulling from the given candidate
@@ -286,6 +352,15 @@ func (p *PullManager) pullChunk(ctx context.Context, id types.ObjectID, dst []by
 func (p *PullManager) conn(addr string) (transport.Client, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Refuse new connections once closed: a background prefetch racing
+	// Close would otherwise dial and cache a client after the map was
+	// drained, leaking the connection (Close's drain and this insert are
+	// serialized on p.mu, so the check is race-free).
+	select {
+	case <-p.stop:
+		return nil, fmt.Errorf("lifetime: pull manager closed")
+	default:
+	}
 	if c, ok := p.conns[addr]; ok {
 		return c, nil
 	}
@@ -318,8 +393,12 @@ func (p *PullManager) window(addr string) chan struct{} {
 	return win
 }
 
-// Close releases cached connections.
+// Close aborts background prefetches and releases cached connections.
 func (p *PullManager) Close() {
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		p.baseCancel()
+	})
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for addr, c := range p.conns {

@@ -31,6 +31,40 @@ import (
 // delivers placements to a node's local scheduler.
 const AssignMethod = "scheduler.assign"
 
+// Gang-scheduling methods served by every node (DESIGN.md §9): the global
+// scheduler's reservation pass drives them.
+const (
+	// ReserveMethod asks the local scheduler to hold a bundle reservation;
+	// payload ReserveReq, error when the capacity is unavailable.
+	ReserveMethod = "scheduler.reserve"
+	// GroupReleaseMethod drops a group's reservations; payload GroupReleaseReq.
+	GroupReleaseMethod = "scheduler.releaseGroup"
+	// FailTaskMethod terminally fails a task through this node's store so
+	// blocked Gets observe it; payload FailTaskReq.
+	FailTaskMethod = "scheduler.failTask"
+)
+
+// Wire shapes for the gang-scheduling methods (gob via codec).
+type (
+	// ReserveReq asks for one bundle reservation.
+	ReserveReq struct {
+		Group  types.PlacementGroupID
+		Bundle int
+		Res    types.Resources
+	}
+	// GroupReleaseReq drops a group's reservations; Removed selects
+	// fail-members (terminal removal) over respill (placement rollback).
+	GroupReleaseReq struct {
+		Group   types.PlacementGroupID
+		Removed bool
+	}
+	// FailTaskReq buries a task with a terminal error.
+	FailTaskReq struct {
+		Spec   types.TaskSpec
+		Reason string
+	}
+)
+
 // Config describes one node.
 type Config struct {
 	// Resources is the node's total capacity (e.g. {CPU:8, GPU:1}).
@@ -65,6 +99,8 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	// DepPollInterval is forwarded to the local scheduler (tests tighten it).
 	DepPollInterval time.Duration
+	// DisablePrefetch turns off park-time dependency prefetch (E19).
+	DisablePrefetch bool
 }
 
 // Node is a running cluster node.
@@ -148,6 +184,7 @@ func New(cfg Config) (*Node, error) {
 		Refs:            n.life.Tracker(),
 		SpillThreshold:  cfg.SpillThreshold,
 		DepPollInterval: cfg.DepPollInterval,
+		DisablePrefetch: cfg.DisablePrefetch,
 	})
 	n.recon = &fault.Reconstructor{
 		Ctrl: cfg.Ctrl,
@@ -172,6 +209,32 @@ func New(cfg Config) (*Node, error) {
 		if err := n.sched.Submit(spec, true); err != nil {
 			return nil, err
 		}
+		return nil, nil
+	})
+	n.server.Handle(ReserveMethod, func(payload []byte) ([]byte, error) {
+		req, err := codec.DecodeAs[ReserveReq](payload)
+		if err != nil {
+			return nil, fmt.Errorf("node: bad reservation: %w", err)
+		}
+		if !n.sched.ReserveBundle(req.Group, req.Bundle, req.Res) {
+			return nil, fmt.Errorf("node: bundle %d of %v does not fit %v", req.Bundle, req.Group, req.Res)
+		}
+		return nil, nil
+	})
+	n.server.Handle(GroupReleaseMethod, func(payload []byte) ([]byte, error) {
+		req, err := codec.DecodeAs[GroupReleaseReq](payload)
+		if err != nil {
+			return nil, fmt.Errorf("node: bad group release: %w", err)
+		}
+		n.sched.ReleaseGroup(req.Group, req.Removed)
+		return nil, nil
+	})
+	n.server.Handle(FailTaskMethod, func(payload []byte) ([]byte, error) {
+		req, err := codec.DecodeAs[FailTaskReq](payload)
+		if err != nil {
+			return nil, fmt.Errorf("node: bad fail request: %w", err)
+		}
+		n.sched.FailTask(req.Spec, req.Reason)
 		return nil, nil
 	})
 	listener, err := cfg.Network.Listen(cfg.ListenAddr, n.server)

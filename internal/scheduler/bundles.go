@@ -1,0 +1,194 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/types"
+)
+
+// Bundle reservations (gang scheduling, DESIGN.md §9). A reservation
+// carves a placement-group bundle's resources out of the node's general
+// pool into a dedicated per-bundle pool. Member tasks are admitted against
+// the bundle pool, and their completions return capacity to it — so the
+// reservation survives task churn: an idle bundle stays reserved, which is
+// the whole point of gang scheduling (the learner's slot is still there
+// when its simulators finish a round). Releasing a group detaches its
+// pools and moves their capacity back to the general pool.
+
+// bundleKey identifies one reservation on this node.
+type bundleKey struct {
+	group  types.PlacementGroupID
+	bundle int
+}
+
+// ReserveBundle reserves res for (group, bundle) out of the node's general
+// pool. Idempotent: re-reserving an existing bundle reports success
+// without carving twice (the global scheduler's rollback/retry paths
+// re-issue reservations freely). Returns false when the capacity is not
+// currently available — the caller rolls back the whole gang.
+func (l *Local) ReserveBundle(group types.PlacementGroupID, bundle int, res types.Resources) bool {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return false
+	}
+	key := bundleKey{group: group, bundle: bundle}
+	if _, ok := l.bundles[key]; ok {
+		l.mu.Unlock()
+		return true
+	}
+	if !l.res.tryAcquire(res) {
+		l.mu.Unlock()
+		return false
+	}
+	if l.bundles == nil {
+		l.bundles = make(map[bundleKey]*resourcePool)
+	}
+	l.bundles[key] = newResourcePool(res)
+	l.mu.Unlock()
+	// Event logging is a control-plane RPC in distributed mode: keep it
+	// outside l.mu so a slow control plane cannot freeze the node's
+	// scheduling (same discipline as the object store's lock scope).
+	l.cfg.Ctrl.LogEvent(types.Event{Kind: "gang-reserve", Node: l.cfg.Node,
+		Detail: fmt.Sprintf("%v bundle %d %v", group, bundle, res)})
+	return true
+}
+
+// ReleaseGroup releases every reservation this node holds for group,
+// returning the bundles' capacity to the general pool (capacity held by
+// still-running member tasks follows when they finish, via pool
+// forwarding). Queued and waiting member tasks are evicted: with
+// removed=false (placement rollback, e.g. a member node died) they respill
+// to the global scheduler so they follow the group to its next placement;
+// with removed=true they fail with the typed group-removed error.
+// Idempotent — releasing an absent group is a no-op.
+func (l *Local) ReleaseGroup(group types.PlacementGroupID, removed bool) {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	released := false
+	for key, pool := range l.bundles {
+		if key.group != group {
+			continue
+		}
+		delete(l.bundles, key)
+		l.res.release(pool.detach(l.res))
+		released = true
+	}
+	var members []types.TaskSpec
+	kept := l.runnable[:0]
+	for _, t := range l.runnable {
+		if t.spec.Group == group {
+			members = append(members, t.spec)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	l.runnable = kept
+	for id, w := range l.waiting {
+		if w.spec.Group == group {
+			members = append(members, w.spec)
+			delete(l.waiting, id)
+			close(w.cancel) // stop its resolvers' polling and fetching
+		}
+	}
+	l.mu.Unlock()
+
+	for _, spec := range members {
+		if removed {
+			l.FailTask(spec, types.ReasonGroupRemoved+spec.Group.String())
+		} else {
+			l.respillGrouped(spec)
+		}
+		// Return the enqueue-time borrows last, mirroring runTask's LIFO
+		// ordering (respill re-retains through the bridge first).
+		if l.cfg.Refs != nil {
+			l.cfg.Refs.Release(spec.Deps()...)
+		}
+	}
+	if released {
+		l.cfg.Ctrl.LogEvent(types.Event{Kind: "gang-release", Node: l.cfg.Node,
+			Detail: fmt.Sprintf("%v removed=%v members=%d", group, removed, len(members))})
+		l.kickDispatch()
+	}
+}
+
+// respillGrouped sends a member task back through the global spill queue
+// after its bundle reservation left this node: the gang pass re-places the
+// group as a unit and the task follows. The CAS back to PENDING makes the
+// respill race-free against concurrent placements; if it is lost, whoever
+// won owns the task.
+func (l *Local) respillGrouped(spec types.TaskSpec) {
+	l.bridgeSpill(spec)
+	if !l.cfg.Ctrl.CASTaskStatus(spec.ID, []types.TaskStatus{types.TaskQueued, types.TaskScheduled}, types.TaskPending) {
+		return
+	}
+	l.spilled.Add(1)
+	l.cfg.Ctrl.PublishSpill(spec)
+}
+
+// FailTask terminally fails a task, storing error payloads under every
+// return object so blocked Gets observe the failure instead of hanging.
+// Both the removal path above and the global scheduler's gang pass (which
+// buries parked member tasks of removed groups through any live node —
+// only a node holds an object store) route here. The claimable states
+// stop at QUEUED: dispatch claims QUEUED→SCHEDULED via CAS, so a task at
+// SCHEDULED or beyond is owned by a worker about to produce (or already
+// producing) real bytes under its return IDs — burying it in parallel
+// would publish a second, conflicting value for the same immutable
+// object. Exactly one of {dispatch, fail} wins the QUEUED state.
+func (l *Local) FailTask(spec types.TaskSpec, reason string) {
+	if !l.cfg.Ctrl.CASTaskStatus(spec.ID, []types.TaskStatus{types.TaskPending, types.TaskQueued}, types.TaskFailed) {
+		return
+	}
+	for i := 0; i < spec.NumReturns; i++ {
+		// Best effort: the store may itself be failing.
+		_ = l.cfg.Store.Put(spec.ReturnID(i), codec.EncodeError(reason))
+	}
+	l.cfg.Ctrl.SetTaskStatus(spec.ID, types.TaskFailed, l.cfg.Node, types.NilWorkerID, reason)
+}
+
+// hasBundle reports whether this node holds (group, bundle)'s reservation.
+func (l *Local) hasBundle(group types.PlacementGroupID, bundle int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.bundles[bundleKey{group: group, bundle: bundle}]
+	return ok
+}
+
+// poolFor resolves the resource pool a task draws from: its bundle's
+// reservation pool when this node holds one, the general pool otherwise
+// (including after the bundle's release — the detached pool's capacity
+// moved to the general pool, so that is where late releases belong).
+func (l *Local) poolFor(spec types.TaskSpec) *resourcePool {
+	if spec.InGroup() {
+		l.mu.Lock()
+		pool, ok := l.bundles[bundleKey{group: spec.Group, bundle: spec.Bundle}]
+		l.mu.Unlock()
+		if ok {
+			return pool
+		}
+	}
+	return l.res
+}
+
+// Accounting snapshots the node's resource books for invariant checks:
+// the general pool's (total, available) plus the count and summed capacity
+// of live bundle reservations. With no tasks running and no reservations,
+// avail == total and reserved is empty — the zero-partial-reservations
+// invariant the gang tests assert.
+func (l *Local) Accounting() (total, avail types.Resources, bundles int, reserved types.Resources) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total, avail = l.res.snapshot()
+	reserved = types.Resources{}
+	for _, pool := range l.bundles {
+		t, _ := pool.snapshot()
+		reserved.Add(t)
+		bundles++
+	}
+	return total, avail, bundles, reserved
+}

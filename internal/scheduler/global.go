@@ -18,6 +18,11 @@ type GlobalConfig struct {
 	Ctrl   gcs.API
 	Assign AssignFunc
 	Policy Policy
+	// Reserve, ReleaseGroup, and FailTask wire the gang-scheduling pass to
+	// the nodes (see gang.go). Leaving Reserve nil disables the pass.
+	Reserve      ReserveFunc
+	ReleaseGroup GroupReleaseFunc
+	FailTask     FailFunc
 	// RetryInterval bounds how long an unplaceable task parks before the
 	// next placement attempt. Zero selects a default.
 	RetryInterval time.Duration
@@ -47,12 +52,33 @@ type Global struct {
 
 	mu     sync.Mutex
 	parked map[types.TaskID]types.TaskSpec // keyed to dedup re-parks
+	// reapedGroups remembers removed groups already reaped by this
+	// scheduler (reaping is idempotent; the set only saves repeat RPCs).
+	reapedGroups map[types.PlacementGroupID]bool
+	// gangIdle latches "no placement groups exist" after a scan so idle
+	// retry ticks skip the group-table fan-out; cleared by group events
+	// and re-checked every gangIdleResync.
+	gangIdle    bool
+	gangScanned time.Time
+	// groupCache is the last gang pass's scan, reused (while fresh) for
+	// member-task routing so a gang of K parked members costs one table
+	// scan instead of K record lookups.
+	groupCache map[types.PlacementGroupID]types.PlacementGroupInfo
+	// probeAt rate-limits the per-group Placed reservation repair probe.
+	probeAt map[types.PlacementGroupID]time.Time
+	// releaseRetry queues (group, node) release RPCs that failed
+	// transiently, so rollbacks never strand a reservation (value:
+	// the release's removed flag).
+	releaseRetry map[releaseKey]bool
 
 	spillSub gcs.Sub
 	nodeSub  gcs.Sub
+	groupSub gcs.Sub
 
-	placed   atomic.Int64
-	parkedCt atomic.Int64
+	placed     atomic.Int64
+	parkedCt   atomic.Int64
+	gangPlaced atomic.Int64
+	gangParked atomic.Int64
 }
 
 // NewGlobal builds a global scheduler; call Start to begin placing.
@@ -69,7 +95,13 @@ func NewGlobal(cfg GlobalConfig) *Global {
 	if cfg.SweepAge <= 0 {
 		cfg.SweepAge = 500 * time.Millisecond
 	}
-	return &Global{cfg: cfg, stop: make(chan struct{})}
+	return &Global{
+		cfg:          cfg,
+		stop:         make(chan struct{}),
+		reapedGroups: make(map[types.PlacementGroupID]bool),
+		probeAt:      make(map[types.PlacementGroupID]time.Time),
+		releaseRetry: make(map[releaseKey]bool),
+	}
 }
 
 // Start launches the placement loop. Subscriptions are established before
@@ -77,6 +109,7 @@ func NewGlobal(cfg GlobalConfig) *Global {
 func (g *Global) Start() {
 	g.spillSub = g.cfg.Ctrl.SubscribeSpill()
 	g.nodeSub = g.cfg.Ctrl.SubscribeNodeEvents()
+	g.groupSub = g.cfg.Ctrl.SubscribePlacementGroups()
 	g.wg.Add(1)
 	go g.run()
 }
@@ -98,12 +131,20 @@ func (g *Global) Placed() int64 { return g.placed.Load() }
 // Parked returns how many placement attempts found no feasible node.
 func (g *Global) Parked() int64 { return g.parkedCt.Load() }
 
+// GangPlaced returns how many placement groups this scheduler committed.
+func (g *Global) GangPlaced() int64 { return g.gangPlaced.Load() }
+
+// GangParked returns how many gang passes found a group infeasible.
+func (g *Global) GangParked() int64 { return g.gangParked.Load() }
+
 func (g *Global) run() {
 	defer g.wg.Done()
 	spillSub := g.spillSub
 	defer spillSub.Close()
 	nodeSub := g.nodeSub
 	defer nodeSub.Close()
+	groupSub := g.groupSub
+	defer groupSub.Close()
 	retry := time.NewTicker(g.cfg.RetryInterval)
 	defer retry.Stop()
 	var sweep <-chan time.Time
@@ -113,20 +154,47 @@ func (g *Global) run() {
 		sweep = t.C
 	}
 
+	// Receive through local variables so a closed subscription disables
+	// its case (nil channel) instead of becoming permanently ready — a
+	// dead control plane must degrade to the retry tick, not a hot spin
+	// or an exit. The spill feed in particular has a durable fallback
+	// (the pending-task sweep), so losing the subscription must not kill
+	// the scheduler: the sweep, retry tick, and gang maintenance all keep
+	// running, and reservation-release retries are never stranded.
+	spillC, nodeC, groupC := spillSub.C(), nodeSub.C(), groupSub.C()
 	for {
 		select {
-		case raw, ok := <-spillSub.C():
+		case raw, ok := <-spillC:
 			if !ok {
-				return
+				spillC = nil
+				continue
 			}
 			spec, err := gcs.DecodeSpillSpec(raw)
 			if err != nil {
 				continue
 			}
 			g.place(spec)
-		case <-nodeSub.C():
+		case _, ok := <-nodeC:
+			if !ok {
+				nodeC = nil
+				continue
+			}
+			drain(nodeC)     // coalesce membership bursts into one pass
+			g.gangPass(true) // membership changed: place/roll back groups first
 			g.retryParked()
+		case _, ok := <-groupC:
+			if !ok {
+				groupC = nil
+				continue
+			}
+			// One placement publishes several transitions (create, claim,
+			// commit) from every group; reconcile the burst once instead of
+			// paying a table fan-out per event.
+			drain(groupC)
+			g.gangPass(true)
+			g.retryParked() // parked member tasks may be routable now
 		case <-retry.C:
+			g.gangPass(false)
 			g.retryParked()
 		case <-sweep:
 			g.sweepPending()
@@ -177,10 +245,35 @@ func (g *Global) parkedIDs() map[types.TaskID]bool {
 }
 
 // place runs one placement: filter to feasible candidates, score locality,
-// delegate the choice to the policy, and assign.
+// delegate the choice to the policy, and assign. Placement-group members
+// bypass the policy — their node is the one holding their bundle.
 func (g *Global) place(spec types.TaskSpec) {
+	if spec.InGroup() {
+		if g.cfg.Reserve == nil {
+			// Gang scheduling is not wired: no node will ever hold the
+			// bundle reservation, so normal placement would ping-pong the
+			// task through the stray-respill path forever. Park it — inert,
+			// and correct if a gang-wired scheduler joins later.
+			g.park(spec)
+			return
+		}
+		g.placeGrouped(spec)
+		return
+	}
 	candidates := g.candidates(spec)
-	id, ok := g.cfg.Policy.Pick(spec, candidates)
+	// The soft locality hint is resolved here, before the policy, so its
+	// contract ("preferred when alive and feasible") holds under every
+	// policy — not just the ones that read NodeSnapshot.Preferred.
+	id, ok := types.NilNodeID, false
+	for _, c := range candidates {
+		if c.Preferred {
+			id, ok = c.Info.ID, true
+			break
+		}
+	}
+	if !ok {
+		id, ok = g.cfg.Policy.Pick(spec, candidates)
+	}
 	if !ok {
 		g.park(spec)
 		return
@@ -200,6 +293,25 @@ func (g *Global) place(spec types.TaskSpec) {
 	}
 	g.placed.Add(1)
 	g.cfg.Ctrl.LogEvent(types.Event{Kind: "global-place", Task: spec.ID, Node: id, Detail: g.cfg.Policy.Name()})
+}
+
+// drain empties whatever is already queued on a subscription channel so a
+// burst of events collapses into one reconciliation pass. It stops on a
+// closed channel (receives from one are always ready — an unbounded loop
+// would spin forever, e.g. on a subscription torn down by a dead control
+// plane) and bounds the sweep so a high-rate publisher cannot hold the
+// loop hostage.
+func drain(c <-chan []byte) {
+	for i := 0; i < 64; i++ {
+		select {
+		case _, ok := <-c:
+			if !ok {
+				return
+			}
+		default:
+			return
+		}
+	}
 }
 
 func (g *Global) park(spec types.TaskSpec) {
@@ -222,7 +334,7 @@ func (g *Global) candidates(spec types.TaskSpec) []NodeSnapshot {
 		if !n.Alive || !spec.Resources.FeasibleOn(n.Total) {
 			continue
 		}
-		snap := NodeSnapshot{Info: n}
+		snap := NodeSnapshot{Info: n, Preferred: n.ID == spec.Locality}
 		for _, dep := range deps {
 			if info, ok := g.cfg.Ctrl.GetObject(dep); ok && info.State == types.ObjectReady && info.HasLocation(n.ID) {
 				if info.IsSpilledOn(n.ID) {

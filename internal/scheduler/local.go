@@ -28,6 +28,17 @@ type Fetcher interface {
 	Fetch(ctx context.Context, id types.ObjectID, locations []types.NodeID) error
 }
 
+// Prefetcher is optionally implemented by Fetchers that can start
+// background pulls for a whole dependency set at once (lifetime.PullManager
+// does). When a task parks waiting, the scheduler hands over its full
+// missing-dependency list so overlapping chunked pulls begin immediately,
+// before the per-dependency resolvers have even attached their readiness
+// subscriptions (which on a sharded control plane each cost a stream
+// round trip).
+type Prefetcher interface {
+	Prefetch(ids []types.ObjectID)
+}
+
 // RefLedger records task-argument borrows: while a task is queued or
 // running here, its dependency objects hold an extra reference so the
 // lifetime GC cannot reclaim them out from under the dispatcher.
@@ -71,6 +82,9 @@ type LocalConfig struct {
 	// DepPollInterval bounds how stale a missed object-ready edge can be;
 	// the pub/sub fast path makes it rarely matter. Zero selects a default.
 	DepPollInterval time.Duration
+	// DisablePrefetch turns off the park-time dependency prefetch (the
+	// before/after arm of experiment E19).
+	DisablePrefetch bool
 }
 
 // queuedTask is a task whose dependencies are all local, awaiting
@@ -83,6 +97,11 @@ type queuedTask struct {
 type waitingTask struct {
 	spec    types.TaskSpec
 	missing map[types.ObjectID]bool
+	// cancel is closed when the task is evicted from the waiting set
+	// without its dependencies arriving (placement-group release), so its
+	// resolver goroutines stop polling — and stop fetching bytes a task
+	// that will never run here has no use for.
+	cancel chan struct{}
 }
 
 // Local is the per-node scheduler: the first stop for every task born on
@@ -99,7 +118,16 @@ type Local struct {
 	mu       sync.Mutex
 	runnable []*queuedTask
 	waiting  map[types.TaskID]*waitingTask
-	stopped  bool
+	bundles  map[bundleKey]*resourcePool // gang reservations held here
+	// holding maps a dispatched task to the pool instance it acquired its
+	// resources from. Releases must go through this exact instance: a
+	// bundle released and re-reserved creates a NEW pool under the same
+	// key, and a key-resolved release from a task admitted against the old
+	// pool would inflate the new pool's books above its reservation.
+	// (Detach forwarding routes releases into dead pools to the general
+	// pool, so the captured instance is always safe to release into.)
+	holding map[types.TaskID]*resourcePool
+	stopped bool
 
 	wg sync.WaitGroup
 
@@ -120,6 +148,7 @@ func NewLocal(cfg LocalConfig) *Local {
 		stop:    make(chan struct{}),
 		kick:    make(chan struct{}, 1),
 		waiting: make(map[types.TaskID]*waitingTask),
+		holding: make(map[types.TaskID]*resourcePool),
 	}
 }
 
@@ -173,16 +202,40 @@ func (l *Local) Available() types.Resources {
 	return avail
 }
 
-// ReleaseFor lends a blocked task's resources back to the pool (worker
-// lending; see worker.Executor).
+// ReleaseFor lends a blocked task's resources back to the pool it holds
+// them from — its bundle reservation for placement-group members, the
+// general pool otherwise (worker lending; see worker.Executor). The lend
+// clears the task's pool binding; ReacquireFor re-binds to whatever pool
+// it reacquires from, which may legitimately differ after a group
+// rollback or re-reservation.
 func (l *Local) ReleaseFor(spec types.TaskSpec) {
-	l.res.release(spec.Resources)
+	l.releaseHeld(spec)
 	l.kickDispatch()
 }
 
-// ReacquireFor blocks until the lent resources are regained.
+// ReacquireFor blocks until the lent resources are regained. The wait is
+// re-resolved periodically (and immediately on bundle-pool detach): a
+// member task parked on the general pool while its bundle was away would
+// otherwise never notice the bundle returning to this node — re-carving
+// the very capacity the task is waiting for out of the pool it waits on.
 func (l *Local) ReacquireFor(spec types.TaskSpec) {
-	l.res.acquireBlocking(spec.Resources, l.stop)
+	const reResolve = 100 * time.Millisecond
+	for {
+		timeout := time.Duration(0)
+		if spec.InGroup() {
+			timeout = reResolve
+		}
+		pool := l.poolFor(spec)
+		if pool.acquireBlocking(spec.Resources, l.stop, timeout) {
+			l.bindHeld(spec.ID, pool)
+			return
+		}
+		select {
+		case <-l.stop:
+			return
+		default: // pool detached or re-resolve tick: retry against the current pool
+		}
+	}
 }
 
 // Submit is the entry point for tasks born on this node (placed=false) and
@@ -217,9 +270,26 @@ func (l *Local) Submit(spec types.TaskSpec, placed bool) error {
 		return nil
 	}
 
+	// Grouped tasks run only where their bundle reservation lives: born on
+	// the holder they enqueue directly, anywhere else they spill so the
+	// gang-aware global scheduler routes them (Section 3.2.2's spillover,
+	// reused as the placement-group routing fabric). A soft locality hint
+	// naming another node spills for the same reason — the hint is only
+	// meaningful with the global view.
+	if spec.InGroup() {
+		if l.hasBundle(spec.Group, spec.Bundle) {
+			l.enqueue(spec)
+		} else {
+			l.spilled.Add(1)
+			l.bridgeSpill(spec)
+			l.cfg.Ctrl.PublishSpill(spec)
+		}
+		return nil
+	}
+	localityElsewhere := !spec.Locality.IsNil() && spec.Locality != l.cfg.Node
 	infeasible := !spec.Resources.FeasibleOn(l.cfg.Total)
 	overloaded := l.cfg.SpillThreshold >= 0 && backlog >= l.cfg.SpillThreshold
-	if infeasible || overloaded {
+	if infeasible || overloaded || localityElsewhere {
 		l.spilled.Add(1)
 		l.bridgeSpill(spec)
 		l.cfg.Ctrl.PublishSpill(spec)
@@ -356,6 +426,28 @@ func (l *Local) outputsIntact(spec types.TaskSpec) bool {
 // enqueue moves a task into runnable or waiting depending on dependency
 // residency, starting a resolver per missing dependency (dataflow trigger).
 func (l *Local) enqueue(spec types.TaskSpec) {
+	// Prefetch the missing dependency set before anything else: the pulls
+	// run in the background while the control-plane writes below (status
+	// stamp, per-dependency borrow retains) pay their round trips, so by
+	// the time the per-dependency resolvers attach, small dependencies are
+	// often already local (E19). The snapshot races nothing: prefetch is
+	// best-effort and the authoritative missing set is recomputed under
+	// the lock below.
+	if !l.cfg.DisablePrefetch && l.cfg.Fetcher != nil {
+		if pf, ok := l.cfg.Fetcher.(Prefetcher); ok {
+			var absent []types.ObjectID
+			seen := make(map[types.ObjectID]bool)
+			for _, dep := range spec.Deps() {
+				if !seen[dep] && !l.cfg.Store.Contains(dep) {
+					seen[dep] = true
+					absent = append(absent, dep)
+				}
+			}
+			if len(absent) > 0 {
+				pf.Prefetch(absent)
+			}
+		}
+	}
 	// Stamp this node as the task's current holder. If this node dies with
 	// the task still queued, the task table points at a dead node and any
 	// consumer's reconstruction check will re-own the task (R6); without
@@ -393,21 +485,22 @@ func (l *Local) enqueue(spec types.TaskSpec) {
 		l.kickDispatch()
 		return
 	}
-	l.waiting[spec.ID] = &waitingTask{spec: spec, missing: missing}
+	w := &waitingTask{spec: spec, missing: missing, cancel: make(chan struct{})}
+	l.waiting[spec.ID] = w
 	l.mu.Unlock()
 	// Spawn resolvers from the snapshot slice, not the map: once the
 	// waiting entry is published, resolvers may delete from the map
 	// concurrently (depSatisfied holds the lock; this loop does not).
 	for _, dep := range missingList {
 		l.wg.Add(1)
-		go l.resolveDep(spec.ID, dep)
+		go l.resolveDep(spec.ID, dep, w.cancel)
 	}
 }
 
 // resolveDep drives one missing dependency to local residency: wait for it
 // to become ready (pub/sub with a poll safety net), fetch it from a peer,
 // or request reconstruction if it was lost.
-func (l *Local) resolveDep(task types.TaskID, obj types.ObjectID) {
+func (l *Local) resolveDep(task types.TaskID, obj types.ObjectID, cancel <-chan struct{}) {
 	defer l.wg.Done()
 	sub := l.cfg.Ctrl.SubscribeObjectReady(obj)
 	defer sub.Close()
@@ -453,6 +546,8 @@ func (l *Local) resolveDep(task types.TaskID, obj types.ObjectID) {
 		case <-localArrival:
 		case <-sub.C():
 		case <-time.After(l.cfg.DepPollInterval):
+		case <-cancel:
+			return // task evicted from waiting (group release)
 		case <-l.stop:
 			return
 		}
@@ -503,28 +598,96 @@ func (l *Local) dispatchLoop() {
 
 func (l *Local) dispatchReady() {
 	for {
-		task, ok := l.admitOne()
+		task, strays, ok := l.admitOne()
+		// Grouped tasks whose reservation left this node respill outside
+		// the lock: the gang pass re-places their group as a unit and the
+		// global scheduler routes them to the new holder.
+		for _, spec := range strays {
+			l.respillGrouped(spec)
+			if l.cfg.Refs != nil {
+				l.cfg.Refs.Release(spec.Deps()...)
+			}
+		}
 		if !ok {
 			return
 		}
-		l.cfg.Ctrl.SetTaskStatus(task.spec.ID, types.TaskScheduled, l.cfg.Node, types.NilWorkerID, "")
+		// For placement-group members, dispatch is a claim: the
+		// QUEUED→SCHEDULED CAS loses exactly when a FailTask buried the
+		// task while it sat runnable (group removal racing placement), and
+		// running it anyway would produce a second, conflicting set of
+		// bytes under return IDs that already hold error payloads. The
+		// loser drops its copy and settles its books. Either branch costs
+		// one control-plane write on this serial hot path: the CAS already
+		// stamps status and timestamps, and the holder node was stamped at
+		// enqueue, so no follow-up write is needed; non-grouped tasks have
+		// no competing QUEUED-state claimant and keep the plain stamp.
+		if task.spec.InGroup() {
+			if !l.cfg.Ctrl.CASTaskStatus(task.spec.ID, []types.TaskStatus{types.TaskQueued}, types.TaskScheduled) {
+				l.releaseHeld(task.spec)
+				if l.cfg.Refs != nil {
+					l.cfg.Refs.Release(task.spec.Deps()...)
+				}
+				continue
+			}
+		} else {
+			l.cfg.Ctrl.SetTaskStatus(task.spec.ID, types.TaskScheduled, l.cfg.Node, types.NilWorkerID, "")
+		}
 		l.dispatched.Add(1)
 		l.wg.Add(1)
 		go l.runTask(task.spec)
 	}
 }
 
-// admitOne pops the first runnable task whose resources are available.
-func (l *Local) admitOne() (*queuedTask, bool) {
+// admitOne pops the first runnable task whose resources are available —
+// from its bundle's reservation pool for placement-group members, from the
+// general pool otherwise. Grouped tasks stranded without a reservation are
+// returned separately for respilling.
+func (l *Local) admitOne() (admitted *queuedTask, strays []types.TaskSpec, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	kept := l.runnable[:0]
+	for _, t := range l.runnable {
+		if t.spec.InGroup() {
+			if _, held := l.bundles[bundleKey{group: t.spec.Group, bundle: t.spec.Bundle}]; !held {
+				strays = append(strays, t.spec)
+				continue
+			}
+		}
+		kept = append(kept, t)
+	}
+	l.runnable = kept
 	for i, t := range l.runnable {
-		if l.res.tryAcquire(t.spec.Resources) {
+		pool := l.res
+		if t.spec.InGroup() {
+			pool = l.bundles[bundleKey{group: t.spec.Group, bundle: t.spec.Bundle}]
+		}
+		if pool.tryAcquire(t.spec.Resources) {
 			l.runnable = append(l.runnable[:i], l.runnable[i+1:]...)
-			return t, true
+			l.holding[t.spec.ID] = pool
+			return t, strays, true
 		}
 	}
-	return nil, false
+	return nil, strays, false
+}
+
+// releaseHeld returns a task's resources to the exact pool instance it
+// acquired (or last reacquired) them from, clearing the binding.
+func (l *Local) releaseHeld(spec types.TaskSpec) {
+	l.mu.Lock()
+	pool := l.holding[spec.ID]
+	delete(l.holding, spec.ID)
+	l.mu.Unlock()
+	if pool == nil {
+		pool = l.poolFor(spec) // defensive: unbound release
+	}
+	pool.release(spec.Resources)
+}
+
+// bindHeld records the pool a task just (re)acquired resources from.
+func (l *Local) bindHeld(id types.TaskID, pool *resourcePool) {
+	l.mu.Lock()
+	l.holding[id] = pool
+	l.mu.Unlock()
 }
 
 // runTask resolves argument bytes and executes. Dependencies were local at
@@ -540,11 +703,11 @@ func (l *Local) runTask(spec types.TaskSpec) {
 	}
 	args, missing := l.gatherArgs(spec)
 	if missing {
-		l.res.release(spec.Resources)
+		l.releaseHeld(spec)
 		l.enqueue(spec)
 		return
 	}
-	defer l.res.release(spec.Resources)
+	defer l.releaseHeld(spec)
 	defer l.unpinArgs(spec)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

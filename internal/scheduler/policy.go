@@ -18,6 +18,11 @@ type NodeSnapshot struct {
 	LocalityBytes int64
 	// SpilledBytes counts dependency bytes on the node's disk spill tier.
 	SpilledBytes int64
+	// Preferred marks the node named by the task's soft locality hint
+	// (core.WithLocality). Policies rank it first; the hint loses to
+	// nothing else but is silently dropped when the node is infeasible or
+	// dead (it never appears among the candidates then).
+	Preferred bool
 }
 
 // Policy picks a node for a spilled task. Pick must only choose among the
@@ -50,6 +55,9 @@ func (LocalityPolicy) Pick(spec types.TaskSpec, nodes []NodeSnapshot) (types.Nod
 }
 
 func betterLocality(a, b *NodeSnapshot) bool {
+	if a.Preferred != b.Preferred {
+		return a.Preferred
+	}
 	if a.LocalityBytes != b.LocalityBytes {
 		return a.LocalityBytes > b.LocalityBytes
 	}

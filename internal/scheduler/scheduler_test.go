@@ -281,7 +281,7 @@ func TestResourcePoolBlockingAcquire(t *testing.T) {
 	p.tryAcquire(types.CPU(1))
 	stop := make(chan struct{})
 	got := make(chan bool, 1)
-	go func() { got <- p.acquireBlocking(types.CPU(1), stop) }()
+	go func() { got <- p.acquireBlocking(types.CPU(1), stop, 0) }()
 	time.Sleep(20 * time.Millisecond)
 	p.release(types.CPU(1))
 	select {
@@ -299,7 +299,7 @@ func TestResourcePoolAcquireAbort(t *testing.T) {
 	p.tryAcquire(types.CPU(1))
 	stop := make(chan struct{})
 	got := make(chan bool, 1)
-	go func() { got <- p.acquireBlocking(types.CPU(1), stop) }()
+	go func() { got <- p.acquireBlocking(types.CPU(1), stop, 0) }()
 	time.Sleep(10 * time.Millisecond)
 	close(stop)
 	select {

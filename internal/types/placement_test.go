@@ -1,0 +1,77 @@
+package types
+
+import "testing"
+
+func TestPlacementGroupSpecValidate(t *testing.T) {
+	var id PlacementGroupID
+	id[0] = 1
+	good := PlacementGroupSpec{ID: id, Strategy: StrategyStrictSpread,
+		Bundles: []Bundle{{Resources: CPU(2)}, {Resources: GPU(1, 1)}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []PlacementGroupSpec{
+		{Strategy: StrategyPack, Bundles: []Bundle{{Resources: CPU(1)}}}, // nil ID
+		{ID: id}, // no bundles
+		{ID: id, Bundles: []Bundle{{Resources: Resources{}}}},          // empty bundle
+		{ID: id, Bundles: []Bundle{{Resources: Resources{"CPU": -1}}}}, // negative
+	}
+	for i, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestPlacementIDRoundTrip(t *testing.T) {
+	var id PlacementGroupID
+	id[5] = 0xAB
+	parsed, err := ParsePlacementGroupID(id.Hex())
+	if err != nil || parsed != id {
+		t.Fatalf("round trip: %v %v", parsed, err)
+	}
+	if _, err := ParsePlacementGroupID("zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if !NilPlacementGroupID.IsNil() || id.IsNil() {
+		t.Fatal("IsNil wrong")
+	}
+}
+
+func TestTaskSpecGroupValidation(t *testing.T) {
+	base := TaskSpec{ID: DeriveTaskID(NilTaskID, 1), Function: "f", Resources: CPU(1)}
+
+	spec := base
+	spec.Bundle = 2 // bundle without group
+	if err := spec.Validate(); err == nil {
+		t.Error("bundle index without group accepted")
+	}
+	spec = base
+	spec.Group[0] = 1
+	spec.Bundle = -1
+	if err := spec.Validate(); err == nil {
+		t.Error("negative bundle index accepted")
+	}
+	spec = base
+	spec.Group[0] = 1
+	spec.Bundle = 3
+	if err := spec.Validate(); err != nil {
+		t.Errorf("valid grouped spec rejected: %v", err)
+	}
+	if !spec.InGroup() || base.InGroup() {
+		t.Error("InGroup wrong")
+	}
+}
+
+func TestStrategyAndStateStrings(t *testing.T) {
+	if StrategyPack.String() != "PACK" || StrategyStrictSpread.String() != "STRICT_SPREAD" {
+		t.Error("strategy names wrong")
+	}
+	if GroupPending.String() != "PENDING" || GroupPlacing.String() != "PLACING" ||
+		GroupPlaced.String() != "PLACED" || GroupRemoved.String() != "REMOVED" {
+		t.Error("state names wrong")
+	}
+	if PlacementStrategy(9).String() == "" || PlacementGroupState(9).String() == "" {
+		t.Error("out-of-range must render")
+	}
+}

@@ -32,7 +32,18 @@ type TaskSpec struct {
 	Parent      TaskID // task (or driver root) that submitted this task
 	SubmitIndex uint64 // index of this submission within the parent
 	MaxRetries  int    // retries on worker failure before Failed
+	// Locality is a soft placement hint: the scheduler prefers this node
+	// when it is alive and feasible, and falls back silently otherwise.
+	Locality NodeID
+	// Group pins the task to a placement group's bundle: the task runs only
+	// on the node holding the reservation for Bundle, drawing resources
+	// from the reservation instead of the node's general pool.
+	Group  PlacementGroupID
+	Bundle int // bundle index within Group (valid iff Group is set)
 }
+
+// InGroup reports whether the task is pinned to a placement-group bundle.
+func (s *TaskSpec) InGroup() bool { return !s.Group.IsNil() }
 
 // ReturnID is the object ID of the i-th return value.
 func (s *TaskSpec) ReturnID(i int) ObjectID {
@@ -66,6 +77,12 @@ func (s *TaskSpec) Validate() error {
 	}
 	if err := s.Resources.Validate(); err != nil {
 		return fmt.Errorf("task %s: %w", s.ID, err)
+	}
+	if s.Group.IsNil() && s.Bundle != 0 {
+		return fmt.Errorf("types: task %s has bundle index %d without a placement group", s.ID, s.Bundle)
+	}
+	if !s.Group.IsNil() && s.Bundle < 0 {
+		return fmt.Errorf("types: task %s has negative bundle index %d", s.ID, s.Bundle)
 	}
 	return nil
 }
