@@ -8,6 +8,8 @@
 //	rayctl -addr http://127.0.0.1:8265 tasks
 //	rayctl -addr http://127.0.0.1:8265 objects
 //	rayctl -addr http://127.0.0.1:8265 groups
+//	rayctl -addr http://127.0.0.1:8265 autoscale
+//	rayctl -addr http://127.0.0.1:8265 drain <node-id-hex>
 //	rayctl -addr http://127.0.0.1:8265 profile
 //	rayctl -addr http://127.0.0.1:8265 trace -o trace.json   # chrome://tracing
 package main
@@ -46,6 +48,14 @@ func main() {
 		printShards(fetch(*addr + "/api/shards"))
 	case "groups":
 		printGroups(fetch(*addr + "/api/placement"))
+	case "autoscale":
+		printAutoscale(fetch(*addr + "/api/autoscale"))
+	case "drain":
+		id := flag.Arg(1)
+		if id == "" {
+			fatal(fmt.Errorf("usage: rayctl drain <node-id-hex> (full hex; see `rayctl nodes`)"))
+		}
+		drainNode(*addr, id)
 	case "functions":
 		os.Stdout.Write(fetch(*addr + "/api/functions"))
 	case "events":
@@ -92,18 +102,67 @@ func fatal(err error) {
 func printNodes(body []byte) {
 	var nodes []struct {
 		ID        string             `json:"id"`
+		IDHex     string             `json:"id_hex"`
 		Addr      string             `json:"addr"`
 		Alive     bool               `json:"alive"`
+		State     string             `json:"state"`
 		Total     map[string]float64 `json:"total"`
 		Available map[string]float64 `json:"available"`
 		QueueLen  int                `json:"queue_len"`
 	}
 	must(json.Unmarshal(body, &nodes))
-	tbl := stats.Table{Header: []string{"node", "addr", "alive", "cpu", "gpu", "avail-cpu", "queue"}}
+	tbl := stats.Table{Header: []string{"node", "addr", "alive", "state", "cpu", "gpu", "avail-cpu", "queue", "id-hex"}}
 	for _, n := range nodes {
-		tbl.AddRow(n.ID, n.Addr, n.Alive, n.Total["CPU"], n.Total["GPU"], n.Available["CPU"], n.QueueLen)
+		tbl.AddRow(n.ID, n.Addr, n.Alive, n.State, n.Total["CPU"], n.Total["GPU"], n.Available["CPU"], n.QueueLen, n.IDHex)
 	}
 	tbl.Render(os.Stdout)
+}
+
+func printAutoscale(body []byte) {
+	var st struct {
+		Nodes      int    `json:"nodes"`
+		Active     int    `json:"active"`
+		Draining   int    `json:"draining"`
+		Backlog    int    `json:"backlog"`
+		Idle       bool   `json:"idle"`
+		ScaleUps   int64  `json:"scale_ups"`
+		Drains     int64  `json:"drains_started"`
+		Drained    int64  `json:"drains_completed"`
+		RolledBack int64  `json:"drains_rolled_back"`
+		LastAction string `json:"last_action"`
+	}
+	must(json.Unmarshal(body, &st))
+	fmt.Printf("nodes: %d (%d active, %d draining)  backlog: %d  idle: %v\n",
+		st.Nodes, st.Active, st.Draining, st.Backlog, st.Idle)
+	fmt.Printf("scale-ups: %d  drains: %d started, %d completed, %d rolled back\n",
+		st.ScaleUps, st.Drains, st.Drained, st.RolledBack)
+	if st.LastAction != "" {
+		fmt.Printf("last action: %s\n", st.LastAction)
+	}
+}
+
+// drainNode POSTs the drain request; the node runs the protocol itself.
+func drainNode(addr, idHex string) {
+	resp, err := http.Post(addr+"/api/drain?node="+idHex, "application/json", nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		fatal(fmt.Errorf("drain: HTTP %d: %s", resp.StatusCode, body))
+	}
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	must(json.Unmarshal(body, &out))
+	if !out.OK {
+		fatal(fmt.Errorf("drain CAS lost: node not Active (already draining, drained, or unknown)"))
+	}
+	fmt.Printf("node %s marked DRAINING; it will migrate its objects and deregister\n", idHex)
 }
 
 func printTasks(body []byte) {

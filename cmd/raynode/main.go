@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/dashboard"
@@ -70,6 +71,7 @@ func main() {
 		storeCap = flag.Int64("store-cap", 0, "object store memory capacity in bytes (0 = unlimited)")
 		spillDir = flag.String("spill-dir", "", "directory for the object store's disk spill tier (empty = disabled)")
 		spillCap = flag.Int64("spill-budget", 0, "disk budget for the spill tier in bytes (0 = unlimited)")
+		autoMax  = flag.Int("autoscale-max", 0, "enable the autoscaler (head only): grow up to N nodes total by booting extra in-process worker nodes on ports derived from -listen (+1000..), and drain idle ones back down (0 = disabled)")
 		demo     = flag.Bool("demo", false, "run the demo workload after boot (head only)")
 	)
 	flag.Parse()
@@ -195,10 +197,39 @@ func main() {
 		defer g.Stop()
 		log.Printf("global scheduler running (policy: locality)")
 
+		var as *autoscale.Autoscaler
+		if *autoMax > 0 {
+			prov := &localProvisioner{
+				base:     *listen,
+				network:  transport.TCP{},
+				ctrl:     ctrl,
+				registry: reg,
+				res:      res,
+				spill:    *spill,
+				storeCap: *storeCap,
+			}
+			defer prov.shutdownAll()
+			headID := n.ID()
+			as = autoscale.New(autoscale.Config{
+				Ctrl:        ctrl,
+				Provisioner: prov,
+				Policy: autoscale.Policy{
+					MaxNodes:  *autoMax,
+					Protected: func(id types.NodeID) bool { return id == headID },
+				},
+			})
+			as.Start()
+			defer as.Stop()
+			log.Printf("autoscaler enabled (up to %d nodes)", *autoMax)
+		}
+
 		if *httpAdr != "" {
 			var opts []dashboard.Option
 			if super != nil {
 				opts = append(opts, dashboard.WithShardStats(super.Stats))
+			}
+			if as != nil {
+				opts = append(opts, dashboard.WithAutoscaler(as.Status))
 			}
 			handler := dashboard.Handler(ctrl, opts...)
 			go func() {
@@ -218,6 +249,76 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+}
+
+// localProvisioner implements autoscale.NodeProvisioner for raynode: each
+// scale-up boots one more worker node inside this process, listening on a
+// port derived from the head's -listen (+1000, +1001, …). Drained nodes
+// deregister and shut themselves down; the provisioner only tracks
+// handles so process exit stops any survivors.
+type localProvisioner struct {
+	base     string
+	network  transport.Network
+	ctrl     gcs.API
+	registry *core.Registry
+	res      types.Resources
+	spill    int
+	storeCap int64
+
+	mu    sync.Mutex
+	next  int
+	nodes []*node.Node
+}
+
+func (p *localProvisioner) ProvisionNode() error {
+	p.mu.Lock()
+	idx := p.next
+	p.next++
+	p.mu.Unlock()
+	addr, err := derivePortAddr(p.base, 1000+idx)
+	if err != nil {
+		return err
+	}
+	w, err := node.New(node.Config{
+		Resources:         p.res.Clone(),
+		StoreCapacity:     p.storeCap,
+		Network:           p.network,
+		ListenAddr:        addr,
+		Ctrl:              p.ctrl,
+		Registry:          p.registry,
+		SpillThreshold:    p.spill,
+		HeartbeatInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.nodes = append(p.nodes, w)
+	p.mu.Unlock()
+	log.Printf("autoscaler: provisioned node %v at %s", w.ID(), addr)
+	return nil
+}
+
+func (p *localProvisioner) shutdownAll() {
+	p.mu.Lock()
+	nodes := append([]*node.Node(nil), p.nodes...)
+	p.mu.Unlock()
+	for _, w := range nodes {
+		w.Shutdown()
+	}
+}
+
+// derivePortAddr returns base's address shifted by off ports.
+func derivePortAddr(base string, off int) (string, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return "", err
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", err
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+off)), nil
 }
 
 // derivePortAddrs returns n addresses on consecutive ports after base

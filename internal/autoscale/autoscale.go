@@ -1,0 +1,396 @@
+// Package autoscale closes the elasticity loop the ROADMAP's top open item
+// asks for (DESIGN.md §10): a policy-driven autoscaler that consumes the
+// heartbeat signals every node already publishes — runnable queue depth,
+// available resources, object-store memory and spill-tier usage — and
+// decides when the cluster should grow and when a node should drain away.
+//
+// The autoscaler speaks only gcs.API, so one implementation serves both
+// the in-process cluster and the sharded multi-process control plane.
+// Scale-up delegates to a pluggable NodeProvisioner (the in-process
+// cluster and cmd/raynode both implement it via their AddNode paths).
+// Scale-down is a CAS on the node-table drain state machine
+// (Active→Draining); the chosen node notices the mark and runs the drain
+// protocol itself — stop admitting, spill-migrate every object to peers,
+// commit Draining→Drained, deregister — so the autoscaler never touches a
+// node directly and keeps working when the node is in another process. A
+// drain that outlives Policy.DrainTimeout is rolled back (Draining→Active)
+// and the node resumes serving.
+package autoscale
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gcs"
+	"repro/internal/types"
+)
+
+// NodeProvisioner adds capacity to the cluster. Implementations boot one
+// more node attached to the same control plane: cluster.Cluster boots an
+// in-process node, cmd/raynode boots one in its own process. The call may
+// block for the node's startup; the autoscaler invokes it off its
+// decision loop's critical state only.
+type NodeProvisioner interface {
+	ProvisionNode() error
+}
+
+// Policy tunes the scaling decisions. The zero value selects defaults.
+type Policy struct {
+	// MinNodes is the floor of schedulable (Active, alive) nodes; the
+	// autoscaler never drains below it. Default 1.
+	MinNodes int
+	// MaxNodes is the ceiling; scale-up stops there. Default 8.
+	MaxNodes int
+	// ScaleUpBacklog triggers scale-up when the mean runnable backlog per
+	// schedulable node (from heartbeat QueueLen) reaches it. Default 4.
+	ScaleUpBacklog float64
+	// ScaleUpSpilledBytes triggers scale-up when the cluster-wide spill-
+	// tier usage reaches it — memory pressure as an elasticity signal.
+	// Zero disables the signal.
+	ScaleUpSpilledBytes int64
+	// IdleAfter is how long the cluster must stay idle (no backlog, full
+	// availability everywhere, no drain in flight) before a scale-down
+	// drain starts. Default 2s.
+	IdleAfter time.Duration
+	// Cooldown separates consecutive scale actions so one burst cannot
+	// thrash provision/drain decisions. Default 1s.
+	Cooldown time.Duration
+	// DrainTimeout bounds one drain: a node still Draining after this long
+	// (aged from the record's DrainNs on the cluster clock) is rolled back
+	// to Active. Default 30s.
+	DrainTimeout time.Duration
+	// Protected reports nodes that must never be drained — typically the
+	// node a driver is attached to. nil protects nothing.
+	Protected func(types.NodeID) bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MinNodes <= 0 {
+		p.MinNodes = 1
+	}
+	if p.MaxNodes <= 0 {
+		p.MaxNodes = 8
+	}
+	if p.ScaleUpBacklog <= 0 {
+		p.ScaleUpBacklog = 4
+	}
+	if p.IdleAfter <= 0 {
+		p.IdleAfter = 2 * time.Second
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = time.Second
+	}
+	if p.DrainTimeout <= 0 {
+		p.DrainTimeout = 30 * time.Second
+	}
+	return p
+}
+
+// Config wires an Autoscaler.
+type Config struct {
+	// Ctrl is the control plane (in-process store or sharded client).
+	Ctrl gcs.API
+	// Provisioner adds nodes on scale-up. nil disables scale-up (the
+	// autoscaler still watches and times out drains).
+	Provisioner NodeProvisioner
+	// Policy tunes decisions (zero value = defaults).
+	Policy Policy
+	// Interval is the decision-loop tick. Default 100ms.
+	Interval time.Duration
+}
+
+// Status is a snapshot for dashboards and rayctl.
+type Status struct {
+	Nodes      int    `json:"nodes"`    // live nodes, any state
+	Active     int    `json:"active"`   // schedulable nodes
+	Draining   int    `json:"draining"` // drains in flight
+	Backlog    int    `json:"backlog"`  // summed runnable queue depth
+	Idle       bool   `json:"idle"`     // the scale-down precondition
+	ScaleUps   int64  `json:"scale_ups"`
+	Drains     int64  `json:"drains_started"`
+	Drained    int64  `json:"drains_completed"`
+	RolledBack int64  `json:"drains_rolled_back"`
+	LastAction string `json:"last_action,omitempty"`
+}
+
+// Autoscaler runs the decision loop.
+type Autoscaler struct {
+	cfg Config
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu         sync.Mutex
+	idleSince  time.Time
+	lastScale  time.Time
+	lastAction string
+	// tracked remembers drains this loop is watching (including operator-
+	// initiated ones it discovered), so completions are counted once.
+	tracked map[types.NodeID]bool
+	// lastSnap caches the latest tick's classification for Status.
+	lastSnap Status
+
+	scaleUps   atomic.Int64
+	drains     atomic.Int64
+	drained    atomic.Int64
+	rolledBack atomic.Int64
+}
+
+// New builds an autoscaler; call Start to begin deciding.
+func New(cfg Config) *Autoscaler {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	cfg.Policy = cfg.Policy.withDefaults()
+	return &Autoscaler{
+		cfg:     cfg,
+		stop:    make(chan struct{}),
+		tracked: make(map[types.NodeID]bool),
+	}
+}
+
+// Start launches the decision loop.
+func (a *Autoscaler) Start() {
+	a.wg.Add(1)
+	go a.run()
+}
+
+// Stop halts the loop. In-flight drains keep running — the draining nodes
+// own their protocol; only new decisions stop.
+func (a *Autoscaler) Stop() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.wg.Wait()
+}
+
+// Status snapshots the autoscaler's view and counters.
+func (a *Autoscaler) Status() Status {
+	a.mu.Lock()
+	s := a.lastSnap
+	s.LastAction = a.lastAction
+	a.mu.Unlock()
+	s.ScaleUps = a.scaleUps.Load()
+	s.Drains = a.drains.Load()
+	s.Drained = a.drained.Load()
+	s.RolledBack = a.rolledBack.Load()
+	return s
+}
+
+func (a *Autoscaler) run() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			a.tick()
+		case <-a.stop:
+			return
+		}
+	}
+}
+
+// tick is one decision pass: classify the node table, settle drain
+// bookkeeping (completions, timeouts), then consider one scale action.
+func (a *Autoscaler) tick() {
+	// A sharded control plane's fan-out scans silently omit a dead shard's
+	// rows (the same trap the gang pass and the chaos checker gate
+	// against): acting on the degraded view would spuriously provision
+	// against an undercounted active set, or start a second drain because
+	// the in-flight one's row is hidden. Skip the pass; decisions resume
+	// when every shard answers.
+	if p, ok := a.cfg.Ctrl.(gcs.Pinger); ok && !p.Ping() {
+		a.noteAction("control-plane view degraded: holding decisions")
+		return
+	}
+	nodes := a.cfg.Ctrl.Nodes()
+	var active, draining []types.NodeInfo
+	live := 0
+	for _, n := range nodes {
+		if !n.Alive {
+			continue
+		}
+		live++
+		switch n.State {
+		case types.NodeActive:
+			active = append(active, n)
+		case types.NodeDraining:
+			draining = append(draining, n)
+		}
+	}
+	a.settleDrains(nodes, draining)
+
+	backlog := 0
+	var spilled int64
+	idle := len(draining) == 0
+	for _, n := range active {
+		backlog += n.QueueLen
+		spilled += n.Store.SpilledBytes
+		if n.QueueLen > 0 || !fullyAvailable(n) {
+			idle = false
+		}
+	}
+	a.mu.Lock()
+	a.lastSnap = Status{Nodes: live, Active: len(active), Draining: len(draining), Backlog: backlog, Idle: idle}
+	a.mu.Unlock()
+
+	p := a.cfg.Policy
+	if a.shouldScaleUp(active, backlog, spilled) {
+		a.mu.Lock()
+		a.lastScale = time.Now() // provision attempts count against the cooldown too
+		a.mu.Unlock()
+		if err := a.cfg.Provisioner.ProvisionNode(); err != nil {
+			a.noteAction("scale-up failed: " + err.Error())
+			return
+		}
+		a.scaleUps.Add(1)
+		a.noteAction(fmt.Sprintf("scale-up to %d nodes (backlog=%d spilled=%dB)", len(active)+1, backlog, spilled))
+		a.cfg.Ctrl.LogEvent(types.Event{Kind: "autoscale-up", Detail: fmt.Sprintf("backlog=%d spilled=%d", backlog, spilled)})
+		return
+	}
+
+	// Scale-down: only from a cluster that has stayed idle, one drain at a
+	// time, never below the floor, never a protected node.
+	if !idle {
+		a.mu.Lock()
+		a.idleSince = time.Time{}
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Lock()
+	if a.idleSince.IsZero() {
+		a.idleSince = time.Now()
+	}
+	idleFor := time.Since(a.idleSince)
+	a.mu.Unlock()
+	if idleFor < p.IdleAfter || len(active) <= p.MinNodes || len(draining) > 0 || !a.cooldownOver() {
+		return
+	}
+	victim := a.pickVictim(active)
+	if victim == nil {
+		return
+	}
+	if a.cfg.Ctrl.CASNodeState(victim.ID, []types.NodeState{types.NodeActive}, types.NodeDraining) {
+		a.drains.Add(1)
+		a.mu.Lock()
+		a.tracked[victim.ID] = true
+		a.lastScale = time.Now()
+		a.mu.Unlock()
+		a.noteAction(fmt.Sprintf("drain %v (%d active, idle %v)", victim.ID, len(active), idleFor.Round(time.Millisecond)))
+		a.cfg.Ctrl.LogEvent(types.Event{Kind: "autoscale-drain", Node: victim.ID})
+	}
+}
+
+func (a *Autoscaler) shouldScaleUp(active []types.NodeInfo, backlog int, spilled int64) bool {
+	if a.cfg.Provisioner == nil {
+		return false
+	}
+	p := a.cfg.Policy
+	if len(active) >= p.MaxNodes || !a.cooldownOver() {
+		return false
+	}
+	if len(active) == 0 {
+		return true // a cluster with zero schedulable nodes must grow
+	}
+	if float64(backlog)/float64(len(active)) >= p.ScaleUpBacklog {
+		return true
+	}
+	return p.ScaleUpSpilledBytes > 0 && spilled >= p.ScaleUpSpilledBytes
+}
+
+// settleDrains counts finished drains and rolls back stuck ones. Drain age
+// comes from the record's DrainNs on the cluster clock, so operator-
+// initiated drains (which this loop never started) time out identically.
+func (a *Autoscaler) settleDrains(nodes []types.NodeInfo, draining []types.NodeInfo) {
+	now := a.cfg.Ctrl.NowNs()
+	inFlight := make(map[types.NodeID]bool, len(draining))
+	for _, n := range draining {
+		inFlight[n.ID] = true
+		a.mu.Lock()
+		known := a.tracked[n.ID]
+		if !known {
+			a.tracked[n.ID] = true // operator-initiated: adopt it
+		}
+		a.mu.Unlock()
+		if n.DrainNs > 0 && now-n.DrainNs > a.cfg.Policy.DrainTimeout.Nanoseconds() {
+			if a.cfg.Ctrl.CASNodeState(n.ID, []types.NodeState{types.NodeDraining}, types.NodeActive) {
+				a.rolledBack.Add(1)
+				a.noteAction(fmt.Sprintf("drain timeout: rolled %v back to Active", n.ID))
+				a.cfg.Ctrl.LogEvent(types.Event{Kind: "autoscale-drain-rollback", Node: n.ID})
+			}
+		}
+	}
+	// Anything tracked but no longer Draining finished one way or another:
+	// Drained (or dead) counts as completion; Active means the node (or
+	// the timeout above) rolled it back.
+	a.mu.Lock()
+	trackedIDs := make([]types.NodeID, 0, len(a.tracked))
+	for id := range a.tracked {
+		trackedIDs = append(trackedIDs, id)
+	}
+	a.mu.Unlock()
+	for _, id := range trackedIDs {
+		if inFlight[id] {
+			continue
+		}
+		state, found := types.NodeActive, false
+		for _, n := range nodes {
+			if n.ID == id {
+				state, found = n.State, true
+				break
+			}
+		}
+		switch {
+		case !found:
+			continue // record unreadable (shard failover): keep tracking
+		case state == types.NodeDrained:
+			a.drained.Add(1)
+		}
+		a.mu.Lock()
+		delete(a.tracked, id)
+		a.mu.Unlock()
+	}
+}
+
+// pickVictim chooses the cheapest node to drain: unprotected, preferring
+// the smallest resident working set (fewest bytes to migrate).
+func (a *Autoscaler) pickVictim(active []types.NodeInfo) *types.NodeInfo {
+	var best *types.NodeInfo
+	var bestBytes int64
+	for i := range active {
+		n := &active[i]
+		if a.cfg.Policy.Protected != nil && a.cfg.Policy.Protected(n.ID) {
+			continue
+		}
+		b := n.Store.UsedBytes + n.Store.SpilledBytes
+		if best == nil || b < bestBytes {
+			best, bestBytes = n, b
+		}
+	}
+	return best
+}
+
+// fullyAvailable reports whether the node's heartbeat shows every unit of
+// capacity free (nothing running or reserved). Before the first heartbeat
+// Available is nil — treated as busy, so a just-booted node cannot tip the
+// cluster into "idle".
+func fullyAvailable(n types.NodeInfo) bool {
+	if n.Available == nil {
+		return false
+	}
+	return n.Total.Fits(n.Available)
+}
+
+func (a *Autoscaler) cooldownOver() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return time.Since(a.lastScale) >= a.cfg.Policy.Cooldown
+}
+
+func (a *Autoscaler) noteAction(s string) {
+	a.mu.Lock()
+	a.lastAction = s
+	a.mu.Unlock()
+}

@@ -1,0 +1,179 @@
+// Package chaostest is the reusable cluster-wide invariant checker shared
+// by the chaos suites (shard kills, gang atomicity, drain kill matrix,
+// autoscaler elasticity). Every assertion is an *await*: chaos tests
+// observe a cluster mid-recovery, so the checker polls until the invariant
+// holds — and, crucially, only concludes from a complete view: on a
+// sharded control plane a dead shard's rows are simply absent from fan-out
+// scans, so every conclusion requires all shards answering (gcs.Pinger),
+// otherwise a poll landing in the kill window would pass vacuously.
+//
+// The three invariants:
+//
+//   - Refcount conservation: after all handles are released, no object
+//     anywhere still carries a reference — a retain accepted before a
+//     crash is never forgotten, and every release eventually lands.
+//   - Bundle-pool accounting: a quiescent node's books balance — zero
+//     bundle reservations, availability equal to total capacity (checked
+//     against scheduler.Local.Accounting, the same surface the gang
+//     invariant tests pinned).
+//   - Referenced reachability: no referenced object is lost — every
+//     object with a positive refcount either has a live location or is
+//     reconstructable from lineage (non-nil producer).
+package chaostest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/gcs"
+	"repro/internal/types"
+)
+
+// Books is the per-node accounting surface the checker reads;
+// scheduler.Local implements it.
+type Books interface {
+	Accounting() (total, avail types.Resources, bundles int, reserved types.Resources)
+}
+
+// Checker polls cluster-wide invariants through the control plane.
+type Checker struct {
+	api gcs.API
+}
+
+// New builds a checker over the cluster's merged control-plane view (the
+// in-process store, or a sharded client whose fan-outs merge all shards).
+func New(api gcs.API) *Checker { return &Checker{api: api} }
+
+// pollInterval is the await loops' re-check cadence.
+const pollInterval = 10 * time.Millisecond
+
+// shardsUp reports whether scans currently reflect every shard. A non-
+// Pinger control plane (plain in-process store) is always complete.
+func (c *Checker) shardsUp() bool {
+	if p, ok := c.api.(gcs.Pinger); ok {
+		return p.Ping()
+	}
+	return true
+}
+
+// AwaitZeroRefcounts asserts refcount conservation across shards: within
+// the deadline, every object's cluster-wide count drains to zero while all
+// shards are answering.
+func (c *Checker) AwaitZeroRefcounts(t testing.TB, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		up := c.shardsUp()
+		leaked := 0
+		for _, o := range c.api.Objects() {
+			if o.RefCount != 0 {
+				leaked++
+			}
+		}
+		if leaked == 0 && up {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("chaostest: %d objects still hold references (all shards up: %v)", leaked, up)
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// AwaitQuiescentBooks asserts bundle-pool accounting on every supplied
+// node: zero bundle reservations and full availability — the gang
+// invariant that a group which cannot fully place (or was rolled back)
+// leaves nothing behind. Keys label nodes in failure messages.
+func (c *Checker) AwaitQuiescentBooks(t testing.TB, within time.Duration, nodes map[string]Books) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for label, b := range nodes {
+		for {
+			total, avail, bundles, reserved := b.Accounting()
+			if bundles == 0 && reserved.IsZero() && total.Fits(avail) && avail.Fits(total) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("chaostest: node %s books not quiescent: total=%v avail=%v bundles=%d reserved=%v",
+					label, total, avail, bundles, reserved)
+			}
+			time.Sleep(pollInterval)
+		}
+	}
+}
+
+// AwaitReferencedReachable asserts that no referenced object is lost:
+// within the deadline (and with all shards answering), every object whose
+// refcount is positive either is Ready with at least one location on a
+// live node, is still Pending (its producer in flight), or — if Lost —
+// carries a producer edge so lineage replay can reconstruct it.
+func (c *Checker) AwaitReferencedReachable(t testing.TB, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		up := c.shardsUp()
+		bad := c.unreachableReferenced()
+		if up && len(bad) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("chaostest: %d referenced objects unreachable (all shards up: %v): %v", len(bad), up, bad)
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// unreachableReferenced returns a description of every referenced object
+// that currently has neither a live copy nor a lineage path back to one.
+func (c *Checker) unreachableReferenced() []string {
+	alive := make(map[types.NodeID]bool)
+	for _, n := range c.api.Nodes() {
+		if n.Alive {
+			alive[n.ID] = true
+		}
+	}
+	var bad []string
+	for _, o := range c.api.Objects() {
+		if o.RefCount <= 0 {
+			continue
+		}
+		switch o.State {
+		case types.ObjectReady:
+			located := false
+			for _, l := range o.Locations {
+				if alive[l] {
+					located = true
+					break
+				}
+			}
+			if !located {
+				bad = append(bad, fmt.Sprintf("%v READY with no live location", o.ID))
+			}
+		case types.ObjectLost:
+			if o.Producer.IsNil() {
+				bad = append(bad, fmt.Sprintf("%v LOST and not reconstructable", o.ID))
+			}
+		}
+	}
+	return bad
+}
+
+// AwaitDrainSettled asserts the drain state machine's terminal guarantee
+// for one node: within the deadline its record reads Drained (migration
+// finished, node deregistering or gone), dead (the chaos killed it), or
+// rolled back to Active and admitting again — never wedged in Draining.
+func (c *Checker) AwaitDrainSettled(t testing.TB, within time.Duration, node types.NodeID) types.NodeState {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		info, ok := c.api.GetNode(node)
+		if ok && (!info.Alive || info.State != types.NodeDraining) {
+			return info.State
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("chaostest: node %v still Draining after %v (ok=%v)", node, within, ok)
+		}
+		time.Sleep(pollInterval)
+	}
+}

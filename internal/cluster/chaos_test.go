@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaostest"
 	"repro/internal/core"
 	"repro/internal/gcs"
 	"repro/internal/scheduler"
@@ -132,32 +133,12 @@ func (errTransientType) Error() string { return "transient chaos failure" }
 
 // --- control-plane shard-kill chaos ---
 
-// awaitZeroRefcounts polls the merged object table until every object's
-// refcount has drained to zero — the "no lost refcounts" invariant: a
-// retain or release accepted before a shard died must never be forgotten,
-// and every release issued during the chaos must eventually land.
+// awaitZeroRefcounts delegates to the shared cluster-invariant checker
+// (internal/chaostest): refcount conservation across shards, concluded
+// only when every shard answers.
 func awaitZeroRefcounts(t *testing.T, api gcs.API, within time.Duration) {
 	t.Helper()
-	deadline := time.Now().Add(within)
-	for {
-		// A dead shard's rows are simply absent from the fan-out merge, so
-		// only conclude "zero leaks" when every shard is answering —
-		// otherwise a poll landing in the kill window passes vacuously.
-		allShardsUp := api.(gcs.Pinger).Ping()
-		leaked := 0
-		for _, o := range api.Objects() {
-			if o.RefCount != 0 {
-				leaked++
-			}
-		}
-		if leaked == 0 && allShardsUp {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("%d objects still hold references after chaos + recovery (all shards up: %v)", leaked, allShardsUp)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	chaostest.New(api).AwaitZeroRefcounts(t, within)
 }
 
 // killShardOwning crash-fails the shard that owns key after the delay; the

@@ -228,6 +228,21 @@ func (c *Cluster) AddNode() (*node.Node, error) {
 	return n, nil
 }
 
+// ProvisionNode implements autoscale.NodeProvisioner: the autoscaler's
+// scale-up boots one more in-process node through the same AddNode path
+// the gang tests drive.
+func (c *Cluster) ProvisionNode() error {
+	_, err := c.AddNode()
+	return err
+}
+
+// DrainNode marks node i Draining through the control plane (the same CAS
+// the autoscaler's scale-down issues); the node notices and runs the drain
+// protocol itself. Reports whether this call won the transition.
+func (c *Cluster) DrainNode(i int) bool {
+	return c.API.CASNodeState(c.Node(i).ID(), []types.NodeState{types.NodeActive}, types.NodeDraining)
+}
+
 // GCSMapAddr is where an in-process cluster's supervisor serves the shard
 // map (sharded mode only).
 const GCSMapAddr = "gcs"

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/core"
+	"repro/internal/scheduler"
+	"repro/internal/types"
+)
+
+// BenchmarkDrainLatency measures experiment E21a: wall time of one full
+// drain — the Active→Draining CAS through backlog hand-off, quiesce,
+// spill-migration of the whole working set over the chunked pull path, and
+// the Draining→Drained commit — as a function of the resident working-set
+// size on the draining node.
+func BenchmarkDrainLatency(b *testing.B) {
+	cases := []struct {
+		objects int
+		size    int
+	}{
+		{16, 256 << 10}, // 4 MiB
+		{64, 256 << 10}, // 16 MiB
+		{64, 1 << 20},   // 64 MiB
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("set-%dMiB", tc.objects*tc.size>>20)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				reg := core.NewRegistry()
+				blob := core.Register2(reg, "drain.blob", func(tc *core.TaskContext, seed, size int) ([]byte, error) {
+					return make([]byte, size), nil
+				})
+				c, err := New(Config{Nodes: 3, NodeResources: types.CPU(4), Registry: reg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				victim := c.Node(1).ID()
+				d := c.Driver()
+				refs := make([]core.Ref[[]byte], tc.objects)
+				for j := range refs {
+					refs[j], err = blob.Remote(d, j+1, tc.size, core.WithLocality(victim))
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, r := range refs {
+					deadline := time.Now().Add(30 * time.Second)
+					for {
+						if info, ok := c.API.GetObject(r.Untyped().ID); ok && info.State == types.ObjectReady {
+							break
+						}
+						if time.Now().After(deadline) {
+							b.Fatal("production timed out")
+						}
+						time.Sleep(2 * time.Millisecond)
+					}
+				}
+				b.StartTimer()
+
+				if !c.DrainNode(1) {
+					b.Fatal("drain CAS lost")
+				}
+				deadline := time.Now().Add(60 * time.Second)
+				for {
+					info, ok := c.API.GetNode(victim)
+					if ok && info.State == types.NodeDrained {
+						break
+					}
+					if time.Now().After(deadline) {
+						b.Fatalf("drain timed out (state %v)", info.State)
+					}
+					time.Sleep(time.Millisecond)
+				}
+
+				b.StopTimer()
+				c.Shutdown()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkScaleUpReaction measures experiment E21b: time from the first
+// submission of a burst until the autoscaler has provisioned a new node,
+// on a 2-node cluster whose heartbeats carry the backlog signal.
+func BenchmarkScaleUpReaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		reg := core.NewRegistry()
+		work := core.Register1(reg, "as.sleep", func(tc *core.TaskContext, ms int) (int, error) {
+			time.Sleep(time.Duration(ms) * time.Millisecond)
+			return ms, nil
+		})
+		c, err := New(Config{
+			Nodes:          2,
+			NodeResources:  types.CPU(2),
+			Registry:       reg,
+			SpillThreshold: SpillThresholdOf(0),
+			GlobalPolicy:   &scheduler.RoundRobinPolicy{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		driverNode := c.Node(0).ID()
+		as := autoscale.New(autoscale.Config{
+			Ctrl:        c.API,
+			Provisioner: c,
+			Interval:    10 * time.Millisecond,
+			Policy: autoscale.Policy{
+				MinNodes:       2,
+				MaxNodes:       3,
+				ScaleUpBacklog: 3,
+				Protected:      func(id types.NodeID) bool { return id == driverNode },
+			},
+		})
+		as.Start()
+		d := c.Driver()
+		b.StartTimer()
+
+		for j := 0; j < 32; j++ {
+			if _, err := work.Remote(d, 20); err != nil {
+				b.Fatal(err)
+			}
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for c.NumNodes() < 3 {
+			if time.Now().After(deadline) {
+				b.Fatal("scale-up timed out")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		b.StopTimer()
+		as.Stop()
+		c.Shutdown()
+		b.StartTimer()
+	}
+}

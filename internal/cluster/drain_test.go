@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/chaostest"
+	"repro/internal/core"
+	"repro/internal/lifetime"
+	"repro/internal/types"
+)
+
+// drainRegistry registers the blob producer the drain suites use: output
+// bytes are a deterministic function of (seed, size), so lineage replay
+// after a kill reproduces them exactly and every Get can verify content.
+func drainRegistry() (*core.Registry, core.Func2[int, int, []byte]) {
+	reg := core.NewRegistry()
+	blob := core.Register2(reg, "drain.blob", func(tc *core.TaskContext, seed, size int) ([]byte, error) {
+		out := make([]byte, size)
+		for i := range out {
+			out[i] = byte(seed * (i + 1))
+		}
+		return out, nil
+	})
+	return reg, blob
+}
+
+// produceOn pins n blobs onto the given node via the locality hint and
+// waits for them all to be produced (without pulling them to the driver,
+// so the victim keeps the sole copies).
+func produceOn(t *testing.T, c *Cluster, blob core.Func2[int, int, []byte], node types.NodeID, n, size int) []core.Ref[[]byte] {
+	t.Helper()
+	d := c.Driver()
+	refs := make([]core.Ref[[]byte], n)
+	for i := range refs {
+		var err error
+		refs[i], err = blob.Remote(d, i+1, size, core.WithLocality(node))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range refs {
+		waitFor(t, 20*time.Second, "blob production", func() bool {
+			info, ok := c.API.GetObject(r.Untyped().ID)
+			return ok && info.State == types.ObjectReady
+		})
+		_ = i
+	}
+	return refs
+}
+
+// verifyBlobs pulls every blob through the driver and checks content.
+func verifyBlobs(t *testing.T, c *Cluster, refs []core.Ref[[]byte], size int) {
+	t.Helper()
+	d := c.Driver()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i, r := range refs {
+		data, err := core.Get(ctx, d, r)
+		if err != nil {
+			t.Fatalf("blob %d after drain: %v", i, err)
+		}
+		if len(data) != size || data[0] != byte(i+1) || data[len(data)-1] != byte((i+1)*size) {
+			t.Fatalf("blob %d corrupted (len %d)", i, len(data))
+		}
+	}
+}
+
+// TestDrainMigratesAndDeregisters is the graceful end-to-end drain: mark a
+// node Draining, and every referenced object it holds spill-migrates to a
+// peer (location published before local deletion), the record commits
+// Drained, and the node deregisters — with all data still readable and no
+// object ever Lost.
+func TestDrainMigratesAndDeregisters(t *testing.T) {
+	reg, blob := drainRegistry()
+	c, err := New(Config{Nodes: 2, NodeResources: types.CPU(4), Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	const n, size = 8, 64 << 10
+	victim := c.Node(1).ID()
+	refs := produceOn(t, c, blob, victim, n, size)
+
+	if !c.DrainNode(1) {
+		t.Fatal("drain CAS lost")
+	}
+	checker := chaostest.New(c.API)
+	if state := checker.AwaitDrainSettled(t, 30*time.Second, victim); state != types.NodeDrained {
+		t.Fatalf("drain settled in %v, want DRAINED", state)
+	}
+	// Deregistered: the record goes dead after the Drained commit.
+	waitFor(t, 10*time.Second, "drained node deregisters", func() bool {
+		info, ok := c.API.GetNode(victim)
+		return ok && !info.Alive
+	})
+	// Every blob migrated: readable, never Lost, and no location on the
+	// drained node survives.
+	for i, r := range refs {
+		info, ok := c.API.GetObject(r.Untyped().ID)
+		if !ok || info.State != types.ObjectReady {
+			t.Fatalf("blob %d not READY after drain: %+v ok=%v", i, info, ok)
+		}
+		for _, loc := range info.Locations {
+			if loc == victim {
+				t.Fatalf("blob %d still has a location on the drained node", i)
+			}
+		}
+	}
+	verifyBlobs(t, c, refs, size)
+	checker.AwaitReferencedReachable(t, 10*time.Second)
+
+	d := c.Driver()
+	for _, r := range refs {
+		d.Release(r.Untyped())
+	}
+	checker.AwaitZeroRefcounts(t, 20*time.Second)
+}
+
+// TestDrainReplacesGangAsUnit pins the drain/gang interaction (DESIGN.md
+// §10): marking a bundle node Draining rolls the whole placement back and
+// re-places it — as a unit — on nodes that are still Active, after which
+// member tasks run on the new placement and the drained node completes
+// its exit.
+func TestDrainReplacesGangAsUnit(t *testing.T) {
+	reg, _ := drainRegistry()
+	fn := core.Register1(reg, "drain.id", func(tc *core.TaskContext, x int) (int, error) {
+		return x, nil
+	})
+	c, err := New(Config{Nodes: 4, NodeResources: types.CPU(4), Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	d := c.Driver()
+	ctx := context.Background()
+
+	pg, err := d.CreatePlacementGroup("drain-gang", types.StrategyStrictSpread,
+		[]types.Resources{types.CPU(3), types.CPU(3), types.CPU(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.WaitReady(ctx, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := c.API.GetPlacementGroup(pg.ID)
+	placedOn := map[types.NodeID]bool{}
+	for _, n := range info.BundleNodes {
+		placedOn[n] = true
+	}
+
+	// Drain a bundle-holding node other than the driver's.
+	victimIdx := -1
+	for i := 1; i < c.NumNodes(); i++ {
+		if placedOn[c.Node(i).ID()] {
+			victimIdx = i
+			break
+		}
+	}
+	if victimIdx < 0 {
+		t.Fatal("no drainable bundle node")
+	}
+	victim := c.Node(victimIdx).ID()
+	if !c.DrainNode(victimIdx) {
+		t.Fatal("drain CAS lost")
+	}
+
+	// The gang re-places as a unit, off the draining node.
+	waitFor(t, 15*time.Second, "gang re-placement off the draining node", func() bool {
+		cur, ok := c.API.GetPlacementGroup(pg.ID)
+		if !ok || cur.State != types.GroupPlaced {
+			return false
+		}
+		for _, n := range cur.BundleNodes {
+			if n == victim {
+				return false
+			}
+		}
+		return true
+	})
+	// Members run on the fresh placement.
+	for b := 0; b < 3; b++ {
+		ref, err := fn.Options(pg.Bundle(b), core.WithResources(types.CPU(1))).Remote(d, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := core.Get(ctx, d, ref); err != nil || v != b {
+			t.Fatalf("bundle %d member after re-placement: v=%d err=%v", b, v, err)
+		}
+	}
+	// And the drained node finishes its exit cleanly.
+	if state := chaostest.New(c.API).AwaitDrainSettled(t, 30*time.Second, victim); state != types.NodeDrained {
+		t.Fatalf("bundle node's drain settled in %v, want DRAINED", state)
+	}
+}
+
+// TestDrainRollsBackWithoutPeers pins the rollback arm of the state
+// machine: a drain that cannot migrate (referenced objects, no Active
+// peer to take them) rolls the record back to Active instead of stranding
+// data or wedging, and the node serves again afterward.
+func TestDrainRollsBackWithoutPeers(t *testing.T) {
+	reg, blob := drainRegistry()
+	c, err := New(Config{Nodes: 1, NodeResources: types.CPU(4), Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	const size = 32 << 10
+	refs := produceOn(t, c, blob, c.Node(0).ID(), 4, size)
+
+	if !c.DrainNode(0) {
+		t.Fatal("drain CAS lost")
+	}
+	checker := chaostest.New(c.API)
+	if state := checker.AwaitDrainSettled(t, 30*time.Second, c.Node(0).ID()); state != types.NodeActive {
+		t.Fatalf("peerless drain settled in %v, want ACTIVE rollback", state)
+	}
+	// Back in service: admission works and the data never left.
+	verifyBlobs(t, c, refs, size)
+	more, err := blob.Remote(c.Driver(), 9, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if data, err := core.Get(ctx, c.Driver(), more); err != nil || len(data) != size {
+		t.Fatalf("post-rollback submission: len=%d err=%v", len(data), err)
+	}
+}
+
+// TestDrainKillMatrix is the drain chaos suite (DESIGN.md §10): each
+// scenario kills a different participant mid-drain — the draining node
+// itself, a peer receiving the migrated objects, a control-plane shard —
+// and asserts through the shared invariant checker that no referenced
+// object is lost (live location or lineage replay) and the drain settles
+// (Drained, dead, or rolled back to Active — never wedged).
+func TestDrainKillMatrix(t *testing.T) {
+	type tc struct {
+		name   string
+		cfg    func(*Config)
+		chaos  func(t *testing.T, c *Cluster, victimIdx int)
+		mayDie bool // the draining node itself is killed
+	}
+	cases := []tc{
+		{
+			// The draining node dies mid-migration: objects already pushed
+			// survive on peers; the rest replay from lineage on Get.
+			name: "kill-draining-node-mid-migration",
+			chaos: func(t *testing.T, c *Cluster, victimIdx int) {
+				time.Sleep(3 * time.Millisecond)
+				c.KillNode(victimIdx)
+			},
+			mayDie: true,
+		},
+		{
+			// A receiving peer dies mid-push: the migrator retries against
+			// the remaining peer and the drain still completes.
+			name: "kill-receiving-peer-mid-push",
+			chaos: func(t *testing.T, c *Cluster, victimIdx int) {
+				time.Sleep(3 * time.Millisecond)
+				c.KillNode(2) // a migration target (node 0 hosts the driver)
+			},
+		},
+		{
+			// A control-plane shard dies mid-drain: location updates, the
+			// Drained CAS, and drain-state reads all retry through the
+			// supervisor's restarted incarnation.
+			name: "kill-gcs-shard-mid-drain",
+			cfg: func(cfg *Config) {
+				cfg.GCSShards = 3
+				cfg.GCSAutoRestart = 15 * time.Millisecond
+			},
+			chaos: func(t *testing.T, c *Cluster, victimIdx int) {
+				time.Sleep(2 * time.Millisecond)
+				c.Super.KillShard(0)
+			},
+		},
+	}
+
+	for _, tcase := range cases {
+		t.Run(tcase.name, func(t *testing.T) {
+			reg, blob := drainRegistry()
+			cfg := Config{
+				Nodes:         3,
+				NodeResources: types.CPU(4),
+				Registry:      reg,
+				// Chunk the transfers so kills land mid-object, not between
+				// objects.
+				Pull: lifetime.PullConfig{ChunkSize: 32 << 10},
+			}
+			if tcase.cfg != nil {
+				tcase.cfg(&cfg)
+			}
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Shutdown()
+
+			const n, size = 8, 256 << 10
+			const victimIdx = 1
+			victim := c.Node(victimIdx).ID()
+			refs := produceOn(t, c, blob, victim, n, size)
+
+			if !c.DrainNode(victimIdx) {
+				t.Fatal("drain CAS lost")
+			}
+			tcase.chaos(t, c, victimIdx)
+
+			checker := chaostest.New(c.API)
+			state := checker.AwaitDrainSettled(t, 30*time.Second, victim)
+			if !tcase.mayDie && state != types.NodeDrained && state != types.NodeActive {
+				t.Fatalf("drain settled in %v, want DRAINED (complete) or ACTIVE (rollback)", state)
+			}
+			// The acceptance bar: every referenced blob is still readable —
+			// migrated copies serve directly, killed sole copies replay
+			// from lineage — and content is intact.
+			verifyBlobs(t, c, refs, size)
+			checker.AwaitReferencedReachable(t, 20*time.Second)
+
+			d := c.Driver()
+			for _, r := range refs {
+				d.Release(r.Untyped())
+			}
+			checker.AwaitZeroRefcounts(t, 30*time.Second)
+		})
+	}
+}

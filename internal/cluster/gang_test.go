@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaostest"
 	"repro/internal/core"
 	"repro/internal/types"
 )
@@ -40,20 +41,20 @@ func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 	}
 }
 
-// assertZeroReservations checks every live node's books: no bundle pools,
-// full availability. The gang invariant: a group that cannot fully place
-// leaves nothing behind.
+// assertZeroReservations checks every live node's books through the shared
+// cluster-invariant checker (internal/chaostest): no bundle pools, full
+// availability. The gang invariant: a group that cannot fully place leaves
+// nothing behind.
 func assertZeroReservations(t *testing.T, c *Cluster, skip map[int]bool) {
 	t.Helper()
+	books := make(map[string]chaostest.Books)
 	for i := 0; i < c.NumNodes(); i++ {
 		if skip[i] {
 			continue
 		}
-		waitFor(t, 5*time.Second, fmt.Sprintf("node %d zero reservations", i), func() bool {
-			total, avail, bundles, _ := c.Node(i).Scheduler().Accounting()
-			return bundles == 0 && avail[types.ResCPU] == total[types.ResCPU]
-		})
+		books[fmt.Sprintf("node-%d", i)] = c.Node(i).Scheduler()
 	}
+	chaostest.New(c.API).AwaitQuiescentBooks(t, 5*time.Second, books)
 }
 
 // TestGangAtomicity is the acceptance test: a 3-bundle STRICT_SPREAD group

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/gcs"
 	"repro/internal/profile"
 	"repro/internal/types"
@@ -21,6 +22,7 @@ type Option func(*handlerOpts)
 
 type handlerOpts struct {
 	shardStats func() []gcs.ShardStats
+	autoscale  func() autoscale.Status
 }
 
 // WithShardStats attaches a control-plane shard health source (typically
@@ -28,6 +30,13 @@ type handlerOpts struct {
 // line on sharded-GCS deployments.
 func WithShardStats(fn func() []gcs.ShardStats) Option {
 	return func(o *handlerOpts) { o.shardStats = fn }
+}
+
+// WithAutoscaler attaches an autoscaler status source (typically
+// autoscale.Autoscaler.Status), enabling /api/autoscale and the
+// overview's elasticity line.
+func WithAutoscaler(fn func() autoscale.Status) Option {
+	return func(o *handlerOpts) { o.autoscale = fn }
 }
 
 // Handler serves the dashboard endpoints:
@@ -41,6 +50,8 @@ func WithShardStats(fn func() []gcs.ShardStats) Option {
 //	GET /api/trace     — Chrome trace-event JSON of the whole timeline
 //	GET /api/shards    — control-plane shard health (sharded GCS only)
 //	GET /api/placement — placement groups (strategy, state, bundle→node map)
+//	GET /api/autoscale — autoscaler status (when one is attached)
+//	POST /api/drain?node=<hex> — mark a node Draining (rayctl drain)
 //	GET /              — plain-text overview
 func Handler(ctrl gcs.API, opts ...Option) http.Handler {
 	var o handlerOpts
@@ -76,6 +87,30 @@ func Handler(ctrl gcs.API, opts ...Option) http.Handler {
 	mux.HandleFunc("/api/placement", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, placementView(ctrl))
 	})
+	mux.HandleFunc("/api/autoscale", func(w http.ResponseWriter, r *http.Request) {
+		if o.autoscale == nil {
+			writeJSON(w, autoscale.Status{}) // no autoscaler attached
+			return
+		}
+		writeJSON(w, o.autoscale())
+	})
+	// POST /api/drain?node=<hex> marks a node Draining (the same CAS the
+	// autoscaler's scale-down issues); the node runs the drain protocol
+	// itself. The one write endpoint on an otherwise read-only surface —
+	// it exists so `rayctl drain` needs nothing but the dashboard URL.
+	mux.HandleFunc("/api/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		id, err := types.ParseNodeID(r.URL.Query().Get("node"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ok := ctrl.CASNodeState(id, []types.NodeState{types.NodeActive}, types.NodeDraining)
+		writeJSON(w, map[string]bool{"ok": ok})
+	})
 	mux.HandleFunc("/api/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = profile.Build(ctrl).ExportChromeTrace(w)
@@ -99,9 +134,13 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // NodeView is the JSON shape of one node row.
 type NodeView struct {
-	ID        string          `json:"id"`
+	ID string `json:"id"`
+	// IDHex is the full node ID, the form POST /api/drain (rayctl drain)
+	// takes.
+	IDHex     string          `json:"id_hex"`
 	Addr      string          `json:"addr"`
 	Alive     bool            `json:"alive"`
+	State     string          `json:"state"`
 	Total     types.Resources `json:"total"`
 	Available types.Resources `json:"available"`
 	QueueLen  int             `json:"queue_len"`
@@ -120,7 +159,8 @@ func nodesView(ctrl gcs.API) []NodeView {
 	var out []NodeView
 	for _, n := range ctrl.Nodes() {
 		out = append(out, NodeView{
-			ID: n.ID.String(), Addr: n.Addr, Alive: n.Alive,
+			ID: n.ID.String(), IDHex: n.ID.Hex(), Addr: n.Addr, Alive: n.Alive,
+			State: n.State.String(),
 			Total: n.Total, Available: n.Available,
 			QueueLen: n.QueueLen, LastSeen: n.LastSeen,
 			StoreUsed: n.Store.UsedBytes, StoreSpilled: n.Store.SpilledBytes,
@@ -266,10 +306,13 @@ func overview(ctrl gcs.API, o handlerOpts, w http.ResponseWriter) {
 		fmt.Fprintf(w, "control plane: %d shards (%d alive, %d restarts)\n", len(stats), alive, restarts)
 	}
 	nodes := ctrl.Nodes()
-	alive := 0
+	alive, draining := 0, 0
 	for _, n := range nodes {
 		if n.Alive {
 			alive++
+			if n.State == types.NodeDraining {
+				draining++
+			}
 		}
 	}
 	tasks := ctrl.Tasks()
@@ -278,7 +321,12 @@ func overview(ctrl gcs.API, o handlerOpts, w http.ResponseWriter) {
 		byStatus[t.Status]++
 	}
 	fmt.Fprintf(w, "cluster overview @ %v\n", time.Duration(ctrl.NowNs()))
-	fmt.Fprintf(w, "nodes: %d (%d alive)\n", len(nodes), alive)
+	fmt.Fprintf(w, "nodes: %d (%d alive, %d draining)\n", len(nodes), alive, draining)
+	if o.autoscale != nil {
+		st := o.autoscale()
+		fmt.Fprintf(w, "autoscaler: %d active, %d draining, backlog %d, %d scale-ups, %d drains (%d done, %d rolled back)\n",
+			st.Active, st.Draining, st.Backlog, st.ScaleUps, st.Drains, st.Drained, st.RolledBack)
+	}
 	fmt.Fprintf(w, "tasks: %d total", len(tasks))
 	for _, st := range []types.TaskStatus{types.TaskPending, types.TaskQueued, types.TaskScheduled, types.TaskRunning, types.TaskFinished, types.TaskLost, types.TaskFailed} {
 		if n := byStatus[st]; n > 0 {
@@ -311,5 +359,5 @@ func overview(ctrl gcs.API, o handlerOpts, w http.ResponseWriter) {
 		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintln(w, "\nendpoints: /api/nodes /api/tasks /api/objects /api/functions /api/events /api/profile /api/trace /api/shards /api/placement")
+	fmt.Fprintln(w, "\nendpoints: /api/nodes /api/tasks /api/objects /api/functions /api/events /api/profile /api/trace /api/shards /api/placement /api/autoscale")
 }

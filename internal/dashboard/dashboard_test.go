@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gcs"
@@ -240,5 +242,101 @@ func TestPlacementView(t *testing.T) {
 	_, overview := get(t, srv, "/")
 	if !strings.Contains(overview, "placement groups: 1 total") || !strings.Contains(overview, "PLACED=1") {
 		t.Fatalf("overview missing placement line:\n%s", overview)
+	}
+}
+
+// TestAutoscaleAndDrainEndpoints covers the elasticity surface: the node
+// view carries drain state + full ID hex, /api/autoscale round-trips a
+// status source, and POST /api/drain drives the node-table CAS (GET is
+// refused; the CAS reports a loser).
+func TestAutoscaleAndDrainEndpoints(t *testing.T) {
+	c := dashboardCluster(t)
+	h := Handler(c.API, WithAutoscaler(func() autoscale.Status {
+		return autoscale.Status{Active: 2, ScaleUps: 3, LastAction: "scale-up to 2 nodes"}
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Node view: state + full hex.
+	resp, err := http.Get(srv.URL + "/api/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []NodeView
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(nodes) != 2 {
+		t.Fatalf("want 2 nodes, got %d", len(nodes))
+	}
+	for _, n := range nodes {
+		if n.State != "ACTIVE" || len(n.IDHex) != 2*types.IDSize {
+			t.Fatalf("bad node view: %+v", n)
+		}
+	}
+
+	// Autoscaler status passthrough.
+	resp, err = http.Get(srv.URL + "/api/autoscale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st autoscale.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Active != 2 || st.ScaleUps != 3 || st.LastAction == "" {
+		t.Fatalf("bad autoscale status: %+v", st)
+	}
+
+	// Drain: GET refused, POST wins once, the loser reports ok=false.
+	victim := nodes[1].IDHex
+	if resp, err = http.Get(srv.URL + "/api/drain?node=" + victim); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET drain: HTTP %d, want 405", resp.StatusCode)
+	}
+	post := func() bool {
+		resp, err := http.Post(srv.URL+"/api/drain?node="+victim, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			OK bool `json:"ok"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.OK
+	}
+	if !post() {
+		t.Fatal("first drain POST must win the CAS")
+	}
+	id, err := types.ParseNodeID(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState := func(want types.NodeState, within time.Duration) types.NodeState {
+		deadline := time.Now().Add(within)
+		for {
+			info, _ := c.API.GetNode(id)
+			if info.State == want || time.Now().After(deadline) {
+				return info.State
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	// The empty-store node drains to completion quickly; a second POST can
+	// race anywhere in Draining→Drained and must simply never report a
+	// fresh CAS win.
+	if post() {
+		t.Fatal("second drain POST must lose (node no longer Active)")
+	}
+	if got := waitState(types.NodeDrained, 10*time.Second); got != types.NodeDrained {
+		t.Fatalf("drained node state = %v, want DRAINED", got)
 	}
 }

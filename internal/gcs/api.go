@@ -93,6 +93,13 @@ type API interface {
 	GetPlacementGroup(id types.PlacementGroupID) (types.PlacementGroupInfo, bool)
 	PlacementGroups() []types.PlacementGroupInfo
 	CASPlacementGroupState(id types.PlacementGroupID, from []types.PlacementGroupState, to types.PlacementGroupState, bundleNodes []types.NodeID) bool
+	// CASPlacementGroupStateClaim is CASPlacementGroupState carrying a
+	// claimant token: a transition to Placing records the token, a
+	// transition to Placed additionally requires it to match the recorded
+	// claim, and every rollback to Pending clears it. claim 0 skips the
+	// token bookkeeping (legacy callers and the stale-claim sweep, which
+	// fences by state alone).
+	CASPlacementGroupStateClaim(id types.PlacementGroupID, from []types.PlacementGroupState, to types.PlacementGroupState, bundleNodes []types.NodeID, claim uint64) bool
 	SubscribePlacementGroups() Sub
 
 	// Spillover queue (Section 3.2.2): local schedulers publish tasks they
@@ -104,6 +111,14 @@ type API interface {
 	RegisterNode(info types.NodeInfo)
 	Heartbeat(id types.NodeID, queueLen int, avail types.Resources, store types.StoreStats)
 	MarkNodeDead(id types.NodeID)
+	// CASNodeState atomically advances a node's drain state machine
+	// (Active→Draining→Drained, with Draining→Active as the rollback) iff
+	// the current state is in `from`, reporting success. The autoscaler's
+	// drain decision, the node's own Drained commit, and operator aborts
+	// all race through this CAS, so exactly one contender wins each
+	// transition; every win publishes the updated record on the node
+	// channel (schedulers fence placement, the node starts its drain).
+	CASNodeState(id types.NodeID, from []types.NodeState, to types.NodeState) bool
 	GetNode(id types.NodeID) (types.NodeInfo, bool)
 	Nodes() []types.NodeInfo
 	SubscribeNodeEvents() Sub

@@ -48,6 +48,7 @@ func (s *Store) RemovePlacementGroup(id types.PlacementGroupID) bool {
 		now := s.NowNs()
 		info.State = types.GroupRemoved
 		info.BundleNodes = nil
+		info.ClaimToken = 0
 		info.RemovedNs = now
 		info.LastTransitionNs = now
 		removed, won = info, true
@@ -90,15 +91,26 @@ func (s *Store) PlacementGroups() []types.PlacementGroupInfo {
 
 // CASPlacementGroupState implements API.
 func (s *Store) CASPlacementGroupState(id types.PlacementGroupID, from []types.PlacementGroupState, to types.PlacementGroupState, bundleNodes []types.NodeID) bool {
-	return s.CASPlacementGroupStateOp(id, from, to, bundleNodes, 0)
+	return s.CASPlacementGroupStateOp(id, from, to, bundleNodes, 0, 0)
 }
 
-// CASPlacementGroupStateOp is CASPlacementGroupState with an idempotency
-// token (0 = no dedup), mirroring CASTaskStatusOp: a retried claim whose
-// original commit survived a shard crash is recognized by its token and
-// reported won, so the gang pass proceeds instead of treating its own
-// earlier commit as a lost race (which would strand the group in Placing).
-func (s *Store) CASPlacementGroupStateOp(id types.PlacementGroupID, from []types.PlacementGroupState, to types.PlacementGroupState, bundleNodes []types.NodeID, op uint64) bool {
+// CASPlacementGroupStateClaim implements API: the claim-token form of the
+// gang CAS. A transition to Placing records the claimant's token; a
+// transition to Placed requires the caller's token to match the recorded
+// claim — so a claimant stalled past the stale-claim sweep cannot commit
+// over a successor's claim (the successor's Pending→Placing rewrote the
+// token). Rollbacks to Pending clear the token.
+func (s *Store) CASPlacementGroupStateClaim(id types.PlacementGroupID, from []types.PlacementGroupState, to types.PlacementGroupState, bundleNodes []types.NodeID, claim uint64) bool {
+	return s.CASPlacementGroupStateOp(id, from, to, bundleNodes, claim, 0)
+}
+
+// CASPlacementGroupStateOp is the full gang CAS: claim token (0 = no claim
+// bookkeeping) plus idempotency token (0 = no dedup), the latter mirroring
+// CASTaskStatusOp: a retried claim whose original commit survived a shard
+// crash is recognized by its token and reported won, so the gang pass
+// proceeds instead of treating its own earlier commit as a lost race
+// (which would strand the group in Placing).
+func (s *Store) CASPlacementGroupStateOp(id types.PlacementGroupID, from []types.PlacementGroupState, to types.PlacementGroupState, bundleNodes []types.NodeID, claim uint64, op uint64) bool {
 	now := s.NowNs()
 	won := false
 	dupWin := false
@@ -129,6 +141,25 @@ func (s *Store) CASPlacementGroupStateOp(id types.PlacementGroupID, from []types
 		if !eligible {
 			return nil, false
 		}
+		// Claim fencing: the Placed commit must come from whoever holds the
+		// current Placing claim. A recorded token that does not match the
+		// caller's means the claim changed hands (the stale-claim sweep
+		// reset the group and a successor re-claimed it) — the stale
+		// claimant's commit loses outright instead of installing a
+		// placement whose reservations belong to nobody. Token-less commits
+		// (claim 0) only pass while no claim is recorded, preserving legacy
+		// callers without weakening the fence.
+		if to == types.GroupPlaced && info.ClaimToken != claim {
+			return nil, false
+		}
+		// The same fence guards a tokened rollback out of Placing: a stale
+		// claimant unwinding its failed pass must not yank a successor's
+		// live claim. The sweep rolls back token-less (claim 0), which
+		// stays a force — it exists to break claims whose owner died.
+		if to == types.GroupPending && info.State == types.GroupPlacing &&
+			claim != 0 && info.ClaimToken != claim {
+			return nil, false
+		}
 		if op != 0 {
 			info.MutOps = append(info.MutOps, op)
 			if len(info.MutOps) > refOpHistory {
@@ -138,13 +169,17 @@ func (s *Store) CASPlacementGroupStateOp(id types.PlacementGroupID, from []types
 		info.State = to
 		info.LastTransitionNs = now
 		switch to {
+		case types.GroupPlacing:
+			info.ClaimToken = claim
 		case types.GroupPlaced:
 			info.BundleNodes = bundleNodes
 			info.PlacedNs = now
 		case types.GroupPending:
 			info.BundleNodes = nil
+			info.ClaimToken = 0
 		case types.GroupRemoved:
 			info.BundleNodes = nil
+			info.ClaimToken = 0
 			info.RemovedNs = now
 		}
 		won = true

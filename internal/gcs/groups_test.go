@@ -89,17 +89,17 @@ func TestGroupCASTokenDedup(t *testing.T) {
 	s.CreatePlacementGroup(spec)
 
 	const op = 0xBEEF
-	if !s.CASPlacementGroupStateOp(spec.ID, []types.PlacementGroupState{types.GroupPending}, types.GroupPlacing, nil, op) {
+	if !s.CASPlacementGroupStateOp(spec.ID, []types.PlacementGroupState{types.GroupPending}, types.GroupPlacing, nil, 0, op) {
 		t.Fatal("first CAS failed")
 	}
 	// The "response was lost" retry: same token, same transition. Without
 	// dedup this would lose (state is no longer Pending) and the claimant
 	// would wrongly back off.
-	if !s.CASPlacementGroupStateOp(spec.ID, []types.PlacementGroupState{types.GroupPending}, types.GroupPlacing, nil, op) {
+	if !s.CASPlacementGroupStateOp(spec.ID, []types.PlacementGroupState{types.GroupPending}, types.GroupPlacing, nil, 0, op) {
 		t.Fatal("retried CAS with same token must be reported won")
 	}
 	// A different token for the same transition properly loses.
-	if s.CASPlacementGroupStateOp(spec.ID, []types.PlacementGroupState{types.GroupPending}, types.GroupPlacing, nil, op+1) {
+	if s.CASPlacementGroupStateOp(spec.ID, []types.PlacementGroupState{types.GroupPending}, types.GroupPlacing, nil, 0, op+1) {
 		t.Fatal("fresh CAS from wrong state must lose")
 	}
 }
@@ -174,5 +174,88 @@ func TestGroupConcurrentCreateRemove(t *testing.T) {
 		if info.State == types.GroupRemoved && info.BundleNodes != nil {
 			t.Fatalf("removed group %d kept bundle nodes", i)
 		}
+	}
+}
+
+// TestGangClaimTokenFencesStaleCommit pins the ROADMAP "gang claim tokens"
+// fix: a claimant stalled past the stale-claim sweep must not commit over
+// a successor's claim. The interleaving is exactly the one the sweep alone
+// could not close — claimant A claims and stalls, the sweep resets the
+// group, successor B claims — and the assertion is that A's late commit
+// (carrying its stale token) loses while B's wins with B's placement.
+func TestGangClaimTokenFencesStaleCommit(t *testing.T) {
+	s := NewStore(2)
+	spec := testGroupSpec(20, 1)
+	s.CreatePlacementGroup(spec)
+
+	const tokenA, tokenB = 0xA11CE, 0xB0B
+	var nodeA, nodeB types.NodeID
+	nodeA[0], nodeB[0] = 1, 2
+
+	// A claims and stalls mid-reservation.
+	if !s.CASPlacementGroupStateClaim(spec.ID, []types.PlacementGroupState{types.GroupPending}, types.GroupPlacing, nil, tokenA) {
+		t.Fatal("claimant A's claim failed")
+	}
+	// The stale-claim sweep fences A out: token-less rollback to Pending.
+	if !s.CASPlacementGroupState(spec.ID, []types.PlacementGroupState{types.GroupPlacing}, types.GroupPending, nil) {
+		t.Fatal("sweep rollback failed")
+	}
+	// Successor B claims.
+	if !s.CASPlacementGroupStateClaim(spec.ID, []types.PlacementGroupState{types.GroupPending}, types.GroupPlacing, nil, tokenB) {
+		t.Fatal("successor B's claim failed")
+	}
+	// A wakes up and commits: the state IS Placing, so before claim tokens
+	// this CAS won and installed A's placement over B's claim. The token
+	// mismatch must now fail it.
+	if s.CASPlacementGroupStateClaim(spec.ID, []types.PlacementGroupState{types.GroupPlacing}, types.GroupPlaced, []types.NodeID{nodeA}, tokenA) {
+		t.Fatal("stale claimant's commit must lose to the successor's claim")
+	}
+	// A's rollback attempt (reserve-failure path carries its claim) must
+	// not yank B's live claim either.
+	if s.CASPlacementGroupStateClaim(spec.ID, []types.PlacementGroupState{types.GroupPlacing}, types.GroupPending, nil, tokenA) {
+		t.Fatal("stale claimant's rollback must not clear the successor's claim")
+	}
+	// B commits normally.
+	if !s.CASPlacementGroupStateClaim(spec.ID, []types.PlacementGroupState{types.GroupPlacing}, types.GroupPlaced, []types.NodeID{nodeB}, tokenB) {
+		t.Fatal("successor's commit must win")
+	}
+	info, ok := s.GetPlacementGroup(spec.ID)
+	if !ok || info.State != types.GroupPlaced || len(info.BundleNodes) != 1 || info.BundleNodes[0] != nodeB {
+		t.Fatalf("successor's placement clobbered: %+v ok=%v", info, ok)
+	}
+}
+
+// TestGangClaimTokenLegacyPaths checks the fence stays out of the way of
+// token-less callers: with no claim recorded, a claim-0 commit still works
+// (pre-token behaviour), and rollbacks to Pending clear any stale token.
+func TestGangClaimTokenLegacyPaths(t *testing.T) {
+	s := NewStore(2)
+	spec := testGroupSpec(21, 1)
+	s.CreatePlacementGroup(spec)
+	var n types.NodeID
+	n[0] = 7
+
+	if !s.CASPlacementGroupState(spec.ID, []types.PlacementGroupState{types.GroupPending}, types.GroupPlacing, nil) {
+		t.Fatal("token-less claim failed")
+	}
+	if !s.CASPlacementGroupState(spec.ID, []types.PlacementGroupState{types.GroupPlacing}, types.GroupPlaced, []types.NodeID{n}) {
+		t.Fatal("token-less commit with no recorded claim must pass")
+	}
+	// Roll back and run a tokened cycle; then a sweep reset must clear the
+	// token so the next token-less cycle is unencumbered.
+	if !s.CASPlacementGroupState(spec.ID, []types.PlacementGroupState{types.GroupPlaced}, types.GroupPending, nil) {
+		t.Fatal("rollback failed")
+	}
+	if !s.CASPlacementGroupStateClaim(spec.ID, []types.PlacementGroupState{types.GroupPending}, types.GroupPlacing, nil, 42) {
+		t.Fatal("tokened claim failed")
+	}
+	if !s.CASPlacementGroupState(spec.ID, []types.PlacementGroupState{types.GroupPlacing}, types.GroupPending, nil) {
+		t.Fatal("sweep reset failed")
+	}
+	if !s.CASPlacementGroupState(spec.ID, []types.PlacementGroupState{types.GroupPending}, types.GroupPlacing, nil) {
+		t.Fatal("token-less claim after sweep failed")
+	}
+	if !s.CASPlacementGroupState(spec.ID, []types.PlacementGroupState{types.GroupPlacing}, types.GroupPlaced, []types.NodeID{n}) {
+		t.Fatal("token cleared by sweep: token-less commit must pass")
 	}
 }

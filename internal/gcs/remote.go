@@ -167,6 +167,12 @@ func (r *Remote) CASPlacementGroupState(id types.PlacementGroupID, from []types.
 	return v
 }
 
+// CASPlacementGroupStateClaim implements API.
+func (r *Remote) CASPlacementGroupStateClaim(id types.PlacementGroupID, from []types.PlacementGroupState, to types.PlacementGroupState, bundleNodes []types.NodeID, claim uint64) bool {
+	v, _ := call[bool](r, MethodCASGroup, casGroupReq{ID: id, From: from, To: to, Nodes: bundleNodes, Claim: claim})
+	return v
+}
+
 // PublishSpill implements API.
 func (r *Remote) PublishSpill(spec types.TaskSpec) {
 	call[bool](r, MethodPublishSpill, spec)
@@ -185,6 +191,12 @@ func (r *Remote) Heartbeat(id types.NodeID, queueLen int, avail types.Resources,
 // MarkNodeDead implements API.
 func (r *Remote) MarkNodeDead(id types.NodeID) {
 	call[bool](r, MethodMarkNodeDead, id)
+}
+
+// CASNodeState implements API.
+func (r *Remote) CASNodeState(id types.NodeID, from []types.NodeState, to types.NodeState) bool {
+	v, _ := call[bool](r, MethodCASNodeState, casNodeReq{ID: id, From: from, To: to})
+	return v
 }
 
 // GetNode implements API.

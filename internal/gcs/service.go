@@ -37,6 +37,7 @@ const (
 	MethodRegisterNode     = "gcs.registerNode"
 	MethodHeartbeat        = "gcs.heartbeat"
 	MethodMarkNodeDead     = "gcs.markNodeDead"
+	MethodCASNodeState     = "gcs.casNodeState"
 	MethodGetNode          = "gcs.getNode"
 	MethodNodes            = "gcs.nodes"
 	MethodRegisterFunction = "gcs.registerFunction"
@@ -109,8 +110,20 @@ type (
 		From  []types.PlacementGroupState
 		To    types.PlacementGroupState
 		Nodes []types.NodeID
+		// Claim is the claimant token recorded at Placing and required at
+		// the Placed commit (0 = no claim bookkeeping); see
+		// Store.CASPlacementGroupStateClaim.
+		Claim uint64
 		// Op is the idempotency token for retried gang-state CAS claims
 		// (0 = no dedup); see Store.CASPlacementGroupStateOp.
+		Op uint64
+	}
+	casNodeReq struct {
+		ID   types.NodeID
+		From []types.NodeState
+		To   types.NodeState
+		// Op is the idempotency token for retried drain-state CAS claims
+		// (0 = no dedup); see Store.CASNodeStateOp.
 		Op uint64
 	}
 	maybeTask struct {
@@ -274,7 +287,7 @@ func RegisterService(srv Registrar, store *Store) {
 		if err != nil {
 			return nil, err
 		}
-		return store.CASPlacementGroupStateOp(req.ID, req.From, req.To, req.Nodes, req.Op), nil
+		return store.CASPlacementGroupStateOp(req.ID, req.From, req.To, req.Nodes, req.Claim, req.Op), nil
 	})
 	unary(MethodPublishSpill, func(p []byte) (any, error) {
 		spec, err := codec.DecodeAs[types.TaskSpec](p)
@@ -307,6 +320,13 @@ func RegisterService(srv Registrar, store *Store) {
 		}
 		store.MarkNodeDead(id)
 		return true, nil
+	})
+	unary(MethodCASNodeState, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[casNodeReq](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.CASNodeStateOp(req.ID, req.From, req.To, req.Op), nil
 	})
 	unary(MethodGetNode, func(p []byte) (any, error) {
 		id, err := codec.DecodeAs[types.NodeID](p)

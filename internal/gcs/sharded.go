@@ -504,6 +504,14 @@ func (s *Sharded) CASPlacementGroupState(id types.PlacementGroupID, from []types
 	return v
 }
 
+// CASPlacementGroupStateClaim implements API: the claim-token gang CAS,
+// with the same crash-retry idempotency token as the claimless form.
+func (s *Sharded) CASPlacementGroupStateClaim(id types.PlacementGroupID, from []types.PlacementGroupState, to types.PlacementGroupState, bundleNodes []types.NodeID, claim uint64) bool {
+	v, _ := shardCall[bool](s, GroupKey(id), MethodCASGroup,
+		casGroupReq{ID: id, From: from, To: to, Nodes: bundleNodes, Claim: claim, Op: newOpToken()})
+	return v
+}
+
 // SubscribePlacementGroups implements API: merged over every shard (each
 // group's transitions publish on the shard owning its record).
 func (s *Sharded) SubscribePlacementGroups() Sub {
@@ -540,6 +548,15 @@ func (s *Sharded) Heartbeat(id types.NodeID, queueLen int, avail types.Resources
 // MarkNodeDead implements API.
 func (s *Sharded) MarkNodeDead(id types.NodeID) {
 	shardCall[bool](s, NodeKey(id), MethodMarkNodeDead, id)
+}
+
+// CASNodeState implements API: tokenized like every other state CAS, so a
+// drain decision retried across a shard crash never loses to its own
+// earlier commit.
+func (s *Sharded) CASNodeState(id types.NodeID, from []types.NodeState, to types.NodeState) bool {
+	v, _ := shardCall[bool](s, NodeKey(id), MethodCASNodeState,
+		casNodeReq{ID: id, From: from, To: to, Op: newOpToken()})
+	return v
 }
 
 // GetNode implements API.

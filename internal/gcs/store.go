@@ -731,6 +731,71 @@ func (s *Store) MarkNodeDead(id types.NodeID) {
 	}
 }
 
+// CASNodeState implements API.
+func (s *Store) CASNodeState(id types.NodeID, from []types.NodeState, to types.NodeState) bool {
+	return s.CASNodeStateOp(id, from, to, 0)
+}
+
+// CASNodeStateOp is CASNodeState with an idempotency token (0 = no dedup),
+// mirroring CASTaskStatusOp: a drain CAS retried across a control-plane
+// shard crash is recognized by its token in the record's durable MutOps
+// ring and reported won, so the autoscaler (or draining node) proceeds
+// instead of treating its own earlier commit as a lost race.
+func (s *Store) CASNodeStateOp(id types.NodeID, from []types.NodeState, to types.NodeState, op uint64) bool {
+	now := s.NowNs()
+	won := false
+	dupWin := false
+	var next types.NodeInfo
+	s.db.Update(keyNode+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			return nil, false
+		}
+		info, err := codec.DecodeAs[types.NodeInfo](cur)
+		if err != nil {
+			return nil, false
+		}
+		if op != 0 {
+			for _, seen := range info.MutOps {
+				if seen == op {
+					dupWin = true // this exact CAS already applied
+					return nil, false
+				}
+			}
+		}
+		eligible := false
+		for _, f := range from {
+			if info.State == f {
+				eligible = true
+				break
+			}
+		}
+		if !eligible {
+			return nil, false
+		}
+		if op != 0 {
+			info.MutOps = append(info.MutOps, op)
+			if len(info.MutOps) > refOpHistory {
+				info.MutOps = info.MutOps[len(info.MutOps)-refOpHistory:]
+			}
+		}
+		info.State = to
+		switch to {
+		case types.NodeDraining:
+			info.DrainNs = now
+		case types.NodeActive:
+			info.DrainNs = 0 // rollback: the drain never happened
+		}
+		won = true
+		next = info
+		return codec.MustEncode(info), true
+	})
+	if won {
+		s.db.Publish(chanNodes, codec.MustEncode(next))
+		s.logEvent(types.Event{Kind: "node-state:" + to.String(), Node: id})
+	}
+	return won || dupWin
+}
+
 // GetNode implements API.
 func (s *Store) GetNode(id types.NodeID) (types.NodeInfo, bool) {
 	raw, ok := s.db.Get(keyNode + id.Hex())

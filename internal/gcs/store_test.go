@@ -279,3 +279,67 @@ func TestNowNsMonotonic(t *testing.T) {
 		t.Fatal("clock not advancing")
 	}
 }
+
+// TestNodeDrainStateMachine pins the node-table drain CAS (DESIGN.md §10):
+// Active→Draining→Drained with rollback, publish on every win, DrainNs
+// stamping, and the §7-style idempotency-token dedup.
+func TestNodeDrainStateMachine(t *testing.T) {
+	s := NewStore(2)
+	var id types.NodeID
+	id[0] = 9
+	s.RegisterNode(types.NodeInfo{ID: id, Addr: "n", Total: types.CPU(4)})
+
+	sub := s.SubscribeNodeEvents()
+	defer sub.Close()
+
+	if s.CASNodeState(id, []types.NodeState{types.NodeDraining}, types.NodeDrained) {
+		t.Fatal("Drained from Active must lose")
+	}
+	if !s.CASNodeState(id, []types.NodeState{types.NodeActive}, types.NodeDraining) {
+		t.Fatal("Active→Draining failed")
+	}
+	info, _ := s.GetNode(id)
+	if info.State != types.NodeDraining || info.DrainNs <= 0 {
+		t.Fatalf("bad record after drain mark: %+v", info)
+	}
+	select {
+	case raw := <-sub.C():
+		ev, err := DecodeNodeEvent(raw)
+		if err != nil || ev.State != types.NodeDraining {
+			t.Fatalf("bad drain publish: %+v err=%v", ev, err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain transition did not publish")
+	}
+	// Concurrent second drain decision loses.
+	if s.CASNodeState(id, []types.NodeState{types.NodeActive}, types.NodeDraining) {
+		t.Fatal("second Active→Draining must lose")
+	}
+	// Rollback clears the drain stamp.
+	if !s.CASNodeState(id, []types.NodeState{types.NodeDraining}, types.NodeActive) {
+		t.Fatal("rollback failed")
+	}
+	if info, _ := s.GetNode(id); info.State != types.NodeActive || info.DrainNs != 0 {
+		t.Fatalf("rollback left residue: %+v", info)
+	}
+	// Tokenized retry across a "crash": the same op token is reported won
+	// without re-applying; a fresh token from the wrong state loses.
+	const op = 0xD12A
+	if !s.CASNodeStateOp(id, []types.NodeState{types.NodeActive}, types.NodeDraining, op) {
+		t.Fatal("tokened drain failed")
+	}
+	if !s.CASNodeStateOp(id, []types.NodeState{types.NodeActive}, types.NodeDraining, op) {
+		t.Fatal("retried CAS with same token must be reported won")
+	}
+	if s.CASNodeStateOp(id, []types.NodeState{types.NodeActive}, types.NodeDraining, op+1) {
+		t.Fatal("fresh CAS from wrong state must lose")
+	}
+	// Heartbeats must not disturb the drain state.
+	s.Heartbeat(id, 3, types.CPU(1), types.StoreStats{})
+	if info, _ := s.GetNode(id); info.State != types.NodeDraining {
+		t.Fatalf("heartbeat clobbered drain state: %+v", info)
+	}
+	if !s.CASNodeState(id, []types.NodeState{types.NodeDraining}, types.NodeDrained) {
+		t.Fatal("Draining→Drained failed")
+	}
+}

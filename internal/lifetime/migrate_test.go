@@ -1,0 +1,160 @@
+package lifetime
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/gcs"
+	"repro/internal/objectstore"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// migrateFixture builds a draining source and n target nodes, each target
+// serving MigrateInMethod backed by its own pull manager, all over one
+// in-process network and control plane.
+func migrateFixture(t *testing.T, ntargets int) (src *objectstore.Store, targets []*objectstore.Store, ctrl *gcs.Store, m *Migrator) {
+	t.Helper()
+	nw := transport.NewInproc(0)
+	ctrl = gcs.NewStore(4)
+	addrs := make(map[types.NodeID]string)
+	resolve := func(n types.NodeID) (string, bool) {
+		a, ok := addrs[n]
+		return a, ok
+	}
+
+	src = objectstore.New(testNode(50), ctrl, 0)
+	srcSrv := transport.NewServer()
+	objectstore.RegisterPullHandler(srcSrv, src)
+	if _, err := nw.Listen("mig-src", srcSrv); err != nil {
+		t.Fatal(err)
+	}
+	addrs[src.Node()] = "mig-src"
+	ctrl.RegisterNode(types.NodeInfo{ID: src.Node(), Addr: "mig-src", Total: types.CPU(1)})
+	srcPM := NewPullManager(src, ctrl, nw, resolve, PullConfig{ChunkSize: 16 << 10})
+	t.Cleanup(srcPM.Close)
+
+	for i := 0; i < ntargets; i++ {
+		dst := objectstore.New(testNode(uint64(60+i)), ctrl, 0)
+		srv := transport.NewServer()
+		objectstore.RegisterPullHandler(srv, dst)
+		pm := NewPullManager(dst, ctrl, nw, resolve, PullConfig{ChunkSize: 16 << 10})
+		t.Cleanup(pm.Close)
+		RegisterMigrateHandler(srv, pm)
+		addr := "mig-dst-" + string(rune('0'+i))
+		if _, err := nw.Listen(addr, srv); err != nil {
+			t.Fatal(err)
+		}
+		addrs[dst.Node()] = addr
+		ctrl.RegisterNode(types.NodeInfo{ID: dst.Node(), Addr: addr, Total: types.CPU(1)})
+		targets = append(targets, dst)
+	}
+
+	m = NewMigrator(srcPM, NewTracker(ctrl))
+	return src, targets, ctrl, m
+}
+
+// TestMigrateDrainsStoreToPeers: referenced objects (small and chunked)
+// move to a peer with the location published before the source's copy is
+// deleted; garbage is dropped, not transferred.
+func TestMigrateDrainsStoreToPeers(t *testing.T) {
+	src, targets, ctrl, m := migrateFixture(t, 1)
+	tracker := NewTracker(ctrl)
+
+	small := testObj(70)
+	big := testObj(71)
+	garbage := testObj(72)
+	bigBytes := bytes.Repeat([]byte{7}, 96<<10) // 6 chunks at 16 KiB
+	if err := src.Put(small, []byte("keep-me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Put(big, bigBytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Put(garbage, []byte("drop-me")); err != nil {
+		t.Fatal(err)
+	}
+	tracker.Retain(small, big)
+	tracker.Retain(garbage)
+	tracker.Release(garbage) // refcount 0 after retention: GC-eligible
+
+	if err := m.DrainObjects(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := src.Count(); n != 0 {
+		t.Fatalf("source still holds %d objects", n)
+	}
+	for _, id := range []types.ObjectID{small, big} {
+		data, ok := targets[0].Get(id)
+		if !ok {
+			t.Fatalf("object %v not on target", id)
+		}
+		if id == big && !bytes.Equal(data, bigBytes) {
+			t.Fatal("chunked migration corrupted the object")
+		}
+		info, _ := ctrl.GetObject(id)
+		if info.State != types.ObjectReady || !info.HasLocation(targets[0].Node()) || info.HasLocation(src.Node()) {
+			t.Fatalf("bad post-migration record for %v: %+v", id, info)
+		}
+	}
+	if _, ok := targets[0].Get(garbage); ok {
+		t.Fatal("garbage was migrated instead of dropped")
+	}
+	migrated, dropped := m.Stats()
+	if migrated != 2 || dropped != 1 {
+		t.Fatalf("stats = %d migrated, %d dropped; want 2, 1", migrated, dropped)
+	}
+	// The migration borrows netted out: counts reflect only the test's own
+	// retains.
+	if info, _ := ctrl.GetObject(small); info.RefCount != 1 {
+		t.Fatalf("refcount disturbed by migration: %d", info.RefCount)
+	}
+}
+
+// TestMigrateFailsOverFailedTarget: a first-choice receiver whose store
+// has crashed (still Alive in the table — an undetected failure — so the
+// migrator discovers it only through the RPC error) routes the push to
+// the surviving peer.
+func TestMigrateFailsOverFailedTarget(t *testing.T) {
+	src, targets, ctrl, m := migrateFixture(t, 2)
+	// Make target 0 the preferred (least-loaded) choice, then crash its
+	// store: its migrate handler's Put now fails and the push errors out.
+	ctrl.Heartbeat(targets[1].Node(), 0, types.CPU(1), types.StoreStats{UsedBytes: 1 << 20})
+	targets[0].Fail()
+	id := testObj(80)
+	if err := src.Put(id, []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	NewTracker(ctrl).Retain(id)
+
+	if err := m.DrainObjects(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := targets[1].Get(id); !ok {
+		t.Fatal("object did not fail over to the surviving target")
+	}
+}
+
+// TestMigrateAbortStopsPromptly: the abort hook (drain rollback) halts
+// the sweep with an error and leaves remaining objects in place.
+func TestMigrateAbortStopsPromptly(t *testing.T) {
+	src, _, ctrl, m := migrateFixture(t, 1)
+	id := testObj(81)
+	if err := src.Put(id, []byte("stay")); err != nil {
+		t.Fatal(err)
+	}
+	NewTracker(ctrl).Retain(id)
+	if err := m.DrainObjects(context.Background(), func() bool { return true }); err == nil {
+		t.Fatal("aborted drain must report an error")
+	}
+	if !src.Contains(id) {
+		t.Fatal("aborted drain moved data anyway")
+	}
+	// A cancelled context stops it too.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.DrainObjects(ctx, nil); err == nil {
+		t.Fatal("cancelled drain must report an error")
+	}
+}

@@ -101,6 +101,14 @@ type Config struct {
 	DepPollInterval time.Duration
 	// DisablePrefetch turns off park-time dependency prefetch (E19).
 	DisablePrefetch bool
+	// DrainPollInterval bounds how quickly the node notices a Draining
+	// mark on its own control-plane record (the pub/sub fast path makes it
+	// rarely matter). Zero selects a default.
+	DrainPollInterval time.Duration
+	// OnDrained, when set, is invoked after a drain completes — state
+	// Drained committed, every object migrated — just before the node
+	// shuts itself down (tests and cluster bookkeeping hook it).
+	OnDrained func()
 }
 
 // Node is a running cluster node.
@@ -113,9 +121,13 @@ type Node struct {
 	tier    *lifetime.DiskSpiller
 	life    *lifetime.Manager
 	fetcher *lifetime.PullManager
+	migr    *lifetime.Migrator
 	sched   *scheduler.Local
 	exec    *worker
 	recon   *fault.Reconstructor
+	// draining guards against concurrent drain executions (a pub/sub event
+	// racing the poll fallback).
+	draining atomic.Bool
 
 	server   *transport.Server
 	listener io.Closer
@@ -174,6 +186,7 @@ func New(cfg Config) (*Node, error) {
 		n.store.SetSpillTier(tier)
 	}
 	n.fetcher = lifetime.NewPullManager(n.store, cfg.Ctrl, cfg.Network, n.resolvePeerAddr, cfg.Pull)
+	n.migr = lifetime.NewMigrator(n.fetcher, n.life.Tracker())
 
 	n.sched = scheduler.NewLocal(scheduler.LocalConfig{
 		Node:            id,
@@ -201,6 +214,7 @@ func New(cfg Config) (*Node, error) {
 
 	n.server = transport.NewServer()
 	objectstore.RegisterPullHandler(n.server, n.store)
+	lifetime.RegisterMigrateHandler(n.server, n.fetcher)
 	n.server.Handle(AssignMethod, func(payload []byte) ([]byte, error) {
 		spec, err := codec.DecodeAs[types.TaskSpec](payload)
 		if err != nil {
@@ -250,6 +264,8 @@ func New(cfg Config) (*Node, error) {
 		n.wg.Add(1)
 		go n.heartbeatLoop()
 	}
+	n.wg.Add(1)
+	go n.drainWatch()
 	return n, nil
 }
 
@@ -302,6 +318,129 @@ func (n *Node) heartbeatLoop() {
 			return
 		}
 	}
+}
+
+// --- drain protocol (DESIGN.md §10) ---
+
+// drainWatch notices a Draining mark on this node's own control-plane
+// record — set by the autoscaler's scale-down decision or an operator's
+// `rayctl drain` — and runs the drain. The node-events subscription is the
+// fast path; the poll is the at-least-once fallback for a dropped event.
+func (n *Node) drainWatch() {
+	defer n.wg.Done()
+	sub := n.ctrl.SubscribeNodeEvents()
+	defer sub.Close()
+	// The poll is deliberately slow: the subscription is the fast path, a
+	// drain start tolerates sub-second latency, and every poll tick is a
+	// control-plane RPC paid by every node for its whole lifetime.
+	poll := n.cfg.DrainPollInterval
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	subC := sub.C()
+	for {
+		marked := false
+		select {
+		case msg, ok := <-subC:
+			if !ok {
+				subC = nil // dead subscription: degrade to the poll
+				continue
+			}
+			info, err := gcs.DecodeNodeEvent(msg)
+			if err != nil || info.ID != n.id {
+				continue
+			}
+			marked = info.State == types.NodeDraining
+		case <-t.C:
+			info, ok := n.ctrl.GetNode(n.id)
+			marked = ok && info.State == types.NodeDraining
+		case <-n.stop:
+			return
+		}
+		if marked && n.runDrain() {
+			return // drained and shutting down
+		}
+	}
+}
+
+// runDrain executes the drain state machine: fence admissions, hand the
+// backlog to the global queue, quiesce running tasks, spill-migrate every
+// object to peers, commit Draining→Drained, and deregister. Any failure —
+// or an operator/autoscaler rollback of the record to Active — aborts:
+// the fence drops and the node serves again. Reports whether the node
+// drained (and is shutting down).
+func (n *Node) runDrain() bool {
+	if !n.draining.CompareAndSwap(false, true) {
+		return false // a drain is already running
+	}
+	defer n.draining.Store(false)
+	n.ctrl.LogEvent(types.Event{Kind: "drain-start", Node: n.id})
+	n.sched.SetDraining(true)
+	evicted := n.sched.DrainBacklog()
+	// Quiesce: wait out tasks already dispatched or blocked mid-Get. New
+	// work cannot arrive (admissions are fenced; the global scheduler
+	// stopped placing here when the CAS published).
+	for n.sched.Busy() > 0 || n.exec.Active() > 0 {
+		if n.drainRolledBack() {
+			return n.abortDrain("quiesce")
+		}
+		select {
+		case <-time.After(5 * time.Millisecond):
+		case <-n.stop:
+			return true // killed or shut down mid-drain; nothing to resume
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-n.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	if err := n.migr.DrainObjects(ctx, n.drainRolledBack); err != nil {
+		if n.dead.Load() {
+			return true
+		}
+		// Migration cannot complete (no Active peers, peers full, or an
+		// operator abort): roll back to Active rather than strand data.
+		n.ctrl.CASNodeState(n.id, []types.NodeState{types.NodeDraining}, types.NodeActive)
+		return n.abortDrain(err.Error())
+	}
+	if !n.ctrl.CASNodeState(n.id, []types.NodeState{types.NodeDraining}, types.NodeDrained) {
+		return n.abortDrain("drained commit lost") // rolled back underneath
+	}
+	migrated, dropped := n.migr.Stats()
+	n.ctrl.LogEvent(types.Event{Kind: "drain-complete", Node: n.id,
+		Detail: fmt.Sprintf("migrated=%d dropped=%d respilled=%d", migrated, dropped, evicted)})
+	// Safety net for anything that slipped in after the final sweep: drop
+	// it with its location deregistered so consumers see Lost (lineage
+	// replay) instead of a phantom copy on a deregistered node.
+	n.store.DropAll()
+	if n.cfg.OnDrained != nil {
+		n.cfg.OnDrained()
+	}
+	go n.Shutdown()
+	return true
+}
+
+// drainRolledBack reports whether this node's record left Draining — the
+// autoscaler's drain timeout or an operator abort rolled it back. An
+// unreadable record (control plane mid-failover) is NOT a rollback: the
+// drain holds its course and retries against the restarted shard.
+func (n *Node) drainRolledBack() bool {
+	info, ok := n.ctrl.GetNode(n.id)
+	return ok && info.State != types.NodeDraining
+}
+
+// abortDrain drops the admission fence and resumes normal service.
+func (n *Node) abortDrain(why string) bool {
+	n.sched.SetDraining(false)
+	n.ctrl.LogEvent(types.Event{Kind: "drain-abort", Node: n.id, Detail: why})
+	return false
 }
 
 // --- core.Backend ---
@@ -416,8 +555,11 @@ func (n *Node) Shutdown() {
 			n.listener.Close()
 		}
 		n.fetcher.Close()
-		n.ctrl.MarkNodeDead(n.id)
+		// Quiesce the node's own loops BEFORE declaring death: a heartbeat
+		// in flight after MarkNodeDead would resurrect Alive on a record
+		// nobody will ever mark dead again.
 		n.wg.Wait()
+		n.ctrl.MarkNodeDead(n.id)
 	})
 }
 
@@ -436,7 +578,7 @@ func (n *Node) Kill() {
 		}
 		n.store.Fail()
 		n.fetcher.Close()
-		n.ctrl.MarkNodeDead(n.id)
 		n.wg.Wait()
+		n.ctrl.MarkNodeDead(n.id)
 	})
 }

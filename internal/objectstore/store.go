@@ -930,6 +930,20 @@ func (s *Store) Count() int {
 	return len(s.objects)
 }
 
+// Resident snapshots the IDs of every locally-held object (memory and
+// spill tier). The drain migration driver iterates it; the snapshot is
+// advisory — objects may arrive or vanish after it is taken, which the
+// driver handles by re-listing until the store is empty.
+func (s *Store) Resident() []types.ObjectID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]types.ObjectID, 0, len(s.objects))
+	for id := range s.objects {
+		out = append(out, id)
+	}
+	return out
+}
+
 // Stats snapshots usage for heartbeats and dashboards. Reclaimed and
 // TierEvictions are owned by the lifetime subsystem and filled in by the
 // node.

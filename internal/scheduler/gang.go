@@ -1,12 +1,28 @@
 package scheduler
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"sort"
 	"time"
 
 	"repro/internal/gcs"
 	"repro/internal/types"
 )
+
+// newClaimToken returns a random non-zero claimant token for the gang
+// claim/commit protocol (ROADMAP "gang claim tokens"): the Pending→Placing
+// CAS records it and the Placing→Placed commit requires it, so a claimant
+// stalled past the stale-claim sweep cannot commit over a successor's
+// claim. Collisions only re-open the (previously always-open) hole, never
+// corrupt state.
+func newClaimToken() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 1 // degraded but non-zero
+	}
+	return binary.BigEndian.Uint64(b[:]) | 1
+}
 
 // Gang-scheduled placement groups (DESIGN.md §9). The global scheduler is
 // the only component with the cluster-wide view, so it runs the
@@ -118,16 +134,19 @@ func (g *Global) gangPass(forced bool) {
 
 // tryPlaceGroup admits a Pending group all-or-nothing. Planning happens
 // before the claim so an infeasible group costs no CAS churn and — the
-// invariant the tests pin — leaves zero reservations behind.
+// invariant the tests pin — leaves zero reservations behind. The claim
+// carries a claimant token that the commit must present again, closing the
+// stale-claimant commit hole (see newClaimToken).
 func (g *Global) tryPlaceGroup(info types.PlacementGroupInfo) {
-	nodes := g.aliveNodes()
+	nodes := g.schedulableNodes()
 	plan := planBundles(info.Spec, nodes)
 	if plan == nil {
 		g.gangParked.Add(1)
 		return
 	}
 	id := info.Spec.ID
-	if !g.cfg.Ctrl.CASPlacementGroupState(id, []types.PlacementGroupState{types.GroupPending}, types.GroupPlacing, nil) {
+	claim := newClaimToken()
+	if !g.cfg.Ctrl.CASPlacementGroupStateClaim(id, []types.PlacementGroupState{types.GroupPending}, types.GroupPlacing, nil, claim) {
 		return // another scheduler claimed it, or it was removed
 	}
 	addr := addrIndex(nodes)
@@ -135,13 +154,16 @@ func (g *Global) tryPlaceGroup(info types.PlacementGroupInfo) {
 		if err := g.cfg.Reserve(node, addr[node], id, i, info.Spec.Bundles[i].Resources); err != nil {
 			// The node raced away (death, or its capacity went elsewhere
 			// between heartbeat and reservation): roll the whole gang back.
+			// The rollback carries our claim so it can never yank a
+			// successor's claim if ours was already swept stale.
 			g.releaseEverywhere(id, false, plan)
-			g.cfg.Ctrl.CASPlacementGroupState(id, []types.PlacementGroupState{types.GroupPlacing}, types.GroupPending, nil)
+			g.cfg.Ctrl.CASPlacementGroupStateClaim(id, []types.PlacementGroupState{types.GroupPlacing}, types.GroupPending, nil, claim)
 			return
 		}
 	}
-	if !g.cfg.Ctrl.CASPlacementGroupState(id, []types.PlacementGroupState{types.GroupPlacing}, types.GroupPlaced, plan) {
-		// Removed while we were reserving: undo.
+	if !g.cfg.Ctrl.CASPlacementGroupStateClaim(id, []types.PlacementGroupState{types.GroupPlacing}, types.GroupPlaced, plan, claim) {
+		// Removed while we were reserving — or our claim was swept stale
+		// and a successor re-claimed (the token mismatch fails us): undo.
 		g.releaseEverywhere(id, false, plan)
 		return
 	}
@@ -153,15 +175,14 @@ func (g *Global) tryPlaceGroup(info types.PlacementGroupInfo) {
 
 // sweepStalePlacing rescues a group stranded in Placing — its claimant
 // died mid-reservation. The CAS back to Pending runs FIRST: it fences the
-// (possibly still live) claimant's Placing→Placed commit, so by the time
-// the sweeper releases the claimant's reservations the group can no
-// longer end up Placed-with-missing-reservations by THIS interleaving.
-// The commit CAS carries no claimant identity, so a claimant that stalls
-// past the stale threshold, gets swept, and then commits over a NEW
-// claimant's claim remains possible (ROADMAP: claim tokens in the commit
-// CAS); the threshold is set an order of magnitude above any healthy
-// reservation pass so only effectively-dead claimants are swept, and the
-// Placed-group reservation probe repairs any residue such races leave.
+// (possibly still live) claimant's Placing→Placed commit — both by state
+// and by clearing the recorded claim token, so even a claimant that
+// stalls past the stale threshold, gets swept, and wakes after a NEW
+// claimant re-claimed cannot commit: the successor's claim rewrote the
+// token and the stale commit's token no longer matches (the ROADMAP
+// "gang claim tokens" hole, now closed at the commit CAS itself). The
+// threshold stays an order of magnitude above any healthy reservation
+// pass so only effectively-dead claimants are swept.
 func (g *Global) sweepStalePlacing(info types.PlacementGroupInfo) {
 	staleNs := (10 * g.cfg.SweepAge).Nanoseconds()
 	if g.cfg.Ctrl.NowNs()-info.LastTransitionNs < staleNs {
@@ -205,7 +226,11 @@ func (g *Global) checkGroupMembers(info types.PlacementGroupInfo) {
 			abort = true
 			break
 		}
-		if !n.Alive {
+		// A draining member node rolls the gang back exactly like a dead
+		// one: the drain protocol re-places gang reservations as a unit
+		// (DESIGN.md §10), and the draining node's release respills its
+		// queued members so they follow the group.
+		if !n.Schedulable() {
 			rollback = node
 			break
 		}
@@ -319,7 +344,7 @@ func (g *Global) reapRemoved(info types.PlacementGroupInfo) {
 	// suite's "only conclude with all shards answering" idiom).
 	viewOK := g.nodesViewComplete()
 	ok := g.releaseEverywhere(id, true, nil)
-	nodes := g.aliveNodes() // one scan shared across all member burials
+	nodes := g.schedulableNodes() // one scan shared across all member burials
 	for _, spec := range g.takeParkedMembers(id) {
 		g.failMember(spec, nodes)
 	}
@@ -411,8 +436,8 @@ func (g *Global) placeGrouped(spec types.TaskSpec) {
 			return
 		}
 		n, ok := g.cfg.Ctrl.GetNode(node)
-		if !ok || !n.Alive {
-			g.park(spec) // member node died; rollback will re-place
+		if !ok || !n.Schedulable() {
+			g.park(spec) // member node died or is draining; rollback will re-place
 			return
 		}
 		if err := g.cfg.Assign(node, n.Addr, spec); err != nil {
@@ -437,7 +462,7 @@ func (g *Global) failMember(spec types.TaskSpec, nodes []types.NodeInfo) {
 		return
 	}
 	if nodes == nil {
-		nodes = g.aliveNodes()
+		nodes = g.schedulableNodes()
 	}
 	reason := types.ReasonGroupRemoved + spec.Group.String()
 	for _, n := range nodes {
@@ -537,6 +562,20 @@ func (g *Global) aliveNodes() []types.NodeInfo {
 	out := nodes[:0]
 	for _, n := range nodes {
 		if n.Alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// schedulableNodes excludes draining nodes too: new gang placements must
+// not land on a node shedding its state. The release blanket keeps using
+// aliveNodes — a draining node still holds reservations to release.
+func (g *Global) schedulableNodes() []types.NodeInfo {
+	nodes := g.cfg.Ctrl.Nodes()
+	out := nodes[:0]
+	for _, n := range nodes {
+		if n.Schedulable() {
 			out = append(out, n)
 		}
 	}

@@ -324,14 +324,17 @@ func (g *Global) park(spec types.TaskSpec) {
 	g.mu.Unlock()
 }
 
-// candidates returns alive nodes whose total capacity can ever satisfy the
-// task, with locality bytes computed from the object table.
+// candidates returns schedulable nodes (alive, not draining) whose total
+// capacity can ever satisfy the task, with locality bytes computed from
+// the object table. Draining nodes are fenced out here so no new placement
+// lands on a node that is shedding its state; their refusal (ErrDraining)
+// is only the backstop for assignments already in flight.
 func (g *Global) candidates(spec types.TaskSpec) []NodeSnapshot {
 	nodes := g.cfg.Ctrl.Nodes()
 	deps := spec.Deps()
 	out := make([]NodeSnapshot, 0, len(nodes))
 	for _, n := range nodes {
-		if !n.Alive || !spec.Resources.FeasibleOn(n.Total) {
+		if !n.Schedulable() || !spec.Resources.FeasibleOn(n.Total) {
 			continue
 		}
 		snap := NodeSnapshot{Info: n, Preferred: n.ID == spec.Locality}

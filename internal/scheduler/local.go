@@ -51,6 +51,13 @@ type RefLedger interface {
 // ErrStopped is returned for submissions to a stopped scheduler.
 var ErrStopped = errors.New("scheduler: stopped")
 
+// ErrDraining is returned for global-scheduler assignments to a draining
+// node (DESIGN.md §10): the admission fence of the drain protocol. The
+// global scheduler parks the task and retries against a node that is still
+// Active; locally-born tasks are never refused — they spill to the global
+// queue instead, so a driver attached to a draining node keeps working.
+var ErrDraining = errors.New("scheduler: node draining")
+
 // Spill thresholds (LocalConfig.SpillThreshold).
 const (
 	// SpillNever disables spilling: single-node clusters.
@@ -130,6 +137,12 @@ type Local struct {
 	stopped bool
 
 	wg sync.WaitGroup
+
+	// draining is the admission fence (DESIGN.md §10): while set, placed
+	// assignments are refused with ErrDraining, locally-born tasks spill to
+	// the global queue, and retry/re-enqueue paths respill instead of
+	// re-queueing here.
+	draining atomic.Bool
 
 	// Counters for heartbeats, dashboards, and benchmarks.
 	submitted  atomic.Int64
@@ -253,6 +266,12 @@ func (l *Local) Submit(spec types.TaskSpec, placed bool) error {
 
 	fresh := l.record(spec)
 	if placed {
+		// A draining node admits nothing: refuse before the ownership claim
+		// so the global scheduler parks the task and re-places it on a node
+		// that is still Active (the task stays PENDING, unowned).
+		if l.draining.Load() {
+			return ErrDraining
+		}
 		// A global-scheduler assignment. Several global schedulers may each
 		// place the same spilled task ("one or more global schedulers",
 		// Section 3.2); the QUEUED claim below makes exactly one
@@ -277,7 +296,7 @@ func (l *Local) Submit(spec types.TaskSpec, placed bool) error {
 	// naming another node spills for the same reason — the hint is only
 	// meaningful with the global view.
 	if spec.InGroup() {
-		if l.hasBundle(spec.Group, spec.Bundle) {
+		if l.hasBundle(spec.Group, spec.Bundle) && !l.draining.Load() {
 			l.enqueue(spec)
 		} else {
 			l.spilled.Add(1)
@@ -289,7 +308,7 @@ func (l *Local) Submit(spec types.TaskSpec, placed bool) error {
 	localityElsewhere := !spec.Locality.IsNil() && spec.Locality != l.cfg.Node
 	infeasible := !spec.Resources.FeasibleOn(l.cfg.Total)
 	overloaded := l.cfg.SpillThreshold >= 0 && backlog >= l.cfg.SpillThreshold
-	if infeasible || overloaded || localityElsewhere {
+	if infeasible || overloaded || localityElsewhere || l.draining.Load() {
 		l.spilled.Add(1)
 		l.bridgeSpill(spec)
 		l.cfg.Ctrl.PublishSpill(spec)
@@ -356,6 +375,75 @@ func (l *Local) Enqueue(spec types.TaskSpec) error {
 	l.mu.Unlock()
 	l.enqueue(spec)
 	return nil
+}
+
+// SetDraining flips the admission fence (DESIGN.md §10). Setting it does
+// not evict already-queued work — call DrainBacklog for that; clearing it
+// (drain rollback) lets the node admit again.
+func (l *Local) SetDraining(d bool) { l.draining.Store(d) }
+
+// Draining reports whether the admission fence is up.
+func (l *Local) Draining() bool { return l.draining.Load() }
+
+// Busy reports how many tasks this scheduler still owns in any stage:
+// runnable, waiting on dependencies, or dispatched with resources held.
+// A draining node quiesces when DrainBacklog has evicted the queues and
+// Busy reaches zero (every dispatched task released its resources).
+func (l *Local) Busy() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.runnable) + len(l.waiting) + len(l.holding)
+}
+
+// DrainBacklog evicts every queued and waiting task back through the
+// global spill queue (the drain protocol's backlog hand-off): resolvers
+// are cancelled, ownership claims are released via CAS, and each task's
+// dependencies ride a spill bridge until its next owner's borrows are in
+// place. Dispatched (running) tasks are untouched — the drain waits for
+// them via Busy. Returns how many tasks were handed off.
+func (l *Local) DrainBacklog() int {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return 0
+	}
+	var evicted []types.TaskSpec
+	for _, t := range l.runnable {
+		evicted = append(evicted, t.spec)
+	}
+	l.runnable = nil
+	for id, w := range l.waiting {
+		evicted = append(evicted, w.spec)
+		delete(l.waiting, id)
+		close(w.cancel) // stop its resolvers' polling and fetching
+	}
+	l.mu.Unlock()
+	for _, spec := range evicted {
+		l.spillAway(spec)
+		// Return the enqueue-time borrows last, mirroring runTask's LIFO
+		// ordering (spillAway re-retains through the bridge first).
+		if l.cfg.Refs != nil {
+			l.cfg.Refs.Release(spec.Deps()...)
+		}
+	}
+	return len(evicted)
+}
+
+// spillAway routes a task this node owns (or owned) back through the
+// global spill queue. Unlike the group respill, it also handles tasks
+// already reset to PENDING (the executor's retry path during a drain):
+// the CAS releases a live QUEUED/SCHEDULED claim, and the publish happens
+// whenever the task ends up unowned — if the CAS lost to a concurrent
+// placement, whoever won owns the task and no publish is needed.
+func (l *Local) spillAway(spec types.TaskSpec) {
+	l.bridgeSpill(spec)
+	if !l.cfg.Ctrl.CASTaskStatus(spec.ID, []types.TaskStatus{types.TaskQueued, types.TaskScheduled}, types.TaskPending) {
+		if st, ok := l.cfg.Ctrl.GetTask(spec.ID); !ok || st.Status != types.TaskPending {
+			return // claimed elsewhere (or terminal): not ours to publish
+		}
+	}
+	l.spilled.Add(1)
+	l.cfg.Ctrl.PublishSpill(spec)
 }
 
 // SetExec assigns the execution callback; must be called before Start.
@@ -426,6 +514,14 @@ func (l *Local) outputsIntact(spec types.TaskSpec) bool {
 // enqueue moves a task into runnable or waiting depending on dependency
 // residency, starting a resolver per missing dependency (dataflow trigger).
 func (l *Local) enqueue(spec types.TaskSpec) {
+	// Drain divert: paths that bypass Submit's fence (the executor's retry
+	// re-enqueue, runTask's evicted-args requeue, racing placements) land
+	// here; a draining node hands the task to the global queue instead of
+	// growing a backlog it is trying to shed.
+	if l.draining.Load() {
+		l.spillAway(spec)
+		return
+	}
 	// Prefetch the missing dependency set before anything else: the pulls
 	// run in the background while the control-plane writes below (status
 	// stamp, per-dependency borrow retains) pay their round trips, so by

@@ -128,6 +128,14 @@ type PlacementGroupInfo struct {
 	// shard crash is recognized and reported won instead of losing to its
 	// own earlier commit.
 	MutOps []uint64
+	// ClaimToken identifies which scheduler holds the Placing claim: set by
+	// the Pending→Placing CAS, required to match at the Placing→Placed
+	// commit, and cleared on every rollback to Pending. It closes the
+	// stale-claimant hole the sweep alone could not: a claimant stalled
+	// past the stale-claim sweep cannot commit over a successor's claim,
+	// because the successor's claim rewrote the token (mirrors the MutOps
+	// idempotency rings; see gcs.Store.CASPlacementGroupStateClaim).
+	ClaimToken uint64
 }
 
 // NodeFor returns the node holding bundle's reservation, or nil ID when the

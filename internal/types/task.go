@@ -229,6 +229,34 @@ type StoreStats struct {
 	TierEvicted  int64 // cumulative spill files reclaimed by disk-budget pressure
 }
 
+// NodeState is the drain state machine of a node-table record (DESIGN.md
+// §10). It is orthogonal to Alive: a node is Alive until it crashes or
+// deregisters, while State tracks the administrative drain protocol the
+// autoscaler (or `rayctl drain`) drives.
+type NodeState int
+
+// Node drain lifecycle. Active nodes admit tasks and receive placements.
+// Draining nodes are fenced: the local scheduler refuses admissions, the
+// global scheduler stops placing there, gang reservations are re-placed as
+// a unit, and the node spill-migrates every referenced object to peers.
+// Drained is terminal for the incarnation: migration finished and the node
+// deregisters. A drain that cannot complete (no capacity anywhere, or an
+// operator abort) rolls back Draining→Active and the node resumes.
+const (
+	NodeActive NodeState = iota
+	NodeDraining
+	NodeDrained
+)
+
+var nodeStateNames = [...]string{"ACTIVE", "DRAINING", "DRAINED"}
+
+func (s NodeState) String() string {
+	if s < 0 || int(s) >= len(nodeStateNames) {
+		return fmt.Sprintf("NodeState(%d)", int(s))
+	}
+	return nodeStateNames[s]
+}
+
 // NodeInfo is the node-table record.
 type NodeInfo struct {
 	ID       NodeID
@@ -236,13 +264,29 @@ type NodeInfo struct {
 	Total    Resources
 	Alive    bool
 	LastSeen int64 // heartbeat, ns since cluster epoch
+	// State is the drain state machine (Active/Draining/Drained), WAL'd
+	// with the record and transitioned only through CASNodeState so
+	// concurrent autoscalers converge on one drain decision.
+	State NodeState
+	// DrainNs is stamped when the node entered Draining (cleared on
+	// rollback); the autoscaler's drain-timeout watchdog ages from it.
+	DrainNs int64
 	// Load snapshot published with heartbeats; the global scheduler's
 	// placement policy consumes these.
 	QueueLen  int
 	Available Resources
 	// Store is the object-store usage published with heartbeats.
 	Store StoreStats
+	// MutOps remembers recent state-CAS operation tokens (a small ring),
+	// mirroring TaskState.MutOps: a drain CAS retried across a control-
+	// plane shard crash is recognized and reported won instead of losing
+	// to its own earlier commit.
+	MutOps []uint64
 }
+
+// Schedulable reports whether new work may be placed on the node: it must
+// be alive and not in (or past) drain.
+func (n *NodeInfo) Schedulable() bool { return n.Alive && n.State == NodeActive }
 
 // Event is one entry in the event log (paper R7: profiling and debugging).
 type Event struct {
