@@ -12,6 +12,8 @@
 //	rayctl -addr http://127.0.0.1:8265 drain <node-id-hex>
 //	rayctl -addr http://127.0.0.1:8265 profile
 //	rayctl -addr http://127.0.0.1:8265 trace -o trace.json   # chrome://tracing
+//	rayctl -addr http://127.0.0.1:8265 metrics [filter]      # one-shot metric dump
+//	rayctl -addr http://127.0.0.1:8265 top                   # live cluster view (ctrl-C to exit)
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -28,6 +31,7 @@ import (
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8265", "dashboard base URL")
 	out := flag.String("o", "", "output file (trace subcommand)")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval (top subcommand)")
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
@@ -62,6 +66,10 @@ func main() {
 		os.Stdout.Write(fetch(*addr + "/api/events"))
 	case "profile":
 		printProfile(fetch(*addr + "/api/profile"))
+	case "metrics":
+		printMetrics(fetch(*addr + "/api/metrics?filter=" + flag.Arg(1)))
+	case "top":
+		runTop(*addr, *interval)
 	case "trace":
 		body := fetch(*addr + "/api/trace")
 		if *out == "" {
@@ -258,6 +266,81 @@ func printProfile(body []byte) {
 			fmt.Sprintf("%.3f", float64(s.MeanE2E)/1e6))
 	}
 	tbl.Render(os.Stdout)
+}
+
+// metricRow mirrors dashboard.MetricRow.
+type metricRow struct {
+	Node  string `json:"node"`
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	P50Ns int64  `json:"p50_ns"`
+	P99Ns int64  `json:"p99_ns"`
+	Hist  bool   `json:"hist"`
+}
+
+func printMetrics(body []byte) {
+	var rows []metricRow
+	must(json.Unmarshal(body, &rows))
+	if len(rows) == 0 {
+		fmt.Println("no metrics (telemetry disabled, or no heartbeat yet)")
+		return
+	}
+	tbl := stats.Table{Header: []string{"node", "metric", "value", "p50", "p99"}}
+	for _, r := range rows {
+		p50, p99 := "", ""
+		if r.Hist {
+			p50 = time.Duration(r.P50Ns).String()
+			p99 = time.Duration(r.P99Ns).String()
+		}
+		tbl.AddRow(r.Node, r.Name, r.Value, p50, p99)
+	}
+	tbl.Render(os.Stdout)
+}
+
+// runTop polls the dashboard and redraws a compact cluster view: node
+// table plus the hottest per-node scheduler/store/transfer counters.
+func runTop(addr string, interval time.Duration) {
+	for {
+		fmt.Print("\033[H\033[2J") // clear screen, cursor home
+		fmt.Printf("rayctl top — %s — %s (ctrl-C to exit)\n\n", addr, time.Now().Format("15:04:05"))
+		os.Stdout.Write(fetch(addr + "/"))
+		fmt.Println()
+		printNodes(fetch(addr + "/api/nodes"))
+		fmt.Println()
+		var rows []metricRow
+		must(json.Unmarshal(fetch(addr+"/api/metrics"), &rows))
+		topSet := map[string]bool{
+			"scheduler.tasks.dispatched":    true,
+			"scheduler.tasks.spilled":       true,
+			"objectstore.puts":              true,
+			"objectstore.spill.bytes":       true,
+			"lifetime.pull.bytes":           true,
+			"lifetime.migrated.objects":     true,
+			"transport.messages":            true,
+			"worker.exec.ns":                true,
+			"scheduler.dispatch.latency.ns": true,
+		}
+		tbl := stats.Table{Header: []string{"node", "metric", "value", "p50", "p99"}}
+		shown := 0
+		for _, r := range rows {
+			if !topSet[r.Name] {
+				continue
+			}
+			p50, p99 := "", ""
+			if r.Hist {
+				p50 = time.Duration(r.P50Ns).String()
+				p99 = time.Duration(r.P99Ns).String()
+			}
+			tbl.AddRow(r.Node, r.Name, r.Value, p50, p99)
+			shown++
+		}
+		if shown > 0 {
+			tbl.Render(os.Stdout)
+		} else {
+			fmt.Println("(no telemetry yet)")
+		}
+		time.Sleep(interval)
+	}
 }
 
 func must(err error) {

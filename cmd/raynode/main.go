@@ -46,6 +46,7 @@ import (
 	"repro/internal/dashboard"
 	"repro/internal/gcs"
 	"repro/internal/mcts"
+	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/rl"
 	"repro/internal/rnn"
@@ -73,6 +74,7 @@ func main() {
 		spillCap = flag.Int64("spill-budget", 0, "disk budget for the spill tier in bytes (0 = unlimited)")
 		autoMax  = flag.Int("autoscale-max", 0, "enable the autoscaler (head only): grow up to N nodes total by booting extra in-process worker nodes on ports derived from -listen (+1000..), and drain idle ones back down (0 = disabled)")
 		demo     = flag.Bool("demo", false, "run the demo workload after boot (head only)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the dashboard mux (head with -http only)")
 	)
 	flag.Parse()
 
@@ -82,6 +84,10 @@ func main() {
 	}
 
 	reg := builtinRegistry()
+	// One process-wide metrics registry: the node instruments into it, and
+	// on a sharded head the GCS supervisor's WAL histograms join it, so
+	// everything ships together in the node's heartbeat telemetry.
+	procMetrics := metrics.NewRegistry()
 	res := types.Resources{types.ResCPU: *cpu}
 	if *gpu > 0 {
 		res[types.ResGPU] = *gpu
@@ -113,6 +119,7 @@ func main() {
 				DataDir:     *gcsData,
 				SubShards:   *shards,
 				AutoRestart: 200 * time.Millisecond,
+				Metrics:     procMetrics,
 			})
 			if err != nil {
 				log.Fatalf("raynode: start sharded control plane: %v", err)
@@ -168,6 +175,7 @@ func main() {
 		Registry:          reg,
 		SpillThreshold:    *spill,
 		HeartbeatInterval: 100 * time.Millisecond,
+		Metrics:           procMetrics,
 	})
 	if err != nil {
 		log.Fatalf("raynode: start node: %v", err)
@@ -213,6 +221,7 @@ func main() {
 			as = autoscale.New(autoscale.Config{
 				Ctrl:        ctrl,
 				Provisioner: prov,
+				Metrics:     procMetrics,
 				Policy: autoscale.Policy{
 					MaxNodes:  *autoMax,
 					Protected: func(id types.NodeID) bool { return id == headID },
@@ -230,6 +239,9 @@ func main() {
 			}
 			if as != nil {
 				opts = append(opts, dashboard.WithAutoscaler(as.Status))
+			}
+			if *pprofOn {
+				opts = append(opts, dashboard.WithPprof())
 			}
 			handler := dashboard.Handler(ctrl, opts...)
 			go func() {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/profile"
 	"repro/internal/types"
 )
 
@@ -139,5 +140,25 @@ func main() {
 		}
 	}
 	report("after release")
+
+	// 4. Export the merged trace: task-table spans plus the data-plane
+	//    spans (spill, restore, pull chunks, GCS RPCs) every node shipped
+	//    via heartbeats, stitched to their owning tasks. Load the file in
+	//    chrome://tracing or ui.perfetto.dev.
+	time.Sleep(100 * time.Millisecond) // let the last heartbeat ship spans
+	tracePath := "memorypressure-trace.json"
+	f, err := os.Create(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tl := profile.BuildFull(c.API)
+	if err := tl.ExportChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d task spans + %d data-plane spans -> %s\n",
+		len(tl.Spans), len(tl.Data), tracePath)
 	fmt.Println("ok: oversized working set served via spill/restore, survived a crash, and was fully reclaimed")
 }

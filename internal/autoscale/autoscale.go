@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/gcs"
+	"repro/internal/metrics"
 	"repro/internal/types"
 )
 
@@ -99,6 +100,10 @@ type Config struct {
 	Policy Policy
 	// Interval is the decision-loop tick. Default 100ms.
 	Interval time.Duration
+	// Metrics, when set, receives autoscale counters and gauges
+	// (autoscale.scaleups, autoscale.drains, autoscale.active,
+	// autoscale.backlog). Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // Status is a snapshot for dashboards and rayctl.
@@ -137,6 +142,10 @@ type Autoscaler struct {
 	drains     atomic.Int64
 	drained    atomic.Int64
 	rolledBack atomic.Int64
+
+	// Mirrors of the counters above in the metrics registry (nil-safe).
+	mScaleUps *metrics.Counter
+	mDrains   *metrics.Counter
 }
 
 // New builds an autoscaler; call Start to begin deciding.
@@ -145,11 +154,18 @@ func New(cfg Config) *Autoscaler {
 		cfg.Interval = 100 * time.Millisecond
 	}
 	cfg.Policy = cfg.Policy.withDefaults()
-	return &Autoscaler{
-		cfg:     cfg,
-		stop:    make(chan struct{}),
-		tracked: make(map[types.NodeID]bool),
+	a := &Autoscaler{
+		cfg:       cfg,
+		stop:      make(chan struct{}),
+		tracked:   make(map[types.NodeID]bool),
+		mScaleUps: cfg.Metrics.Counter("autoscale.scaleups"),
+		mDrains:   cfg.Metrics.Counter("autoscale.drains"),
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.GaugeFunc("autoscale.active", func() int64 { return int64(a.Status().Active) })
+		cfg.Metrics.GaugeFunc("autoscale.backlog", func() int64 { return int64(a.Status().Backlog) })
+	}
+	return a
 }
 
 // Start launches the decision loop.
@@ -246,6 +262,7 @@ func (a *Autoscaler) tick() {
 			return
 		}
 		a.scaleUps.Add(1)
+		a.mScaleUps.Inc()
 		a.noteAction(fmt.Sprintf("scale-up to %d nodes (backlog=%d spilled=%dB)", len(active)+1, backlog, spilled))
 		a.cfg.Ctrl.LogEvent(types.Event{Kind: "autoscale-up", Detail: fmt.Sprintf("backlog=%d spilled=%d", backlog, spilled)})
 		return
@@ -274,6 +291,7 @@ func (a *Autoscaler) tick() {
 	}
 	if a.cfg.Ctrl.CASNodeState(victim.ID, []types.NodeState{types.NodeActive}, types.NodeDraining) {
 		a.drains.Add(1)
+		a.mDrains.Inc()
 		a.mu.Lock()
 		a.tracked[victim.ID] = true
 		a.lastScale = time.Now()

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gcs"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/scheduler"
+	"repro/internal/types"
+)
+
+// checkSpanInvariants asserts the well-formedness every harvested span
+// must keep no matter what died mid-flight: identified source node,
+// non-empty name/category, a cluster-clock start, and a non-negative
+// duration (End after Begin, on one node's monotonic clock).
+func checkSpanInvariants(t *testing.T, spans []metrics.SpanRecord) {
+	t.Helper()
+	for _, sp := range spans {
+		if sp.Name == "" || sp.Cat == "" {
+			t.Fatalf("span missing name/cat: %+v", sp)
+		}
+		if sp.Node == "" {
+			t.Fatalf("span missing source node: %+v", sp)
+		}
+		if sp.StartNs <= 0 {
+			t.Fatalf("span start %d not on the cluster clock: %+v", sp.StartNs, sp)
+		}
+		if sp.DurNs < 0 {
+			t.Fatalf("span with negative duration: %+v", sp)
+		}
+	}
+}
+
+// TestChaosTraceSpansSurviveNodeKill kills a node mid-workload and checks
+// the telemetry plane stays coherent: the survivors' spans keep their
+// invariants, the dead node's unshipped spans are dropped (never
+// corrupted), and the merged Chrome trace still exports as valid JSON.
+func TestChaosTraceSpansSurviveNodeKill(t *testing.T) {
+	reg := core.NewRegistry()
+	step := core.Register1(reg, "trace.step", func(tc *core.TaskContext, x int) (int, error) {
+		time.Sleep(2 * time.Millisecond)
+		return x + 1, nil
+	})
+	c, err := New(Config{
+		Nodes:          3,
+		NodeResources:  types.CPU(2),
+		Registry:       reg,
+		SpillThreshold: SpillThresholdOf(0),
+		GlobalPolicy:   &scheduler.RoundRobinPolicy{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	d := c.Driver()
+
+	const chains, depth = 8, 3
+	tails := make([]core.Ref[int], chains)
+	for i := 0; i < chains; i++ {
+		ref, err := step.Remote(d, i*10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k < depth; k++ {
+			ref, err = step.RemoteRef(d, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		tails[i] = ref
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		c.KillNode(2) // dies with spans recorded but not yet heartbeat-shipped
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i, ref := range tails {
+		v, err := core.Get(ctx, d, ref)
+		if err != nil {
+			t.Fatalf("chain %d: %v", i, err)
+		}
+		if v != i*10+depth {
+			t.Fatalf("chain %d = %d, want %d", i, v, i*10+depth)
+		}
+	}
+	// Let the survivors' next heartbeat ship their remaining spans.
+	time.Sleep(100 * time.Millisecond)
+
+	sink, ok := c.API.(gcs.TelemetrySink)
+	if !ok {
+		t.Fatal("control plane should store telemetry")
+	}
+	spans := sink.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans harvested despite completed workload")
+	}
+	checkSpanInvariants(t, spans)
+	execs := 0
+	for _, sp := range spans {
+		if sp.Cat == "exec" {
+			execs++
+			if sp.Task == "" {
+				t.Fatalf("exec span without task: %+v", sp)
+			}
+			if sp.Trace == 0 {
+				t.Fatalf("exec span without trace ID: %+v", sp)
+			}
+		}
+	}
+	if execs == 0 {
+		t.Fatal("no exec spans harvested")
+	}
+	var buf bytes.Buffer
+	if err := profile.BuildFull(c.API).ExportChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("merged trace is not valid JSON after node kill: %v", err)
+	}
+}
+
+// TestChaosTraceSpansSurviveShardKill runs the same check against a
+// sharded control plane with a shard crash-restart mid-workload: telemetry
+// published into the dead shard's window must either land after failover
+// or vanish — never wedge a heartbeat or violate span invariants.
+func TestChaosTraceSpansSurviveShardKill(t *testing.T) {
+	reg := core.NewRegistry()
+	step := core.Register1(reg, "trace.step", func(tc *core.TaskContext, x int) (int, error) {
+		time.Sleep(2 * time.Millisecond)
+		return x * 2, nil
+	})
+	c, err := New(Config{
+		Nodes:          2,
+		NodeResources:  types.CPU(2),
+		Registry:       reg,
+		GCSShards:      3,
+		SpillThreshold: SpillThresholdOf(0),
+		GlobalPolicy:   &scheduler.RoundRobinPolicy{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	d := c.Driver()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for round := 0; round < 3; round++ {
+		if round == 1 {
+			c.Super.KillShard(1) // auto-restart brings it back from WAL
+		}
+		refs := make([]core.Ref[int], 6)
+		for i := range refs {
+			ref, err := step.Remote(d, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[i] = ref
+		}
+		for i, ref := range refs {
+			v, err := core.Get(ctx, d, ref)
+			if err != nil {
+				t.Fatalf("round %d task %d: %v", round, i, err)
+			}
+			if v != i*2 {
+				t.Fatalf("round %d task %d = %d, want %d", round, i, v, i*2)
+			}
+		}
+	}
+	time.Sleep(150 * time.Millisecond) // post-failover heartbeats republish
+
+	sink, ok := c.API.(gcs.TelemetrySink)
+	if !ok {
+		t.Fatal("sharded control plane should store telemetry")
+	}
+	// The killed shard's stored telemetry died with it (ephemeral by
+	// design); heartbeats since failover must have repopulated it without
+	// tripping any invariant.
+	spans := sink.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans stored after shard failover")
+	}
+	checkSpanInvariants(t, spans)
+	for _, snap := range sink.Telemetry() {
+		if snap.AtNs <= 0 {
+			t.Fatalf("telemetry snapshot without timestamp: node %v", snap.Node)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"strings"
@@ -86,6 +87,10 @@ var ErrWaitInvalid = errors.New("core: invalid Wait")
 type caller struct {
 	backend Backend
 	owner   types.TaskID
+	// trace is stamped on every submitted spec so a driver session's whole
+	// task tree shares one trace ID (descendants inherit it through
+	// NewTaskContext). Zero = untraced.
+	trace   uint64
 	counter atomic.Uint64
 	puts    atomic.Uint64
 	// blockHook, when non-nil, brackets blocking operations so the node can
@@ -163,6 +168,7 @@ func (c *caller) submit(function string, args []types.Arg, o TaskOptions) ([]Obj
 		Locality:    o.Locality,
 		Group:       o.Group,
 		Bundle:      o.Bundle,
+		TraceID:     c.trace,
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -392,6 +398,9 @@ func NewClientWithRoot(b Backend, root types.TaskID) *Client {
 	c := &Client{}
 	c.backend = b
 	c.owner = root
+	// The trace ID derives from the root identity so replays and tests get
+	// stable trace correlation without a second random draw.
+	c.trace = binary.BigEndian.Uint64(root[:8])
 	return c
 }
 
@@ -459,6 +468,7 @@ func NewTaskContext(ctx context.Context, b Backend, spec types.TaskSpec, blockHo
 	tc := &TaskContext{spec: spec, ctx: ctx}
 	tc.backend = b
 	tc.owner = spec.ID
+	tc.trace = spec.TraceID
 	tc.blockHook = blockHook
 	return tc
 }

@@ -9,10 +9,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/autoscale"
 	"repro/internal/gcs"
+	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/types"
 )
@@ -23,6 +27,7 @@ type Option func(*handlerOpts)
 type handlerOpts struct {
 	shardStats func() []gcs.ShardStats
 	autoscale  func() autoscale.Status
+	pprof      bool
 }
 
 // WithShardStats attaches a control-plane shard health source (typically
@@ -37,6 +42,13 @@ func WithShardStats(fn func() []gcs.ShardStats) Option {
 // overview's elasticity line.
 func WithAutoscaler(fn func() autoscale.Status) Option {
 	return func(o *handlerOpts) { o.autoscale = fn }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ (the -pprof flag on
+// cmd/raynode and cmd/dashboard-serving processes). Off by default: the
+// profiling endpoints expose stacks and heap contents, so operators opt in.
+func WithPprof() Option {
+	return func(o *handlerOpts) { o.pprof = true }
 }
 
 // Handler serves the dashboard endpoints:
@@ -113,8 +125,28 @@ func Handler(ctrl gcs.API, opts ...Option) http.Handler {
 	})
 	mux.HandleFunc("/api/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = profile.Build(ctrl).ExportChromeTrace(w)
+		_ = profile.BuildFull(ctrl).ExportChromeTrace(w)
 	})
+	// GET /metrics — Prometheus text exposition over every node's latest
+	// telemetry snapshot (shipped by heartbeats). Empty but valid when the
+	// control plane stores no telemetry (sharded client without spans yet,
+	// or telemetry disabled).
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = metrics.WritePrometheus(w, telemetryOf(ctrl))
+	})
+	// GET /api/metrics[?filter=substr] — the same snapshots as JSON, for
+	// rayctl top / rayctl metrics.
+	mux.HandleFunc("/api/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, metricsView(ctrl, r.URL.Query().Get("filter")))
+	})
+	if o.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -123,6 +155,66 @@ func Handler(ctrl gcs.API, opts ...Option) http.Handler {
 		overview(ctrl, o, w)
 	})
 	return mux
+}
+
+// telemetryOf adapts the control plane's stored telemetry (when it has
+// any) to the exporter's node-snapshot shape.
+func telemetryOf(ctrl gcs.API) []metrics.NodeSnapshot {
+	sink, ok := ctrl.(gcs.TelemetrySink)
+	if !ok {
+		return nil
+	}
+	stored := sink.Telemetry()
+	out := make([]metrics.NodeSnapshot, len(stored))
+	for i, t := range stored {
+		out[i] = metrics.NodeSnapshot{Node: t.Node.String(), AtNs: t.AtNs, Snap: t.Snap}
+	}
+	return out
+}
+
+// MetricRow is one (node, metric, value) triple in /api/metrics.
+type MetricRow struct {
+	Node   string `json:"node"`
+	Name   string `json:"name"`
+	Value  int64  `json:"value"`
+	P50Ns  int64  `json:"p50_ns,omitempty"`
+	P99Ns  int64  `json:"p99_ns,omitempty"`
+	IsHist bool   `json:"hist,omitempty"`
+}
+
+func metricsView(ctrl gcs.API, filter string) []MetricRow {
+	var out []MetricRow
+	match := func(name string) bool {
+		return filter == "" || strings.Contains(name, filter)
+	}
+	for _, t := range telemetryOf(ctrl) {
+		node := t.Node
+		for name, v := range t.Snap.Counters {
+			if match(name) {
+				out = append(out, MetricRow{Node: node, Name: name, Value: v})
+			}
+		}
+		for name, v := range t.Snap.Gauges {
+			if match(name) {
+				out = append(out, MetricRow{Node: node, Name: name, Value: v})
+			}
+		}
+		for name, h := range t.Snap.Hists {
+			if match(name) {
+				out = append(out, MetricRow{
+					Node: node, Name: name, Value: int64(h.Count),
+					P50Ns: h.Quantile(0.5), P99Ns: h.Quantile(0.99), IsHist: true,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -359,5 +451,5 @@ func overview(ctrl gcs.API, o handlerOpts, w http.ResponseWriter) {
 		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintln(w, "\nendpoints: /api/nodes /api/tasks /api/objects /api/functions /api/events /api/profile /api/trace /api/shards /api/placement /api/autoscale")
+	fmt.Fprintln(w, "\nendpoints: /api/nodes /api/tasks /api/objects /api/functions /api/events /api/profile /api/trace /api/shards /api/placement /api/autoscale /api/metrics /metrics")
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gcs"
+	"repro/internal/scheduler"
 	"repro/internal/types"
 )
 
@@ -338,5 +339,87 @@ func TestAutoscaleAndDrainEndpoints(t *testing.T) {
 	}
 	if got := waitState(types.NodeDrained, 10*time.Second); got != types.NodeDrained {
 		t.Fatalf("drained node state = %v, want DRAINED", got)
+	}
+}
+
+// TestMetricsEndpointFamilies drives a sharded cluster through a
+// spill-heavy cross-node workload and asserts one scrape of /metrics
+// covers every instrumented subsystem: scheduler, objectstore, gcs,
+// lifetime, and autoscale metric families, rendered as valid Prometheus
+// text with per-node labels.
+func TestMetricsEndpointFamilies(t *testing.T) {
+	reg := core.NewRegistry()
+	blob := core.Register1(reg, "blob", func(tc *core.TaskContext, n int) ([]byte, error) {
+		return make([]byte, 8<<10), nil
+	})
+	c, err := cluster.New(cluster.Config{
+		Nodes:          2,
+		NodeResources:  types.CPU(2),
+		Registry:       reg,
+		GCSShards:      2,
+		SpillThreshold: cluster.SpillThresholdOf(0),
+		GlobalPolicy:   &scheduler.RoundRobinPolicy{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	// Gauges land in node 0's registry at construction, so the autoscale
+	// family ships with that node's heartbeats like everything else.
+	as := autoscale.New(autoscale.Config{Ctrl: c.API, Metrics: c.Node(0).Metrics()})
+	as.Start()
+	t.Cleanup(as.Stop)
+
+	d := c.Driver()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Round-robin placement births half the blobs remotely; the driver's
+	// Gets pull them across nodes, and the zero spill threshold pushes
+	// every put through the spill path.
+	for i := 0; i < 8; i++ {
+		ref, err := blob.Remote(d, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.Get(ctx, d, ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(Handler(c.API))
+	defer srv.Close()
+	want := []string{"scheduler_", "objectstore_", "gcs_", "lifetime_", "autoscale_"}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := srv.Client().Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("content type %q", ct)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		body := string(raw)
+		missing := ""
+		for _, fam := range want {
+			if !strings.Contains(body, fam) {
+				missing = fam
+				break
+			}
+		}
+		if missing == "" {
+			if !strings.Contains(body, "# TYPE") || !strings.Contains(body, `node="`) {
+				t.Fatalf("not Prometheus text exposition:\n%.400s", body)
+			}
+			if !strings.Contains(body, "_bucket{") {
+				t.Fatal("no histogram series exported")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("family %q never appeared in /metrics:\n%.1000s", missing, body)
+		}
+		time.Sleep(20 * time.Millisecond) // next heartbeat ships the snapshots
 	}
 }

@@ -7,6 +7,7 @@
 package gcs
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/types"
 )
 
@@ -131,6 +132,32 @@ type API interface {
 	// Event log (R7).
 	LogEvent(ev types.Event)
 	Events() []types.Event
+}
+
+// TelemetrySnapshot is a node's most recent published metrics snapshot as
+// held by the control plane.
+type TelemetrySnapshot struct {
+	Node types.NodeID
+	AtNs int64 // control-plane clock when published
+	Snap metrics.Snapshot
+}
+
+// TelemetrySink is the optional observability surface of a control plane
+// (optional like Pinger, so API fakes in tests need not implement it).
+// Nodes publish a metrics snapshot plus their drained span buffers with
+// each heartbeat; dashboards and the profiler read the aggregate back.
+// Telemetry is deliberately ephemeral — held in memory, never WAL'd — a
+// restarted shard simply repopulates from the next heartbeats (DESIGN.md
+// §11).
+type TelemetrySink interface {
+	// PublishTelemetry replaces the node's snapshot and appends spans to
+	// the control plane's bounded span ring.
+	PublishTelemetry(id types.NodeID, snap metrics.Snapshot, spans []metrics.SpanRecord)
+	// Telemetry returns the latest snapshot per live publisher.
+	Telemetry() []TelemetrySnapshot
+	// Spans returns the buffered data-plane spans (oldest first per shard;
+	// cross-shard order is unspecified — consumers sort by StartNs).
+	Spans() []metrics.SpanRecord
 }
 
 // Pinger is optionally implemented by API implementations that can probe

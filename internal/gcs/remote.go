@@ -3,8 +3,10 @@ package gcs
 import (
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/codec"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -15,10 +17,17 @@ import (
 // component is oblivious to the deployment mode.
 type Remote struct {
 	client transport.Client
+	// reg, when set, records per-method RPC latency histograms
+	// ("gcs.rpc.ns;method=..."). Nil disables with one branch.
+	reg *metrics.Registry
 }
 
 // NewRemote wraps a connected transport client.
 func NewRemote(client transport.Client) *Remote { return &Remote{client: client} }
+
+// SetMetrics attaches a registry; every subsequent RPC records a
+// per-method latency histogram. Call before sharing the client.
+func (r *Remote) SetMetrics(reg *metrics.Registry) { r.reg = reg }
 
 // call performs one unary RPC, decoding the response into R. Errors are
 // swallowed into zero values for read paths (a dead control plane looks
@@ -30,7 +39,14 @@ func call[R any](r *Remote, method string, req any) (R, bool) {
 	if err != nil {
 		return zero, false
 	}
+	start := time.Now()
 	resp, err := r.client.Call(method, payload)
+	if r.reg != nil {
+		r.reg.Histogram("gcs.rpc.ns;method=" + method).Observe(time.Since(start).Nanoseconds())
+		if err != nil {
+			r.reg.Counter("gcs.rpc.errors;method=" + method).Inc()
+		}
+	}
 	if err != nil {
 		return zero, false
 	}
@@ -236,6 +252,23 @@ func (r *Remote) LogEvent(ev types.Event) {
 // Events implements API.
 func (r *Remote) Events() []types.Event {
 	v, _ := call[[]types.Event](r, MethodEvents, nil)
+	return v
+}
+
+// PublishTelemetry implements TelemetrySink.
+func (r *Remote) PublishTelemetry(id types.NodeID, snap metrics.Snapshot, spans []metrics.SpanRecord) {
+	call[bool](r, MethodPublishTelemetry, publishTelemetryReq{ID: id, Snap: snap, Spans: spans})
+}
+
+// Telemetry implements TelemetrySink.
+func (r *Remote) Telemetry() []TelemetrySnapshot {
+	v, _ := call[[]TelemetrySnapshot](r, MethodTelemetry, nil)
+	return v
+}
+
+// Spans implements TelemetrySink.
+func (r *Remote) Spans() []metrics.SpanRecord {
+	v, _ := call[[]metrics.SpanRecord](r, MethodSpans, nil)
 	return v
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/codec"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -45,6 +46,9 @@ const (
 	MethodFunctions        = "gcs.functions"
 	MethodLogEvent         = "gcs.logEvent"
 	MethodEvents           = "gcs.events"
+	MethodPublishTelemetry = "gcs.publishTelemetry"
+	MethodTelemetry        = "gcs.telemetry"
+	MethodSpans            = "gcs.spans"
 
 	StreamTaskStatus = "gcs.sub.taskStatus" // payload: TaskID hex
 	StreamObjReady   = "gcs.sub.objReady"   // payload: ObjectID hex
@@ -125,6 +129,11 @@ type (
 		// Op is the idempotency token for retried drain-state CAS claims
 		// (0 = no dedup); see Store.CASNodeStateOp.
 		Op uint64
+	}
+	publishTelemetryReq struct {
+		ID    types.NodeID
+		Snap  metrics.Snapshot
+		Spans []metrics.SpanRecord
 	}
 	maybeTask struct {
 		State types.TaskState
@@ -362,6 +371,16 @@ func RegisterService(srv Registrar, store *Store) {
 		return true, nil
 	})
 	unary(MethodEvents, func(p []byte) (any, error) { return store.Events(), nil })
+	unary(MethodPublishTelemetry, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[publishTelemetryReq](p)
+		if err != nil {
+			return nil, err
+		}
+		store.PublishTelemetry(req.ID, req.Snap, req.Spans)
+		return true, nil
+	})
+	unary(MethodTelemetry, func(p []byte) (any, error) { return store.Telemetry(), nil })
+	unary(MethodSpans, func(p []byte) (any, error) { return store.Spans(), nil })
 
 	// Streaming subscriptions: forward the local subscription's messages
 	// until the client disconnects. The first message is an empty ack sent

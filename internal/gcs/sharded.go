@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -24,6 +25,10 @@ type ShardedConfig struct {
 	// Remote's forgiving read semantics). Default 3s — generously above a
 	// supervised restart, far below a human-visible hang.
 	RetryWindow time.Duration
+	// Metrics, when set, records per-method/per-shard RPC latency
+	// histograms ("gcs.rpc.ns;method=...;shard=N") and retry/error
+	// counters. Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // Sharded implements API over a set of independently-failing control-plane
@@ -71,6 +76,11 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 	}
 	return s, nil
 }
+
+// SetMetrics attaches an RPC-latency registry after construction (the
+// node wires its own registry into the client it was handed). Call before
+// the client sees concurrent traffic; nil detaches.
+func (s *Sharded) SetMetrics(reg *metrics.Registry) { s.cfg.Metrics = reg }
 
 // Map returns the client's current view of the shard map.
 func (s *Sharded) Map() ShardMap {
@@ -238,7 +248,11 @@ func shardCall[R any](s *Sharded, key, method string, req any) (R, bool) {
 		idx := s.Map().ShardForKey(key)
 		c, err := s.conn(idx)
 		if err == nil {
+			start := time.Now()
 			resp, callErr := c.Call(method, payload)
+			if s.cfg.Metrics != nil {
+				s.cfg.Metrics.Histogram(fmt.Sprintf("gcs.rpc.ns;method=%s;shard=%d", method, idx)).Observe(time.Since(start).Nanoseconds())
+			}
 			if callErr == nil {
 				out, decErr := codec.DecodeAs[R](resp)
 				if decErr != nil {
@@ -247,6 +261,7 @@ func shardCall[R any](s *Sharded, key, method string, req any) (R, bool) {
 				return out, true
 			}
 			s.dropConn(idx, c)
+			s.cfg.Metrics.Counter(fmt.Sprintf("gcs.rpc.retries;method=%s;shard=%d", method, idx)).Inc()
 		}
 		if time.Now().After(deadline) {
 			return zero, false
@@ -608,6 +623,27 @@ func (s *Sharded) LogEvent(ev types.Event) {
 func (s *Sharded) Events() []types.Event {
 	out := fanOut[types.Event](s, MethodEvents)
 	sort.Slice(out, func(i, j int) bool { return out[i].TimeNs < out[j].TimeNs })
+	return out
+}
+
+// PublishTelemetry implements TelemetrySink: the snapshot and spans land
+// on the shard owning the node record, so the per-node state and its
+// telemetry fail (and recover) together.
+func (s *Sharded) PublishTelemetry(id types.NodeID, snap metrics.Snapshot, spans []metrics.SpanRecord) {
+	shardCall[bool](s, NodeKey(id), MethodPublishTelemetry, publishTelemetryReq{ID: id, Snap: snap, Spans: spans})
+}
+
+// Telemetry implements TelemetrySink: merged across shards.
+func (s *Sharded) Telemetry() []TelemetrySnapshot {
+	out := fanOut[TelemetrySnapshot](s, MethodTelemetry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Node.String() < out[j].Node.String() })
+	return out
+}
+
+// Spans implements TelemetrySink: merged across shards, time-ordered.
+func (s *Sharded) Spans() []metrics.SpanRecord {
+	out := fanOut[metrics.SpanRecord](s, MethodSpans)
+	sort.Slice(out, func(i, j int) bool { return out[i].StartNs < out[j].StartNs })
 	return out
 }
 

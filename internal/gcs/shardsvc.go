@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/kv"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 )
 
@@ -34,6 +35,9 @@ type ShardConfig struct {
 	SubShards int
 	// DisableEventLog turns off control-plane event logging.
 	DisableEventLog bool
+	// Metrics, when set, records the shard's WAL append latency
+	// ("gcs.wal.append.ns;shard=N"). Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // ShardStats is one shard's health row (dashboard /api/shards, rayctl).
@@ -100,6 +104,9 @@ func (s *ShardService) start() error {
 		return fmt.Errorf("gcs: shard %d wal: %w", s.cfg.Index, err)
 	}
 	logger := kv.NewLogger(db, wal)
+	if s.cfg.Metrics != nil {
+		logger.SetAppendHistogram(s.cfg.Metrics.Histogram(fmt.Sprintf("gcs.wal.append.ns;shard=%d", s.cfg.Index)))
+	}
 	// Checkpoint at boot: persist the recovered state as the snapshot and
 	// cut the WAL (discarding any torn tail for good).
 	if err := kv.Checkpoint(logger, s.cfg.DataDir, wal); err != nil {

@@ -17,6 +17,9 @@ type Store struct {
 	epoch time.Time
 	// eventsOn gates event logging so its overhead can be measured (E13).
 	eventsOn atomic.Bool
+	// telemetry holds published node metrics and data-plane spans —
+	// in-memory only, never WAL'd (see telemetry.go).
+	telemetry telemetry
 }
 
 // NewStore creates a control plane over a kv store with the given shard

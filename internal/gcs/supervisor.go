@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -34,6 +35,9 @@ type SupervisorConfig struct {
 	AutoRestart time.Duration
 	// DisableEventLog turns off control-plane event logging.
 	DisableEventLog bool
+	// Metrics, when set, is threaded to every shard for WAL append
+	// latency histograms. Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // Supervisor runs the sharded control plane: it boots every shard service,
@@ -85,6 +89,7 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 			DataDir:         filepath.Join(cfg.DataDir, fmt.Sprintf("shard-%d", i)),
 			SubShards:       cfg.SubShards,
 			DisableEventLog: cfg.DisableEventLog,
+			Metrics:         cfg.Metrics,
 		})
 		if err != nil {
 			s.Close()

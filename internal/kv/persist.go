@@ -10,6 +10,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // Durability. Section 3.2.1's fault-tolerance argument assumes the control
@@ -166,12 +169,20 @@ type Logger struct {
 	// service wrapping this logger must stop acknowledging (and restart
 	// from the durable prefix) rather than confirm non-durable commits.
 	failed atomic.Bool
+	// appendNs, when set, observes the latency of each WAL append (the
+	// durability cost every control-plane mutation pays).
+	appendNs *metrics.Histogram
 }
 
 // Failed reports whether any log write has errored. A service serving
 // this logger should treat true as "crash now": every mutation since the
 // first failure is absent from the WAL.
 func (l *Logger) Failed() bool { return l.failed.Load() }
+
+// SetAppendHistogram attaches a latency histogram (nanoseconds) sampled on
+// every WAL append. Call before the logger serves traffic; a nil histogram
+// (the default) records nothing.
+func (l *Logger) SetAppendHistogram(h *metrics.Histogram) { l.appendNs = h }
 
 // NewLogger wraps store so mutations are logged to w. The caller is
 // responsible for w's durability (e.g. an os.File with periodic Sync).
@@ -202,6 +213,10 @@ func (l *Logger) SetWriter(w io.Writer) {
 // the failed flag — torn tails are tolerated at Replay, but continuing to
 // ack mutations a broken log never recorded would be silent state loss.
 func (l *Logger) logLocked(op walOp, key string, value []byte) {
+	if l.appendNs != nil {
+		start := time.Now()
+		defer func() { l.appendNs.Observe(time.Since(start).Nanoseconds()) }()
+	}
 	var hdr [9]byte
 	hdr[0] = byte(op)
 	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(key)))

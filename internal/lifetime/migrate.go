@@ -197,14 +197,19 @@ func (m *Migrator) migrateOne(ctx context.Context, id types.ObjectID) (bool, err
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
+		sp := m.pm.obs.tracer.Begin("migrate", "lifetime.migrate")
 		if err := m.pushTo(t, id); err != nil {
 			lastErr = err // peer died or refused (e.g. full); try the next
 			continue
 		}
+		sp.Object = id.Hex()
+		sp.Detail = "to " + t.ID.Hex()
+		sp.End()
 		// Peer acked: its location is published and visible. Deleting the
 		// local copy now leaves the object with at least one live location.
 		if m.pm.store.Delete(id) {
 			m.migrated.Add(1)
+			m.pm.obs.migrated.Inc()
 		}
 		return true, nil
 	}

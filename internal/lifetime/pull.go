@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/gcs"
+	"repro/internal/metrics"
 	"repro/internal/objectstore"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -72,6 +73,22 @@ type PullManager struct {
 	chunks     atomic.Int64
 	bytes      atomic.Int64
 	prefetched atomic.Int64
+
+	// obs holds pre-resolved instruments (SetObservability); all nil-safe.
+	obs pullObs
+}
+
+// pullObs bundles the pull manager's instruments and tracer. The migrator
+// shares the tracer for its drain-migration spans.
+type pullObs struct {
+	objects    *metrics.Counter
+	chunks     *metrics.Counter
+	bytes      *metrics.Counter
+	prefetches *metrics.Counter
+	migrated   *metrics.Counter
+	pullNs     *metrics.Histogram
+	chunkNs    *metrics.Histogram
+	tracer     *metrics.Tracer
 }
 
 // NewPullManager wires a pull manager to the local store and cluster
@@ -90,6 +107,22 @@ func NewPullManager(store *objectstore.Store, ctrl gcs.API, net transport.Networ
 		conns:       make(map[string]transport.Client),
 		windows:     make(map[string]chan struct{}),
 		stop:        make(chan struct{}),
+	}
+}
+
+// SetObservability attaches a metrics registry and span tracer (either
+// may be nil). Call before the manager serves traffic. The node's
+// Migrator records its drain-migration spans through the same tracer.
+func (p *PullManager) SetObservability(reg *metrics.Registry, tracer *metrics.Tracer) {
+	p.obs = pullObs{
+		objects:    reg.Counter("lifetime.pull.objects"),
+		chunks:     reg.Counter("lifetime.pull.chunks"),
+		bytes:      reg.Counter("lifetime.pull.bytes"),
+		prefetches: reg.Counter("lifetime.prefetches"),
+		migrated:   reg.Counter("lifetime.migrated.objects"),
+		pullNs:     reg.Histogram("lifetime.pull.ns"),
+		chunkNs:    reg.Histogram("lifetime.pull.chunk.ns"),
+		tracer:     tracer,
 	}
 }
 
@@ -143,6 +176,7 @@ func (p *PullManager) Prefetch(ids []types.ObjectID) {
 				return
 			}
 			p.prefetched.Add(1)
+			p.obs.prefetches.Inc()
 			ctx, cancel := context.WithTimeout(p.baseCtx, prefetchTimeout)
 			defer cancel()
 			_ = p.Fetch(ctx, id, info.Locations) // best effort; resolvers are the backstop
@@ -172,6 +206,8 @@ func (p *PullManager) Fetch(ctx context.Context, id types.ObjectID, locations []
 	p.inflight[id] = ch
 	p.mu.Unlock()
 
+	sp := p.obs.tracer.Begin("pull", "lifetime.pull")
+	start := time.Now()
 	err := p.pull(ctx, id, locations)
 	p.mu.Lock()
 	delete(p.inflight, id)
@@ -179,6 +215,10 @@ func (p *PullManager) Fetch(ctx context.Context, id types.ObjectID, locations []
 	ch <- err
 	if err == nil {
 		p.objects.Add(1)
+		p.obs.objects.Inc()
+		p.obs.pullNs.Observe(time.Since(start).Nanoseconds())
+		sp.Object = id.Hex()
+		sp.End()
 	}
 	return err
 }
@@ -254,6 +294,8 @@ func (p *PullManager) pullWhole(ctx context.Context, id types.ObjectID, peers []
 		}
 		p.chunks.Add(1)
 		p.bytes.Add(int64(len(data)))
+		p.obs.chunks.Inc()
+		p.obs.bytes.Add(int64(len(data)))
 		return p.store.Put(id, data)
 	}
 	return lastErr
@@ -307,6 +349,7 @@ func (p *PullManager) pullChunked(ctx context.Context, id types.ObjectID, size i
 		return firstErr
 	}
 	p.bytes.Add(size)
+	p.obs.bytes.Add(size)
 	return p.store.Put(id, buf)
 }
 
@@ -314,6 +357,8 @@ func (p *PullManager) pullChunked(ctx context.Context, id types.ObjectID, size i
 // starting from the round-robin choice for chunk c.
 func (p *PullManager) pullChunk(ctx context.Context, id types.ObjectID, dst []byte, offset, length int64, peers []peer, c int) error {
 	req := objectstore.EncodeChunkRequest(id, offset, length)
+	sp := p.obs.tracer.Begin("pull", "lifetime.pull.chunk")
+	start := time.Now()
 	var lastErr error
 	for attempt := 0; attempt < len(peers); attempt++ {
 		if ctx.Err() != nil {
@@ -344,6 +389,11 @@ func (p *PullManager) pullChunk(ctx context.Context, id types.ObjectID, dst []by
 		}
 		copy(dst, resp)
 		p.chunks.Add(1)
+		p.obs.chunks.Inc()
+		p.obs.chunkNs.Observe(time.Since(start).Nanoseconds())
+		sp.Object = id.Hex()
+		sp.Detail = fmt.Sprintf("chunk %d @%d+%d from %s", c, offset, length, pr.node)
+		sp.End()
 		return nil
 	}
 	return lastErr

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkMetricsOverhead is ISSUE 6's acceptance gate: a counter or
+// histogram record must stay under 100 ns under 8-way contention.
+// EXPERIMENTS.md E22 records measured numbers.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	b.Run("counter", func(b *testing.B) {
+		r := NewRegistry()
+		c := r.Counter("bench.counter")
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("histogram", func(b *testing.B) {
+		r := NewRegistry()
+		h := r.Histogram("bench.hist")
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			var v int64
+			for pb.Next() {
+				v++
+				h.Observe(v)
+			}
+		})
+	})
+	b.Run("counter-disabled", func(b *testing.B) {
+		var r *Registry
+		c := r.Counter("bench.counter")
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("span", func(b *testing.B) {
+		var clock atomic.Int64
+		tr := NewTracer(4096, "bench", func() int64 { return clock.Add(1) })
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				sp := tr.Begin("bench", "bench.span")
+				sp.End()
+			}
+		})
+	})
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram: bucket 0 holds
+// values <= 0 and bucket b (1..64) holds values in [2^(b-1), 2^b - 1].
+// Power-of-two bucketing means the bucket index is one bits.Len64 — no
+// search, no float math — and the relative error of any quantile estimate
+// is bounded by one octave.
+const NumBuckets = 65
+
+// Histogram is a fixed log2-bucket distribution. Observe is two atomic
+// adds and is safe under arbitrary concurrency; there is no lock anywhere
+// on the record path.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	sum     atomic.Int64
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpperBound returns the largest value bucket b can hold.
+func BucketUpperBound(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= 64 {
+		return int64(^uint64(0) >> 1) // max int64
+	}
+	return int64(1)<<b - 1
+}
+
+// Observe records one value. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a gob-friendly copy of a histogram's state.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Buckets []uint64 // len NumBuckets; Buckets[b] = observations in bucket b
+}
+
+// Snapshot copies the histogram. Counts are read bucket-by-bucket without
+// a global lock, so a snapshot taken during concurrent Observes may be off
+// by in-flight observations — fine for monitoring, stated for tests.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Buckets = make([]uint64, NumBuckets)
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) as the upper bound of
+// the bucket where the cumulative count crosses q*Count. The estimate is
+// within one bucket bound of the true value by construction.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	for b, n := range s.Buckets {
+		cum += n
+		if cum > rank {
+			return BucketUpperBound(b)
+		}
+	}
+	return BucketUpperBound(NumBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of all observations (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// merge adds other's observations into s (s must be deep-copied first if
+// shared). Used by the exporter to aggregate one metric across nodes.
+func (s *HistSnapshot) merge(other HistSnapshot) {
+	if s.Buckets == nil {
+		s.Buckets = make([]uint64, NumBuckets)
+	}
+	for b, n := range other.Buckets {
+		if b < len(s.Buckets) {
+			s.Buckets[b] += n
+		}
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+}

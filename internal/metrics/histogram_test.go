@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Every recorded value must land in the bucket whose bounds contain it.
+func TestHistogramBucketPlacement(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 40, 41}, {int64(1)<<62 + 1, 63},
+	}
+	for _, c := range cases {
+		h := &Histogram{}
+		h.Observe(c.v)
+		s := h.Snapshot()
+		if s.Buckets[c.bucket] != 1 {
+			got := -1
+			for b, n := range s.Buckets {
+				if n > 0 {
+					got = b
+				}
+			}
+			t.Errorf("Observe(%d): landed in bucket %d, want %d", c.v, got, c.bucket)
+		}
+		lo := int64(0)
+		if c.bucket > 0 {
+			lo = BucketUpperBound(c.bucket-1) + 1
+		}
+		if c.v > 0 && (c.v < lo || c.v > BucketUpperBound(c.bucket)) {
+			t.Errorf("value %d outside bucket %d bounds [%d,%d]", c.v, c.bucket, lo, BucketUpperBound(c.bucket))
+		}
+	}
+}
+
+// Property test (ISSUE 6 satellite): on random workloads drawn from
+// several shapes, (a) each value lands in the bucket whose bounds contain
+// it, and (b) histogram quantile estimates stay within one log2-bucket
+// bound of stats.Sample ground truth.
+func TestHistogramQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := map[string]func() int64{
+		"uniform":    func() int64 { return rng.Int63n(1_000_000) },
+		"exp":        func() int64 { return int64(rng.ExpFloat64() * 50_000) },
+		"bimodal":    func() int64 { return []int64{100, 5_000_000}[rng.Intn(2)] + rng.Int63n(50) },
+		"heavy-tail": func() int64 { return int64(1) << uint(rng.Intn(40)) },
+	}
+	for name, draw := range shapes {
+		t.Run(name, func(t *testing.T) {
+			h := &Histogram{}
+			sample := stats.NewSample(5000)
+			var manual [NumBuckets]uint64
+			const n = 5000
+			for i := 0; i < n; i++ {
+				v := draw()
+				h.Observe(v)
+				sample.Add(time.Duration(v))
+				manual[bucketIndex(v)]++
+			}
+			s := h.Snapshot()
+			if s.Count != n {
+				t.Fatalf("count = %d, want %d", s.Count, n)
+			}
+			for b := range manual {
+				if s.Buckets[b] != manual[b] {
+					t.Fatalf("bucket %d: histogram %d, manual %d", b, s.Buckets[b], manual[b])
+				}
+			}
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				est := s.Quantile(q)
+				truth := sample.Percentile(q * 100).Nanoseconds()
+				eb, tb := bucketIndex(est), bucketIndex(truth)
+				if eb < tb-1 || eb > tb+1 {
+					t.Errorf("q=%.2f: estimate %d (bucket %d) vs truth %d (bucket %d): off by more than one bucket", q, est, eb, truth, tb)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Errorf("empty quantile != 0")
+	}
+	if empty.Mean() != 0 {
+		t.Errorf("empty mean != 0")
+	}
+	h := &Histogram{}
+	h.Observe(100)
+	s := h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		got := s.Quantile(q)
+		if got != BucketUpperBound(bucketIndex(100)) {
+			t.Errorf("single-value quantile(%v) = %d", q, got)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// NodeSnapshot pairs a snapshot with the node that published it. The
+// exporter adds a node="..." label to every sample so one scrape of the
+// dashboard covers the whole cluster.
+type NodeSnapshot struct {
+	Node string
+	AtNs int64
+	Snap Snapshot
+}
+
+// promName splits a registry name ("gcs.rpc.ns;method=heartbeat;shard=0")
+// into a Prometheus metric name (dots/dashes → underscores) and its label
+// pairs.
+func promName(name string) (metric string, labels [][2]string) {
+	parts := strings.Split(name, ";")
+	metric = sanitize(parts[0])
+	for _, p := range parts[1:] {
+		if k, v, ok := strings.Cut(p, "="); ok {
+			labels = append(labels, [2]string{sanitize(k), v})
+		}
+	}
+	return metric, labels
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func labelString(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, kv := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", kv[0], kv[1])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// family collects the fully rendered sample lines of one metric family;
+// all of a histogram's _bucket/_sum/_count lines live in its base family
+// so the single # TYPE line legally precedes every sample.
+type family struct {
+	typ   string
+	lines []string
+}
+
+// WritePrometheus renders snapshots in Prometheus text exposition format
+// (version 0.0.4). Counters and gauges become one sample per (metric,
+// labels, node); histograms expand to _bucket{le=...}/_sum/_count series
+// with power-of-two le bounds. Output is sorted for stable scraping.
+func WritePrometheus(w io.Writer, snaps []NodeSnapshot) error {
+	families := map[string]*family{}
+	add := func(metric, typ, line string) {
+		f := families[metric]
+		if f == nil {
+			f = &family{typ: typ}
+			families[metric] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+	for _, ns := range snaps {
+		nodeLabel := [2]string{"node", ns.Node}
+		withNode := func(labels [][2]string) [][2]string {
+			if ns.Node == "" {
+				return labels
+			}
+			return append(labels, nodeLabel)
+		}
+		for name, v := range ns.Snap.Counters {
+			metric, labels := promName(name)
+			add(metric, "counter", fmt.Sprintf("%s%s %d", metric, labelString(withNode(labels)), v))
+		}
+		for name, v := range ns.Snap.Gauges {
+			metric, labels := promName(name)
+			add(metric, "gauge", fmt.Sprintf("%s%s %d", metric, labelString(withNode(labels)), v))
+		}
+		for name, h := range ns.Snap.Hists {
+			metric, labels := promName(name)
+			labels = withNode(labels)
+			// Emit buckets only up to the highest non-empty one so the
+			// series stays short; +Inf always closes the family.
+			top := 0
+			for b, n := range h.Buckets {
+				if n > 0 {
+					top = b
+				}
+			}
+			var cum uint64
+			for b := 0; b <= top; b++ {
+				cum += h.Buckets[b]
+				le := append(append([][2]string{}, labels...), [2]string{"le", fmt.Sprintf("%d", BucketUpperBound(b))})
+				add(metric, "histogram", fmt.Sprintf("%s_bucket%s %d", metric, labelString(le), cum))
+			}
+			inf := append(append([][2]string{}, labels...), [2]string{"le", "+Inf"})
+			add(metric, "histogram", fmt.Sprintf("%s_bucket%s %d", metric, labelString(inf), h.Count))
+			add(metric, "histogram", fmt.Sprintf("%s_sum%s %d", metric, labelString(labels), h.Sum))
+			add(metric, "histogram", fmt.Sprintf("%s_count%s %d", metric, labelString(labels), h.Count))
+		}
+	}
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := families[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		if f.typ != "histogram" {
+			// Histogram lines keep emission order: buckets ascend by le
+			// (lexical sorting would scramble numeric bounds).
+			sort.Strings(f.lines)
+		}
+		for _, line := range f.lines {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MergeSnapshots folds per-node snapshots into one cluster-wide snapshot:
+// counters, gauges, and histograms all sum (queue depths and resident
+// bytes aggregate meaningfully as cluster totals; gauges where a sum is
+// wrong should be read per-node instead).
+func MergeSnapshots(snaps []NodeSnapshot) Snapshot {
+	out := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]HistSnapshot{},
+	}
+	for _, ns := range snaps {
+		for k, v := range ns.Snap.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range ns.Snap.Gauges {
+			out.Gauges[k] += v
+		}
+		for k, h := range ns.Snap.Hists {
+			merged := out.Hists[k]
+			merged.merge(h)
+			out.Hists[k] = merged
+		}
+	}
+	return out
+}

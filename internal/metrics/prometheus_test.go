@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleLine matches a Prometheus text-format sample. The label block, if
+// present, must be well-formed key="value" pairs.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9]+$`)
+
+func TestWritePrometheusValidExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scheduler.tasks.submitted").Add(10)
+	r.Counter("gcs.rpc.count;method=heartbeat;shard=0").Add(4)
+	r.Gauge("scheduler.queue.depth").Set(3)
+	h := r.Histogram("gcs.rpc.ns;method=put")
+	h.Observe(1000)
+	h.Observe(2000)
+	h.Observe(500_000)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, []NodeSnapshot{{Node: "node-a", Snap: r.Snapshot()}}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	typeSeen := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("bad type %q in %q", parts[3], line)
+			}
+			typeSeen[parts[2]] = true
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		// Every sample must follow a TYPE declaration for its family.
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base = strings.TrimSuffix(base, suffix)
+		}
+		if !typeSeen[name] && !typeSeen[base] {
+			t.Fatalf("sample %q before its TYPE line", line)
+		}
+	}
+
+	for _, want := range []string{
+		"# TYPE scheduler_tasks_submitted counter",
+		`scheduler_tasks_submitted{node="node-a"} 10`,
+		`gcs_rpc_count{method="heartbeat",shard="0",node="node-a"} 4`,
+		"# TYPE scheduler_queue_depth gauge",
+		`scheduler_queue_depth{node="node-a"} 3`,
+		"# TYPE gcs_rpc_ns histogram",
+		`gcs_rpc_ns_count{method="put",node="node-a"} 3`,
+		`gcs_rpc_ns_sum{method="put",node="node-a"} 503000`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+// Histogram buckets must be cumulative and close with an +Inf bucket equal
+// to the count.
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat.ns")
+	for _, v := range []int64{1, 2, 3, 4, 100, 1000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, []NodeSnapshot{{Node: "n", Snap: r.Snapshot()}}); err != nil {
+		t.Fatal(err)
+	}
+	var last int64 = -1
+	infSeen := false
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "lat_ns_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = v
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen = true
+			if v != 6 {
+				t.Fatalf("+Inf bucket = %d, want 6", v)
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket emitted")
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	metric, labels := promName("a.b-c.ns;shard=3;method=task.put")
+	if metric != "a_b_c_ns" {
+		t.Errorf("metric = %q", metric)
+	}
+	if fmt.Sprint(labels) != "[[shard 3] [method task.put]]" {
+		t.Errorf("labels = %v", labels)
+	}
+}

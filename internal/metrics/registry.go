@@ -1,0 +1,247 @@
+// Package metrics is the cluster's measurement substrate (ROADMAP:
+// observability; paper R7 extended beyond the task table). It is
+// dependency-free — nothing under repro/internal imports into it — so any
+// layer, including kv and transport, can be instrumented without cycles.
+//
+// Design rules:
+//   - The record path is atomic-only: Counter.Add, Gauge.Set and
+//     Histogram.Observe touch a fixed number of atomics and never allocate,
+//     so instruments are safe on scheduler/store hot paths.
+//   - Every instrument method is nil-receiver-safe, and a nil *Registry
+//     hands out nil instruments. Components therefore take a *Registry
+//     that may be nil and pre-resolve their instruments at construction;
+//     disabling metrics costs one predictable nil-check branch.
+//   - Instrument names use "dotted.base;key=value;key=value" — the
+//     Prometheus exporter splits the suffix into labels.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value. Safe on a nil receiver (no-op).
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a name-keyed set of instruments. Lookup (Counter, Gauge,
+// Histogram) is get-or-create under a mutex; callers are expected to
+// resolve instruments once at construction and hold the pointers, keeping
+// the mutex off every hot path.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (disabled but safe) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (disabled but safe) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback sampled at Snapshot time — for values a
+// subsystem already tracks (queue depth, resident bytes) where mirroring
+// into a Gauge on every change would be wasted work. Re-registering a name
+// replaces the callback. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugeFns[name] = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil (disabled but safe) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument, gob-friendly so
+// nodes can ship it to the control plane with heartbeats.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Hists    map[string]HistSnapshot
+}
+
+// Snapshot captures all instruments (sampling GaugeFuncs). A nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	fns := make(map[string]func() int64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		fns[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+	// Callbacks run outside the registry lock: they typically read other
+	// subsystems' state and must be free to take those locks.
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, fn := range fns {
+		snap.Gauges[k] = fn()
+	}
+	for k, h := range hists {
+		snap.Hists[k] = h.Snapshot()
+	}
+	return snap
+}
+
+// Names returns all instrument names, sorted (for stable test output).
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.gaugeFns)+len(r.hists))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	for k := range r.gauges {
+		names = append(names, k)
+	}
+	for k := range r.gaugeFns {
+		names = append(names, k)
+	}
+	for k := range r.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

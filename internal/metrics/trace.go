@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SpanRecord is one finished span as buffered on a node and shipped to the
+// control plane. IDs are hex strings (not repro types — this package stays
+// dependency-free); empty fields mean "not applicable". Trace carries the
+// submit-side trace context propagated through types.TaskSpec, so
+// data-plane work (a spill, a pull chunk, a drain migration) can be
+// stitched into the owning task's timeline even when it happens on a node
+// the task never ran on.
+type SpanRecord struct {
+	Name    string // e.g. "objectstore.spill"
+	Cat     string // coarse family: "spill", "pull", "rpc", "sched", ...
+	Task    string // owning task ID (hex), if known at record time
+	Object  string // object ID (hex) the span moved, if any
+	Trace   uint64 // trace context inherited from the submitting driver/task
+	Node    string // node that recorded the span
+	StartNs int64  // cluster-epoch nanoseconds (see Tracer clock note)
+	DurNs   int64
+	Detail  string
+}
+
+// Span is an in-flight span handle returned by Tracer.Begin. It is a plain
+// value: set the exported fields you know, then call End. A zero Span
+// (from a nil tracer) is inert.
+type Span struct {
+	Name   string
+	Cat    string
+	Task   string
+	Object string
+	Trace  uint64
+	Detail string
+
+	start int64
+	t     *Tracer
+}
+
+// Tracer buffers finished spans in a fixed-capacity ring (drop-oldest).
+// The ring is mutex-protected: spans finish at data-plane rates (per
+// spill/pull/RPC, not per counter increment), so a lock is cheap here and
+// keeps Drain race-free under the chaos tests' -race runs.
+//
+// Clock: now() must return cluster-epoch nanoseconds. Nodes build it from
+// one boot-time control-plane NowNs plus a local monotonic offset, so span
+// timestamps align with task-table timestamps without per-span RPCs.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []SpanRecord
+	start   int // index of oldest record
+	n       int // live records
+	dropped atomic.Int64
+
+	node string
+	now  func() int64
+}
+
+// NewTracer returns a tracer buffering up to capacity spans recorded on
+// node. now supplies cluster-epoch nanosecond timestamps.
+func NewTracer(capacity int, node string, now func() int64) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{buf: make([]SpanRecord, capacity), node: node, now: now}
+}
+
+// Begin starts a span. Safe on a nil receiver: returns an inert Span.
+func (t *Tracer) Begin(cat, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{Cat: cat, Name: name, start: t.now(), t: t}
+}
+
+// End finishes the span and buffers it. Inert on a zero Span.
+func (s Span) End() {
+	t := s.t
+	if t == nil {
+		return
+	}
+	rec := SpanRecord{
+		Name: s.Name, Cat: s.Cat, Task: s.Task, Object: s.Object,
+		Trace: s.Trace, Detail: s.Detail, Node: t.node,
+		StartNs: s.start, DurNs: t.now() - s.start,
+	}
+	t.mu.Lock()
+	if t.n == len(t.buf) {
+		t.buf[t.start] = rec // overwrite oldest
+		t.start = (t.start + 1) % len(t.buf)
+		t.dropped.Add(1)
+	} else {
+		t.buf[(t.start+t.n)%len(t.buf)] = rec
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Drain removes and returns all buffered spans (oldest first). Nodes call
+// it on each heartbeat to ship spans to the control plane. Nil-safe.
+func (t *Tracer) Drain() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n == 0 {
+		return nil
+	}
+	out := make([]SpanRecord, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.start+i)%len(t.buf)]
+	}
+	t.start, t.n = 0, 0
+	return out
+}
+
+// Dropped returns the cumulative count of spans lost to ring overflow.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Node returns the tracer's node label ("" on nil).
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// Now returns the tracer's cluster-epoch clock reading (0 on nil) — used
+// by callers that stamp their own timestamps next to spans.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}

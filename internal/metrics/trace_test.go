@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func fakeClock() (func() int64, *atomic.Int64) {
+	var t atomic.Int64
+	return func() int64 { return t.Add(1) }, &t
+}
+
+func TestTracerSpanFields(t *testing.T) {
+	now, _ := fakeClock()
+	tr := NewTracer(8, "n1", now)
+	sp := tr.Begin("spill", "objectstore.spill")
+	sp.Task = "task-1"
+	sp.Object = "obj-1"
+	sp.Trace = 99
+	sp.Detail = "64KiB"
+	sp.End()
+
+	spans := tr.Drain()
+	if len(spans) != 1 {
+		t.Fatalf("drained %d spans, want 1", len(spans))
+	}
+	rec := spans[0]
+	if rec.Name != "objectstore.spill" || rec.Cat != "spill" || rec.Task != "task-1" ||
+		rec.Object != "obj-1" || rec.Trace != 99 || rec.Node != "n1" || rec.Detail != "64KiB" {
+		t.Fatalf("bad record: %+v", rec)
+	}
+	if rec.StartNs != 1 || rec.DurNs != 1 {
+		t.Fatalf("bad timestamps: start=%d dur=%d", rec.StartNs, rec.DurNs)
+	}
+	if got := tr.Drain(); got != nil {
+		t.Fatalf("second drain returned %d spans", len(got))
+	}
+}
+
+// The ring drops oldest on overflow and Drain returns oldest-first.
+func TestTracerRingOverflow(t *testing.T) {
+	now, _ := fakeClock()
+	tr := NewTracer(3, "n1", now)
+	for i := 0; i < 5; i++ {
+		sp := tr.Begin("c", "s")
+		sp.Trace = uint64(i)
+		sp.End()
+	}
+	spans := tr.Drain()
+	if len(spans) != 3 {
+		t.Fatalf("drained %d, want 3", len(spans))
+	}
+	for i, want := range []uint64{2, 3, 4} {
+		if spans[i].Trace != want {
+			t.Errorf("span %d trace = %d, want %d", i, spans[i].Trace, want)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	now, _ := fakeClock()
+	tr := NewTracer(1024, "n1", now)
+	var wg sync.WaitGroup
+	var drained atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Begin("c", "s")
+				sp.End()
+				if i%50 == 0 {
+					drained.Add(int64(len(tr.Drain())))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	drained.Add(int64(len(tr.Drain())))
+	total := drained.Load() + tr.Dropped()
+	if total != 8*200 {
+		t.Fatalf("drained+dropped = %d, want %d", total, 8*200)
+	}
+}

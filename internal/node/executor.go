@@ -2,7 +2,9 @@ package node
 
 import (
 	"context"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/types"
 	workerpkg "repro/internal/worker"
 )
@@ -18,7 +20,9 @@ type ExecStats interface {
 // that implement worker lending (a task blocked in Get releases its
 // resources to the local scheduler) and the retry re-enqueue path.
 type executorShim struct {
-	inner *workerpkg.Executor
+	inner  *workerpkg.Executor
+	tracer *metrics.Tracer
+	execNs *metrics.Histogram
 }
 
 func newExecutorShim(n *Node) *executorShim {
@@ -38,12 +42,20 @@ func newExecutorShim(n *Node) *executorShim {
 		},
 	}
 	s.inner = workerpkg.NewExecutor(n.id, n.ctrl, n.cfg.Registry, n, hooks)
+	s.tracer = n.tracer
+	s.execNs = n.reg.Histogram("worker.exec.ns")
 	return s
 }
 
 // Execute implements scheduler.ExecFunc.
 func (s *executorShim) Execute(ctx context.Context, spec types.TaskSpec, args [][]byte) {
+	sp := s.tracer.Begin("exec", "worker.exec")
+	sp.Task = spec.ID.Hex()
+	sp.Trace = spec.TraceID
+	start := time.Now()
 	s.inner.Execute(ctx, spec, args)
+	s.execNs.Observe(time.Since(start).Nanoseconds())
+	sp.End()
 }
 
 // Active implements ExecStats.

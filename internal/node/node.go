@@ -21,6 +21,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gcs"
 	"repro/internal/lifetime"
+	"repro/internal/metrics"
 	"repro/internal/objectstore"
 	"repro/internal/scheduler"
 	"repro/internal/transport"
@@ -109,6 +110,18 @@ type Config struct {
 	// Drained committed, every object migrated — just before the node
 	// shuts itself down (tests and cluster bookkeeping hook it).
 	OnDrained func()
+	// DisableTelemetry turns off the node's metrics registry and span
+	// tracer (benchmark baselines; the default is on — the record path
+	// costs a few atomic adds).
+	DisableTelemetry bool
+	// TraceBuffer caps the span ring between heartbeat harvests; 0 selects
+	// the tracer default.
+	TraceBuffer int
+	// Metrics, when set, is the registry the node instruments into instead
+	// of creating its own — processes that host more than the node (e.g.
+	// raynode's head, which also runs the GCS supervisor) share one so all
+	// process metrics ship in the node's heartbeat.
+	Metrics *metrics.Registry
 }
 
 // Node is a running cluster node.
@@ -125,6 +138,11 @@ type Node struct {
 	sched   *scheduler.Local
 	exec    *worker
 	recon   *fault.Reconstructor
+	// reg/tracer are this node's telemetry plane; nil when disabled. The
+	// heartbeat loop ships snapshots and drained spans to the GCS.
+	reg    *metrics.Registry
+	tracer *metrics.Tracer
+	sink   gcs.TelemetrySink
 	// draining guards against concurrent drain executions (a pub/sub event
 	// racing the poll fallback).
 	draining atomic.Bool
@@ -159,7 +177,28 @@ func New(cfg Config) (*Node, error) {
 	}
 
 	n := &Node{id: id, addr: cfg.AdvertiseAddr, cfg: cfg, ctrl: cfg.Ctrl, stop: make(chan struct{})}
+	if !cfg.DisableTelemetry {
+		n.reg = cfg.Metrics
+		if n.reg == nil {
+			n.reg = metrics.NewRegistry()
+		}
+		// Span timestamps use the cluster clock: one control-plane NowNs at
+		// boot plus the local monotonic offset, so spans from different
+		// nodes line up on one trace timeline without per-span RPCs.
+		boot := cfg.Ctrl.NowNs()
+		started := time.Now()
+		n.tracer = metrics.NewTracer(cfg.TraceBuffer, id.Hex(), func() int64 {
+			return boot + time.Since(started).Nanoseconds()
+		})
+		n.sink, _ = cfg.Ctrl.(gcs.TelemetrySink)
+		// A remote or sharded control-plane client can time its RPCs; wire
+		// it into this node's registry so gcs.rpc.* ships with heartbeats.
+		if ms, ok := cfg.Ctrl.(interface{ SetMetrics(*metrics.Registry) }); ok {
+			ms.SetMetrics(n.reg)
+		}
+	}
 	n.store = objectstore.New(id, cfg.Ctrl, cfg.StoreCapacity)
+	n.store.SetObservability(n.reg, n.tracer)
 	n.life = lifetime.NewManager(cfg.Ctrl, n.store)
 	n.store.SetRefChecker(n.life.Referenced)
 	if cfg.SpillDir != "" {
@@ -186,6 +225,7 @@ func New(cfg Config) (*Node, error) {
 		n.store.SetSpillTier(tier)
 	}
 	n.fetcher = lifetime.NewPullManager(n.store, cfg.Ctrl, cfg.Network, n.resolvePeerAddr, cfg.Pull)
+	n.fetcher.SetObservability(n.reg, n.tracer)
 	n.migr = lifetime.NewMigrator(n.fetcher, n.life.Tracker())
 
 	n.sched = scheduler.NewLocal(scheduler.LocalConfig{
@@ -198,6 +238,8 @@ func New(cfg Config) (*Node, error) {
 		SpillThreshold:  cfg.SpillThreshold,
 		DepPollInterval: cfg.DepPollInterval,
 		DisablePrefetch: cfg.DisablePrefetch,
+		Metrics:         n.reg,
+		Tracer:          n.tracer,
 	})
 	n.recon = &fault.Reconstructor{
 		Ctrl: cfg.Ctrl,
@@ -213,6 +255,7 @@ func New(cfg Config) (*Node, error) {
 	n.sched.SetExec(n.exec.Execute)
 
 	n.server = transport.NewServer()
+	n.server.SetMetrics(n.reg)
 	objectstore.RegisterPullHandler(n.server, n.store)
 	lifetime.RegisterMigrateHandler(n.server, n.fetcher)
 	n.server.Handle(AssignMethod, func(payload []byte) ([]byte, error) {
@@ -293,6 +336,12 @@ func (n *Node) Executor() ExecStats { return n.exec }
 // Registry returns the node's function registry.
 func (n *Node) Registry() *core.Registry { return n.cfg.Registry }
 
+// Metrics returns the node's metrics registry (nil when telemetry is off).
+func (n *Node) Metrics() *metrics.Registry { return n.reg }
+
+// Tracer returns the node's span tracer (nil when telemetry is off).
+func (n *Node) Tracer() *metrics.Tracer { return n.tracer }
+
 func (n *Node) resolvePeerAddr(id types.NodeID) (string, bool) {
 	info, ok := n.ctrl.GetNode(id)
 	if !ok || !info.Alive {
@@ -314,10 +363,24 @@ func (n *Node) heartbeatLoop() {
 				stats.TierEvicted = n.tier.TierEvictions()
 			}
 			n.ctrl.Heartbeat(n.id, n.sched.QueueLen(), n.sched.Available(), stats)
+			n.publishTelemetry()
 		case <-n.stop:
 			return
 		}
 	}
+}
+
+// publishTelemetry ships the node's metric snapshot and any spans recorded
+// since the last heartbeat to the control plane (R7: profiling tools read
+// them from centralized state). Telemetry is best-effort and ephemeral —
+// a failed publish drops this interval's spans rather than retrying into
+// a degraded control plane.
+func (n *Node) publishTelemetry() {
+	if n.sink == nil || n.reg == nil {
+		return
+	}
+	spans := n.tracer.Drain()
+	n.sink.PublishTelemetry(n.id, n.reg.Snapshot(), spans)
 }
 
 // --- drain protocol (DESIGN.md §10) ---

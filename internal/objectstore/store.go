@@ -27,8 +27,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/gcs"
+	"repro/internal/metrics"
 	"repro/internal/types"
 )
 
@@ -212,6 +214,22 @@ type Store struct {
 
 	spills   int64
 	restores int64
+
+	// obs holds pre-resolved instruments (SetObservability). All fields
+	// are nil-safe: an un-instrumented store pays one nil check per site.
+	obs storeObs
+}
+
+// storeObs bundles the store's instruments and tracer so hot paths touch
+// pre-resolved pointers, never the registry.
+type storeObs struct {
+	puts, gets, misses *metrics.Counter
+	drops              *metrics.Counter
+	spillBytes         *metrics.Counter
+	restoreBytes       *metrics.Counter
+	spillNs            *metrics.Histogram
+	restoreNs          *metrics.Histogram
+	tracer             *metrics.Tracer
 }
 
 // ErrFailed is returned by Put after the store has crashed (Fail).
@@ -235,6 +253,51 @@ func New(node types.NodeID, ctrl gcs.API, capacity int64) *Store {
 	s.lru.init()
 	s.evictDone = sync.NewCond(&s.mu)
 	return s
+}
+
+// SetObservability attaches a metrics registry and span tracer (either may
+// be nil). Call before the store serves traffic. Gauges for residency are
+// sampled at snapshot time via GaugeFunc — the store already tracks them
+// and mirroring on every mutation would be wasted work.
+func (s *Store) SetObservability(reg *metrics.Registry, tracer *metrics.Tracer) {
+	s.obs = storeObs{
+		puts:         reg.Counter("objectstore.puts"),
+		gets:         reg.Counter("objectstore.gets"),
+		misses:       reg.Counter("objectstore.get.misses"),
+		drops:        reg.Counter("objectstore.drops"),
+		spillBytes:   reg.Counter("objectstore.spill.bytes"),
+		restoreBytes: reg.Counter("objectstore.restore.bytes"),
+		spillNs:      reg.Histogram("objectstore.spill.ns"),
+		restoreNs:    reg.Histogram("objectstore.restore.ns"),
+		tracer:       tracer,
+	}
+	if reg != nil {
+		reg.GaugeFunc("objectstore.used.bytes", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.used
+		})
+		reg.GaugeFunc("objectstore.spilled.bytes", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.spilled
+		})
+		reg.GaugeFunc("objectstore.objects", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(len(s.objects))
+		})
+		reg.GaugeFunc("objectstore.spills", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.spills
+		})
+		reg.GaugeFunc("objectstore.restores", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.restores
+		})
+	}
 }
 
 // Node returns the owning node's ID.
@@ -354,6 +417,7 @@ func (s *Store) execRemoval(tier SpillTier, id types.ObjectID) {
 // are identical by construction).
 func (s *Store) Put(id types.ObjectID, data []byte) error {
 	size := int64(len(data))
+	s.obs.puts.Inc()
 	s.mu.Lock()
 	for {
 		if s.failed {
@@ -469,12 +533,21 @@ func (s *Store) spillOrDrop(e *entry, tier SpillTier, referenced func(types.Obje
 	var wrote bool
 	var spillErr error
 	if wantSpill {
+		sp := s.obs.tracer.Begin("spill", "objectstore.spill")
+		start := time.Now()
 		if bs, bounded := tier.(BoundedSpiller); bounded && noProbes {
 			spillErr = bs.SpillBounded(id, e.data)
 		} else {
 			spillErr = tier.Spill(id, e.data)
 		}
 		wrote = spillErr == nil
+		s.obs.spillNs.Observe(time.Since(start).Nanoseconds())
+		if wrote {
+			s.obs.spillBytes.Add(e.size)
+			sp.Object = id.Hex()
+			sp.Detail = fmt.Sprintf("%d bytes", e.size)
+			sp.End()
+		}
 	}
 
 	s.mu.Lock()
@@ -496,6 +569,7 @@ func (s *Store) spillOrDrop(e *entry, tier SpillTier, referenced func(types.Obje
 			e.state = stateDropping
 			delete(s.objects, id)
 			s.used -= e.size
+			s.obs.drops.Inc()
 			drain = s.enqueuePublishLocked(id, func(ctrl gcs.API) {
 				ctrl.RemoveObjectLocation(id, s.node)
 			})
@@ -539,10 +613,12 @@ func (s *Store) spillOrDrop(e *entry, tier SpillTier, referenced func(types.Obje
 // of each re-reading the file. A Get of a memory-resident object never
 // performs or waits for I/O, no matter what other entries are doing.
 func (s *Store) Get(id types.ObjectID) ([]byte, bool) {
+	s.obs.gets.Inc()
 	s.mu.Lock()
 	e, ok := s.objects[id]
 	if !ok {
 		s.mu.Unlock()
+		s.obs.misses.Inc()
 		return nil, false
 	}
 	switch e.state {
@@ -586,9 +662,18 @@ func (s *Store) restore(e *entry) ([]byte, bool) {
 	tier := s.tier
 	s.mu.Unlock()
 
+	sp := s.obs.tracer.Begin("restore", "objectstore.restore")
+	start := time.Now()
 	data, err := tier.Restore(id)
 	if err == nil && int64(len(data)) != e.size {
 		err = fmt.Errorf("objectstore: restore %v: got %d bytes, want %d", id, len(data), e.size)
+	}
+	s.obs.restoreNs.Observe(time.Since(start).Nanoseconds())
+	if err == nil {
+		s.obs.restoreBytes.Add(int64(len(data)))
+		sp.Object = id.Hex()
+		sp.Detail = fmt.Sprintf("%d bytes", len(data))
+		sp.End()
 	}
 
 	s.mu.Lock()

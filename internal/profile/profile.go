@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/gcs"
+	"repro/internal/metrics"
 	"repro/internal/types"
 )
 
@@ -23,6 +24,9 @@ type Span struct {
 	Function string
 	Node     types.NodeID
 	Status   types.TaskStatus
+	// Trace is the driver session's trace ID (TaskSpec.TraceID); zero for
+	// untraced submissions.
+	Trace uint64
 
 	SubmittedNs int64
 	ScheduledNs int64
@@ -66,6 +70,10 @@ func (s *Span) EndToEnd() time.Duration {
 type Timeline struct {
 	Spans  []Span
 	Events []types.Event
+	// Data holds harvested data-plane spans (spill, restore, pull chunks,
+	// drain migration, exec) the task table cannot see — shipped to the GCS
+	// by node heartbeats and merged in by BuildFull.
+	Data []metrics.SpanRecord
 }
 
 // Build reconstructs the timeline from the control plane.
@@ -78,6 +86,7 @@ func Build(ctrl gcs.API) *Timeline {
 			Function:    t.Spec.Function,
 			Node:        t.Node,
 			Status:      t.Status,
+			Trace:       t.Spec.TraceID,
 			SubmittedNs: t.SubmittedNs,
 			ScheduledNs: t.ScheduledNs,
 			StartedNs:   t.StartedNs,
@@ -85,6 +94,59 @@ func Build(ctrl gcs.API) *Timeline {
 		})
 	}
 	sort.Slice(tl.Spans, func(i, j int) bool { return tl.Spans[i].SubmittedNs < tl.Spans[j].SubmittedNs })
+	return tl
+}
+
+// BuildFull reconstructs the timeline and, when the control plane stores
+// telemetry (gcs.TelemetrySink), merges the harvested data-plane spans:
+// spills, restores, pull chunks, drain migrations, executions. Spans that
+// carry only an object ID are correlated to the task that produced the
+// object via the object table's lineage edge, so one task's whole
+// submit→park→prefetch→schedule→exec→put chain — including I/O the task
+// table cannot see — stitches into a single trace.
+func BuildFull(ctrl gcs.API) *Timeline {
+	tl := Build(ctrl)
+	sink, ok := ctrl.(gcs.TelemetrySink)
+	if !ok {
+		return tl
+	}
+	spans := sink.Spans()
+	if len(spans) == 0 {
+		return tl
+	}
+	// Object hex -> (producer task hex, trace) from the object table.
+	type lineage struct {
+		task  string
+		trace uint64
+	}
+	traces := make(map[string]uint64, len(tl.Spans))
+	for _, s := range tl.Spans {
+		traces[s.Task.Hex()] = s.Trace
+	}
+	byObject := make(map[string]lineage)
+	for _, o := range ctrl.Objects() {
+		if o.Producer.IsNil() {
+			continue
+		}
+		t := o.Producer.Hex()
+		byObject[o.ID.Hex()] = lineage{task: t, trace: traces[t]}
+	}
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Task == "" && sp.Object != "" {
+			if l, ok := byObject[sp.Object]; ok {
+				sp.Task = l.task
+				if sp.Trace == 0 {
+					sp.Trace = l.trace
+				}
+			}
+		}
+		if sp.Trace == 0 && sp.Task != "" {
+			sp.Trace = traces[sp.Task]
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].StartNs < spans[j].StartNs })
+	tl.Data = spans
 	return tl
 }
 
@@ -160,13 +222,24 @@ func (tl *Timeline) CriticalPathNs() int64 {
 
 // chromeEvent is one Chrome trace-event record ("X" complete events).
 type chromeEvent struct {
-	Name string `json:"name"`
-	Cat  string `json:"cat"`
-	Ph   string `json:"ph"`
-	Ts   int64  `json:"ts"`  // microseconds
-	Dur  int64  `json:"dur"` // microseconds
-	Pid  string `json:"pid"`
-	Tid  string `json:"tid"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`  // microseconds
+	Dur  int64          `json:"dur"` // microseconds
+	Pid  string         `json:"pid"`
+	Tid  string         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// shortID compresses a full hex ID to the same 12-char prefix the types
+// package uses for String(), so data-plane spans land on the same Perfetto
+// track as the task-table spans they correlate with.
+func shortID(prefix, hexID string) string {
+	if len(hexID) > 12 {
+		hexID = hexID[:12]
+	}
+	return prefix + "-" + hexID
 }
 
 // ExportChromeTrace writes the timeline in Chrome's trace-event JSON format
@@ -188,12 +261,47 @@ func (tl *Timeline) ExportChromeTrace(w io.Writer) error {
 			})
 		}
 		if s.StartedNs > 0 {
-			evs = append(evs, chromeEvent{
+			ev := chromeEvent{
 				Name: s.Function, Cat: "exec", Ph: "X",
 				Ts: s.StartedNs / 1e3, Dur: (s.FinishedNs - s.StartedNs) / 1e3,
 				Pid: pid, Tid: tid,
-			})
+			}
+			if s.Trace != 0 {
+				ev.Args = map[string]any{"trace": fmt.Sprintf("%016x", s.Trace)}
+			}
+			evs = append(evs, ev)
 		}
+	}
+	// Harvested data-plane spans (BuildFull): grouped per source node, on
+	// the owning task's track when lineage correlation found one, else on
+	// a per-object track.
+	for _, d := range tl.Data {
+		tid := "dataplane"
+		switch {
+		case d.Task != "":
+			tid = shortID("task", d.Task)
+		case d.Object != "":
+			tid = shortID("obj", d.Object)
+		}
+		args := make(map[string]any)
+		if d.Trace != 0 {
+			args["trace"] = fmt.Sprintf("%016x", d.Trace)
+		}
+		if d.Object != "" {
+			args["object"] = shortID("obj", d.Object)
+		}
+		if d.Detail != "" {
+			args["detail"] = d.Detail
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		evs = append(evs, chromeEvent{
+			Name: d.Name, Cat: d.Cat, Ph: "X",
+			Ts: d.StartNs / 1e3, Dur: d.DurNs / 1e3,
+			Pid: shortID("node", d.Node), Tid: tid,
+			Args: args,
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{"traceEvents": evs})

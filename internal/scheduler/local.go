@@ -3,11 +3,13 @@ package scheduler
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/gcs"
+	"repro/internal/metrics"
 	"repro/internal/objectstore"
 	"repro/internal/types"
 )
@@ -92,12 +94,21 @@ type LocalConfig struct {
 	// DisablePrefetch turns off the park-time dependency prefetch (the
 	// before/after arm of experiment E19).
 	DisablePrefetch bool
+	// Metrics, when set, records queue depths, task-flow counters, and the
+	// dispatch-latency histogram. Nil disables instrumentation.
+	Metrics *metrics.Registry
+	// Tracer, when set, records prefetch spans tagged with the task's
+	// trace context. Nil disables.
+	Tracer *metrics.Tracer
 }
 
 // queuedTask is a task whose dependencies are all local, awaiting
 // resources.
 type queuedTask struct {
 	spec types.TaskSpec
+	// enqueuedAt feeds the dispatch-latency histogram (runnable → resources
+	// granted). Wall clock, read only as a difference.
+	enqueuedAt time.Time
 }
 
 // waitingTask is a task with unresolved dependencies.
@@ -148,6 +159,18 @@ type Local struct {
 	submitted  atomic.Int64
 	spilled    atomic.Int64
 	dispatched atomic.Int64
+
+	// obs holds pre-resolved instruments (nil-safe; see LocalConfig).
+	obs schedObs
+}
+
+// schedObs bundles the scheduler's instruments so hot paths touch
+// pre-resolved pointers, never the registry.
+type schedObs struct {
+	submitted  *metrics.Counter
+	spilled    *metrics.Counter
+	dispatched *metrics.Counter
+	dispatchNs *metrics.Histogram
 }
 
 // NewLocal builds a local scheduler; call Start before submitting.
@@ -155,7 +178,7 @@ func NewLocal(cfg LocalConfig) *Local {
 	if cfg.DepPollInterval <= 0 {
 		cfg.DepPollInterval = 20 * time.Millisecond
 	}
-	return &Local{
+	l := &Local{
 		cfg:     cfg,
 		res:     newResourcePool(cfg.Total),
 		stop:    make(chan struct{}),
@@ -163,6 +186,17 @@ func NewLocal(cfg LocalConfig) *Local {
 		waiting: make(map[types.TaskID]*waitingTask),
 		holding: make(map[types.TaskID]*resourcePool),
 	}
+	l.obs = schedObs{
+		submitted:  cfg.Metrics.Counter("scheduler.tasks.submitted"),
+		spilled:    cfg.Metrics.Counter("scheduler.tasks.spilled"),
+		dispatched: cfg.Metrics.Counter("scheduler.tasks.dispatched"),
+		dispatchNs: cfg.Metrics.Histogram("scheduler.dispatch.latency.ns"),
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.GaugeFunc("scheduler.queue.depth", func() int64 { return int64(l.QueueLen()) })
+		cfg.Metrics.GaugeFunc("scheduler.waiting.depth", func() int64 { return int64(l.WaitingLen()) })
+	}
+	return l
 }
 
 // Start launches the dispatch loop.
@@ -263,6 +297,7 @@ func (l *Local) Submit(spec types.TaskSpec, placed bool) error {
 	backlog := len(l.runnable)
 	l.mu.Unlock()
 	l.submitted.Add(1)
+	l.obs.submitted.Inc()
 
 	fresh := l.record(spec)
 	if placed {
@@ -300,6 +335,7 @@ func (l *Local) Submit(spec types.TaskSpec, placed bool) error {
 			l.enqueue(spec)
 		} else {
 			l.spilled.Add(1)
+			l.obs.spilled.Inc()
 			l.bridgeSpill(spec)
 			l.cfg.Ctrl.PublishSpill(spec)
 		}
@@ -310,6 +346,7 @@ func (l *Local) Submit(spec types.TaskSpec, placed bool) error {
 	overloaded := l.cfg.SpillThreshold >= 0 && backlog >= l.cfg.SpillThreshold
 	if infeasible || overloaded || localityElsewhere || l.draining.Load() {
 		l.spilled.Add(1)
+		l.obs.spilled.Inc()
 		l.bridgeSpill(spec)
 		l.cfg.Ctrl.PublishSpill(spec)
 		return nil
@@ -443,6 +480,7 @@ func (l *Local) spillAway(spec types.TaskSpec) {
 		}
 	}
 	l.spilled.Add(1)
+	l.obs.spilled.Inc()
 	l.cfg.Ctrl.PublishSpill(spec)
 }
 
@@ -540,7 +578,12 @@ func (l *Local) enqueue(spec types.TaskSpec) {
 				}
 			}
 			if len(absent) > 0 {
+				sp := l.cfg.Tracer.Begin("prefetch", "scheduler.prefetch")
+				sp.Task = spec.ID.Hex()
+				sp.Trace = spec.TraceID
+				sp.Detail = fmt.Sprintf("%d deps", len(absent))
 				pf.Prefetch(absent)
+				sp.End()
 			}
 		}
 	}
@@ -576,7 +619,7 @@ func (l *Local) enqueue(spec types.TaskSpec) {
 		return
 	}
 	if len(missing) == 0 {
-		l.runnable = append(l.runnable, &queuedTask{spec: spec})
+		l.runnable = append(l.runnable, &queuedTask{spec: spec, enqueuedAt: time.Now()})
 		l.mu.Unlock()
 		l.kickDispatch()
 		return
@@ -665,7 +708,7 @@ func (l *Local) depSatisfied(task types.TaskID, obj types.ObjectID) {
 		return
 	}
 	delete(l.waiting, task)
-	l.runnable = append(l.runnable, &queuedTask{spec: w.spec})
+	l.runnable = append(l.runnable, &queuedTask{spec: w.spec, enqueuedAt: time.Now()})
 	l.mu.Unlock()
 	l.kickDispatch()
 }
@@ -729,6 +772,8 @@ func (l *Local) dispatchReady() {
 			l.cfg.Ctrl.SetTaskStatus(task.spec.ID, types.TaskScheduled, l.cfg.Node, types.NilWorkerID, "")
 		}
 		l.dispatched.Add(1)
+		l.obs.dispatched.Inc()
+		l.obs.dispatchNs.Observe(time.Since(task.enqueuedAt).Nanoseconds())
 		l.wg.Add(1)
 		go l.runTask(task.spec)
 	}

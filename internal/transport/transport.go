@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // Handler serves one unary RPC method.
@@ -63,6 +65,13 @@ type Server struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	streams  map[string]StreamHandler
+
+	// Instrumentation (SetMetrics): dispatch is the single choke point
+	// every unary call passes through regardless of Network, so these
+	// three instruments cover TCP and in-process traffic alike.
+	msgs     *metrics.Counter
+	bytesIn  *metrics.Counter
+	bytesOut *metrics.Counter
 }
 
 // NewServer returns an empty server.
@@ -107,11 +116,27 @@ func (s *Server) streamHandler(method string) (StreamHandler, bool) {
 	return h, ok
 }
 
+// SetMetrics attaches message/byte counters to the server's dispatch
+// path. Call before serving; a nil registry disables instrumentation.
+func (s *Server) SetMetrics(reg *metrics.Registry) {
+	s.msgs = reg.Counter("transport.messages")
+	s.bytesIn = reg.Counter("transport.bytes.in")
+	s.bytesOut = reg.Counter("transport.bytes.out")
+}
+
 // dispatch serves one unary call (shared by both networks).
 func (s *Server) dispatch(method string, payload []byte) ([]byte, error) {
 	h, ok := s.handler(method)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoMethod, method)
 	}
-	return h(payload)
+	if s.msgs != nil {
+		s.msgs.Inc()
+		s.bytesIn.Add(int64(len(payload)))
+	}
+	resp, err := h(payload)
+	if s.bytesOut != nil {
+		s.bytesOut.Add(int64(len(resp)))
+	}
+	return resp, err
 }

@@ -40,6 +40,11 @@ type TaskSpec struct {
 	// from the reservation instead of the node's general pool.
 	Group  PlacementGroupID
 	Bundle int // bundle index within Group (valid iff Group is set)
+	// TraceID is the trace context: assigned once per driver session and
+	// inherited by every descendant task, so the profiler can stitch a
+	// whole computation — including data-plane spans recorded far from the
+	// task table — into one trace (R7). Zero means untraced.
+	TraceID uint64
 }
 
 // InGroup reports whether the task is pinned to a placement-group bundle.
