@@ -81,6 +81,76 @@ func (c *Checker) AwaitZeroRefcounts(t testing.TB, within time.Duration) {
 	}
 }
 
+// Ledger is the per-node reference-ledger surface the conservation
+// checker samples; lifetime.Tracker implements it. HeldAll is the node's
+// authoritative held counts, Unflushed the net deltas the control plane
+// has not yet acked (pending entries plus parked retry batches).
+type Ledger interface {
+	HeldAll() map[types.ObjectID]int64
+	Unflushed() map[types.ObjectID]int64
+}
+
+// AwaitRefConservation asserts the ownership protocol's conservation law
+// mid-flight: for every object, the GCS's flushed count plus the net
+// unflushed deltas across all live ledgers equals the references those
+// ledgers hold. The equality is eventual, not instantaneous — a batch the
+// shard committed but whose ack was lost is transiently counted twice
+// (in RefCount and in the retry queue) until redelivery dedups it — so
+// the await polls, sampling all ledgers and the table in each round, and
+// only concludes on a complete shard view.
+func (c *Checker) AwaitRefConservation(t testing.TB, within time.Duration, ledgers map[string]Ledger) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		up := c.shardsUp()
+		bad := c.conservationViolations(ledgers)
+		if up && len(bad) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("chaostest: refcount conservation violated (all shards up: %v): %v", up, bad)
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// conservationViolations samples every ledger plus the object table and
+// returns a description of each object where flushed + unflushed != held.
+func (c *Checker) conservationViolations(ledgers map[string]Ledger) []string {
+	held := make(map[types.ObjectID]int64)
+	unflushed := make(map[types.ObjectID]int64)
+	for _, l := range ledgers {
+		for id, n := range l.HeldAll() {
+			held[id] += n
+		}
+		for id, d := range l.Unflushed() {
+			unflushed[id] += d
+		}
+	}
+	flushed := make(map[types.ObjectID]int64)
+	for _, o := range c.api.Objects() {
+		flushed[o.ID] = o.RefCount
+	}
+	ids := make(map[types.ObjectID]bool)
+	for id := range held {
+		ids[id] = true
+	}
+	for id := range unflushed {
+		ids[id] = true
+	}
+	for id := range flushed {
+		ids[id] = true
+	}
+	var bad []string
+	for id := range ids {
+		if flushed[id]+unflushed[id] != held[id] {
+			bad = append(bad, fmt.Sprintf("%v: flushed=%d unflushed=%d held=%d",
+				id, flushed[id], unflushed[id], held[id]))
+		}
+	}
+	return bad
+}
+
 // AwaitQuiescentBooks asserts bundle-pool accounting on every supplied
 // node: zero bundle reservations and full availability — the gang
 // invariant that a group which cannot fully place (or was rolled back)

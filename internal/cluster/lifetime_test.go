@@ -219,8 +219,18 @@ func TestShutdownSettlesReferences(t *testing.T) {
 		t.Fatal(err)
 	}
 	id := ref.Untyped().ID
-	if info, _ := c.Ctrl.GetObject(id); info.RefCount == 0 {
-		t.Fatal("setup: driver holds no reference")
+	// The driver's retain rides a batched ledger flush; await it landing in
+	// the control plane's count before testing the shutdown release.
+	setup := time.After(2 * time.Second)
+	for {
+		if info, _ := c.Ctrl.GetObject(id); info.RefCount > 0 {
+			break
+		}
+		select {
+		case <-setup:
+			t.Fatal("setup: driver's reference never flushed")
+		case <-time.After(2 * time.Millisecond):
+		}
 	}
 
 	c.Node(1).Shutdown()

@@ -11,15 +11,18 @@ import (
 	"fmt"
 )
 
-// Tag bytes distinguish the two wire forms. Gob payloads carry their own
-// type information after the tag; raw payloads are opaque.
+// Tag bytes distinguish the wire forms. Gob payloads carry their own
+// type information after the tag; raw payloads are opaque; binary payloads
+// (tagBin, see fast.go) carry a type byte for the hot record structs.
 const (
 	tagGob  = 0x01
 	tagRaw  = 0x02
 	tagNull = 0x03
+	// tagBin = 0x04 (fast.go)
 )
 
-// Encode serializes v. []byte values take the zero-copy raw path.
+// Encode serializes v. []byte values take the zero-copy raw path; the hot
+// control-plane record types take the reflection-free binary path.
 func Encode(v any) ([]byte, error) {
 	switch x := v.(type) {
 	case nil:
@@ -29,6 +32,9 @@ func Encode(v any) ([]byte, error) {
 		out[0] = tagRaw
 		copy(out[1:], x)
 		return out, nil
+	}
+	if b, ok := encodeFast(v); ok {
+		return b, nil
 	}
 	var buf bytes.Buffer
 	buf.WriteByte(tagGob)
@@ -68,6 +74,8 @@ func Decode(data []byte, out any) error {
 			return fmt.Errorf("codec: decode into %T: %w", out, err)
 		}
 		return nil
+	case tagBin:
+		return decodeFast(data[1:], out)
 	default:
 		return fmt.Errorf("codec: unknown tag 0x%02x", data[0])
 	}

@@ -1,0 +1,449 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// Binary fast path for the hot control-plane record types. Profiling the
+// task-throughput benchmark showed ~2/3 of cluster CPU inside encoding/gob,
+// almost all of it *recompiling* encode/decode engines: every kv record
+// read (scheduler placement scans, wait polls, status stamps) constructs a
+// fresh gob decoder, and gob's per-stream type negotiation makes decoder
+// reuse across records impossible. The record types below are small, fixed
+// structs, so they get a hand-rolled reflection-free wire form under a
+// dedicated tag. Everything else still rides gob; a payload written by the
+// fast path is self-describing via its type byte, so the two forms coexist
+// in the same store and WAL.
+//
+// Keep these encoders in lockstep with the struct definitions in
+// internal/types — a new field must be added to both sides here (the
+// round-trip tests in fast_test.go enforce this with reflection over the
+// field sets).
+const tagBin = 0x04
+
+// Type bytes following tagBin.
+const (
+	binObjectInfo = 0x01
+	binTaskState  = 0x02
+	binTaskSpec   = 0x03
+	binNodeInfo   = 0x04
+)
+
+// encodeFast serializes the hot types; ok=false means "not a fast type,
+// fall back to gob".
+func encodeFast(v any) ([]byte, bool) {
+	switch x := v.(type) {
+	case types.ObjectInfo:
+		return appendObjectInfo([]byte{tagBin, binObjectInfo}, &x), true
+	case *types.ObjectInfo:
+		return appendObjectInfo([]byte{tagBin, binObjectInfo}, x), true
+	case types.TaskState:
+		return appendTaskState([]byte{tagBin, binTaskState}, &x), true
+	case *types.TaskState:
+		return appendTaskState([]byte{tagBin, binTaskState}, x), true
+	case types.TaskSpec:
+		return appendTaskSpec([]byte{tagBin, binTaskSpec}, &x), true
+	case *types.TaskSpec:
+		return appendTaskSpec([]byte{tagBin, binTaskSpec}, x), true
+	case types.NodeInfo:
+		return appendNodeInfo([]byte{tagBin, binNodeInfo}, &x), true
+	case *types.NodeInfo:
+		return appendNodeInfo([]byte{tagBin, binNodeInfo}, x), true
+	}
+	return nil, false
+}
+
+// decodeFast deserializes a tagBin payload (data excludes the tag byte).
+func decodeFast(data []byte, out any) error {
+	if len(data) == 0 {
+		return fmt.Errorf("codec: truncated binary payload")
+	}
+	r := &binReader{buf: data[1:]}
+	var err error
+	switch data[0] {
+	case binObjectInfo:
+		p, ok := out.(*types.ObjectInfo)
+		if !ok {
+			return fmt.Errorf("codec: binary ObjectInfo payload into %T", out)
+		}
+		*p, err = r.objectInfo()
+	case binTaskState:
+		p, ok := out.(*types.TaskState)
+		if !ok {
+			return fmt.Errorf("codec: binary TaskState payload into %T", out)
+		}
+		*p, err = r.taskState()
+	case binTaskSpec:
+		p, ok := out.(*types.TaskSpec)
+		if !ok {
+			return fmt.Errorf("codec: binary TaskSpec payload into %T", out)
+		}
+		*p, err = r.taskSpec()
+	case binNodeInfo:
+		p, ok := out.(*types.NodeInfo)
+		if !ok {
+			return fmt.Errorf("codec: binary NodeInfo payload into %T", out)
+		}
+		*p, err = r.nodeInfo()
+	default:
+		return fmt.Errorf("codec: unknown binary type 0x%02x", data[0])
+	}
+	if err != nil {
+		return fmt.Errorf("codec: binary decode into %T: %w", out, err)
+	}
+	return nil
+}
+
+// --- encoders (append-style, one allocation for typical records) ---
+
+func appendObjectInfo(b []byte, o *types.ObjectInfo) []byte {
+	b = append(b, o.ID[:]...)
+	b = binary.AppendVarint(b, o.Size)
+	b = append(b, o.Producer[:]...)
+	b = binary.AppendVarint(b, int64(o.State))
+	b = appendNodeIDs(b, o.Locations)
+	b = binary.AppendVarint(b, o.RefCount)
+	b = appendBool(b, o.EverRetained)
+	b = appendU64s(b, o.RefOps)
+	b = appendNodeIDs(b, o.SpilledOn)
+	b = binary.AppendUvarint(b, uint64(len(o.Holders)))
+	// Sorted for a deterministic wire form (snapshots diff cleanly).
+	keys := make([]types.NodeID, 0, len(o.Holders))
+	for k := range o.Holders {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return string(keys[i][:]) < string(keys[j][:]) })
+	for _, k := range keys {
+		b = append(b, k[:]...)
+		b = binary.AppendVarint(b, o.Holders[k])
+	}
+	return b
+}
+
+func appendTaskSpec(b []byte, s *types.TaskSpec) []byte {
+	b = append(b, s.ID[:]...)
+	b = appendString(b, s.Function)
+	b = binary.AppendUvarint(b, uint64(len(s.Args)))
+	for i := range s.Args {
+		a := &s.Args[i]
+		b = appendBool(b, a.IsRef)
+		b = append(b, a.Ref[:]...)
+		b = appendBytes(b, a.Value)
+	}
+	b = binary.AppendVarint(b, int64(s.NumReturns))
+	b = appendResources(b, s.Resources)
+	b = append(b, s.Parent[:]...)
+	b = binary.AppendUvarint(b, s.SubmitIndex)
+	b = binary.AppendVarint(b, int64(s.MaxRetries))
+	b = append(b, s.Locality[:]...)
+	b = append(b, s.Group[:]...)
+	b = binary.AppendVarint(b, int64(s.Bundle))
+	b = binary.AppendUvarint(b, s.TraceID)
+	return b
+}
+
+func appendTaskState(b []byte, t *types.TaskState) []byte {
+	b = appendTaskSpec(b, &t.Spec)
+	b = binary.AppendVarint(b, int64(t.Status))
+	b = append(b, t.Node[:]...)
+	b = append(b, t.Worker[:]...)
+	b = appendString(b, t.Error)
+	b = binary.AppendVarint(b, int64(t.Retries))
+	b = binary.AppendVarint(b, t.SubmittedNs)
+	b = binary.AppendVarint(b, t.ScheduledNs)
+	b = binary.AppendVarint(b, t.StartedNs)
+	b = binary.AppendVarint(b, t.FinishedNs)
+	b = binary.AppendVarint(b, t.LastTransitionNs)
+	b = appendU64s(b, t.MutOps)
+	return b
+}
+
+func appendNodeInfo(b []byte, n *types.NodeInfo) []byte {
+	b = append(b, n.ID[:]...)
+	b = appendString(b, n.Addr)
+	b = appendResources(b, n.Total)
+	b = appendBool(b, n.Alive)
+	b = binary.AppendVarint(b, n.LastSeen)
+	b = binary.AppendVarint(b, int64(n.State))
+	b = binary.AppendVarint(b, n.DrainNs)
+	b = binary.AppendVarint(b, int64(n.QueueLen))
+	b = appendResources(b, n.Available)
+	b = binary.AppendVarint(b, n.Store.UsedBytes)
+	b = binary.AppendVarint(b, n.Store.SpilledBytes)
+	b = binary.AppendVarint(b, int64(n.Store.Objects))
+	b = binary.AppendVarint(b, n.Store.Spills)
+	b = binary.AppendVarint(b, n.Store.Restores)
+	b = binary.AppendVarint(b, n.Store.Reclaimed)
+	b = binary.AppendVarint(b, n.Store.TierEvicted)
+	b = appendU64s(b, n.MutOps)
+	return b
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+func appendNodeIDs(b []byte, ids []types.NodeID) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ids)))
+	for i := range ids {
+		b = append(b, ids[i][:]...)
+	}
+	return b
+}
+
+func appendU64s(b []byte, vs []uint64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = binary.AppendUvarint(b, v)
+	}
+	return b
+}
+
+func appendResources(b []byte, r types.Resources) []byte {
+	b = binary.AppendUvarint(b, uint64(len(r)))
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b = appendString(b, k)
+		var bits [8]byte
+		binary.LittleEndian.PutUint64(bits[:], math.Float64bits(r[k]))
+		b = append(b, bits[:]...)
+	}
+	return b
+}
+
+// --- decoder ---
+
+// binReader walks a binary payload; the first out-of-bounds read latches an
+// error and every later read returns zero values, so field decoders stay
+// unconditional and the error is checked once at the end.
+type binReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *binReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated at offset %d", r.pos)
+	}
+}
+
+func (r *binReader) take(n int) []byte {
+	if r.err != nil || r.pos+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *binReader) bool() bool { b := r.take(1); return len(b) == 1 && b[0] != 0 }
+
+func (r *binReader) id16() (id [16]byte) {
+	copy(id[:], r.take(16))
+	return id
+}
+
+// count validates a decoded element count against the bytes remaining, with
+// perElem the minimum wire size of one element — a corrupt length prefix
+// fails fast instead of allocating gigabytes.
+func (r *binReader) count(perElem int) int {
+	n := r.uvarint()
+	if r.err == nil && int(n)*perElem > len(r.buf)-r.pos {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}
+
+func (r *binReader) string() string {
+	n := r.count(1)
+	return string(r.take(n))
+}
+
+func (r *binReader) bytes() []byte {
+	n := r.count(1)
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.take(n))
+	return b
+}
+
+func (r *binReader) nodeIDs() []types.NodeID {
+	n := r.count(16)
+	if n == 0 {
+		return nil
+	}
+	ids := make([]types.NodeID, n)
+	for i := range ids {
+		ids[i] = r.id16()
+	}
+	return ids
+}
+
+func (r *binReader) u64s() []uint64 {
+	n := r.count(1)
+	if n == 0 {
+		return nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = r.uvarint()
+	}
+	return vs
+}
+
+func (r *binReader) resources() types.Resources {
+	n := r.count(1)
+	if n == 0 {
+		return nil
+	}
+	res := make(types.Resources, n)
+	for i := 0; i < n; i++ {
+		k := r.string()
+		bits := r.take(8)
+		if r.err != nil {
+			return nil
+		}
+		res[k] = math.Float64frombits(binary.LittleEndian.Uint64(bits))
+	}
+	return res
+}
+
+func (r *binReader) objectInfo() (types.ObjectInfo, error) {
+	var o types.ObjectInfo
+	o.ID = r.id16()
+	o.Size = r.varint()
+	o.Producer = r.id16()
+	o.State = types.ObjectState(r.varint())
+	o.Locations = r.nodeIDs()
+	o.RefCount = r.varint()
+	o.EverRetained = r.bool()
+	o.RefOps = r.u64s()
+	o.SpilledOn = r.nodeIDs()
+	if n := r.count(17); n > 0 {
+		o.Holders = make(map[types.NodeID]int64, n)
+		for i := 0; i < n; i++ {
+			k := types.NodeID(r.id16())
+			o.Holders[k] = r.varint()
+		}
+	}
+	return o, r.err
+}
+
+func (r *binReader) taskSpec() (types.TaskSpec, error) {
+	var s types.TaskSpec
+	s.ID = r.id16()
+	s.Function = r.string()
+	if n := r.count(18); n > 0 {
+		s.Args = make([]types.Arg, n)
+		for i := range s.Args {
+			s.Args[i].IsRef = r.bool()
+			s.Args[i].Ref = r.id16()
+			s.Args[i].Value = r.bytes()
+		}
+	}
+	s.NumReturns = int(r.varint())
+	s.Resources = r.resources()
+	s.Parent = r.id16()
+	s.SubmitIndex = r.uvarint()
+	s.MaxRetries = int(r.varint())
+	s.Locality = r.id16()
+	s.Group = r.id16()
+	s.Bundle = int(r.varint())
+	s.TraceID = r.uvarint()
+	return s, r.err
+}
+
+func (r *binReader) taskState() (types.TaskState, error) {
+	var t types.TaskState
+	var err error
+	if t.Spec, err = r.taskSpec(); err != nil {
+		return t, err
+	}
+	t.Status = types.TaskStatus(r.varint())
+	t.Node = r.id16()
+	t.Worker = r.id16()
+	t.Error = r.string()
+	t.Retries = int(r.varint())
+	t.SubmittedNs = r.varint()
+	t.ScheduledNs = r.varint()
+	t.StartedNs = r.varint()
+	t.FinishedNs = r.varint()
+	t.LastTransitionNs = r.varint()
+	t.MutOps = r.u64s()
+	return t, r.err
+}
+
+func (r *binReader) nodeInfo() (types.NodeInfo, error) {
+	var n types.NodeInfo
+	n.ID = r.id16()
+	n.Addr = r.string()
+	n.Total = r.resources()
+	n.Alive = r.bool()
+	n.LastSeen = r.varint()
+	n.State = types.NodeState(r.varint())
+	n.DrainNs = r.varint()
+	n.QueueLen = int(r.varint())
+	n.Available = r.resources()
+	n.Store.UsedBytes = r.varint()
+	n.Store.SpilledBytes = r.varint()
+	n.Store.Objects = int(r.varint())
+	n.Store.Spills = r.varint()
+	n.Store.Restores = r.varint()
+	n.Store.Reclaimed = r.varint()
+	n.Store.TierEvicted = r.varint()
+	n.MutOps = r.u64s()
+	return n, r.err
+}

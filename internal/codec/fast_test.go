@@ -1,0 +1,228 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func id16(b byte) (id [16]byte) {
+	for i := range id {
+		id[i] = b
+	}
+	return id
+}
+
+func sampleObjectInfo() types.ObjectInfo {
+	return types.ObjectInfo{
+		ID:           types.ObjectID(id16(1)),
+		Size:         1 << 20,
+		Producer:     types.TaskID(id16(2)),
+		State:        types.ObjectReady,
+		Locations:    []types.NodeID{types.NodeID(id16(3)), types.NodeID(id16(4))},
+		RefCount:     7,
+		EverRetained: true,
+		RefOps:       []uint64{9, 1 << 63, 42},
+		SpilledOn:    []types.NodeID{types.NodeID(id16(4))},
+		Holders: map[types.NodeID]int64{
+			types.NodeID(id16(3)): 5,
+			types.NodeID(id16(4)): 2,
+		},
+	}
+}
+
+func sampleTaskSpec() types.TaskSpec {
+	return types.TaskSpec{
+		ID:       types.TaskID(id16(5)),
+		Function: "train",
+		Args: []types.Arg{
+			{IsRef: true, Ref: types.ObjectID(id16(6))},
+			{Value: []byte("inline")},
+		},
+		NumReturns:  2,
+		Resources:   types.Resources{"CPU": 2, "GPU": 0.5},
+		Parent:      types.TaskID(id16(7)),
+		SubmitIndex: 12,
+		MaxRetries:  3,
+		Locality:    types.NodeID(id16(8)),
+		Group:       types.PlacementGroupID(id16(9)),
+		Bundle:      1,
+		TraceID:     0xdeadbeef,
+	}
+}
+
+func sampleTaskState() types.TaskState {
+	return types.TaskState{
+		Spec:             sampleTaskSpec(),
+		Status:           types.TaskRunning,
+		Node:             types.NodeID(id16(10)),
+		Worker:           types.WorkerID(id16(11)),
+		Error:            "partial failure",
+		Retries:          1,
+		SubmittedNs:      100,
+		ScheduledNs:      200,
+		StartedNs:        300,
+		FinishedNs:       -1,
+		LastTransitionNs: 300,
+		MutOps:           []uint64{77, 78},
+	}
+}
+
+func sampleNodeInfo() types.NodeInfo {
+	return types.NodeInfo{
+		ID:        types.NodeID(id16(12)),
+		Addr:      "node-12:7000",
+		Total:     types.Resources{"CPU": 8},
+		Alive:     true,
+		LastSeen:  123456789,
+		State:     types.NodeDraining,
+		DrainNs:   42,
+		QueueLen:  9,
+		Available: types.Resources{"CPU": 3.5},
+		Store: types.StoreStats{
+			UsedBytes: 1, SpilledBytes: 2, Objects: 3,
+			Spills: 4, Restores: 5, Reclaimed: 6, TierEvicted: 7,
+		},
+		MutOps: []uint64{1, 2, 3},
+	}
+}
+
+func roundTrip[T any](t *testing.T, in T) {
+	t.Helper()
+	data, err := Encode(in)
+	if err != nil {
+		t.Fatalf("Encode(%T): %v", in, err)
+	}
+	if data[0] != tagBin {
+		t.Fatalf("Encode(%T) took tag 0x%02x, want the binary fast path", in, data[0])
+	}
+	out, err := DecodeAs[T](data)
+	if err != nil {
+		t.Fatalf("Decode(%T): %v", in, err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch for %T:\n in: %+v\nout: %+v", in, in, out)
+	}
+}
+
+func TestFastRoundTrip(t *testing.T) {
+	roundTrip(t, sampleObjectInfo())
+	roundTrip(t, sampleTaskSpec())
+	roundTrip(t, sampleTaskState())
+	roundTrip(t, sampleNodeInfo())
+}
+
+func TestFastRoundTripZeroValues(t *testing.T) {
+	roundTrip(t, types.ObjectInfo{})
+	roundTrip(t, types.TaskSpec{})
+	roundTrip(t, types.TaskState{})
+	roundTrip(t, types.NodeInfo{})
+}
+
+// TestFastPointerEncode checks pointer and value encodings agree — callers
+// pass both.
+func TestFastPointerEncode(t *testing.T) {
+	v := sampleObjectInfo()
+	a := MustEncode(v)
+	b := MustEncode(&v)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("value and pointer encodings differ")
+	}
+}
+
+// TestFastDecodesLegacyGob ensures records written by the gob path (older
+// WAL entries, mixed-version stores) still decode: the tag byte selects the
+// decoder.
+func TestFastDecodesLegacyGob(t *testing.T) {
+	in := sampleTaskState()
+	var buf bytes.Buffer
+	buf.WriteByte(tagGob)
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeAs[types.TaskState](buf.Bytes())
+	if err != nil {
+		t.Fatalf("gob-tagged decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("gob fallback mismatch")
+	}
+}
+
+func TestFastTruncatedPayload(t *testing.T) {
+	data := MustEncode(sampleTaskState())
+	for _, cut := range []int{2, 3, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeAs[types.TaskState](data[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(data))
+		}
+	}
+}
+
+func TestFastWrongTarget(t *testing.T) {
+	data := MustEncode(sampleObjectInfo())
+	if _, err := DecodeAs[types.TaskState](data); err == nil {
+		t.Fatal("ObjectInfo payload decoded into TaskState")
+	}
+}
+
+// TestFastFieldSetsCovered pins the struct shapes the fast path encodes. If
+// a field is added to one of the hot types, this test fails until fast.go
+// learns the field (the expected lists below are updated as part of that).
+func TestFastFieldSetsCovered(t *testing.T) {
+	expect := map[reflect.Type][]string{
+		reflect.TypeOf(types.ObjectInfo{}): {"ID", "Size", "Producer", "State", "Locations", "RefCount", "EverRetained", "RefOps", "Holders", "SpilledOn"},
+		reflect.TypeOf(types.TaskSpec{}):   {"ID", "Function", "Args", "NumReturns", "Resources", "Parent", "SubmitIndex", "MaxRetries", "Locality", "Group", "Bundle", "TraceID"},
+		reflect.TypeOf(types.TaskState{}):  {"Spec", "Status", "Node", "Worker", "Error", "Retries", "SubmittedNs", "ScheduledNs", "StartedNs", "FinishedNs", "LastTransitionNs", "MutOps"},
+		reflect.TypeOf(types.NodeInfo{}):   {"ID", "Addr", "Total", "Alive", "LastSeen", "State", "DrainNs", "QueueLen", "Available", "Store", "MutOps"},
+		reflect.TypeOf(types.Arg{}):        {"IsRef", "Ref", "Value"},
+		reflect.TypeOf(types.StoreStats{}): {"UsedBytes", "SpilledBytes", "Objects", "Spills", "Restores", "Reclaimed", "TierEvicted"},
+	}
+	for typ, want := range expect {
+		var got []string
+		for i := 0; i < typ.NumField(); i++ {
+			got = append(got, typ.Field(i).Name)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v fields changed: now %v, fast.go encodes %v — update fast.go and this list together", typ, got, want)
+		}
+	}
+}
+
+func BenchmarkEncodeTaskStateFast(b *testing.B) {
+	v := sampleTaskState()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeTaskStateFast(b *testing.B) {
+	data := MustEncode(sampleTaskState())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeAs[types.TaskState](data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeTaskStateGob(b *testing.B) {
+	in := sampleTaskState()
+	var buf bytes.Buffer
+	buf.WriteByte(tagGob)
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeAs[types.TaskState](data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -337,29 +337,33 @@ func (c *caller) wait(ctx context.Context, refs []ObjectRef, numReturns int, tim
 			s.Close()
 		}
 	}()
-	any := make(chan struct{}, 1)
+	// Each ready channel is per-object, so its first message identifies
+	// exactly which ref completed — the event marks that one ref done
+	// instead of re-scanning (and re-fetching) every pending object, which
+	// made a window of W waits cost O(W²) object-table reads.
+	readyC := make(chan types.ObjectID, len(refs))
 	for _, r := range refs {
 		sub := ctrl.SubscribeObjectReady(r.ID)
 		subs = append(subs, sub)
-		go func(s gcs.Sub) {
-			for range s.C() {
-				select {
-				case any <- struct{}{}:
-				default:
-				}
+		go func(s gcs.Sub, id types.ObjectID) {
+			if _, ok := <-s.C(); ok {
+				readyC <- id // buffered one slot per ref; never blocks
 			}
-		}(sub)
+		}(sub, r.ID)
 	}
 
 	poll := time.NewTicker(2 * time.Millisecond)
 	defer poll.Stop()
-	for {
-		if countReady() >= numReturns {
-			break
-		}
+	n := countReady()
+	for n < numReturns {
 		select {
-		case <-any:
-		case <-poll.C: // safety net against missed edges
+		case id := <-readyC:
+			if !done[id] {
+				done[id] = true
+				n++
+			}
+		case <-poll.C:
+			n = countReady() // safety net against missed edges
 		case <-deadline:
 			goto out
 		case <-ctx.Done():

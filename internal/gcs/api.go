@@ -77,6 +77,22 @@ type API interface {
 	// memory copies). SubscribeObjectGC delivers the IDs of newly
 	// garbage-eligible objects; payload is the raw ObjectID bytes.
 	ModifyObjectRefCount(id types.ObjectID, delta int64) int64
+	// ModifyObjectRefCounts applies one node's ledger flush: a batch of net
+	// per-object deltas attributed to node, bound to one idempotency token
+	// recorded in each touched object's RefOps ring (so redelivery after a
+	// shard crash re-applies exactly the objects the crash missed). A zero
+	// delta is a touch: retain+release cycles that net out within a flush
+	// interval still mark the object ever-retained and, at count zero,
+	// GC-eligible. Returns the IDs whose deltas could NOT be applied (their
+	// shard stayed unreachable past the retry window) so the caller can
+	// requeue them under the same token; nil means fully applied.
+	ModifyObjectRefCounts(node types.NodeID, deltas map[types.ObjectID]int64, op uint64) []types.ObjectID
+	// SweepDeadNodeRefs subtracts every refcount share attributed to node —
+	// an owner that died without flushing its releases — making the objects
+	// it alone kept alive GC-eligible. Idempotent; reports objects adjusted,
+	// or negative when part of the object table was unreachable and the
+	// caller should retry the (idempotent) sweep later.
+	SweepDeadNodeRefs(node types.NodeID) int
 	MarkObjectSpilled(id types.ObjectID, node types.NodeID, spilled bool)
 	SubscribeObjectGC() Sub
 

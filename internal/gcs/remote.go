@@ -148,6 +148,33 @@ func (r *Remote) ModifyObjectRefCount(id types.ObjectID, delta int64) int64 {
 	return v
 }
 
+// ModifyObjectRefCounts implements API: the single-head control plane
+// takes the whole batch in one RPC. The token still rides along — the
+// head's RefOps rings make an at-least-once redelivery (e.g. a client-side
+// retry layered above Remote) harmless.
+func (r *Remote) ModifyObjectRefCounts(node types.NodeID, deltas map[types.ObjectID]int64, op uint64) []types.ObjectID {
+	if len(deltas) == 0 {
+		return nil
+	}
+	if _, ok := call[bool](r, MethodModifyObjRefs, modifyRefsReq{Node: node, Deltas: deltas, Op: op}); !ok {
+		failed := make([]types.ObjectID, 0, len(deltas))
+		for id := range deltas {
+			failed = append(failed, id)
+		}
+		return failed
+	}
+	return nil
+}
+
+// SweepDeadNodeRefs implements API.
+func (r *Remote) SweepDeadNodeRefs(node types.NodeID) int {
+	v, ok := call[int](r, MethodSweepDeadRefs, sweepRefsReq{Node: node})
+	if !ok {
+		return -1
+	}
+	return v
+}
+
 // MarkObjectSpilled implements API.
 func (r *Remote) MarkObjectSpilled(id types.ObjectID, node types.NodeID, spilled bool) {
 	call[bool](r, MethodMarkObjSpilled, markSpilledReq{ID: id, Node: node, Spilled: spilled})

@@ -28,6 +28,8 @@ const (
 	MethodGetObject        = "gcs.getObject"
 	MethodObjects          = "gcs.objects"
 	MethodModifyObjRef     = "gcs.modifyObjRefCount"
+	MethodModifyObjRefs    = "gcs.modifyObjRefCounts"
+	MethodSweepDeadRefs    = "gcs.sweepDeadNodeRefs"
 	MethodMarkObjSpilled   = "gcs.markObjSpilled"
 	MethodPublishSpill     = "gcs.publishSpill"
 	MethodCreateGroup      = "gcs.createGroup"
@@ -103,6 +105,17 @@ type (
 		// Op is the idempotency token for retried deltas (0 = no dedup);
 		// see Store.ModifyObjectRefCountOp.
 		Op uint64
+	}
+	modifyRefsReq struct {
+		// Node attributes the deltas for the owner-death sweep.
+		Node   types.NodeID
+		Deltas map[types.ObjectID]int64
+		// Op is the batch's idempotency token, recorded per-object; fixed
+		// across retries of the same ledger flush (never 0 on this path).
+		Op uint64
+	}
+	sweepRefsReq struct {
+		Node types.NodeID
 	}
 	markSpilledReq struct {
 		ID      types.ObjectID
@@ -259,6 +272,23 @@ func RegisterService(srv Registrar, store *Store) {
 			return nil, err
 		}
 		return store.ModifyObjectRefCountOp(req.ID, req.Delta, req.Op), nil
+	})
+	unary(MethodModifyObjRefs, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[modifyRefsReq](p)
+		if err != nil {
+			return nil, err
+		}
+		// The local store applies everything it is given; the failed set is
+		// a client-side (sharded transport) concept.
+		store.ModifyObjectRefCounts(req.Node, req.Deltas, req.Op)
+		return true, nil
+	})
+	unary(MethodSweepDeadRefs, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[sweepRefsReq](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.SweepDeadNodeRefs(req.Node), nil
 	})
 	unary(MethodMarkObjSpilled, func(p []byte) (any, error) {
 		req, err := codec.DecodeAs[markSpilledReq](p)

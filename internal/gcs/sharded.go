@@ -456,6 +456,82 @@ func (s *Sharded) ModifyObjectRefCount(id types.ObjectID, delta int64) int64 {
 	return v
 }
 
+// ModifyObjectRefCounts implements API: one ledger flush, partitioned by
+// owning shard and delivered as one RPC per shard — the whole point of
+// batching: a flush costs round trips proportional to the shards touched,
+// not the objects. Every partition carries the caller's token (dedup is
+// recorded per object, so slices of one batch cannot confuse each other)
+// and partitions fly concurrently. A shard unreachable past the retry
+// window contributes its whole partition to the failed set; the caller
+// requeues those deltas under the same token, which is what makes the
+// eventual redelivery safe against a crash that committed the partition
+// but lost the ack.
+func (s *Sharded) ModifyObjectRefCounts(node types.NodeID, deltas map[types.ObjectID]int64, op uint64) []types.ObjectID {
+	if len(deltas) == 0 {
+		return nil
+	}
+	m := s.Map()
+	parts := make(map[int]map[types.ObjectID]int64)
+	for id, d := range deltas {
+		idx := m.ShardForKey(ObjectKey(id))
+		p := parts[idx]
+		if p == nil {
+			p = make(map[types.ObjectID]int64)
+			parts[idx] = p
+		}
+		p[id] = d
+	}
+	var (
+		mu     sync.Mutex
+		failed []types.ObjectID
+		wg     sync.WaitGroup
+	)
+	for _, part := range parts {
+		wg.Add(1)
+		go func(part map[types.ObjectID]int64) {
+			defer wg.Done()
+			// Routed by any member object: shardCall re-resolves the key each
+			// retry, so a failover re-routes the batch to the new incarnation.
+			var key string
+			for id := range part {
+				key = ObjectKey(id)
+				break
+			}
+			if _, ok := shardCall[bool](s, key, MethodModifyObjRefs, modifyRefsReq{Node: node, Deltas: part, Op: op}); !ok {
+				mu.Lock()
+				for id := range part {
+					failed = append(failed, id)
+				}
+				mu.Unlock()
+			}
+		}(part)
+	}
+	wg.Wait()
+	return failed
+}
+
+// SweepDeadNodeRefs implements API: object records are spread over every
+// shard, so the sweep fans out. A shard that stays unreachable makes the
+// result negative — "incomplete, retry later" — and the caller (the global
+// scheduler's death sweep) keeps the node on its sweep list; the sweep is
+// idempotent so the overlap is free.
+func (s *Sharded) SweepDeadNodeRefs(node types.NodeID) int {
+	n := s.Map().NumShards()
+	total := 0
+	complete := true
+	for idx := 0; idx < n; idx++ {
+		if v, ok := scanShard[int](s, idx, MethodSweepDeadRefs, sweepRefsReq{Node: node}); ok {
+			total += v
+		} else {
+			complete = false
+		}
+	}
+	if !complete {
+		return -1
+	}
+	return total
+}
+
 // newOpToken returns a random non-zero idempotency token.
 func newOpToken() uint64 {
 	var b [8]byte

@@ -417,6 +417,7 @@ func (s *Store) EnsureObject(id types.ObjectID, producer types.TaskID) {
 // Ready and fires its ready channel, which is what unblocks dataflow
 // dispatch in every local scheduler waiting on it.
 func (s *Store) AddObjectLocation(id types.ObjectID, node types.NodeID, size int64) {
+	garbage := false
 	s.db.Update(keyObject+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
 		var info types.ObjectInfo
 		if exists {
@@ -433,9 +434,19 @@ func (s *Store) AddObjectLocation(id types.ObjectID, node types.NodeID, size int
 		}
 		info.Size = size
 		info.State = types.ObjectReady
+		garbage = info.EverRetained && info.RefCount == 0
 		return codec.MustEncode(info), true
 	})
 	s.db.Publish(chanObjReady+id.Hex(), id[:])
+	if garbage {
+		// The object's references came and went before its bytes arrived —
+		// possible since batched ledger flushes can deliver a retain+release
+		// "touch" while the producer is still running. Nobody else will ever
+		// publish this object on the GC channel, so the produce does, or the
+		// copy would be stranded forever.
+		s.db.Put(keyGCIdx+id.Hex(), nil)
+		s.db.Publish(chanObjGC, id[:])
+	}
 	s.logEvent(types.Event{Kind: "object-ready", Object: id, Node: node})
 }
 
@@ -565,6 +576,150 @@ func (s *Store) ModifyObjectRefCountOp(id types.ObjectID, delta int64, op uint64
 	return after
 }
 
+// ModifyObjectRefCounts implements API: one node's ledger flush, applied
+// as independent per-object mutations sharing the batch's idempotency
+// token (DESIGN.md §12). The token is recorded in each object's RefOps
+// ring individually, so a crash that commits part of a batch before the
+// ack is lost is repaired exactly by redelivery: already-committed objects
+// dedup on the token, the rest apply. A zero delta is a "touch" — the
+// object was retained and fully released within one flush interval — and
+// carries the retain's semantic obligations (EverRetained, and a GC
+// publish if the count sits at zero) without moving the count. The
+// in-process store cannot fail partially, so the failed set is always nil.
+func (s *Store) ModifyObjectRefCounts(node types.NodeID, deltas map[types.ObjectID]int64, op uint64) []types.ObjectID {
+	for id, delta := range deltas {
+		s.applyLedgerDelta(node, id, delta, op)
+	}
+	return nil
+}
+
+// applyLedgerDelta is one object's share of a ledger flush: the tokened,
+// holder-attributed generalization of ModifyObjectRefCountOp.
+func (s *Store) applyLedgerDelta(node types.NodeID, id types.ObjectID, delta int64, op uint64) {
+	gc := false
+	wasEligible := false
+	after := int64(0)
+	s.db.Update(keyObject+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		var info types.ObjectInfo
+		if exists {
+			var err error
+			info, err = codec.DecodeAs[types.ObjectInfo](cur)
+			if err != nil {
+				return nil, false
+			}
+		} else {
+			info = types.ObjectInfo{ID: id}
+		}
+		if op != 0 {
+			for _, seen := range info.RefOps {
+				if seen == op {
+					// Duplicate delivery of this batch for this object: the
+					// count already moved. Redo only the crash-droppable side
+					// effects (marker + GC publish), as the single-ID path does.
+					gc = info.EverRetained && info.RefCount == 0 && len(info.Locations) > 0
+					after = info.RefCount
+					return nil, false
+				}
+			}
+			info.RefOps = append(info.RefOps, op)
+			if len(info.RefOps) > refOpHistory {
+				info.RefOps = info.RefOps[len(info.RefOps)-refOpHistory:]
+			}
+		}
+		before := info.RefCount
+		wasEligible = info.EverRetained && before == 0
+		info.RefCount += delta
+		if info.RefCount < 0 {
+			info.RefCount = 0
+		}
+		if delta >= 0 {
+			// A positive delta means live references exist; a zero delta is a
+			// touch. Either way the object has now been retained at least once.
+			info.EverRetained = true
+		}
+		if !node.IsNil() && delta != 0 {
+			h := int64(0)
+			if info.Holders != nil {
+				h = info.Holders[node]
+			}
+			h += delta
+			switch {
+			case h > 0:
+				if info.Holders == nil {
+					info.Holders = make(map[types.NodeID]int64, 1)
+				}
+				info.Holders[node] = h
+			case info.Holders != nil:
+				delete(info.Holders, node)
+			}
+		}
+		after = info.RefCount
+		gc = !wasEligible && info.EverRetained && after == 0
+		return codec.MustEncode(info), true
+	})
+	if gc {
+		s.db.Put(keyGCIdx+id.Hex(), nil)
+		s.db.Publish(chanObjGC, id[:])
+		s.logEvent(types.Event{Kind: "object-gc-eligible", Object: id})
+	} else if wasEligible && after > 0 {
+		s.db.Delete(keyGCIdx + id.Hex()) // re-retained from zero
+	}
+}
+
+// SweepDeadNodeRefs implements API: drop every refcount share attributed
+// to node, which died without flushing releases (DESIGN.md §12). Counts a
+// dead node's ledger would eventually have released are subtracted in one
+// pass; objects thereby reaching zero become GC-eligible exactly as if the
+// releases had flushed. The sweep is idempotent — a node's attribution is
+// deleted as it is swept, so concurrent or repeated sweeps (every global
+// scheduler runs one per death it observes) find nothing the second time.
+// Reports how many objects were adjusted.
+func (s *Store) SweepDeadNodeRefs(node types.NodeID) int {
+	if node.IsNil() {
+		return 0
+	}
+	swept := 0
+	for _, k := range s.db.Keys(keyObject) {
+		id, err := types.ParseObjectID(k[len(keyObject):])
+		if err != nil {
+			continue
+		}
+		gc := false
+		adjusted := false
+		s.db.Update(k, func(cur []byte, exists bool) ([]byte, bool) {
+			if !exists {
+				return nil, false
+			}
+			info, err := codec.DecodeAs[types.ObjectInfo](cur)
+			if err != nil {
+				return nil, false
+			}
+			held := info.Holders[node]
+			if held <= 0 {
+				return nil, false
+			}
+			delete(info.Holders, node)
+			before := info.RefCount
+			info.RefCount -= held
+			if info.RefCount < 0 {
+				info.RefCount = 0
+			}
+			adjusted = true
+			gc = before > 0 && info.RefCount == 0
+			return codec.MustEncode(info), true
+		})
+		if adjusted {
+			swept++
+		}
+		if gc {
+			s.db.Put(keyGCIdx+id.Hex(), nil)
+			s.db.Publish(chanObjGC, id[:])
+			s.logEvent(types.Event{Kind: "owner-death-sweep", Object: id, Node: node})
+		}
+	}
+	return swept
+}
+
 // MarkObjectSpilled implements API. The spilled bit qualifies a registered
 // location: object stores publish spill/restore transitions asynchronously
 // (outside their data-plane lock), so a mark can arrive after the location
@@ -691,11 +846,25 @@ func (s *Store) RegisterNode(info types.NodeInfo) {
 	s.logEvent(types.Event{Kind: "node-join", Node: info.ID})
 }
 
+// unloggedUpdater is optionally implemented by the kv layer (kv.Logger)
+// to apply an update without writing it to the WAL. Heartbeats use it:
+// liveness stamps are the highest-churn mutation in the system and purely
+// ephemeral — a recovered shard repopulates them from the next heartbeat
+// within one interval — so logging them would grow the WAL without bound
+// for zero recovery value.
+type unloggedUpdater interface {
+	UpdateUnlogged(key string, fn func(cur []byte, exists bool) ([]byte, bool)) bool
+}
+
 // Heartbeat implements API. Load snapshots feed the global scheduler's
-// placement policy.
+// placement policy. The stamp bypasses the WAL (see unloggedUpdater).
 func (s *Store) Heartbeat(id types.NodeID, queueLen int, avail types.Resources, store types.StoreStats) {
 	now := s.NowNs()
-	s.db.Update(keyNode+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+	update := s.db.Update
+	if u, ok := s.db.(unloggedUpdater); ok {
+		update = u.UpdateUnlogged
+	}
+	update(keyNode+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
 		if !exists {
 			return nil, false
 		}

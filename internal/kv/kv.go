@@ -9,6 +9,7 @@ package kv
 
 import (
 	"hash/fnv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -28,6 +29,41 @@ type shard struct {
 	kvs   map[string][]byte
 	lists map[string][][]byte
 	subs  map[string][]*Subscription // channel name -> subscribers
+	// buckets indexes scalar keys by their table prefix (everything up to
+	// and including the first ':'), so Keys("node:") walks the node table
+	// instead of the whole keyspace. Without it every prefix scan was
+	// O(total keys) — and the node-table scan sits on the global
+	// scheduler's per-placement path, which made placement cost grow with
+	// the number of tasks ever recorded.
+	buckets map[string]map[string]struct{}
+}
+
+// bucketOf returns the prefix bucket a key belongs to: the segment up to
+// and including the first ':' (the table-naming convention every
+// control-plane key follows), or "" for unsegmented keys.
+func bucketOf(key string) string {
+	if i := strings.IndexByte(key, ':'); i >= 0 {
+		return key[:i+1]
+	}
+	return ""
+}
+
+// index adds key to its prefix bucket. Caller holds sh.mu.
+func (sh *shard) index(key string) {
+	b := bucketOf(key)
+	m := sh.buckets[b]
+	if m == nil {
+		m = make(map[string]struct{})
+		sh.buckets[b] = m
+	}
+	m[key] = struct{}{}
+}
+
+// unindex removes key from its prefix bucket. Caller holds sh.mu.
+func (sh *shard) unindex(key string) {
+	if m := sh.buckets[bucketOf(key)]; m != nil {
+		delete(m, key)
+	}
 }
 
 // New creates a store with n shards (n < 1 is treated as 1).
@@ -38,9 +74,10 @@ func New(n int) *Store {
 	s := &Store{shards: make([]*shard, n)}
 	for i := range s.shards {
 		s.shards[i] = &shard{
-			kvs:   make(map[string][]byte),
-			lists: make(map[string][][]byte),
-			subs:  make(map[string][]*Subscription),
+			kvs:     make(map[string][]byte),
+			lists:   make(map[string][][]byte),
+			subs:    make(map[string][]*Subscription),
+			buckets: make(map[string]map[string]struct{}),
 		}
 	}
 	return s
@@ -87,6 +124,9 @@ func (s *Store) Put(key string, value []byte) {
 	copy(v, value)
 	sh := s.shardFor(key)
 	sh.mu.Lock()
+	if _, ok := sh.kvs[key]; !ok {
+		sh.index(key)
+	}
 	sh.kvs[key] = v
 	sh.mu.Unlock()
 }
@@ -103,6 +143,7 @@ func (s *Store) PutIfAbsent(key string, value []byte) bool {
 	if _, ok := sh.kvs[key]; ok {
 		return false
 	}
+	sh.index(key)
 	sh.kvs[key] = v
 	return true
 }
@@ -122,6 +163,9 @@ func (s *Store) Update(key string, fn func(cur []byte, exists bool) (next []byte
 	}
 	v := make([]byte, len(next))
 	copy(v, next)
+	if !exists {
+		sh.index(key)
+	}
 	sh.kvs[key] = v
 	return true
 }
@@ -132,7 +176,10 @@ func (s *Store) Delete(key string) bool {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	_, ok := sh.kvs[key]
-	delete(sh.kvs, key)
+	if ok {
+		delete(sh.kvs, key)
+		sh.unindex(key)
+	}
 	sh.mu.Unlock()
 	return ok
 }
@@ -175,14 +222,26 @@ func (s *Store) ListLen(key string) int {
 }
 
 // Keys returns every scalar key with the given prefix, across all shards.
-// It is a scan intended for inspection tools (R7), not the fast path.
+// A prefix naming a table (containing ':') walks only that table's bucket
+// — O(matches), which is what lets scans like the node table sit on the
+// scheduler's placement path. Prefixes shorter than a full table segment
+// fall back to the whole-keyspace scan.
 func (s *Store) Keys(prefix string) []string {
+	bucket := bucketOf(prefix)
 	var out []string
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		for k := range sh.kvs {
-			if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
-				out = append(out, k)
+		if bucket != "" {
+			for k := range sh.buckets[bucket] {
+				if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+					out = append(out, k)
+				}
+			}
+		} else {
+			for k := range sh.kvs {
+				if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+					out = append(out, k)
+				}
 			}
 		}
 		sh.mu.Unlock()

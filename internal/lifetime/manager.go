@@ -46,13 +46,20 @@ func (m *Manager) Reclaimed() int64 { return m.reclaimed.Load() }
 
 // Referenced reports whether the object still has live references anywhere
 // in the cluster; the store consults it when deciding spill-versus-drop.
-// Unknown objects count as unreferenced (nothing can hold a reference to
-// an object the control plane has never seen) — but a failed lookup with
-// the control plane unreachable (a GCS shard mid-failover) counts as
-// referenced: dropping on uncertainty would turn "spill referenced data"
-// into "delete referenced data", unrecoverable for lineage-less Put
-// objects. Same conservative rule as the spill queue's borrow bridge.
+// This node's own ledger is checked first — it is the authority for the
+// local share of the count and may be ahead of the GCS's flushed view, so
+// a locally-held object is referenced no matter what the control plane
+// says (and the common case costs no RPC at all). Otherwise unknown
+// objects count as unreferenced (nothing can hold a reference to an object
+// the control plane has never seen) — but a failed lookup with the control
+// plane unreachable (a GCS shard mid-failover) counts as referenced:
+// dropping on uncertainty would turn "spill referenced data" into "delete
+// referenced data", unrecoverable for lineage-less Put objects. Same
+// conservative rule as the spill queue's borrow bridge.
 func (m *Manager) Referenced(id types.ObjectID) bool {
+	if m.tracker.Held(id) > 0 {
+		return true
+	}
 	info, ok := m.ctrl.GetObject(id)
 	if ok {
 		return info.RefCount > 0
@@ -63,16 +70,34 @@ func (m *Manager) Referenced(id types.ObjectID) bool {
 	return false
 }
 
-// Start subscribes to the GC channel and launches the collection loop.
+// Start subscribes to the GC channel, switches the tracker to batched
+// ledger mode attributed to this node, and launches the collection loop.
 func (m *Manager) Start() {
+	m.tracker.SetNode(m.store.Node())
+	m.tracker.Start()
 	m.sub = m.ctrl.SubscribeObjectGC()
 	m.wg.Add(1)
 	go m.run()
 }
 
-// Stop halts collection.
+// Stop halts collection after a final ledger flush (graceful shutdown).
 func (m *Manager) Stop() {
 	m.stopOnce.Do(func() {
+		m.tracker.Stop()
+		close(m.stop)
+		if m.sub != nil {
+			m.sub.Close()
+		}
+		m.wg.Wait()
+	})
+}
+
+// Kill halts the subsystem as a crash would: the tracker's unflushed
+// deltas are abandoned, not flushed — the control plane's owner-death
+// sweep reconciles whatever this node's ledger had already published.
+func (m *Manager) Kill() {
+	m.stopOnce.Do(func() {
+		m.tracker.Abandon()
 		close(m.stop)
 		if m.sub != nil {
 			m.sub.Close()
@@ -111,6 +136,12 @@ func (m *Manager) run() {
 // (waiters of an in-flight restore are still served the bytes — a valid
 // "Get before Delete" serialization).
 func (m *Manager) maybeReclaim(id types.ObjectID) {
+	if m.tracker.Held(id) > 0 {
+		// The local ledger holds an unflushed reference: the GCS's zero was
+		// stale the moment it published. Skip — the eventual release will
+		// re-trigger GC.
+		return
+	}
 	info, ok := m.ctrl.GetObject(id)
 	if !ok || info.RefCount > 0 {
 		return

@@ -185,8 +185,13 @@ func (m *Migrator) migrateOne(ctx context.Context, id types.ObjectID) (bool, err
 		}
 	}
 	// Hold a borrow across the push so a concurrent release elsewhere
-	// cannot let the GC reclaim the object mid-transfer.
+	// cannot let the GC reclaim the object mid-transfer. The borrow must be
+	// visible cluster-wide BEFORE the peer registers its location — a
+	// pending-only retain would let the destination's manager see a stale
+	// zero and reclaim the copy it just accepted — so this is one of the
+	// few paths that flushes the ledger inline.
 	m.refs.Retain(id)
+	m.refs.Flush()
 	defer m.refs.Release(id)
 	targets := m.targets()
 	if len(targets) == 0 {

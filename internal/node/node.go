@@ -634,8 +634,12 @@ func (n *Node) Kill() {
 	n.stopOnce.Do(func() {
 		n.dead.Store(true)
 		close(n.stop)
+		// Abandon the reference ledger FIRST: unflushed deltas die with the
+		// process (and the dead-latch stops the scheduler teardown below
+		// from flushing its releases — a crashed node cannot release). The
+		// owner-death sweep reconciles what this node had already flushed.
+		n.life.Kill()
 		n.sched.Stop()
-		n.life.Stop()
 		if n.listener != nil {
 			n.listener.Close()
 		}

@@ -70,6 +70,11 @@ type Global struct {
 	// transiently, so rollbacks never strand a reservation (value:
 	// the release's removed flag).
 	releaseRetry map[releaseKey]bool
+	// refSwept remembers dead nodes whose refcount shares have been swept
+	// from the object table (DESIGN.md §12). A node stays unswept — and is
+	// retried by every membership event and sweep tick — until the
+	// idempotent sweep reports it covered the whole table.
+	refSwept map[types.NodeID]bool
 
 	spillSub gcs.Sub
 	nodeSub  gcs.Sub
@@ -101,6 +106,7 @@ func NewGlobal(cfg GlobalConfig) *Global {
 		reapedGroups: make(map[types.PlacementGroupID]bool),
 		probeAt:      make(map[types.PlacementGroupID]time.Time),
 		releaseRetry: make(map[releaseKey]bool),
+		refSwept:     make(map[types.NodeID]bool),
 	}
 }
 
@@ -180,6 +186,7 @@ func (g *Global) run() {
 				continue
 			}
 			drain(nodeC)     // coalesce membership bursts into one pass
+			g.sweepDeadOwners()
 			g.gangPass(true) // membership changed: place/roll back groups first
 			g.retryParked()
 		case _, ok := <-groupC:
@@ -198,6 +205,7 @@ func (g *Global) run() {
 			g.retryParked()
 		case <-sweep:
 			g.sweepPending()
+			g.sweepDeadOwners()
 		case <-g.stop:
 			return
 		}
@@ -219,6 +227,32 @@ func (g *Global) sweepPending() {
 			continue
 		}
 		g.place(spec)
+	}
+}
+
+// sweepDeadOwners reconciles refcount shares owned by dead nodes: a node
+// that crashed with unflushed releases leaves its flushed retains in the
+// object table forever, so the control plane subtracts every share
+// attributed to it (SweepDeadNodeRefs), publishing GC for objects only the
+// dead node kept alive. The sweep is idempotent and retried until it
+// reports full coverage (a shard mid-failover returns a negative count),
+// so a node is marked swept exactly once the whole table has been walked.
+func (g *Global) sweepDeadOwners() {
+	for _, n := range g.cfg.Ctrl.Nodes() {
+		if n.Alive {
+			continue
+		}
+		g.mu.Lock()
+		done := g.refSwept[n.ID]
+		g.mu.Unlock()
+		if done {
+			continue
+		}
+		if g.cfg.Ctrl.SweepDeadNodeRefs(n.ID) >= 0 {
+			g.mu.Lock()
+			g.refSwept[n.ID] = true
+			g.mu.Unlock()
+		}
 	}
 }
 

@@ -44,10 +44,15 @@ type Prefetcher interface {
 // RefLedger records task-argument borrows: while a task is queued or
 // running here, its dependency objects hold an extra reference so the
 // lifetime GC cannot reclaim them out from under the dispatcher.
-// lifetime.Tracker is the production implementation.
+// lifetime.Tracker is the production implementation. Retain and Release
+// are local ledger appends; Flush pushes the ledger to the control plane
+// and is called on the handoff edges where another node's release must
+// not be able to outrun this node's retain (enqueue before the QUEUED
+// stamp, the spill bridge before the respill publish).
 type RefLedger interface {
 	Retain(ids ...types.ObjectID)
 	Release(ids ...types.ObjectID)
+	Flush() bool
 }
 
 // ErrStopped is returned for submissions to a stopped scheduler.
@@ -205,11 +210,14 @@ func (l *Local) Start() {
 	go l.dispatchLoop()
 }
 
-// Stop halts dispatching and abandons queued work (node crash or
-// shutdown). Abandoned tasks' argument borrows are not individually
-// released here; a graceful Node.Shutdown settles them wholesale via the
-// tracker's ReleaseAll, while a crash leaves them held — conservative for
-// the data, reconciled by a future node monitor.
+// Stop halts dispatching and abandons queued work (node shutdown). Every
+// abandoned task's enqueue-time argument borrows are returned through the
+// ledger and flushed, so a standalone scheduler Stop leaves refcounts
+// exactly where they would be had the tasks never been enqueued — without
+// this, queued tasks' dependencies stayed retained forever and the
+// cluster GC could never reclaim them. Tasks already dispatched are not
+// touched: runTask's deferred release settles those, and wg.Wait below
+// lets them finish doing so.
 func (l *Local) Stop() {
 	l.mu.Lock()
 	if l.stopped {
@@ -217,10 +225,24 @@ func (l *Local) Stop() {
 		return
 	}
 	l.stopped = true
+	var abandoned []types.TaskSpec
+	for _, t := range l.runnable {
+		abandoned = append(abandoned, t.spec)
+	}
 	l.runnable = nil
-	l.waiting = make(map[types.TaskID]*waitingTask)
+	for id, w := range l.waiting {
+		abandoned = append(abandoned, w.spec)
+		delete(l.waiting, id)
+		close(w.cancel) // stop its resolvers' polling and fetching
+	}
 	l.mu.Unlock()
 	close(l.stop)
+	if l.cfg.Refs != nil && len(abandoned) > 0 {
+		for _, spec := range abandoned {
+			l.cfg.Refs.Release(spec.Deps()...)
+		}
+		l.cfg.Refs.Flush()
+	}
 	l.wg.Wait()
 }
 
@@ -372,6 +394,11 @@ func (l *Local) bridgeSpill(spec types.TaskSpec) {
 		return
 	}
 	l.cfg.Refs.Retain(deps...)
+	// The bridge borrow must be in the control plane's count before the
+	// caller publishes the respill: the moment the spill is visible, the
+	// driver (or a previous holder) may release, and a pending-only retain
+	// would let that release race the count to zero.
+	l.cfg.Refs.Flush()
 	l.wg.Add(1)
 	go l.releaseBridge(spec.ID, deps)
 }
@@ -587,20 +614,27 @@ func (l *Local) enqueue(spec types.TaskSpec) {
 			}
 		}
 	}
+	// Borrow the dependencies for the lifetime of this enqueue: the matching
+	// release happens at the end of runTask. A task re-enqueued from
+	// runTask's evicted-args path borrows again before that release fires,
+	// so the count never dips to zero while the task is anywhere in the
+	// pipeline. The borrows flush BEFORE the QUEUED stamp below: the stamp
+	// is what lets a previous holder's spill bridge drop its borrow, so this
+	// node's share must already be in the control plane's count — and one
+	// batched flush covers the whole dependency set, which is why parking
+	// cost stays flat in the number of dependencies.
+	if l.cfg.Refs != nil {
+		if deps := spec.Deps(); len(deps) > 0 {
+			l.cfg.Refs.Retain(deps...)
+			l.cfg.Refs.Flush()
+		}
+	}
 	// Stamp this node as the task's current holder. If this node dies with
 	// the task still queued, the task table points at a dead node and any
 	// consumer's reconstruction check will re-own the task (R6); without
 	// the stamp, a task queued-but-not-dispatched on a dead node would be
 	// invisible.
 	l.cfg.Ctrl.SetTaskStatus(spec.ID, types.TaskQueued, l.cfg.Node, types.NilWorkerID, "")
-	// Borrow the dependencies for the lifetime of this enqueue: the matching
-	// release happens at the end of runTask. A task re-enqueued from
-	// runTask's evicted-args path borrows again before that release fires,
-	// so the count never dips to zero while the task is anywhere in the
-	// pipeline.
-	if l.cfg.Refs != nil {
-		l.cfg.Refs.Retain(spec.Deps()...)
-	}
 	missing := make(map[types.ObjectID]bool)
 	var missingList []types.ObjectID
 	for _, dep := range spec.Deps() {
@@ -703,6 +737,18 @@ func (l *Local) depSatisfied(task types.TaskID, obj types.ObjectID) {
 		return
 	}
 	delete(w.missing, obj)
+	// One wake clears every dependency that has already landed, not just
+	// its own: under a busy runqueue the per-dependency resolver goroutines
+	// each wait for a timeslice, so clearing strictly one-per-wake makes
+	// the park→scheduled edge grow linearly in dependency count even when
+	// all the objects are long since local. The sweep costs one local
+	// store lookup per still-missing dep; the bypassed resolvers find
+	// their object present on their next wake and exit.
+	for dep := range w.missing {
+		if l.cfg.Store.Contains(dep) {
+			delete(w.missing, dep)
+		}
+	}
 	if len(w.missing) > 0 {
 		l.mu.Unlock()
 		return

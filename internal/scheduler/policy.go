@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"math/rand"
 	"sync/atomic"
 
 	"repro/internal/types"
@@ -45,10 +46,22 @@ func (LocalityPolicy) Pick(spec types.TaskSpec, nodes []NodeSnapshot) (types.Nod
 	if len(nodes) == 0 {
 		return types.NilNodeID, false
 	}
-	best := 0
+	// Full ties are broken uniformly at random (reservoir over the tied
+	// prefix winner). Heartbeat state is stale by design, so a burst of
+	// placements between refreshes sees identical snapshots; a
+	// deterministic "first candidate" tie-break would herd that whole
+	// burst onto one node, which is exactly the load imbalance the global
+	// scheduler exists to avoid.
+	best, ties := 0, 1
 	for i := 1; i < len(nodes); i++ {
-		if betterLocality(&nodes[i], &nodes[best]) {
-			best = i
+		switch {
+		case betterLocality(&nodes[i], &nodes[best]):
+			best, ties = i, 1
+		case !betterLocality(&nodes[best], &nodes[i]):
+			ties++
+			if rand.Intn(ties) == 0 {
+				best = i
+			}
 		}
 	}
 	return nodes[best].Info.ID, true

@@ -372,6 +372,25 @@ func TestLocalityPolicyTieBreaksByCPU(t *testing.T) {
 	}
 }
 
+// TestLocalityPolicySpreadsFullTies: when every candidate looks identical
+// (the stale-heartbeat burst case), repeated picks must not herd onto a
+// single node.
+func TestLocalityPolicySpreadsFullTies(t *testing.T) {
+	p := LocalityPolicy{}
+	nodes := []NodeSnapshot{snap(1, 2, 0, 0), snap(2, 2, 0, 0), snap(3, 2, 0, 0), snap(4, 2, 0, 0)}
+	picked := map[types.NodeID]bool{}
+	for i := 0; i < 200; i++ {
+		id, ok := p.Pick(types.TaskSpec{}, nodes)
+		if !ok {
+			t.Fatal("no pick")
+		}
+		picked[id] = true
+	}
+	if len(picked) < 2 {
+		t.Fatalf("200 tied picks all landed on one node: %v", picked)
+	}
+}
+
 func TestLeastLoadedPolicy(t *testing.T) {
 	p := LeastLoadedPolicy{}
 	nodes := []NodeSnapshot{snap(1, 8, 5, 0), snap(2, 1, 1, 0)}

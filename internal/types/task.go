@@ -195,6 +195,13 @@ type ObjectInfo struct {
 	// the (possibly restarted) shard recognizes it instead of applying the
 	// delta twice. Durable with the record, so dedup survives failover.
 	RefOps []uint64
+	// Holders attributes RefCount to the nodes whose ledger flushes
+	// contributed it (DESIGN.md §12). When a node dies without releasing,
+	// the owner-death sweep subtracts its attributed share instead of
+	// leaking the count forever. Deltas flushed without a node identity
+	// (legacy single-ID path, direct API users) are attributed to the zero
+	// NodeID and stay unswept — the pre-ownership conservative behaviour.
+	Holders map[NodeID]int64
 	// SpilledOn lists the subset of Locations where the copy lives on the
 	// node's disk spill tier rather than in memory. Pulling from a memory
 	// location is cheaper, so placement and transfer both prefer them.
