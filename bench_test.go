@@ -297,6 +297,62 @@ func BenchmarkTaskThroughput(b *testing.B) {
 	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "tasks/sec")
 }
 
+// BenchmarkOwnerTransferLatency measures the owner-death transfer protocol
+// (E24, DESIGN.md §13) end to end: a burst of in-flight tasks is spread
+// across the cluster, one non-driver node is crash-failed while it owns
+// live tenures, and the timed window runs from the kill to every result
+// being back in the driver's hands — death verdict, the global scheduler's
+// transfer pass (follower scan, tenure-release CAS, re-place), successor
+// claims, and re-execution. The transfers/op metric reports how many
+// tenures the dead owner actually held, so ms/op can be read against real
+// transfer work rather than an empty kill.
+func BenchmarkOwnerTransferLatency(b *testing.B) {
+	reg := core.NewRegistry()
+	reg.Register("transfer.sleep", func(tc *core.TaskContext, args [][]byte) ([][]byte, error) {
+		time.Sleep(10 * time.Millisecond)
+		return [][]byte{nil}, nil
+	})
+	ctx := context.Background()
+	var transfers int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := cluster.New(cluster.Config{
+			Nodes: 3, NodeResources: types.CPU(4), Registry: reg,
+			SpillThreshold: cluster.SpillThresholdOf(0),
+			GlobalPolicy:   &scheduler.RoundRobinPolicy{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := c.Driver()
+		const tasks = 24
+		refs := make([]core.ObjectRef, tasks)
+		for k := 0; k < tasks; k++ {
+			ref, err := d.Submit1(core.Call{Function: "transfer.sleep", Resources: types.CPU(1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			refs[k] = ref
+		}
+		time.Sleep(5 * time.Millisecond) // let tenures land on the victim
+		b.StartTimer()
+		c.KillNode(2)
+		if _, _, err := d.Wait(ctx, refs, tasks, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		for _, ev := range c.Ctrl.Events() {
+			if ev.Kind == "owner-transfer" {
+				transfers++
+			}
+		}
+		c.Shutdown()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(transfers)/float64(b.N), "transfers/op")
+}
+
 // BenchmarkParkToScheduledLatency measures the dependency-resolution hot
 // path (E23): a consumer parks on deps dependencies of which deps-1 are
 // already ready and exactly one is a gated producer that finishes last, in

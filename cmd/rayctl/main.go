@@ -5,7 +5,7 @@
 //
 //	rayctl -addr http://127.0.0.1:8265 overview
 //	rayctl -addr http://127.0.0.1:8265 nodes
-//	rayctl -addr http://127.0.0.1:8265 tasks
+//	rayctl -addr http://127.0.0.1:8265 tasks [task-id-hex]
 //	rayctl -addr http://127.0.0.1:8265 objects
 //	rayctl -addr http://127.0.0.1:8265 groups
 //	rayctl -addr http://127.0.0.1:8265 autoscale
@@ -45,7 +45,11 @@ func main() {
 	case "nodes":
 		printNodes(fetch(*addr + "/api/nodes"))
 	case "tasks":
-		printTasks(fetch(*addr + "/api/tasks"))
+		if id := flag.Arg(1); id != "" {
+			printTaskDetail(fetch(*addr + "/api/tasks?id=" + id))
+		} else {
+			printTasks(fetch(*addr + "/api/tasks"))
+		}
 	case "objects":
 		printObjects(fetch(*addr + "/api/objects"))
 	case "shards":
@@ -173,21 +177,68 @@ func drainNode(addr, idHex string) {
 	fmt.Printf("node %s marked DRAINING; it will migrate its objects and deregister\n", idHex)
 }
 
+// taskRow mirrors dashboard.TaskView.
+type taskRow struct {
+	ID       string  `json:"id"`
+	IDHex    string  `json:"id_hex"`
+	Function string  `json:"function"`
+	Status   string  `json:"status"`
+	Node     string  `json:"node"`
+	Owner    string  `json:"owner"`
+	OwnerSeq uint64  `json:"owner_seq"`
+	Error    string  `json:"error"`
+	Retries  int     `json:"retries"`
+	E2EMs    float64 `json:"e2e_ms"`
+	AgeMs    float64 `json:"last_transition_age_ms"`
+}
+
 func printTasks(body []byte) {
-	var tasks []struct {
-		ID       string  `json:"id"`
-		Function string  `json:"function"`
-		Status   string  `json:"status"`
-		Node     string  `json:"node"`
-		Error    string  `json:"error"`
-		E2EMs    float64 `json:"e2e_ms"`
-	}
+	var tasks []taskRow
 	must(json.Unmarshal(body, &tasks))
-	tbl := stats.Table{Header: []string{"task", "function", "status", "node", "e2e-ms", "error"}}
+	tbl := stats.Table{Header: []string{"task", "function", "status", "owner", "retries", "age-ms", "e2e-ms", "error", "id-hex"}}
 	for _, t := range tasks {
-		tbl.AddRow(t.ID, t.Function, t.Status, t.Node, fmt.Sprintf("%.3f", t.E2EMs), t.Error)
+		tbl.AddRow(t.ID, t.Function, t.Status, t.Owner, t.Retries,
+			fmt.Sprintf("%.1f", t.AgeMs), fmt.Sprintf("%.3f", t.E2EMs), t.Error, t.IDHex)
 	}
 	tbl.Render(os.Stdout)
+}
+
+// printTaskDetail renders `rayctl tasks <id-hex>`: one task's row plus its
+// full transition timeline, from /api/tasks?id=.
+func printTaskDetail(body []byte) {
+	var d struct {
+		taskRow
+		Parent      string `json:"parent"`
+		Worker      string `json:"worker"`
+		MaxRetries  int    `json:"max_retries"`
+		SubmittedNs int64  `json:"submitted_ns"`
+		ScheduledNs int64  `json:"scheduled_ns"`
+		StartedNs   int64  `json:"started_ns"`
+		FinishedNs  int64  `json:"finished_ns"`
+	}
+	must(json.Unmarshal(body, &d))
+	fmt.Printf("task %s (%s)\n", d.ID, d.IDHex)
+	fmt.Printf("function: %s  status: %s  node: %s\n", d.Function, d.Status, d.Node)
+	fmt.Printf("owner: %s  owner-seq: %d  retries: %d/%d  in state for: %.1fms\n",
+		d.Owner, d.OwnerSeq, d.Retries, d.MaxRetries, d.AgeMs)
+	if d.Parent != "" {
+		fmt.Printf("parent: %s\n", d.Parent)
+	}
+	if d.Worker != "" {
+		fmt.Printf("worker: %s\n", d.Worker)
+	}
+	stamp := func(label string, ns int64) {
+		if ns > 0 {
+			fmt.Printf("%-10s %d ns\n", label+":", ns)
+		}
+	}
+	stamp("submitted", d.SubmittedNs)
+	stamp("scheduled", d.ScheduledNs)
+	stamp("started", d.StartedNs)
+	stamp("finished", d.FinishedNs)
+	if d.Error != "" {
+		fmt.Printf("error: %s\n", d.Error)
+	}
 }
 
 func printObjects(body []byte) {

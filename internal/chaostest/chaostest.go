@@ -7,11 +7,14 @@
 // scans, so every conclusion requires all shards answering (gcs.Pinger),
 // otherwise a poll landing in the kill window would pass vacuously.
 //
-// The three invariants:
+// The invariants:
 //
 //   - Refcount conservation: after all handles are released, no object
 //     anywhere still carries a reference — a retain accepted before a
 //     crash is never forgotten, and every release eventually lands.
+//   - Task-state conservation: every submitted task eventually reaches
+//     exactly one terminal state in the follower task table, across owner
+//     deaths, ownership transfers, and shard crashes (DESIGN.md §13).
 //   - Bundle-pool accounting: a quiescent node's books balance — zero
 //     bundle reservations, availability equal to total capacity (checked
 //     against scheduler.Local.Accounting, the same surface the gang
@@ -146,6 +149,55 @@ func (c *Checker) conservationViolations(ledgers map[string]Ledger) []string {
 		if flushed[id]+unflushed[id] != held[id] {
 			bad = append(bad, fmt.Sprintf("%v: flushed=%d unflushed=%d held=%d",
 				id, flushed[id], unflushed[id], held[id]))
+		}
+	}
+	return bad
+}
+
+// AwaitTaskConservation asserts the owner-based task-state protocol's
+// conservation law (DESIGN.md §13): once the workload quiesces and owner
+// ledgers settle their flushes, every task the cluster admitted is in the
+// follower table in exactly one terminal state (FINISHED, FAILED, or LOST)
+// — no task is forgotten mid-ownership-tenure, left claimed by a dead
+// owner, or stranded non-terminal by a fence that consumed its final
+// delta. Chaos can legitimately leave a task mid-replay at any instant, so
+// the assertion is an await; and since a dead shard's rows vanish from
+// fan-out scans, it only concludes on a complete shard view. Pass the IDs
+// of every submitted root task; lineage replays and retries collapse onto
+// the same records, so the expected terminal count is exactly len(ids).
+func (c *Checker) AwaitTaskConservation(t testing.TB, within time.Duration, ids []types.TaskID) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		up := c.shardsUp()
+		bad := c.taskConservationViolations(ids)
+		if up && len(bad) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("chaostest: task-state conservation violated for %d/%d tasks (all shards up: %v): %v",
+				len(bad), len(ids), up, bad)
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// taskConservationViolations scans the follower table and describes every
+// submitted task that is absent or not yet in a terminal state.
+func (c *Checker) taskConservationViolations(ids []types.TaskID) []string {
+	table := make(map[types.TaskID]types.TaskState)
+	for _, ts := range c.api.Tasks() {
+		table[ts.Spec.ID] = ts
+	}
+	var bad []string
+	for _, id := range ids {
+		st, ok := table[id]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%v: missing from the task table", id))
+			continue
+		}
+		if !st.Status.Terminal() {
+			bad = append(bad, fmt.Sprintf("%v: %v (owner %v seq %d)", id, st.Status, st.Owner, st.OwnerSeq))
 		}
 	}
 	return bad

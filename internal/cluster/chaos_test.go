@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"reflect"
 	"testing"
 	"time"
 
@@ -392,14 +393,32 @@ func TestShardFailoverDurableState(t *testing.T) {
 	phase2 := submit(10, 6)
 	get(phase2, 10)
 
-	// Freeze the pre-kill truth.
-	preTasks := make(map[string]types.TaskStatus)
-	for _, ts := range c.API.Tasks() {
-		preTasks[ts.Spec.ID.Hex()] = ts.Status
+	// Freeze the pre-kill truth. Owner ledgers flush task state and
+	// refcounts asynchronously, so "committed" means quiescent: snapshot
+	// repeatedly until two consecutive reads agree, so the freeze can't
+	// catch a flush mid-flight and mistake follower lag for lost state.
+	snapshot := func() (map[string]types.TaskStatus, map[string]int64) {
+		tasks := make(map[string]types.TaskStatus)
+		for _, ts := range c.API.Tasks() {
+			tasks[ts.Spec.ID.Hex()] = ts.Status
+		}
+		refs := make(map[string]int64)
+		for _, o := range c.API.Objects() {
+			refs[o.ID.Hex()] = o.RefCount
+		}
+		return tasks, refs
 	}
-	preRefs := make(map[string]int64)
-	for _, o := range c.API.Objects() {
-		preRefs[o.ID.Hex()] = o.RefCount
+	preTasks, preRefs := snapshot()
+	for settle := time.Now().Add(10 * time.Second); ; {
+		time.Sleep(10 * time.Millisecond)
+		tasks, refs := snapshot()
+		if reflect.DeepEqual(tasks, preTasks) && reflect.DeepEqual(refs, preRefs) {
+			break
+		}
+		preTasks, preRefs = tasks, refs
+		if time.Now().After(settle) {
+			t.Fatal("pre-kill table never quiesced")
+		}
 	}
 	preNow := c.API.NowNs()
 	if len(preTasks) != 12 {

@@ -78,6 +78,26 @@ func TestDataflowOrderingInvariant(t *testing.T) {
 		t.Fatalf("only %d/%d tasks completed", len(ready), len(all))
 	}
 
+	// Owner-side futures resolve from the owner's ledger, so Wait can
+	// return a flush interval before the last FINISHED delta lands in the
+	// follower table (DESIGN.md §13). Let the follower settle first.
+	settle := time.Now().Add(10 * time.Second)
+	for {
+		lagging := false
+		for _, ts := range c.Ctrl.Tasks() {
+			if ts.Status != types.TaskFinished {
+				lagging = true
+			}
+		}
+		if !lagging {
+			break
+		}
+		if time.Now().After(settle) {
+			break // fall through; the assertion below names the culprit
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
 	// Verify the invariant from control-plane records alone.
 	tl := profile.Build(c.Ctrl)
 	finishByTask := make(map[types.TaskID]int64)

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/chaostest"
+	"repro/internal/core"
+	"repro/internal/scheduler"
+	"repro/internal/types"
+)
+
+// TestOwnerTransferOwnerKillMidBurst kills a node mid-burst while it owns
+// live task tenures (tasks it claimed via spill placement) and asserts the
+// owner-death transfer protocol end to end (DESIGN.md §13): the global
+// scheduler reads the dead owner's live tasks from the follower table,
+// releases each tenure back into the PENDING pool — bumping the fence so
+// straggler deltas from the dead ledger are consumed — and re-places them.
+// Every result must come back correct, and the task table must conserve
+// task state: each submitted task ends in exactly one terminal record.
+func TestOwnerTransferOwnerKillMidBurst(t *testing.T) {
+	reg := core.NewRegistry()
+	step := core.Register1(reg, "own.step", func(tc *core.TaskContext, x int) (int, error) {
+		time.Sleep(2 * time.Millisecond) // long enough for the kill to land mid-tenure
+		return x + 7, nil
+	})
+	c, err := New(Config{
+		Nodes:          4,
+		NodeResources:  types.CPU(2),
+		Registry:       reg,
+		SpillThreshold: SpillThresholdOf(0),
+		GlobalPolicy:   &scheduler.RoundRobinPolicy{}, // spread tenures onto the victim
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	d := c.Driver()
+
+	const tasks = 24
+	refs := make([]core.Ref[int], tasks)
+	ids := make([]types.TaskID, tasks)
+	for i := 0; i < tasks; i++ {
+		ref, err := step.Remote(d, i*10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+		ids[i] = ref.Untyped().Task
+		if ids[i].IsNil() {
+			t.Fatalf("submit %d returned a ref with no task identity", i)
+		}
+	}
+
+	// Kill a non-driver node while the burst executes: tasks it claimed die
+	// with their owner's ledger and must be re-owned by successors.
+	go func() {
+		time.Sleep(4 * time.Millisecond)
+		c.KillNode(2)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i, ref := range refs {
+		v, err := core.Get(ctx, d, ref)
+		if err != nil {
+			t.Fatalf("task %d after owner kill: %v", i, err)
+		}
+		if want := i*10 + 7; v != want {
+			t.Fatalf("task %d = %d, want %d", i, v, want)
+		}
+	}
+
+	// Task-state conservation: every submitted task reaches exactly one
+	// terminal record in the follower table — none stranded mid-tenure on
+	// the dead owner, none forgotten by the transfer.
+	chaostest.New(c.Ctrl).AwaitTaskConservation(t, 20*time.Second, ids)
+}
+
+// TestOwnerTransferCommitThenDie drives the narrower commit-then-die
+// window at cluster scope: the owner's ledger flushes a terminal FINISHED
+// delta for a task (commit), then the owner dies. The transfer pass must
+// NOT resurrect the finished task — its CAS only releases live tenures —
+// and conservation must still hold for everything the dead node owned.
+func TestOwnerTransferCommitThenDie(t *testing.T) {
+	reg := core.NewRegistry()
+	quick := core.Register1(reg, "own.quick", func(tc *core.TaskContext, x int) (int, error) {
+		return x * 3, nil
+	})
+	c, err := New(Config{
+		Nodes:          3,
+		NodeResources:  types.CPU(2),
+		Registry:       reg,
+		SpillThreshold: SpillThresholdOf(0),
+		GlobalPolicy:   &scheduler.RoundRobinPolicy{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	d := c.Driver()
+
+	const tasks = 12
+	refs := make([]core.Ref[int], tasks)
+	ids := make([]types.TaskID, tasks)
+	for i := 0; i < tasks; i++ {
+		ref, err := quick.Remote(d, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+		ids[i] = ref.Untyped().Task
+	}
+
+	// Let the burst finish and the owners' FINISHED deltas flush, then
+	// kill a node that owned some of the (already terminal) tenures.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	raw := make([]core.ObjectRef, tasks)
+	for i, r := range refs {
+		raw[i] = r.Untyped()
+	}
+	if _, _, err := d.Wait(ctx, raw, tasks, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Pull every result BEFORE the kill: a Get afterwards could trigger
+	// lineage reconstruction of objects lost with the node, which
+	// legitimately re-runs tasks — not the window under test.
+	for i, ref := range refs {
+		v, err := core.Get(ctx, d, ref)
+		if err != nil {
+			t.Fatalf("task %d before kill: %v", i, err)
+		}
+		if v != i*3 {
+			t.Fatalf("task %d = %d, want %d", i, v, i*3)
+		}
+	}
+	chaostest.New(c.Ctrl).AwaitTaskConservation(t, 20*time.Second, ids)
+	before := map[types.TaskID]int64{}
+	for _, ts := range c.Ctrl.Tasks() {
+		before[ts.Spec.ID] = ts.FinishedNs
+	}
+	c.KillNode(1)
+
+	// Wait for the death verdict, so the membership event (and with it the
+	// transfer pass) has fired before the no-resurrection check.
+	victim := c.Node(1).ID()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		info, ok := c.Ctrl.GetNode(victim)
+		if ok && !info.Alive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("victim never marked dead")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond) // let the transfer pass complete
+
+	// Finished records must keep their terminal state and timestamps — the
+	// transfer's CAS only releases live tenures, never terminal ones.
+	chaostest.New(c.Ctrl).AwaitTaskConservation(t, 20*time.Second, ids)
+	for _, ts := range c.Ctrl.Tasks() {
+		if fin, ok := before[ts.Spec.ID]; ok && ts.FinishedNs != fin {
+			t.Fatalf("task %v resurrected by the owner-death transfer: finish %d -> %d",
+				ts.Spec.ID, fin, ts.FinishedNs)
+		}
+	}
+}

@@ -28,10 +28,11 @@ const tagBin = 0x04
 
 // Type bytes following tagBin.
 const (
-	binObjectInfo = 0x01
-	binTaskState  = 0x02
-	binTaskSpec   = 0x03
-	binNodeInfo   = 0x04
+	binObjectInfo      = 0x01
+	binTaskState       = 0x02
+	binTaskSpec        = 0x03
+	binNodeInfo        = 0x04
+	binTaskLedgerBatch = 0x05
 )
 
 // encodeFast serializes the hot types; ok=false means "not a fast type,
@@ -54,6 +55,10 @@ func encodeFast(v any) ([]byte, bool) {
 		return appendNodeInfo([]byte{tagBin, binNodeInfo}, &x), true
 	case *types.NodeInfo:
 		return appendNodeInfo([]byte{tagBin, binNodeInfo}, x), true
+	case types.TaskLedgerBatch:
+		return appendTaskLedgerBatch([]byte{tagBin, binTaskLedgerBatch}, &x), true
+	case *types.TaskLedgerBatch:
+		return appendTaskLedgerBatch([]byte{tagBin, binTaskLedgerBatch}, x), true
 	}
 	return nil, false
 }
@@ -90,6 +95,12 @@ func decodeFast(data []byte, out any) error {
 			return fmt.Errorf("codec: binary NodeInfo payload into %T", out)
 		}
 		*p, err = r.nodeInfo()
+	case binTaskLedgerBatch:
+		p, ok := out.(*types.TaskLedgerBatch)
+		if !ok {
+			return fmt.Errorf("codec: binary TaskLedgerBatch payload into %T", out)
+		}
+		*p, err = r.taskLedgerBatch()
 	default:
 		return fmt.Errorf("codec: unknown binary type 0x%02x", data[0])
 	}
@@ -160,6 +171,35 @@ func appendTaskState(b []byte, t *types.TaskState) []byte {
 	b = binary.AppendVarint(b, t.FinishedNs)
 	b = binary.AppendVarint(b, t.LastTransitionNs)
 	b = appendU64s(b, t.MutOps)
+	b = append(b, t.Owner[:]...)
+	b = binary.AppendUvarint(b, t.OwnerSeq)
+	return b
+}
+
+func appendTaskStateDelta(b []byte, d *types.TaskStateDelta) []byte {
+	b = append(b, d.ID[:]...)
+	b = append(b, d.Owner[:]...)
+	b = binary.AppendUvarint(b, d.Seq)
+	b = binary.AppendVarint(b, int64(d.Status))
+	b = append(b, d.Node[:]...)
+	b = append(b, d.Worker[:]...)
+	b = appendString(b, d.Error)
+	b = binary.AppendVarint(b, int64(d.Retries))
+	b = binary.AppendVarint(b, d.SubmittedNs)
+	b = binary.AppendVarint(b, d.ScheduledNs)
+	b = binary.AppendVarint(b, d.StartedNs)
+	b = binary.AppendVarint(b, d.FinishedNs)
+	b = binary.AppendVarint(b, d.LastTransitionNs)
+	return b
+}
+
+func appendTaskLedgerBatch(b []byte, t *types.TaskLedgerBatch) []byte {
+	b = append(b, t.Node[:]...)
+	b = binary.AppendUvarint(b, uint64(len(t.Deltas)))
+	for i := range t.Deltas {
+		b = appendTaskStateDelta(b, &t.Deltas[i])
+	}
+	b = binary.AppendUvarint(b, t.Op)
 	return b
 }
 
@@ -423,6 +463,40 @@ func (r *binReader) taskState() (types.TaskState, error) {
 	t.FinishedNs = r.varint()
 	t.LastTransitionNs = r.varint()
 	t.MutOps = r.u64s()
+	t.Owner = r.id16()
+	t.OwnerSeq = r.uvarint()
+	return t, r.err
+}
+
+func (r *binReader) taskStateDelta() types.TaskStateDelta {
+	var d types.TaskStateDelta
+	d.ID = r.id16()
+	d.Owner = r.id16()
+	d.Seq = r.uvarint()
+	d.Status = types.TaskStatus(r.varint())
+	d.Node = r.id16()
+	d.Worker = r.id16()
+	d.Error = r.string()
+	d.Retries = int(r.varint())
+	d.SubmittedNs = r.varint()
+	d.ScheduledNs = r.varint()
+	d.StartedNs = r.varint()
+	d.FinishedNs = r.varint()
+	d.LastTransitionNs = r.varint()
+	return d
+}
+
+func (r *binReader) taskLedgerBatch() (types.TaskLedgerBatch, error) {
+	var t types.TaskLedgerBatch
+	t.Node = r.id16()
+	// A delta is at least two IDs plus a handful of varints.
+	if n := r.count(32); n > 0 {
+		t.Deltas = make([]types.TaskStateDelta, n)
+		for i := range t.Deltas {
+			t.Deltas[i] = r.taskStateDelta()
+		}
+	}
+	t.Op = r.uvarint()
 	return t, r.err
 }
 

@@ -68,6 +68,39 @@ func sampleTaskState() types.TaskState {
 		FinishedNs:       -1,
 		LastTransitionNs: 300,
 		MutOps:           []uint64{77, 78},
+		Owner:            types.NodeID(id16(13)),
+		OwnerSeq:         14,
+	}
+}
+
+func sampleTaskLedgerBatch() types.TaskLedgerBatch {
+	return types.TaskLedgerBatch{
+		Node: types.NodeID(id16(13)),
+		Deltas: []types.TaskStateDelta{
+			{
+				ID:               types.TaskID(id16(5)),
+				Owner:            types.NodeID(id16(13)),
+				Seq:              4,
+				Status:           types.TaskFinished,
+				Node:             types.NodeID(id16(13)),
+				Worker:           types.WorkerID(id16(11)),
+				Error:            "",
+				Retries:          1,
+				SubmittedNs:      100,
+				ScheduledNs:      200,
+				StartedNs:        300,
+				FinishedNs:       400,
+				LastTransitionNs: 400,
+			},
+			{
+				ID:     types.TaskID(id16(6)),
+				Owner:  types.NodeID(id16(13)),
+				Seq:    1,
+				Status: types.TaskQueued,
+				Error:  "transient: connection reset",
+			},
+		},
+		Op: 1 << 62,
 	}
 }
 
@@ -113,6 +146,7 @@ func TestFastRoundTrip(t *testing.T) {
 	roundTrip(t, sampleTaskSpec())
 	roundTrip(t, sampleTaskState())
 	roundTrip(t, sampleNodeInfo())
+	roundTrip(t, sampleTaskLedgerBatch())
 }
 
 func TestFastRoundTripZeroValues(t *testing.T) {
@@ -120,6 +154,7 @@ func TestFastRoundTripZeroValues(t *testing.T) {
 	roundTrip(t, types.TaskSpec{})
 	roundTrip(t, types.TaskState{})
 	roundTrip(t, types.NodeInfo{})
+	roundTrip(t, types.TaskLedgerBatch{})
 }
 
 // TestFastPointerEncode checks pointer and value encodings agree — callers
@@ -175,10 +210,13 @@ func TestFastFieldSetsCovered(t *testing.T) {
 	expect := map[reflect.Type][]string{
 		reflect.TypeOf(types.ObjectInfo{}): {"ID", "Size", "Producer", "State", "Locations", "RefCount", "EverRetained", "RefOps", "Holders", "SpilledOn"},
 		reflect.TypeOf(types.TaskSpec{}):   {"ID", "Function", "Args", "NumReturns", "Resources", "Parent", "SubmitIndex", "MaxRetries", "Locality", "Group", "Bundle", "TraceID"},
-		reflect.TypeOf(types.TaskState{}):  {"Spec", "Status", "Node", "Worker", "Error", "Retries", "SubmittedNs", "ScheduledNs", "StartedNs", "FinishedNs", "LastTransitionNs", "MutOps"},
+		reflect.TypeOf(types.TaskState{}):  {"Spec", "Status", "Node", "Worker", "Error", "Retries", "SubmittedNs", "ScheduledNs", "StartedNs", "FinishedNs", "LastTransitionNs", "MutOps", "Owner", "OwnerSeq"},
 		reflect.TypeOf(types.NodeInfo{}):   {"ID", "Addr", "Total", "Alive", "LastSeen", "State", "DrainNs", "QueueLen", "Available", "Store", "MutOps"},
 		reflect.TypeOf(types.Arg{}):        {"IsRef", "Ref", "Value"},
 		reflect.TypeOf(types.StoreStats{}): {"UsedBytes", "SpilledBytes", "Objects", "Spills", "Restores", "Reclaimed", "TierEvicted"},
+		reflect.TypeOf(types.TaskStateDelta{}): {"ID", "Owner", "Seq", "Status", "Node", "Worker", "Error", "Retries",
+			"SubmittedNs", "ScheduledNs", "StartedNs", "FinishedNs", "LastTransitionNs"},
+		reflect.TypeOf(types.TaskLedgerBatch{}): {"Node", "Deltas", "Op"},
 	}
 	for typ, want := range expect {
 		var got []string

@@ -46,6 +46,19 @@ type RefCounted interface {
 	ReleaseObject(id types.ObjectID)
 }
 
+// TaskOwner is optionally implemented by Backends wired to the task
+// ownership ledger (node.Node is; DESIGN.md §13). Futures whose producing
+// task is owned by this node resolve from the ledger's in-process state
+// events — a wait on locally-submitted work costs zero control-plane
+// subscriptions. OwnsTask reports current local authority;
+// WatchTaskTerminal's channel closes when the task reaches a terminal
+// state OR local authority is dropped (transfer), so waiters re-check
+// rather than trust the wake blindly.
+type TaskOwner interface {
+	OwnsTask(id types.TaskID) bool
+	WatchTaskTerminal(id types.TaskID) <-chan struct{}
+}
+
 // Call describes one task invocation.
 //
 // Deprecated: Call predates the options pipeline and carries only a subset
@@ -178,7 +191,7 @@ func (c *caller) submit(function string, args []types.Arg, o TaskOptions) ([]Obj
 	}
 	refs := make([]ObjectRef, o.NumReturns)
 	for i := range refs {
-		refs[i] = ObjectRef{ID: spec.ReturnID(i)}
+		refs[i] = ObjectRef{ID: spec.ReturnID(i), Task: spec.ID}
 		c.retain(refs[i].ID)
 	}
 	return refs, nil
@@ -331,6 +344,16 @@ func (c *caller) wait(ctx context.Context, refs []ObjectRef, numReturns int, tim
 	}
 
 	// Subscribe before the first scan so no ready transition is missed.
+	// Owner-side futures (DESIGN.md §13): a ref whose producing task this
+	// node's ledger owns needs NO control-plane subscription — the
+	// executor stores outputs (or error payloads) strictly before the
+	// terminal transition, so the ledger's terminal event implies the
+	// object is resolvable locally. Those refs wake from the in-process
+	// watch channel; only refs produced elsewhere (or by Puts) pay the
+	// per-ref subscription stream. A ledger wake is advisory (the channel
+	// also closes on ownership transfer), so it triggers a re-check, not a
+	// blind completion.
+	owner, _ := c.backend.(TaskOwner)
 	subs := make([]gcs.Sub, 0, len(refs))
 	defer func() {
 		for _, s := range subs {
@@ -342,23 +365,63 @@ func (c *caller) wait(ctx context.Context, refs []ObjectRef, numReturns int, tim
 	// instead of re-scanning (and re-fetching) every pending object, which
 	// made a window of W waits cost O(W²) object-table reads.
 	readyC := make(chan types.ObjectID, len(refs))
-	for _, r := range refs {
-		sub := ctrl.SubscribeObjectReady(r.ID)
+	wakeC := make(chan types.ObjectID, len(refs))
+	subscribe := func(id types.ObjectID) {
+		sub := ctrl.SubscribeObjectReady(id)
 		subs = append(subs, sub)
 		go func(s gcs.Sub, id types.ObjectID) {
 			if _, ok := <-s.C(); ok {
 				readyC <- id // buffered one slot per ref; never blocks
 			}
-		}(sub, r.ID)
+		}(sub, id)
+	}
+	for _, r := range refs {
+		if done[r.ID] {
+			continue // already ready on the first scan: no wake source needed
+		}
+		if owner != nil && !r.Task.IsNil() && owner.OwnsTask(r.Task) {
+			watch := owner.WatchTaskTerminal(r.Task)
+			go func(w <-chan struct{}, id types.ObjectID) {
+				<-w
+				wakeC <- id // buffered one slot per ref; never blocks
+			}(watch, r.ID)
+			continue
+		}
+		subscribe(r.ID)
 	}
 
-	poll := time.NewTicker(2 * time.Millisecond)
+	// The poll is a safety net for missed edges only — completions arrive
+	// through owner wakes and per-object subscriptions, so each tick's
+	// full rescan (an object-table read per unready ref) should be rare,
+	// not the steady-state cadence of every waiting driver.
+	poll := time.NewTicker(10 * time.Millisecond)
 	defer poll.Stop()
 	n := countReady()
 	for n < numReturns {
 		select {
 		case id := <-readyC:
 			if !done[id] {
+				done[id] = true
+				n++
+			}
+		case id := <-wakeC:
+			// Ledger event for one owned ref: re-check that ref only, never
+			// trust blindly — the watch also closes on ownership transfer. A
+			// full countReady() here cost O(W) object-table reads per wake,
+			// O(W²) per window. If the task terminated, the executor already
+			// stored the output locally; if ownership moved instead, fall
+			// back to the per-object stream (subscribe-then-recheck, same
+			// no-missed-edge order as the setup loop).
+			if done[id] {
+				break
+			}
+			if isReady(id) {
+				done[id] = true
+				n++
+				break
+			}
+			subscribe(id)
+			if isReady(id) {
 				done[id] = true
 				n++
 			}

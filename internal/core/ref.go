@@ -16,6 +16,11 @@ import (
 // to other tasks as an argument, creating a dataflow edge.
 type ObjectRef struct {
 	ID types.ObjectID
+	// Task is the producing task, when the ref came from a Submit on this
+	// process (zero for Puts and refs reconstructed from bare IDs). It
+	// lets owner-side waits resolve from the local task ledger's state
+	// events instead of control-plane table reads (DESIGN.md §13).
+	Task types.TaskID
 }
 
 // String implements fmt.Stringer.

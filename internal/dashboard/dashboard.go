@@ -81,7 +81,23 @@ func Handler(ctrl gcs.API, opts ...Option) http.Handler {
 	mux.HandleFunc("/api/nodes", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, nodesView(ctrl))
 	})
+	// GET /api/tasks lists every task row; /api/tasks?id=<hex> narrows to
+	// one task and adds the full transition timestamps (rayctl tasks <id>).
 	mux.HandleFunc("/api/tasks", func(w http.ResponseWriter, r *http.Request) {
+		if hex := r.URL.Query().Get("id"); hex != "" {
+			id, err := types.ParseTaskID(hex)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			st, ok := ctrl.GetTask(id)
+			if !ok {
+				http.Error(w, "no such task", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, taskDetail(ctrl, st))
+			return
+		}
 		writeJSON(w, tasksView(ctrl))
 	})
 	mux.HandleFunc("/api/objects", func(w http.ResponseWriter, r *http.Request) {
@@ -264,31 +280,85 @@ func nodesView(ctrl gcs.API) []NodeView {
 	return out
 }
 
-// TaskView is the JSON shape of one task row.
+// TaskView is the JSON shape of one task row. Owner is the node whose
+// ledger holds the task's authoritative state (DESIGN.md §13); the row is
+// the follower table's view, at most a flush interval behind.
 type TaskView struct {
-	ID       string  `json:"id"`
-	Function string  `json:"function"`
-	Status   string  `json:"status"`
-	Node     string  `json:"node"`
-	Error    string  `json:"error,omitempty"`
-	Retries  int     `json:"retries,omitempty"`
+	ID string `json:"id"`
+	// IDHex is the full task ID, the form /api/tasks?id= (rayctl tasks
+	// <id-hex>) takes.
+	IDHex    string `json:"id_hex"`
+	Function string `json:"function"`
+	Status   string `json:"status"`
+	Node     string `json:"node"`
+	Owner    string `json:"owner,omitempty"`
+	OwnerSeq uint64 `json:"owner_seq,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Retries  int    `json:"retries,omitempty"`
 	E2EMs    float64 `json:"e2e_ms"`
+	// LastTransitionAgeMs is how long the task has sat in its current
+	// status — the first thing to look at for a stuck task.
+	LastTransitionAgeMs float64 `json:"last_transition_age_ms"`
+}
+
+// TaskDetail is the single-task shape of /api/tasks?id=: the row plus the
+// full transition timestamps.
+type TaskDetail struct {
+	TaskView
+	Parent      string `json:"parent,omitempty"`
+	Worker      string `json:"worker,omitempty"`
+	MaxRetries  int    `json:"max_retries"`
+	SubmittedNs int64  `json:"submitted_ns"`
+	ScheduledNs int64  `json:"scheduled_ns,omitempty"`
+	StartedNs   int64  `json:"started_ns,omitempty"`
+	FinishedNs  int64  `json:"finished_ns,omitempty"`
+}
+
+func taskView(t types.TaskState, nowNs int64) TaskView {
+	var e2e float64
+	if t.FinishedNs > 0 {
+		e2e = float64(t.FinishedNs-t.SubmittedNs) / 1e6
+	}
+	var age float64
+	if t.LastTransitionNs > 0 && nowNs > t.LastTransitionNs {
+		age = float64(nowNs-t.LastTransitionNs) / 1e6
+	}
+	v := TaskView{
+		ID: t.Spec.ID.String(), IDHex: t.Spec.ID.Hex(), Function: t.Spec.Function,
+		Status: t.Status.String(), Node: t.Node.String(),
+		OwnerSeq: t.OwnerSeq,
+		Error:    t.Error, Retries: t.Retries, E2EMs: e2e,
+		LastTransitionAgeMs: age,
+	}
+	if !t.Owner.IsNil() {
+		v.Owner = t.Owner.String()
+	}
+	return v
 }
 
 func tasksView(ctrl gcs.API) []TaskView {
+	now := ctrl.NowNs()
 	var out []TaskView
 	for _, t := range ctrl.Tasks() {
-		var e2e float64
-		if t.FinishedNs > 0 {
-			e2e = float64(t.FinishedNs-t.SubmittedNs) / 1e6
-		}
-		out = append(out, TaskView{
-			ID: t.Spec.ID.String(), Function: t.Spec.Function,
-			Status: t.Status.String(), Node: t.Node.String(),
-			Error: t.Error, Retries: t.Retries, E2EMs: e2e,
-		})
+		out = append(out, taskView(t, now))
 	}
 	return out
+}
+
+func taskDetail(ctrl gcs.API, t types.TaskState) TaskDetail {
+	d := TaskDetail{
+		TaskView:   taskView(t, ctrl.NowNs()),
+		MaxRetries: t.Spec.MaxRetries,
+		SubmittedNs: t.SubmittedNs, ScheduledNs: t.ScheduledNs,
+		StartedNs: t.StartedNs, FinishedNs: t.FinishedNs,
+	}
+	if !t.Spec.Parent.IsNil() {
+		d.Parent = t.Spec.Parent.String()
+	}
+	if !t.Worker.IsNil() {
+		d.Worker = t.Worker.String()
+	}
+	return d
 }
 
 // ObjectView is the JSON shape of one object row.

@@ -77,19 +77,58 @@ func TestEndpoints(t *testing.T) {
 		}
 	})
 	t.Run("tasks", func(t *testing.T) {
-		code, body := get(t, srv, "/api/tasks")
-		if code != 200 {
-			t.Fatalf("status %d", code)
-		}
+		// The terminal record and the ownership columns (DESIGN.md §13: the
+		// owner node plus the full ID hex for the detail endpoint) may lag
+		// the owner's ledger by a flush interval, so poll until the follower
+		// table shows the settled row.
 		var tasks []TaskView
-		if err := json.Unmarshal([]byte(body), &tasks); err != nil {
-			t.Fatal(err)
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			code, body := get(t, srv, "/api/tasks")
+			if code != 200 {
+				t.Fatalf("status %d", code)
+			}
+			if err := json.Unmarshal([]byte(body), &tasks); err != nil {
+				t.Fatal(err)
+			}
+			if len(tasks) == 1 && tasks[0].Status == "FINISHED" &&
+				tasks[0].Owner != "" && len(tasks[0].IDHex) == 2*types.IDSize {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("task row never settled: %+v", tasks)
+			}
+			time.Sleep(5 * time.Millisecond)
 		}
-		if len(tasks) != 1 || tasks[0].Function != "ident" || tasks[0].Status != "FINISHED" {
+		if tasks[0].Function != "ident" {
 			t.Fatalf("tasks = %+v", tasks)
 		}
 		if tasks[0].E2EMs <= 0 {
 			t.Fatal("missing timing")
+		}
+	})
+	t.Run("task-detail", func(t *testing.T) {
+		_, body := get(t, srv, "/api/tasks")
+		var tasks []TaskView
+		if err := json.Unmarshal([]byte(body), &tasks); err != nil {
+			t.Fatal(err)
+		}
+		code, body := get(t, srv, "/api/tasks?id="+tasks[0].IDHex)
+		if code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		var d TaskDetail
+		if err := json.Unmarshal([]byte(body), &d); err != nil {
+			t.Fatal(err)
+		}
+		if d.Function != "ident" || d.Status != "FINISHED" || d.SubmittedNs <= 0 || d.FinishedNs <= 0 {
+			t.Fatalf("task detail = %+v", d)
+		}
+		if code, _ := get(t, srv, "/api/tasks?id=zzzz"); code != 400 {
+			t.Fatalf("bad id: status %d, want 400", code)
+		}
+		if code, _ := get(t, srv, "/api/tasks?id="+strings.Repeat("00", types.IDSize)); code != 404 {
+			t.Fatalf("unknown id: status %d, want 404", code)
 		}
 	})
 	t.Run("objects", func(t *testing.T) {

@@ -37,12 +37,43 @@ func (r *Reconstructor) ctrlReachable() bool {
 	return true
 }
 
+// TaskLookup is the owner-side view of task state (lifetime.TaskLedger):
+// authoritative for tasks this node owns, and fresher than the follower
+// table, whose view trails by a flush interval.
+type TaskLookup interface {
+	Lookup(id types.TaskID) (types.TaskState, bool)
+}
+
 // Reconstructor replays producing tasks to regenerate lost objects.
 type Reconstructor struct {
 	Ctrl gcs.API
+	// Ledger, when set, is consulted before the follower task table
+	// (DESIGN.md §13): a producer this node owns answers health checks
+	// in-process, with no control-plane read and no staleness window.
+	Ledger TaskLookup
 	// Resubmit hands a lineage spec back to a local scheduler, which
 	// deduplicates through the task table (scheduler.Local.Submit).
 	Resubmit func(spec types.TaskSpec) error
+}
+
+// deriveProducer rebuilds a missing object→producer edge from the task
+// table. The admission AddTask is the synchronous, durable half of
+// lineage (DESIGN.md §13): every spec is in the table before its task can
+// run, while the object record's Producer edge rides the owner's async
+// ensure flush — a crash (or a control-plane snapshot taken) inside that
+// window loses only the index, never the lineage. Return-object IDs are
+// deterministic (H("ret" ‖ task ‖ index)), so the edge is recomputable
+// from the specs. O(tasks × returns), paid only when a Lost object has no
+// recorded producer — the catastrophic-failover path, not a hot one.
+func (r *Reconstructor) deriveProducer(id types.ObjectID) (types.TaskState, bool) {
+	for _, st := range r.Ctrl.Tasks() {
+		for i := 0; i < st.Spec.NumReturns; i++ {
+			if st.Spec.ReturnID(i) == id {
+				return st, true
+			}
+		}
+	}
+	return types.TaskState{}, false
 }
 
 // RequestObject triggers reconstruction of id if it is lost, or if it is
@@ -71,7 +102,38 @@ func (r *Reconstructor) RequestObject(id types.ObjectID) error {
 		return nil
 	}
 	if info.Producer.IsNil() {
-		return fmt.Errorf("%w: %v", ErrNotReconstructable, id)
+		// Pending with no lineage edge is transient under owner-based
+		// lineage (DESIGN.md §13): the record was created by a refcount
+		// flush and the owner's EnsureObjects delta is still in flight — a
+		// genuinely producerless object (a Put) is born Ready, never
+		// Pending. Keep waiting; only a Lost object with no producer needs
+		// the edge derived (or is truly beyond replay).
+		if info.State == types.ObjectPending {
+			return nil
+		}
+		st, ok := r.deriveProducer(id)
+		if !ok {
+			return fmt.Errorf("%w: %v", ErrNotReconstructable, id)
+		}
+		r.Ctrl.EnsureObject(id, st.Spec.ID) // heal: next resolve is O(1) again
+		info.Producer = st.Spec.ID
+	}
+	// Owner-ledger fast path: if this node owns the producer, its liveness
+	// is known in-process. A live owned producer is by definition healthy
+	// (it is admitted on THIS node, which is alive), and an owned terminal
+	// failure already stored error payloads under the returns — neither
+	// needs a table read or a replay. Anything else (owned-but-finished
+	// with the object lost, or not owned at all) falls through to the
+	// follower table, which holds the spec replay needs.
+	if r.Ledger != nil {
+		if st, owned := r.Ledger.Lookup(info.Producer); owned {
+			switch st.Status {
+			case types.TaskPending, types.TaskQueued, types.TaskScheduled, types.TaskRunning:
+				return nil
+			case types.TaskFailed:
+				return nil
+			}
+		}
 	}
 	st, ok := r.Ctrl.GetTask(info.Producer)
 	if !ok {

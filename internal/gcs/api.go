@@ -48,7 +48,30 @@ type API interface {
 	// races are settled through this: exactly one contender wins the
 	// transition back to PENDING and re-executes the task.
 	CASTaskStatus(id types.TaskID, from []types.TaskStatus, to types.TaskStatus) bool
+	// ClaimTask is the ownership-transfer CAS (DESIGN.md §13): it atomically
+	// transitions the status like CASTaskStatus and, on success, stamps
+	// `owner` as the record's Owner and Node and bumps OwnerSeq. The winner
+	// receives the new OwnerSeq — the base its task ledger's async deltas
+	// must exceed — so a stale delta from any earlier ownership tenure can
+	// never apply past the transfer.
+	ClaimTask(id types.TaskID, from []types.TaskStatus, to types.TaskStatus, owner types.NodeID) (uint64, bool)
 	RecordTaskRetry(id types.TaskID) int
+	// ModifyTaskStates applies one owner's task-ledger flush: a batch of
+	// full-state deltas (latest owner view per task, transitions coalesced),
+	// bound to one idempotency token recorded in each touched record's
+	// MutOps ring so redelivery after a shard crash re-applies exactly the
+	// records the crash missed. A delta applies only if its Owner matches
+	// the record's and its Seq exceeds the record's OwnerSeq. Returns the
+	// IDs whose deltas could NOT be applied because their shard stayed
+	// unreachable, so the caller requeues them under the same token; deltas
+	// rejected by the owner/seq guard (authority moved on) are consumed, not
+	// failed. Nil means fully applied.
+	ModifyTaskStates(node types.NodeID, deltas []types.TaskStateDelta, op uint64) []types.TaskID
+	// LiveTasksOwnedBy returns every non-terminal task whose record names
+	// `owner` as its ledger authority, plus whether the scan covered the
+	// whole table (false when a shard was unreachable — the owner-death
+	// transfer retries later rather than concluding from a partial view).
+	LiveTasksOwnedBy(owner types.NodeID) ([]types.TaskState, bool)
 	Tasks() []types.TaskState
 	// StalePendingTasks returns the specs of tasks durably recorded
 	// PENDING whose latest transition is at least olderThanNs old — tasks
@@ -63,6 +86,13 @@ type API interface {
 	// and publishes on its ready channel; RemoveObjectLocation transitions
 	// to Lost when the last copy disappears.
 	EnsureObject(id types.ObjectID, producer types.TaskID)
+	// EnsureObjects is the batched form the task ledger's flush uses for
+	// lineage edges (DESIGN.md §13): each entry ensures the object exists
+	// and records its producing task, healing a missing Producer on records
+	// that a location publish created first. Returns the IDs that could NOT
+	// be ensured (their shard stayed unreachable) so the caller requeues
+	// them; nil means fully applied. Idempotent, so no token is needed.
+	EnsureObjects(producers map[types.ObjectID]types.TaskID) []types.ObjectID
 	AddObjectLocation(id types.ObjectID, node types.NodeID, size int64)
 	RemoveObjectLocation(id types.ObjectID, node types.NodeID)
 	GetObject(id types.ObjectID) (types.ObjectInfo, bool)

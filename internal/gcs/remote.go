@@ -97,10 +97,40 @@ func (r *Remote) CASTaskStatus(id types.TaskID, from []types.TaskStatus, to type
 	return v
 }
 
+// ClaimTask implements API.
+func (r *Remote) ClaimTask(id types.TaskID, from []types.TaskStatus, to types.TaskStatus, owner types.NodeID) (uint64, bool) {
+	v, ok := call[claimTaskResp](r, MethodClaimTask, claimTaskReq{ID: id, From: from, To: to, Owner: owner})
+	return v.Seq, ok && v.OK
+}
+
 // RecordTaskRetry implements API.
 func (r *Remote) RecordTaskRetry(id types.TaskID) int {
 	v, _ := call[int](r, MethodRecordTaskRetry, recordRetryReq{ID: id})
 	return v
+}
+
+// ModifyTaskStates implements API: the single-head control plane takes the
+// whole batch in one RPC, mirroring ModifyObjectRefCounts — on transport
+// failure every delta is reported failed so the ledger requeues the batch
+// under the same token.
+func (r *Remote) ModifyTaskStates(node types.NodeID, deltas []types.TaskStateDelta, op uint64) []types.TaskID {
+	if len(deltas) == 0 {
+		return nil
+	}
+	if _, ok := call[bool](r, MethodModifyTaskStates, types.TaskLedgerBatch{Node: node, Deltas: deltas, Op: op}); !ok {
+		failed := make([]types.TaskID, 0, len(deltas))
+		for _, d := range deltas {
+			failed = append(failed, d.ID)
+		}
+		return failed
+	}
+	return nil
+}
+
+// LiveTasksOwnedBy implements API.
+func (r *Remote) LiveTasksOwnedBy(owner types.NodeID) ([]types.TaskState, bool) {
+	v, ok := call[[]types.TaskState](r, MethodLiveTasksOwned, owner)
+	return v, ok
 }
 
 // Tasks implements API.
@@ -118,6 +148,22 @@ func (r *Remote) StalePendingTasks(olderThanNs int64) []types.TaskSpec {
 // EnsureObject implements API.
 func (r *Remote) EnsureObject(id types.ObjectID, producer types.TaskID) {
 	call[bool](r, MethodEnsureObject, ensureObjectReq{ID: id, Producer: producer})
+}
+
+// EnsureObjects implements API: one RPC for the whole batch; on transport
+// failure every ID is reported failed so the ledger requeues them.
+func (r *Remote) EnsureObjects(producers map[types.ObjectID]types.TaskID) []types.ObjectID {
+	if len(producers) == 0 {
+		return nil
+	}
+	if _, ok := call[bool](r, MethodEnsureObjects, ensureObjectsReq{Producers: producers}); !ok {
+		failed := make([]types.ObjectID, 0, len(producers))
+		for id := range producers {
+			failed = append(failed, id)
+		}
+		return failed
+	}
+	return nil
 }
 
 // AddObjectLocation implements API.

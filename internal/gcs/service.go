@@ -19,10 +19,14 @@ const (
 	MethodGetTask          = "gcs.getTask"
 	MethodSetTaskStatus    = "gcs.setTaskStatus"
 	MethodCASTaskStatus    = "gcs.casTaskStatus"
+	MethodClaimTask        = "gcs.claimTask"
 	MethodRecordTaskRetry  = "gcs.recordTaskRetry"
+	MethodModifyTaskStates = "gcs.modifyTaskStates"
+	MethodLiveTasksOwned   = "gcs.liveTasksOwnedBy"
 	MethodTasks            = "gcs.tasks"
 	MethodStalePending     = "gcs.stalePendingTasks"
 	MethodEnsureObject     = "gcs.ensureObject"
+	MethodEnsureObjects    = "gcs.ensureObjects"
 	MethodAddObjLocation   = "gcs.addObjLocation"
 	MethodRemoveObjLoc     = "gcs.removeObjLocation"
 	MethodGetObject        = "gcs.getObject"
@@ -83,6 +87,22 @@ type (
 		// Op is the idempotency token for redelivered increments (0 = no
 		// dedup); see Store.RecordTaskRetryOp.
 		Op uint64
+	}
+	claimTaskReq struct {
+		ID    types.TaskID
+		From  []types.TaskStatus
+		To    types.TaskStatus
+		Owner types.NodeID
+		// Op is the idempotency token for retried claims (0 = no dedup);
+		// see Store.ClaimTaskOp.
+		Op uint64
+	}
+	claimTaskResp struct {
+		Seq uint64
+		OK  bool
+	}
+	ensureObjectsReq struct {
+		Producers map[types.ObjectID]types.TaskID
 	}
 	ensureObjectReq struct {
 		ID       types.ObjectID
@@ -218,12 +238,38 @@ func RegisterService(srv Registrar, store *Store) {
 		}
 		return store.CASTaskStatusOp(req.ID, req.From, req.To, req.Op), nil
 	})
+	unary(MethodClaimTask, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[claimTaskReq](p)
+		if err != nil {
+			return nil, err
+		}
+		seq, ok := store.ClaimTaskOp(req.ID, req.From, req.To, req.Owner, req.Op)
+		return claimTaskResp{Seq: seq, OK: ok}, nil
+	})
 	unary(MethodRecordTaskRetry, func(p []byte) (any, error) {
 		req, err := codec.DecodeAs[recordRetryReq](p)
 		if err != nil {
 			return nil, err
 		}
 		return store.RecordTaskRetryOp(req.ID, req.Op), nil
+	})
+	unary(MethodModifyTaskStates, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[types.TaskLedgerBatch](p)
+		if err != nil {
+			return nil, err
+		}
+		// The local store applies everything it is given; the failed set is
+		// a client-side (sharded transport) concept.
+		store.ModifyTaskStates(req.Node, req.Deltas, req.Op)
+		return true, nil
+	})
+	unary(MethodLiveTasksOwned, func(p []byte) (any, error) {
+		id, err := codec.DecodeAs[types.NodeID](p)
+		if err != nil {
+			return nil, err
+		}
+		tasks, _ := store.LiveTasksOwnedBy(id)
+		return tasks, nil
 	})
 	unary(MethodTasks, func(p []byte) (any, error) { return store.Tasks(), nil })
 	unary(MethodStalePending, func(p []byte) (any, error) {
@@ -239,6 +285,14 @@ func RegisterService(srv Registrar, store *Store) {
 			return nil, err
 		}
 		store.EnsureObject(req.ID, req.Producer)
+		return true, nil
+	})
+	unary(MethodEnsureObjects, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[ensureObjectsReq](p)
+		if err != nil {
+			return nil, err
+		}
+		store.EnsureObjects(req.Producers)
 		return true, nil
 	})
 	unary(MethodAddObjLocation, func(p []byte) (any, error) {

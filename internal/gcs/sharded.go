@@ -392,6 +392,56 @@ func (s *Sharded) RecordTaskRetry(id types.TaskID) int {
 	return v
 }
 
+// ClaimTask implements API. Claims are CAS-shaped (a retry would lose to
+// its own commit), so each logical claim carries a fixed token; the returned
+// sequence is the base the new owner's ledger deltas must exceed.
+func (s *Sharded) ClaimTask(id types.TaskID, from []types.TaskStatus, to types.TaskStatus, owner types.NodeID) (uint64, bool) {
+	v, ok := shardCall[claimTaskResp](s, TaskKey(id), MethodClaimTask,
+		claimTaskReq{ID: id, From: from, To: to, Owner: owner, Op: newOpToken()})
+	return v.Seq, ok && v.OK
+}
+
+// ModifyTaskStates implements API: one owner-ledger flush, partitioned by
+// the shard owning each task record and delivered as one RPC per shard,
+// mirroring ModifyObjectRefCounts. Every partition carries the caller's
+// token (dedup is recorded per task), partitions fly concurrently, and a
+// shard unreachable past the retry window contributes its whole partition
+// to the failed set so the owner requeues those deltas under the same token.
+func (s *Sharded) ModifyTaskStates(node types.NodeID, deltas []types.TaskStateDelta, op uint64) []types.TaskID {
+	if len(deltas) == 0 {
+		return nil
+	}
+	m := s.Map()
+	parts := make(map[int][]types.TaskStateDelta)
+	for _, d := range deltas {
+		idx := m.ShardForKey(TaskKey(d.ID))
+		parts[idx] = append(parts[idx], d)
+	}
+	var (
+		mu     sync.Mutex
+		failed []types.TaskID
+		wg     sync.WaitGroup
+	)
+	for _, part := range parts {
+		wg.Add(1)
+		go func(part []types.TaskStateDelta) {
+			defer wg.Done()
+			// Routed by any member task: shardCall re-resolves the key each
+			// retry, so a failover re-routes the batch to the new incarnation.
+			key := TaskKey(part[0].ID)
+			if _, ok := shardCall[bool](s, key, MethodModifyTaskStates, types.TaskLedgerBatch{Node: node, Deltas: part, Op: op}); !ok {
+				mu.Lock()
+				for _, d := range part {
+					failed = append(failed, d.ID)
+				}
+				mu.Unlock()
+			}
+		}(part)
+	}
+	wg.Wait()
+	return failed
+}
+
 // Tasks implements API: merged scan, restored to submit order.
 func (s *Sharded) Tasks() []types.TaskState {
 	out := fanOut[types.TaskState](s, MethodTasks)
@@ -412,6 +462,24 @@ func (s *Sharded) StalePendingTasks(olderThanNs int64) []types.TaskSpec {
 	return out
 }
 
+// LiveTasksOwnedBy implements API: task records are spread over every
+// shard, so the owner scan fans out. A shard that stays unreachable makes
+// the view incomplete (false) — the owner-death transfer keeps the dead
+// owner on its sweep list and retries rather than re-owning a partial set.
+func (s *Sharded) LiveTasksOwnedBy(owner types.NodeID) ([]types.TaskState, bool) {
+	n := s.Map().NumShards()
+	var out []types.TaskState
+	complete := true
+	for idx := 0; idx < n; idx++ {
+		if part, ok := scanShard[[]types.TaskState](s, idx, MethodLiveTasksOwned, owner); ok {
+			out = append(out, part...)
+		} else {
+			complete = false
+		}
+	}
+	return out, complete
+}
+
 // SubscribeTaskStatus implements API.
 func (s *Sharded) SubscribeTaskStatus(id types.TaskID) Sub {
 	return s.newResilientSub(StreamTaskStatus, []byte(id.Hex()), s.shardIdx(TaskKey(id)))
@@ -422,6 +490,52 @@ func (s *Sharded) SubscribeTaskStatus(id types.TaskID) Sub {
 // EnsureObject implements API.
 func (s *Sharded) EnsureObject(id types.ObjectID, producer types.TaskID) {
 	shardCall[bool](s, ObjectKey(id), MethodEnsureObject, ensureObjectReq{ID: id, Producer: producer})
+}
+
+// EnsureObjects implements API: one lineage flush, partitioned by the
+// shard owning each object record. Ensure is naturally idempotent (heal
+// a missing producer), so partitions carry no token; a shard unreachable
+// past the retry window contributes its partition to the failed set.
+func (s *Sharded) EnsureObjects(producers map[types.ObjectID]types.TaskID) []types.ObjectID {
+	if len(producers) == 0 {
+		return nil
+	}
+	m := s.Map()
+	parts := make(map[int]map[types.ObjectID]types.TaskID)
+	for id, p := range producers {
+		idx := m.ShardForKey(ObjectKey(id))
+		part := parts[idx]
+		if part == nil {
+			part = make(map[types.ObjectID]types.TaskID)
+			parts[idx] = part
+		}
+		part[id] = p
+	}
+	var (
+		mu     sync.Mutex
+		failed []types.ObjectID
+		wg     sync.WaitGroup
+	)
+	for _, part := range parts {
+		wg.Add(1)
+		go func(part map[types.ObjectID]types.TaskID) {
+			defer wg.Done()
+			var key string
+			for id := range part {
+				key = ObjectKey(id)
+				break
+			}
+			if _, ok := shardCall[bool](s, key, MethodEnsureObjects, ensureObjectsReq{Producers: part}); !ok {
+				mu.Lock()
+				for id := range part {
+					failed = append(failed, id)
+				}
+				mu.Unlock()
+			}
+		}(part)
+	}
+	wg.Wait()
+	return failed
 }
 
 // AddObjectLocation implements API.

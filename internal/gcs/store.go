@@ -289,6 +289,15 @@ func (s *Store) CASTaskStatusOp(id types.TaskID, from []types.TaskStatus, to typ
 		}
 		wasPending = st.Status == types.TaskPending
 		st.Status = to
+		if to == types.TaskPending {
+			// Back into the unowned spill queue (spill-away, owner-death
+			// transfer, replay steal): no ledger holds authority until the
+			// next claim. Bumping OwnerSeq keeps the sequence monotonic
+			// across ownership tenures, so a previous owner's straggler
+			// delta can never apply past this fence.
+			st.Owner = types.NodeID{}
+			st.OwnerSeq++
+		}
 		st.LastTransitionNs = now
 		switch to {
 		case types.TaskScheduled:
@@ -307,6 +316,82 @@ func (s *Store) CASTaskStatusOp(id types.TaskID, from []types.TaskStatus, to typ
 		s.logEvent(types.Event{Kind: "cas:" + to.String(), Task: id})
 	}
 	return won || dupWin
+}
+
+// ClaimTask implements API: the ownership-transfer CAS. A successful
+// transition additionally stamps `owner` as the record's Owner and Node and
+// bumps OwnerSeq; the returned sequence is the base the new owner's ledger
+// deltas must exceed.
+func (s *Store) ClaimTask(id types.TaskID, from []types.TaskStatus, to types.TaskStatus, owner types.NodeID) (uint64, bool) {
+	return s.ClaimTaskOp(id, from, to, owner, 0)
+}
+
+// ClaimTaskOp is ClaimTask with an idempotency token (0 = no dedup): a
+// claim retried across a shard crash is recognized by its token and
+// reported won with the sequence its original commit stamped.
+func (s *Store) ClaimTaskOp(id types.TaskID, from []types.TaskStatus, to types.TaskStatus, owner types.NodeID, op uint64) (uint64, bool) {
+	now := s.NowNs()
+	won := false
+	dupWin := false
+	wasPending := false
+	var seq uint64
+	s.db.Update(keyTask+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			return nil, false
+		}
+		st, err := codec.DecodeAs[types.TaskState](cur)
+		if err != nil {
+			return nil, false
+		}
+		if op != 0 {
+			for _, seen := range st.MutOps {
+				if seen == op {
+					dupWin = true
+					seq = st.OwnerSeq // the sequence the original commit stamped
+					return nil, false
+				}
+			}
+		}
+		eligible := false
+		for _, f := range from {
+			if st.Status == f {
+				eligible = true
+				break
+			}
+		}
+		if !eligible {
+			return nil, false
+		}
+		if op != 0 {
+			st.MutOps = append(st.MutOps, op)
+			if len(st.MutOps) > refOpHistory {
+				st.MutOps = st.MutOps[len(st.MutOps)-refOpHistory:]
+			}
+		}
+		wasPending = st.Status == types.TaskPending
+		st.Status = to
+		st.Owner = owner
+		st.Node = owner
+		st.OwnerSeq++
+		seq = st.OwnerSeq
+		st.LastTransitionNs = now
+		switch to {
+		case types.TaskScheduled:
+			st.ScheduledNs = now
+		case types.TaskRunning:
+			st.StartedNs = now
+		case types.TaskFinished, types.TaskFailed:
+			st.FinishedNs = now
+		}
+		won = true
+		return codec.MustEncode(st), true
+	})
+	if won {
+		s.syncPendingIndex(id, wasPending, to)
+		s.db.Publish(chanTaskStatus+id.Hex(), []byte{byte(to)})
+		s.logEvent(types.Event{Kind: "claim:" + to.String(), Task: id, Node: owner})
+	}
+	return seq, won || dupWin
 }
 
 // RecordTaskRetry implements API; returns the new retry count.
@@ -345,6 +430,132 @@ func (s *Store) RecordTaskRetryOp(id types.TaskID, op uint64) int {
 		return codec.MustEncode(st), true
 	})
 	return retries
+}
+
+// ModifyTaskStates implements API: one owner's task-ledger flush. Each
+// delta is the owner's full latest view of a task's mutable state, applied
+// under the batch's idempotency token; per-record owner/seq guards consume
+// (rather than fail) deltas whose authority has moved on. The in-process
+// store is always fully reachable, so this never reports failures.
+func (s *Store) ModifyTaskStates(node types.NodeID, deltas []types.TaskStateDelta, op uint64) []types.TaskID {
+	for _, d := range deltas {
+		s.applyTaskDelta(d, op)
+	}
+	return nil
+}
+
+// applyTaskDelta applies one ledger delta to the follower record. Mirrors
+// applyLedgerDelta's crash discipline: a redelivered token skips the state
+// write but redoes the crash-droppable side effects (pending-index heal and
+// the status publish), since the original commit may have died before them.
+func (s *Store) applyTaskDelta(d types.TaskStateDelta, op uint64) {
+	applied := false
+	dup := false
+	wasPending := false
+	status := d.Status
+	s.db.Update(keyTask+d.ID.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			return nil, false // no AddTask record: nothing to follow
+		}
+		st, err := codec.DecodeAs[types.TaskState](cur)
+		if err != nil {
+			return nil, false
+		}
+		if op != 0 {
+			for _, seen := range st.MutOps {
+				if seen == op {
+					dup = true
+					status = st.Status
+					return nil, false
+				}
+			}
+		}
+		if st.Owner != d.Owner || d.Seq <= st.OwnerSeq {
+			// Authority moved on (spill-away, owner-death transfer, a newer
+			// claim) or this is an out-of-order straggler: the delta is
+			// consumed, never failed — the sender's ledger no longer speaks
+			// for this record.
+			return nil, false
+		}
+		if st.Status.Terminal() && d.Status != st.Status {
+			// A terminal bury (FailTask) wins over a late owner flush, the
+			// same fence SetTaskStatusAt enforces for plain stamps.
+			return nil, false
+		}
+		if op != 0 {
+			st.MutOps = append(st.MutOps, op)
+			if len(st.MutOps) > refOpHistory {
+				st.MutOps = st.MutOps[len(st.MutOps)-refOpHistory:]
+			}
+		}
+		wasPending = st.Status == types.TaskPending
+		st.Status = d.Status
+		st.OwnerSeq = d.Seq
+		if !d.Node.IsNil() {
+			st.Node = d.Node
+		}
+		if !d.Worker.IsNil() {
+			st.Worker = d.Worker
+		}
+		if d.Error != "" {
+			st.Error = d.Error
+		}
+		if d.Retries > st.Retries {
+			st.Retries = d.Retries
+		}
+		// The owner stamps transition times on its cluster clock; take them
+		// as given so profiling timelines reflect when transitions actually
+		// happened, not when the flush landed.
+		if d.ScheduledNs > 0 {
+			st.ScheduledNs = d.ScheduledNs
+		}
+		if d.StartedNs > 0 {
+			st.StartedNs = d.StartedNs
+		}
+		if d.FinishedNs > 0 {
+			st.FinishedNs = d.FinishedNs
+		}
+		if d.LastTransitionNs > 0 {
+			st.LastTransitionNs = d.LastTransitionNs
+		}
+		applied = true
+		return codec.MustEncode(st), true
+	})
+	if applied {
+		s.syncPendingIndex(d.ID, wasPending, d.Status)
+		s.db.Publish(chanTaskStatus+d.ID.Hex(), []byte{byte(d.Status)})
+		s.logEvent(types.Event{Kind: "status:" + d.Status.String(), Task: d.ID, Node: d.Node, Worker: d.Worker, Detail: d.Error})
+	} else if dup {
+		// Redelivery after a crash between commit and side effects: heal the
+		// index and refire the (ephemeral) status publish.
+		if raw, ok := s.db.Get(keyTask + d.ID.Hex()); ok {
+			if st, err := codec.DecodeAs[types.TaskState](raw); err == nil {
+				s.syncPendingIndex(d.ID, st.Status != types.TaskPending, st.Status)
+			}
+		}
+		s.db.Publish(chanTaskStatus+d.ID.Hex(), []byte{byte(status)})
+	}
+}
+
+// LiveTasksOwnedBy implements API: the owner-death transfer's source of
+// truth. Scans the follower table for non-terminal records whose ledger
+// authority is `owner`; the in-process store always has a complete view.
+func (s *Store) LiveTasksOwnedBy(owner types.NodeID) ([]types.TaskState, bool) {
+	var out []types.TaskState
+	for _, k := range s.db.Keys(keyTask) {
+		raw, ok := s.db.Get(k)
+		if !ok {
+			continue
+		}
+		st, err := codec.DecodeAs[types.TaskState](raw)
+		if err != nil {
+			continue
+		}
+		if st.Owner == owner && !st.Status.Terminal() {
+			out = append(out, st)
+		}
+	}
+	return out, true
 }
 
 // Tasks implements API (inspection scan, R7).
@@ -407,10 +618,34 @@ func (s *Store) StalePendingTasks(olderThanNs int64) []types.TaskSpec {
 
 // --- object table ---
 
-// EnsureObject implements API.
+// EnsureObject implements API. Since lineage edges flush asynchronously
+// from the owner's task ledger (DESIGN.md §13), an executing node's
+// AddObjectLocation can now create the record before the producer edge
+// arrives — so a late ensure heals a missing Producer instead of being a
+// pure put-if-absent, keeping the object reconstructable.
 func (s *Store) EnsureObject(id types.ObjectID, producer types.TaskID) {
-	info := types.ObjectInfo{ID: id, Producer: producer, State: types.ObjectPending}
-	s.db.PutIfAbsent(keyObject+id.Hex(), codec.MustEncode(info))
+	s.db.Update(keyObject+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			info := types.ObjectInfo{ID: id, Producer: producer, State: types.ObjectPending}
+			return codec.MustEncode(info), true
+		}
+		info, err := codec.DecodeAs[types.ObjectInfo](cur)
+		if err != nil || !info.Producer.IsNil() || producer.IsNil() {
+			return nil, false
+		}
+		info.Producer = producer
+		return codec.MustEncode(info), true
+	})
+}
+
+// EnsureObjects implements API: the task ledger's batched lineage flush.
+// The in-process store is always fully reachable, so this never reports
+// failures.
+func (s *Store) EnsureObjects(producers map[types.ObjectID]types.TaskID) []types.ObjectID {
+	for id, producer := range producers {
+		s.EnsureObject(id, producer)
+	}
+	return nil
 }
 
 // AddObjectLocation implements API. The first location moves the object to

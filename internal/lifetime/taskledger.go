@@ -1,0 +1,637 @@
+package lifetime
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/gcs"
+	"repro/internal/types"
+)
+
+// TaskLedger is one node's task-state ledger — the ownership protocol of
+// DESIGN.md §12 applied to the task table (§13). The node that submits a
+// task (or claims a placed one) owns its lifecycle: every status
+// transition, retry bump, and lineage edge is stamped into this in-process
+// ledger and the owner's components read their own writes immediately.
+// The GCS task table becomes a follower: it learns of transitions through
+// batched ModifyTaskStates flushes and serves observability, the stale
+// pending sweep, and reconstruction after the owner dies.
+//
+// Fencing: every owned task carries the owner's transition sequence,
+// seeded by the AddTask/ClaimTask that established the tenure. The store
+// applies a delta only when the record's Owner matches and the delta's
+// sequence exceeds the record's — so once ownership moves (spill-away
+// steal, owner-death transfer re-claiming the task), a dead tenure's
+// straggler deltas are consumed without effect rather than clobbering the
+// successor's writes.
+//
+// Flush mechanics mirror Tracker: batched async deltas (one per task per
+// flush, carrying the owner's full latest view), an idempotency token per
+// batch recorded in the tasks' MutOps rings, FIFO redelivery of parked
+// batches under their original tokens, and flushMu serializing flushes so
+// one task's deltas land in ledger order. Lineage edges (return object →
+// producing task) ride the same flusher as batched EnsureObjects calls,
+// delivered ahead of the task deltas they justify.
+type TaskLedger struct {
+	ctrl gcs.API
+
+	mu      sync.Mutex
+	node    types.NodeID
+	tasks   map[types.TaskID]*ownedTask
+	dirty   map[types.TaskID]struct{}
+	ensures map[types.ObjectID]types.TaskID
+	retry   []taskBatch
+	watch   map[types.TaskID][]chan struct{}
+	async   bool
+	// dead latches after Abandon: the ledger belongs to a "crashed" node
+	// and must never reach the control plane again.
+	dead bool
+
+	// flushMu serializes flush RPCs; two concurrent flushes could deliver
+	// one task's deltas out of sequence order, and the store consumes (not
+	// fails) out-of-order deltas — the newer state would be lost.
+	flushMu sync.Mutex
+
+	clockOnce  sync.Once
+	clockBoot  int64
+	clockStart time.Time
+
+	stop     chan struct{}
+	stopped  chan struct{}
+	stopOnce sync.Once
+	kick     chan struct{}
+}
+
+// ownedTask is the authoritative record for one task this node owns.
+type ownedTask struct {
+	seq      uint64 // owner's transition sequence, > the tenure's claim base
+	status   types.TaskStatus
+	worker   types.WorkerID
+	errMsg   string
+	retries  int
+	schedNs  int64
+	startNs  int64
+	finishNs int64
+	lastNs   int64
+}
+
+// taskBatch is one flush that could not be delivered: its deltas and the
+// idempotency token the delivery attempt carried (fixed for all retries).
+type taskBatch struct {
+	op     uint64
+	deltas []types.TaskStateDelta
+}
+
+// NewTaskLedger creates an empty ledger publishing into ctrl, in
+// synchronous mode: every transition flushes inline (per-call behaviour
+// for store-level tests). Call SetNode and Start for batched async mode.
+func NewTaskLedger(ctrl gcs.API) *TaskLedger {
+	return &TaskLedger{
+		ctrl:    ctrl,
+		tasks:   make(map[types.TaskID]*ownedTask),
+		dirty:   make(map[types.TaskID]struct{}),
+		ensures: make(map[types.ObjectID]types.TaskID),
+		watch:   make(map[types.TaskID][]chan struct{}),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		kick:    make(chan struct{}, 1),
+	}
+}
+
+// SetNode attributes this ledger's flushes to node — the Owner the store's
+// fencing guard matches deltas against. Call before Start.
+func (l *TaskLedger) SetNode(node types.NodeID) {
+	l.mu.Lock()
+	l.node = node
+	l.mu.Unlock()
+}
+
+// Node returns the owner identity this ledger stamps into its tasks.
+func (l *TaskLedger) Node() types.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.node
+}
+
+// Start switches the ledger to batched mode and launches the background
+// flusher (same cadence as the refcount Tracker).
+func (l *TaskLedger) Start() {
+	l.mu.Lock()
+	if l.async {
+		l.mu.Unlock()
+		return
+	}
+	l.async = true
+	l.mu.Unlock()
+	go l.flusher()
+}
+
+// Stop halts the flusher after one final synchronous flush, so a graceful
+// shutdown leaves the follower table current. Safe to call multiple times
+// and on a ledger never started.
+func (l *TaskLedger) Stop() {
+	l.stopOnce.Do(func() {
+		close(l.stop)
+		l.mu.Lock()
+		wasAsync := l.async
+		l.async = false
+		l.mu.Unlock()
+		if wasAsync {
+			<-l.stopped
+		}
+		l.Flush()
+	})
+}
+
+// Abandon halts the flusher WITHOUT flushing, discarding dirty state and
+// the retry queue — the crash-simulation path (Node.Kill). The follower
+// table keeps whatever was already flushed; the owner-death transfer is
+// what re-owns the remainder, exactly as for a real crash.
+func (l *TaskLedger) Abandon() {
+	l.stopOnce.Do(func() {
+		close(l.stop)
+		l.mu.Lock()
+		wasAsync := l.async
+		l.async = false
+		l.dead = true
+		l.dirty = make(map[types.TaskID]struct{})
+		l.ensures = make(map[types.ObjectID]types.TaskID)
+		l.retry = nil
+		l.mu.Unlock()
+		if wasAsync {
+			<-l.stopped
+		}
+	})
+}
+
+func (l *TaskLedger) flusher() {
+	defer close(l.stopped)
+	tick := time.NewTicker(defaultFlushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			l.Flush()
+		case <-l.kick:
+			l.Flush()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// now returns cluster-epoch nanoseconds: one control-plane NowNs at first
+// use plus the local monotonic offset, so ledger timestamps line up with
+// server-stamped ones without a per-transition RPC.
+func (l *TaskLedger) now() int64 {
+	l.clockOnce.Do(func() {
+		l.clockBoot = l.ctrl.NowNs()
+		l.clockStart = time.Now()
+		if l.clockBoot == 0 { // control plane unreachable: local clock
+			l.clockBoot = time.Now().UnixNano()
+		}
+	})
+	return l.clockBoot + time.Since(l.clockStart).Nanoseconds()
+}
+
+// Adopt registers a task this node owns. baseSeq is the tenure's fence
+// base: 0 for a locally-born task (AddTask wrote Owner with OwnerSeq 0),
+// or the sequence returned by ClaimTask for a placed task. status is the
+// state the control plane already holds synchronously (PENDING after
+// AddTask, QUEUED after a claim) — it is not re-flushed.
+func (l *TaskLedger) Adopt(id types.TaskID, baseSeq uint64, status types.TaskStatus) {
+	if id.IsNil() {
+		return
+	}
+	l.mu.Lock()
+	if t := l.tasks[id]; t == nil || t.seq <= baseSeq {
+		l.tasks[id] = &ownedTask{seq: baseSeq, status: status, lastNs: 0}
+	}
+	l.mu.Unlock()
+}
+
+// Owns reports whether id is in this ledger (terminal records linger until
+// their final delta is acked, then fall away).
+func (l *TaskLedger) Owns(id types.TaskID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tasks[id] != nil
+}
+
+// ClockNs exposes the ledger's cluster clock (one boot-time NowNs plus the
+// local monotonic offset) so callers can capture transition instants —
+// the executor stamps a task's finish before storing its outputs.
+func (l *TaskLedger) ClockNs() int64 { return l.now() }
+
+// Transition stamps a status change into the ledger: pure in-process in
+// batched mode, no control-plane round trip. worker and errMsg ride along
+// when non-zero. Returns false when the task is not owned here (authority
+// moved; the caller's stamp is stale and must not reach the table).
+func (l *TaskLedger) Transition(id types.TaskID, status types.TaskStatus, worker types.WorkerID, errMsg string) bool {
+	return l.TransitionAt(id, status, worker, errMsg, 0)
+}
+
+// TransitionAt is Transition with an explicit cluster-clock instant
+// (from ClockNs); atNs <= 0 stamps the current clock.
+func (l *TaskLedger) TransitionAt(id types.TaskID, status types.TaskStatus, worker types.WorkerID, errMsg string, atNs int64) bool {
+	if atNs <= 0 {
+		atNs = l.now()
+	}
+	l.mu.Lock()
+	t := l.tasks[id]
+	if t == nil {
+		l.mu.Unlock()
+		return false
+	}
+	l.stampLocked(id, t, status, worker, errMsg, atNs)
+	grown := len(l.dirty) >= flushKickThreshold
+	sync := !l.async
+	l.mu.Unlock()
+	if sync {
+		l.Flush()
+	} else if grown {
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// TransitionRetry folds the retry bookkeeping into ONE ledger transition:
+// the retry count bump and the reset to PENDING land atomically in a
+// single sequenced delta, closing the crash window the old two-RPC
+// sequence (RecordTaskRetry, then SetTaskStatus) left open — a node dying
+// between the two burned a retry attempt without ever rescheduling the
+// task. When the bump exhausts maxRetries the reset is skipped (the
+// caller stamps the terminal failure next; the count rides that delta).
+// Returns the new count and whether the task should retry, or (-1, false)
+// when the task is not owned here.
+func (l *TaskLedger) TransitionRetry(id types.TaskID, maxRetries int) (int, bool) {
+	atNs := l.now()
+	l.mu.Lock()
+	t := l.tasks[id]
+	if t == nil {
+		l.mu.Unlock()
+		return -1, false
+	}
+	t.retries++
+	n := t.retries
+	if n > maxRetries {
+		l.mu.Unlock()
+		return n, false
+	}
+	l.stampLocked(id, t, types.TaskPending, types.WorkerID{}, "", atNs)
+	sync := !l.async
+	l.mu.Unlock()
+	if sync {
+		l.Flush()
+	}
+	return n, true
+}
+
+// Disown drops local authority over id without a terminal transition —
+// the task left this node (spill-away, drain eviction, burial by a group
+// removal, an observed ownership transfer). Unflushed deltas for it are
+// discarded (the fence would consume them anyway) and terminal watchers
+// wake so owner-side waiters fall back to the follower table.
+func (l *TaskLedger) Disown(id types.TaskID) {
+	l.mu.Lock()
+	if l.tasks[id] != nil {
+		delete(l.tasks, id)
+		delete(l.dirty, id)
+		for _, ch := range l.watch[id] {
+			close(ch)
+		}
+		delete(l.watch, id)
+	}
+	l.mu.Unlock()
+}
+
+// stampLocked applies one transition under l.mu: bumps the sequence,
+// stamps the per-phase timestamp, marks the task dirty, and wakes terminal
+// watchers.
+func (l *TaskLedger) stampLocked(id types.TaskID, t *ownedTask, status types.TaskStatus, worker types.WorkerID, errMsg string, nowNs int64) {
+	t.seq++
+	t.status = status
+	t.worker = worker
+	if errMsg != "" {
+		t.errMsg = errMsg
+	}
+	t.lastNs = nowNs
+	switch status {
+	case types.TaskScheduled:
+		t.schedNs = nowNs
+	case types.TaskRunning:
+		t.startNs = nowNs
+	case types.TaskFinished, types.TaskLost, types.TaskFailed:
+		t.finishNs = nowNs
+	}
+	l.dirty[id] = struct{}{}
+	if status.Terminal() {
+		for _, ch := range l.watch[id] {
+			close(ch)
+		}
+		delete(l.watch, id)
+	}
+}
+
+// EnsureLineage records return-object → producer edges in the ledger.
+// They flush as one batched EnsureObjects ahead of the task deltas, and
+// callers that hand an edge to another node (spill bridge, gang
+// re-placement, drain migration) call Flush first — flush-before-handoff,
+// same as refcount borrows.
+func (l *TaskLedger) EnsureLineage(producer types.TaskID, returns ...types.ObjectID) {
+	l.mu.Lock()
+	if !l.dead {
+		for _, id := range returns {
+			if !id.IsNil() {
+				l.ensures[id] = producer
+			}
+		}
+	}
+	sync := !l.async
+	l.mu.Unlock()
+	if sync {
+		l.Flush()
+	}
+}
+
+// Lookup returns the owner's authoritative view of id, shaped as the
+// table record the follower will eventually hold. Owner-side readers
+// (driver wait loops, the reconstructor) consult this before the table.
+func (l *TaskLedger) Lookup(id types.TaskID) (types.TaskState, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.tasks[id]
+	if t == nil {
+		return types.TaskState{}, false
+	}
+	return types.TaskState{
+		Status: t.status, Node: l.node, Worker: t.worker, Error: t.errMsg,
+		Retries: t.retries, ScheduledNs: t.schedNs, StartedNs: t.startNs,
+		FinishedNs: t.finishNs, LastTransitionNs: t.lastNs,
+		Owner: l.node, OwnerSeq: t.seq,
+	}, true
+}
+
+// WatchTerminal returns a channel closed when id reaches a terminal
+// state. Already-terminal and not-owned tasks get an already-closed
+// channel — "nothing more to wait for here, re-check the table".
+func (l *TaskLedger) WatchTerminal(id types.TaskID) <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.tasks[id]
+	if t == nil || t.status.Terminal() {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	ch := make(chan struct{})
+	l.watch[id] = append(l.watch[id], ch)
+	return ch
+}
+
+// UnflushedTasks snapshots the tasks whose latest state the follower table
+// has not acked: dirty ledger entries plus every parked batch. The chaos
+// suites' task-conservation checker samples this — the follower's view
+// plus unflushed deltas must eventually converge on the owners' views.
+func (l *TaskLedger) UnflushedTasks() []types.TaskID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seen := make(map[types.TaskID]struct{}, len(l.dirty))
+	for id := range l.dirty {
+		seen[id] = struct{}{}
+	}
+	for _, b := range l.retry {
+		for _, d := range b.deltas {
+			seen[d.ID] = struct{}{}
+		}
+	}
+	out := make([]types.TaskID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Flush pushes the ledger to the control plane: parked batches first in
+// FIFO order (under their original tokens), then pending lineage ensures,
+// then the accumulated transitions as one fresh batch — one delta per
+// task carrying its full latest view, so coalesced intermediate states
+// cost nothing. Returns true when the ledger fully drained; false parks
+// the remainder for the next flush. Callers needing a happens-before edge
+// (spill bridge publishing a spec another node will run) call this inline.
+func (l *TaskLedger) Flush() bool {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+
+	l.mu.Lock()
+	if l.dead {
+		l.mu.Unlock()
+		return true // abandoned: a crashed node's ledger never flushes again
+	}
+	l.mu.Unlock()
+
+	// Redeliver parked batches first: per-task ordering requires older
+	// deltas to land before newer ones, and a batch keeps its token so a
+	// shard that committed it before crashing dedups the redelivery.
+	for {
+		l.mu.Lock()
+		if len(l.retry) == 0 {
+			l.mu.Unlock()
+			break
+		}
+		b := l.retry[0]
+		node := l.node
+		l.mu.Unlock()
+		failed := l.ctrl.ModifyTaskStates(node, b.deltas, b.op)
+		l.mu.Lock()
+		l.retry = l.retry[1:]
+		if len(failed) > 0 {
+			fset := make(map[types.TaskID]struct{}, len(failed))
+			for _, id := range failed {
+				fset[id] = struct{}{}
+			}
+			var sub []types.TaskStateDelta
+			for _, d := range b.deltas {
+				if _, ok := fset[d.ID]; ok {
+					sub = append(sub, d)
+				}
+			}
+			l.retry = append([]taskBatch{{op: b.op, deltas: sub}}, l.retry...)
+			l.mu.Unlock()
+			return false
+		}
+		l.markAckedLocked(b.deltas)
+		l.mu.Unlock()
+	}
+
+	// Lineage ensures ride ahead of the task deltas that reference them:
+	// a FINISHED record whose return objects lack a producer would strand
+	// the reconstructor. Ensure is idempotent, so failures just re-pend.
+	l.mu.Lock()
+	var ensures map[types.ObjectID]types.TaskID
+	if len(l.ensures) > 0 {
+		ensures = l.ensures
+		l.ensures = make(map[types.ObjectID]types.TaskID)
+	}
+	l.mu.Unlock()
+	ensuresOK := true
+	if len(ensures) > 0 {
+		if failed := l.ctrl.EnsureObjects(ensures); len(failed) > 0 {
+			ensuresOK = false
+			l.mu.Lock()
+			if !l.dead {
+				for _, id := range failed {
+					if _, ok := l.ensures[id]; !ok {
+						l.ensures[id] = ensures[id]
+					}
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+
+	l.mu.Lock()
+	if len(l.dirty) == 0 {
+		l.mu.Unlock()
+		return ensuresOK
+	}
+	deltas := make([]types.TaskStateDelta, 0, len(l.dirty))
+	for id := range l.dirty {
+		t := l.tasks[id]
+		if t == nil {
+			continue
+		}
+		deltas = append(deltas, types.TaskStateDelta{
+			ID: id, Owner: l.node, Seq: t.seq,
+			Status: t.status, Node: l.node, Worker: t.worker,
+			Error: t.errMsg, Retries: t.retries,
+			ScheduledNs: t.schedNs, StartedNs: t.startNs,
+			FinishedNs: t.finishNs, LastTransitionNs: t.lastNs,
+		})
+	}
+	l.dirty = make(map[types.TaskID]struct{})
+	node := l.node
+	l.mu.Unlock()
+
+	op := newRefToken()
+	failed := l.ctrl.ModifyTaskStates(node, deltas, op)
+	if len(failed) > 0 {
+		fset := make(map[types.TaskID]struct{}, len(failed))
+		for _, id := range failed {
+			fset[id] = struct{}{}
+		}
+		var sub []types.TaskStateDelta
+		var acked []types.TaskStateDelta
+		for _, d := range deltas {
+			if _, ok := fset[d.ID]; ok {
+				sub = append(sub, d)
+			} else {
+				acked = append(acked, d)
+			}
+		}
+		l.mu.Lock()
+		l.retry = append(l.retry, taskBatch{op: op, deltas: sub})
+		l.markAckedLocked(acked)
+		l.mu.Unlock()
+		return false
+	}
+	l.mu.Lock()
+	l.markAckedLocked(deltas)
+	l.mu.Unlock()
+	return ensuresOK
+}
+
+// FlushTask synchronously pushes ONE task's unflushed state — its lineage
+// ensures and its dirty delta, if any — ahead of an ownership handoff
+// (spill bridge, drain migration). The handoff invariant only concerns the
+// task changing hands, so draining the whole ledger inline here would put
+// a full ModifyTaskStates round trip on every spill; a spill-heavy submit
+// burst would serialize each task behind every other task's batch — the
+// per-task sync write this design exists to remove. Falls back to a full
+// Flush when parked batches exist, preserving per-task FIFO delivery.
+func (l *TaskLedger) FlushTask(id types.TaskID) {
+	l.mu.Lock()
+	if l.dead {
+		l.mu.Unlock()
+		return
+	}
+	if len(l.retry) > 0 {
+		// A parked batch may hold an older delta for this task; shipping a
+		// fresh one around it is exactly the reorder flushMu exists to
+		// prevent. Rare (a shard was just down) — take the slow path.
+		l.mu.Unlock()
+		l.Flush()
+		return
+	}
+	var ensures map[types.ObjectID]types.TaskID
+	for oid, tid := range l.ensures {
+		if tid == id {
+			if ensures == nil {
+				ensures = make(map[types.ObjectID]types.TaskID)
+			}
+			ensures[oid] = tid
+			delete(l.ensures, oid)
+		}
+	}
+	var deltas []types.TaskStateDelta
+	if _, dirty := l.dirty[id]; dirty {
+		if t := l.tasks[id]; t != nil {
+			deltas = append(deltas, types.TaskStateDelta{
+				ID: id, Owner: l.node, Seq: t.seq,
+				Status: t.status, Node: l.node, Worker: t.worker,
+				Error: t.errMsg, Retries: t.retries,
+				ScheduledNs: t.schedNs, StartedNs: t.startNs,
+				FinishedNs: t.finishNs, LastTransitionNs: t.lastNs,
+			})
+		}
+		delete(l.dirty, id)
+	}
+	node := l.node
+	l.mu.Unlock()
+	if len(ensures) == 0 && len(deltas) == 0 {
+		return // nothing unflushed for this task (the common birth-spill case)
+	}
+	if len(ensures) > 0 {
+		if failed := l.ctrl.EnsureObjects(ensures); len(failed) > 0 {
+			l.mu.Lock()
+			if !l.dead {
+				for _, oid := range failed {
+					if _, ok := l.ensures[oid]; !ok {
+						l.ensures[oid] = ensures[oid]
+					}
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+	if len(deltas) > 0 {
+		op := newRefToken()
+		if failed := l.ctrl.ModifyTaskStates(node, deltas, op); len(failed) > 0 {
+			l.mu.Lock()
+			l.retry = append(l.retry, taskBatch{op: op, deltas: deltas})
+			l.mu.Unlock()
+			return
+		}
+		l.mu.Lock()
+		l.markAckedLocked(deltas)
+		l.mu.Unlock()
+	}
+}
+
+// markAckedLocked drops terminal records whose final delta the control
+// plane acked, unless a newer transition re-dirtied them — that bounds
+// ledger memory to the node's live task set.
+func (l *TaskLedger) markAckedLocked(deltas []types.TaskStateDelta) {
+	for _, d := range deltas {
+		t := l.tasks[d.ID]
+		if t == nil || t.seq != d.Seq {
+			continue // re-dirtied since this delta was built
+		}
+		if t.status.Terminal() {
+			delete(l.tasks, d.ID)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package lifetime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaostest"
+	"repro/internal/gcs"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func ownTask(b byte) types.TaskID {
+	var id types.TaskID
+	id[0] = 0xB0
+	id[1] = b
+	return id
+}
+
+func ownSpec(b byte) types.TaskSpec {
+	return types.TaskSpec{ID: ownTask(b), Function: "own.work", Resources: types.CPU(1)}
+}
+
+// TestTaskOwnershipCommitThenDieDedup is the deterministic crash-window
+// test for the task ledger's flush path, mirroring the refcount ledger's
+// shard-kill discipline: a shard commits a ModifyTaskStates batch (and a
+// ClaimTaskOp), dies before the ack reaches the owner, and recovers from
+// snapshot+WAL. Redelivery under the original token must be recognized —
+// no re-application, no burned fence sequence — while genuinely new deltas
+// afterwards still apply.
+func TestTaskOwnershipCommitThenDieDedup(t *testing.T) {
+	nw := transport.NewInproc(0)
+	svc, err := gcs.StartShard(gcs.ShardConfig{Index: 0, Addr: "shard-taskown", Network: nw, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	owner := ownNode(6)
+	spec := ownSpec(1)
+	st := svc.Store()
+	if !st.AddTask(types.TaskState{Spec: spec, Status: types.TaskPending, Owner: owner}) {
+		t.Fatal("AddTask rejected")
+	}
+
+	// A RUNNING delta commits durably; the "crash" lands between commit
+	// and ack.
+	const op = 61
+	running := []types.TaskStateDelta{{
+		ID: spec.ID, Owner: owner, Seq: 1,
+		Status: types.TaskRunning, Node: owner,
+		StartedNs: 1000, LastTransitionNs: 1000, Retries: 1,
+	}}
+	if failed := st.ModifyTaskStates(owner, running, op); len(failed) != 0 {
+		t.Fatalf("commit failed for %v", failed)
+	}
+	svc.Kill()
+	if err := svc.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	st = svc.Store()
+
+	// Redeliver under the original token, exactly as the ledger's retry
+	// queue would: consumed, not re-applied, not failed.
+	if failed := st.ModifyTaskStates(owner, running, op); len(failed) != 0 {
+		t.Fatalf("redelivery failed for %v", failed)
+	}
+	got, ok := st.GetTask(spec.ID)
+	if !ok || got.Status != types.TaskRunning || got.OwnerSeq != 1 || got.Retries != 1 {
+		t.Fatalf("after redelivery: status=%v seq=%d retries=%d (ok=%v)", got.Status, got.OwnerSeq, got.Retries, ok)
+	}
+
+	// A fresh delta after the dedup still applies — the token history must
+	// not swallow new sequences.
+	finished := []types.TaskStateDelta{{
+		ID: spec.ID, Owner: owner, Seq: 2,
+		Status: types.TaskFinished, Node: owner,
+		FinishedNs: 2000, LastTransitionNs: 2000, Retries: 1,
+	}}
+	if failed := st.ModifyTaskStates(owner, finished, 62); len(failed) != 0 {
+		t.Fatalf("fresh delta failed for %v", failed)
+	}
+	got, _ = st.GetTask(spec.ID)
+	if got.Status != types.TaskFinished || got.OwnerSeq != 2 {
+		t.Fatalf("fresh delta not applied: status=%v seq=%d", got.Status, got.OwnerSeq)
+	}
+
+	// Claim-then-die: a transfer CAS whose ack was lost is recognized by
+	// its token and reports won with the originally stamped sequence.
+	spec2 := ownSpec(2)
+	st.AddTask(types.TaskState{Spec: spec2, Status: types.TaskPending, Owner: owner})
+	successor := ownNode(7)
+	seq1, won := st.ClaimTaskOp(spec2.ID, []types.TaskStatus{types.TaskPending}, types.TaskQueued, successor, 63)
+	if !won {
+		t.Fatal("claim lost")
+	}
+	svc.Kill()
+	if err := svc.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	st = svc.Store()
+	seq2, won := st.ClaimTaskOp(spec2.ID, []types.TaskStatus{types.TaskPending}, types.TaskQueued, successor, 63)
+	if !won || seq2 != seq1 {
+		t.Fatalf("claim redelivery: won=%v seq=%d, want won with seq %d", won, seq2, seq1)
+	}
+	if got, _ := st.GetTask(spec2.ID); got.OwnerSeq != seq1 || got.Owner != successor {
+		t.Fatalf("claim double-applied: owner=%v seq=%d", got.Owner, got.OwnerSeq)
+	}
+}
+
+// TestTaskOwnershipConservationAcrossShardKill races a live task ledger's
+// batched flushes against a control-plane shard kill/restart and asserts
+// task-state conservation (DESIGN.md §13): every owned task ends in
+// exactly one terminal state in the follower table, with flush batches
+// genuinely in flight when the shard died — parked batches must redeliver
+// under their original tokens until the table converges.
+func TestTaskOwnershipConservationAcrossShardKill(t *testing.T) {
+	nw := transport.NewInproc(0)
+	sup, err := gcs.NewSupervisor(gcs.SupervisorConfig{
+		Shards:  3,
+		Network: nw,
+		MapAddr: "gcs-taskown",
+		DataDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	client, err := gcs.NewSharded(gcs.ShardedConfig{Network: nw, MapAddr: "gcs-taskown"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	owner := ownNode(8)
+	ledger := NewTaskLedger(client)
+	ledger.SetNode(owner)
+	ledger.Start()
+
+	var ids []types.TaskID
+	for i := byte(0); i < 24; i++ {
+		spec := ownSpec(0x10 + i)
+		if !client.AddTask(types.TaskState{Spec: spec, Status: types.TaskPending, Owner: owner}) {
+			t.Fatalf("AddTask %d rejected", i)
+		}
+		ledger.Adopt(spec.ID, 0, types.TaskPending)
+		ids = append(ids, spec.ID)
+	}
+
+	// Walk every task through its lifecycle while a shard dies and comes
+	// back, so ledger batches are in flight across the kill.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, phase := range []types.TaskStatus{types.TaskQueued, types.TaskRunning, types.TaskFinished} {
+			for _, id := range ids {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				ledger.Transition(id, phase, types.WorkerID(id), "")
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	sup.KillShard(1)
+	time.Sleep(30 * time.Millisecond)
+	if err := sup.RestartShard(1); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(done)
+
+	// Drain the ledger — parked kill-window batches redeliver under their
+	// original tokens — then the follower table must hold every task
+	// terminal.
+	deadline := time.Now().Add(10 * time.Second)
+	for !ledger.Flush() {
+		if time.Now().After(deadline) {
+			t.Fatal("task ledger did not drain after shard restart")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	chaostest.New(client).AwaitTaskConservation(t, 10*time.Second, ids)
+	for _, id := range ids {
+		st, ok := client.GetTask(id)
+		if !ok || st.Status != types.TaskFinished {
+			t.Fatalf("task %v: status=%v ok=%v, want FINISHED", id, st.Status, ok)
+		}
+	}
+	ledger.Stop()
+}

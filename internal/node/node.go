@@ -135,6 +135,7 @@ type Node struct {
 	life    *lifetime.Manager
 	fetcher *lifetime.PullManager
 	migr    *lifetime.Migrator
+	taskled *lifetime.TaskLedger
 	sched   *scheduler.Local
 	exec    *worker
 	recon   *fault.Reconstructor
@@ -227,6 +228,11 @@ func New(cfg Config) (*Node, error) {
 	n.fetcher = lifetime.NewPullManager(n.store, cfg.Ctrl, cfg.Network, n.resolvePeerAddr, cfg.Pull)
 	n.fetcher.SetObservability(n.reg, n.tracer)
 	n.migr = lifetime.NewMigrator(n.fetcher, n.life.Tracker())
+	// The owner-side task ledger (DESIGN.md §13): this node is the authority
+	// for the state and lineage of every task submitted through it, and the
+	// GCS task table follows via batched async deltas.
+	n.taskled = lifetime.NewTaskLedger(cfg.Ctrl)
+	n.taskled.SetNode(id)
 
 	n.sched = scheduler.NewLocal(scheduler.LocalConfig{
 		Node:            id,
@@ -235,6 +241,7 @@ func New(cfg Config) (*Node, error) {
 		Store:           n.store,
 		Fetcher:         n.fetcher,
 		Refs:            n.life.Tracker(),
+		Ledger:          n.taskled,
 		SpillThreshold:  cfg.SpillThreshold,
 		DepPollInterval: cfg.DepPollInterval,
 		DisablePrefetch: cfg.DisablePrefetch,
@@ -242,7 +249,8 @@ func New(cfg Config) (*Node, error) {
 		Tracer:          n.tracer,
 	})
 	n.recon = &fault.Reconstructor{
-		Ctrl: cfg.Ctrl,
+		Ctrl:   cfg.Ctrl,
+		Ledger: n.taskled,
 		Resubmit: func(spec types.TaskSpec) error {
 			if n.dead.Load() {
 				return scheduler.ErrStopped
@@ -252,6 +260,7 @@ func New(cfg Config) (*Node, error) {
 	}
 	n.sched.SetRecon(func(obj types.ObjectID) { _ = n.recon.RequestObject(obj) })
 	n.exec = newExecutorShim(n)
+	n.exec.inner.SetLedger(n.taskled)
 	n.sched.SetExec(n.exec.Execute)
 
 	n.server = transport.NewServer()
@@ -302,6 +311,7 @@ func New(cfg Config) (*Node, error) {
 
 	cfg.Ctrl.RegisterNode(types.NodeInfo{ID: id, Addr: cfg.AdvertiseAddr, Total: cfg.Resources.Clone()})
 	n.life.Start()
+	n.taskled.Start()
 	n.sched.Start()
 	if cfg.HeartbeatInterval > 0 {
 		n.wg.Add(1)
@@ -537,6 +547,19 @@ func (n *Node) ReleaseObject(id types.ObjectID) { n.life.Tracker().Release(id) }
 // NodeID implements core.Backend.
 func (n *Node) NodeID() types.NodeID { return n.id }
 
+// OwnsTask implements core.TaskOwner: waits on futures whose producing
+// task this node owns resolve from the in-process ledger's state events
+// instead of per-object control-plane subscriptions (DESIGN.md §13).
+func (n *Node) OwnsTask(id types.TaskID) bool { return n.taskled.Owns(id) }
+
+// WatchTaskTerminal implements core.TaskOwner.
+func (n *Node) WatchTaskTerminal(id types.TaskID) <-chan struct{} {
+	return n.taskled.WatchTerminal(id)
+}
+
+// TaskLedger exposes the owner-side task ledger (tests, dashboards).
+func (n *Node) TaskLedger() *lifetime.TaskLedger { return n.taskled }
+
 // ResolveObject implements core.Backend: block until the object is locally
 // resident, pulling remote copies and replaying lineage for lost ones. This
 // is the machinery under every Get.
@@ -607,6 +630,9 @@ func (n *Node) Shutdown() {
 		n.dead.Store(true)
 		close(n.stop)
 		n.sched.Stop()
+		// Final task-ledger flush: every terminal transition this owner
+		// stamped reaches the follower table before the node deregisters.
+		n.taskled.Stop()
 		// Settle the node's ledger: drivers', borrows', and bridges'
 		// references all die with a graceful shutdown, so surviving nodes
 		// can reclaim anything only this node kept alive. (Kill skips
@@ -639,6 +665,10 @@ func (n *Node) Kill() {
 		// from flushing its releases — a crashed node cannot release). The
 		// owner-death sweep reconciles what this node had already flushed.
 		n.life.Kill()
+		// Same for the task ledger: unflushed task-state deltas die here,
+		// and the global scheduler's owner-transfer sweep re-drives the
+		// tasks this owner leaves behind in the follower table.
+		n.taskled.Abandon()
 		n.sched.Stop()
 		if n.listener != nil {
 			n.listener.Close()

@@ -41,7 +41,32 @@ func runWorkload(t *testing.T) gcs.API {
 	if _, _, err := d.Wait(ctx, refs, len(refs), 20*time.Second); err != nil {
 		t.Fatal(err)
 	}
+	// Owner-side futures resolve before the FINISHED deltas flush to the
+	// follower table (DESIGN.md §13); profiling reads the table, so let it
+	// catch up before building timelines.
+	awaitFinished(t, c.Ctrl, len(refs))
 	return c.Ctrl
+}
+
+// awaitFinished waits until n tasks read FINISHED from the follower table.
+func awaitFinished(t *testing.T, ctrl gcs.API, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := 0
+		for _, ts := range ctrl.Tasks() {
+			if ts.Status == types.TaskFinished {
+				done++
+			}
+		}
+		if done >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d tasks FINISHED in the follower table", done, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 func TestBuildTimeline(t *testing.T) {

@@ -112,16 +112,25 @@ func TestBuildFullMergesDataPlaneSpans(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Lineage edges ride the owner's async ledger (DESIGN.md §13): the
+	// object record can exist (from the refcount flush) before its Producer
+	// edge lands, so poll until the edge is visible.
 	var sink gcs.TelemetrySink = c.Ctrl
 	var produced types.ObjectInfo
-	for _, o := range c.Ctrl.Objects() {
-		if !o.Producer.IsNil() {
-			produced = o
-			break
+	settle := time.Now().Add(10 * time.Second)
+	for produced.Producer.IsNil() {
+		for _, o := range c.Ctrl.Objects() {
+			if !o.Producer.IsNil() {
+				produced = o
+				break
+			}
 		}
-	}
-	if produced.Producer.IsNil() {
-		t.Fatal("no produced object found")
+		if produced.Producer.IsNil() {
+			if time.Now().After(settle) {
+				t.Fatal("no produced object found")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
 	}
 	sink.PublishTelemetry(c.Node(0).ID(), metrics.Snapshot{}, []metrics.SpanRecord{{
 		Name: "test.pull.chunk", Cat: "pull",

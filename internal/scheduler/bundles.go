@@ -148,6 +148,11 @@ func (l *Local) FailTask(spec types.TaskSpec, reason string) {
 		// Best effort: the store may itself be failing.
 		_ = l.cfg.Store.Put(spec.ReturnID(i), codec.EncodeError(reason))
 	}
+	if l.cfg.Ledger != nil {
+		// The CAS buried the task directly in the table; drop any local
+		// tenure so the ledger never re-stamps over the burial.
+		l.cfg.Ledger.Disown(spec.ID)
+	}
 	l.cfg.Ctrl.SetTaskStatus(spec.ID, types.TaskFailed, l.cfg.Node, types.NilWorkerID, reason)
 }
 

@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,11 +71,25 @@ type Global struct {
 	// transiently, so rollbacks never strand a reservation (value:
 	// the release's removed flag).
 	releaseRetry map[releaseKey]bool
+	// nodeCache is the last node-table scan, reused while fresh for
+	// placement candidate building — a spill burst of K tasks costs one
+	// table scan instead of K×N full-record decodes. Invalidated by
+	// membership events; the short TTL bounds heartbeat staleness, which
+	// placement already tolerates (load fields are heartbeat-stale by
+	// construction).
+	nodeCache   []types.NodeInfo
+	nodeScanned time.Time
 	// refSwept remembers dead nodes whose refcount shares have been swept
 	// from the object table (DESIGN.md §12). A node stays unswept — and is
 	// retried by every membership event and sweep tick — until the
 	// idempotent sweep reports it covered the whole table.
 	refSwept map[types.NodeID]bool
+	// ownerSwept remembers dead nodes whose live owned tasks have been
+	// transferred to successor owners (DESIGN.md §13). Like refSwept, a
+	// node stays unswept until a transfer pass sees a complete follower-
+	// table view (every shard reachable) — re-owning from a partial scan
+	// could strand the tasks on the unreachable shard forever.
+	ownerSwept map[types.NodeID]bool
 
 	spillSub gcs.Sub
 	nodeSub  gcs.Sub
@@ -107,6 +122,7 @@ func NewGlobal(cfg GlobalConfig) *Global {
 		probeAt:      make(map[types.PlacementGroupID]time.Time),
 		releaseRetry: make(map[releaseKey]bool),
 		refSwept:     make(map[types.NodeID]bool),
+		ownerSwept:   make(map[types.NodeID]bool),
 	}
 }
 
@@ -185,7 +201,10 @@ func (g *Global) run() {
 				nodeC = nil
 				continue
 			}
-			drain(nodeC)     // coalesce membership bursts into one pass
+			drain(nodeC) // coalesce membership bursts into one pass
+			g.mu.Lock()
+			g.nodeCache = nil // membership changed: never place off a stale view
+			g.mu.Unlock()
 			g.sweepDeadOwners()
 			g.gangPass(true) // membership changed: place/roll back groups first
 			g.retryParked()
@@ -245,14 +264,50 @@ func (g *Global) sweepDeadOwners() {
 		g.mu.Lock()
 		done := g.refSwept[n.ID]
 		g.mu.Unlock()
-		if done {
-			continue
-		}
-		if g.cfg.Ctrl.SweepDeadNodeRefs(n.ID) >= 0 {
+		if !done && g.cfg.Ctrl.SweepDeadNodeRefs(n.ID) >= 0 {
 			g.mu.Lock()
 			g.refSwept[n.ID] = true
 			g.mu.Unlock()
 		}
+		g.transferDeadOwner(n.ID)
+	}
+}
+
+// transferDeadOwner is the owner-death transfer protocol (DESIGN.md §13):
+// a node that dies owning live tasks leaves their authoritative state in a
+// ledger that no longer exists — the follower table holds whatever the
+// owner last flushed. The transfer reads the dead owner's live tasks from
+// the follower, releases each tenure with a CAS back into the unowned
+// PENDING pool (which bumps the fence sequence, so any straggler delta
+// from the dead tenure is consumed), and re-places the task; the
+// destination's PENDING→QUEUED claim opens the successor tenure. The CAS
+// also makes concurrent transfers from several global schedulers converge:
+// exactly one wins each release, and a task that moved on by itself
+// (terminal, or re-owned via a consumer's steal) loses the CAS and is
+// skipped. The owner is marked transferred only after a complete scan
+// processed cleanly; an unreachable shard retries on the next tick.
+func (g *Global) transferDeadOwner(owner types.NodeID) {
+	g.mu.Lock()
+	done := g.ownerSwept[owner]
+	g.mu.Unlock()
+	if done {
+		return
+	}
+	tasks, complete := g.cfg.Ctrl.LiveTasksOwnedBy(owner)
+	for _, st := range tasks {
+		if !g.cfg.Ctrl.CASTaskStatus(st.Spec.ID,
+			[]types.TaskStatus{types.TaskPending, types.TaskQueued, types.TaskScheduled, types.TaskRunning},
+			types.TaskPending) {
+			continue // moved on by itself: terminal or already re-owned
+		}
+		g.cfg.Ctrl.LogEvent(types.Event{Kind: "owner-transfer", Task: st.Spec.ID, Node: owner,
+			Detail: fmt.Sprintf("from %s", st.Status)})
+		g.place(st.Spec)
+	}
+	if complete {
+		g.mu.Lock()
+		g.ownerSwept[owner] = true
+		g.mu.Unlock()
 	}
 }
 
@@ -363,8 +418,31 @@ func (g *Global) park(spec types.TaskSpec) {
 // the object table. Draining nodes are fenced out here so no new placement
 // lands on a node that is shedding its state; their refusal (ErrDraining)
 // is only the backstop for assignments already in flight.
-func (g *Global) candidates(spec types.TaskSpec) []NodeSnapshot {
+// nodeCacheTTL bounds how stale a cached node-table scan may serve
+// placement; it is well under any heartbeat interval, so cached load
+// fields are no staler than the table's own.
+const nodeCacheTTL = 5 * time.Millisecond
+
+// nodes returns the node table, served from the placement cache while
+// fresh. Membership events invalidate it immediately (see run), so a
+// death verdict is never masked for a TTL.
+func (g *Global) nodes() []types.NodeInfo {
+	g.mu.Lock()
+	if g.nodeCache != nil && time.Since(g.nodeScanned) < nodeCacheTTL {
+		nodes := g.nodeCache
+		g.mu.Unlock()
+		return nodes
+	}
+	g.mu.Unlock()
 	nodes := g.cfg.Ctrl.Nodes()
+	g.mu.Lock()
+	g.nodeCache, g.nodeScanned = nodes, time.Now()
+	g.mu.Unlock()
+	return nodes
+}
+
+func (g *Global) candidates(spec types.TaskSpec) []NodeSnapshot {
+	nodes := g.nodes()
 	deps := spec.Deps()
 	out := make([]NodeSnapshot, 0, len(nodes))
 	for _, n := range nodes {

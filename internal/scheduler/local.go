@@ -55,6 +55,28 @@ type RefLedger interface {
 	Flush() bool
 }
 
+// TaskLedger is the owner side of task-state authority (DESIGN.md §13):
+// the node that submits (or claims) a task stamps every lifecycle
+// transition into an in-process ledger, flushed to the GCS task table as
+// batched sequenced deltas. lifetime.TaskLedger is the production
+// implementation. Adopt seeds a tenure (after the one synchronous AddTask
+// or ClaimTask that establishes it), Transition stamps a state change
+// without a control-plane round trip, EnsureLineage records return-object
+// producer edges to ride the same flush, Disown drops local authority
+// when the task leaves this node, and Flush forces the happens-before
+// edge on every handoff another node may act on.
+type TaskLedger interface {
+	Adopt(id types.TaskID, baseSeq uint64, status types.TaskStatus)
+	Transition(id types.TaskID, status types.TaskStatus, worker types.WorkerID, errMsg string) bool
+	EnsureLineage(producer types.TaskID, returns ...types.ObjectID)
+	Disown(id types.TaskID)
+	Owns(id types.TaskID) bool
+	Flush() bool
+	// FlushTask forces the happens-before edge for ONE task's handoff
+	// without draining the whole ledger inline on the spill path.
+	FlushTask(id types.TaskID)
+}
+
 // ErrStopped is returned for submissions to a stopped scheduler.
 var ErrStopped = errors.New("scheduler: stopped")
 
@@ -85,6 +107,9 @@ type LocalConfig struct {
 	// Refs records argument borrows for the lifetime subsystem; nil
 	// disables borrow tracking.
 	Refs RefLedger
+	// Ledger is the owner-side task-state ledger (DESIGN.md §13); nil
+	// falls back to per-transition synchronous control-plane writes.
+	Ledger TaskLedger
 	// Exec runs ready tasks (assigned after construction by the node).
 	Exec ExecFunc
 	// Recon triggers lineage reconstruction of lost dependencies.
@@ -321,7 +346,7 @@ func (l *Local) Submit(spec types.TaskSpec, placed bool) error {
 	l.submitted.Add(1)
 	l.obs.submitted.Inc()
 
-	fresh := l.record(spec)
+	fresh := l.record(spec, placed)
 	if placed {
 		// A draining node admits nothing: refuse before the ownership claim
 		// so the global scheduler parks the task and re-places it on a node
@@ -332,8 +357,16 @@ func (l *Local) Submit(spec types.TaskSpec, placed bool) error {
 		// A global-scheduler assignment. Several global schedulers may each
 		// place the same spilled task ("one or more global schedulers",
 		// Section 3.2); the QUEUED claim below makes exactly one
-		// destination own it.
-		if !l.cfg.Ctrl.CASTaskStatus(spec.ID, []types.TaskStatus{types.TaskPending}, types.TaskQueued) {
+		// destination own it. With a ledger the claim also opens this
+		// node's ownership tenure: the returned sequence is the fence base
+		// every ledger delta for this task must exceed.
+		if l.cfg.Ledger != nil {
+			seq, ok := l.cfg.Ctrl.ClaimTask(spec.ID, []types.TaskStatus{types.TaskPending}, types.TaskQueued, l.cfg.Node)
+			if !ok {
+				return nil
+			}
+			l.cfg.Ledger.Adopt(spec.ID, seq, types.TaskQueued)
+		} else if !l.cfg.Ctrl.CASTaskStatus(spec.ID, []types.TaskStatus{types.TaskPending}, types.TaskQueued) {
 			return nil
 		}
 		l.enqueue(spec)
@@ -386,6 +419,17 @@ func (l *Local) Submit(spec types.TaskSpec, placed bool) error {
 // transition) or a terminal state; an unplaceable task keeps its bridge,
 // which is the conservative direction (leak, never lose a live argument).
 func (l *Local) bridgeSpill(spec types.TaskSpec) {
+	if l.cfg.Ledger != nil {
+		// Flush-before-handoff for task state: the spilled task's lineage
+		// ensures and latest stamped state must be in the follower table
+		// before another node can act on the spill, and local authority
+		// drops — whoever claims the task next owns its lifecycle. Only
+		// THIS task's unflushed state matters for the handoff; a full
+		// ledger flush here would serialize every spill behind the whole
+		// dirty set (a per-task sync round trip on the submit path).
+		l.cfg.Ledger.FlushTask(spec.ID)
+		l.cfg.Ledger.Disown(spec.ID)
+	}
 	if l.cfg.Refs == nil {
 		return
 	}
@@ -520,17 +564,53 @@ func (l *Local) SetExec(fn ExecFunc) { l.cfg.Exec = fn }
 func (l *Local) SetRecon(fn ReconFunc) { l.cfg.Recon = fn }
 
 // record writes the lineage record; reports whether the task is new.
-// EnsureObject runs unconditionally (it is create-if-absent): a duplicate
-// AddTask can be a retry whose original ack died with a control-plane
-// shard between the task write and the object writes, and skipping the
-// ensure would leave return objects without their Producer edge — losing
-// lineage reconstructability for anything this task outputs.
-func (l *Local) record(spec types.TaskSpec) bool {
+// The lineage ensure runs unconditionally (it is create-or-heal): a
+// duplicate AddTask can be a retry whose original ack died with a
+// control-plane shard between the task write and the object writes, and
+// skipping the ensure would leave return objects without their Producer
+// edge — losing lineage reconstructability for anything this task outputs.
+//
+// With a ledger this is the ONE synchronous control-plane write a
+// locally-born task pays (admission): the task is owned from birth, and
+// its return-object producer edges ride the ledger's batched flush
+// instead of one EnsureObject round trip per return.
+func (l *Local) record(spec types.TaskSpec, placed bool) bool {
+	if l.cfg.Ledger != nil {
+		st := types.TaskState{Spec: spec, Status: types.TaskPending, Node: l.cfg.Node}
+		if !placed {
+			st.Owner = l.cfg.Node // born here: owned from birth (§13)
+		}
+		added := l.cfg.Ctrl.AddTask(st)
+		if added && !placed {
+			l.cfg.Ledger.Adopt(spec.ID, 0, types.TaskPending)
+		}
+		returns := make([]types.ObjectID, spec.NumReturns)
+		for i := range returns {
+			returns[i] = spec.ReturnID(i)
+		}
+		l.cfg.Ledger.EnsureLineage(spec.ID, returns...)
+		return added
+	}
 	added := l.cfg.Ctrl.AddTask(types.TaskState{Spec: spec, Status: types.TaskPending, Node: l.cfg.Node})
 	for i := 0; i < spec.NumReturns; i++ {
 		l.cfg.Ctrl.EnsureObject(spec.ReturnID(i), spec.ID)
 	}
 	return added
+}
+
+// claimPending re-owns a stale task for this node (the steal paths of
+// shouldRerun): with a ledger the claim names this node as the new owner
+// and seeds the tenure's fence base; without one it is the legacy CAS
+// reset. Either way the previous tenure's straggler writes lose.
+func (l *Local) claimPending(id types.TaskID, from []types.TaskStatus) bool {
+	if l.cfg.Ledger != nil {
+		seq, ok := l.cfg.Ctrl.ClaimTask(id, from, types.TaskPending, l.cfg.Node)
+		if ok {
+			l.cfg.Ledger.Adopt(id, seq, types.TaskPending)
+		}
+		return ok
+	}
+	return l.cfg.Ctrl.CASTaskStatus(id, from, types.TaskPending)
 }
 
 // shouldRerun decides whether a duplicate submission must actually
@@ -546,14 +626,14 @@ func (l *Local) shouldRerun(spec types.TaskSpec) bool {
 		if node, alive := l.nodeAlive(st.Node); node && alive {
 			return false
 		}
-		return l.cfg.Ctrl.CASTaskStatus(spec.ID, []types.TaskStatus{st.Status}, types.TaskPending)
+		return l.claimPending(spec.ID, []types.TaskStatus{st.Status})
 	case types.TaskFinished:
 		if l.outputsIntact(spec) {
 			return false
 		}
-		return l.cfg.Ctrl.CASTaskStatus(spec.ID, []types.TaskStatus{types.TaskFinished}, types.TaskPending)
+		return l.claimPending(spec.ID, []types.TaskStatus{types.TaskFinished})
 	case types.TaskLost, types.TaskFailed:
-		return l.cfg.Ctrl.CASTaskStatus(spec.ID, []types.TaskStatus{st.Status}, types.TaskPending)
+		return l.claimPending(spec.ID, []types.TaskStatus{st.Status})
 	}
 	return false
 }
@@ -630,11 +710,16 @@ func (l *Local) enqueue(spec types.TaskSpec) {
 		}
 	}
 	// Stamp this node as the task's current holder. If this node dies with
-	// the task still queued, the task table points at a dead node and any
-	// consumer's reconstruction check will re-own the task (R6); without
-	// the stamp, a task queued-but-not-dispatched on a dead node would be
-	// invisible.
-	l.cfg.Ctrl.SetTaskStatus(spec.ID, types.TaskQueued, l.cfg.Node, types.NilWorkerID, "")
+	// the task still queued, the task table points at a dead node and the
+	// owner-death transfer (or any consumer's reconstruction check) will
+	// re-own the task (R6); without the stamp, a task queued-but-not-
+	// dispatched on a dead node would be invisible. With a ledger the
+	// stamp is an in-process append that rides the next batched flush.
+	if l.cfg.Ledger != nil {
+		l.cfg.Ledger.Transition(spec.ID, types.TaskQueued, types.NilWorkerID, "")
+	} else {
+		l.cfg.Ctrl.SetTaskStatus(spec.ID, types.TaskQueued, l.cfg.Node, types.NilWorkerID, "")
+	}
 	missing := make(map[types.ObjectID]bool)
 	var missingList []types.ObjectID
 	for _, dep := range spec.Deps() {
@@ -812,8 +897,21 @@ func (l *Local) dispatchReady() {
 				if l.cfg.Refs != nil {
 					l.cfg.Refs.Release(task.spec.Deps()...)
 				}
+				if l.cfg.Ledger != nil {
+					l.cfg.Ledger.Disown(task.spec.ID) // buried by FailTask: dead tenure
+				}
 				continue
 			}
+			// The CAS stamped the table; mirror it into the ledger so the
+			// next flush's full-state delta carries SCHEDULED, not a stale
+			// QUEUED that would regress the follower.
+			if l.cfg.Ledger != nil {
+				l.cfg.Ledger.Transition(task.spec.ID, types.TaskScheduled, types.NilWorkerID, "")
+			}
+		} else if l.cfg.Ledger != nil {
+			// Serial hot path: the SCHEDULED stamp is an in-process ledger
+			// append instead of a synchronous control-plane write.
+			l.cfg.Ledger.Transition(task.spec.ID, types.TaskScheduled, types.NilWorkerID, "")
 		} else {
 			l.cfg.Ctrl.SetTaskStatus(task.spec.ID, types.TaskScheduled, l.cfg.Node, types.NilWorkerID, "")
 		}

@@ -148,6 +148,53 @@ type TaskState struct {
 	// never enqueued), and a retry-count redelivery does not burn an extra
 	// attempt.
 	MutOps []uint64
+	// Owner is the node whose task ledger holds authority over this record
+	// (DESIGN.md §13): transitions arrive as batched async deltas from the
+	// owner, and the table is a follower. Set by AddTask to the submitting
+	// node, transferred by the placed-claim CAS, and cleared (nil) when the
+	// task sits unowned in the global spill queue or after an owner-death
+	// transfer.
+	Owner NodeID
+	// OwnerSeq is the owner's per-task transition sequence number last
+	// applied to this record. A delta applies only if it carries the
+	// record's current Owner and a strictly newer sequence, so a stale
+	// owner's late flush (or an out-of-order redelivery) can never regress
+	// the follower past an ownership change.
+	OwnerSeq uint64
+}
+
+// TaskStateDelta is one owner-ledger entry in a batched ModifyTaskStates
+// flush (DESIGN.md §13). It carries the owner's full latest view of the
+// mutable execution state — not an increment — so transitions that
+// coalesced inside one flush interval (QUEUED→SCHEDULED→RUNNING→FINISHED
+// for a sub-millisecond task) land as a single delta, and redelivery under
+// the batch token is naturally idempotent.
+type TaskStateDelta struct {
+	ID    TaskID
+	Owner NodeID // the ledger's node; must match the record's Owner to apply
+	Seq   uint64 // owner's transition sequence; must exceed the record's OwnerSeq
+
+	Status  TaskStatus
+	Node    NodeID
+	Worker  WorkerID
+	Error   string
+	Retries int
+
+	SubmittedNs      int64
+	ScheduledNs      int64
+	StartedNs        int64
+	FinishedNs       int64
+	LastTransitionNs int64
+}
+
+// TaskLedgerBatch is the wire record of one ModifyTaskStates flush: a
+// node's coalesced task-state deltas bound to one idempotency token. It is
+// a hot record on the steady-state control path, so the codec gives it a
+// reflection-free binary fast path like the table records.
+type TaskLedgerBatch struct {
+	Node   NodeID
+	Deltas []TaskStateDelta
+	Op     uint64
 }
 
 // ObjectState is the lifecycle of an entry in the object table.

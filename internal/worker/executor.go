@@ -26,6 +26,20 @@ type Hooks struct {
 	Resubmit func(spec types.TaskSpec)
 }
 
+// TaskLedger is the owner-side task-state ledger (DESIGN.md §13): the
+// executor stamps RUNNING and terminal transitions into it instead of
+// paying a synchronous control-plane write per transition. TransitionRetry
+// folds the retry count bump and the PENDING reset into one sequenced
+// delta — the old two-RPC sequence (RecordTaskRetry, then SetTaskStatus)
+// had a crash window between them that burned a retry attempt without
+// ever rescheduling the task. lifetime.TaskLedger is the implementation.
+type TaskLedger interface {
+	ClockNs() int64
+	Transition(id types.TaskID, status types.TaskStatus, worker types.WorkerID, errMsg string) bool
+	TransitionAt(id types.TaskID, status types.TaskStatus, worker types.WorkerID, errMsg string, atNs int64) bool
+	TransitionRetry(id types.TaskID, maxRetries int) (int, bool)
+}
+
 // Executor runs task specs against a function registry.
 type Executor struct {
 	node    types.NodeID
@@ -33,6 +47,7 @@ type Executor struct {
 	reg     *core.Registry
 	backend core.Backend
 	hooks   Hooks
+	ledger  TaskLedger
 
 	active   atomic.Int64
 	executed atomic.Int64
@@ -44,6 +59,10 @@ type Executor struct {
 func NewExecutor(node types.NodeID, ctrl gcs.API, reg *core.Registry, backend core.Backend, hooks Hooks) *Executor {
 	return &Executor{node: node, ctrl: ctrl, reg: reg, backend: backend, hooks: hooks}
 }
+
+// SetLedger wires the owner-side task ledger; nil keeps the legacy
+// synchronous control-plane writes. Call before the first Execute.
+func (e *Executor) SetLedger(l TaskLedger) { e.ledger = l }
 
 // Active returns the number of currently executing tasks.
 func (e *Executor) Active() int64 { return e.active.Load() }
@@ -67,7 +86,11 @@ func (e *Executor) Execute(ctx context.Context, spec types.TaskSpec, args [][]by
 	e.active.Add(1)
 	defer e.active.Add(-1)
 	wid := workerIDFor(spec)
-	e.ctrl.SetTaskStatus(spec.ID, types.TaskRunning, e.node, wid, "")
+	if e.ledger != nil {
+		e.ledger.Transition(spec.ID, types.TaskRunning, wid, "")
+	} else {
+		e.ctrl.SetTaskStatus(spec.ID, types.TaskRunning, e.node, wid, "")
+	}
 
 	rets, err := e.invoke(ctx, spec, args)
 	if err != nil {
@@ -81,8 +104,14 @@ func (e *Executor) Execute(ctx context.Context, spec types.TaskSpec, args [][]by
 	// Capture the finish instant before storing outputs: the first Put can
 	// unblock a consumer, and a consumer's recorded start must never
 	// precede its producer's recorded finish. The status transition itself
-	// still publishes only after every output is durable.
-	finishNs := e.ctrl.NowNs()
+	// still publishes only after every output is durable. With a ledger
+	// the instant comes off the local cluster clock — no NowNs round trip.
+	var finishNs int64
+	if e.ledger != nil {
+		finishNs = e.ledger.ClockNs()
+	} else {
+		finishNs = e.ctrl.NowNs()
+	}
 	for i, data := range rets {
 		if data == nil {
 			data = codec.MustEncode(nil)
@@ -93,7 +122,11 @@ func (e *Executor) Execute(ctx context.Context, spec types.TaskSpec, args [][]by
 		}
 	}
 	e.executed.Add(1)
-	e.ctrl.SetTaskStatusAt(spec.ID, types.TaskFinished, e.node, wid, "", finishNs)
+	if e.ledger != nil {
+		e.ledger.TransitionAt(spec.ID, types.TaskFinished, wid, "", finishNs)
+	} else {
+		e.ctrl.SetTaskStatusAt(spec.ID, types.TaskFinished, e.node, wid, "", finishNs)
+	}
 }
 
 // invoke runs the function with panic isolation: a panicking task must not
@@ -121,6 +154,31 @@ func (e *Executor) invoke(ctx context.Context, spec types.TaskSpec, args [][]byt
 // failure, error payloads are stored under every return object so that
 // blocked Gets observe the failure (instead of hanging).
 func (e *Executor) fail(spec types.TaskSpec, wid types.WorkerID, taskErr error) {
+	if e.ledger != nil {
+		retries, retrying := e.ledger.TransitionRetry(spec.ID, spec.MaxRetries)
+		if retries < 0 {
+			// Ownership moved out from under the execution (a transfer
+			// after a false-positive death verdict): the successor re-runs
+			// the task, and any stamp from this tenure would be a zombie
+			// write the fence consumes anyway.
+			return
+		}
+		if retrying && e.hooks.Resubmit != nil {
+			e.ctrl.LogEvent(types.Event{
+				Kind: "retry", Task: spec.ID, Node: e.node, Worker: wid,
+				Detail: fmt.Sprintf("attempt %d/%d: %v", retries, spec.MaxRetries, taskErr),
+			})
+			e.hooks.Resubmit(spec)
+			return
+		}
+		e.failed.Add(1)
+		for i := 0; i < spec.NumReturns; i++ {
+			// Best effort: the store may itself be failing.
+			_ = e.backend.PutObject(spec.ReturnID(i), codec.EncodeError(taskErr.Error()))
+		}
+		e.ledger.Transition(spec.ID, types.TaskFailed, wid, taskErr.Error())
+		return
+	}
 	retries := e.ctrl.RecordTaskRetry(spec.ID)
 	if retries <= spec.MaxRetries && e.hooks.Resubmit != nil {
 		e.ctrl.LogEvent(types.Event{

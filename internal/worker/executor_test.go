@@ -9,6 +9,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/gcs"
+	"repro/internal/lifetime"
 	"repro/internal/types"
 )
 
@@ -254,4 +255,137 @@ func TestNilReturnBecomesNullPayload(t *testing.T) {
 	if st.Status != types.TaskFinished {
 		t.Fatalf("status = %v", st.Status)
 	}
+}
+
+// ledgerRecorder wraps the store to observe the executor's control-plane
+// traffic on the ledger path: every ModifyTaskStates batch is captured, and
+// the legacy two-RPC retry surface (RecordTaskRetry + SetTaskStatus) trips
+// the test — the ledger path must never fall back to it.
+type ledgerRecorder struct {
+	gcs.API
+	t *testing.T
+
+	mu     sync.Mutex
+	deltas []types.TaskStateDelta
+}
+
+func (r *ledgerRecorder) ModifyTaskStates(node types.NodeID, deltas []types.TaskStateDelta, op uint64) []types.TaskID {
+	r.mu.Lock()
+	r.deltas = append(r.deltas, deltas...)
+	r.mu.Unlock()
+	return r.API.ModifyTaskStates(node, deltas, op)
+}
+
+func (r *ledgerRecorder) RecordTaskRetry(id types.TaskID) int {
+	r.t.Errorf("ledger path used legacy RecordTaskRetry for %v", id)
+	return r.API.RecordTaskRetry(id)
+}
+
+func (r *ledgerRecorder) SetTaskStatus(id types.TaskID, status types.TaskStatus, node types.NodeID, worker types.WorkerID, errMsg string) {
+	r.t.Errorf("ledger path used legacy SetTaskStatus(%v, %v)", id, status)
+	r.API.SetTaskStatus(id, status, node, worker, errMsg)
+}
+
+// TestRetryCrashWindowClosed is the regression test for the retry crash
+// window (DESIGN.md §13): the old sequence was two control-plane RPCs —
+// RecordTaskRetry bumping the count, then SetTaskStatus resetting to
+// PENDING — and a node dying between them burned a retry attempt without
+// ever rescheduling the task. On the ledger path both must ride ONE
+// sequenced delta: every delta that carries a retry bump also carries the
+// PENDING reset, so there is no instant at which the table holds the bump
+// without the reset.
+func TestRetryCrashWindowClosed(t *testing.T) {
+	resubmitted := make(chan types.TaskSpec, 4)
+	ex, b, reg := setup(t, Hooks{
+		Resubmit: func(spec types.TaskSpec) { resubmitted <- spec },
+	})
+	rec := &ledgerRecorder{API: b.ctrl, t: t}
+	led := lifetime.NewTaskLedger(rec)
+	led.SetNode(b.node)
+	ex.SetLedger(led) // synchronous mode: every transition flushes inline
+
+	reg.Register("flaky", func(tc *core.TaskContext, args [][]byte) ([][]byte, error) {
+		return nil, errors.New("transient")
+	})
+	spec := mkSpec(9, "flaky", 1)
+	spec.MaxRetries = 2
+	b.ctrl.AddTask(types.TaskState{Spec: spec, Owner: b.node})
+	led.Adopt(spec.ID, 0, types.TaskPending)
+
+	ex.Execute(context.Background(), spec, nil) // attempt 1 -> retry
+	select {
+	case got := <-resubmitted:
+		if got.ID != spec.ID {
+			t.Fatal("wrong spec resubmitted")
+		}
+	default:
+		t.Fatal("no resubmission after first failure")
+	}
+	st, _ := b.ctrl.GetTask(spec.ID)
+	if st.Status != types.TaskPending || st.Retries != 1 {
+		t.Fatalf("after retry 1: status=%v retries=%d", st.Status, st.Retries)
+	}
+
+	ex.Execute(context.Background(), spec, nil) // attempt 2 -> retry
+	<-resubmitted
+	ex.Execute(context.Background(), spec, nil) // attempt 3 -> exhausted
+	select {
+	case <-resubmitted:
+		t.Fatal("resubmitted past MaxRetries")
+	default:
+	}
+	st, _ = b.ctrl.GetTask(spec.ID)
+	if st.Status != types.TaskFailed || st.Retries != 3 {
+		t.Fatalf("final state: status=%v retries=%d", st.Status, st.Retries)
+	}
+	if msg, isErr := codec.AsError(mustResolve(t, b, spec.ReturnID(0))); !isErr || msg == "" {
+		t.Fatal("no error payload stored for exhausted retries")
+	}
+
+	// The crash-window invariant: a delta bumping Retries must carry the
+	// PENDING reset (or be terminal, where the count rides the failure) in
+	// the SAME delta. Any bump-only delta reopens the window.
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	bumps := 0
+	for _, d := range rec.deltas {
+		if d.ID != spec.ID {
+			continue
+		}
+		if d.Retries > 0 && d.Status == types.TaskPending {
+			bumps++
+		}
+		if d.Retries > 0 && d.Status != types.TaskPending && !d.Status.Terminal() && d.Status != types.TaskRunning {
+			t.Fatalf("retry bump without reset in one delta: %+v", d)
+		}
+	}
+	if bumps < 2 {
+		t.Fatalf("expected >=2 atomic bump+reset deltas, saw %d", bumps)
+	}
+
+	// Zombie tenure: the FAILED ack dropped the record from the ledger, so
+	// a straggler execution finds the task unowned and vanishes silently —
+	// no resubmit, no counter bump, no table write.
+	failedBefore := ex.Failed()
+	ex.Execute(context.Background(), spec, nil)
+	if ex.Failed() != failedBefore {
+		t.Fatal("zombie execution bumped the failure counter")
+	}
+	select {
+	case <-resubmitted:
+		t.Fatal("zombie execution resubmitted")
+	default:
+	}
+	if st2, _ := b.ctrl.GetTask(spec.ID); st2.Status != types.TaskFailed {
+		t.Fatalf("zombie execution disturbed the table: %v", st2.Status)
+	}
+}
+
+func mustResolve(t *testing.T, b *stubBackend, id types.ObjectID) []byte {
+	t.Helper()
+	data, err := b.ResolveObject(context.Background(), id)
+	if err != nil {
+		t.Fatalf("resolve %v: %v", id, err)
+	}
+	return data
 }
