@@ -9,6 +9,8 @@
 //	rayctl -addr http://127.0.0.1:8265 objects
 //	rayctl -addr http://127.0.0.1:8265 groups
 //	rayctl -addr http://127.0.0.1:8265 autoscale
+//	rayctl -addr http://127.0.0.1:8265 jobs
+//	rayctl -addr http://127.0.0.1:8265 stop-job <job-id-hex>
 //	rayctl -addr http://127.0.0.1:8265 drain <node-id-hex>
 //	rayctl -addr http://127.0.0.1:8265 profile
 //	rayctl -addr http://127.0.0.1:8265 trace -o trace.json   # chrome://tracing
@@ -58,6 +60,14 @@ func main() {
 		printGroups(fetch(*addr + "/api/placement"))
 	case "autoscale":
 		printAutoscale(fetch(*addr + "/api/autoscale"))
+	case "jobs":
+		printJobs(fetch(*addr + "/api/jobs"))
+	case "stop-job":
+		id := flag.Arg(1)
+		if id == "" {
+			fatal(fmt.Errorf("usage: rayctl stop-job <job-id-hex> (full hex; see `rayctl jobs`)"))
+		}
+		stopJob(*addr, id)
 	case "drain":
 		id := flag.Arg(1)
 		if id == "" {
@@ -151,6 +161,69 @@ func printAutoscale(body []byte) {
 	if st.LastAction != "" {
 		fmt.Printf("last action: %s\n", st.LastAction)
 	}
+}
+
+// printJobs renders the job table: durable record plus live footprint and
+// quota headroom (headroom -1 = that dimension is unlimited).
+func printJobs(body []byte) {
+	var rows []struct {
+		ID          string `json:"id"`
+		IDHex       string `json:"id_hex"`
+		Name        string `json:"name"`
+		State       string `json:"state"`
+		Weight      int    `json:"weight"`
+		LiveTasks   int    `json:"live_tasks"`
+		QueueDepth  int    `json:"queue_depth"`
+		ObjectBytes int64  `json:"object_bytes"`
+		TotalTasks  int    `json:"total_tasks"`
+		LiveHead    int    `json:"live_headroom"`
+		QueueHead   int    `json:"queue_headroom"`
+		BytesHead   int64  `json:"bytes_headroom"`
+	}
+	must(json.Unmarshal(body, &rows))
+	if len(rows) == 0 {
+		fmt.Println("no jobs")
+		return
+	}
+	head := func(n int64) string {
+		if n < 0 {
+			return "∞"
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	tbl := stats.Table{Header: []string{"job", "name", "state", "weight", "live", "queued", "obj-bytes", "tasks", "headroom(live/queue/bytes)", "id-hex"}}
+	for _, j := range rows {
+		tbl.AddRow(j.ID, j.Name, j.State, j.Weight, j.LiveTasks, j.QueueDepth,
+			j.ObjectBytes, j.TotalTasks,
+			head(int64(j.LiveHead))+"/"+head(int64(j.QueueHead))+"/"+head(j.BytesHead),
+			j.IDHex)
+	}
+	tbl.Render(os.Stdout)
+}
+
+// stopJob POSTs the stop request; the global scheduler's reclaim pass
+// buries the job's tasks, drains its objects, and tombstones its records.
+func stopJob(addr, idHex string) {
+	resp, err := http.Post(addr+"/api/stopjob?job="+idHex, "application/json", nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		fatal(fmt.Errorf("stop-job: HTTP %d: %s", resp.StatusCode, body))
+	}
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	must(json.Unmarshal(body, &out))
+	if !out.OK {
+		fatal(fmt.Errorf("stop-job CAS lost: job not Running (already stopping, stopped, or unknown)"))
+	}
+	fmt.Printf("job %s marked STOPPING; the cluster will bury its tasks and reclaim its objects\n", idHex)
 }
 
 // drainNode POSTs the drain request; the node runs the protocol itself.

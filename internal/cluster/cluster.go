@@ -50,6 +50,10 @@ type Config struct {
 	// control-plane shards. Zero selects 20ms when sharded; negative
 	// disables auto-restart (tests drive KillShard/RestartShard manually).
 	GCSAutoRestart time.Duration
+	// GCSCheckpointWALBytes, when positive, makes the supervisor checkpoint
+	// any shard whose WAL grows past this many bytes (bounded recovery
+	// replay). Zero disables size-triggered checkpoints.
+	GCSCheckpointWALBytes int64
 	// HopLatency is the one-way network delay between nodes (default 0).
 	HopLatency time.Duration
 	// SpillThreshold is each local scheduler's backlog bound before
@@ -83,6 +87,10 @@ type Config struct {
 	// DisablePrefetch turns off park-time dependency prefetch in every
 	// local scheduler (the before arm of experiment E19).
 	DisablePrefetch bool
+	// JobGrace is how long a Stopped job's task and object records survive
+	// before the purge pass tombstones them (DESIGN.md §14). Zero selects
+	// the scheduler default; negative disables purging.
+	JobGrace time.Duration
 }
 
 // Cluster is a running in-process cluster.
@@ -168,6 +176,7 @@ func New(cfg Config) (*Cluster, error) {
 			Reserve:      c.reserve,
 			ReleaseGroup: c.releaseGroup,
 			FailTask:     c.failTask,
+			JobGrace:     cfg.JobGrace,
 		})
 		g.Start()
 		c.Globals = append(c.Globals, g)
@@ -266,13 +275,14 @@ func (c *Cluster) startShardedGCS(cfg Config) error {
 		auto = 0
 	}
 	sup, err := gcs.NewSupervisor(gcs.SupervisorConfig{
-		Shards:          cfg.GCSShards,
-		Network:         c.Network,
-		MapAddr:         GCSMapAddr,
-		DataDir:         dataDir,
-		SubShards:       cfg.Shards,
-		AutoRestart:     auto,
-		DisableEventLog: cfg.DisableEventLog,
+		Shards:             cfg.GCSShards,
+		Network:            c.Network,
+		MapAddr:            GCSMapAddr,
+		DataDir:            dataDir,
+		SubShards:          cfg.Shards,
+		AutoRestart:        auto,
+		CheckpointWALBytes: cfg.GCSCheckpointWALBytes,
+		DisableEventLog:    cfg.DisableEventLog,
 	})
 	if err != nil {
 		c.removeGCSTmp()

@@ -33,6 +33,7 @@ const (
 	binTaskSpec        = 0x03
 	binNodeInfo        = 0x04
 	binTaskLedgerBatch = 0x05
+	binJobInfo         = 0x06
 )
 
 // encodeFast serializes the hot types; ok=false means "not a fast type,
@@ -59,6 +60,10 @@ func encodeFast(v any) ([]byte, bool) {
 		return appendTaskLedgerBatch([]byte{tagBin, binTaskLedgerBatch}, &x), true
 	case *types.TaskLedgerBatch:
 		return appendTaskLedgerBatch([]byte{tagBin, binTaskLedgerBatch}, x), true
+	case types.JobInfo:
+		return appendJobInfo([]byte{tagBin, binJobInfo}, &x), true
+	case *types.JobInfo:
+		return appendJobInfo([]byte{tagBin, binJobInfo}, x), true
 	}
 	return nil, false
 }
@@ -101,6 +106,12 @@ func decodeFast(data []byte, out any) error {
 			return fmt.Errorf("codec: binary TaskLedgerBatch payload into %T", out)
 		}
 		*p, err = r.taskLedgerBatch()
+	case binJobInfo:
+		p, ok := out.(*types.JobInfo)
+		if !ok {
+			return fmt.Errorf("codec: binary JobInfo payload into %T", out)
+		}
+		*p, err = r.jobInfo()
 	default:
 		return fmt.Errorf("codec: unknown binary type 0x%02x", data[0])
 	}
@@ -155,6 +166,24 @@ func appendTaskSpec(b []byte, s *types.TaskSpec) []byte {
 	b = append(b, s.Group[:]...)
 	b = binary.AppendVarint(b, int64(s.Bundle))
 	b = binary.AppendUvarint(b, s.TraceID)
+	b = append(b, s.Job[:]...)
+	return b
+}
+
+func appendJobInfo(b []byte, j *types.JobInfo) []byte {
+	b = append(b, j.Spec.ID[:]...)
+	b = appendString(b, j.Spec.Name)
+	b = binary.AppendVarint(b, int64(j.Spec.Weight))
+	b = binary.AppendVarint(b, int64(j.Spec.Quota.MaxLiveTasks))
+	b = binary.AppendVarint(b, int64(j.Spec.Quota.MaxQueueDepth))
+	b = binary.AppendVarint(b, j.Spec.Quota.MaxObjectBytes)
+	b = binary.AppendVarint(b, int64(j.State))
+	b = binary.AppendVarint(b, j.CreatedNs)
+	b = binary.AppendVarint(b, j.StoppingNs)
+	b = binary.AppendVarint(b, j.StoppedNs)
+	b = binary.AppendVarint(b, j.LastTransitionNs)
+	b = binary.AppendVarint(b, j.PurgedNs)
+	b = appendU64s(b, j.MutOps)
 	return b
 }
 
@@ -443,7 +472,26 @@ func (r *binReader) taskSpec() (types.TaskSpec, error) {
 	s.Group = r.id16()
 	s.Bundle = int(r.varint())
 	s.TraceID = r.uvarint()
+	s.Job = r.id16()
 	return s, r.err
+}
+
+func (r *binReader) jobInfo() (types.JobInfo, error) {
+	var j types.JobInfo
+	j.Spec.ID = r.id16()
+	j.Spec.Name = r.string()
+	j.Spec.Weight = int(r.varint())
+	j.Spec.Quota.MaxLiveTasks = int(r.varint())
+	j.Spec.Quota.MaxQueueDepth = int(r.varint())
+	j.Spec.Quota.MaxObjectBytes = r.varint()
+	j.State = types.JobState(r.varint())
+	j.CreatedNs = r.varint()
+	j.StoppingNs = r.varint()
+	j.StoppedNs = r.varint()
+	j.LastTransitionNs = r.varint()
+	j.PurgedNs = r.varint()
+	j.MutOps = r.u64s()
+	return j, r.err
 }
 
 func (r *binReader) taskState() (types.TaskState, error) {

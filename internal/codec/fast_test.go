@@ -51,6 +51,29 @@ func sampleTaskSpec() types.TaskSpec {
 		Group:       types.PlacementGroupID(id16(9)),
 		Bundle:      1,
 		TraceID:     0xdeadbeef,
+		Job:         types.JobID(id16(14)),
+	}
+}
+
+func sampleJobInfo() types.JobInfo {
+	return types.JobInfo{
+		Spec: types.JobSpec{
+			ID:     types.JobID(id16(14)),
+			Name:   "tenant-a",
+			Weight: 3,
+			Quota: types.JobQuota{
+				MaxLiveTasks:   128,
+				MaxQueueDepth:  64,
+				MaxObjectBytes: 1 << 30,
+			},
+		},
+		State:            types.JobStopping,
+		CreatedNs:        100,
+		StoppingNs:       900,
+		StoppedNs:        0,
+		LastTransitionNs: 900,
+		PurgedNs:         0,
+		MutOps:           []uint64{5, 1 << 61},
 	}
 }
 
@@ -147,6 +170,7 @@ func TestFastRoundTrip(t *testing.T) {
 	roundTrip(t, sampleTaskState())
 	roundTrip(t, sampleNodeInfo())
 	roundTrip(t, sampleTaskLedgerBatch())
+	roundTrip(t, sampleJobInfo())
 }
 
 func TestFastRoundTripZeroValues(t *testing.T) {
@@ -155,6 +179,7 @@ func TestFastRoundTripZeroValues(t *testing.T) {
 	roundTrip(t, types.TaskState{})
 	roundTrip(t, types.NodeInfo{})
 	roundTrip(t, types.TaskLedgerBatch{})
+	roundTrip(t, types.JobInfo{})
 }
 
 // TestFastPointerEncode checks pointer and value encodings agree — callers
@@ -209,7 +234,7 @@ func TestFastWrongTarget(t *testing.T) {
 func TestFastFieldSetsCovered(t *testing.T) {
 	expect := map[reflect.Type][]string{
 		reflect.TypeOf(types.ObjectInfo{}): {"ID", "Size", "Producer", "State", "Locations", "RefCount", "EverRetained", "RefOps", "Holders", "SpilledOn"},
-		reflect.TypeOf(types.TaskSpec{}):   {"ID", "Function", "Args", "NumReturns", "Resources", "Parent", "SubmitIndex", "MaxRetries", "Locality", "Group", "Bundle", "TraceID"},
+		reflect.TypeOf(types.TaskSpec{}):   {"ID", "Function", "Args", "NumReturns", "Resources", "Parent", "SubmitIndex", "MaxRetries", "Locality", "Group", "Bundle", "TraceID", "Job"},
 		reflect.TypeOf(types.TaskState{}):  {"Spec", "Status", "Node", "Worker", "Error", "Retries", "SubmittedNs", "ScheduledNs", "StartedNs", "FinishedNs", "LastTransitionNs", "MutOps", "Owner", "OwnerSeq"},
 		reflect.TypeOf(types.NodeInfo{}):   {"ID", "Addr", "Total", "Alive", "LastSeen", "State", "DrainNs", "QueueLen", "Available", "Store", "MutOps"},
 		reflect.TypeOf(types.Arg{}):        {"IsRef", "Ref", "Value"},
@@ -217,6 +242,10 @@ func TestFastFieldSetsCovered(t *testing.T) {
 		reflect.TypeOf(types.TaskStateDelta{}): {"ID", "Owner", "Seq", "Status", "Node", "Worker", "Error", "Retries",
 			"SubmittedNs", "ScheduledNs", "StartedNs", "FinishedNs", "LastTransitionNs"},
 		reflect.TypeOf(types.TaskLedgerBatch{}): {"Node", "Deltas", "Op"},
+		reflect.TypeOf(types.JobInfo{}): {"Spec", "State", "CreatedNs", "StoppingNs", "StoppedNs",
+			"LastTransitionNs", "PurgedNs", "MutOps"},
+		reflect.TypeOf(types.JobSpec{}):  {"ID", "Name", "Weight", "Quota"},
+		reflect.TypeOf(types.JobQuota{}): {"MaxLiveTasks", "MaxQueueDepth", "MaxObjectBytes"},
 	}
 	for typ, want := range expect {
 		var got []string

@@ -103,7 +103,11 @@ type caller struct {
 	// trace is stamped on every submitted spec so a driver session's whole
 	// task tree shares one trace ID (descendants inherit it through
 	// NewTaskContext). Zero = untraced.
-	trace   uint64
+	trace uint64
+	// job is the caller's tenant job, inherited by child submissions that
+	// carry no explicit WithJob (descendants flow through NewTaskContext
+	// like trace). Nil = untenanted.
+	job     types.JobID
 	counter atomic.Uint64
 	puts    atomic.Uint64
 	// blockHook, when non-nil, brackets blocking operations so the node can
@@ -168,6 +172,15 @@ func (c *caller) submit(function string, args []types.Arg, o TaskOptions) ([]Obj
 	} else if o.Bundle != 0 {
 		return nil, fmt.Errorf("%w: bundle index %d without a placement group", ErrInvalidOptions, o.Bundle)
 	}
+	job := o.Job
+	if job.IsNil() {
+		job = c.job // inherit the caller's tenancy, like trace
+	}
+	if !job.IsNil() {
+		if err := c.admitJob(job); err != nil {
+			return nil, err
+		}
+	}
 	idx := c.counter.Add(1)
 	spec := types.TaskSpec{
 		ID:          types.DeriveTaskID(c.owner, idx),
@@ -182,6 +195,7 @@ func (c *caller) submit(function string, args []types.Arg, o TaskOptions) ([]Obj
 		Group:       o.Group,
 		Bundle:      o.Bundle,
 		TraceID:     c.trace,
+		Job:         job,
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -226,6 +240,9 @@ func checkErrPayload(data []byte) ([]byte, error) {
 			// "any task failure" contract for existing callers, while
 			// ErrGroupRemoved identifies the gang-removal class.
 			return nil, fmt.Errorf("%w: %w: %s", ErrTaskFailed, ErrGroupRemoved, msg)
+		}
+		if isJobStoppedPayload(msg) {
+			return nil, fmt.Errorf("%w: %w: %s", ErrTaskFailed, ErrJobTerminated, msg)
 		}
 		return nil, fmt.Errorf("%w: %s", ErrTaskFailed, msg)
 	}
@@ -536,6 +553,7 @@ func NewTaskContext(ctx context.Context, b Backend, spec types.TaskSpec, blockHo
 	tc.backend = b
 	tc.owner = spec.ID
 	tc.trace = spec.TraceID
+	tc.job = spec.Job
 	tc.blockHook = blockHook
 	return tc
 }

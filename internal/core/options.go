@@ -27,6 +27,11 @@ type TaskOptions struct {
 	// the reservation (gang scheduling, DESIGN.md §9).
 	Group  types.PlacementGroupID
 	Bundle int
+	// Job attributes the task to a tenant job (DESIGN.md §14): scheduled
+	// under the job's fair-share weight, metered against its quotas, and
+	// reclaimed with it. Nil inherits the submitting task's job (driver
+	// submissions with no job stay untenanted).
+	Job types.JobID
 }
 
 // Option adjusts a TaskOptions. The same options apply to task submission
@@ -60,6 +65,14 @@ func WithLocality(node types.NodeID) Option {
 // against the bundle's gang-scheduled reservation.
 func WithPlacementGroup(id types.PlacementGroupID, bundle int) Option {
 	return func(o *TaskOptions) { o.Group = id; o.Bundle = bundle }
+}
+
+// WithJob attributes the task (and, transitively, its descendants) to a
+// job created via Client.CreateJob. Submission is admitted against the
+// job's quotas and fails fast with ErrJobNotFound / ErrJobTerminated /
+// ErrJobQuota when it cannot be.
+func WithJob(id types.JobID) Option {
+	return func(o *TaskOptions) { o.Job = id }
 }
 
 // buildOptions folds opts over the zero TaskOptions.

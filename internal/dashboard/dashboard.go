@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/autoscale"
 	"repro/internal/gcs"
+	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/profile"
 	"repro/internal/types"
@@ -63,7 +64,9 @@ func WithPprof() Option {
 //	GET /api/shards    — control-plane shard health (sharded GCS only)
 //	GET /api/placement — placement groups (strategy, state, bundle→node map)
 //	GET /api/autoscale — autoscaler status (when one is attached)
+//	GET /api/jobs      — job table (state, weight, usage, quota headroom)
 //	POST /api/drain?node=<hex> — mark a node Draining (rayctl drain)
+//	POST /api/stopjob?job=<hex> — begin a job's stop+reclaim (rayctl stop-job)
 //	GET /              — plain-text overview
 func Handler(ctrl gcs.API, opts ...Option) http.Handler {
 	var o handlerOpts
@@ -137,6 +140,26 @@ func Handler(ctrl gcs.API, opts ...Option) http.Handler {
 			return
 		}
 		ok := ctrl.CASNodeState(id, []types.NodeState{types.NodeActive}, types.NodeDraining)
+		writeJSON(w, map[string]bool{"ok": ok})
+	})
+	mux.HandleFunc("/api/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, jobsView(ctrl))
+	})
+	// POST /api/stopjob?job=<hex> runs the same CAS core.StopJob issues
+	// (Running → Stopping); the global scheduler's reclaim pass does the
+	// rest. Like /api/drain, this write endpoint exists so `rayctl
+	// stop-job` needs nothing but the dashboard URL.
+	mux.HandleFunc("/api/stopjob", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		id, err := types.ParseJobID(r.URL.Query().Get("job"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ok := ctrl.CASJobState(id, []types.JobState{types.JobRunning}, types.JobStopping)
 		writeJSON(w, map[string]bool{"ok": ok})
 	})
 	mux.HandleFunc("/api/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -425,6 +448,79 @@ func placementView(ctrl gcs.API) []PlacementView {
 	return out
 }
 
+// JobView is the JSON shape of one job row: the durable record joined
+// with the job's live footprint (task counts, queue depth, object bytes)
+// and its remaining quota headroom. Headroom fields are -1 when the
+// corresponding quota dimension is unlimited.
+type JobView struct {
+	ID string `json:"id"`
+	// IDHex is the full job ID, the form POST /api/stopjob (rayctl
+	// stop-job) takes.
+	IDHex  string `json:"id_hex"`
+	Name   string `json:"name,omitempty"`
+	State  string `json:"state"`
+	Weight int    `json:"weight"`
+	// Quota ceilings (zero = unlimited).
+	MaxLiveTasks   int   `json:"max_live_tasks,omitempty"`
+	MaxQueueDepth  int   `json:"max_queue_depth,omitempty"`
+	MaxObjectBytes int64 `json:"max_object_bytes,omitempty"`
+	CreatedNs      int64 `json:"created_ns"`
+	StoppedNs      int64 `json:"stopped_ns,omitempty"`
+	PurgedNs       int64 `json:"purged_ns,omitempty"`
+	// Live footprint, attributed the same way admission meters it.
+	LiveTasks   int   `json:"live_tasks"`
+	QueueDepth  int   `json:"queue_depth"`
+	ObjectBytes int64 `json:"object_bytes"`
+	// TotalTasks counts every task record still attributed to the job,
+	// terminal ones included (drops to 0 once the purge tombstones them).
+	TotalTasks int `json:"total_tasks"`
+	// Remaining admission headroom per quota dimension; -1 = unlimited.
+	LiveHeadroom  int   `json:"live_headroom"`
+	QueueHeadroom int   `json:"queue_headroom"`
+	BytesHeadroom int64 `json:"bytes_headroom"`
+}
+
+func jobsView(ctrl gcs.API) []JobView {
+	records := ctrl.Jobs()
+	if len(records) == 0 {
+		return nil
+	}
+	tasks := ctrl.Tasks()
+	usage := jobs.ComputeUsage(tasks, ctrl.Objects())
+	totals := make(map[types.JobID]int)
+	for _, t := range tasks {
+		if !t.Spec.Job.IsNil() {
+			totals[t.Spec.Job]++
+		}
+	}
+	out := make([]JobView, 0, len(records))
+	for _, j := range records {
+		u := usage[j.Spec.ID]
+		v := JobView{
+			ID: j.Spec.ID.String(), IDHex: j.Spec.ID.Hex(),
+			Name: j.Spec.Name, State: j.State.String(), Weight: j.Spec.FairWeight(),
+			MaxLiveTasks: j.Spec.Quota.MaxLiveTasks, MaxQueueDepth: j.Spec.Quota.MaxQueueDepth,
+			MaxObjectBytes: j.Spec.Quota.MaxObjectBytes,
+			CreatedNs:      j.CreatedNs, StoppedNs: j.StoppedNs, PurgedNs: j.PurgedNs,
+			LiveTasks: u.LiveTasks, QueueDepth: u.QueueDepth, ObjectBytes: u.ObjectBytes,
+			TotalTasks:   totals[j.Spec.ID],
+			LiveHeadroom: -1, QueueHeadroom: -1, BytesHeadroom: -1,
+		}
+		if q := j.Spec.Quota.MaxLiveTasks; q > 0 {
+			v.LiveHeadroom = max(0, q-u.LiveTasks)
+		}
+		if q := j.Spec.Quota.MaxQueueDepth; q > 0 {
+			v.QueueHeadroom = max(0, q-u.QueueDepth)
+		}
+		if q := j.Spec.Quota.MaxObjectBytes; q > 0 {
+			v.BytesHeadroom = max(0, q-u.ObjectBytes)
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].CreatedNs < out[k].CreatedNs })
+	return out
+}
+
 // EventView is the JSON shape of one event-log entry.
 type EventView struct {
 	TimeNs int64  `json:"t_ns"`
@@ -508,6 +604,19 @@ func overview(ctrl gcs.API, o handlerOpts, w http.ResponseWriter) {
 		memUsed, memSpilled, reclaimed)
 	fmt.Fprintf(w, "objects: %d, functions: %d, events: %d\n",
 		len(ctrl.Objects()), len(ctrl.Functions()), len(ctrl.Events()))
+	if jobRecords := ctrl.Jobs(); len(jobRecords) > 0 {
+		byState := map[types.JobState]int{}
+		for _, j := range jobRecords {
+			byState[j.State]++
+		}
+		fmt.Fprintf(w, "jobs: %d total", len(jobRecords))
+		for _, st := range []types.JobState{types.JobRunning, types.JobStopping, types.JobStopped} {
+			if n := byState[st]; n > 0 {
+				fmt.Fprintf(w, "  %s=%d", st, n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
 	if groups := ctrl.PlacementGroups(); len(groups) > 0 {
 		byState := map[types.PlacementGroupState]int{}
 		for _, g := range groups {
@@ -521,5 +630,5 @@ func overview(ctrl gcs.API, o handlerOpts, w http.ResponseWriter) {
 		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintln(w, "\nendpoints: /api/nodes /api/tasks /api/objects /api/functions /api/events /api/profile /api/trace /api/shards /api/placement /api/autoscale /api/metrics /metrics")
+	fmt.Fprintln(w, "\nendpoints: /api/nodes /api/tasks /api/objects /api/functions /api/events /api/profile /api/trace /api/shards /api/placement /api/autoscale /api/jobs /api/metrics /metrics")
 }

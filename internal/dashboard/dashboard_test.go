@@ -381,6 +381,94 @@ func TestAutoscaleAndDrainEndpoints(t *testing.T) {
 	}
 }
 
+// TestJobsEndpoints covers the multi-tenancy surface (DESIGN.md §14): the
+// job table row joins the durable record with live usage and quota
+// headroom, the overview gains a jobs line, and POST /api/stopjob drives
+// the same Running→Stopping CAS core.StopJob issues (GET refused, second
+// POST loses).
+func TestJobsEndpoints(t *testing.T) {
+	c := dashboardCluster(t)
+	srv := httptest.NewServer(Handler(c.Ctrl))
+	defer srv.Close()
+
+	d := c.Driver()
+	job, err := d.CreateJob("dash-tenant", 3, types.JobQuota{MaxLiveTasks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, srv, "/api/jobs")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var rows []JobView
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("jobs = %+v", rows)
+	}
+	j := rows[0]
+	if j.Name != "dash-tenant" || j.State != "RUNNING" || j.Weight != 3 ||
+		j.IDHex != job.ID.Hex() || j.MaxLiveTasks != 8 {
+		t.Fatalf("job view: %+v", j)
+	}
+	if j.LiveHeadroom != 8 || j.QueueHeadroom != -1 || j.BytesHeadroom != -1 {
+		t.Fatalf("headroom: %+v", j)
+	}
+
+	_, overview := get(t, srv, "/")
+	if !strings.Contains(overview, "jobs: 1 total") || !strings.Contains(overview, "RUNNING=1") {
+		t.Fatalf("overview missing jobs line:\n%s", overview)
+	}
+
+	// Stop: GET refused, first POST wins the CAS, the loser reports ok=false.
+	resp, err := http.Get(srv.URL + "/api/stopjob?job=" + job.ID.Hex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET stopjob: HTTP %d, want 405", resp.StatusCode)
+	}
+	post := func() bool {
+		resp, err := http.Post(srv.URL+"/api/stopjob?job="+job.ID.Hex(), "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			OK bool `json:"ok"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.OK
+	}
+	if !post() {
+		t.Fatal("first stopjob POST must win the CAS")
+	}
+	if post() {
+		t.Fatal("second stopjob POST must lose (job no longer Running)")
+	}
+
+	// The reclaim pass commits Stopped; the row reflects it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body := get(t, srv, "/api/jobs")
+		if err := json.Unmarshal([]byte(body), &rows); err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) == 1 && rows[0].State == "STOPPED" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job row never reached STOPPED: %+v", rows)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestMetricsEndpointFamilies drives a sharded cluster through a
 // spill-heavy cross-node workload and asserts one scrape of /metrics
 // covers every instrumented subsystem: scheduler, objectstore, gcs,

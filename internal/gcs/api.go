@@ -149,6 +149,43 @@ type API interface {
 	CASPlacementGroupStateClaim(id types.PlacementGroupID, from []types.PlacementGroupState, to types.PlacementGroupState, bundleNodes []types.NodeID, claim uint64) bool
 	SubscribePlacementGroups() Sub
 
+	// Job table (multi-tenancy, DESIGN.md §14). CreateJob inserts the record
+	// exactly once (idempotent by job ID); CASJobState drives the lifecycle
+	// (Running→Stopping→Stopped; Stopped is the terminal tombstone that
+	// outlives the job's purged records). Every transition publishes the
+	// updated record on the jobs channel, which the global schedulers'
+	// fair-share queue and reclaim pass consume.
+	CreateJob(spec types.JobSpec) bool
+	GetJob(id types.JobID) (types.JobInfo, bool)
+	Jobs() []types.JobInfo
+	CASJobState(id types.JobID, from []types.JobState, to types.JobState) bool
+	// MarkJobPurged stamps PurgedNs on a Stopped job once its task and
+	// object records have been tombstoned; idempotent (false if already
+	// stamped, missing, or not Stopped).
+	MarkJobPurged(id types.JobID) bool
+	SubscribeJobs() Sub
+	// JobTasks returns every task record (any status) attributed to the
+	// job, plus whether the scan covered the whole table (false when a
+	// shard was unreachable — the reclaim pass retries rather than
+	// concluding from a partial view).
+	JobTasks(job types.JobID) ([]types.TaskState, bool)
+	// ForceReleaseObjects is the job-stop reclaim hammer: each object's
+	// refcount is forced to zero, its Holders attribution dropped, and —
+	// when copies remain — a GC publish fires so the lifetime subsystem
+	// reclaims the bytes everywhere. Idempotent. Returns the IDs whose
+	// shard was unreachable so the caller retries them; nil means fully
+	// applied.
+	ForceReleaseObjects(ids []types.ObjectID) []types.ObjectID
+	// PurgeObjects tombstones drained object records (refcount zero, no
+	// copies). Returns the IDs not purged — undrained yet or shard
+	// unreachable — so the caller retries; nil means fully purged.
+	PurgeObjects(ids []types.ObjectID) []types.ObjectID
+	// PurgeJobTasks tombstones the job's terminal task records (and their
+	// durable markers), returning how many were deleted and whether the
+	// scan covered the whole table. Called only after the job is Stopped
+	// and its grace period elapsed.
+	PurgeJobTasks(job types.JobID) (int, bool)
+
 	// Spillover queue (Section 3.2.2): local schedulers publish tasks they
 	// decline; global schedulers subscribe.
 	PublishSpill(spec types.TaskSpec)
@@ -225,6 +262,7 @@ const (
 	keyNode   = "node:"   // + NodeID hex -> NodeInfo
 	keyFunc   = "func:"   // + name -> FunctionInfo
 	keyGroup  = "pg:"     // + PlacementGroupID hex -> PlacementGroupInfo
+	keyJob    = "jobrec:" // + JobID hex -> JobInfo
 	keyEvents = "events:" // + NodeID hex -> list of Event
 
 	// keyMetaEpoch stores the cluster clock epoch (unix nanoseconds) so
@@ -244,4 +282,5 @@ const (
 	chanNodes      = "nodes"   // payload = gob(NodeInfo)
 	chanObjGC      = "objgc"   // payload = ObjectID bytes; refcount hit zero
 	chanGroups     = "pgroups" // payload = gob(PlacementGroupInfo)
+	chanJobs       = "jobs"    // payload = encoded JobInfo
 )

@@ -1,0 +1,284 @@
+package gcs
+
+import (
+	"repro/internal/codec"
+	"repro/internal/types"
+)
+
+// Job table (DESIGN.md §14). Job records are durable like every other
+// control-plane record: all writes flow through the kv store, so on a
+// sharded deployment they are WAL'd and snapshotted with the shard that
+// owns them. The Stopped record is deliberately never deleted — it is the
+// tombstone that fences replayed submissions after the job's task and
+// object records have been purged.
+
+// CreateJob implements API: exactly-once insertion keyed by job ID. A
+// duplicate create (client retry after a crash suppressed the ack) returns
+// false with the original record intact.
+func (s *Store) CreateJob(spec types.JobSpec) bool {
+	now := s.NowNs()
+	info := types.JobInfo{
+		Spec:             spec,
+		State:            types.JobRunning,
+		CreatedNs:        now,
+		LastTransitionNs: now,
+	}
+	ok := s.db.PutIfAbsent(keyJob+spec.ID.Hex(), codec.MustEncode(info))
+	if ok {
+		s.db.Publish(chanJobs, codec.MustEncode(info))
+		s.logEvent(types.Event{Kind: "job-create", Detail: spec.ID.String() + " " + spec.Name})
+	}
+	return ok
+}
+
+// GetJob implements API.
+func (s *Store) GetJob(id types.JobID) (types.JobInfo, bool) {
+	raw, ok := s.db.Get(keyJob + id.Hex())
+	if !ok {
+		return types.JobInfo{}, false
+	}
+	info, err := codec.DecodeAs[types.JobInfo](raw)
+	if err != nil {
+		return types.JobInfo{}, false
+	}
+	return info, true
+}
+
+// Jobs implements API (inspection scan; the reclaim pass sweeps it, so a
+// job whose stop event was dropped is still reclaimed eventually).
+func (s *Store) Jobs() []types.JobInfo {
+	keys := s.db.Keys(keyJob)
+	out := make([]types.JobInfo, 0, len(keys))
+	for _, k := range keys {
+		if raw, ok := s.db.Get(k); ok {
+			if info, err := codec.DecodeAs[types.JobInfo](raw); err == nil {
+				out = append(out, info)
+			}
+		}
+	}
+	return out
+}
+
+// CASJobState implements API.
+func (s *Store) CASJobState(id types.JobID, from []types.JobState, to types.JobState) bool {
+	return s.CASJobStateOp(id, from, to, 0)
+}
+
+// CASJobStateOp is CASJobState with an idempotency token (0 = no dedup),
+// mirroring CASTaskStatusOp: a retried CAS whose original commit survived a
+// shard crash is recognized by its token in the record's durable MutOps
+// ring and reported won, so the caller (a StopJob retry, the reclaim pass's
+// Stopping→Stopped commit) proceeds instead of treating its own earlier
+// commit as a lost race.
+func (s *Store) CASJobStateOp(id types.JobID, from []types.JobState, to types.JobState, op uint64) bool {
+	now := s.NowNs()
+	won := false
+	dupWin := false
+	var next types.JobInfo
+	s.db.Update(keyJob+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			return nil, false
+		}
+		info, err := codec.DecodeAs[types.JobInfo](cur)
+		if err != nil {
+			return nil, false
+		}
+		if op != 0 {
+			for _, seen := range info.MutOps {
+				if seen == op {
+					dupWin = true // this exact CAS already applied
+					return nil, false
+				}
+			}
+		}
+		eligible := false
+		for _, f := range from {
+			if info.State == f {
+				eligible = true
+				break
+			}
+		}
+		if !eligible {
+			return nil, false
+		}
+		if op != 0 {
+			info.MutOps = append(info.MutOps, op)
+			if len(info.MutOps) > refOpHistory {
+				info.MutOps = info.MutOps[len(info.MutOps)-refOpHistory:]
+			}
+		}
+		info.State = to
+		info.LastTransitionNs = now
+		switch to {
+		case types.JobStopping:
+			info.StoppingNs = now
+		case types.JobStopped:
+			info.StoppedNs = now
+		case types.JobRunning:
+			// Rollback (operator abort of a stop that has not buried
+			// anything yet): the stop never happened.
+			info.StoppingNs = 0
+		}
+		won = true
+		next = info
+		return codec.MustEncode(info), true
+	})
+	if won {
+		s.db.Publish(chanJobs, codec.MustEncode(next))
+		s.logEvent(types.Event{Kind: "job-cas:" + to.String(), Detail: id.String()})
+	}
+	return won || dupWin
+}
+
+// MarkJobPurged implements API: stamp PurgedNs on a Stopped job whose task
+// and object records have been tombstoned. Idempotent — a second stamp (or
+// a retry whose ack died with a shard) returns false without touching the
+// record.
+func (s *Store) MarkJobPurged(id types.JobID) bool {
+	won := false
+	var next types.JobInfo
+	s.db.Update(keyJob+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			return nil, false
+		}
+		info, err := codec.DecodeAs[types.JobInfo](cur)
+		if err != nil || info.State != types.JobStopped || info.PurgedNs != 0 {
+			return nil, false
+		}
+		now := s.NowNs()
+		info.PurgedNs = now
+		info.LastTransitionNs = now
+		won = true
+		next = info
+		return codec.MustEncode(info), true
+	})
+	if won {
+		s.db.Publish(chanJobs, codec.MustEncode(next))
+		s.logEvent(types.Event{Kind: "job-purged", Detail: id.String()})
+	}
+	return won
+}
+
+// SubscribeJobs implements API.
+func (s *Store) SubscribeJobs() Sub { return s.db.Subscribe(chanJobs) }
+
+// JobTasks implements API: the reclaim pass's source of truth. Scans the
+// task table for records attributed to the job — any status, so one scan
+// serves both the bury phase (live tasks to fail) and the purge phase
+// (terminal records to tombstone, object IDs to derive). The in-process
+// store always has a complete view.
+func (s *Store) JobTasks(job types.JobID) ([]types.TaskState, bool) {
+	var out []types.TaskState
+	for _, k := range s.db.Keys(keyTask) {
+		raw, ok := s.db.Get(k)
+		if !ok {
+			continue
+		}
+		st, err := codec.DecodeAs[types.TaskState](raw)
+		if err != nil {
+			continue
+		}
+		if st.Spec.Job == job {
+			out = append(out, st)
+		}
+	}
+	return out, true
+}
+
+// ForceReleaseObjects implements API: the job-stop reclaim hammer. Each
+// object's count is forced to zero and its Holders attribution dropped, as
+// if every holder's release had flushed; objects with live copies become
+// GC-eligible (EverRetained is set so even never-retained outputs are
+// reclaimed — the job is gone, nobody can ever reference them again). The
+// in-process store cannot fail partially, so the failed set is always nil.
+func (s *Store) ForceReleaseObjects(ids []types.ObjectID) []types.ObjectID {
+	for _, id := range ids {
+		s.forceReleaseObject(id)
+	}
+	return nil
+}
+
+// forceReleaseObject is one object's share of a force release. Idempotent:
+// an already-zeroed object only refires the (crash-droppable) GC publish if
+// its copies have not drained yet.
+func (s *Store) forceReleaseObject(id types.ObjectID) {
+	gc := false
+	s.db.Update(keyObject+id.Hex(), func(cur []byte, exists bool) ([]byte, bool) {
+		if !exists {
+			return nil, false
+		}
+		info, err := codec.DecodeAs[types.ObjectInfo](cur)
+		if err != nil {
+			return nil, false
+		}
+		changed := info.RefCount != 0 || len(info.Holders) != 0 || !info.EverRetained
+		info.RefCount = 0
+		info.Holders = nil
+		info.EverRetained = true
+		gc = len(info.Locations) > 0
+		if !changed {
+			return nil, false // already released; just redo the side effects
+		}
+		return codec.MustEncode(info), true
+	})
+	if gc {
+		s.db.Put(keyGCIdx+id.Hex(), nil)
+		s.db.Publish(chanObjGC, id[:])
+		s.logEvent(types.Event{Kind: "job-force-release", Object: id})
+	}
+}
+
+// PurgeObjects implements API: tombstone drained object records. A record
+// still holding copies or references is skipped (returned for retry) — the
+// force release and the lifetime GC it triggers must drain it first. The
+// kv delete is WAL'd, so the tombstone survives shard restarts.
+func (s *Store) PurgeObjects(ids []types.ObjectID) []types.ObjectID {
+	var remaining []types.ObjectID
+	for _, id := range ids {
+		if raw, ok := s.db.Get(keyObject + id.Hex()); ok {
+			info, err := codec.DecodeAs[types.ObjectInfo](raw)
+			if err == nil && (info.RefCount != 0 || len(info.Locations) != 0) {
+				// Not drained yet: retry after GC catches up. Re-kick the GC
+				// publish — the original event is crash-droppable, and after
+				// the job commits Stopped nothing else refires it.
+				if info.RefCount == 0 && len(info.Locations) != 0 {
+					s.db.Put(keyGCIdx+id.Hex(), nil)
+					s.db.Publish(chanObjGC, id[:])
+				}
+				remaining = append(remaining, id)
+				continue
+			}
+		}
+		s.db.Delete(keyObject + id.Hex())
+		s.db.Delete(keyGCIdx + id.Hex())
+	}
+	return remaining
+}
+
+// PurgeJobTasks implements API: tombstone the job's terminal task records
+// and their durable markers. Live records are left alone — the reclaim
+// pass buries them first and re-runs the purge. The in-process store
+// always has a complete view.
+func (s *Store) PurgeJobTasks(job types.JobID) (int, bool) {
+	purged := 0
+	for _, k := range s.db.Keys(keyTask) {
+		raw, ok := s.db.Get(k)
+		if !ok {
+			continue
+		}
+		st, err := codec.DecodeAs[types.TaskState](raw)
+		if err != nil {
+			continue
+		}
+		if st.Spec.Job != job || !st.Status.Terminal() {
+			continue
+		}
+		s.db.Delete(k)
+		s.db.Delete(keyPendIdx + st.Spec.ID.Hex())
+		purged++
+	}
+	if purged > 0 {
+		s.logEvent(types.Event{Kind: "job-purge-tasks", Detail: job.String()})
+	}
+	return purged, true
+}

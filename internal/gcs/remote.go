@@ -262,6 +262,74 @@ func (r *Remote) CASPlacementGroupStateClaim(id types.PlacementGroupID, from []t
 	return v
 }
 
+// CreateJob implements API.
+func (r *Remote) CreateJob(spec types.JobSpec) bool {
+	v, _ := call[bool](r, MethodCreateJob, spec)
+	return v
+}
+
+// GetJob implements API.
+func (r *Remote) GetJob(id types.JobID) (types.JobInfo, bool) {
+	v, ok := call[maybeJob](r, MethodGetJob, id)
+	return v.Info, ok && v.OK
+}
+
+// Jobs implements API.
+func (r *Remote) Jobs() []types.JobInfo {
+	v, _ := call[[]types.JobInfo](r, MethodJobs, nil)
+	return v
+}
+
+// CASJobState implements API.
+func (r *Remote) CASJobState(id types.JobID, from []types.JobState, to types.JobState) bool {
+	v, _ := call[bool](r, MethodCASJob, casJobReq{ID: id, From: from, To: to})
+	return v
+}
+
+// MarkJobPurged implements API.
+func (r *Remote) MarkJobPurged(id types.JobID) bool {
+	v, _ := call[bool](r, MethodMarkJobPurged, id)
+	return v
+}
+
+// JobTasks implements API.
+func (r *Remote) JobTasks(job types.JobID) ([]types.TaskState, bool) {
+	v, ok := call[[]types.TaskState](r, MethodJobTasks, job)
+	return v, ok
+}
+
+// ForceReleaseObjects implements API: one RPC for the whole batch; on
+// transport failure every ID is reported failed so the reclaim pass
+// retries them.
+func (r *Remote) ForceReleaseObjects(ids []types.ObjectID) []types.ObjectID {
+	if len(ids) == 0 {
+		return nil
+	}
+	if _, ok := call[bool](r, MethodForceReleaseObjs, objectIDsReq{IDs: ids}); !ok {
+		return append([]types.ObjectID(nil), ids...)
+	}
+	return nil
+}
+
+// PurgeObjects implements API: on transport failure every ID is reported
+// still-remaining so the reclaim pass retries the batch.
+func (r *Remote) PurgeObjects(ids []types.ObjectID) []types.ObjectID {
+	if len(ids) == 0 {
+		return nil
+	}
+	v, ok := call[objectIDsReq](r, MethodPurgeObjects, objectIDsReq{IDs: ids})
+	if !ok {
+		return append([]types.ObjectID(nil), ids...)
+	}
+	return v.IDs
+}
+
+// PurgeJobTasks implements API.
+func (r *Remote) PurgeJobTasks(job types.JobID) (int, bool) {
+	v, ok := call[int](r, MethodPurgeJobTasks, job)
+	return v, ok
+}
+
 // PublishSpill implements API.
 func (r *Remote) PublishSpill(spec types.TaskSpec) {
 	call[bool](r, MethodPublishSpill, spec)
@@ -433,5 +501,8 @@ func (r *Remote) SubscribeObjectGC() Sub { return r.subscribe(StreamObjGC, nil) 
 
 // SubscribePlacementGroups implements API.
 func (r *Remote) SubscribePlacementGroups() Sub { return r.subscribe(StreamGroups, nil) }
+
+// SubscribeJobs implements API.
+func (r *Remote) SubscribeJobs() Sub { return r.subscribe(StreamJobs, nil) }
 
 var _ API = (*Remote)(nil)

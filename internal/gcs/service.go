@@ -41,6 +41,15 @@ const (
 	MethodGetGroup         = "gcs.getGroup"
 	MethodGroups           = "gcs.groups"
 	MethodCASGroup         = "gcs.casGroup"
+	MethodCreateJob        = "gcs.createJob"
+	MethodGetJob           = "gcs.getJob"
+	MethodJobs             = "gcs.jobs"
+	MethodCASJob           = "gcs.casJob"
+	MethodMarkJobPurged    = "gcs.markJobPurged"
+	MethodJobTasks         = "gcs.jobTasks"
+	MethodForceReleaseObjs = "gcs.forceReleaseObjects"
+	MethodPurgeObjects     = "gcs.purgeObjects"
+	MethodPurgeJobTasks    = "gcs.purgeJobTasks"
 	MethodRegisterNode     = "gcs.registerNode"
 	MethodHeartbeat        = "gcs.heartbeat"
 	MethodMarkNodeDead     = "gcs.markNodeDead"
@@ -62,6 +71,7 @@ const (
 	StreamNodes      = "gcs.sub.nodes"
 	StreamObjGC      = "gcs.sub.objGC"
 	StreamGroups     = "gcs.sub.groups"
+	StreamJobs       = "gcs.sub.jobs"
 )
 
 // Wire request/response shapes (gob via codec).
@@ -183,6 +193,21 @@ type (
 	maybeGroup struct {
 		Info types.PlacementGroupInfo
 		OK   bool
+	}
+	casJobReq struct {
+		ID   types.JobID
+		From []types.JobState
+		To   types.JobState
+		// Op is the idempotency token for retried job-state CAS claims
+		// (0 = no dedup); see Store.CASJobStateOp.
+		Op uint64
+	}
+	maybeJob struct {
+		Info types.JobInfo
+		OK   bool
+	}
+	objectIDsReq struct {
+		IDs []types.ObjectID
 	}
 )
 
@@ -382,6 +407,69 @@ func RegisterService(srv Registrar, store *Store) {
 		}
 		return store.CASPlacementGroupStateOp(req.ID, req.From, req.To, req.Nodes, req.Claim, req.Op), nil
 	})
+	unary(MethodCreateJob, func(p []byte) (any, error) {
+		spec, err := codec.DecodeAs[types.JobSpec](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.CreateJob(spec), nil
+	})
+	unary(MethodGetJob, func(p []byte) (any, error) {
+		id, err := codec.DecodeAs[types.JobID](p)
+		if err != nil {
+			return nil, err
+		}
+		info, ok := store.GetJob(id)
+		return maybeJob{Info: info, OK: ok}, nil
+	})
+	unary(MethodJobs, func(p []byte) (any, error) { return store.Jobs(), nil })
+	unary(MethodCASJob, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[casJobReq](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.CASJobStateOp(req.ID, req.From, req.To, req.Op), nil
+	})
+	unary(MethodMarkJobPurged, func(p []byte) (any, error) {
+		id, err := codec.DecodeAs[types.JobID](p)
+		if err != nil {
+			return nil, err
+		}
+		return store.MarkJobPurged(id), nil
+	})
+	unary(MethodJobTasks, func(p []byte) (any, error) {
+		id, err := codec.DecodeAs[types.JobID](p)
+		if err != nil {
+			return nil, err
+		}
+		tasks, _ := store.JobTasks(id)
+		return tasks, nil
+	})
+	unary(MethodForceReleaseObjs, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[objectIDsReq](p)
+		if err != nil {
+			return nil, err
+		}
+		// The local store applies everything it is given; the failed set
+		// is a client-side (sharded transport) concept.
+		store.ForceReleaseObjects(req.IDs)
+		return true, nil
+	})
+	unary(MethodPurgeObjects, func(p []byte) (any, error) {
+		req, err := codec.DecodeAs[objectIDsReq](p)
+		if err != nil {
+			return nil, err
+		}
+		return objectIDsReq{IDs: store.PurgeObjects(req.IDs)}, nil
+	})
+	unary(MethodPurgeJobTasks, func(p []byte) (any, error) {
+		id, err := codec.DecodeAs[types.JobID](p)
+		if err != nil {
+			return nil, err
+		}
+		n, _ := store.PurgeJobTasks(id)
+		return n, nil
+	})
 	unary(MethodPublishSpill, func(p []byte) (any, error) {
 		spec, err := codec.DecodeAs[types.TaskSpec](p)
 		if err != nil {
@@ -512,6 +600,9 @@ func RegisterService(srv Registrar, store *Store) {
 	})
 	srv.HandleStream(StreamGroups, func(payload []byte, stream transport.ServerStream) error {
 		return forward(store.SubscribePlacementGroups(), stream)
+	})
+	srv.HandleStream(StreamJobs, func(payload []byte, stream transport.ServerStream) error {
+		return forward(store.SubscribeJobs(), stream)
 	})
 	srv.HandleStream(StreamObjGC, func(payload []byte, stream transport.ServerStream) error {
 		// Subscribe first (so nothing published after this point is lost),

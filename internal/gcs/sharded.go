@@ -723,6 +723,164 @@ func (s *Sharded) SubscribePlacementGroups() Sub {
 	return s.newResilientSub(StreamGroups, nil, s.allShards())
 }
 
+// --- API: job table ---
+
+// CreateJob implements API. Create is naturally idempotent
+// (insert-if-absent keyed by job ID), so a retry across a shard crash
+// needs no token; the retry's false return leaves the original record.
+func (s *Sharded) CreateJob(spec types.JobSpec) bool {
+	v, _ := shardCall[bool](s, JobKey(spec.ID), MethodCreateJob, spec)
+	return v
+}
+
+// GetJob implements API.
+func (s *Sharded) GetJob(id types.JobID) (types.JobInfo, bool) {
+	v, ok := shardCall[maybeJob](s, JobKey(id), MethodGetJob, id)
+	return v.Info, ok && v.OK
+}
+
+// Jobs implements API: merged scan, creation-ordered.
+func (s *Sharded) Jobs() []types.JobInfo {
+	out := fanOut[types.JobInfo](s, MethodJobs)
+	sort.Slice(out, func(i, j int) bool { return out[i].CreatedNs < out[j].CreatedNs })
+	return out
+}
+
+// CASJobState implements API. Like every other state CAS, a job-state
+// transition is not response-idempotent (the retry would lose to its own
+// commit and a StopJob would report failure after succeeding), so each
+// logical CAS carries a token held fixed across retries; the shard's
+// durable MutOps ring reports the duplicate as won.
+func (s *Sharded) CASJobState(id types.JobID, from []types.JobState, to types.JobState) bool {
+	v, _ := shardCall[bool](s, JobKey(id), MethodCASJob,
+		casJobReq{ID: id, From: from, To: to, Op: newOpToken()})
+	return v
+}
+
+// MarkJobPurged implements API (idempotent: PurgedNs only moves off zero).
+func (s *Sharded) MarkJobPurged(id types.JobID) bool {
+	v, _ := shardCall[bool](s, JobKey(id), MethodMarkJobPurged, id)
+	return v
+}
+
+// JobTasks implements API: task records are spread over every shard, so
+// the scan fans out. A shard that stays unreachable makes the view
+// incomplete (false) — the reclaim pass must not declare a job drained
+// off a partial scan, so it retries instead.
+func (s *Sharded) JobTasks(job types.JobID) ([]types.TaskState, bool) {
+	n := s.Map().NumShards()
+	var out []types.TaskState
+	complete := true
+	for idx := 0; idx < n; idx++ {
+		if part, ok := scanShard[[]types.TaskState](s, idx, MethodJobTasks, job); ok {
+			out = append(out, part...)
+		} else {
+			complete = false
+		}
+	}
+	return out, complete
+}
+
+// ForceReleaseObjects implements API: partitioned by the shard owning
+// each object record, one RPC per shard, partitions in flight
+// concurrently. Force release is idempotent (counts clamp to zero), so
+// partitions carry no token; a shard unreachable past the retry window
+// contributes its partition to the failed set and the reclaim pass
+// retries it.
+func (s *Sharded) ForceReleaseObjects(ids []types.ObjectID) []types.ObjectID {
+	if len(ids) == 0 {
+		return nil
+	}
+	m := s.Map()
+	parts := make(map[int][]types.ObjectID)
+	for _, id := range ids {
+		idx := m.ShardForKey(ObjectKey(id))
+		parts[idx] = append(parts[idx], id)
+	}
+	var (
+		mu     sync.Mutex
+		failed []types.ObjectID
+		wg     sync.WaitGroup
+	)
+	for _, part := range parts {
+		wg.Add(1)
+		go func(part []types.ObjectID) {
+			defer wg.Done()
+			// Routed by any member object: shardCall re-resolves the key each
+			// retry, so a failover re-routes the batch to the new incarnation.
+			key := ObjectKey(part[0])
+			if _, ok := shardCall[bool](s, key, MethodForceReleaseObjs, objectIDsReq{IDs: part}); !ok {
+				mu.Lock()
+				failed = append(failed, part...)
+				mu.Unlock()
+			}
+		}(part)
+	}
+	wg.Wait()
+	return failed
+}
+
+// PurgeObjects implements API: partitioned like ForceReleaseObjects. A
+// shard reports back the subset of its partition still undrained; an
+// unreachable shard's whole partition is reported remaining so the
+// reclaim pass retries it.
+func (s *Sharded) PurgeObjects(ids []types.ObjectID) []types.ObjectID {
+	if len(ids) == 0 {
+		return nil
+	}
+	m := s.Map()
+	parts := make(map[int][]types.ObjectID)
+	for _, id := range ids {
+		idx := m.ShardForKey(ObjectKey(id))
+		parts[idx] = append(parts[idx], id)
+	}
+	var (
+		mu        sync.Mutex
+		remaining []types.ObjectID
+		wg        sync.WaitGroup
+	)
+	for _, part := range parts {
+		wg.Add(1)
+		go func(part []types.ObjectID) {
+			defer wg.Done()
+			key := ObjectKey(part[0])
+			v, ok := shardCall[objectIDsReq](s, key, MethodPurgeObjects, objectIDsReq{IDs: part})
+			mu.Lock()
+			if !ok {
+				remaining = append(remaining, part...)
+			} else {
+				remaining = append(remaining, v.IDs...)
+			}
+			mu.Unlock()
+		}(part)
+	}
+	wg.Wait()
+	return remaining
+}
+
+// PurgeJobTasks implements API: fans out like JobTasks; an unreachable
+// shard makes the pass incomplete (false) so the reclaim pass re-runs it
+// before stamping the job purged.
+func (s *Sharded) PurgeJobTasks(job types.JobID) (int, bool) {
+	n := s.Map().NumShards()
+	total := 0
+	complete := true
+	for idx := 0; idx < n; idx++ {
+		if v, ok := scanShard[int](s, idx, MethodPurgeJobTasks, job); ok {
+			total += v
+		} else {
+			complete = false
+		}
+	}
+	return total, complete
+}
+
+// SubscribeJobs implements API: merged over every shard (each job's
+// transitions publish on the shard owning its record).
+func (s *Sharded) SubscribeJobs() Sub {
+	return s.newResilientSub(StreamJobs, nil, s.allShards())
+}
+
 // --- API: spillover ---
 
 // PublishSpill implements API. The publish lands on the shard owning the

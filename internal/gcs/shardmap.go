@@ -73,6 +73,9 @@ func FuncKey(name string) string { return keyFunc + name }
 // GroupKey is the routing (and storage) key of a placement-group record.
 func GroupKey(id types.PlacementGroupID) string { return keyGroup + id.Hex() }
 
+// JobKey is the routing (and storage) key of a job record.
+func JobKey(id types.JobID) string { return keyJob + id.Hex() }
+
 // EventKey is the routing (and storage) key of a node's event list.
 func EventKey(node types.NodeID) string { return keyEvents + node.Hex() }
 

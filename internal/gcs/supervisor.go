@@ -33,6 +33,12 @@ type SupervisorConfig struct {
 	// AutoRestart, when positive, is the supervision interval: a loop
 	// restarts dead shards this often. Zero means manual RestartShard only.
 	AutoRestart time.Duration
+	// CheckpointWALBytes, when positive, bounds each shard's WAL: the
+	// supervision loop checkpoints (snapshot + WAL truncate) any live shard
+	// whose log has grown past this many bytes, so recovery replay time
+	// stays proportional to the threshold rather than to uptime. Zero
+	// disables size-triggered checkpoints (manual CheckpointAll only).
+	CheckpointWALBytes int64
 	// DisableEventLog turns off control-plane event logging.
 	DisableEventLog bool
 	// Metrics, when set, is threaded to every shard for WAL append
@@ -110,9 +116,15 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	}
 	s.listener = l
 
-	if cfg.AutoRestart > 0 {
+	interval := cfg.AutoRestart
+	if interval <= 0 && cfg.CheckpointWALBytes > 0 {
+		// Size-triggered checkpoints without auto-restart still need the
+		// supervision tick; WAL growth tolerates a coarse check.
+		interval = 50 * time.Millisecond
+	}
+	if interval > 0 {
 		s.wg.Add(1)
-		go s.superviseLoop()
+		go s.superviseLoop(interval)
 	}
 	return s, nil
 }
@@ -194,18 +206,22 @@ func (s *Supervisor) bumpVersion() {
 	s.mu.Unlock()
 }
 
-// superviseLoop restarts dead shards every AutoRestart interval — the
-// "restart the failed component" loop the paper's fault-tolerance story
-// assumes exists around the database.
-func (s *Supervisor) superviseLoop() {
+// superviseLoop restarts dead shards every tick — the "restart the failed
+// component" loop the paper's fault-tolerance story assumes exists around
+// the database — and bounds each live shard's WAL when a checkpoint
+// threshold is configured.
+func (s *Supervisor) superviseLoop(interval time.Duration) {
 	defer s.wg.Done()
-	t := time.NewTicker(s.cfg.AutoRestart)
+	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
 			for i, svc := range s.shards {
 				if !svc.Alive() {
+					if s.cfg.AutoRestart <= 0 {
+						continue // checkpoint-only supervision: restarts stay manual
+					}
 					if err := s.RestartShard(i); err == nil {
 						if st := svc.Store(); st != nil {
 							st.LogEvent(types.Event{Kind: "shard-restarted", Detail: fmt.Sprintf("shard %d incarnation %d", i, svc.Incarnation())})
@@ -213,8 +229,30 @@ func (s *Supervisor) superviseLoop() {
 					}
 				}
 			}
+			s.checkpointOversized()
 		case <-s.stop:
 			return
+		}
+	}
+}
+
+// checkpointOversized snapshots any live shard whose WAL grew past the
+// configured byte threshold. Best-effort: a failed checkpoint already
+// crash-restarts the shard on its own (see ShardService.Checkpoint), and
+// the next tick retries whatever is still oversized.
+func (s *Supervisor) checkpointOversized() {
+	if s.cfg.CheckpointWALBytes <= 0 {
+		return
+	}
+	for _, svc := range s.shards {
+		if !svc.Alive() || svc.Stats().WALBytes < s.cfg.CheckpointWALBytes {
+			continue
+		}
+		if err := svc.Checkpoint(); err == nil {
+			if st := svc.Store(); st != nil {
+				st.LogEvent(types.Event{Kind: "shard-checkpoint",
+					Detail: fmt.Sprintf("shard %d WAL over %d bytes", svc.cfg.Index, s.cfg.CheckpointWALBytes)})
+			}
 		}
 	}
 }

@@ -23,3 +23,8 @@ func DecodeNodeEvent(raw []byte) (types.NodeInfo, error) {
 func DecodeGroupEvent(raw []byte) (types.PlacementGroupInfo, error) {
 	return codec.DecodeAs[types.PlacementGroupInfo](raw)
 }
+
+// DecodeJobEvent decodes a job channel payload.
+func DecodeJobEvent(raw []byte) (types.JobInfo, error) {
+	return codec.DecodeAs[types.JobInfo](raw)
+}

@@ -1,0 +1,152 @@
+package jobs
+
+import "repro/internal/types"
+
+// FairQueue orders spilled tasks for dispatch by deficit round-robin over
+// jobs: each job owns a FIFO of its pending specs plus a deficit counter;
+// a full rotation of the ring grants every backlogged job dispatches in
+// proportion to its weight (unit task cost, so DRR degenerates to weighted
+// round-robin). Tasks with no job ride under NilJobID at weight 1.
+//
+// The queue is not self-synchronizing: the global scheduler's run
+// goroutine owns it exclusively, like the parked-task map it feeds.
+type FairQueue struct {
+	// weight resolves a job's current fair-share weight; the scheduler
+	// backs it with its job-record cache. Values <= 0 clamp to 1 so a job
+	// whose record is momentarily unknown still drains.
+	weight func(types.JobID) int
+
+	order   []types.JobID // active ring: jobs with queued specs
+	queues  map[types.JobID][]types.TaskSpec
+	deficit map[types.JobID]int
+	// ids counts queued specs per task ID (respill duplicates can coexist)
+	// so the scheduler's pending-task sweep can tell "held here, gated" from
+	// "publish lost, rescue me" without scanning every ring.
+	ids    map[types.TaskID]int
+	cursor int
+	size   int
+}
+
+// NewFairQueue builds an empty queue around a weight resolver (nil means
+// every job weighs 1 — plain round-robin).
+func NewFairQueue(weight func(types.JobID) int) *FairQueue {
+	return &FairQueue{
+		weight:  weight,
+		queues:  make(map[types.JobID][]types.TaskSpec),
+		deficit: make(map[types.JobID]int),
+		ids:     make(map[types.TaskID]int),
+	}
+}
+
+func (f *FairQueue) weightOf(job types.JobID) int {
+	if f.weight == nil {
+		return 1
+	}
+	if w := f.weight(job); w > 0 {
+		return w
+	}
+	return 1
+}
+
+// Push enqueues a spec under its job, activating the job in the ring if it
+// had nothing queued.
+func (f *FairQueue) Push(spec types.TaskSpec) {
+	job := spec.Job
+	if _, ok := f.queues[job]; !ok {
+		f.order = append(f.order, job)
+	}
+	f.queues[job] = append(f.queues[job], spec)
+	f.ids[spec.ID]++
+	f.size++
+}
+
+// Pop dequeues the next spec under DRR order. The ring cursor parks on the
+// job being served, so one job's consecutive Pops batch up to its weight
+// before the rotation moves on — which is what makes a full rotation
+// weight-proportional.
+func (f *FairQueue) Pop() (types.TaskSpec, bool) {
+	for f.size > 0 {
+		if f.cursor >= len(f.order) {
+			f.cursor = 0
+		}
+		job := f.order[f.cursor]
+		queue := f.queues[job]
+		if len(queue) == 0 {
+			f.retire(f.cursor)
+			continue
+		}
+		if f.deficit[job] <= 0 {
+			// Replenish on the way past; the job serves its quantum when
+			// the rotation comes back around.
+			f.deficit[job] += f.weightOf(job)
+			f.cursor++
+			continue
+		}
+		f.deficit[job]--
+		spec := queue[0]
+		f.queues[job] = queue[1:]
+		f.forget(spec.ID)
+		f.size--
+		if len(queue) == 1 {
+			// Drained: retire so an idle job neither holds a ring slot nor
+			// banks deficit for a later burst.
+			f.retire(f.cursor)
+		}
+		return spec, true
+	}
+	return types.TaskSpec{}, false
+}
+
+// retire drops the ring slot at index i and its job's bookkeeping.
+func (f *FairQueue) retire(i int) {
+	job := f.order[i]
+	delete(f.queues, job)
+	delete(f.deficit, job)
+	f.order = append(f.order[:i], f.order[i+1:]...)
+}
+
+// DropJob removes every spec queued under job (a stopping tenant) and
+// returns them so the caller can bury the task records.
+func (f *FairQueue) DropJob(job types.JobID) []types.TaskSpec {
+	dropped, ok := f.queues[job]
+	if !ok {
+		return nil
+	}
+	for i, j := range f.order {
+		if j == job {
+			f.retire(i)
+			if i < f.cursor {
+				f.cursor--
+			}
+			break
+		}
+	}
+	for _, spec := range dropped {
+		f.forget(spec.ID)
+	}
+	f.size -= len(dropped)
+	return dropped
+}
+
+// forget decrements a task ID's queued count.
+func (f *FairQueue) forget(id types.TaskID) {
+	if f.ids[id] <= 1 {
+		delete(f.ids, id)
+	} else {
+		f.ids[id]--
+	}
+}
+
+// Contains reports whether any spec with this task ID is queued.
+func (f *FairQueue) Contains(id types.TaskID) bool { return f.ids[id] > 0 }
+
+// Len returns the total number of queued specs.
+func (f *FairQueue) Len() int { return f.size }
+
+// Jobs returns how many distinct jobs currently have specs queued — the
+// scheduler's contention signal: with fewer than two, fair-share ordering
+// cannot matter and dispatch may run unthrottled.
+func (f *FairQueue) Jobs() int { return len(f.queues) }
+
+// JobDepth returns the number of specs queued under one job.
+func (f *FairQueue) JobDepth(job types.JobID) int { return len(f.queues[job]) }

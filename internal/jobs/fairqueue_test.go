@@ -1,0 +1,125 @@
+package jobs
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func jobID(b byte) types.JobID {
+	var id types.JobID
+	id[0] = b
+	return id
+}
+
+func specFor(job types.JobID, n byte) types.TaskSpec {
+	var id types.TaskID
+	id[0] = n
+	id[1] = job[0]
+	return types.TaskSpec{ID: id, Job: job}
+}
+
+// TestFairQueueWeightedShare drains a contended queue and checks the
+// dispatch mix matches the 1:3 weight ratio.
+func TestFairQueueWeightedShare(t *testing.T) {
+	a, b := jobID(1), jobID(2)
+	weights := map[types.JobID]int{a: 1, b: 3}
+	f := NewFairQueue(func(j types.JobID) int { return weights[j] })
+	for i := 0; i < 40; i++ {
+		f.Push(specFor(a, byte(i)))
+		f.Push(specFor(b, byte(i)))
+	}
+	counts := map[types.JobID]int{}
+	for i := 0; i < 40; i++ { // drain half; both jobs still backlogged
+		spec, ok := f.Pop()
+		if !ok {
+			t.Fatalf("queue dry after %d pops", i)
+		}
+		counts[spec.Job]++
+	}
+	// 40 dispatches at 1:3 → 10:30; DRR quantizes per rotation, allow ±2.
+	if counts[a] < 8 || counts[a] > 12 {
+		t.Fatalf("weight-1 job got %d of 40 dispatches, want ~10", counts[a])
+	}
+	if counts[b] < 28 || counts[b] > 32 {
+		t.Fatalf("weight-3 job got %d of 40 dispatches, want ~30", counts[b])
+	}
+	if f.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", f.Len())
+	}
+}
+
+// TestFairQueueWorkConserving: an idle high-weight job must not stall a
+// backlogged low-weight one.
+func TestFairQueueWorkConserving(t *testing.T) {
+	a := jobID(1)
+	f := NewFairQueue(func(types.JobID) int { return 1 })
+	for i := 0; i < 5; i++ {
+		f.Push(specFor(a, byte(i)))
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := f.Pop(); !ok {
+			t.Fatalf("pop %d failed with sole backlogged job", i)
+		}
+	}
+	if _, ok := f.Pop(); ok {
+		t.Fatal("pop succeeded on empty queue")
+	}
+	if f.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", f.Len())
+	}
+}
+
+// TestFairQueueFIFOWithinJob: a job's own tasks dispatch in push order.
+func TestFairQueueFIFOWithinJob(t *testing.T) {
+	a := jobID(1)
+	f := NewFairQueue(nil)
+	for i := 0; i < 8; i++ {
+		f.Push(specFor(a, byte(i)))
+	}
+	for i := 0; i < 8; i++ {
+		spec, ok := f.Pop()
+		if !ok || spec.ID[0] != byte(i) {
+			t.Fatalf("pop %d = %v (ok=%v), want FIFO order", i, spec.ID[0], ok)
+		}
+	}
+}
+
+// TestFairQueueDropJob removes a stopping job's backlog and leaves the
+// others dispatchable.
+func TestFairQueueDropJob(t *testing.T) {
+	a, b := jobID(1), jobID(2)
+	f := NewFairQueue(nil)
+	for i := 0; i < 4; i++ {
+		f.Push(specFor(a, byte(i)))
+		f.Push(specFor(b, byte(i)))
+	}
+	dropped := f.DropJob(a)
+	if len(dropped) != 4 {
+		t.Fatalf("DropJob returned %d specs, want 4", len(dropped))
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d after drop, want 4", f.Len())
+	}
+	for i := 0; i < 4; i++ {
+		spec, ok := f.Pop()
+		if !ok || spec.Job != b {
+			t.Fatalf("pop %d after drop: job %v, want survivor", i, spec.Job)
+		}
+	}
+	if f.DropJob(a) != nil {
+		t.Fatal("second DropJob returned specs")
+	}
+}
+
+// TestFairQueueNilJobRides: untenanted tasks queue under the nil ID.
+func TestFairQueueNilJobRides(t *testing.T) {
+	f := NewFairQueue(nil)
+	f.Push(types.TaskSpec{})
+	if f.JobDepth(types.NilJobID) != 1 {
+		t.Fatalf("JobDepth(nil) = %d, want 1", f.JobDepth(types.NilJobID))
+	}
+	if _, ok := f.Pop(); !ok {
+		t.Fatal("nil-job spec did not dispatch")
+	}
+}

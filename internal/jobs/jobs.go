@@ -1,0 +1,25 @@
+// Package jobs implements the multi-tenant job subsystem (DESIGN.md §14):
+// weighted fair-share dispatch ordering for the global scheduler and
+// admission quotas enforced at submit time. The durable job table itself
+// lives in the GCS (internal/gcs jobs.go); this package holds the policy
+// machinery that consumes it.
+package jobs
+
+import "errors"
+
+// Typed admission errors. core aliases these so drivers can errors.Is
+// against its public API without importing this package.
+var (
+	// ErrJobNotFound rejects a submission naming a job the control plane
+	// has no record of.
+	ErrJobNotFound = errors.New("jobs: job not found")
+	// ErrJobTerminated rejects a submission against a job that is stopping
+	// or stopped. The Stopped record is a durable tombstone, so a replayed
+	// submission keeps failing with this error even after the job's task
+	// and object records have been purged.
+	ErrJobTerminated = errors.New("jobs: job terminated")
+	// ErrJobQuota rejects a submission that would exceed one of the job's
+	// admission ceilings (concurrent live tasks, queue depth, object
+	// bytes). Fail-fast: the task never enters the queues.
+	ErrJobQuota = errors.New("jobs: quota exceeded")
+)

@@ -281,6 +281,22 @@ func (t *Tracker) Unflushed() map[types.ObjectID]int64 {
 	return out
 }
 
+// Forget voids every local reference to id without emitting releases. The
+// job reclaim pass zeroed the object's cluster count by decree (DESIGN.md
+// §14), so flushing this node's holds — or replaying their unflushed
+// retains — would only fight the force-release. Pending and parked deltas
+// for the object are discarded; a later Release of a surviving handle
+// no-ops through the held<=0 guard.
+func (t *Tracker) Forget(id types.ObjectID) {
+	t.mu.Lock()
+	delete(t.held, id)
+	delete(t.pending, id)
+	for _, b := range t.retry {
+		delete(b.deltas, id)
+	}
+	t.mu.Unlock()
+}
+
 // ReleaseAll drops every reference the tracker holds (component shutdown)
 // and flushes, so surviving nodes can reclaim anything only this node kept
 // alive.

@@ -136,7 +136,7 @@ func (m *Manager) run() {
 // (waiters of an in-flight restore are still served the bytes — a valid
 // "Get before Delete" serialization).
 func (m *Manager) maybeReclaim(id types.ObjectID) {
-	if m.tracker.Held(id) > 0 {
+	if m.tracker.Held(id) > 0 && !m.jobReclaimed(id) {
 		// The local ledger holds an unflushed reference: the GCS's zero was
 		// stale the moment it published. Skip — the eventual release will
 		// re-trigger GC.
@@ -150,4 +150,27 @@ func (m *Manager) maybeReclaim(id types.ObjectID) {
 		m.reclaimed.Add(1)
 		m.ctrl.LogEvent(types.Event{Kind: "object-reclaimed", Object: id, Node: m.store.Node()})
 	}
+}
+
+// jobReclaimed reports whether id belongs to a terminated tenant job — in
+// which case this node's references to it are void by decree (DESIGN.md
+// §14: a job stop destroys the tenant's data wholesale) and are forgotten
+// rather than honored, so the reclaim pass can drain the object's copies
+// while live drivers still hold its futures. Read-only otherwise: three
+// record fetches, paid only on GC events for locally-held objects.
+func (m *Manager) jobReclaimed(id types.ObjectID) bool {
+	info, ok := m.ctrl.GetObject(id)
+	if !ok || info.RefCount != 0 {
+		return false
+	}
+	task, ok := m.ctrl.GetTask(info.Producer)
+	if !ok || task.Spec.Job.IsNil() {
+		return false
+	}
+	job, ok := m.ctrl.GetJob(task.Spec.Job)
+	if !ok || job.State == types.JobRunning {
+		return false
+	}
+	m.tracker.Forget(id)
+	return true
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gcs"
+	"repro/internal/jobs"
 	"repro/internal/lifetime"
 	"repro/internal/metrics"
 	"repro/internal/objectstore"
@@ -136,6 +137,7 @@ type Node struct {
 	fetcher *lifetime.PullManager
 	migr    *lifetime.Migrator
 	taskled *lifetime.TaskLedger
+	admit   *jobs.Admission
 	sched   *scheduler.Local
 	exec    *worker
 	recon   *fault.Reconstructor
@@ -233,6 +235,9 @@ func New(cfg Config) (*Node, error) {
 	// GCS task table follows via batched async deltas.
 	n.taskled = lifetime.NewTaskLedger(cfg.Ctrl)
 	n.taskled.SetNode(id)
+	// Per-submit job admission (DESIGN.md §14). The TTL cache amortizes the
+	// job-record read and quota usage scan across a burst of submissions.
+	n.admit = jobs.NewAdmission(cfg.Ctrl, 0)
 
 	n.sched = scheduler.NewLocal(scheduler.LocalConfig{
 		Node:            id,
@@ -247,6 +252,10 @@ func New(cfg Config) (*Node, error) {
 		DisablePrefetch: cfg.DisablePrefetch,
 		Metrics:         n.reg,
 		Tracer:          n.tracer,
+		JobFence: func(id types.JobID) bool {
+			info, ok := n.admit.Job(id)
+			return ok && info.State != types.JobRunning
+		},
 	})
 	n.recon = &fault.Reconstructor{
 		Ctrl:   cfg.Ctrl,
@@ -556,6 +565,11 @@ func (n *Node) OwnsTask(id types.TaskID) bool { return n.taskled.Owns(id) }
 func (n *Node) WatchTaskTerminal(id types.TaskID) <-chan struct{} {
 	return n.taskled.WatchTerminal(id)
 }
+
+// AdmitJobTask implements core.JobGate: one tenanted submission is decided
+// against the job's record and quota ceilings through the node's TTL-cached
+// admission state (DESIGN.md §14).
+func (n *Node) AdmitJobTask(job types.JobID) error { return n.admit.Admit(job) }
 
 // TaskLedger exposes the owner-side task ledger (tests, dashboards).
 func (n *Node) TaskLedger() *lifetime.TaskLedger { return n.taskled }

@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/codec"
 	"repro/internal/types"
@@ -132,16 +133,27 @@ func (l *Local) respillGrouped(spec types.TaskSpec) {
 
 // FailTask terminally fails a task, storing error payloads under every
 // return object so blocked Gets observe the failure instead of hanging.
-// Both the removal path above and the global scheduler's gang pass (which
-// buries parked member tasks of removed groups through any live node —
-// only a node holds an object store) route here. The claimable states
-// stop at QUEUED: dispatch claims QUEUED→SCHEDULED via CAS, so a task at
+// Both the removal path above and the global scheduler's gang and job
+// reclaim passes (which bury tasks through any live node — only a node
+// holds an object store) route here. The claimable states normally stop
+// at QUEUED: dispatch claims QUEUED→SCHEDULED via CAS, so a task at
 // SCHEDULED or beyond is owned by a worker about to produce (or already
 // producing) real bytes under its return IDs — burying it in parallel
 // would publish a second, conflicting value for the same immutable
 // object. Exactly one of {dispatch, fail} wins the QUEUED state.
+//
+// Job-stop burials (DESIGN.md §14) are the exception: they also claim
+// SCHEDULED and RUNNING. A stop destroys the tenant's records and objects
+// wholesale, so the conflicting-value hazard has nothing left to protect;
+// the Disown below fences the worker's late terminal stamp, and the error
+// payload Put is best-effort against a racing real value (a Get that
+// observes the real bytes saw a task that genuinely completed first).
 func (l *Local) FailTask(spec types.TaskSpec, reason string) {
-	if !l.cfg.Ctrl.CASTaskStatus(spec.ID, []types.TaskStatus{types.TaskPending, types.TaskQueued}, types.TaskFailed) {
+	claim := []types.TaskStatus{types.TaskPending, types.TaskQueued}
+	if strings.HasPrefix(reason, types.ReasonJobStopped) {
+		claim = append(claim, types.TaskScheduled, types.TaskRunning)
+	}
+	if !l.cfg.Ctrl.CASTaskStatus(spec.ID, claim, types.TaskFailed) {
 		return
 	}
 	for i := 0; i < spec.NumReturns; i++ {

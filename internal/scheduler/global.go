@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/gcs"
+	"repro/internal/jobs"
 	"repro/internal/types"
 )
 
@@ -38,6 +39,12 @@ type GlobalConfig struct {
 	// SweepAge is how long a task may sit in PENDING before the sweep
 	// considers it unclaimed. Zero selects a default.
 	SweepAge time.Duration
+	// JobGrace is how long a Stopped job's task and object records linger
+	// before the reclaim pass tombstones them (DESIGN.md §14) — the window
+	// in which dashboards and stragglers can still observe the corpse.
+	// Zero selects a default; negative disables purging (records linger
+	// until an operator intervenes).
+	JobGrace time.Duration
 }
 
 // Global is the cluster-level half of hybrid scheduling: it subscribes to
@@ -90,10 +97,24 @@ type Global struct {
 	// table view (every shard reachable) — re-owning from a partial scan
 	// could strand the tasks on the unreachable shard forever.
 	ownerSwept map[types.NodeID]bool
+	// jobCache mirrors the job table (fed by job events, healed by lazy
+	// GetJob) for fair-share weights and the terminated-job dispatch fence.
+	jobCache map[types.JobID]types.JobInfo
+
+	// fair orders spilled tasks for dispatch by weighted fair share
+	// (DESIGN.md §14). Owned exclusively by the run goroutine.
+	fair *jobs.FairQueue
+	// fairDebits tracks, per node, the NowNs timestamps of fair-queue
+	// dispatches not yet reflected in that node's heartbeat (entries at or
+	// before the node's LastSeen are pruned — the heartbeat's QueueLen has
+	// absorbed them). It makes the dispatch gate's view of node backlog
+	// self-correcting without a task-event feed. Run-goroutine owned.
+	fairDebits map[types.NodeID][]int64
 
 	spillSub gcs.Sub
 	nodeSub  gcs.Sub
 	groupSub gcs.Sub
+	jobSub   gcs.Sub
 
 	placed     atomic.Int64
 	parkedCt   atomic.Int64
@@ -115,7 +136,10 @@ func NewGlobal(cfg GlobalConfig) *Global {
 	if cfg.SweepAge <= 0 {
 		cfg.SweepAge = 500 * time.Millisecond
 	}
-	return &Global{
+	if cfg.JobGrace == 0 {
+		cfg.JobGrace = 500 * time.Millisecond
+	}
+	g := &Global{
 		cfg:          cfg,
 		stop:         make(chan struct{}),
 		reapedGroups: make(map[types.PlacementGroupID]bool),
@@ -123,7 +147,11 @@ func NewGlobal(cfg GlobalConfig) *Global {
 		releaseRetry: make(map[releaseKey]bool),
 		refSwept:     make(map[types.NodeID]bool),
 		ownerSwept:   make(map[types.NodeID]bool),
+		jobCache:     make(map[types.JobID]types.JobInfo),
+		fairDebits:   make(map[types.NodeID][]int64),
 	}
+	g.fair = jobs.NewFairQueue(g.jobWeight)
+	return g
 }
 
 // Start launches the placement loop. Subscriptions are established before
@@ -132,6 +160,7 @@ func (g *Global) Start() {
 	g.spillSub = g.cfg.Ctrl.SubscribeSpill()
 	g.nodeSub = g.cfg.Ctrl.SubscribeNodeEvents()
 	g.groupSub = g.cfg.Ctrl.SubscribePlacementGroups()
+	g.jobSub = g.cfg.Ctrl.SubscribeJobs()
 	g.wg.Add(1)
 	go g.run()
 }
@@ -167,8 +196,17 @@ func (g *Global) run() {
 	defer nodeSub.Close()
 	groupSub := g.groupSub
 	defer groupSub.Close()
+	jobSub := g.jobSub
+	defer jobSub.Close()
 	retry := time.NewTicker(g.cfg.RetryInterval)
 	defer retry.Stop()
+	// The pace tick re-runs gated fair dispatch as heartbeats absorb
+	// earlier placements. It exists because backlog held by the contention
+	// gate has no event to wake on — task completions publish per-task
+	// channels only — and the retry tick is too coarse to keep a contended
+	// cluster saturated. A no-op (one int compare) whenever nothing is held.
+	pace := time.NewTicker(5 * time.Millisecond)
+	defer pace.Stop()
 	var sweep <-chan time.Time
 	if g.cfg.SweepInterval > 0 {
 		t := time.NewTicker(g.cfg.SweepInterval)
@@ -183,7 +221,7 @@ func (g *Global) run() {
 	// (the pending-task sweep), so losing the subscription must not kill
 	// the scheduler: the sweep, retry tick, and gang maintenance all keep
 	// running, and reservation-release retries are never stranded.
-	spillC, nodeC, groupC := spillSub.C(), nodeSub.C(), groupSub.C()
+	spillC, nodeC, groupC, jobC := spillSub.C(), nodeSub.C(), groupSub.C(), jobSub.C()
 	for {
 		select {
 		case raw, ok := <-spillC:
@@ -195,7 +233,23 @@ func (g *Global) run() {
 			if err != nil {
 				continue
 			}
-			g.place(spec)
+			// Route through the fair queue: gather whatever else the burst
+			// already delivered so DRR has a window to order it, then drain.
+			// An uncontended spill degenerates to push-pop-place.
+			g.fair.Push(spec)
+			g.gatherSpill(spillC)
+			g.dispatchFair()
+		case raw, ok := <-jobC:
+			if !ok {
+				jobC = nil
+				continue
+			}
+			if info, err := gcs.DecodeJobEvent(raw); err == nil {
+				g.observeJob(info)
+				if info.State != types.JobRunning {
+					g.jobPass() // a stop event: start reclaiming immediately
+				}
+			}
 		case _, ok := <-nodeC:
 			if !ok {
 				nodeC = nil
@@ -219,12 +273,17 @@ func (g *Global) run() {
 			drain(groupC)
 			g.gangPass(true)
 			g.retryParked() // parked member tasks may be routable now
+		case <-pace.C:
+			if g.fair.Len() > 0 {
+				g.dispatchFair()
+			}
 		case <-retry.C:
 			g.gangPass(false)
 			g.retryParked()
 		case <-sweep:
 			g.sweepPending()
 			g.sweepDeadOwners()
+			g.jobPass() // at-least-once fallback for dropped job events
 		case <-g.stop:
 			return
 		}
@@ -243,6 +302,13 @@ func (g *Global) sweepPending() {
 	parked := g.parkedIDs()
 	for _, spec := range g.cfg.Ctrl.StalePendingTasks(g.cfg.SweepAge.Nanoseconds()) {
 		if parked[spec.ID] {
+			continue
+		}
+		if g.fair.Contains(spec.ID) {
+			// Held by the fair queue's contention gate, not lost: rescuing
+			// it here would bypass the DRR ordering the gate exists for.
+			// (Safe against this scheduler dying with it: a peer global's
+			// sweep does not hold it and will rescue.)
 			continue
 		}
 		g.place(spec)
@@ -336,7 +402,17 @@ func (g *Global) parkedIDs() map[types.TaskID]bool {
 // place runs one placement: filter to feasible candidates, score locality,
 // delegate the choice to the policy, and assign. Placement-group members
 // bypass the policy — their node is the one holding their bundle.
-func (g *Global) place(spec types.TaskSpec) {
+// place routes one spec: policy pick, assignment, park on failure. It
+// returns the node the task was assigned to (NilNodeID when the task was
+// parked, fenced, or routed through the gang path) so the fair-dispatch
+// gate can debit the node's headroom before the next heartbeat reports it.
+func (g *Global) place(spec types.TaskSpec) types.NodeID {
+	if g.jobTerminated(spec.Job) {
+		// Fenced: the job is stopping or stopped. The reclaim pass buries
+		// the durable record with a typed failure; placing it would
+		// resurrect work the tenant already gave up on.
+		return types.NilNodeID
+	}
 	if spec.InGroup() {
 		if g.cfg.Reserve == nil {
 			// Gang scheduling is not wired: no node will ever hold the
@@ -344,10 +420,10 @@ func (g *Global) place(spec types.TaskSpec) {
 			// task through the stray-respill path forever. Park it — inert,
 			// and correct if a gang-wired scheduler joins later.
 			g.park(spec)
-			return
+			return types.NilNodeID
 		}
 		g.placeGrouped(spec)
-		return
+		return types.NilNodeID
 	}
 	candidates := g.candidates(spec)
 	// The soft locality hint is resolved here, before the policy, so its
@@ -365,7 +441,7 @@ func (g *Global) place(spec types.TaskSpec) {
 	}
 	if !ok {
 		g.park(spec)
-		return
+		return types.NilNodeID
 	}
 	var addr string
 	for _, c := range candidates {
@@ -378,10 +454,11 @@ func (g *Global) place(spec types.TaskSpec) {
 		// The node likely died between heartbeat and assignment; park and
 		// let the retry pass pick a different one.
 		g.park(spec)
-		return
+		return types.NilNodeID
 	}
 	g.placed.Add(1)
 	g.cfg.Ctrl.LogEvent(types.Event{Kind: "global-place", Task: spec.ID, Node: id, Detail: g.cfg.Policy.Name()})
+	return id
 }
 
 // drain empties whatever is already queued on a subscription channel so a

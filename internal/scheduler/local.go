@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/gcs"
+	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/objectstore"
 	"repro/internal/types"
@@ -87,6 +88,16 @@ var ErrStopped = errors.New("scheduler: stopped")
 // queue instead, so a driver attached to a draining node keeps working.
 var ErrDraining = errors.New("scheduler: node draining")
 
+// ErrJobFenced is returned for submissions attributed to a job that is
+// stopping or stopped (DESIGN.md §14): the local arm of the reclaim fence.
+// It covers the races the global scheduler's dispatch fence cannot see —
+// an assignment already in flight when the job stopped, and lineage
+// reconstruction resubmitting a buried tenant's task. It wraps the typed
+// jobs.ErrJobTerminated sentinel so the refusal stays matchable wherever
+// it surfaces — in particular through a blocked Get whose object went
+// Lost in the reclaim race and whose reconstruction the fence refused.
+var ErrJobFenced = fmt.Errorf("scheduler: %w", jobs.ErrJobTerminated)
+
 // Spill thresholds (LocalConfig.SpillThreshold).
 const (
 	// SpillNever disables spilling: single-node clusters.
@@ -130,6 +141,10 @@ type LocalConfig struct {
 	// Tracer, when set, records prefetch spans tagged with the task's
 	// trace context. Nil disables.
 	Tracer *metrics.Tracer
+	// JobFence, when set, reports whether a job is stopping or stopped;
+	// submissions under such a job are refused with ErrJobFenced. Nil
+	// disables the fence (single-tenant deployments).
+	JobFence func(types.JobID) bool
 }
 
 // queuedTask is a task whose dependencies are all local, awaiting
@@ -343,6 +358,12 @@ func (l *Local) Submit(spec types.TaskSpec, placed bool) error {
 	}
 	backlog := len(l.runnable)
 	l.mu.Unlock()
+	if !spec.Job.IsNil() && l.cfg.JobFence != nil && l.cfg.JobFence(spec.Job) {
+		// The job reclaim fence (DESIGN.md §14). Refusing before the
+		// ownership claim keeps the record PENDING, where the reclaim pass
+		// buries it; admitting would resurrect work the stop already swept.
+		return ErrJobFenced
+	}
 	l.submitted.Add(1)
 	l.obs.submitted.Inc()
 

@@ -45,6 +45,11 @@ type TaskSpec struct {
 	// whole computation — including data-plane spans recorded far from the
 	// task table — into one trace (R7). Zero means untraced.
 	TraceID uint64
+	// Job attributes the task to a tenant job (DESIGN.md §14): fair-share
+	// dispatch weighs it by the job's weight, admission quotas meter it,
+	// and a job stop buries it and reclaims its records. Nil means jobless
+	// (the default weight-1 share, never bulk-reclaimed).
+	Job JobID
 }
 
 // InGroup reports whether the task is pinned to a placement-group bundle.
