@@ -167,6 +167,7 @@ func appendTaskSpec(b []byte, s *types.TaskSpec) []byte {
 	b = binary.AppendVarint(b, int64(s.Bundle))
 	b = binary.AppendUvarint(b, s.TraceID)
 	b = append(b, s.Job[:]...)
+	b = appendBool(b, s.Actor)
 	return b
 }
 
@@ -473,6 +474,7 @@ func (r *binReader) taskSpec() (types.TaskSpec, error) {
 	s.Bundle = int(r.varint())
 	s.TraceID = r.uvarint()
 	s.Job = r.id16()
+	s.Actor = r.bool()
 	return s, r.err
 }
 

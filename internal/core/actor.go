@@ -47,7 +47,7 @@ func NewActor(sub Submitter, initFn string, args ...types.Arg) (*Actor, error) {
 // lifetime into bundle i — the learner-next-to-simulators co-placement of
 // the Section 4.2 workload.
 func NewActorWith(sub Submitter, initFn string, opts []Option, args ...types.Arg) (*Actor, error) {
-	refs, err := sub.SubmitOpts(initFn, args, append(opts[:len(opts):len(opts)], WithNumReturns(1))...)
+	refs, err := sub.SubmitOpts(initFn, args, append(opts[:len(opts):len(opts)], WithNumReturns(1), WithActor())...)
 	if err != nil {
 		return nil, fmt.Errorf("core: actor init: %w", err)
 	}
@@ -70,7 +70,7 @@ func (a *Actor) Call(method string, args ...types.Arg) (ObjectRef, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	callArgs := append([]types.Arg{types.RefArg(a.state.ID)}, args...)
-	opts := append(a.pinned[:len(a.pinned):len(a.pinned)], WithNumReturns(2))
+	opts := append(a.pinned[:len(a.pinned):len(a.pinned)], WithNumReturns(2), WithActor())
 	refs, err := a.sub.SubmitOpts(method, callArgs, opts...)
 	if err != nil {
 		return ObjectRef{}, err

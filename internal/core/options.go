@@ -32,6 +32,10 @@ type TaskOptions struct {
 	// reclaimed with it. Nil inherits the submitting task's job (driver
 	// submissions with no job stay untenanted).
 	Job types.JobID
+	// Actor marks the task as an actor method or constructor, excluding it
+	// from inline dispatch (DESIGN.md §15): actor methods are ordered
+	// against each other and must flow through the queue.
+	Actor bool
 }
 
 // Option adjusts a TaskOptions. The same options apply to task submission
@@ -73,6 +77,13 @@ func WithPlacementGroup(id types.PlacementGroupID, bundle int) Option {
 // ErrJobQuota when it cannot be.
 func WithJob(id types.JobID) Option {
 	return func(o *TaskOptions) { o.Job = id }
+}
+
+// WithActor marks the task as an actor method or constructor. The actor
+// runtime applies it to every submission it makes; applications normally
+// never need it directly.
+func WithActor() Option {
+	return func(o *TaskOptions) { o.Actor = true }
 }
 
 // buildOptions folds opts over the zero TaskOptions.

@@ -1,0 +1,37 @@
+package lifetime
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// TestPullZeroByteObject: an empty object must be fetchable cross-node
+// like any other — the destination ends up with a present, zero-length
+// copy and both locations registered. Regression companion to the
+// GetRange zero-byte fix: tasks legitimately return empty payloads
+// (side-effect-only functions), and a consumer on another node must not
+// hang or error pulling one.
+func TestPullZeroByteObject(t *testing.T) {
+	srcs, dst, ctrl, pm := pullFixture(t, transport.NewInproc(0), 1, PullConfig{})
+	id := testObj(60)
+	if err := srcs[0].Put(id, []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Fetch(context.Background(), id, []types.NodeID{srcs[0].Node()}); err != nil {
+		t.Fatalf("fetch of empty object: %v", err)
+	}
+	got, ok := dst.Get(id)
+	if !ok {
+		t.Fatal("empty object absent on the destination after fetch")
+	}
+	if len(got) != 0 {
+		t.Fatalf("fetched %d bytes from an empty object", len(got))
+	}
+	info, _ := ctrl.GetObject(id)
+	if !info.HasLocation(dst.Node()) {
+		t.Fatalf("destination not registered as a location: %+v", info)
+	}
+}

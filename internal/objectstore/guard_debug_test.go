@@ -1,0 +1,79 @@
+//go:build storedebug
+
+package objectstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/gcs"
+)
+
+func mustPanic(t *testing.T, f func()) string {
+	t.Helper()
+	msg := ""
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+			}
+		}()
+		f()
+	}()
+	return msg
+}
+
+// TestZeroCopyMutationGuard: Get hands out the store's internal buffer
+// under the read-only borrow contract (DESIGN.md); a task that writes into
+// it corrupts the object for every later reader. Under -tags storedebug
+// the pin guard must catch the mutation at Unpin and name the object.
+func TestZeroCopyMutationGuard(t *testing.T) {
+	s := New(testNode(1), gcs.NewStore(1), 0)
+	id := testObj(140)
+	if err := s.Put(id, []byte("immutable")); err != nil {
+		t.Fatal(err)
+	}
+	s.Pin(id)
+	buf, ok := s.Get(id)
+	if !ok {
+		t.Fatal("Get missed a resident object")
+	}
+	buf[0] = 'X' // the bug under test: a task scribbling on its borrowed arg
+	msg := mustPanic(t, func() { s.Unpin(id) })
+	if msg == "" {
+		t.Fatal("mutating a pinned borrowed buffer went undetected at Unpin")
+	}
+	if !strings.Contains(msg, "mutated while borrowed") {
+		t.Fatalf("guard panic = %q", msg)
+	}
+	if !strings.Contains(msg, fmt.Sprintf("%v", id)) {
+		t.Fatalf("guard panic does not name the object: %q", msg)
+	}
+}
+
+// TestZeroCopyGuardAllowsReaders: well-behaved borrowers — including
+// nested pins of the same object, the aliased-argument shape — pass the
+// guard, and the checksum record is dropped with the last pin so a later
+// legitimate rewrite of the buffer (e.g. restore after spill) starts a
+// fresh pin cycle cleanly.
+func TestZeroCopyGuardAllowsReaders(t *testing.T) {
+	s := New(testNode(1), gcs.NewStore(1), 0)
+	id := testObj(141)
+	if err := s.Put(id, []byte("read-only")); err != nil {
+		t.Fatal(err)
+	}
+	s.Pin(id)
+	s.Pin(id) // aliased arg: second pin of the same buffer
+	if _, ok := s.Get(id); !ok {
+		t.Fatal("Get missed a resident object")
+	}
+	s.Unpin(id)
+	s.Unpin(id)
+	// A fresh pin cycle re-checksums from scratch.
+	s.Pin(id)
+	s.Unpin(id)
+	if got := s.PinCount(id); got != 0 {
+		t.Fatalf("PinCount = %d after balanced pin cycles", got)
+	}
+}

@@ -215,6 +215,11 @@ type Store struct {
 	spills   int64
 	restores int64
 
+	// guard is the build-tag-gated pinned-buffer mutation detector: a no-op
+	// in release builds, a checksum-at-Pin / verify-at-Unpin tripwire under
+	// -tags storedebug (see store_guard_debug.go). Its hooks run under mu.
+	guard pinGuard
+
 	// obs holds pre-resolved instruments (SetObservability). All fields
 	// are nil-safe: an un-instrumented store pays one nil check per site.
 	obs storeObs
@@ -807,9 +812,17 @@ func (s *Store) GetRange(id types.ObjectID, offset, length int64) ([]byte, bool)
 	for attempt := 0; ; attempt++ {
 		s.mu.Lock()
 		e, ok := s.objects[id]
-		if !ok || offset < 0 || length <= 0 || offset >= e.size {
+		if !ok || offset < 0 || length <= 0 || (offset > 0 && offset >= e.size) {
 			s.mu.Unlock()
 			return nil, false
+		}
+		if e.size == 0 {
+			// Zero-byte object: a (0, n) read is valid and yields the empty
+			// payload, matching Get — without this, empty objects were
+			// range-readable nowhere (offset >= size held for every offset)
+			// even though whole-object reads served them fine.
+			s.mu.Unlock()
+			return []byte{}, true
 		}
 		want := length
 		if offset+want > e.size {
@@ -878,6 +891,7 @@ func (s *Store) Pin(id types.ObjectID) {
 	s.mu.Lock()
 	if e, ok := s.objects[id]; ok {
 		e.pinned++
+		s.guard.onPin(id, e.data)
 	}
 	s.mu.Unlock()
 }
@@ -887,8 +901,20 @@ func (s *Store) Unpin(id types.ObjectID) {
 	s.mu.Lock()
 	if e, ok := s.objects[id]; ok && e.pinned > 0 {
 		e.pinned--
+		s.guard.onUnpin(id, e.data, e.pinned)
 	}
 	s.mu.Unlock()
+}
+
+// PinCount reports id's current pin count (test hook: pin-balance
+// assertions for the gather/unwind paths).
+func (s *Store) PinCount(id types.ObjectID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.objects[id]; ok {
+		return e.pinned
+	}
+	return 0
 }
 
 // WaitChan returns a channel closed when id becomes locally present. If the

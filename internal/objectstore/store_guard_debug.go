@@ -1,0 +1,56 @@
+//go:build storedebug
+
+package objectstore
+
+import (
+	"fmt"
+	"hash/crc64"
+
+	"repro/internal/types"
+)
+
+// pinGuard (storedebug builds) enforces the data-plane immutability
+// contract dynamically: Get/GetRange return the store's internal buffer,
+// which borrowers must treat as read-only. The guard checksums an object's
+// resident bytes when its pin count leaves zero and verifies the checksum
+// on every Unpin — a worker that scribbled on an argument buffer panics at
+// unpin time with the object ID, naming the corruption at its source
+// instead of letting it surface as garbled bytes in some later consumer
+// (or in the spill file). Hooks are called with the store mutex held, so
+// no further locking is needed; the cost (a CRC per pin cycle) is why this
+// lives behind the build tag.
+type pinGuard struct {
+	sums map[types.ObjectID]uint64
+}
+
+var pinGuardTable = crc64.MakeTable(crc64.ECMA)
+
+// onPin captures the buffer checksum when the object becomes pinned. A
+// spilled entry has no resident buffer (data == nil) and is skipped; if it
+// is restored and re-pinned later, that pin captures the checksum then.
+func (g *pinGuard) onPin(id types.ObjectID, data []byte) {
+	if data == nil {
+		return
+	}
+	if g.sums == nil {
+		g.sums = make(map[types.ObjectID]uint64)
+	}
+	if _, ok := g.sums[id]; !ok {
+		g.sums[id] = crc64.Checksum(data, pinGuardTable)
+	}
+}
+
+// onUnpin verifies the buffer against the checksum captured at pin time,
+// dropping the record when the last pin is released.
+func (g *pinGuard) onUnpin(id types.ObjectID, data []byte, pinned int) {
+	want, ok := g.sums[id]
+	if pinned == 0 {
+		delete(g.sums, id)
+	}
+	if !ok || data == nil {
+		return
+	}
+	if got := crc64.Checksum(data, pinGuardTable); got != want {
+		panic(fmt.Sprintf("objectstore: pinned buffer of object %v mutated while borrowed (storedebug guard)", id))
+	}
+}

@@ -1,0 +1,17 @@
+//go:build !storedebug
+
+package objectstore
+
+import "repro/internal/types"
+
+// pinGuard is the release-build no-op of the pinned-buffer mutation
+// detector. Get and GetRange hand out the store's internal byte slice with
+// zero copies (see the contract in DESIGN.md), so a task that writes into
+// an argument buffer silently corrupts the object for every later reader.
+// Building with -tags storedebug swaps in the checking implementation
+// (store_guard_debug.go), which checksums a buffer when it first becomes
+// pinned and panics at Unpin if the bytes changed while borrowed.
+type pinGuard struct{}
+
+func (pinGuard) onPin(types.ObjectID, []byte)        {}
+func (pinGuard) onUnpin(types.ObjectID, []byte, int) {}

@@ -1,0 +1,76 @@
+package objectstore
+
+import (
+	"testing"
+
+	"repro/internal/gcs"
+	"repro/internal/transport"
+)
+
+// TestGetRangeZeroByteObject: a (0, n) range read of an empty object is
+// valid and yields the empty payload, matching Get. Before the fix the
+// offset >= size rejection held for every offset, so empty objects were
+// range-readable nowhere even though whole-object reads served them fine.
+func TestGetRangeZeroByteObject(t *testing.T) {
+	s := New(testNode(1), gcs.NewStore(1), 0)
+	id := testObj(130)
+	if err := s.Put(id, []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetRange(id, 0, 16)
+	if !ok {
+		t.Fatal("(0, n) range of an empty object reported absent")
+	}
+	if got == nil || len(got) != 0 {
+		t.Fatalf("range = %v, want empty non-nil slice", got)
+	}
+	// Any positive offset is past the end of an empty object.
+	if _, ok := s.GetRange(id, 1, 1); ok {
+		t.Fatal("offset past the end of an empty object was served")
+	}
+	// Degenerate requests stay rejected regardless of size.
+	if _, ok := s.GetRange(id, -1, 4); ok {
+		t.Fatal("negative offset served")
+	}
+	if _, ok := s.GetRange(id, 0, 0); ok {
+		t.Fatal("zero-length request served")
+	}
+	if _, ok := s.GetRange(id, 0, -3); ok {
+		t.Fatal("negative length served")
+	}
+}
+
+// TestPullChunkZeroByteObject drives the same fix through the wire path:
+// the chunk handler rides GetRange, so a peer's (0, n) chunk request for
+// an empty object must answer with an empty payload, not ErrBadChunk.
+func TestPullChunkZeroByteObject(t *testing.T) {
+	s := New(testNode(2), gcs.NewStore(1), 0)
+	id := testObj(131)
+	if err := s.Put(id, []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewServer()
+	RegisterPullHandler(srv, s)
+	nw := transport.NewInproc(0)
+	closer, err := nw.Listen("src", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	cl, err := nw.Dial("src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.Call(PullChunkMethod, EncodeChunkRequest(id, 0, 4096))
+	if err != nil {
+		t.Fatalf("chunk pull of empty object: %v", err)
+	}
+	if len(resp) != 0 {
+		t.Fatalf("chunk pull returned %d bytes from an empty object", len(resp))
+	}
+	// A positive offset into an empty object is a bad chunk, not absence.
+	if _, err := cl.Call(PullChunkMethod, EncodeChunkRequest(id, 1, 1)); err == nil {
+		t.Fatal("out-of-range chunk request on an empty object succeeded")
+	}
+}

@@ -1,0 +1,27 @@
+package types
+
+import "context"
+
+// Inline-dispatch depth threading (DESIGN.md §15). A task executed inline
+// on its submitter's goroutine may itself submit tasks; the depth rides the
+// task's context so the scheduler can bounce deep inline chains back to the
+// queue (the trampoline) instead of growing the stack without bound. The
+// helpers live here — the one package every layer already imports — so the
+// scheduler, worker, and core API can share the key without a cycle.
+
+type inlineDepthKey struct{}
+
+// WithInlineDepth returns a context recording that the bearer is executing
+// at the given inline-dispatch depth.
+func WithInlineDepth(ctx context.Context, depth int) context.Context {
+	return context.WithValue(ctx, inlineDepthKey{}, depth)
+}
+
+// InlineDepthFrom reports the inline-dispatch depth recorded in ctx, zero
+// for contexts outside any inline execution (drivers, queued tasks).
+func InlineDepthFrom(ctx context.Context) int {
+	if v, ok := ctx.Value(inlineDepthKey{}).(int); ok {
+		return v
+	}
+	return 0
+}

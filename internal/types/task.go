@@ -50,6 +50,11 @@ type TaskSpec struct {
 	// and a job stop buries it and reclaims its records. Nil means jobless
 	// (the default weight-1 share, never bulk-reclaimed).
 	Job JobID
+	// Actor marks the task as an actor method (or constructor): its
+	// execution order against the actor's other methods matters, so inline
+	// dispatch (DESIGN.md §15) must never run it on the submitting
+	// goroutine ahead of methods already queued.
+	Actor bool
 }
 
 // InGroup reports whether the task is pinned to a placement-group bundle.
